@@ -1,0 +1,263 @@
+//! Shared baseline machinery: configuration, random features, degree
+//! bounding, and budget-to-noise calibration.
+
+use advsgm_graph::{Graph, NodeId};
+use advsgm_linalg::init::normalize_rows;
+use advsgm_linalg::rng::gaussian_matrix;
+use advsgm_linalg::DenseMatrix;
+use advsgm_privacy::conversion::rdp_to_delta;
+use advsgm_privacy::rdp::{default_alpha_grid, GaussianRdp};
+use advsgm_privacy::subsampled::subsampled_gaussian_curve;
+use rand::Rng;
+
+use crate::error::BaselineError;
+
+/// Shared configuration for all four baselines.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BaselineConfig {
+    /// Embedding dimension (the paper evaluates everything at `r = 128`).
+    pub dim: usize,
+    /// Target privacy budget `epsilon`.
+    pub epsilon: f64,
+    /// Target failure probability `delta`.
+    pub delta: f64,
+    /// Training epochs / propagation depth (method-specific meaning).
+    pub epochs: usize,
+    /// Batch size for the DPSGD-trained baselines.
+    pub batch_size: usize,
+    /// Learning rate.
+    pub eta: f64,
+    /// Gradient clipping threshold.
+    pub clip: f64,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+impl Default for BaselineConfig {
+    fn default() -> Self {
+        Self {
+            dim: 128,
+            epsilon: 6.0,
+            delta: 1e-5,
+            epochs: 30,
+            batch_size: 128,
+            eta: 0.1,
+            clip: 1.0,
+            seed: 0,
+        }
+    }
+}
+
+impl BaselineConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    /// Returns [`BaselineError::Config`] naming the first offending field.
+    pub fn validate(&self) -> Result<(), BaselineError> {
+        let bad =
+            |field: &'static str, reason: String| Err(BaselineError::Config { field, reason });
+        if self.dim == 0 {
+            return bad("dim", "dimension must be positive".into());
+        }
+        if self.epsilon.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
+            return bad("epsilon", "epsilon must be positive".into());
+        }
+        if !(self.delta > 0.0 && self.delta < 1.0) {
+            return bad(
+                "delta",
+                format!("delta must be in (0,1), got {}", self.delta),
+            );
+        }
+        if self.epochs == 0 || self.batch_size == 0 {
+            return bad("epochs", "need positive epochs and batch size".into());
+        }
+        if self.eta.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater)
+            || self.clip.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater)
+        {
+            return bad("eta", "learning rate and clip must be positive".into());
+        }
+        Ok(())
+    }
+
+    /// A fast configuration for tests.
+    pub fn test_small() -> Self {
+        Self {
+            dim: 16,
+            epochs: 3,
+            batch_size: 16,
+            ..Self::default()
+        }
+    }
+}
+
+/// Row-normalised Gaussian random features — the stand-in the paper uses
+/// for GAP/DPAR on featureless graphs ("we use randomly generated features
+/// as inputs for GAP and DPAR").
+pub fn random_features(num_nodes: usize, dim: usize, rng: &mut impl Rng) -> DenseMatrix {
+    let mut x = gaussian_matrix(rng, 1.0, num_nodes, dim);
+    normalize_rows(&mut x);
+    x
+}
+
+/// Degree-bounded neighbor lists: every node keeps at most `max_degree`
+/// neighbors (a uniform subsample). Bounding the degree bounds the number
+/// of aggregation terms one node can influence — the sensitivity-control
+/// step of GAP/DPAR-style node-level DP.
+pub fn bounded_neighbors(graph: &Graph, max_degree: usize, rng: &mut impl Rng) -> Vec<Vec<u32>> {
+    let mut out = Vec::with_capacity(graph.num_nodes());
+    for i in 0..graph.num_nodes() {
+        let nbrs = graph.neighbors(NodeId::from_index(i));
+        if nbrs.len() <= max_degree {
+            out.push(nbrs.to_vec());
+        } else {
+            // Partial Fisher-Yates over a copy.
+            let mut pool = nbrs.to_vec();
+            for t in 0..max_degree {
+                let j = rng.gen_range(t..pool.len());
+                pool.swap(t, j);
+            }
+            pool.truncate(max_degree);
+            pool.sort_unstable();
+            out.push(pool);
+        }
+    }
+    out
+}
+
+/// Finds the smallest noise multiplier `sigma` such that `steps`
+/// compositions of a `gamma`-subsampled Gaussian mechanism stay within
+/// `(epsilon, delta)`. Binary search over `sigma`; used by every baseline
+/// to calibrate its noise to the same budget AdvSGM gets.
+///
+/// # Errors
+/// Returns [`BaselineError::Config`] if even a huge multiplier cannot fit
+/// (degenerate targets).
+pub fn calibrate_noise_multiplier(
+    steps: u64,
+    gamma: f64,
+    epsilon: f64,
+    delta: f64,
+) -> Result<f64, BaselineError> {
+    let alphas = default_alpha_grid();
+    let fits = |sigma: f64| -> Result<bool, BaselineError> {
+        let curve = if gamma >= 1.0 {
+            GaussianRdp::new(sigma)
+                .map_err(BaselineError::from)?
+                .curve(&alphas)
+        } else {
+            subsampled_gaussian_curve(sigma, gamma, &alphas)?
+        };
+        let scaled: Vec<(usize, f64)> = curve
+            .into_iter()
+            .map(|(a, e)| (a, e * steps as f64))
+            .collect();
+        Ok(rdp_to_delta(&scaled, epsilon)? < delta)
+    };
+    let mut hi = 1.0f64;
+    let mut guard = 0;
+    while !fits(hi)? {
+        hi *= 2.0;
+        guard += 1;
+        if guard > 40 {
+            return Err(BaselineError::Config {
+                field: "epsilon",
+                reason: format!("cannot calibrate noise for eps={epsilon}, delta={delta}"),
+            });
+        }
+    }
+    let mut lo = hi / 2.0;
+    if !fits(lo)? || hi <= 1.0 {
+        lo = 0.0;
+    }
+    for _ in 0..60 {
+        let mid = 0.5 * (lo + hi);
+        if fits(mid)? {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    Ok(hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use advsgm_graph::generators::classic::{karate_club, star_graph};
+    use advsgm_linalg::rng::seeded;
+    use advsgm_linalg::vector::norm2;
+
+    #[test]
+    fn config_validation() {
+        BaselineConfig::default().validate().unwrap();
+        let c = BaselineConfig {
+            epsilon: 0.0,
+            ..BaselineConfig::default()
+        };
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn random_features_unit_rows() {
+        let mut rng = seeded(1);
+        let x = random_features(10, 8, &mut rng);
+        for i in 0..10 {
+            assert!((norm2(x.row(i)) - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn bounded_neighbors_caps_degree() {
+        let mut rng = seeded(2);
+        let g = star_graph(50); // hub degree 49
+        let b = bounded_neighbors(&g, 10, &mut rng);
+        assert_eq!(b[0].len(), 10);
+        assert_eq!(b[1].len(), 1);
+        // Bounded lists are subsets of the true neighborhoods.
+        for &n in &b[0] {
+            assert!(g.neighbors(NodeId(0)).contains(&n));
+        }
+    }
+
+    #[test]
+    fn bounded_neighbors_noop_when_under_cap() {
+        let mut rng = seeded(3);
+        let g = karate_club();
+        let b = bounded_neighbors(&g, 100, &mut rng);
+        for (i, nbrs) in b.iter().enumerate() {
+            assert_eq!(nbrs, g.neighbors(NodeId::from_index(i)));
+        }
+    }
+
+    #[test]
+    fn calibration_meets_budget() {
+        let sigma = calibrate_noise_multiplier(100, 1.0, 2.0, 1e-5).unwrap();
+        assert!(sigma > 0.0);
+        // Verify: composing 100 steps at this sigma stays under budget.
+        let alphas = default_alpha_grid();
+        let curve = GaussianRdp::new(sigma).unwrap().curve(&alphas);
+        let scaled: Vec<(usize, f64)> = curve.into_iter().map(|(a, e)| (a, e * 100.0)).collect();
+        assert!(rdp_to_delta(&scaled, 2.0).unwrap() < 1e-5);
+    }
+
+    #[test]
+    fn more_steps_need_more_noise() {
+        let s10 = calibrate_noise_multiplier(10, 1.0, 2.0, 1e-5).unwrap();
+        let s1000 = calibrate_noise_multiplier(1000, 1.0, 2.0, 1e-5).unwrap();
+        assert!(s1000 > s10, "s10={s10} s1000={s1000}");
+    }
+
+    #[test]
+    fn subsampling_reduces_required_noise() {
+        let full = calibrate_noise_multiplier(100, 1.0, 2.0, 1e-5).unwrap();
+        let sub = calibrate_noise_multiplier(100, 0.01, 2.0, 1e-5).unwrap();
+        assert!(sub < full, "sub={sub} full={full}");
+    }
+
+    #[test]
+    fn bigger_budget_needs_less_noise() {
+        let tight = calibrate_noise_multiplier(100, 0.1, 1.0, 1e-5).unwrap();
+        let loose = calibrate_noise_multiplier(100, 0.1, 6.0, 1e-5).unwrap();
+        assert!(loose < tight);
+    }
+}

@@ -1,0 +1,69 @@
+//! Error type for the baseline implementations.
+
+use std::fmt;
+
+use advsgm_graph::GraphError;
+use advsgm_privacy::PrivacyError;
+
+/// Errors produced by the baseline trainers.
+#[derive(Debug)]
+pub enum BaselineError {
+    /// Invalid configuration.
+    Config {
+        /// Offending field.
+        field: &'static str,
+        /// Explanation.
+        reason: String,
+    },
+    /// Graph-substrate failure.
+    Graph(GraphError),
+    /// Privacy-substrate failure.
+    Privacy(PrivacyError),
+}
+
+impl fmt::Display for BaselineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BaselineError::Config { field, reason } => {
+                write!(f, "invalid baseline configuration {field}: {reason}")
+            }
+            BaselineError::Graph(e) => write!(f, "graph error: {e}"),
+            BaselineError::Privacy(e) => write!(f, "privacy error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for BaselineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BaselineError::Graph(e) => Some(e),
+            BaselineError::Privacy(e) => Some(e),
+            BaselineError::Config { .. } => None,
+        }
+    }
+}
+
+impl From<GraphError> for BaselineError {
+    fn from(e: GraphError) -> Self {
+        BaselineError::Graph(e)
+    }
+}
+
+impl From<PrivacyError> for BaselineError {
+    fn from(e: PrivacyError) -> Self {
+        BaselineError::Privacy(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        use std::error::Error;
+        let e = BaselineError::from(GraphError::EmptyGraph { op: "gap" });
+        assert!(e.to_string().contains("gap"));
+        assert!(e.source().is_some());
+    }
+}

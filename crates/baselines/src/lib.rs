@@ -1,0 +1,38 @@
+//! # advsgm-baselines
+//!
+//! The four external private graph-learning methods the paper compares
+//! against in Figs. 3–4, re-implemented in compact form (DESIGN.md §1
+//! documents the simplifications and why they preserve the comparison):
+//!
+//! * [`dpggan`] — DPGGAN (Yang et al., IJCAI 2021): embeddings trained
+//!   adversarially against an MLP pair-discriminator, DPSGD on the
+//!   embedding updates;
+//! * [`dpgvae`] — DPGVAE (same work): graph autoencoder with inner-product
+//!   decoder and KL-style regulariser, DPSGD updates;
+//! * [`gap`] — GAP (Sajadmanesh et al., USENIX Security 2023): degree-
+//!   bounded **aggregation perturbation** over random features, budget
+//!   split across K hops;
+//! * [`dpar`] — DPAR (Zhang et al., WWW 2024): decoupled personalized-
+//!   PageRank propagation with per-hop noise.
+//!
+//! All four are calibrated through the same RDP accountant as AdvSGM, so a
+//! comparison at equal `(epsilon, delta)` is honest: every method's noise
+//! scale is exactly what its budget affords.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod common;
+pub mod dpar;
+pub mod dpggan;
+pub mod dpgvae;
+pub mod error;
+pub mod gap;
+pub mod mlp;
+
+pub use common::BaselineConfig;
+pub use dpar::Dpar;
+pub use dpggan::DpgGan;
+pub use dpgvae::DpgVae;
+pub use error::BaselineError;
+pub use gap::Gap;

@@ -1,0 +1,127 @@
+//! Table formatting and JSON result records.
+
+use std::io::Write;
+use std::path::PathBuf;
+
+use serde::Serialize;
+
+/// One experiment measurement, serialised to `results/<experiment>.jsonl`.
+#[derive(Debug, Clone, Serialize)]
+pub struct Record {
+    /// Experiment id (`fig2`, `table5`, ...).
+    pub experiment: String,
+    /// Dataset name.
+    pub dataset: String,
+    /// Method / variant / lambda label.
+    pub method: String,
+    /// Swept parameter name (`epsilon`, `eta`, `B`, `b`, ...).
+    pub parameter: String,
+    /// Swept parameter value.
+    pub value: f64,
+    /// Metric name (`auc`, `mi`, `abs_loss`).
+    pub metric: String,
+    /// Mean over runs.
+    pub mean: f64,
+    /// Sample standard deviation over runs.
+    pub std: f64,
+    /// Number of runs.
+    pub runs: u64,
+    /// Dataset scale used.
+    pub scale: f64,
+}
+
+/// Appends records to `results/<experiment>.jsonl` (directory created on
+/// demand). I/O failures are reported to stderr but never abort an
+/// experiment that already computed its numbers.
+pub fn append_jsonl(experiment: &str, records: &[Record]) {
+    let dir = PathBuf::from("results");
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("warning: cannot create results dir: {e}");
+        return;
+    }
+    let path = dir.join(format!("{experiment}.jsonl"));
+    let file = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path);
+    match file {
+        Err(e) => eprintln!("warning: cannot open {}: {e}", path.display()),
+        Ok(mut f) => {
+            for r in records {
+                match serde_json::to_string(r) {
+                    Ok(line) => {
+                        if let Err(e) = writeln!(f, "{line}") {
+                            eprintln!("warning: write failed: {e}");
+                            return;
+                        }
+                    }
+                    Err(e) => eprintln!("warning: serialise failed: {e}"),
+                }
+            }
+        }
+    }
+}
+
+/// Prints an aligned text table.
+pub fn print_table(title: &str, headers: &[String], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    let cols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (c, cell) in row.iter().enumerate().take(cols) {
+            widths[c] = widths[c].max(cell.len());
+        }
+    }
+    let print_row = |cells: &[String]| {
+        let line: Vec<String> = cells
+            .iter()
+            .enumerate()
+            .map(|(c, cell)| {
+                format!(
+                    "{cell:<width$}",
+                    width = widths.get(c).copied().unwrap_or(8)
+                )
+            })
+            .collect();
+        println!("| {} |", line.join(" | "));
+    };
+    print_row(headers);
+    let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+    println!("|-{}-|", sep.join("-|-"));
+    for row in rows {
+        print_row(row);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_serialises() {
+        let r = Record {
+            experiment: "table5".into(),
+            dataset: "PPI".into(),
+            method: "AdvSGM".into(),
+            parameter: "epsilon".into(),
+            value: 6.0,
+            metric: "auc".into(),
+            mean: 0.6095,
+            std: 0.0101,
+            runs: 5,
+            scale: 1.0,
+        };
+        let s = serde_json::to_string(&r).unwrap();
+        assert!(s.contains("\"auc\""));
+        assert!(s.contains("0.6095"));
+    }
+
+    #[test]
+    fn print_table_does_not_panic() {
+        print_table(
+            "demo",
+            &["a".into(), "b".into()],
+            &[vec!["1".into(), "longer".into()]],
+        );
+    }
+}

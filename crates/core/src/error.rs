@@ -1,0 +1,75 @@
+//! Error type for model training.
+
+use std::fmt;
+
+use advsgm_graph::GraphError;
+use advsgm_privacy::PrivacyError;
+
+/// Errors produced while configuring or training a model.
+#[derive(Debug)]
+pub enum CoreError {
+    /// Invalid configuration.
+    Config {
+        /// Offending field.
+        field: &'static str,
+        /// Explanation.
+        reason: String,
+    },
+    /// A graph-substrate failure (sampling, splitting, ...).
+    Graph(GraphError),
+    /// A privacy-substrate failure (not including budget exhaustion, which
+    /// is a normal stopping condition handled by the trainer).
+    Privacy(PrivacyError),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Config { field, reason } => {
+                write!(f, "invalid configuration {field}: {reason}")
+            }
+            CoreError::Graph(e) => write!(f, "graph error: {e}"),
+            CoreError::Privacy(e) => write!(f, "privacy error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Graph(e) => Some(e),
+            CoreError::Privacy(e) => Some(e),
+            CoreError::Config { .. } => None,
+        }
+    }
+}
+
+impl From<GraphError> for CoreError {
+    fn from(e: GraphError) -> Self {
+        CoreError::Graph(e)
+    }
+}
+
+impl From<PrivacyError> for CoreError {
+    fn from(e: PrivacyError) -> Self {
+        CoreError::Privacy(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_and_chains() {
+        use std::error::Error;
+        let e = CoreError::from(GraphError::EmptyGraph { op: "train" });
+        assert!(e.to_string().contains("train"));
+        assert!(e.source().is_some());
+        let c = CoreError::Config {
+            field: "batch",
+            reason: "zero".into(),
+        };
+        assert!(c.source().is_none());
+    }
+}

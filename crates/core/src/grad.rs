@@ -1,0 +1,220 @@
+//! Analytic per-pair gradients.
+//!
+//! All losses in the paper are compositions of `ln S(.)` / `ln(1 - S(.))`
+//! with inner products, so per-pair gradients are closed-form:
+//!
+//! * positive skip-gram pair `(v_i, v_j)`, loss `-ln S(v_i . v_j)`
+//!   (Eq. 2 as a minimisation):
+//!   `d/dv_i = c v_j`, `d/dv_j = c v_i` with `c = -S'(x)/S(x) < 0`;
+//! * negative pair `(v_i, v_n)`, loss `-ln S(-(v_n . v_i))`: the same with
+//!   the sign of the partner flipped;
+//! * AdvSGM's discriminator update (Theorem 6, Eqs. 19/21): the adversarial
+//!   term with `lambda = 1/S` collapses to the **fake neighbor itself**, so
+//!   the released per-pair gradient is `clip(dL_sgm/dv + v')` and the
+//!   mechanism noise is added by the trainer per batch;
+//! * DP-ASGM (the Section III-B first cut) uses the *real* adversarial
+//!   gradient `lambda S'(s)/(1-S(s)) v'` (Eq. 11) inside the clip instead.
+
+use advsgm_linalg::vector;
+
+use crate::sigmoid::SigmoidKind;
+
+/// Gradients of one pair-loss w.r.t. both endpoint vectors.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PairGrads {
+    /// Gradient w.r.t. the first (input/`W_in`) vector.
+    pub first: Vec<f64>,
+    /// Gradient w.r.t. the second (output/`W_out`) vector.
+    pub second: Vec<f64>,
+}
+
+/// Gradients of `-ln S(v_i . v_j)` w.r.t. `(v_i, v_j)`.
+pub fn sgm_positive_grads(kind: SigmoidKind, vi: &[f64], vj: &[f64]) -> PairGrads {
+    let x = vector::dot(vi, vj);
+    let c = kind.neg_log_grad(x);
+    PairGrads {
+        first: vj.iter().map(|&v| c * v).collect(),
+        second: vi.iter().map(|&v| c * v).collect(),
+    }
+}
+
+/// Gradients of `-ln S(-(v_n . v_i))` w.r.t. `(v_i, v_n)` — the negative-
+/// sample term of Eq. (2).
+pub fn sgm_negative_grads(kind: SigmoidKind, vi: &[f64], vn: &[f64]) -> PairGrads {
+    let x = -vector::dot(vn, vi);
+    let c = kind.neg_log_grad(x);
+    PairGrads {
+        first: vn.iter().map(|&v| -c * v).collect(),
+        second: vi.iter().map(|&v| -c * v).collect(),
+    }
+}
+
+/// AdvSGM's Theorem-6 update direction for one pair *before* clipping:
+/// `dL_sgm/dv + v'` (the adaptive weight `lambda = 1/S` has already
+/// cancelled the sigmoid factor, leaving the bare fake neighbor).
+pub fn advsgm_augment(sgm_grad: &mut [f64], fake: &[f64]) {
+    vector::add_assign(sgm_grad, fake);
+}
+
+/// DP-ASGM's *real* adversarial gradient contribution for one side of a
+/// pair (Eq. 11 generalised to any link `S`): adds
+/// `lambda * S'(s)/(1 - S(s)) * v'` to `sgm_grad`, where
+/// `s = v . v'` is the discriminant argument.
+pub fn dpasgm_augment(
+    kind: SigmoidKind,
+    lambda: f64,
+    real: &[f64],
+    fake: &[f64],
+    sgm_grad: &mut [f64],
+) {
+    let s = vector::dot(real, fake);
+    let coeff = lambda * kind.neg_log_one_minus_grad(s);
+    vector::axpy(coeff, fake, sgm_grad);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fd_check(loss: impl Fn(&[f64], &[f64]) -> f64, grads: &PairGrads, a: &[f64], b: &[f64]) {
+        let h = 1e-6;
+        for d in 0..a.len() {
+            let mut ap = a.to_vec();
+            ap[d] += h;
+            let mut am = a.to_vec();
+            am[d] -= h;
+            let fd = (loss(&ap, b) - loss(&am, b)) / (2.0 * h);
+            assert!(
+                (fd - grads.first[d]).abs() < 1e-5,
+                "first[{d}]: fd={fd} an={}",
+                grads.first[d]
+            );
+        }
+        for d in 0..b.len() {
+            let mut bp = b.to_vec();
+            bp[d] += h;
+            let mut bm = b.to_vec();
+            bm[d] -= h;
+            let fd = (loss(a, &bp) - loss(a, &bm)) / (2.0 * h);
+            assert!(
+                (fd - grads.second[d]).abs() < 1e-5,
+                "second[{d}]: fd={fd} an={}",
+                grads.second[d]
+            );
+        }
+    }
+
+    #[test]
+    fn positive_grads_match_fd_plain_and_constrained() {
+        let vi = [0.3, -0.2, 0.5];
+        let vj = [-0.1, 0.4, 0.2];
+        for kind in [SigmoidKind::Plain, SigmoidKind::paper_constrained()] {
+            let g = sgm_positive_grads(kind, &vi, &vj);
+            fd_check(|a, b| -kind.log_value(vector::dot(a, b)), &g, &vi, &vj);
+        }
+    }
+
+    #[test]
+    fn negative_grads_match_fd() {
+        let vi = [0.3, -0.2, 0.5];
+        let vn = [0.6, 0.1, -0.4];
+        for kind in [SigmoidKind::Plain, SigmoidKind::paper_constrained()] {
+            let g = sgm_negative_grads(kind, &vi, &vn);
+            fd_check(|a, b| -kind.log_value(-vector::dot(b, a)), &g, &vi, &vn);
+        }
+    }
+
+    #[test]
+    fn positive_gradient_pulls_pair_together() {
+        // Descent on -ln S(v_i . v_j) must increase the inner product.
+        let kind = SigmoidKind::Plain;
+        let vi = [0.1, 0.1];
+        let vj = [0.2, -0.1];
+        let g = sgm_positive_grads(kind, &vi, &vj);
+        let eta = 0.1;
+        let ni: Vec<f64> = vi
+            .iter()
+            .zip(&g.first)
+            .map(|(v, gr)| v - eta * gr)
+            .collect();
+        let nj: Vec<f64> = vj
+            .iter()
+            .zip(&g.second)
+            .map(|(v, gr)| v - eta * gr)
+            .collect();
+        assert!(vector::dot(&ni, &nj) > vector::dot(&vi, &vj));
+    }
+
+    #[test]
+    fn negative_gradient_pushes_pair_apart() {
+        let kind = SigmoidKind::Plain;
+        let vi = [0.4, 0.1];
+        let vn = [0.3, 0.2];
+        let g = sgm_negative_grads(kind, &vi, &vn);
+        let eta = 0.1;
+        let ni: Vec<f64> = vi
+            .iter()
+            .zip(&g.first)
+            .map(|(v, gr)| v - eta * gr)
+            .collect();
+        let nn: Vec<f64> = vn
+            .iter()
+            .zip(&g.second)
+            .map(|(v, gr)| v - eta * gr)
+            .collect();
+        assert!(vector::dot(&ni, &nn) < vector::dot(&vi, &vn));
+    }
+
+    #[test]
+    fn advsgm_augment_adds_fake_verbatim() {
+        let mut g = vec![0.1, 0.2];
+        advsgm_augment(&mut g, &[1.0, -1.0]);
+        assert_eq!(g, vec![1.1, -0.8]);
+    }
+
+    #[test]
+    fn dpasgm_augment_matches_fd() {
+        // Loss side: lambda * -ln(1 - S(v . v')) as a function of v.
+        let kind = SigmoidKind::Plain;
+        let lambda = 0.7;
+        let v = [0.2, -0.3, 0.4];
+        let fake = [0.5, 0.5, 0.1];
+        let mut g = vec![0.0; 3];
+        dpasgm_augment(kind, lambda, &v, &fake, &mut g);
+        let loss = |v: &[f64]| -lambda * (1.0 - kind.value(vector::dot(v, &fake))).ln();
+        let h = 1e-6;
+        for d in 0..3 {
+            let mut vp = v.to_vec();
+            vp[d] += h;
+            let mut vm = v.to_vec();
+            vm[d] -= h;
+            let fd = (loss(&vp) - loss(&vm)) / (2.0 * h);
+            assert!((fd - g[d]).abs() < 1e-5, "[{d}] fd={fd} an={}", g[d]);
+        }
+    }
+
+    #[test]
+    fn theorem6_identity_inverse_weight_cancels_sigmoid() {
+        // lambda = 1/S(s) times the plain-sigmoid adversarial gradient
+        // coefficient S(s) gives exactly 1 — the fake neighbor passes
+        // through unscaled (the heart of Theorem 6).
+        let kind = SigmoidKind::Plain;
+        let v = [0.2, -0.1];
+        let fake = [0.3, 0.4];
+        let s = vector::dot(&v, &fake);
+        let lambda = kind.inverse_weight(s);
+        let mut g1 = vec![0.0; 2];
+        dpasgm_augment(kind, lambda, &v, &fake, &mut g1);
+        // Must equal plain advsgm_augment of a zero gradient.
+        let mut g2 = vec![0.0; 2];
+        advsgm_augment(&mut g2, &fake);
+        for d in 0..2 {
+            assert!(
+                (g1[d] - g2[d]).abs() < 1e-12,
+                "[{d}] {} vs {}",
+                g1[d],
+                g2[d]
+            );
+        }
+    }
+}

@@ -1,0 +1,44 @@
+//! # advsgm-core
+//!
+//! AdvSGM — *Differentially Private Graph Learning via Adversarial Skip-gram
+//! Model* (ICDE 2025) — implemented from scratch, together with every
+//! skip-gram variant the paper evaluates against:
+//!
+//! | Variant | Paper section | DP | Adversarial |
+//! |---|---|---|---|
+//! | `Sgm` (LINE)        | Eq. (2), "SGM (No DP)"   | –   | –   |
+//! | `DpSgm`             | "DP-SGM" (DPSGD)         | yes | –   |
+//! | `DpAsgm`            | Section III-B first cut  | yes | yes |
+//! | `AdvSgm`            | Section IV (contribution)| yes | yes |
+//! | `AdvSgmNoDp`        | "AdvSGM (No DP)"         | –   | yes |
+//!
+//! The heart of the crate is [`trainer::Trainer`], a literal implementation
+//! of Algorithm 3: alternating discriminator/generator optimisation, the
+//! optimizable noise terms of Eq. (13), the Theorem-6 gradient identity
+//! `grad = clip(dL_sgm/dv + v') + N(C^2 sigma^2 I)`, per-batch privacy
+//! accounting through `advsgm-privacy`, and the stopping rule of lines 9–11.
+//!
+//! Gradients are analytic (the model is two embedding matrices plus two
+//! one-layer generators), so there is no autograd dependency; see [`grad`]
+//! for the derivations cross-checked against finite differences in tests.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod error;
+pub mod grad;
+pub mod loss;
+pub mod model;
+pub mod sampler;
+pub mod sigmoid;
+pub mod trainer;
+pub mod variants;
+pub mod weighting;
+
+pub use config::AdvSgmConfig;
+pub use error::CoreError;
+pub use sigmoid::SigmoidKind;
+pub use trainer::{TrainOutcome, Trainer};
+pub use variants::ModelVariant;
+pub use weighting::WeightMode;

@@ -1,0 +1,221 @@
+//! Loss evaluation (Eqs. 2, 13, 16/24, 17) and the Fig. 2 metric.
+//!
+//! Training never materialises these losses (the gradients in [`crate::grad`]
+//! are closed-form), but Fig. 2's weight-setting study and the trainer's
+//! per-epoch diagnostics evaluate `|L^D_Nov|` directly.
+
+use advsgm_graph::sampling::negative::NegativePair;
+use advsgm_graph::Edge;
+use advsgm_linalg::rng::gaussian_vec;
+use advsgm_linalg::vector;
+use rand::Rng;
+
+use crate::model::{Embeddings, GeneratorPair};
+use crate::sigmoid::SigmoidKind;
+use crate::weighting::WeightMode;
+
+/// `-ln S(v_i . v_j)` — the positive skip-gram term as a minimisation.
+pub fn sgm_positive_loss(kind: SigmoidKind, vi: &[f64], vj: &[f64]) -> f64 {
+    -kind.log_value(vector::dot(vi, vj))
+}
+
+/// `-ln S(-(v_n . v_i))` — one negative-sample term.
+pub fn sgm_negative_loss(kind: SigmoidKind, vi: &[f64], vn: &[f64]) -> f64 {
+    -kind.log_value(-vector::dot(vn, vi))
+}
+
+/// `-ln(1 - S(arg))` — one adversarial discriminator term (Eq. 13).
+pub fn adversarial_term_loss(kind: SigmoidKind, arg: f64) -> f64 {
+    let s = kind.value(arg);
+    -(1.0 - s).ln()
+}
+
+/// `ln(1 - S(arg))` — one generator term (Eq. 17; minimised).
+pub fn generator_term_loss(kind: SigmoidKind, arg: f64) -> f64 {
+    (1.0 - kind.value(arg)).ln()
+}
+
+/// Evaluates the novel discriminator loss `L_Nov` (Eq. 24) on one batch:
+/// the skip-gram part over `positives`/`negatives` plus the weighted
+/// adversarial parts with fresh fake neighbors and noise draws
+/// (`noise_std = C * sigma`; pass 0 for the no-DP configuration).
+///
+/// Returns the batch-mean loss; Fig. 2 reports its absolute value.
+#[allow(clippy::too_many_arguments)]
+pub fn novel_loss_batch(
+    kind: SigmoidKind,
+    mode: WeightMode,
+    emb: &Embeddings,
+    gens: &GeneratorPair,
+    positives: &[Edge],
+    negatives: &[NegativePair],
+    noise_std: f64,
+    rng: &mut impl Rng,
+) -> f64 {
+    assert!(!positives.is_empty(), "need at least one positive pair");
+    let r = emb.dim();
+    let mut sgm = 0.0;
+    let mut adv = 0.0;
+    // Per-batch noise vectors, as in the trainer (zero when noise_std = 0).
+    let n1 = gaussian_vec(rng, noise_std.max(0.0), r);
+    let n2 = gaussian_vec(rng, noise_std.max(0.0), r);
+    for e in positives {
+        let vi = emb.input(e.u().index());
+        let vj = emb.output(e.v().index());
+        sgm += sgm_positive_loss(kind, vi, vj);
+        // Adversarial terms with fresh fakes (Eq. 13).
+        let fake_j = gens.for_i.generate(e.v().index(), rng).v;
+        let fake_i = gens.for_j.generate(e.u().index(), rng).v;
+        let arg1 = vector::dot(vi, &fake_j) + vector::dot(&n1, vi);
+        let arg2 = vector::dot(&fake_i, vj) + vector::dot(&n2, vj);
+        adv += mode.lambda(kind, arg1) * adversarial_term_loss(kind, arg1);
+        adv += mode.lambda(kind, arg2) * adversarial_term_loss(kind, arg2);
+    }
+    for p in negatives {
+        let vi = emb.input(p.source.index());
+        let vn = emb.output(p.negative.index());
+        sgm += sgm_negative_loss(kind, vi, vn);
+    }
+    (sgm + adv) / positives.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use advsgm_graph::NodeId;
+    use advsgm_linalg::rng::seeded;
+
+    fn fixture() -> (Embeddings, GeneratorPair) {
+        let mut rng = seeded(7);
+        (
+            Embeddings::init(10, 8, &mut rng),
+            GeneratorPair::new(10, 8, &mut rng),
+        )
+    }
+
+    #[test]
+    fn positive_loss_decreases_with_alignment() {
+        let kind = SigmoidKind::Plain;
+        let a = [1.0, 0.0];
+        let b = [1.0, 0.0];
+        let c = [-1.0, 0.0];
+        assert!(sgm_positive_loss(kind, &a, &b) < sgm_positive_loss(kind, &a, &c));
+    }
+
+    #[test]
+    fn negative_loss_decreases_with_separation() {
+        let kind = SigmoidKind::Plain;
+        let a = [1.0, 0.0];
+        let near = [1.0, 0.0];
+        let far = [-1.0, 0.0];
+        assert!(sgm_negative_loss(kind, &a, &far) < sgm_negative_loss(kind, &a, &near));
+    }
+
+    #[test]
+    fn adversarial_term_nonnegative() {
+        for kind in [SigmoidKind::Plain, SigmoidKind::paper_constrained()] {
+            for &x in &[-5.0, 0.0, 5.0] {
+                assert!(adversarial_term_loss(kind, x) >= 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn generator_loss_is_negated_adversarial() {
+        let kind = SigmoidKind::Plain;
+        for &x in &[-2.0, 0.0, 2.0] {
+            let g = generator_term_loss(kind, x);
+            let d = adversarial_term_loss(kind, x);
+            assert!((g + d).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn batch_loss_finite_and_deterministic_under_seed() {
+        let (emb, gens) = fixture();
+        let kind = SigmoidKind::paper_constrained();
+        let pos = vec![Edge::from_raw(0, 1), Edge::from_raw(2, 3)];
+        let negs = vec![NegativePair {
+            source: NodeId(0),
+            negative: NodeId(5),
+        }];
+        let l1 = novel_loss_batch(
+            kind,
+            WeightMode::InverseS,
+            &emb,
+            &gens,
+            &pos,
+            &negs,
+            5.0,
+            &mut seeded(11),
+        );
+        let l2 = novel_loss_batch(
+            kind,
+            WeightMode::InverseS,
+            &emb,
+            &gens,
+            &pos,
+            &negs,
+            5.0,
+            &mut seeded(11),
+        );
+        assert!(l1.is_finite());
+        assert_eq!(l1, l2);
+    }
+
+    #[test]
+    fn weight_modes_give_different_losses() {
+        let (emb, gens) = fixture();
+        let kind = SigmoidKind::paper_constrained();
+        let pos = vec![Edge::from_raw(0, 1)];
+        let negs = vec![];
+        let l_half = novel_loss_batch(
+            kind,
+            WeightMode::Fixed(0.5),
+            &emb,
+            &gens,
+            &pos,
+            &negs,
+            0.0,
+            &mut seeded(3),
+        );
+        let l_one = novel_loss_batch(
+            kind,
+            WeightMode::Fixed(1.0),
+            &emb,
+            &gens,
+            &pos,
+            &negs,
+            0.0,
+            &mut seeded(3),
+        );
+        let l_inv = novel_loss_batch(
+            kind,
+            WeightMode::InverseS,
+            &emb,
+            &gens,
+            &pos,
+            &negs,
+            0.0,
+            &mut seeded(3),
+        );
+        assert!(l_half < l_one, "larger lambda must weigh adversarial more");
+        assert!(l_one < l_inv, "1/S exceeds 1 for the constrained sigmoid");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one positive")]
+    fn empty_batch_rejected() {
+        let (emb, gens) = fixture();
+        novel_loss_batch(
+            SigmoidKind::Plain,
+            WeightMode::InverseS,
+            &emb,
+            &gens,
+            &[],
+            &[],
+            0.0,
+            &mut seeded(1),
+        );
+    }
+}

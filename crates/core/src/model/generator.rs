@@ -1,0 +1,258 @@
+//! The generator `G` (Section II-B.1 and Eq. 17).
+//!
+//! `G` holds two sub-generators: `G_{v'_j}` fakes a neighbor *of node `j`*
+//! (paired with the real node `v_i`), and `G_{v'_i}` fakes one of node `i`.
+//! Following the paper's description that the optimizable noise terms
+//! "correspond to the parameters of a skip-gram" and that Algorithm 3
+//! generates fake neighbors "for each node", each sub-generator keeps a
+//! **per-node parameter table** `theta in R^{|V| x r}` — the same shape as
+//! `W_in`/`W_out` — and produces
+//!
+//! ```text
+//! v'_t = phi(theta_t + z),   z ~ N(0, sigma_z^2 I_r),
+//! ```
+//!
+//! a noise-driven stochastic embedding of node `t` (`phi` = sigmoid).
+//! Training minimises Eq. (17): make the discriminator believe fake pairs
+//! are real, which aligns `phi(theta_t)` with the embeddings of `t`'s
+//! actual partners. The generator's privacy is argued by post-processing
+//! (Theorem 2).
+
+use advsgm_linalg::activations::sigmoid;
+use advsgm_linalg::rng::gaussian_vec;
+use advsgm_linalg::DenseMatrix;
+use rand::Rng;
+
+/// Latent-noise standard deviation for fake generation.
+///
+/// The paper writes `N_G(sigma^2 I)` with the DP noise multiplier, but a
+/// sigmoid driven by std-5 noise saturates almost everywhere and the fake
+/// distribution stops depending on `theta`; unit noise keeps the generator
+/// expressive. (The privacy-relevant `C^2 sigma^2` noise enters through the
+/// activation arguments `N.v` of Eqs. 13/17, not here.)
+const LATENT_STD: f64 = 1.0;
+
+/// Initial bias of the generator tables: fakes start near
+/// `sigmoid(-2) ~ 0.12` per coordinate, i.e. with norms comparable to the
+/// clipped skip-gram gradients they are added to (Theorem 6), instead of
+/// the `0.5 sqrt(r)`-norm fakes a zero init would produce.
+const INIT_BIAS: f64 = -2.0;
+
+/// One per-node fake-neighbor generator: `v'_t = phi(theta_t + z)`.
+#[derive(Debug, Clone)]
+pub struct Generator {
+    theta: DenseMatrix,
+}
+
+/// A sampled fake neighbor with the intermediates needed for backprop.
+#[derive(Debug, Clone)]
+pub struct FakeNeighbor {
+    /// The node whose neighbor is being faked.
+    pub node: usize,
+    /// The generated embedding `v' = phi(theta_node + z)` (entries in (0,1)).
+    pub v: Vec<f64>,
+}
+
+impl Generator {
+    /// Creates a generator table for `num_nodes` nodes of dimension `r`.
+    pub fn new(num_nodes: usize, dim: usize, rng: &mut impl Rng) -> Self {
+        let mut theta = DenseMatrix::zeros(num_nodes, dim);
+        for v in theta.as_mut_slice().iter_mut() {
+            *v = INIT_BIAS + 0.1 * advsgm_linalg::rng::gaussian(rng, 1.0);
+        }
+        Self { theta }
+    }
+
+    /// Embedding dimension `r`.
+    pub fn dim(&self) -> usize {
+        self.theta.cols()
+    }
+
+    /// Number of nodes covered.
+    pub fn num_nodes(&self) -> usize {
+        self.theta.rows()
+    }
+
+    /// Samples one fake neighbor of `node`.
+    pub fn generate(&self, node: usize, rng: &mut impl Rng) -> FakeNeighbor {
+        let z = gaussian_vec(rng, LATENT_STD, self.dim());
+        let v = self
+            .theta
+            .row(node)
+            .iter()
+            .zip(&z)
+            .map(|(&t, &zi)| sigmoid(t + zi))
+            .collect();
+        FakeNeighbor { node, v }
+    }
+
+    /// The deterministic center `phi(theta_node)` of a node's fakes
+    /// (used by diagnostics/tests).
+    pub fn center(&self, node: usize) -> Vec<f64> {
+        self.theta.row(node).iter().map(|&t| sigmoid(t)).collect()
+    }
+
+    /// Accumulates `dL/dtheta_node` for one sample into the sparse buffer:
+    /// `dL/dtheta = upstream .* v'(1 - v')` (the latent draw enters
+    /// additively, so the Jacobian w.r.t. `theta` equals the one w.r.t. the
+    /// pre-activation).
+    pub fn accumulate_grad(
+        &self,
+        sample: &FakeNeighbor,
+        upstream: &[f64],
+        grads: &mut std::collections::HashMap<usize, (Vec<f64>, usize)>,
+    ) {
+        debug_assert_eq!(upstream.len(), self.dim());
+        let delta: Vec<f64> = upstream
+            .iter()
+            .zip(&sample.v)
+            .map(|(&g, &v)| g * v * (1.0 - v))
+            .collect();
+        match grads.get_mut(&sample.node) {
+            Some((sum, c)) => {
+                advsgm_linalg::vector::add_assign(sum, &delta);
+                *c += 1;
+            }
+            None => {
+                grads.insert(sample.node, (delta, 1));
+            }
+        }
+    }
+
+    /// Applies per-row descent steps `theta_t -= eta * grad_t / count_t`.
+    pub fn step(&mut self, eta: f64, grads: &std::collections::HashMap<usize, (Vec<f64>, usize)>) {
+        for (&node, (g, c)) in grads {
+            let row = self.theta.row_mut(node);
+            let inv = 1.0 / (*c).max(1) as f64;
+            for (p, gv) in row.iter_mut().zip(g) {
+                *p -= eta * gv * inv;
+            }
+        }
+    }
+
+    /// Read-only parameter view (for tests/inspection).
+    pub fn weights(&self) -> &DenseMatrix {
+        &self.theta
+    }
+}
+
+/// The two generators of the paper's architecture.
+#[derive(Debug, Clone)]
+pub struct GeneratorPair {
+    /// `G_{v'_j}`: fakes neighbors of the *output-side* node (paired with
+    /// the real input-side node `v_i`).
+    pub for_i: Generator,
+    /// `G_{v'_i}`: fakes neighbors of the *input-side* node (paired with
+    /// the real output-side node `v_j`).
+    pub for_j: Generator,
+}
+
+impl GeneratorPair {
+    /// Creates both generator tables.
+    pub fn new(num_nodes: usize, dim: usize, rng: &mut impl Rng) -> Self {
+        Self {
+            for_i: Generator::new(num_nodes, dim, rng),
+            for_j: Generator::new(num_nodes, dim, rng),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use advsgm_linalg::rng::seeded;
+    use advsgm_linalg::vector;
+    use std::collections::HashMap;
+
+    #[test]
+    fn generated_entries_in_unit_interval_with_small_init_norm() {
+        let mut rng = seeded(1);
+        let g = Generator::new(10, 16, &mut rng);
+        let f = g.generate(3, &mut rng);
+        assert_eq!(f.node, 3);
+        assert_eq!(f.v.len(), 16);
+        assert!(f.v.iter().all(|&x| x > 0.0 && x < 1.0));
+        // Initial fakes are deliberately small-norm (INIT_BIAS = -2).
+        assert!(
+            vector::norm2(&f.v) < 0.5 * (16.0f64).sqrt(),
+            "norm too large"
+        );
+    }
+
+    #[test]
+    fn different_draws_differ_but_share_center() {
+        let mut rng = seeded(2);
+        let g = Generator::new(4, 8, &mut rng);
+        let a = g.generate(1, &mut rng);
+        let b = g.generate(1, &mut rng);
+        assert_ne!(a.v, b.v);
+        // Monte-Carlo mean approaches the deterministic center.
+        let mut mean = vec![0.0; 8];
+        let n = 4000;
+        for _ in 0..n {
+            vector::add_assign(&mut mean, &g.generate(1, &mut rng).v);
+        }
+        vector::scale(&mut mean, 1.0 / n as f64);
+        let center = g.center(1);
+        for d in 0..8 {
+            // The sigmoid of a Gaussian is biased toward 0.5 relative to
+            // sigmoid(mean), so compare loosely.
+            assert!((mean[d] - center[d]).abs() < 0.1, "d={d}");
+        }
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference() {
+        // L = sum(v') for a fixed latent draw; check dL/dtheta numerically.
+        let mut rng = seeded(3);
+        let mut g = Generator::new(3, 4, &mut rng);
+        // Reconstruct a sample with a known z by generating then inverting:
+        // easier to test through the public API with zero latent noise is
+        // not possible, so use the chain rule identity directly: for the
+        // sampled v', dL/dtheta = upstream .* v'(1-v') at that draw.
+        let f = g.generate(2, &mut rng);
+        let mut grads = HashMap::new();
+        g.accumulate_grad(&f, &[1.0; 4], &mut grads);
+        let (gv, c) = &grads[&2];
+        assert_eq!(*c, 1);
+        for (d, (&g_val, &v_val)) in gv.iter().zip(&f.v).enumerate() {
+            let expected = v_val * (1.0 - v_val);
+            assert!((g_val - expected).abs() < 1e-12, "d={d}");
+        }
+        // Step moves theta opposite the gradient.
+        let before = g.weights().get(2, 0);
+        g.step(0.5, &grads);
+        let after = g.weights().get(2, 0);
+        assert!(after < before);
+    }
+
+    #[test]
+    fn training_aligns_center_with_target() {
+        // Repeatedly push fakes of node 0 toward a target direction using
+        // the generator-loss upstream -F * target; the center must align.
+        let mut rng = seeded(4);
+        let mut g = Generator::new(2, 6, &mut rng);
+        let target = vec![1.0, 1.0, 1.0, 0.0, 0.0, 0.0];
+        let before = vector::cosine(&g.center(0), &target);
+        for _ in 0..300 {
+            let f = g.generate(0, &mut rng);
+            let s = vector::dot(&f.v, &target);
+            let coeff = -advsgm_linalg::activations::sigmoid(s); // d log(1-F)/ds
+            let upstream: Vec<f64> = target.iter().map(|&t| coeff * t).collect();
+            let mut grads = HashMap::new();
+            g.accumulate_grad(&f, &upstream, &mut grads);
+            g.step(0.5, &grads);
+        }
+        let after = vector::cosine(&g.center(0), &target);
+        assert!(after > before, "cosine {before} -> {after} did not improve");
+        assert!(after > 0.8, "alignment too weak: {after}");
+    }
+
+    #[test]
+    fn pair_has_independent_tables() {
+        let mut rng = seeded(5);
+        let p = GeneratorPair::new(4, 4, &mut rng);
+        assert_ne!(p.for_i.weights(), p.for_j.weights());
+        assert_eq!(p.for_i.num_nodes(), 4);
+    }
+}

@@ -1,0 +1,7 @@
+//! Model state: embedding matrices and generators.
+
+pub mod embeddings;
+pub mod generator;
+
+pub use embeddings::Embeddings;
+pub use generator::{Generator, GeneratorPair};

@@ -1,0 +1,121 @@
+//! Batch provisioning (Algorithm 2 glue).
+//!
+//! Bundles the graph substrate's edge and negative samplers and exposes the
+//! two subsampling probabilities Theorem 7 needs: `gamma_pos = B/|E|` and
+//! `gamma_neg = B k/|V|`.
+
+use advsgm_graph::sampling::edge_sampler::EdgeBatchSampler;
+use advsgm_graph::sampling::negative::{NegativeDistribution, NegativePair, NegativeSampler};
+use advsgm_graph::{Edge, Graph, GraphError};
+use rand::Rng;
+
+/// Produces the paper's positive and negative batches.
+#[derive(Debug, Clone)]
+pub struct BatchProvider {
+    edges: EdgeBatchSampler,
+    negatives: NegativeSampler,
+    batch: usize,
+    k: usize,
+}
+
+impl BatchProvider {
+    /// Creates a provider for `graph`, clamping the batch size to `|E|`.
+    ///
+    /// # Errors
+    /// Propagates sampler construction failures (empty graph).
+    pub fn new(
+        graph: &Graph,
+        batch: usize,
+        k: usize,
+        dist: NegativeDistribution,
+    ) -> Result<Self, GraphError> {
+        let edges = EdgeBatchSampler::new(graph.num_edges())?;
+        let negatives = NegativeSampler::new(graph, dist)?;
+        Ok(Self {
+            edges,
+            negatives,
+            batch: batch.min(graph.num_edges()),
+            k,
+        })
+    }
+
+    /// Effective batch size `B` (after clamping).
+    pub fn batch_size(&self) -> usize {
+        self.batch
+    }
+
+    /// Negative sampling number `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Algorithm 2 line 1: `B` edges uniformly without replacement.
+    ///
+    /// # Errors
+    /// Propagates sampling failures.
+    pub fn positives(
+        &mut self,
+        graph: &Graph,
+        rng: &mut impl Rng,
+    ) -> Result<Vec<Edge>, GraphError> {
+        self.edges.sample_edges(graph, self.batch, rng)
+    }
+
+    /// Algorithm 2 lines 2–8: `B k` negative pairs for the given positives.
+    pub fn negatives(&self, positives: &[Edge], rng: &mut impl Rng) -> Vec<NegativePair> {
+        self.negatives.sample_for_batch(positives, self.k, rng)
+    }
+
+    /// Negative pairs for explicit (already oriented) source nodes.
+    pub fn negatives_for_sources(
+        &self,
+        sources: &[advsgm_graph::NodeId],
+        rng: &mut impl Rng,
+    ) -> Vec<NegativePair> {
+        self.negatives.sample_for_sources(sources, self.k, rng)
+    }
+
+    /// `gamma_pos = B / |E|`.
+    pub fn gamma_pos(&self) -> f64 {
+        self.edges.sampling_probability(self.batch)
+    }
+
+    /// `gamma_neg = B k / |V|` (the accountant clamps values above 1).
+    pub fn gamma_neg(&self) -> f64 {
+        self.negatives.sampling_probability(self.batch, self.k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use advsgm_graph::generators::classic::karate_club;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn batch_clamped_to_edge_count() {
+        let g = karate_club(); // 78 edges
+        let p = BatchProvider::new(&g, 1000, 5, NegativeDistribution::Uniform).unwrap();
+        assert_eq!(p.batch_size(), 78);
+    }
+
+    #[test]
+    fn gammas_match_theorem7() {
+        let g = karate_club();
+        let p = BatchProvider::new(&g, 10, 5, NegativeDistribution::Uniform).unwrap();
+        assert!((p.gamma_pos() - 10.0 / 78.0).abs() < 1e-12);
+        assert!((p.gamma_neg() - 50.0 / 34.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn batches_have_prescribed_sizes() {
+        let g = karate_club();
+        let mut p = BatchProvider::new(&g, 10, 3, NegativeDistribution::Uniform).unwrap();
+        let mut rng = SmallRng::seed_from_u64(1);
+        let pos = p.positives(&g, &mut rng).unwrap();
+        assert_eq!(pos.len(), 10);
+        let negs = p.negatives(&pos, &mut rng);
+        assert_eq!(negs.len(), 30);
+    }
+}

@@ -1,0 +1,152 @@
+//! The link function: plain vs constrained sigmoid.
+//!
+//! Remark 2 of the paper: the skip-gram link `sigma(.)`, the discriminant
+//! `F(.)`, and the generator activation `phi(.)` are all logistic sigmoids.
+//! Section IV-C swaps `sigma`/`F` for the constrained sigmoid `S(x)` so the
+//! adaptive weight `lambda = 1/S(.)` stays bounded. This enum lets every
+//! loss/gradient routine work with either.
+
+use advsgm_linalg::activations::{log_sigmoid, sigmoid, ConstrainedSigmoid};
+
+/// Which sigmoid the discriminator uses.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SigmoidKind {
+    /// The ordinary logistic sigmoid (SGM / DP-SGM / DP-ASGM).
+    Plain,
+    /// The paper's constrained sigmoid with exponential clipping bounds
+    /// `(a, b)` (AdvSGM; Section IV-C).
+    Constrained(ConstrainedSigmoid),
+}
+
+impl SigmoidKind {
+    /// Paper-default constrained sigmoid (`a = 1e-5`, `b = 120`).
+    pub fn paper_constrained() -> Self {
+        SigmoidKind::Constrained(ConstrainedSigmoid::PAPER_DEFAULT)
+    }
+
+    /// Constrained sigmoid with explicit bounds.
+    pub fn constrained(a: f64, b: f64) -> Self {
+        SigmoidKind::Constrained(ConstrainedSigmoid::new(a, b))
+    }
+
+    /// `S(x)` — the link value in (0, 1).
+    #[inline]
+    pub fn value(&self, x: f64) -> f64 {
+        match self {
+            SigmoidKind::Plain => sigmoid(x),
+            SigmoidKind::Constrained(s) => s.eval(x),
+        }
+    }
+
+    /// `ln S(x)`, numerically stable.
+    #[inline]
+    pub fn log_value(&self, x: f64) -> f64 {
+        match self {
+            SigmoidKind::Plain => log_sigmoid(x),
+            SigmoidKind::Constrained(s) => s.eval(x).ln(),
+        }
+    }
+
+    /// `dS/dx`.
+    #[inline]
+    pub fn derivative(&self, x: f64) -> f64 {
+        match self {
+            SigmoidKind::Plain => {
+                let s = sigmoid(x);
+                s * (1.0 - s)
+            }
+            SigmoidKind::Constrained(s) => s.derivative(x),
+        }
+    }
+
+    /// The coefficient `-d/dx ln S(x) = -S'(x)/S(x)` (a negative number
+    /// whose magnitude shrinks as the pair is already well classified);
+    /// gradient of the skip-gram loss `-ln S(x)` w.r.t. its argument.
+    #[inline]
+    pub fn neg_log_grad(&self, x: f64) -> f64 {
+        match self {
+            SigmoidKind::Plain => sigmoid(x) - 1.0, // -(1 - sigma(x))
+            SigmoidKind::Constrained(s) => {
+                let v = s.eval(x);
+                -s.derivative(x) / v
+            }
+        }
+    }
+
+    /// `d/dx [-ln(1 - S(x))] = S'(x)/(1 - S(x))`; gradient coefficient of
+    /// the adversarial loss terms in Eq. (13). For the plain sigmoid this
+    /// is exactly `sigma(x)`.
+    #[inline]
+    pub fn neg_log_one_minus_grad(&self, x: f64) -> f64 {
+        match self {
+            SigmoidKind::Plain => sigmoid(x),
+            SigmoidKind::Constrained(s) => {
+                let v = s.eval(x);
+                s.derivative(x) / (1.0 - v)
+            }
+        }
+    }
+
+    /// The paper's adaptive weight `lambda = 1/S(x)` (Theorem 6).
+    #[inline]
+    pub fn inverse_weight(&self, x: f64) -> f64 {
+        1.0 / self.value(x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_matches_known_values() {
+        let s = SigmoidKind::Plain;
+        assert!((s.value(0.0) - 0.5).abs() < 1e-12);
+        assert!((s.neg_log_grad(0.0) + 0.5).abs() < 1e-12);
+        assert!((s.neg_log_one_minus_grad(0.0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn neg_log_grad_is_gradient_of_neg_log_s() {
+        for kind in [SigmoidKind::Plain, SigmoidKind::paper_constrained()] {
+            for &x in &[-3.0, -0.5, 0.0, 0.5, 3.0] {
+                let h = 1e-6;
+                let fd = (-kind.log_value(x + h) + kind.log_value(x - h)) / (2.0 * h);
+                let an = kind.neg_log_grad(x);
+                assert!((fd - an).abs() < 1e-5, "{kind:?} x={x}: fd={fd} an={an}");
+            }
+        }
+    }
+
+    #[test]
+    fn neg_log_one_minus_grad_matches_fd() {
+        for kind in [SigmoidKind::Plain, SigmoidKind::paper_constrained()] {
+            for &x in &[-2.0, 0.0, 2.0] {
+                let h = 1e-6;
+                let f = |x: f64| -(1.0 - kind.value(x)).ln();
+                let fd = (f(x + h) - f(x - h)) / (2.0 * h);
+                let an = kind.neg_log_one_minus_grad(x);
+                assert!((fd - an).abs() < 1e-5, "{kind:?} x={x}: fd={fd} an={an}");
+            }
+        }
+    }
+
+    #[test]
+    fn constrained_weight_bounded() {
+        let kind = SigmoidKind::paper_constrained();
+        for &x in &[-1e6, -10.0, 0.0, 10.0, 1e6] {
+            let l = kind.inverse_weight(x);
+            assert!(
+                (1.0..=122.0).contains(&l),
+                "lambda {l} out of range at x={x}"
+            );
+        }
+    }
+
+    #[test]
+    fn plain_weight_unbounded_above_one() {
+        let kind = SigmoidKind::Plain;
+        assert!(kind.inverse_weight(-20.0) > 1e8);
+        assert!(kind.inverse_weight(20.0) >= 1.0);
+    }
+}

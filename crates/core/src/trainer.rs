@@ -1,0 +1,654 @@
+//! Algorithm 3: the AdvSGM training loop.
+//!
+//! Per epoch: `n_D` discriminator iterations, each consuming one positive
+//! batch `EB` and one negative batch `EBk` as **separate** updates (the
+//! paper separates them so the two amplification probabilities `B/|E|` and
+//! `Bk/|V|` compose cleanly — Theorem 7), followed by `n_G` generator
+//! iterations. Private variants record every update with the RDP accountant
+//! and stop as soon as `delta_hat >= delta` at the target `epsilon`
+//! (lines 9–11).
+//!
+//! The discriminator update implements Theorem 6 literally: per pair the
+//! released direction is `clip(dL_sgm/dv + v') ` and a per-batch noise
+//! vector `N(0, (C sigma)^2 I)` rides along each summand, so a row touched
+//! `c` times receives `c * n` — summing to the paper's `N(B^2 C^2 sigma^2 I)`
+//! over the batch (Eqs. 22–23).
+
+use std::collections::HashMap;
+
+use advsgm_graph::sampling::negative::NegativePair;
+use advsgm_graph::Graph;
+use advsgm_linalg::rng::{derive_seed, gaussian_vec, seeded};
+use advsgm_linalg::vector;
+use advsgm_linalg::DenseMatrix;
+use advsgm_privacy::{PrivacyError, RdpAccountant};
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+use crate::config::AdvSgmConfig;
+use crate::error::CoreError;
+use crate::grad::{advsgm_augment, dpasgm_augment, sgm_negative_grads, sgm_positive_grads};
+use crate::loss::novel_loss_batch;
+use crate::model::{Embeddings, GeneratorPair};
+use crate::sampler::BatchProvider;
+use crate::sigmoid::SigmoidKind;
+use crate::variants::ModelVariant;
+use crate::weighting::WeightMode;
+
+/// The fixed adversarial weight DP-ASGM uses (`lambda` in Eq. 4; the paper
+/// notes `lambda in (0, 1]` is the common choice).
+const DPASGM_LAMBDA: f64 = 1.0;
+
+/// Result of one training run.
+#[derive(Debug, Clone)]
+pub struct TrainOutcome {
+    /// The released node vectors (`W_in`) — the embeddings used downstream.
+    pub node_vectors: DenseMatrix,
+    /// The context vectors (`W_out`), kept for completeness.
+    pub context_vectors: DenseMatrix,
+    /// Which variant produced this.
+    pub variant: ModelVariant,
+    /// Epochs fully completed.
+    pub epochs_run: usize,
+    /// Total discriminator updates applied (positive + negative batches).
+    pub disc_updates: u64,
+    /// Whether the privacy stopping rule ended training early.
+    pub stopped_by_budget: bool,
+    /// `epsilon` actually spent at the configured `delta` (private only).
+    pub epsilon_spent: Option<f64>,
+    /// `delta_hat` at the configured target `epsilon` (private only).
+    pub delta_spent: Option<f64>,
+    /// Per-epoch `|L_Nov|` diagnostics (Fig. 2's metric).
+    pub epoch_losses: Vec<f64>,
+}
+
+/// Trains one model variant on one graph (Algorithm 3).
+pub struct Trainer {
+    cfg: AdvSgmConfig,
+    kind: SigmoidKind,
+    emb: Embeddings,
+    gens: GeneratorPair,
+    provider: BatchProvider,
+    accountant: Option<RdpAccountant>,
+    rng: SmallRng,
+}
+
+/// One update's worth of pairs: `(input row, output row)` indices.
+/// Positive pairs are pre-oriented (each sampled undirected edge is given a
+/// uniformly random direction so every node trains both vector roles).
+enum PairBatch<'a> {
+    Positive(&'a [(usize, usize)]),
+    Negative(&'a [NegativePair]),
+}
+
+impl Trainer {
+    /// Builds a trainer; validates the configuration against the graph.
+    ///
+    /// # Errors
+    /// Configuration or sampler-construction failures.
+    pub fn new(graph: &Graph, cfg: AdvSgmConfig) -> Result<Self, CoreError> {
+        cfg.validate()?;
+        if graph.num_edges() == 0 {
+            return Err(CoreError::Config {
+                field: "graph",
+                reason: "cannot train on a graph with no edges".into(),
+            });
+        }
+        let kind = if cfg.variant.uses_constrained_sigmoid() {
+            SigmoidKind::constrained(cfg.sigmoid_a, cfg.sigmoid_b)
+        } else {
+            SigmoidKind::Plain
+        };
+        let mut rng = seeded(derive_seed(cfg.seed, 0xAD5));
+        let emb = Embeddings::init(graph.num_nodes(), cfg.dim, &mut rng);
+        let gens = GeneratorPair::new(graph.num_nodes(), cfg.dim, &mut rng);
+        let provider = BatchProvider::new(
+            graph,
+            cfg.batch_size,
+            cfg.negatives,
+            cfg.negative_distribution,
+        )?;
+        let accountant = cfg.variant.is_private().then(RdpAccountant::new);
+        Ok(Self {
+            cfg,
+            kind,
+            emb,
+            gens,
+            provider,
+            accountant,
+            rng,
+        })
+    }
+
+    /// The sigmoid used by this trainer (plain or constrained).
+    pub fn sigmoid(&self) -> SigmoidKind {
+        self.kind
+    }
+
+    /// Runs Algorithm 3 to completion (or budget exhaustion) and returns
+    /// the outcome.
+    ///
+    /// # Errors
+    /// Propagates substrate failures; budget exhaustion is *not* an error
+    /// (it sets [`TrainOutcome::stopped_by_budget`]).
+    pub fn run(mut self, graph: &Graph) -> Result<TrainOutcome, CoreError> {
+        let epochs = self.cfg.epochs;
+        let (stopped, epochs_run, disc_updates, epoch_losses) =
+            self.train_in_place(graph, epochs)?;
+        let (epsilon_spent, delta_spent) = match &self.accountant {
+            None => (None, None),
+            Some(acc) => (
+                Some(acc.epsilon(self.cfg.delta)?.0),
+                Some(acc.delta(self.cfg.epsilon)?),
+            ),
+        };
+        Ok(TrainOutcome {
+            context_vectors: self.emb.w_out().clone(),
+            node_vectors: self.emb.into_node_vectors(),
+            variant: self.cfg.variant,
+            epochs_run,
+            disc_updates,
+            stopped_by_budget: stopped,
+            epsilon_spent,
+            delta_spent,
+            epoch_losses,
+        })
+    }
+
+    /// Runs up to `epochs` epochs of Algorithm 3 without consuming the
+    /// trainer, returning `(stopped_by_budget, epochs_run, disc_updates,
+    /// epoch_losses)`. Used by the Fig. 2 harness, which needs to evaluate
+    /// losses on the trained state afterwards.
+    ///
+    /// # Errors
+    /// Propagates substrate failures.
+    pub fn train_in_place(
+        &mut self,
+        graph: &Graph,
+        epochs: usize,
+    ) -> Result<(bool, usize, u64, Vec<f64>), CoreError> {
+        let mut stopped = false;
+        let mut epochs_run = 0usize;
+        let mut disc_updates = 0u64;
+        let mut epoch_losses = Vec::with_capacity(epochs);
+
+        'training: for _epoch in 0..epochs {
+            for _ in 0..self.cfg.disc_iters {
+                // Positive batch EB, with random per-edge orientation.
+                let pos = self.provider.positives(graph, &mut self.rng)?;
+                let oriented: Vec<(usize, usize)> = pos
+                    .iter()
+                    .map(|e| {
+                        if self.rng.gen::<bool>() {
+                            (e.u().index(), e.v().index())
+                        } else {
+                            (e.v().index(), e.u().index())
+                        }
+                    })
+                    .collect();
+                self.disc_update(&PairBatch::Positive(&oriented));
+                disc_updates += 1;
+                if self.record_and_check(self.provider.gamma_pos())? {
+                    stopped = true;
+                    break 'training;
+                }
+                // Negative batch EBk, sourced from the oriented start nodes.
+                let sources: Vec<advsgm_graph::NodeId> = oriented
+                    .iter()
+                    .map(|&(i, _)| advsgm_graph::NodeId::from_index(i))
+                    .collect();
+                let negs = self.provider.negatives_for_sources(&sources, &mut self.rng);
+                self.disc_update(&PairBatch::Negative(&negs));
+                disc_updates += 1;
+                if self.record_and_check(self.provider.gamma_neg())? {
+                    stopped = true;
+                    break 'training;
+                }
+            }
+            if self.cfg.variant.is_adversarial() {
+                for _ in 0..self.cfg.gen_iters {
+                    self.generator_update(graph);
+                }
+            }
+            epochs_run += 1;
+            epoch_losses.push(self.epoch_loss(graph)?);
+        }
+        Ok((stopped, epochs_run, disc_updates, epoch_losses))
+    }
+
+    /// Records one mechanism invocation and evaluates the stopping rule.
+    /// Returns `true` when training must stop.
+    fn record_and_check(&mut self, gamma: f64) -> Result<bool, CoreError> {
+        let Some(acc) = self.accountant.as_mut() else {
+            return Ok(false);
+        };
+        acc.record_subsampled_gaussian(self.cfg.sigma, gamma, 1)?;
+        match acc.check_budget(self.cfg.epsilon, self.cfg.delta) {
+            Ok(()) => Ok(false),
+            Err(PrivacyError::BudgetExhausted { .. }) => Ok(true),
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    /// Per-coordinate std of the noise entering the applied gradients.
+    ///
+    /// DP-SGM / DP-ASGM: strict DPSGD calibration `C*sigma` (Abadi et al.;
+    /// Eqs. 5–6) — at `sigma = 5` this is destructive, which is exactly the
+    /// behaviour the paper's Table V shows for those baselines.
+    /// AdvSGM: the activation-argument reading, `C*sigma/r` per coordinate
+    /// (noise-vector norm ~ `C*sigma/sqrt(r)`), unless `faithful_noise`
+    /// requests the strict calibration (the ablation setting).
+    fn gradient_noise_std(&self) -> f64 {
+        let base = self.cfg.clip * self.cfg.sigma;
+        match self.cfg.variant {
+            ModelVariant::DpSgm | ModelVariant::DpAsgm => base,
+            ModelVariant::AdvSgm => {
+                if self.cfg.faithful_noise {
+                    base
+                } else {
+                    base / self.cfg.dim as f64
+                }
+            }
+            ModelVariant::Sgm | ModelVariant::AdvSgmNoDp => 0.0,
+        }
+    }
+
+    /// One discriminator update (Algorithm 3 line 8) over a batch.
+    fn disc_update(&mut self, batch: &PairBatch<'_>) {
+        let r = self.cfg.dim;
+        let variant = self.cfg.variant;
+        let clip = self.cfg.clip;
+        // Per-batch shared noise vectors (Theorem 6's N_{D,1}, N_{D,2}).
+        let noise_std = self.gradient_noise_std();
+        let n_in = gaussian_vec(&mut self.rng, noise_std, r);
+        let n_out = gaussian_vec(&mut self.rng, noise_std, r);
+
+        // Accumulate (sum of clipped per-pair grads, touch count) per row.
+        let mut acc_in: HashMap<usize, (Vec<f64>, usize)> = HashMap::new();
+        let mut acc_out: HashMap<usize, (Vec<f64>, usize)> = HashMap::new();
+        let count = match batch {
+            PairBatch::Positive(pairs) => pairs.len(),
+            PairBatch::Negative(pairs) => pairs.len(),
+        };
+        debug_assert!(count > 0, "empty batch");
+
+        // For the adversarial variants, sample all fake neighbors up front
+        // and (for AdvSGM) compute the batch-mean fakes: the augment uses
+        // the *centered* fake `v' - mean(v')` as a control variate, so the
+        // common component of the generator output (which would drift every
+        // touched row identically and crush the skip-gram signal inside the
+        // clip) cancels, while the per-node structure the generator learned
+        // passes through. Centering subtracts a pair-independent constant,
+        // so Theorem 6's sensitivity/noise argument is unchanged.
+        let adversarial = variant.is_adversarial();
+        let mut fakes_j: Vec<Vec<f64>> = Vec::new();
+        let mut fakes_i: Vec<Vec<f64>> = Vec::new();
+        let mut mean_j = vec![0.0; r];
+        let mut mean_i = vec![0.0; r];
+        if adversarial {
+            for idx in 0..count {
+                let (i, j) = match batch {
+                    PairBatch::Positive(pairs) => (pairs[idx].0, pairs[idx].1),
+                    PairBatch::Negative(pairs) => {
+                        (pairs[idx].source.index(), pairs[idx].negative.index())
+                    }
+                };
+                let fj = self.gens.for_i.generate(j, &mut self.rng).v;
+                let fi = self.gens.for_j.generate(i, &mut self.rng).v;
+                vector::add_assign(&mut mean_j, &fj);
+                vector::add_assign(&mut mean_i, &fi);
+                fakes_j.push(fj);
+                fakes_i.push(fi);
+            }
+            vector::scale(&mut mean_j, 1.0 / count as f64);
+            vector::scale(&mut mean_i, 1.0 / count as f64);
+        }
+
+        for idx in 0..count {
+            let (i, j, positive) = match batch {
+                PairBatch::Positive(pairs) => (pairs[idx].0, pairs[idx].1, true),
+                PairBatch::Negative(pairs) => (
+                    pairs[idx].source.index(),
+                    pairs[idx].negative.index(),
+                    false,
+                ),
+            };
+            let vi = self.emb.input(i);
+            let vj = self.emb.output(j);
+            let grads = if positive {
+                sgm_positive_grads(self.kind, vi, vj)
+            } else {
+                sgm_negative_grads(self.kind, vi, vj)
+            };
+            let mut gi = grads.first;
+            let mut gj = grads.second;
+
+            match variant {
+                ModelVariant::AdvSgm | ModelVariant::AdvSgmNoDp => {
+                    // Theorem 6: lambda = 1/S collapses the adversarial
+                    // gradient to the bare (here: centered) fake neighbor.
+                    let centered_j = vector::sub(&fakes_j[idx], &mean_j);
+                    let centered_i = vector::sub(&fakes_i[idx], &mean_i);
+                    advsgm_augment(&mut gi, &centered_j);
+                    advsgm_augment(&mut gj, &centered_i);
+                }
+                ModelVariant::DpAsgm => {
+                    // First-cut: the *real* adversarial gradient (Eq. 11),
+                    // uncentered — the naive construction the paper shows
+                    // performs poorly.
+                    dpasgm_augment(self.kind, DPASGM_LAMBDA, vi, &fakes_j[idx], &mut gi);
+                    dpasgm_augment(self.kind, DPASGM_LAMBDA, vj, &fakes_i[idx], &mut gj);
+                }
+                ModelVariant::Sgm | ModelVariant::DpSgm => {}
+            }
+            // DPSGD-style clipping for every variant except plain SGM.
+            if variant != ModelVariant::Sgm {
+                vector::clip_l2(&mut gi, clip);
+                vector::clip_l2(&mut gj, clip);
+            }
+            match acc_in.get_mut(&i) {
+                Some((sum, c)) => {
+                    vector::add_assign(sum, &gi);
+                    *c += 1;
+                }
+                None => {
+                    acc_in.insert(i, (gi, 1));
+                }
+            }
+            match acc_out.get_mut(&j) {
+                Some((sum, c)) => {
+                    vector::add_assign(sum, &gj);
+                    *c += 1;
+                }
+                None => {
+                    acc_out.insert(j, (gj, 1));
+                }
+            }
+        }
+
+        // Apply noisy updates. Eq. (22) writes the batch release as
+        // `(sum_b clip_b + noise)/B`, but a skip-gram row receives only its
+        // own `c << B` summands; dividing those by the full `B` makes the
+        // per-row effective step `eta/B` and training stalls (each pair
+        // then contributes ~1e-3 of a word2vec step). We therefore
+        // normalise each row by its own touch count `c` — per-pair SGD
+        // semantics, the convention of every skip-gram implementation —
+        // which rescales signal and that row's noise share identically, so
+        // the privacy analysis (noise calibrated to the clipped summands)
+        // is untouched. DESIGN.md §5 records this reading.
+        let eta = self.cfg.eta_d;
+        let project = self.cfg.project_rows && variant != ModelVariant::Sgm;
+        for (i, (mut g, c)) in acc_in {
+            vector::axpy(c as f64, &n_in, &mut g);
+            vector::scale(&mut g, 1.0 / c as f64);
+            self.emb.step_input(i, eta, &g, project);
+        }
+        for (j, (mut g, c)) in acc_out {
+            vector::axpy(c as f64, &n_out, &mut g);
+            vector::scale(&mut g, 1.0 / c as f64);
+            self.emb.step_output(j, eta, &g, project);
+        }
+    }
+
+    /// One generator iteration (Algorithm 3 lines 14–18, Eq. 17).
+    fn generator_update(&mut self, graph: &Graph) {
+        let r = self.cfg.dim;
+        let sample_count = self.cfg.batch_size * (self.cfg.negatives + 1);
+        // Activation-input noise only exists in the full AdvSGM loss.
+        let noise_std = self.gradient_noise_std();
+        let ng1 = gaussian_vec(&mut self.rng, noise_std, r);
+        let ng2 = gaussian_vec(&mut self.rng, noise_std, r);
+
+        let mut grads_j: HashMap<usize, (Vec<f64>, usize)> = HashMap::new();
+        let mut grads_i: HashMap<usize, (Vec<f64>, usize)> = HashMap::new();
+        let edges = graph.edges();
+        for _ in 0..sample_count {
+            let e = edges[self.rng.gen_range(0..edges.len())];
+            // Random orientation, matching the discriminator's convention.
+            let (s, t) = if self.rng.gen::<bool>() {
+                (e.u().index(), e.v().index())
+            } else {
+                (e.v().index(), e.u().index())
+            };
+            let vi = self.emb.input(s).to_vec();
+            let vj = self.emb.output(t).to_vec();
+            // Fake neighbor of the output-side node t, paired with real v_i.
+            let f1 = self.gens.for_i.generate(t, &mut self.rng);
+            let s1 = vector::dot(&vi, &f1.v) + vector::dot(&ng1, &vi);
+            // d/ds [ln(1 - S(s))] = -S'/(1-S).
+            let c1 = -self.kind.neg_log_one_minus_grad(s1);
+            let up1: Vec<f64> = vi.iter().map(|&v| c1 * v).collect();
+            self.gens.for_i.accumulate_grad(&f1, &up1, &mut grads_j);
+            // Fake neighbor of the input-side node s, paired with real v_j.
+            let f2 = self.gens.for_j.generate(s, &mut self.rng);
+            let s2 = vector::dot(&f2.v, &vj) + vector::dot(&ng2, &vj);
+            let c2 = -self.kind.neg_log_one_minus_grad(s2);
+            let up2: Vec<f64> = vj.iter().map(|&v| c2 * v).collect();
+            self.gens.for_j.accumulate_grad(&f2, &up2, &mut grads_i);
+        }
+        self.gens.for_i.step(self.cfg.eta_g, &grads_j);
+        self.gens.for_j.step(self.cfg.eta_g, &grads_i);
+    }
+
+    /// Per-epoch `|L_Nov|` diagnostic on one fresh batch.
+    fn epoch_loss(&mut self, graph: &Graph) -> Result<f64, CoreError> {
+        let pos = self.provider.positives(graph, &mut self.rng)?;
+        let negs = self.provider.negatives(&pos, &mut self.rng);
+        let noise_std = self.gradient_noise_std();
+        let mode = if self.cfg.variant.is_adversarial() {
+            WeightMode::InverseS
+        } else {
+            WeightMode::Fixed(0.0)
+        };
+        Ok(novel_loss_batch(
+            self.kind,
+            mode,
+            &self.emb,
+            &self.gens,
+            &pos,
+            &negs,
+            noise_std,
+            &mut self.rng,
+        )
+        .abs())
+    }
+
+    /// Evaluates `|L_Nov|` under an arbitrary weight mode (Fig. 2 harness).
+    ///
+    /// # Errors
+    /// Propagates sampling failures.
+    pub fn loss_under_weight_mode(
+        &mut self,
+        graph: &Graph,
+        mode: WeightMode,
+        batches: usize,
+    ) -> Result<f64, CoreError> {
+        let noise_std = self.gradient_noise_std();
+        let mut total = 0.0;
+        for _ in 0..batches.max(1) {
+            let pos = self.provider.positives(graph, &mut self.rng)?;
+            let negs = self.provider.negatives(&pos, &mut self.rng);
+            total += novel_loss_batch(
+                self.kind,
+                mode,
+                &self.emb,
+                &self.gens,
+                &pos,
+                &negs,
+                noise_std,
+                &mut self.rng,
+            )
+            .abs();
+        }
+        Ok(total / batches.max(1) as f64)
+    }
+
+    /// Convenience: build + run in one call.
+    ///
+    /// # Errors
+    /// See [`Trainer::new`] / [`Trainer::run`].
+    pub fn fit(graph: &Graph, cfg: AdvSgmConfig) -> Result<TrainOutcome, CoreError> {
+        Trainer::new(graph, cfg)?.run(graph)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use advsgm_graph::generators::classic::karate_club;
+    use advsgm_graph::generators::sbm::{degree_corrected_sbm, SbmConfig};
+
+    fn small_graph() -> Graph {
+        let mut rng = seeded(99);
+        degree_corrected_sbm(
+            &SbmConfig {
+                num_nodes: 120,
+                num_edges: 600,
+                num_blocks: 4,
+                mixing: 0.1,
+                degree_exponent: 2.5,
+            },
+            &mut rng,
+        )
+    }
+
+    #[test]
+    fn every_variant_trains_without_error() {
+        let g = small_graph();
+        for v in ModelVariant::all() {
+            let out = Trainer::fit(&g, AdvSgmConfig::test_small(v)).unwrap();
+            assert_eq!(out.node_vectors.rows(), g.num_nodes());
+            assert_eq!(out.node_vectors.cols(), 16);
+            assert!(out.disc_updates > 0, "{v}: no updates");
+            assert!(
+                out.node_vectors.as_slice().iter().all(|x| x.is_finite()),
+                "{v}: non-finite embedding"
+            );
+        }
+    }
+
+    #[test]
+    fn private_variants_report_privacy_spend() {
+        let g = small_graph();
+        let out = Trainer::fit(&g, AdvSgmConfig::test_small(ModelVariant::AdvSgm)).unwrap();
+        assert!(out.epsilon_spent.is_some());
+        assert!(out.delta_spent.is_some());
+        assert!(out.epsilon_spent.unwrap() > 0.0);
+    }
+
+    #[test]
+    fn non_private_variants_do_not_account() {
+        let g = small_graph();
+        let out = Trainer::fit(&g, AdvSgmConfig::test_small(ModelVariant::Sgm)).unwrap();
+        assert!(out.epsilon_spent.is_none());
+        assert!(!out.stopped_by_budget);
+        assert_eq!(out.epochs_run, 2);
+    }
+
+    #[test]
+    fn tight_budget_stops_training_early() {
+        let g = karate_club();
+        let mut cfg = AdvSgmConfig::test_small(ModelVariant::AdvSgm);
+        cfg.epochs = 50;
+        cfg.disc_iters = 10;
+        cfg.sigma = 1.0; // heavy per-step cost
+        cfg.epsilon = 0.8;
+        let out = Trainer::fit(&g, cfg).unwrap();
+        assert!(out.stopped_by_budget, "expected early stop");
+        assert!(out.epochs_run < 50);
+        // Spent delta must have crossed the target.
+        assert!(out.delta_spent.unwrap() >= 1e-5);
+    }
+
+    #[test]
+    fn generous_budget_completes_all_epochs() {
+        let g = small_graph();
+        let mut cfg = AdvSgmConfig::test_small(ModelVariant::AdvSgm);
+        cfg.epsilon = 1e6; // effectively unbounded
+        let (epochs, iters) = (cfg.epochs, cfg.disc_iters);
+        let out = Trainer::fit(&g, cfg).unwrap();
+        assert!(!out.stopped_by_budget);
+        assert_eq!(out.epochs_run, epochs);
+        assert_eq!(out.disc_updates, (epochs * iters * 2) as u64);
+    }
+
+    #[test]
+    fn training_is_deterministic_under_seed() {
+        let g = small_graph();
+        let out1 = Trainer::fit(&g, AdvSgmConfig::test_small(ModelVariant::AdvSgm)).unwrap();
+        let out2 = Trainer::fit(&g, AdvSgmConfig::test_small(ModelVariant::AdvSgm)).unwrap();
+        assert_eq!(out1.node_vectors, out2.node_vectors);
+        let mut cfg = AdvSgmConfig::test_small(ModelVariant::AdvSgm);
+        cfg.seed = 1;
+        let out3 = Trainer::fit(&g, cfg).unwrap();
+        assert_ne!(out1.node_vectors, out3.node_vectors);
+    }
+
+    #[test]
+    fn sgm_training_improves_link_reconstruction() {
+        // After non-private skip-gram training, positive pairs should score
+        // higher on average than random pairs.
+        let g = small_graph();
+        let mut cfg = AdvSgmConfig::test_small(ModelVariant::Sgm);
+        cfg.epochs = 12;
+        cfg.disc_iters = 20;
+        cfg.batch_size = 64;
+        let out = Trainer::fit(&g, cfg).unwrap();
+        let emb = &out.node_vectors;
+        let ctx = &out.context_vectors;
+        let mut rng = seeded(5);
+        let mut pos_mean = 0.0;
+        for e in g.edges() {
+            pos_mean += vector::dot(emb.row(e.u().index()), ctx.row(e.v().index()));
+        }
+        pos_mean /= g.num_edges() as f64;
+        let mut neg_mean = 0.0;
+        let trials = 2000;
+        for _ in 0..trials {
+            let a = rng.gen_range(0..g.num_nodes());
+            let b = rng.gen_range(0..g.num_nodes());
+            neg_mean += vector::dot(emb.row(a), ctx.row(b));
+        }
+        neg_mean /= trials as f64;
+        assert!(
+            pos_mean > neg_mean,
+            "positive mean {pos_mean} not above random mean {neg_mean}"
+        );
+    }
+
+    #[test]
+    fn rows_stay_in_unit_ball_when_projecting() {
+        let g = small_graph();
+        let mut cfg = AdvSgmConfig::test_small(ModelVariant::AdvSgm);
+        cfg.project_rows = true;
+        let out = Trainer::fit(&g, cfg).unwrap();
+        for i in 0..out.node_vectors.rows() {
+            assert!(vector::norm2(out.node_vectors.row(i)) <= 1.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn loss_under_weight_modes_orders_as_figure2() {
+        // lambda = 1/S should produce the largest |L_Nov|, then 1, then 0.5
+        // (Fig. 2's bars), because lambda multiplies a non-negative term.
+        let g = small_graph();
+        let mut t = Trainer::new(&g, AdvSgmConfig::test_small(ModelVariant::AdvSgm)).unwrap();
+        let l_half = t
+            .loss_under_weight_mode(&g, WeightMode::Fixed(0.5), 3)
+            .unwrap();
+        let l_one = t
+            .loss_under_weight_mode(&g, WeightMode::Fixed(1.0), 3)
+            .unwrap();
+        let l_inv = t
+            .loss_under_weight_mode(&g, WeightMode::InverseS, 3)
+            .unwrap();
+        assert!(l_half <= l_one + 1e-9, "half={l_half} one={l_one}");
+        assert!(l_one <= l_inv + 1e-9, "one={l_one} inv={l_inv}");
+    }
+
+    #[test]
+    fn empty_graph_rejected() {
+        let g = Graph::from_parts(5, vec![], None);
+        assert!(Trainer::new(&g, AdvSgmConfig::test_small(ModelVariant::Sgm)).is_err());
+    }
+}

@@ -1,0 +1,109 @@
+//! The model variants evaluated in the paper (Table V and Figs. 3–4).
+
+use std::fmt;
+
+/// Which skip-gram model to train.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ModelVariant {
+    /// `SGM (No DP)`: the original skip-gram (LINE, Eq. 2) with plain SGD.
+    Sgm,
+    /// `DP-SGM`: skip-gram trained with DPSGD (clipped per-pair gradients,
+    /// Gaussian noise on the batch sum, Eq. 5/6 mechanics).
+    DpSgm,
+    /// `DP-ASGM`: the Section III-B first cut — adversarial skip-gram whose
+    /// combined gradient is perturbed directly by DPSGD (Eq. 6).
+    DpAsgm,
+    /// `AdvSGM`: the paper's contribution — optimizable noise terms inside
+    /// the adversarial activations plus the Theorem-6 weight tuning, giving
+    /// DP updates without extra noise injection.
+    AdvSgm,
+    /// `AdvSGM (No DP)`: the same architecture with the noise terms zeroed
+    /// and no privacy accounting.
+    AdvSgmNoDp,
+}
+
+impl ModelVariant {
+    /// Whether training consumes privacy budget.
+    pub fn is_private(&self) -> bool {
+        matches!(
+            self,
+            ModelVariant::DpSgm | ModelVariant::DpAsgm | ModelVariant::AdvSgm
+        )
+    }
+
+    /// Whether the adversarial module (generators + fake neighbors) is on.
+    pub fn is_adversarial(&self) -> bool {
+        matches!(
+            self,
+            ModelVariant::DpAsgm | ModelVariant::AdvSgm | ModelVariant::AdvSgmNoDp
+        )
+    }
+
+    /// Whether the constrained sigmoid of Section IV-C replaces the plain
+    /// sigmoid (only the full AdvSGM architecture uses it).
+    pub fn uses_constrained_sigmoid(&self) -> bool {
+        matches!(self, ModelVariant::AdvSgm | ModelVariant::AdvSgmNoDp)
+    }
+
+    /// Display name as used in the paper's tables.
+    pub fn paper_name(&self) -> &'static str {
+        match self {
+            ModelVariant::Sgm => "SGM(No DP)",
+            ModelVariant::DpSgm => "DP-SGM",
+            ModelVariant::DpAsgm => "DP-ASGM",
+            ModelVariant::AdvSgm => "AdvSGM",
+            ModelVariant::AdvSgmNoDp => "AdvSGM(No DP)",
+        }
+    }
+
+    /// All variants in the order Table V lists them.
+    pub fn all() -> [ModelVariant; 5] {
+        [
+            ModelVariant::Sgm,
+            ModelVariant::AdvSgmNoDp,
+            ModelVariant::DpSgm,
+            ModelVariant::DpAsgm,
+            ModelVariant::AdvSgm,
+        ]
+    }
+}
+
+impl fmt::Display for ModelVariant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.paper_name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn privacy_flags() {
+        assert!(!ModelVariant::Sgm.is_private());
+        assert!(!ModelVariant::AdvSgmNoDp.is_private());
+        assert!(ModelVariant::DpSgm.is_private());
+        assert!(ModelVariant::DpAsgm.is_private());
+        assert!(ModelVariant::AdvSgm.is_private());
+    }
+
+    #[test]
+    fn adversarial_flags() {
+        assert!(!ModelVariant::Sgm.is_adversarial());
+        assert!(!ModelVariant::DpSgm.is_adversarial());
+        assert!(ModelVariant::DpAsgm.is_adversarial());
+        assert!(ModelVariant::AdvSgm.is_adversarial());
+        assert!(ModelVariant::AdvSgmNoDp.is_adversarial());
+    }
+
+    #[test]
+    fn names_match_paper() {
+        assert_eq!(ModelVariant::AdvSgm.to_string(), "AdvSGM");
+        assert_eq!(ModelVariant::Sgm.to_string(), "SGM(No DP)");
+    }
+
+    #[test]
+    fn all_lists_five() {
+        assert_eq!(ModelVariant::all().len(), 5);
+    }
+}

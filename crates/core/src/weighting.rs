@@ -1,0 +1,66 @@
+//! Module-weight settings (Section IV-C, Fig. 2).
+//!
+//! The discriminator loss `L_Nov = L_sgm + lambda1 L_adv1 + lambda2 L_adv2`
+//! (Eq. 16/24) is controlled by the weights `lambda`. Theorem 6 fixes
+//! `lambda = 1/S(.)` so the adversarial gradient collapses to `v' + N` and
+//! DP needs no extra noise; `Fixed(0.5)` and `Fixed(1.0)` are the baselines
+//! Fig. 2 compares against.
+
+use crate::sigmoid::SigmoidKind;
+
+/// How the adversarial module weight `lambda` is chosen.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum WeightMode {
+    /// A constant weight (the common deep-learning choice; Fig. 2 uses 0.5
+    /// and 1.0 as baselines).
+    Fixed(f64),
+    /// The paper's adaptive `lambda = 1/S(arg)` (Theorem 6).
+    InverseS,
+}
+
+impl WeightMode {
+    /// The weight applied to an adversarial term whose activation argument
+    /// is `arg`, under link `kind`.
+    #[inline]
+    pub fn lambda(&self, kind: SigmoidKind, arg: f64) -> f64 {
+        match self {
+            WeightMode::Fixed(l) => *l,
+            WeightMode::InverseS => kind.inverse_weight(arg),
+        }
+    }
+
+    /// Display label matching Fig. 2's legend.
+    pub fn label(&self) -> String {
+        match self {
+            WeightMode::Fixed(l) => format!("lambda = {l}"),
+            WeightMode::InverseS => "lambda = 1/S(.)".to_string(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_ignores_argument() {
+        let w = WeightMode::Fixed(0.5);
+        assert_eq!(w.lambda(SigmoidKind::Plain, -3.0), 0.5);
+        assert_eq!(w.lambda(SigmoidKind::Plain, 3.0), 0.5);
+    }
+
+    #[test]
+    fn inverse_s_matches_kind() {
+        let kind = SigmoidKind::paper_constrained();
+        let w = WeightMode::InverseS;
+        for &x in &[-2.0, 0.0, 2.0] {
+            assert_eq!(w.lambda(kind, x), kind.inverse_weight(x));
+        }
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(WeightMode::Fixed(1.0).label(), "lambda = 1");
+        assert!(WeightMode::InverseS.label().contains("1/S"));
+    }
+}

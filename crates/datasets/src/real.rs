@@ -1,0 +1,87 @@
+//! Loaders for the genuine dataset files.
+//!
+//! If you download the original datasets (SNAP's `ego-Facebook` /
+//! `soc-Epinions1`, BioGRID PPI, BlogCatalog3, the Wiki hyperlink dump, or
+//! the AMiner DBLP citation graph), convert them to whitespace edge lists
+//! and load them here; everything downstream consumes the same
+//! [`advsgm_graph::Graph`] the synthetic stand-ins produce.
+
+use std::path::Path;
+
+use advsgm_graph::io::{read_edge_list_file, read_labels};
+use advsgm_graph::{Graph, GraphError};
+
+/// Loads a real dataset from an edge-list file and an optional label file,
+/// validating against an expected node count if supplied.
+///
+/// # Errors
+/// Propagates parse/I/O failures, and reports a count mismatch as
+/// [`GraphError::InvalidParameter`].
+pub fn load_real_dataset(
+    edges_path: impl AsRef<Path>,
+    labels_path: Option<&Path>,
+    expected_nodes: Option<usize>,
+) -> Result<Graph, GraphError> {
+    let g = read_edge_list_file(edges_path, expected_nodes)?;
+    if let Some(n) = expected_nodes {
+        if g.num_nodes() != n {
+            return Err(GraphError::InvalidParameter {
+                name: "expected_nodes",
+                reason: format!("file yielded {} nodes, expected {n}", g.num_nodes()),
+            });
+        }
+    }
+    match labels_path {
+        None => Ok(g),
+        Some(p) => {
+            let f = std::fs::File::open(p)?;
+            let labels = read_labels(f, g.num_nodes())?;
+            Ok(Graph::from_parts(
+                g.num_nodes(),
+                g.edges().to_vec(),
+                Some(labels),
+            ))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    fn write_temp(name: &str, content: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("advsgm-datasets-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(name);
+        let mut f = std::fs::File::create(&path).unwrap();
+        f.write_all(content.as_bytes()).unwrap();
+        path
+    }
+
+    #[test]
+    fn loads_edges_and_labels() {
+        let edges = write_temp("toy.edges", "# toy\n0 1\n1 2\n2 3\n");
+        let labels = write_temp("toy.labels", "0 1\n1 1\n2 0\n3 0\n");
+        let g = load_real_dataset(&edges, Some(labels.as_path()), Some(4)).unwrap();
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.labels().unwrap(), &[1, 1, 0, 0]);
+    }
+
+    #[test]
+    fn node_count_mismatch_reported() {
+        let edges = write_temp("toy2.edges", "0 1\n");
+        // Expecting 10 nodes forces the builder to 10; should succeed with
+        // padding, so check the opposite direction: file exceeding bound errors.
+        let g = load_real_dataset(&edges, None, Some(10)).unwrap();
+        assert_eq!(g.num_nodes(), 10);
+        let big = write_temp("toy3.edges", "0 99\n");
+        assert!(load_real_dataset(&big, None, Some(10)).is_err());
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let err = load_real_dataset("/nonexistent/nope.edges", None, None).unwrap_err();
+        assert!(matches!(err, GraphError::Io(_)));
+    }
+}

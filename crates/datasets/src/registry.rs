@@ -1,0 +1,188 @@
+//! The six paper datasets.
+
+use crate::spec::DatasetSpec;
+
+/// Identifiers for the paper's evaluation datasets (Section VI-A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Dataset {
+    /// Human protein–protein interaction network: 3,890 nodes / 50 classes /
+    /// 76,584 edges.
+    Ppi,
+    /// Facebook ego-network union: 4,039 nodes / 88,234 edges (no labels).
+    Facebook,
+    /// Wikipedia hyperlink network: 4,777 nodes / 40 classes / 92,517 edges.
+    Wiki,
+    /// BlogCatalog social network: 10,312 nodes / 39 classes / 333,983 edges.
+    Blog,
+    /// Epinions trust network: 75,879 nodes / 508,837 edges (no labels).
+    Epinions,
+    /// DBLP scholarly network: 2,244,021 nodes / 4,354,534 edges (no labels).
+    Dblp,
+}
+
+impl Dataset {
+    /// The paper's display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Dataset::Ppi => "PPI",
+            Dataset::Facebook => "Facebook",
+            Dataset::Wiki => "Wiki",
+            Dataset::Blog => "Blog",
+            Dataset::Epinions => "Epinions",
+            Dataset::Dblp => "DBLP",
+        }
+    }
+
+    /// The stand-in specification with the published counts.
+    ///
+    /// Mixing/exponent choices: labeled datasets get strong communities
+    /// (`mixing` 0.15) so that clustering has recoverable signal, matching
+    /// the fact that the paper's MI values are well above chance; social
+    /// networks get a heavier tail (exponent 2.3) than the biological PPI
+    /// network (2.6), mirroring their published degree profiles.
+    pub fn spec(&self) -> DatasetSpec {
+        match self {
+            Dataset::Ppi => DatasetSpec {
+                name: "PPI".into(),
+                num_nodes: 3_890,
+                num_edges: 76_584,
+                num_classes: 50,
+                num_blocks: 50,
+                mixing: 0.15,
+                degree_exponent: 2.6,
+                seed: 0x9e37_0001,
+            },
+            Dataset::Facebook => DatasetSpec {
+                name: "Facebook".into(),
+                num_nodes: 4_039,
+                num_edges: 88_234,
+                num_classes: 0,
+                num_blocks: 16,
+                mixing: 0.08,
+                degree_exponent: 2.3,
+                seed: 0x9e37_0002,
+            },
+            Dataset::Wiki => DatasetSpec {
+                name: "Wiki".into(),
+                num_nodes: 4_777,
+                num_edges: 92_517,
+                num_classes: 40,
+                num_blocks: 40,
+                mixing: 0.25,
+                degree_exponent: 2.4,
+                seed: 0x9e37_0003,
+            },
+            Dataset::Blog => DatasetSpec {
+                name: "Blog".into(),
+                num_nodes: 10_312,
+                num_edges: 333_983,
+                num_classes: 39,
+                num_blocks: 39,
+                mixing: 0.2,
+                degree_exponent: 2.3,
+                seed: 0x9e37_0004,
+            },
+            Dataset::Epinions => DatasetSpec {
+                name: "Epinions".into(),
+                num_nodes: 75_879,
+                num_edges: 508_837,
+                num_classes: 0,
+                num_blocks: 64,
+                mixing: 0.2,
+                degree_exponent: 2.2,
+                seed: 0x9e37_0005,
+            },
+            Dataset::Dblp => DatasetSpec {
+                name: "DBLP".into(),
+                num_nodes: 2_244_021,
+                num_edges: 4_354_534,
+                num_classes: 0,
+                num_blocks: 256,
+                mixing: 0.15,
+                degree_exponent: 2.5,
+                seed: 0x9e37_0006,
+            },
+        }
+    }
+
+    /// Datasets used by each experiment family in the paper.
+    pub fn link_prediction_sets() -> [Dataset; 6] {
+        [
+            Dataset::Ppi,
+            Dataset::Facebook,
+            Dataset::Wiki,
+            Dataset::Blog,
+            Dataset::Epinions,
+            Dataset::Dblp,
+        ]
+    }
+
+    /// The labeled datasets used for node clustering (Fig. 4).
+    pub fn clustering_sets() -> [Dataset; 3] {
+        [Dataset::Ppi, Dataset::Wiki, Dataset::Blog]
+    }
+}
+
+/// All six datasets in paper order.
+pub fn all_datasets() -> [Dataset; 6] {
+    Dataset::link_prediction_sets()
+}
+
+/// Case-insensitive lookup by the paper name.
+pub fn dataset_by_name(name: &str) -> Option<Dataset> {
+    let lower = name.to_ascii_lowercase();
+    all_datasets()
+        .into_iter()
+        .find(|d| d.name().to_ascii_lowercase() == lower)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn published_counts_match_paper() {
+        assert_eq!(Dataset::Ppi.spec().num_nodes, 3890);
+        assert_eq!(Dataset::Ppi.spec().num_edges, 76_584);
+        assert_eq!(Dataset::Ppi.spec().num_classes, 50);
+        assert_eq!(Dataset::Facebook.spec().num_nodes, 4039);
+        assert_eq!(Dataset::Facebook.spec().num_edges, 88_234);
+        assert_eq!(Dataset::Wiki.spec().num_classes, 40);
+        assert_eq!(Dataset::Blog.spec().num_edges, 333_983);
+        assert_eq!(Dataset::Epinions.spec().num_nodes, 75_879);
+        assert_eq!(Dataset::Dblp.spec().num_edges, 4_354_534);
+    }
+
+    #[test]
+    fn labels_only_where_the_paper_has_them() {
+        assert!(Dataset::Ppi.spec().has_labels());
+        assert!(Dataset::Wiki.spec().has_labels());
+        assert!(Dataset::Blog.spec().has_labels());
+        assert!(!Dataset::Facebook.spec().has_labels());
+        assert!(!Dataset::Epinions.spec().has_labels());
+        assert!(!Dataset::Dblp.spec().has_labels());
+    }
+
+    #[test]
+    fn clustering_sets_are_labeled() {
+        for d in Dataset::clustering_sets() {
+            assert!(d.spec().has_labels(), "{} unlabeled", d.name());
+        }
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert_eq!(dataset_by_name("ppi"), Some(Dataset::Ppi));
+        assert_eq!(dataset_by_name("BLOG"), Some(Dataset::Blog));
+        assert_eq!(dataset_by_name("nope"), None);
+    }
+
+    #[test]
+    fn seeds_are_distinct() {
+        let seeds: Vec<u64> = all_datasets().iter().map(|d| d.spec().seed).collect();
+        let mut dedup = seeds.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(seeds.len(), dedup.len());
+    }
+}

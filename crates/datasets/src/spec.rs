@@ -1,0 +1,163 @@
+//! Dataset specifications.
+
+use serde::{Deserialize, Serialize};
+
+/// The published statistics of one evaluation dataset, plus the generator
+/// parameters used to synthesise its stand-in.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DatasetSpec {
+    /// Dataset name as used in the paper (e.g. "PPI").
+    pub name: String,
+    /// Number of nodes `|V|`.
+    pub num_nodes: usize,
+    /// Number of undirected edges `|E|`.
+    pub num_edges: usize,
+    /// Number of label classes; 0 when the paper reports no labels
+    /// (Facebook, Epinions, DBLP).
+    pub num_classes: usize,
+    /// Planted blocks used by the generator. Equals `num_classes` for
+    /// labeled datasets; unlabeled datasets still get community structure
+    /// (social graphs have it) but the labels are stripped.
+    pub num_blocks: usize,
+    /// Inter-block edge fraction for the generator.
+    pub mixing: f64,
+    /// Degree power-law exponent for the generator.
+    pub degree_exponent: f64,
+    /// Deterministic base seed for the generator.
+    pub seed: u64,
+}
+
+impl DatasetSpec {
+    /// Whether the paper provides node labels for this dataset.
+    pub fn has_labels(&self) -> bool {
+        self.num_classes > 0
+    }
+
+    /// Mean degree `2|E|/|V|` implied by the published counts.
+    pub fn mean_degree(&self) -> f64 {
+        2.0 * self.num_edges as f64 / self.num_nodes as f64
+    }
+
+    /// A proportionally scaled copy (`scale` in `(0, 1]`), used so that
+    /// paper-scale sweeps finish quickly by default. Node and edge counts
+    /// scale linearly with floors that keep the generator well-posed; the
+    /// class/block structure and mixing are preserved.
+    ///
+    /// Scaling nodes and edges by the same factor multiplies the *density*
+    /// `|E|/|V|^2` by `1/scale`, which at small scales can exceed the
+    /// planted blocks' pair capacity and destroy the community structure
+    /// (the generator would be forced to emit mostly inter-block edges).
+    /// The edge count is therefore additionally capped so that intra-block
+    /// edges occupy at most half of the available intra-block pairs.
+    ///
+    /// # Panics
+    /// Panics if `scale` is outside `(0, 1]`.
+    pub fn scaled(&self, scale: f64) -> DatasetSpec {
+        assert!(
+            scale > 0.0 && scale <= 1.0,
+            "scale must be in (0,1], got {scale}"
+        );
+        if (scale - 1.0).abs() < f64::EPSILON {
+            return self.clone();
+        }
+        let num_nodes = ((self.num_nodes as f64 * scale) as usize).max(300);
+        // Blocks keep at least 12 members.
+        let num_blocks = self.num_blocks.min((num_nodes / 12).max(1));
+        let num_classes = if self.num_classes == 0 { 0 } else { num_blocks };
+        // Intra-block capacity cap: intra edges <= 50% of intra pairs.
+        let block = num_nodes / num_blocks.max(1);
+        let intra_pairs = num_blocks * block * block.saturating_sub(1) / 2;
+        let intra_fraction = (1.0 - self.mixing).max(0.05);
+        let cap = ((0.5 * intra_pairs as f64) / intra_fraction) as usize;
+        let target = (self.num_edges as f64 * scale) as usize;
+        let num_edges = target.min(cap).max(2 * num_nodes);
+        DatasetSpec {
+            name: self.name.clone(),
+            num_nodes,
+            num_edges,
+            num_classes,
+            num_blocks,
+            mixing: self.mixing,
+            degree_exponent: self.degree_exponent,
+            seed: self.seed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> DatasetSpec {
+        DatasetSpec {
+            name: "PPI".into(),
+            num_nodes: 3890,
+            num_edges: 76584,
+            num_classes: 50,
+            num_blocks: 50,
+            mixing: 0.15,
+            degree_exponent: 2.5,
+            seed: 1,
+        }
+    }
+
+    #[test]
+    fn mean_degree_formula() {
+        let s = spec();
+        assert!((s.mean_degree() - 2.0 * 76584.0 / 3890.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scaled_preserves_structure() {
+        let s = spec().scaled(0.25);
+        assert_eq!(s.name, "PPI");
+        assert!(s.num_nodes < 3890 && s.num_nodes >= 200);
+        assert!(s.num_edges >= 2 * s.num_nodes);
+        assert!(s.num_blocks >= 1);
+        assert_eq!(s.num_classes, s.num_blocks);
+        assert!(s.has_labels());
+    }
+
+    #[test]
+    fn scale_one_is_identity() {
+        let s = spec();
+        assert_eq!(s.scaled(1.0), s);
+    }
+
+    #[test]
+    fn tiny_scale_hits_floors() {
+        let s = spec().scaled(0.001);
+        assert_eq!(s.num_nodes, 300);
+        assert!(s.num_edges >= 600);
+    }
+
+    #[test]
+    fn scaled_density_stays_feasible() {
+        // The intra-block capacity cap: intra edges fit in half the
+        // available intra pairs at every scale.
+        for sc in [0.02, 0.05, 0.1, 0.25, 0.5] {
+            let s = spec().scaled(sc);
+            let block = s.num_nodes / s.num_blocks.max(1);
+            let intra_pairs = s.num_blocks * block * (block - 1) / 2;
+            let intra_edges = (1.0 - s.mixing) * s.num_edges as f64;
+            assert!(
+                intra_edges <= 0.55 * intra_pairs as f64 || s.num_edges == 2 * s.num_nodes,
+                "scale {sc}: intra {intra_edges} vs pairs {intra_pairs}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "scale must be in")]
+    fn zero_scale_rejected() {
+        spec().scaled(0.0);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let s = spec();
+        let json = serde_json::to_string(&s).unwrap();
+        let back: DatasetSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, s);
+    }
+}

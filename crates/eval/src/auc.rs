@@ -1,0 +1,137 @@
+//! Area under the ROC curve.
+//!
+//! Computed via the Mann–Whitney U statistic with midrank tie handling:
+//! `AUC = P(score_pos > score_neg) + 0.5 P(score_pos = score_neg)`,
+//! which is exact (no threshold discretisation) and O(n log n).
+
+use crate::error::EvalError;
+
+/// AUC from positive- and negative-class scores.
+///
+/// # Errors
+/// Returns [`EvalError::InvalidInput`] if either class is empty or any
+/// score is NaN.
+pub fn auc_from_scores(pos: &[f64], neg: &[f64]) -> Result<f64, EvalError> {
+    if pos.is_empty() || neg.is_empty() {
+        return Err(EvalError::InvalidInput {
+            reason: format!(
+                "AUC needs both classes non-empty (pos={}, neg={})",
+                pos.len(),
+                neg.len()
+            ),
+        });
+    }
+    if pos.iter().chain(neg).any(|v| v.is_nan()) {
+        return Err(EvalError::InvalidInput {
+            reason: "NaN score".into(),
+        });
+    }
+    // Pool and sort by score; assign midranks to ties; AUC from rank sum.
+    let n_pos = pos.len();
+    let n_neg = neg.len();
+    let mut pool: Vec<(f64, bool)> = pos
+        .iter()
+        .map(|&s| (s, true))
+        .chain(neg.iter().map(|&s| (s, false)))
+        .collect();
+    pool.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("no NaN after check"));
+    let mut rank_sum_pos = 0.0f64;
+    let mut i = 0usize;
+    while i < pool.len() {
+        let mut j = i;
+        while j + 1 < pool.len() && pool[j + 1].0 == pool[i].0 {
+            j += 1;
+        }
+        // Ranks are 1-based; ties share the midrank.
+        let midrank = (i + 1 + j + 1) as f64 / 2.0;
+        for item in &pool[i..=j] {
+            if item.1 {
+                rank_sum_pos += midrank;
+            }
+        }
+        i = j + 1;
+    }
+    let u = rank_sum_pos - (n_pos * (n_pos + 1)) as f64 / 2.0;
+    Ok(u / (n_pos as f64 * n_neg as f64))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_separation_is_one() {
+        let auc = auc_from_scores(&[0.9, 0.8, 0.7], &[0.3, 0.2, 0.1]).unwrap();
+        assert_eq!(auc, 1.0);
+    }
+
+    #[test]
+    fn inverted_separation_is_zero() {
+        let auc = auc_from_scores(&[0.1, 0.2], &[0.8, 0.9]).unwrap();
+        assert_eq!(auc, 0.0);
+    }
+
+    #[test]
+    fn identical_scores_give_half() {
+        let auc = auc_from_scores(&[0.5, 0.5], &[0.5, 0.5, 0.5]).unwrap();
+        assert_eq!(auc, 0.5);
+    }
+
+    #[test]
+    fn known_mixed_case() {
+        // pos = {0.8, 0.4}, neg = {0.6, 0.2}:
+        // pairs: (0.8>0.6), (0.8>0.2), (0.4<0.6), (0.4>0.2) -> 3/4.
+        let auc = auc_from_scores(&[0.8, 0.4], &[0.6, 0.2]).unwrap();
+        assert_eq!(auc, 0.75);
+    }
+
+    #[test]
+    fn ties_counted_half() {
+        // pos = {0.5}, neg = {0.5, 0.1}: 0.5 tie (0.5) + win over 0.1 (1) -> 0.75.
+        let auc = auc_from_scores(&[0.5], &[0.5, 0.1]).unwrap();
+        assert_eq!(auc, 0.75);
+    }
+
+    #[test]
+    fn monotone_transform_invariance() {
+        let pos = [0.9, 0.3, 0.5];
+        let neg = [0.4, 0.1];
+        let a1 = auc_from_scores(&pos, &neg).unwrap();
+        let tp: Vec<f64> = pos.iter().map(|x| (5.0 * x).exp()).collect();
+        let tn: Vec<f64> = neg.iter().map(|x| (5.0 * x).exp()).collect();
+        let a2 = auc_from_scores(&tp, &tn).unwrap();
+        assert!((a1 - a2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn random_scores_near_half() {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(1);
+        let pos: Vec<f64> = (0..4000).map(|_| rng.gen::<f64>()).collect();
+        let neg: Vec<f64> = (0..4000).map(|_| rng.gen::<f64>()).collect();
+        let auc = auc_from_scores(&pos, &neg).unwrap();
+        assert!((auc - 0.5).abs() < 0.02, "auc={auc}");
+    }
+
+    #[test]
+    fn empty_class_rejected() {
+        assert!(auc_from_scores(&[], &[0.1]).is_err());
+        assert!(auc_from_scores(&[0.1], &[]).is_err());
+    }
+
+    #[test]
+    fn nan_rejected() {
+        assert!(auc_from_scores(&[f64::NAN], &[0.1]).is_err());
+    }
+
+    #[test]
+    fn complement_symmetry() {
+        // Swapping classes gives 1 - AUC.
+        let pos = [0.8, 0.4, 0.6];
+        let neg = [0.5, 0.3];
+        let a = auc_from_scores(&pos, &neg).unwrap();
+        let b = auc_from_scores(&neg, &pos).unwrap();
+        assert!((a + b - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,343 @@
+//! Affinity Propagation (Frey & Dueck 2007).
+//!
+//! Message-passing clustering: every pair of points exchanges
+//! *responsibilities* `r(i,k)` (how well k would serve as i's exemplar) and
+//! *availabilities* `a(i,k)` (how appropriate it is for i to pick k),
+//! updated with damping until the exemplar set is stable. The number of
+//! clusters is not fixed in advance; it emerges from the *preference*
+//! `s(k,k)` (we default to the median similarity, the authors' suggestion).
+//!
+//! Memory is O(n^2); [`ApParams::max_points`] subsamples larger inputs
+//! (evaluation is on the sampled nodes' labels), which is how the paper's
+//! Blog-scale clustering stays tractable on one machine.
+
+use advsgm_linalg::vector;
+use rand::Rng;
+
+use crate::error::EvalError;
+
+/// Affinity Propagation hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ApParams {
+    /// Damping factor in `[0.5, 1)`.
+    pub damping: f64,
+    /// Maximum message-passing iterations.
+    pub max_iter: usize,
+    /// Stop after the exemplar set is unchanged for this many iterations.
+    pub convergence_iter: usize,
+    /// If the input has more points than this, cluster a uniform subsample
+    /// of exactly this size instead (0 = never subsample).
+    pub max_points: usize,
+}
+
+impl Default for ApParams {
+    fn default() -> Self {
+        Self {
+            damping: 0.7,
+            max_iter: 300,
+            convergence_iter: 20,
+            max_points: 3000,
+        }
+    }
+}
+
+/// The result of running Affinity Propagation.
+#[derive(Debug, Clone)]
+pub struct AffinityPropagation {
+    /// Indices (into the clustered subset) of the exemplars.
+    pub exemplars: Vec<usize>,
+    /// Cluster id per clustered point, densely relabeled `0..k`.
+    pub assignments: Vec<usize>,
+    /// Indices of the clustered points in the original input (identity when
+    /// no subsampling happened).
+    pub point_indices: Vec<usize>,
+    /// Iterations actually executed.
+    pub iterations: usize,
+    /// Whether the exemplar set converged before `max_iter`.
+    pub converged: bool,
+}
+
+impl AffinityPropagation {
+    /// Number of clusters found.
+    pub fn num_clusters(&self) -> usize {
+        self.exemplars.len()
+    }
+
+    /// Clusters `points` (one row per point) under `params`.
+    ///
+    /// # Errors
+    /// Returns [`EvalError::InvalidInput`] for an empty input or an
+    /// out-of-range damping factor.
+    pub fn fit(
+        points: &[&[f64]],
+        params: &ApParams,
+        rng: &mut impl Rng,
+    ) -> Result<Self, EvalError> {
+        if points.is_empty() {
+            return Err(EvalError::InvalidInput {
+                reason: "affinity propagation needs at least one point".into(),
+            });
+        }
+        if !(0.5..1.0).contains(&params.damping) {
+            return Err(EvalError::InvalidInput {
+                reason: format!("damping must be in [0.5,1), got {}", params.damping),
+            });
+        }
+        // Optional subsampling for tractability.
+        let total = points.len();
+        let point_indices: Vec<usize> = if params.max_points > 0 && total > params.max_points {
+            let mut idx: Vec<usize> = (0..total).collect();
+            for i in 0..params.max_points {
+                let j = rng.gen_range(i..total);
+                idx.swap(i, j);
+            }
+            idx.truncate(params.max_points);
+            idx.sort_unstable();
+            idx
+        } else {
+            (0..total).collect()
+        };
+        let n = point_indices.len();
+        if n == 1 {
+            return Ok(Self {
+                exemplars: vec![0],
+                assignments: vec![0],
+                point_indices,
+                iterations: 0,
+                converged: true,
+            });
+        }
+
+        // Similarities: negative squared Euclidean distance; preference
+        // (diagonal) = median off-diagonal similarity.
+        let mut s = vec![0.0f64; n * n];
+        let mut off: Vec<f64> = Vec::with_capacity(n * (n - 1) / 2);
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let d = -vector::dist_sq(points[point_indices[i]], points[point_indices[j]]);
+                s[i * n + j] = d;
+                s[j * n + i] = d;
+                off.push(d);
+            }
+        }
+        let preference = advsgm_linalg::stats::median(&off);
+        for i in 0..n {
+            s[i * n + i] = preference;
+        }
+        // Tiny symmetric noise breaks exemplar-count degeneracies (as in the
+        // reference implementation).
+        for v in s.iter_mut() {
+            *v += 1e-12 * rng.gen::<f64>() * (v.abs() + 1.0);
+        }
+
+        let mut r = vec![0.0f64; n * n];
+        let mut a = vec![0.0f64; n * n];
+        let damp = params.damping;
+        let mut last_exemplars: Vec<usize> = Vec::new();
+        let mut stable = 0usize;
+        let mut iterations = 0usize;
+        let mut converged = false;
+
+        for it in 0..params.max_iter {
+            iterations = it + 1;
+            // Responsibilities: r(i,k) <- s(i,k) - max_{k' != k} (a(i,k') + s(i,k')).
+            for i in 0..n {
+                let row_s = &s[i * n..(i + 1) * n];
+                let row_a = &a[i * n..(i + 1) * n];
+                // Track the top-2 of a+s to exclude k itself in O(n).
+                let (mut max1, mut idx1, mut max2) = (f64::NEG_INFINITY, 0usize, f64::NEG_INFINITY);
+                for k in 0..n {
+                    let v = row_a[k] + row_s[k];
+                    if v > max1 {
+                        max2 = max1;
+                        max1 = v;
+                        idx1 = k;
+                    } else if v > max2 {
+                        max2 = v;
+                    }
+                }
+                let row_r = &mut r[i * n..(i + 1) * n];
+                for k in 0..n {
+                    let best_other = if k == idx1 { max2 } else { max1 };
+                    row_r[k] = damp * row_r[k] + (1.0 - damp) * (row_s[k] - best_other);
+                }
+            }
+            // Availabilities:
+            // a(i,k) <- min(0, r(k,k) + sum_{i' not in {i,k}} max(0, r(i',k))),
+            // a(k,k) <- sum_{i' != k} max(0, r(i',k)).
+            for k in 0..n {
+                let mut pos_sum = 0.0;
+                for i in 0..n {
+                    if i != k {
+                        pos_sum += r[i * n + k].max(0.0);
+                    }
+                }
+                let rkk = r[k * n + k];
+                for i in 0..n {
+                    let new = if i == k {
+                        pos_sum
+                    } else {
+                        let without_i = pos_sum - r[i * n + k].max(0.0);
+                        (rkk + without_i).min(0.0)
+                    };
+                    a[i * n + k] = damp * a[i * n + k] + (1.0 - damp) * new;
+                }
+            }
+            // Current exemplars: k with r(k,k) + a(k,k) > 0.
+            let exemplars: Vec<usize> = (0..n)
+                .filter(|&k| r[k * n + k] + a[k * n + k] > 0.0)
+                .collect();
+            if !exemplars.is_empty() && exemplars == last_exemplars {
+                stable += 1;
+                if stable >= params.convergence_iter {
+                    converged = true;
+                    break;
+                }
+            } else {
+                stable = 0;
+                last_exemplars = exemplars;
+            }
+        }
+
+        let mut exemplars = last_exemplars;
+        if exemplars.is_empty() {
+            // Fall back: the point with the best self-evidence.
+            let best = (0..n)
+                .max_by(|&x, &y| {
+                    let vx = r[x * n + x] + a[x * n + x];
+                    let vy = r[y * n + y] + a[y * n + y];
+                    vx.partial_cmp(&vy).expect("finite messages")
+                })
+                .expect("n >= 1");
+            exemplars = vec![best];
+        }
+
+        // Assign every point to its most similar exemplar (exemplars to
+        // themselves), then relabel densely.
+        let mut assignments = vec![0usize; n];
+        for i in 0..n {
+            let mut best = 0usize;
+            let mut best_s = f64::NEG_INFINITY;
+            for (c, &k) in exemplars.iter().enumerate() {
+                if i == k {
+                    best = c;
+                    break;
+                }
+                if s[i * n + k] > best_s {
+                    best_s = s[i * n + k];
+                    best = c;
+                }
+            }
+            assignments[i] = best;
+        }
+
+        Ok(Self {
+            exemplars,
+            assignments,
+            point_indices,
+            iterations,
+            converged,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    /// Three well-separated Gaussian blobs in 2D.
+    fn blobs(rng: &mut SmallRng, per: usize) -> (Vec<Vec<f64>>, Vec<usize>) {
+        let centers = [[0.0, 0.0], [10.0, 0.0], [0.0, 10.0]];
+        let mut pts = Vec::new();
+        let mut labels = Vec::new();
+        for (c, center) in centers.iter().enumerate() {
+            for _ in 0..per {
+                pts.push(vec![
+                    center[0] + advsgm_linalg::rng::gaussian(rng, 0.5),
+                    center[1] + advsgm_linalg::rng::gaussian(rng, 0.5),
+                ]);
+                labels.push(c);
+            }
+        }
+        (pts, labels)
+    }
+
+    #[test]
+    fn recovers_separated_blobs() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let (pts, labels) = blobs(&mut rng, 30);
+        let views: Vec<&[f64]> = pts.iter().map(|p| p.as_slice()).collect();
+        let ap = AffinityPropagation::fit(&views, &ApParams::default(), &mut rng).unwrap();
+        assert_eq!(ap.num_clusters(), 3, "expected 3 clusters");
+        // Every ground-truth blob maps to exactly one AP cluster.
+        for blob in 0..3 {
+            let ids: std::collections::HashSet<usize> = ap
+                .assignments
+                .iter()
+                .zip(&labels)
+                .filter(|(_, &l)| l == blob)
+                .map(|(&c, _)| c)
+                .collect();
+            assert_eq!(ids.len(), 1, "blob {blob} split across clusters");
+        }
+    }
+
+    #[test]
+    fn single_point_trivial() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let p = vec![1.0, 2.0];
+        let ap = AffinityPropagation::fit(&[p.as_slice()], &ApParams::default(), &mut rng).unwrap();
+        assert_eq!(ap.num_clusters(), 1);
+        assert_eq!(ap.assignments, vec![0]);
+        assert!(ap.converged);
+    }
+
+    #[test]
+    fn subsampling_caps_problem_size() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let (pts, _) = blobs(&mut rng, 100); // 300 points
+        let views: Vec<&[f64]> = pts.iter().map(|p| p.as_slice()).collect();
+        let params = ApParams {
+            max_points: 60,
+            ..ApParams::default()
+        };
+        let ap = AffinityPropagation::fit(&views, &params, &mut rng).unwrap();
+        assert_eq!(ap.point_indices.len(), 60);
+        assert_eq!(ap.assignments.len(), 60);
+        // Indices refer into the original input.
+        assert!(ap.point_indices.iter().all(|&i| i < 300));
+    }
+
+    #[test]
+    fn empty_input_rejected() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        assert!(AffinityPropagation::fit(&[], &ApParams::default(), &mut rng).is_err());
+    }
+
+    #[test]
+    fn bad_damping_rejected() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let p = vec![0.0];
+        let params = ApParams {
+            damping: 0.2,
+            ..ApParams::default()
+        };
+        assert!(AffinityPropagation::fit(&[p.as_slice()], &params, &mut rng).is_err());
+    }
+
+    #[test]
+    fn identical_points_yield_valid_clustering() {
+        // All-identical points make AP degenerate (every similarity equals
+        // the preference, so any partition has equal net similarity); the
+        // contract is only that the output is a *valid* clustering.
+        let mut rng = SmallRng::seed_from_u64(6);
+        let pts: Vec<Vec<f64>> = (0..20).map(|_| vec![1.0, 1.0]).collect();
+        let views: Vec<&[f64]> = pts.iter().map(|p| p.as_slice()).collect();
+        let ap = AffinityPropagation::fit(&views, &ApParams::default(), &mut rng).unwrap();
+        assert!(ap.num_clusters() >= 1 && ap.num_clusters() <= 20);
+        assert_eq!(ap.assignments.len(), 20);
+        assert!(ap.assignments.iter().all(|&c| c < ap.num_clusters()));
+    }
+}

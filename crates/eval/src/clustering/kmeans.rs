@@ -1,0 +1,165 @@
+//! k-means with k-means++ seeding.
+//!
+//! A cheap O(nkr)-per-iteration reference clusterer: used in tests to
+//! cross-check Affinity Propagation and available to users who know `k`.
+
+use advsgm_linalg::vector;
+use rand::Rng;
+
+use crate::error::EvalError;
+
+/// Lloyd's algorithm with k-means++ initialisation. Returns `(assignments,
+/// centroids)`.
+///
+/// # Errors
+/// Returns [`EvalError::InvalidInput`] if `k == 0`, `k > n`, or points have
+/// inconsistent dimensions.
+pub fn kmeans(
+    points: &[&[f64]],
+    k: usize,
+    max_iter: usize,
+    rng: &mut impl Rng,
+) -> Result<(Vec<usize>, Vec<Vec<f64>>), EvalError> {
+    let n = points.len();
+    if k == 0 || k > n {
+        return Err(EvalError::InvalidInput {
+            reason: format!("k={k} invalid for {n} points"),
+        });
+    }
+    let dim = points[0].len();
+    if points.iter().any(|p| p.len() != dim) {
+        return Err(EvalError::InvalidInput {
+            reason: "inconsistent point dimensions".into(),
+        });
+    }
+
+    // k-means++ seeding.
+    let mut centroids: Vec<Vec<f64>> = Vec::with_capacity(k);
+    centroids.push(points[rng.gen_range(0..n)].to_vec());
+    let mut d2: Vec<f64> = points
+        .iter()
+        .map(|p| vector::dist_sq(p, &centroids[0]))
+        .collect();
+    while centroids.len() < k {
+        let total: f64 = d2.iter().sum();
+        let next = if total <= 0.0 {
+            rng.gen_range(0..n)
+        } else {
+            let mut target = rng.gen::<f64>() * total;
+            let mut chosen = n - 1;
+            for (i, &d) in d2.iter().enumerate() {
+                target -= d;
+                if target <= 0.0 {
+                    chosen = i;
+                    break;
+                }
+            }
+            chosen
+        };
+        centroids.push(points[next].to_vec());
+        for (i, p) in points.iter().enumerate() {
+            let d = vector::dist_sq(p, centroids.last().expect("just pushed"));
+            if d < d2[i] {
+                d2[i] = d;
+            }
+        }
+    }
+
+    let mut assignments = vec![0usize; n];
+    for _ in 0..max_iter {
+        // Assignment step.
+        let mut changed = false;
+        for (i, p) in points.iter().enumerate() {
+            let mut best = 0usize;
+            let mut best_d = f64::INFINITY;
+            for (c, centroid) in centroids.iter().enumerate() {
+                let d = vector::dist_sq(p, centroid);
+                if d < best_d {
+                    best_d = d;
+                    best = c;
+                }
+            }
+            if assignments[i] != best {
+                assignments[i] = best;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+        // Update step.
+        let mut counts = vec![0usize; k];
+        let mut sums = vec![vec![0.0f64; dim]; k];
+        for (i, p) in points.iter().enumerate() {
+            counts[assignments[i]] += 1;
+            vector::add_assign(&mut sums[assignments[i]], p);
+        }
+        for c in 0..k {
+            if counts[c] > 0 {
+                for v in sums[c].iter_mut() {
+                    *v /= counts[c] as f64;
+                }
+                centroids[c] = sums[c].clone();
+            } else {
+                // Re-seed an empty cluster at a random point.
+                centroids[c] = points[rng.gen_range(0..n)].to_vec();
+            }
+        }
+    }
+    Ok((assignments, centroids))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn separates_two_blobs() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut pts: Vec<Vec<f64>> = Vec::new();
+        for i in 0..40 {
+            let base = if i < 20 { 0.0 } else { 50.0 };
+            pts.push(vec![
+                base + advsgm_linalg::rng::gaussian(&mut rng, 1.0),
+                base + advsgm_linalg::rng::gaussian(&mut rng, 1.0),
+            ]);
+        }
+        let views: Vec<&[f64]> = pts.iter().map(|p| p.as_slice()).collect();
+        let (assign, centroids) = kmeans(&views, 2, 100, &mut rng).unwrap();
+        assert_eq!(centroids.len(), 2);
+        // All first-20 together, all last-20 together.
+        assert!(assign[..20].iter().all(|&a| a == assign[0]));
+        assert!(assign[20..].iter().all(|&a| a == assign[20]));
+        assert_ne!(assign[0], assign[20]);
+    }
+
+    #[test]
+    fn k_equals_n_each_point_own_cluster() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let pts = [vec![0.0], vec![10.0], vec![20.0]];
+        let views: Vec<&[f64]> = pts.iter().map(|p| p.as_slice()).collect();
+        let (assign, _) = kmeans(&views, 3, 50, &mut rng).unwrap();
+        let mut sorted = assign.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 3);
+    }
+
+    #[test]
+    fn invalid_k_rejected() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let p = vec![0.0];
+        assert!(kmeans(&[p.as_slice()], 0, 10, &mut rng).is_err());
+        assert!(kmeans(&[p.as_slice()], 2, 10, &mut rng).is_err());
+    }
+
+    #[test]
+    fn mismatched_dims_rejected() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let a = vec![0.0, 1.0];
+        let b = vec![0.0];
+        assert!(kmeans(&[a.as_slice(), b.as_slice()], 1, 10, &mut rng).is_err());
+    }
+}

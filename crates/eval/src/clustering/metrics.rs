@@ -1,0 +1,188 @@
+//! Clustering quality metrics.
+//!
+//! The paper reports **mutual information** (MI, in nats) between cluster
+//! assignments and ground-truth classes, following its reference [21].
+//! NMI and ARI are provided for completeness.
+
+use std::collections::HashMap;
+
+use crate::error::EvalError;
+
+/// Joint counts, row marginals, and column marginals of two labelings.
+type Contingency = (
+    HashMap<(usize, usize), f64>,
+    HashMap<usize, f64>,
+    HashMap<usize, f64>,
+);
+
+/// Joint contingency counts between two labelings.
+fn contingency(a: &[usize], b: &[usize]) -> Contingency {
+    let mut joint: HashMap<(usize, usize), f64> = HashMap::new();
+    let mut ma: HashMap<usize, f64> = HashMap::new();
+    let mut mb: HashMap<usize, f64> = HashMap::new();
+    for (&x, &y) in a.iter().zip(b) {
+        *joint.entry((x, y)).or_default() += 1.0;
+        *ma.entry(x).or_default() += 1.0;
+        *mb.entry(y).or_default() += 1.0;
+    }
+    (joint, ma, mb)
+}
+
+/// Mutual information (nats) between two labelings of the same points.
+///
+/// # Errors
+/// Returns [`EvalError::InvalidInput`] on empty or mismatched inputs.
+pub fn mutual_information(a: &[usize], b: &[usize]) -> Result<f64, EvalError> {
+    if a.is_empty() || a.len() != b.len() {
+        return Err(EvalError::InvalidInput {
+            reason: format!(
+                "labelings must be equal-length non-empty ({} vs {})",
+                a.len(),
+                b.len()
+            ),
+        });
+    }
+    let n = a.len() as f64;
+    let (joint, ma, mb) = contingency(a, b);
+    let mut mi = 0.0;
+    for (&(x, y), &nxy) in &joint {
+        let pxy = nxy / n;
+        let px = ma[&x] / n;
+        let py = mb[&y] / n;
+        mi += pxy * (pxy / (px * py)).ln();
+    }
+    Ok(mi.max(0.0)) // clamp away -0.0 / tiny negative rounding
+}
+
+/// Shannon entropy (nats) of a labeling.
+fn entropy(a: &[usize]) -> f64 {
+    let n = a.len() as f64;
+    let mut counts: HashMap<usize, f64> = HashMap::new();
+    for &x in a {
+        *counts.entry(x).or_default() += 1.0;
+    }
+    -counts
+        .values()
+        .map(|&c| {
+            let p = c / n;
+            p * p.ln()
+        })
+        .sum::<f64>()
+}
+
+/// Normalized mutual information: `MI / sqrt(H(a) H(b))`; 0 when either
+/// labeling is constant.
+///
+/// # Errors
+/// See [`mutual_information`].
+pub fn normalized_mutual_information(a: &[usize], b: &[usize]) -> Result<f64, EvalError> {
+    let mi = mutual_information(a, b)?;
+    let ha = entropy(a);
+    let hb = entropy(b);
+    if ha <= 0.0 || hb <= 0.0 {
+        return Ok(0.0);
+    }
+    Ok((mi / (ha * hb).sqrt()).clamp(0.0, 1.0))
+}
+
+/// Adjusted Rand index in `[-1, 1]`.
+///
+/// # Errors
+/// See [`mutual_information`].
+pub fn adjusted_rand_index(a: &[usize], b: &[usize]) -> Result<f64, EvalError> {
+    if a.is_empty() || a.len() != b.len() {
+        return Err(EvalError::InvalidInput {
+            reason: "labelings must be equal-length non-empty".into(),
+        });
+    }
+    let choose2 = |x: f64| x * (x - 1.0) / 2.0;
+    let n = a.len() as f64;
+    let (joint, ma, mb) = contingency(a, b);
+    let sum_ij: f64 = joint.values().map(|&v| choose2(v)).sum();
+    let sum_a: f64 = ma.values().map(|&v| choose2(v)).sum();
+    let sum_b: f64 = mb.values().map(|&v| choose2(v)).sum();
+    let expected = sum_a * sum_b / choose2(n);
+    let max_index = 0.5 * (sum_a + sum_b);
+    if (max_index - expected).abs() < 1e-15 {
+        return Ok(0.0);
+    }
+    Ok((sum_ij - expected) / (max_index - expected))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_labelings_mi_equals_entropy() {
+        let a = vec![0, 0, 1, 1, 2, 2];
+        let mi = mutual_information(&a, &a).unwrap();
+        assert!((mi - (3.0f64).ln()).abs() < 1e-12, "mi={mi}");
+        assert!((normalized_mutual_information(&a, &a).unwrap() - 1.0).abs() < 1e-12);
+        assert!((adjusted_rand_index(&a, &a).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn independent_labelings_mi_zero() {
+        // b is constant -> knows nothing about a.
+        let a = vec![0, 1, 0, 1];
+        let b = vec![0, 0, 0, 0];
+        assert_eq!(mutual_information(&a, &b).unwrap(), 0.0);
+        assert_eq!(normalized_mutual_information(&a, &b).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn perfectly_anticorrelated_still_full_information() {
+        // Relabeling clusters must not change MI.
+        let a = vec![0, 0, 1, 1];
+        let b = vec![1, 1, 0, 0];
+        assert!((mutual_information(&a, &b).unwrap() - (2.0f64).ln()).abs() < 1e-12);
+        assert!((adjusted_rand_index(&a, &b).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn crossing_labelings_zero_mi() {
+        // Exactly balanced independent split: MI is 0; ARI is -0.5 here
+        // (a perfect crossing is *worse* than chance agreement).
+        let a = vec![0, 0, 1, 1];
+        let b = vec![0, 1, 0, 1];
+        assert!(mutual_information(&a, &b).unwrap().abs() < 1e-12);
+        assert!((adjusted_rand_index(&a, &b).unwrap() + 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mi_symmetric() {
+        let a = vec![0, 1, 2, 0, 1, 1, 2];
+        let b = vec![1, 1, 0, 0, 2, 1, 0];
+        let ab = mutual_information(&a, &b).unwrap();
+        let ba = mutual_information(&b, &a).unwrap();
+        assert!((ab - ba).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mi_bounded_by_entropies() {
+        let a = vec![0, 1, 2, 0, 1, 1, 2, 2, 0];
+        let b = vec![1, 1, 0, 0, 2, 1, 0, 2, 2];
+        let mi = mutual_information(&a, &b).unwrap();
+        assert!(mi <= entropy(&a) + 1e-12);
+        assert!(mi <= entropy(&b) + 1e-12);
+        assert!(mi >= 0.0);
+    }
+
+    #[test]
+    fn partial_agreement_between_zero_and_full() {
+        let a = vec![0, 0, 0, 1, 1, 1];
+        let b = vec![0, 0, 1, 1, 1, 1]; // one point moved
+        let mi = mutual_information(&a, &b).unwrap();
+        assert!(mi > 0.0 && mi < (2.0f64).ln());
+        let ari = adjusted_rand_index(&a, &b).unwrap();
+        assert!(ari > 0.0 && ari < 1.0);
+    }
+
+    #[test]
+    fn mismatched_inputs_rejected() {
+        assert!(mutual_information(&[0], &[0, 1]).is_err());
+        assert!(mutual_information(&[], &[]).is_err());
+        assert!(adjusted_rand_index(&[0], &[]).is_err());
+    }
+}

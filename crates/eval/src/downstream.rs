@@ -1,0 +1,61 @@
+//! The contract between embedding producers and evaluators.
+
+use advsgm_graph::NodeId;
+use advsgm_linalg::DenseMatrix;
+
+/// Anything that exposes one embedding row per node.
+///
+/// Implemented by AdvSGM, the skip-gram ablations, and every baseline, so
+/// the evaluators never care where the vectors came from — exactly the
+/// post-processing boundary of Theorem 5: any `f` consuming the released
+/// embedding matrix keeps the model's `(epsilon, delta)` guarantee.
+pub trait EmbeddingSource {
+    /// Embedding dimension `r`.
+    fn dim(&self) -> usize;
+
+    /// Number of embedded nodes.
+    fn num_nodes(&self) -> usize;
+
+    /// The embedding of `node`.
+    fn embedding(&self, node: NodeId) -> &[f64];
+
+    /// Pair score used for link prediction: the inner product (AUC is
+    /// invariant to the sigmoid that the paper's discriminant applies).
+    fn score(&self, u: NodeId, v: NodeId) -> f64 {
+        let a = self.embedding(u);
+        let b = self.embedding(v);
+        a.iter().zip(b).map(|(x, y)| x * y).sum()
+    }
+}
+
+impl EmbeddingSource for DenseMatrix {
+    fn dim(&self) -> usize {
+        self.cols()
+    }
+
+    fn num_nodes(&self) -> usize {
+        self.rows()
+    }
+
+    fn embedding(&self, node: NodeId) -> &[f64] {
+        self.row(node.index())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dense_matrix_is_a_source() {
+        let mut m = DenseMatrix::zeros(3, 2);
+        m.row_mut(0).copy_from_slice(&[1.0, 0.0]);
+        m.row_mut(1).copy_from_slice(&[0.0, 1.0]);
+        m.row_mut(2).copy_from_slice(&[1.0, 1.0]);
+        assert_eq!(m.dim(), 2);
+        assert_eq!(EmbeddingSource::num_nodes(&m), 3);
+        assert_eq!(m.embedding(NodeId(2)), &[1.0, 1.0]);
+        assert_eq!(m.score(NodeId(0), NodeId(1)), 0.0);
+        assert_eq!(m.score(NodeId(0), NodeId(2)), 1.0);
+    }
+}

@@ -1,0 +1,51 @@
+//! Error type for evaluation.
+
+use std::fmt;
+
+/// Errors produced by the evaluators.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EvalError {
+    /// A parameter or input was outside its legal domain.
+    InvalidInput {
+        /// What was wrong.
+        reason: String,
+    },
+    /// An iterative algorithm failed to make progress.
+    DidNotConverge {
+        /// Algorithm name.
+        algorithm: &'static str,
+        /// Iterations performed.
+        iterations: usize,
+    },
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::InvalidInput { reason } => write!(f, "invalid input: {reason}"),
+            EvalError::DidNotConverge {
+                algorithm,
+                iterations,
+            } => write!(
+                f,
+                "{algorithm} did not converge after {iterations} iterations"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = EvalError::DidNotConverge {
+            algorithm: "affinity propagation",
+            iterations: 200,
+        };
+        assert!(e.to_string().contains("affinity propagation"));
+    }
+}

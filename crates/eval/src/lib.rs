@@ -1,0 +1,27 @@
+//! # advsgm-eval
+//!
+//! Downstream evaluation for graph embeddings, mirroring Section VI-A of the
+//! AdvSGM paper:
+//!
+//! * **Link prediction** — 90/10 edge split, equal negative pairs, scores
+//!   from embedding inner products, measured by AUC ([`auc`], [`linkpred`]);
+//! * **Node clustering** — embeddings fed to Affinity Propagation (Frey &
+//!   Dueck 2007, the paper's clusterer) and scored by mutual information
+//!   against the class labels ([`clustering`]).
+//!
+//! The [`downstream::EmbeddingSource`] trait decouples the evaluators from
+//! whichever model (AdvSGM, a skip-gram ablation, or an external baseline)
+//! produced the embeddings.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod auc;
+pub mod clustering;
+pub mod downstream;
+pub mod error;
+pub mod linkpred;
+
+pub use auc::auc_from_scores;
+pub use downstream::EmbeddingSource;
+pub use error::EvalError;

@@ -1,0 +1,148 @@
+//! Graph ingestion with normalisation.
+
+use std::collections::HashSet;
+
+use crate::edge::Edge;
+use crate::error::GraphError;
+use crate::graph::Graph;
+use crate::node::NodeId;
+
+/// Builds a [`Graph`] from raw edges, applying the paper's pre-processing:
+/// self-loops are dropped, duplicate edges (in either orientation) are
+/// deduplicated, and node labels may be attached for clustering evaluation.
+#[derive(Debug, Default)]
+pub struct GraphBuilder {
+    num_nodes: usize,
+    edges: Vec<Edge>,
+    seen: HashSet<Edge>,
+    labels: Option<Vec<u32>>,
+    dropped_self_loops: usize,
+    dropped_duplicates: usize,
+}
+
+impl GraphBuilder {
+    /// Creates a builder for a graph with `num_nodes` nodes (`0..num_nodes`).
+    pub fn new(num_nodes: usize) -> Self {
+        Self {
+            num_nodes,
+            ..Self::default()
+        }
+    }
+
+    /// Adds an undirected edge; self-loops and duplicates are silently
+    /// dropped (counted in [`GraphBuilder::dropped_self_loops`] /
+    /// [`GraphBuilder::dropped_duplicates`]).
+    ///
+    /// # Errors
+    /// Returns [`GraphError::NodeOutOfRange`] if either endpoint is out of
+    /// range.
+    pub fn add_edge(&mut self, a: usize, b: usize) -> Result<&mut Self, GraphError> {
+        if a >= self.num_nodes {
+            return Err(GraphError::NodeOutOfRange {
+                node: a,
+                num_nodes: self.num_nodes,
+            });
+        }
+        if b >= self.num_nodes {
+            return Err(GraphError::NodeOutOfRange {
+                node: b,
+                num_nodes: self.num_nodes,
+            });
+        }
+        if a == b {
+            self.dropped_self_loops += 1;
+            return Ok(self);
+        }
+        let e = Edge::new(NodeId::from_index(a), NodeId::from_index(b));
+        if self.seen.insert(e) {
+            self.edges.push(e);
+        } else {
+            self.dropped_duplicates += 1;
+        }
+        Ok(self)
+    }
+
+    /// Adds many edges; stops at the first out-of-range endpoint.
+    ///
+    /// # Errors
+    /// Propagates the first [`GraphError::NodeOutOfRange`].
+    pub fn add_edges(
+        &mut self,
+        it: impl IntoIterator<Item = (usize, usize)>,
+    ) -> Result<&mut Self, GraphError> {
+        for (a, b) in it {
+            self.add_edge(a, b)?;
+        }
+        Ok(self)
+    }
+
+    /// Attaches per-node class labels (for the clustering task).
+    ///
+    /// # Errors
+    /// Returns [`GraphError::InvalidParameter`] if the label vector length
+    /// does not equal the node count.
+    pub fn with_labels(&mut self, labels: Vec<u32>) -> Result<&mut Self, GraphError> {
+        if labels.len() != self.num_nodes {
+            return Err(GraphError::InvalidParameter {
+                name: "labels",
+                reason: format!("expected {} labels, got {}", self.num_nodes, labels.len()),
+            });
+        }
+        self.labels = Some(labels);
+        Ok(self)
+    }
+
+    /// Number of self-loops dropped so far.
+    pub fn dropped_self_loops(&self) -> usize {
+        self.dropped_self_loops
+    }
+
+    /// Number of duplicate edges dropped so far.
+    pub fn dropped_duplicates(&self) -> usize {
+        self.dropped_duplicates
+    }
+
+    /// Finalises the graph.
+    pub fn build(self) -> Graph {
+        Graph::from_parts(self.num_nodes, self.edges, self.labels)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dedupes_and_drops_self_loops() {
+        let mut b = GraphBuilder::new(4);
+        b.add_edges([(0, 1), (1, 0), (2, 2), (1, 2)]).unwrap();
+        assert_eq!(b.dropped_duplicates(), 1);
+        assert_eq!(b.dropped_self_loops(), 1);
+        let g = b.build();
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.num_nodes(), 4);
+    }
+
+    #[test]
+    fn rejects_out_of_range() {
+        let mut b = GraphBuilder::new(2);
+        assert!(b.add_edge(0, 5).is_err());
+        assert!(b.add_edge(5, 0).is_err());
+    }
+
+    #[test]
+    fn labels_must_match_node_count() {
+        let mut b = GraphBuilder::new(3);
+        assert!(b.with_labels(vec![0, 1]).is_err());
+        assert!(b.with_labels(vec![0, 1, 0]).is_ok());
+        let g = b.build();
+        assert_eq!(g.labels().unwrap(), &[0, 1, 0]);
+    }
+
+    #[test]
+    fn empty_builder_builds_empty_graph() {
+        let g = GraphBuilder::new(0).build();
+        assert_eq!(g.num_nodes(), 0);
+        assert_eq!(g.num_edges(), 0);
+    }
+}

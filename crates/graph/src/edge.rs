@@ -1,0 +1,125 @@
+//! Undirected edges in canonical form.
+
+use std::fmt;
+
+use crate::node::NodeId;
+
+/// An undirected edge stored in canonical orientation (`u <= v`).
+///
+/// Canonicalising at construction makes deduplication, hashing, and set
+/// membership trivial: `(a, b)` and `(b, a)` are the same edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Edge {
+    u: NodeId,
+    v: NodeId,
+}
+
+impl Edge {
+    /// Creates a canonical undirected edge between two distinct nodes.
+    ///
+    /// # Panics
+    /// Panics on a self-loop; the paper works with simple graphs
+    /// ("all datasets are pre-processed to remove self-loops"), so a
+    /// self-loop reaching this type is a logic error upstream.
+    #[inline]
+    pub fn new(a: NodeId, b: NodeId) -> Self {
+        assert_ne!(a, b, "self-loop at {a} is not allowed in a simple graph");
+        if a <= b {
+            Edge { u: a, v: b }
+        } else {
+            Edge { u: b, v: a }
+        }
+    }
+
+    /// Creates an edge from raw `u32` endpoints.
+    #[inline]
+    pub fn from_raw(a: u32, b: u32) -> Self {
+        Edge::new(NodeId(a), NodeId(b))
+    }
+
+    /// The smaller endpoint.
+    #[inline]
+    pub fn u(&self) -> NodeId {
+        self.u
+    }
+
+    /// The larger endpoint.
+    #[inline]
+    pub fn v(&self) -> NodeId {
+        self.v
+    }
+
+    /// Both endpoints as a tuple `(u, v)` with `u <= v`.
+    #[inline]
+    pub fn endpoints(&self) -> (NodeId, NodeId) {
+        (self.u, self.v)
+    }
+
+    /// Whether `n` is one of the endpoints.
+    #[inline]
+    pub fn touches(&self, n: NodeId) -> bool {
+        self.u == n || self.v == n
+    }
+
+    /// Given one endpoint, returns the other; `None` if `n` is not incident.
+    #[inline]
+    pub fn other(&self, n: NodeId) -> Option<NodeId> {
+        if n == self.u {
+            Some(self.v)
+        } else if n == self.v {
+            Some(self.u)
+        } else {
+            None
+        }
+    }
+}
+
+impl fmt::Display for Edge {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.u, self.v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_orientation() {
+        let e1 = Edge::from_raw(5, 2);
+        let e2 = Edge::from_raw(2, 5);
+        assert_eq!(e1, e2);
+        assert_eq!(e1.u(), NodeId(2));
+        assert_eq!(e1.v(), NodeId(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn self_loop_rejected() {
+        Edge::from_raw(3, 3);
+    }
+
+    #[test]
+    fn touches_and_other() {
+        let e = Edge::from_raw(1, 4);
+        assert!(e.touches(NodeId(1)));
+        assert!(e.touches(NodeId(4)));
+        assert!(!e.touches(NodeId(2)));
+        assert_eq!(e.other(NodeId(1)), Some(NodeId(4)));
+        assert_eq!(e.other(NodeId(4)), Some(NodeId(1)));
+        assert_eq!(e.other(NodeId(9)), None);
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(Edge::from_raw(4, 1).to_string(), "(v1, v4)");
+    }
+
+    #[test]
+    fn hash_equality_for_reversed_pairs() {
+        use std::collections::HashSet;
+        let mut s = HashSet::new();
+        s.insert(Edge::from_raw(1, 2));
+        assert!(s.contains(&Edge::from_raw(2, 1)));
+    }
+}

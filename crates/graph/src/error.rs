@@ -1,0 +1,116 @@
+//! Error type for graph construction, I/O, and sampling.
+
+use std::fmt;
+
+/// Errors produced by the graph substrate.
+#[derive(Debug)]
+pub enum GraphError {
+    /// A node index referenced a node outside `0..|V|`.
+    NodeOutOfRange {
+        /// The offending index.
+        node: usize,
+        /// Number of nodes in the graph.
+        num_nodes: usize,
+    },
+    /// An operation required a non-empty graph/edge set but got none.
+    EmptyGraph {
+        /// The operation that failed.
+        op: &'static str,
+    },
+    /// A batch request exceeded the available population.
+    SampleTooLarge {
+        /// Requested sample size.
+        requested: usize,
+        /// Available population size.
+        available: usize,
+    },
+    /// A parameter was outside its legal domain.
+    InvalidParameter {
+        /// Parameter name.
+        name: &'static str,
+        /// Explanation of the violated constraint.
+        reason: String,
+    },
+    /// Parsing an edge-list or label file failed.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Explanation.
+        reason: String,
+    },
+    /// An underlying I/O failure.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NodeOutOfRange { node, num_nodes } => {
+                write!(
+                    f,
+                    "node {node} out of range for graph with {num_nodes} nodes"
+                )
+            }
+            GraphError::EmptyGraph { op } => write!(f, "{op} requires a non-empty graph"),
+            GraphError::SampleTooLarge {
+                requested,
+                available,
+            } => write!(
+                f,
+                "requested sample of {requested} exceeds population of {available}"
+            ),
+            GraphError::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter {name}: {reason}")
+            }
+            GraphError::Parse { line, reason } => write!(f, "parse error on line {line}: {reason}"),
+            GraphError::Io(e) => write!(f, "I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GraphError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for GraphError {
+    fn from(e: std::io::Error) -> Self {
+        GraphError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let e = GraphError::NodeOutOfRange {
+            node: 9,
+            num_nodes: 3,
+        };
+        assert!(e.to_string().contains("node 9"));
+        let e = GraphError::SampleTooLarge {
+            requested: 10,
+            available: 2,
+        };
+        assert!(e.to_string().contains("10"));
+        let e = GraphError::Parse {
+            line: 3,
+            reason: "bad token".into(),
+        };
+        assert!(e.to_string().contains("line 3"));
+    }
+
+    #[test]
+    fn io_error_source_chains() {
+        use std::error::Error;
+        let inner = std::io::Error::new(std::io::ErrorKind::NotFound, "nope");
+        let e = GraphError::from(inner);
+        assert!(e.source().is_some());
+    }
+}

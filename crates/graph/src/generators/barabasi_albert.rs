@@ -1,0 +1,99 @@
+//! Barabási–Albert preferential attachment.
+
+use rand::Rng;
+
+use crate::builder::GraphBuilder;
+use crate::graph::Graph;
+
+/// Barabási–Albert graph: starts from a star on `m + 1` nodes, then each new
+/// node attaches to `m` existing nodes chosen preferentially by degree
+/// (implemented with the repeated-endpoint trick: sampling uniformly from the
+/// flattened edge-endpoint list is exactly degree-proportional sampling).
+///
+/// Produces a connected graph with a power-law degree tail — the qualitative
+/// degree profile of the paper's social-network datasets.
+///
+/// # Panics
+/// Panics if `m == 0` or `n <= m`.
+pub fn barabasi_albert(n: usize, m: usize, rng: &mut impl Rng) -> Graph {
+    assert!(m >= 1, "attachment count m must be >= 1");
+    assert!(n > m, "need n > m, got n={n}, m={m}");
+    let mut builder = GraphBuilder::new(n);
+    // Repeated-endpoint pool: node i appears once per incident edge.
+    let mut pool: Vec<usize> = Vec::with_capacity(2 * n * m);
+    // Seed: star on nodes 0..=m centred at 0 guarantees every early node has
+    // positive degree so preferential attachment is well-defined.
+    for i in 1..=m {
+        builder.add_edge(0, i).expect("in range");
+        pool.push(0);
+        pool.push(i);
+    }
+    let mut targets: Vec<usize> = Vec::with_capacity(m);
+    for v in (m + 1)..n {
+        targets.clear();
+        // Draw m distinct targets degree-proportionally.
+        let mut guard = 0usize;
+        while targets.len() < m {
+            let t = pool[rng.gen_range(0..pool.len())];
+            if !targets.contains(&t) {
+                targets.push(t);
+            }
+            guard += 1;
+            assert!(
+                guard < 10_000,
+                "failed to find {m} distinct attachment targets"
+            );
+        }
+        for &t in &targets {
+            builder.add_edge(v, t).expect("in range");
+            pool.push(v);
+            pool.push(t);
+        }
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn edge_count_formula() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let n = 200;
+        let m = 3;
+        let g = barabasi_albert(n, m, &mut rng);
+        // m seed edges + m per each of the (n - m - 1) later nodes.
+        assert_eq!(g.num_edges(), m + (n - m - 1) * m);
+        g.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn no_isolated_nodes() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let g = barabasi_albert(100, 2, &mut rng);
+        assert_eq!(g.num_isolated(), 0);
+    }
+
+    #[test]
+    fn has_heavy_tail() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let g = barabasi_albert(2000, 2, &mut rng);
+        // Hubs should greatly exceed the mean degree (~4).
+        assert!(
+            g.max_degree() > 8 * g.mean_degree() as usize,
+            "max degree {} vs mean {}",
+            g.max_degree(),
+            g.mean_degree()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "n > m")]
+    fn rejects_small_n() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        barabasi_albert(3, 3, &mut rng);
+    }
+}

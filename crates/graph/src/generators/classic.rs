@@ -1,0 +1,202 @@
+//! Small deterministic graphs for tests and examples.
+
+use crate::builder::GraphBuilder;
+use crate::graph::Graph;
+
+/// Path graph `0 - 1 - ... - (n-1)`.
+pub fn path_graph(n: usize) -> Graph {
+    let mut b = GraphBuilder::new(n);
+    for i in 1..n {
+        b.add_edge(i - 1, i).expect("in range");
+    }
+    b.build()
+}
+
+/// Cycle graph on `n >= 3` nodes.
+///
+/// # Panics
+/// Panics if `n < 3` (smaller cycles are not simple graphs).
+pub fn cycle_graph(n: usize) -> Graph {
+    assert!(n >= 3, "cycle requires at least 3 nodes, got {n}");
+    let mut b = GraphBuilder::new(n);
+    for i in 0..n {
+        b.add_edge(i, (i + 1) % n).expect("in range");
+    }
+    b.build()
+}
+
+/// Complete graph `K_n`.
+pub fn complete_graph(n: usize) -> Graph {
+    let mut b = GraphBuilder::new(n);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            b.add_edge(i, j).expect("in range");
+        }
+    }
+    b.build()
+}
+
+/// Star graph: node 0 connected to `1..n`.
+pub fn star_graph(n: usize) -> Graph {
+    let mut b = GraphBuilder::new(n);
+    for i in 1..n {
+        b.add_edge(0, i).expect("in range");
+    }
+    b.build()
+}
+
+/// Zachary's karate club (34 nodes, 78 edges) with the canonical two-faction
+/// labels. The classic sanity-check graph for community-sensitive embeddings.
+pub fn karate_club() -> Graph {
+    // Edge list from the original study (0-indexed).
+    const EDGES: [(usize, usize); 78] = [
+        (0, 1),
+        (0, 2),
+        (0, 3),
+        (0, 4),
+        (0, 5),
+        (0, 6),
+        (0, 7),
+        (0, 8),
+        (0, 10),
+        (0, 11),
+        (0, 12),
+        (0, 13),
+        (0, 17),
+        (0, 19),
+        (0, 21),
+        (0, 31),
+        (1, 2),
+        (1, 3),
+        (1, 7),
+        (1, 13),
+        (1, 17),
+        (1, 19),
+        (1, 21),
+        (1, 30),
+        (2, 3),
+        (2, 7),
+        (2, 8),
+        (2, 9),
+        (2, 13),
+        (2, 27),
+        (2, 28),
+        (2, 32),
+        (3, 7),
+        (3, 12),
+        (3, 13),
+        (4, 6),
+        (4, 10),
+        (5, 6),
+        (5, 10),
+        (5, 16),
+        (6, 16),
+        (8, 30),
+        (8, 32),
+        (8, 33),
+        (9, 33),
+        (13, 33),
+        (14, 32),
+        (14, 33),
+        (15, 32),
+        (15, 33),
+        (18, 32),
+        (18, 33),
+        (19, 33),
+        (20, 32),
+        (20, 33),
+        (22, 32),
+        (22, 33),
+        (23, 25),
+        (23, 27),
+        (23, 29),
+        (23, 32),
+        (23, 33),
+        (24, 25),
+        (24, 27),
+        (24, 31),
+        (25, 31),
+        (26, 29),
+        (26, 33),
+        (27, 33),
+        (28, 31),
+        (28, 33),
+        (29, 32),
+        (29, 33),
+        (30, 32),
+        (30, 33),
+        (31, 32),
+        (31, 33),
+        (32, 33),
+    ];
+    // Faction labels (0 = Mr. Hi, 1 = Officer) from the canonical split.
+    const LABELS: [u32; 34] = [
+        0, 0, 0, 0, 0, 0, 0, 0, 1, 1, 0, 0, 0, 0, 1, 1, 0, 0, 1, 0, 1, 0, 1, 1, 1, 1, 1, 1, 1, 1,
+        1, 1, 1, 1,
+    ];
+    let mut b = GraphBuilder::new(34);
+    b.add_edges(EDGES).expect("static edges are in range");
+    b.with_labels(LABELS.to_vec()).expect("34 labels");
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::NodeId;
+
+    #[test]
+    fn path_counts() {
+        let g = path_graph(6);
+        assert_eq!(g.num_edges(), 5);
+        assert_eq!(g.max_degree(), 2);
+    }
+
+    #[test]
+    fn path_trivial_sizes() {
+        assert_eq!(path_graph(0).num_edges(), 0);
+        assert_eq!(path_graph(1).num_edges(), 0);
+    }
+
+    #[test]
+    fn cycle_every_degree_two() {
+        let g = cycle_graph(7);
+        assert_eq!(g.num_edges(), 7);
+        for i in 0..7 {
+            assert_eq!(g.degree(NodeId::from_index(i)), 2);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3")]
+    fn tiny_cycle_panics() {
+        cycle_graph(2);
+    }
+
+    #[test]
+    fn complete_edge_count() {
+        let g = complete_graph(6);
+        assert_eq!(g.num_edges(), 15);
+        assert_eq!(g.max_degree(), 5);
+    }
+
+    #[test]
+    fn star_hub_degree() {
+        let g = star_graph(9);
+        assert_eq!(g.num_edges(), 8);
+        assert_eq!(g.degree(NodeId(0)), 8);
+        assert_eq!(g.degree(NodeId(3)), 1);
+    }
+
+    #[test]
+    fn karate_club_canonical_counts() {
+        let g = karate_club();
+        assert_eq!(g.num_nodes(), 34);
+        assert_eq!(g.num_edges(), 78);
+        assert_eq!(g.num_classes(), 2);
+        // Node 33 ("Officer") has the highest degree, 17.
+        assert_eq!(g.degree(NodeId(33)), 17);
+        assert_eq!(g.degree(NodeId(0)), 16);
+        g.check_invariants().unwrap();
+    }
+}

@@ -1,0 +1,183 @@
+//! Erdős–Rényi random graphs.
+
+use std::collections::HashSet;
+
+use rand::Rng;
+
+use crate::edge::Edge;
+use crate::graph::Graph;
+
+/// `G(n, m)`: exactly `m` distinct edges sampled uniformly at random.
+///
+/// # Panics
+/// Panics if `m` exceeds the number of possible edges `n(n-1)/2`.
+pub fn gnm_random_graph(n: usize, m: usize, rng: &mut impl Rng) -> Graph {
+    let max_edges = n.saturating_mul(n.saturating_sub(1)) / 2;
+    assert!(
+        m <= max_edges,
+        "requested {m} edges but only {max_edges} possible for n={n}"
+    );
+    let mut seen: HashSet<Edge> = HashSet::with_capacity(m);
+    let mut edges = Vec::with_capacity(m);
+    // Rejection sampling is efficient while m is well below max_edges; for
+    // very dense requests fall back to enumerating and shuffling.
+    if m * 3 < max_edges || n < 2 {
+        while edges.len() < m {
+            let a = rng.gen_range(0..n as u32);
+            let b = rng.gen_range(0..n as u32);
+            if a == b {
+                continue;
+            }
+            let e = Edge::from_raw(a, b);
+            if seen.insert(e) {
+                edges.push(e);
+            }
+        }
+    } else {
+        let mut all = Vec::with_capacity(max_edges);
+        for i in 0..n as u32 {
+            for j in (i + 1)..n as u32 {
+                all.push(Edge::from_raw(i, j));
+            }
+        }
+        // Partial Fisher-Yates: draw m items.
+        for i in 0..m {
+            let j = rng.gen_range(i..all.len());
+            all.swap(i, j);
+        }
+        all.truncate(m);
+        edges = all;
+    }
+    Graph::from_parts(n, edges, None)
+}
+
+/// `G(n, p)`: every possible edge included independently with probability `p`.
+///
+/// Uses the geometric skipping trick so the cost is proportional to the
+/// number of generated edges rather than `n^2`.
+///
+/// # Panics
+/// Panics if `p` is outside `[0, 1]`.
+pub fn gnp_random_graph(n: usize, p: f64, rng: &mut impl Rng) -> Graph {
+    assert!((0.0..=1.0).contains(&p), "p must be in [0,1], got {p}");
+    let mut edges = Vec::new();
+    if p > 0.0 && n >= 2 {
+        if p >= 1.0 {
+            for i in 0..n as u32 {
+                for j in (i + 1)..n as u32 {
+                    edges.push(Edge::from_raw(i, j));
+                }
+            }
+        } else {
+            // Iterate over the implicit index of the upper triangle using
+            // geometric jumps: skip ~Geom(p) candidates between edges.
+            let lp = (1.0 - p).ln();
+            let total = n * (n - 1) / 2;
+            let mut idx: f64 = -1.0;
+            loop {
+                let u: f64 = 1.0 - rng.gen::<f64>(); // in (0, 1]
+                idx += 1.0 + (u.ln() / lp).floor();
+                if idx >= total as f64 {
+                    break;
+                }
+                let k = idx as usize;
+                let (i, j) = triangle_unrank(k, n);
+                edges.push(Edge::from_raw(i as u32, j as u32));
+            }
+        }
+    }
+    Graph::from_parts(n, edges, None)
+}
+
+/// Maps a linear index `k` in `0..n(n-1)/2` to the pair `(i, j)` with
+/// `i < j` in the row-major upper triangle.
+fn triangle_unrank(k: usize, n: usize) -> (usize, usize) {
+    // Row i starts at offset i*n - i(i+3)/2 ... solve by scanning from a
+    // closed-form initial guess to stay exact with integers.
+    let mut i = 0usize;
+    let mut row_start = 0usize;
+    loop {
+        let row_len = n - i - 1;
+        if k < row_start + row_len {
+            let j = i + 1 + (k - row_start);
+            return (i, j);
+        }
+        row_start += row_len;
+        i += 1;
+        debug_assert!(i < n, "triangle index out of range");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn gnm_exact_edge_count() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let g = gnm_random_graph(50, 200, &mut rng);
+        assert_eq!(g.num_edges(), 200);
+        g.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn gnm_dense_path_uses_enumeration() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        // 10 nodes -> 45 possible; ask for 40 (dense branch).
+        let g = gnm_random_graph(10, 40, &mut rng);
+        assert_eq!(g.num_edges(), 40);
+        g.check_invariants().unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "only")]
+    fn gnm_too_many_edges_panics() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        gnm_random_graph(4, 100, &mut rng);
+    }
+
+    #[test]
+    fn gnp_zero_and_one() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        assert_eq!(gnp_random_graph(20, 0.0, &mut rng).num_edges(), 0);
+        assert_eq!(gnp_random_graph(20, 1.0, &mut rng).num_edges(), 190);
+    }
+
+    #[test]
+    fn gnp_expected_density() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let n = 200;
+        let p = 0.05;
+        let g = gnp_random_graph(n, p, &mut rng);
+        let expected = p * (n * (n - 1) / 2) as f64;
+        let got = g.num_edges() as f64;
+        // 5 sigma tolerance.
+        let sigma = (expected * (1.0 - p)).sqrt();
+        assert!(
+            (got - expected).abs() < 5.0 * sigma,
+            "edges={got} expected~{expected}"
+        );
+        g.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn triangle_unrank_covers_all_pairs() {
+        let n = 7;
+        let mut seen = std::collections::HashSet::new();
+        for k in 0..(n * (n - 1) / 2) {
+            let (i, j) = triangle_unrank(k, n);
+            assert!(i < j && j < n, "bad pair ({i},{j})");
+            assert!(seen.insert((i, j)), "duplicate pair ({i},{j})");
+        }
+        assert_eq!(seen.len(), n * (n - 1) / 2);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let g1 = gnm_random_graph(30, 60, &mut SmallRng::seed_from_u64(7));
+        let g2 = gnm_random_graph(30, 60, &mut SmallRng::seed_from_u64(7));
+        assert_eq!(g1.edges(), g2.edges());
+    }
+}

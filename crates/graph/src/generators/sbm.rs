@@ -1,0 +1,249 @@
+//! Degree-corrected planted-partition (stochastic block model) generator.
+//!
+//! This is the dataset stand-in for the paper's six real graphs (DESIGN.md
+//! §1): it produces graphs with (a) a prescribed node/edge count, (b)
+//! heavy-tailed degrees (Chung–Lu weights with a power-law profile), and
+//! (c) planted community structure whose block ids double as class labels
+//! for the node-clustering task.
+
+use std::collections::HashSet;
+
+use rand::Rng;
+
+use crate::edge::Edge;
+use crate::graph::Graph;
+use crate::sampling::alias::AliasTable;
+
+/// Configuration for [`degree_corrected_sbm`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SbmConfig {
+    /// Number of nodes `|V|`.
+    pub num_nodes: usize,
+    /// Target number of undirected edges `|E|` (achieved exactly unless the
+    /// graph would need to be denser than the model supports).
+    pub num_edges: usize,
+    /// Number of planted blocks (class labels); `>= 1`.
+    pub num_blocks: usize,
+    /// Probability that a sampled edge crosses blocks, in `[0, 1)`.
+    /// Small values give strong, clusterable communities.
+    pub mixing: f64,
+    /// Degree power-law exponent `gamma > 1`; node weights follow
+    /// `w_i ~ rank^{-1/(gamma-1)}` (Chung–Lu). Typical social graphs: 2.2–3.
+    pub degree_exponent: f64,
+}
+
+impl SbmConfig {
+    /// Validates the configuration.
+    ///
+    /// # Panics
+    /// Panics on out-of-domain parameters; configuration errors here are
+    /// programming bugs, not runtime conditions.
+    fn validate(&self) {
+        assert!(self.num_nodes >= 2, "need at least 2 nodes");
+        assert!(self.num_blocks >= 1, "need at least one block");
+        assert!(self.num_blocks <= self.num_nodes, "more blocks than nodes");
+        assert!(
+            (0.0..1.0).contains(&self.mixing),
+            "mixing must be in [0,1), got {}",
+            self.mixing
+        );
+        assert!(
+            self.degree_exponent > 1.0,
+            "degree exponent must exceed 1, got {}",
+            self.degree_exponent
+        );
+        let max_edges = self.num_nodes * (self.num_nodes - 1) / 2;
+        assert!(
+            self.num_edges <= max_edges / 2,
+            "edge target {} too dense for {} nodes (max supported {})",
+            self.num_edges,
+            self.num_nodes,
+            max_edges / 2
+        );
+    }
+}
+
+/// Generates a degree-corrected planted-partition graph.
+///
+/// Nodes are assigned to `num_blocks` balanced blocks (block id = label).
+/// Each edge first decides intra- vs inter-block by `mixing`, then samples
+/// both endpoints weight-proportionally (weights are power-law distributed,
+/// shuffled so hubs appear throughout blocks). Duplicate edges and
+/// self-loops are rejected, so exactly `num_edges` distinct edges result.
+pub fn degree_corrected_sbm(cfg: &SbmConfig, rng: &mut impl Rng) -> Graph {
+    cfg.validate();
+    let n = cfg.num_nodes;
+    let k = cfg.num_blocks;
+
+    // Balanced block assignment by shuffled round-robin, so block sizes
+    // differ by at most one and block membership is independent of node id.
+    let mut perm: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        let j = rng.gen_range(0..=i);
+        perm.swap(i, j);
+    }
+    let mut labels = vec![0u32; n];
+    let mut blocks: Vec<Vec<u32>> = vec![Vec::new(); k];
+    for (pos, &node) in perm.iter().enumerate() {
+        let b = pos % k;
+        labels[node] = b as u32;
+        blocks[b].push(node as u32);
+    }
+
+    // Chung-Lu power-law weights: w(rank) = (rank + r0)^{-1/(gamma-1)}.
+    // The offset r0 bounds the ratio between the largest and smallest
+    // weight, keeping rejection rates low while preserving a heavy tail.
+    let power = 1.0 / (cfg.degree_exponent - 1.0);
+    let r0 = 10.0;
+    let mut weights = vec![0.0f64; n];
+    let mut rank_perm: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        let j = rng.gen_range(0..=i);
+        rank_perm.swap(i, j);
+    }
+    for (rank, &node) in rank_perm.iter().enumerate() {
+        weights[node] = (rank as f64 + r0).powf(-power);
+    }
+
+    // Weight-proportional samplers: one global, one per block.
+    let global = AliasTable::new(&weights).expect("positive weights");
+    let per_block: Vec<AliasTable> = blocks
+        .iter()
+        .map(|members| {
+            let w: Vec<f64> = members.iter().map(|&m| weights[m as usize]).collect();
+            AliasTable::new(&w).expect("positive weights")
+        })
+        .collect();
+
+    let mut seen: HashSet<Edge> = HashSet::with_capacity(cfg.num_edges * 2);
+    let mut edges: Vec<Edge> = Vec::with_capacity(cfg.num_edges);
+    let max_attempts = cfg.num_edges.saturating_mul(200).max(10_000);
+    let mut attempts = 0usize;
+    while edges.len() < cfg.num_edges {
+        attempts += 1;
+        assert!(
+            attempts <= max_attempts,
+            "SBM rejection sampling exceeded {max_attempts} attempts; \
+             configuration too dense or too concentrated"
+        );
+        let intra = k == 1 || rng.gen::<f64>() >= cfg.mixing;
+        let (a, b) = if intra {
+            let blk = rng.gen_range(0..k);
+            let members = &blocks[blk];
+            if members.len() < 2 {
+                continue;
+            }
+            let s = &per_block[blk];
+            (members[s.sample(rng)], members[s.sample(rng)])
+        } else {
+            (global.sample(rng) as u32, global.sample(rng) as u32)
+        };
+        if a == b {
+            continue;
+        }
+        if !intra && labels[a as usize] == labels[b as usize] {
+            // The global sampler can land in one block; resample to keep the
+            // inter-block fraction honest.
+            continue;
+        }
+        let e = Edge::from_raw(a, b);
+        if seen.insert(e) {
+            edges.push(e);
+        }
+    }
+    Graph::from_parts(n, edges, Some(labels))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn cfg(n: usize, m: usize, k: usize, mix: f64) -> SbmConfig {
+        SbmConfig {
+            num_nodes: n,
+            num_edges: m,
+            num_blocks: k,
+            mixing: mix,
+            degree_exponent: 2.5,
+        }
+    }
+
+    #[test]
+    fn exact_counts_and_labels() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let g = degree_corrected_sbm(&cfg(500, 2000, 5, 0.1), &mut rng);
+        assert_eq!(g.num_nodes(), 500);
+        assert_eq!(g.num_edges(), 2000);
+        assert_eq!(g.num_classes(), 5);
+        g.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn blocks_are_balanced() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let g = degree_corrected_sbm(&cfg(103, 300, 4, 0.2), &mut rng);
+        let labels = g.labels().unwrap();
+        let mut counts = [0usize; 4];
+        for &l in labels {
+            counts[l as usize] += 1;
+        }
+        let max = *counts.iter().max().unwrap();
+        let min = *counts.iter().min().unwrap();
+        assert!(max - min <= 1, "unbalanced blocks: {counts:?}");
+    }
+
+    #[test]
+    fn mixing_controls_inter_block_fraction() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let g = degree_corrected_sbm(&cfg(400, 3000, 4, 0.1), &mut rng);
+        let labels = g.labels().unwrap();
+        let inter = g
+            .edges()
+            .iter()
+            .filter(|e| labels[e.u().index()] != labels[e.v().index()])
+            .count() as f64
+            / g.num_edges() as f64;
+        assert!(
+            (inter - 0.1).abs() < 0.03,
+            "inter-block fraction {inter} far from mixing 0.1"
+        );
+    }
+
+    #[test]
+    fn degrees_are_heavy_tailed() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let g = degree_corrected_sbm(&cfg(2000, 10_000, 8, 0.15), &mut rng);
+        assert!(
+            g.max_degree() as f64 > 4.0 * g.mean_degree(),
+            "max {} vs mean {}",
+            g.max_degree(),
+            g.mean_degree()
+        );
+    }
+
+    #[test]
+    fn single_block_is_plain_chung_lu() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let g = degree_corrected_sbm(&cfg(200, 800, 1, 0.0), &mut rng);
+        assert_eq!(g.num_classes(), 1);
+        assert_eq!(g.num_edges(), 800);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let c = cfg(300, 1200, 3, 0.2);
+        let g1 = degree_corrected_sbm(&c, &mut SmallRng::seed_from_u64(9));
+        let g2 = degree_corrected_sbm(&c, &mut SmallRng::seed_from_u64(9));
+        assert_eq!(g1.edges(), g2.edges());
+        assert_eq!(g1.labels(), g2.labels());
+    }
+
+    #[test]
+    #[should_panic(expected = "too dense")]
+    fn overly_dense_config_rejected() {
+        let mut rng = SmallRng::seed_from_u64(6);
+        degree_corrected_sbm(&cfg(10, 40, 2, 0.1), &mut rng);
+    }
+}

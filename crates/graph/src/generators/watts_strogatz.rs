@@ -1,0 +1,98 @@
+//! Watts–Strogatz small-world graphs.
+
+use std::collections::HashSet;
+
+use rand::Rng;
+
+use crate::edge::Edge;
+use crate::graph::Graph;
+
+/// Watts–Strogatz small-world graph: a ring lattice where each node connects
+/// to its `k` nearest neighbors (`k` even), with each edge rewired to a
+/// uniform random endpoint with probability `beta`.
+///
+/// # Panics
+/// Panics if `k` is odd, `k >= n`, or `beta` is outside `[0, 1]`.
+pub fn watts_strogatz(n: usize, k: usize, beta: f64, rng: &mut impl Rng) -> Graph {
+    assert!(k.is_multiple_of(2), "k must be even, got {k}");
+    assert!(k < n, "need k < n, got k={k}, n={n}");
+    assert!((0.0..=1.0).contains(&beta), "beta must be in [0,1]");
+    let mut seen: HashSet<Edge> = HashSet::new();
+    // Ring lattice.
+    for i in 0..n {
+        for d in 1..=(k / 2) {
+            let j = (i + d) % n;
+            seen.insert(Edge::from_raw(i as u32, j as u32));
+        }
+    }
+    // Rewire each lattice edge with probability beta.
+    let lattice: Vec<Edge> = seen.iter().copied().collect();
+    for e in lattice {
+        if rng.gen::<f64>() < beta {
+            let u = e.u();
+            // Try a handful of random new endpoints; keep the old edge if the
+            // neighborhood is saturated.
+            for _ in 0..32 {
+                let w = rng.gen_range(0..n as u32);
+                if w == u.0 {
+                    continue;
+                }
+                let candidate = Edge::from_raw(u.0, w);
+                if !seen.contains(&candidate) {
+                    seen.remove(&e);
+                    seen.insert(candidate);
+                    break;
+                }
+            }
+        }
+    }
+    let mut edges: Vec<Edge> = seen.into_iter().collect();
+    edges.sort_unstable();
+    Graph::from_parts(n, edges, None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn beta_zero_is_ring_lattice() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let g = watts_strogatz(20, 4, 0.0, &mut rng);
+        assert_eq!(g.num_edges(), 20 * 2);
+        for i in 0..20 {
+            assert_eq!(g.degree(crate::node::NodeId::from_index(i)), 4);
+        }
+        g.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn edge_count_preserved_under_rewiring() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let g = watts_strogatz(100, 6, 0.3, &mut rng);
+        assert_eq!(g.num_edges(), 100 * 3);
+        g.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn full_rewiring_changes_structure() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let g = watts_strogatz(60, 4, 1.0, &mut rng);
+        assert_eq!(g.num_edges(), 120);
+        // With total rewiring some node should deviate from lattice degree 4.
+        let deviates = (0..60).any(|i| g.degree(crate::node::NodeId::from_index(i)) != 4);
+        assert!(
+            deviates,
+            "rewiring left a perfect lattice (astronomically unlikely)"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "even")]
+    fn odd_k_rejected() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        watts_strogatz(10, 3, 0.1, &mut rng);
+    }
+}

@@ -1,0 +1,221 @@
+//! The central undirected simple graph type.
+
+use crate::csr::Csr;
+use crate::edge::Edge;
+use crate::error::GraphError;
+use crate::node::NodeId;
+
+/// An undirected simple graph `G = (V, E)` with dense node ids `0..|V|`,
+/// CSR adjacency, and optional per-node class labels.
+///
+/// This mirrors the paper's setting exactly: simple graphs (self-loops
+/// removed in pre-processing), positive samples drawn from `E`, and labels
+/// available only on the datasets used for node clustering (PPI, Wiki, Blog).
+#[derive(Debug, Clone)]
+pub struct Graph {
+    num_nodes: usize,
+    edges: Vec<Edge>,
+    csr: Csr,
+    labels: Option<Vec<u32>>,
+}
+
+impl Graph {
+    /// Assembles a graph from pre-normalised parts (used by
+    /// [`crate::builder::GraphBuilder`] and the generators; edges must
+    /// already be deduplicated and self-loop free).
+    pub fn from_parts(num_nodes: usize, edges: Vec<Edge>, labels: Option<Vec<u32>>) -> Self {
+        let csr = Csr::from_edges(num_nodes, &edges);
+        if let Some(l) = &labels {
+            assert_eq!(l.len(), num_nodes, "label count must equal node count");
+        }
+        Graph {
+            num_nodes,
+            edges,
+            csr,
+            labels,
+        }
+    }
+
+    /// Number of nodes `|V|`.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Number of undirected edges `|E|`.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The canonical edge list.
+    #[inline]
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// CSR adjacency.
+    #[inline]
+    pub fn csr(&self) -> &Csr {
+        &self.csr
+    }
+
+    /// Per-node labels, if attached.
+    #[inline]
+    pub fn labels(&self) -> Option<&[u32]> {
+        self.labels.as_deref()
+    }
+
+    /// Number of distinct label classes (0 when unlabeled).
+    pub fn num_classes(&self) -> usize {
+        match &self.labels {
+            None => 0,
+            Some(l) => {
+                let mut seen: Vec<u32> = l.clone();
+                seen.sort_unstable();
+                seen.dedup();
+                seen.len()
+            }
+        }
+    }
+
+    /// Degree of a node.
+    #[inline]
+    pub fn degree(&self, n: NodeId) -> usize {
+        self.csr.degree(n)
+    }
+
+    /// Sorted neighbors of a node.
+    #[inline]
+    pub fn neighbors(&self, n: NodeId) -> &[u32] {
+        self.csr.neighbors(n)
+    }
+
+    /// Whether the undirected edge `(a, b)` exists.
+    #[inline]
+    pub fn has_edge(&self, a: NodeId, b: NodeId) -> bool {
+        self.csr.has_edge(a, b)
+    }
+
+    /// Mean degree `2|E| / |V|` (0 for an empty graph).
+    pub fn mean_degree(&self) -> f64 {
+        if self.num_nodes == 0 {
+            0.0
+        } else {
+            2.0 * self.num_edges() as f64 / self.num_nodes as f64
+        }
+    }
+
+    /// Maximum degree.
+    pub fn max_degree(&self) -> usize {
+        (0..self.num_nodes)
+            .map(|i| self.degree(NodeId::from_index(i)))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Number of isolated (degree-zero) nodes.
+    pub fn num_isolated(&self) -> usize {
+        (0..self.num_nodes)
+            .filter(|&i| self.degree(NodeId::from_index(i)) == 0)
+            .count()
+    }
+
+    /// Returns a new graph restricted to the given edge subset (same node
+    /// set, labels carried over). Used by the link-prediction split.
+    pub fn with_edges(&self, edges: Vec<Edge>) -> Graph {
+        Graph::from_parts(self.num_nodes, edges, self.labels.clone())
+    }
+
+    /// Validates internal invariants; used by tests and debug assertions.
+    ///
+    /// # Errors
+    /// Returns a descriptive [`GraphError`] on the first violated invariant.
+    pub fn check_invariants(&self) -> Result<(), GraphError> {
+        for e in &self.edges {
+            if e.v().index() >= self.num_nodes {
+                return Err(GraphError::NodeOutOfRange {
+                    node: e.v().index(),
+                    num_nodes: self.num_nodes,
+                });
+            }
+        }
+        if self.csr.num_directed_entries() != 2 * self.edges.len() {
+            return Err(GraphError::InvalidParameter {
+                name: "csr",
+                reason: "CSR entry count != 2|E| (duplicate or missing edges)".into(),
+            });
+        }
+        // Adjacency symmetry: every stored edge must be visible from both ends.
+        for e in &self.edges {
+            if !self.csr.has_edge(e.u(), e.v()) || !self.csr.has_edge(e.v(), e.u()) {
+                return Err(GraphError::InvalidParameter {
+                    name: "csr",
+                    reason: format!("edge {e} missing from adjacency"),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    fn path_graph(n: usize) -> Graph {
+        let mut b = GraphBuilder::new(n);
+        for i in 0..n.saturating_sub(1) {
+            b.add_edge(i, i + 1).unwrap();
+        }
+        b.build()
+    }
+
+    #[test]
+    fn counts_and_degrees() {
+        let g = path_graph(5);
+        assert_eq!(g.num_nodes(), 5);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.degree(NodeId(0)), 1);
+        assert_eq!(g.degree(NodeId(2)), 2);
+        assert_eq!(g.mean_degree(), 1.6);
+        assert_eq!(g.max_degree(), 2);
+        assert_eq!(g.num_isolated(), 0);
+    }
+
+    #[test]
+    fn invariants_hold_for_builder_output() {
+        let g = path_graph(10);
+        g.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn with_edges_restricts() {
+        let g = path_graph(4);
+        let sub = g.with_edges(vec![Edge::from_raw(0, 1)]);
+        assert_eq!(sub.num_edges(), 1);
+        assert_eq!(sub.num_nodes(), 4);
+        assert!(sub.has_edge(NodeId(0), NodeId(1)));
+        assert!(!sub.has_edge(NodeId(1), NodeId(2)));
+        sub.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn num_classes_counts_distinct() {
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(0, 1).unwrap();
+        b.with_labels(vec![0, 3, 3, 7]).unwrap();
+        let g = b.build();
+        assert_eq!(g.num_classes(), 3);
+        assert_eq!(path_graph(2).num_classes(), 0);
+    }
+
+    #[test]
+    fn isolated_nodes_counted() {
+        let mut b = GraphBuilder::new(5);
+        b.add_edge(0, 1).unwrap();
+        let g = b.build();
+        assert_eq!(g.num_isolated(), 3);
+    }
+}

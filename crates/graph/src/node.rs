@@ -1,0 +1,69 @@
+//! Node identifiers.
+
+use std::fmt;
+
+/// A dense node identifier in `0..|V|`.
+///
+/// Stored as `u32`: the largest paper dataset (DBLP) has 2.24M nodes, well
+/// within range, and halving the index width keeps edge lists and CSR arrays
+/// cache-friendly (the graph substrate is traversal-bound).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The identifier as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Constructs from a `usize` index.
+    ///
+    /// # Panics
+    /// Panics if `i` does not fit in `u32`.
+    #[inline]
+    pub fn from_index(i: usize) -> Self {
+        assert!(i <= u32::MAX as usize, "node index {i} exceeds u32 range");
+        NodeId(i as u32)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl From<u32> for NodeId {
+    fn from(v: u32) -> Self {
+        NodeId(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_index() {
+        let n = NodeId::from_index(42);
+        assert_eq!(n.index(), 42);
+        assert_eq!(n, NodeId(42));
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(NodeId(7).to_string(), "v7");
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(NodeId(1) < NodeId(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds u32 range")]
+    fn from_index_overflow_panics() {
+        NodeId::from_index(u32::MAX as usize + 1);
+    }
+}

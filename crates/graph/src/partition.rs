@@ -1,0 +1,236 @@
+//! Link-prediction edge splits (Section VI-A of the paper).
+//!
+//! "All existing links in each dataset are randomly split into a training
+//! set 90% and a test set 10%. For the test set, we sample the same number
+//! of node pairs without connected edges as negative test links [...] For
+//! the training set, we additionally sample the same number of node pairs
+//! without edges to construct negative training data."
+
+use std::collections::HashSet;
+
+use rand::Rng;
+
+use crate::edge::Edge;
+use crate::error::GraphError;
+use crate::graph::Graph;
+
+/// The output of a link-prediction split.
+#[derive(Debug, Clone)]
+pub struct LinkPredictionSplit {
+    /// Training graph (the retained edges; same node set and labels).
+    pub train: Graph,
+    /// Held-out positive test edges.
+    pub test_pos: Vec<Edge>,
+    /// Sampled non-edges used as negative test pairs (same count as
+    /// `test_pos`).
+    pub test_neg: Vec<Edge>,
+    /// Sampled non-edges matching the training-set size, for classifiers
+    /// that need negative training data.
+    pub train_neg: Vec<Edge>,
+}
+
+/// Splits `graph` into train/test for link prediction.
+///
+/// `test_fraction` is the held-out share of edges (the paper uses 0.10).
+/// Negative pairs are distinct, are non-edges of the *full* graph, and do
+/// not collide with each other.
+///
+/// # Errors
+/// Returns [`GraphError::EmptyGraph`] if the graph has no edges, or
+/// [`GraphError::InvalidParameter`] for an out-of-range fraction or when the
+/// graph is too dense to supply the requested number of non-edges.
+pub fn link_prediction_split(
+    graph: &Graph,
+    test_fraction: f64,
+    rng: &mut impl Rng,
+) -> Result<LinkPredictionSplit, GraphError> {
+    if graph.num_edges() == 0 {
+        return Err(GraphError::EmptyGraph {
+            op: "link prediction split",
+        });
+    }
+    if !(0.0..1.0).contains(&test_fraction) {
+        return Err(GraphError::InvalidParameter {
+            name: "test_fraction",
+            reason: format!("must be in [0,1), got {test_fraction}"),
+        });
+    }
+    let m = graph.num_edges();
+    let n_test = ((m as f64) * test_fraction).round() as usize;
+    let n_train = m - n_test;
+
+    // Shuffle edge indices, take the prefix as test.
+    let mut idx: Vec<usize> = (0..m).collect();
+    for i in (1..m).rev() {
+        let j = rng.gen_range(0..=i);
+        idx.swap(i, j);
+    }
+    let test_pos: Vec<Edge> = idx[..n_test].iter().map(|&i| graph.edges()[i]).collect();
+    let train_edges: Vec<Edge> = idx[n_test..].iter().map(|&i| graph.edges()[i]).collect();
+
+    let max_pairs = graph.num_nodes() * (graph.num_nodes() - 1) / 2;
+    let needed = n_test + n_train;
+    if needed + m > max_pairs {
+        return Err(GraphError::InvalidParameter {
+            name: "graph",
+            reason: format!(
+                "cannot sample {needed} distinct non-edges: graph has {m} edges \
+                 of {max_pairs} possible pairs"
+            ),
+        });
+    }
+    let negs = sample_non_edges(graph, needed, rng)?;
+    let (test_neg, train_neg) = negs.split_at(n_test);
+
+    Ok(LinkPredictionSplit {
+        train: graph.with_edges(train_edges),
+        test_pos,
+        test_neg: test_neg.to_vec(),
+        train_neg: train_neg.to_vec(),
+    })
+}
+
+/// Samples `count` distinct node pairs that are not edges of `graph`.
+///
+/// # Errors
+/// Returns [`GraphError::InvalidParameter`] if rejection sampling cannot
+/// find enough non-edges (pathologically dense graphs).
+pub fn sample_non_edges(
+    graph: &Graph,
+    count: usize,
+    rng: &mut impl Rng,
+) -> Result<Vec<Edge>, GraphError> {
+    let n = graph.num_nodes();
+    if n < 2 {
+        return Err(GraphError::InvalidParameter {
+            name: "graph",
+            reason: "need at least two nodes to sample non-edges".into(),
+        });
+    }
+    let mut seen: HashSet<Edge> = HashSet::with_capacity(count * 2);
+    let mut out = Vec::with_capacity(count);
+    let max_attempts = count.saturating_mul(500).max(10_000);
+    let mut attempts = 0usize;
+    while out.len() < count {
+        attempts += 1;
+        if attempts > max_attempts {
+            return Err(GraphError::InvalidParameter {
+                name: "count",
+                reason: format!(
+                    "found only {} of {count} non-edges after {max_attempts} attempts",
+                    out.len()
+                ),
+            });
+        }
+        let a = rng.gen_range(0..n as u32);
+        let b = rng.gen_range(0..n as u32);
+        if a == b {
+            continue;
+        }
+        let e = Edge::from_raw(a, b);
+        if graph.has_edge(e.u(), e.v()) {
+            continue;
+        }
+        if seen.insert(e) {
+            out.push(e);
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::erdos_renyi::gnm_random_graph;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn fixture() -> Graph {
+        let mut rng = SmallRng::seed_from_u64(42);
+        gnm_random_graph(200, 1000, &mut rng)
+    }
+
+    #[test]
+    fn split_sizes_match_paper_protocol() {
+        let g = fixture();
+        let mut rng = SmallRng::seed_from_u64(1);
+        let s = link_prediction_split(&g, 0.10, &mut rng).unwrap();
+        assert_eq!(s.test_pos.len(), 100);
+        assert_eq!(s.train.num_edges(), 900);
+        assert_eq!(s.test_neg.len(), s.test_pos.len());
+        assert_eq!(s.train_neg.len(), s.train.num_edges());
+    }
+
+    #[test]
+    fn test_and_train_edges_are_disjoint() {
+        let g = fixture();
+        let mut rng = SmallRng::seed_from_u64(2);
+        let s = link_prediction_split(&g, 0.10, &mut rng).unwrap();
+        let train_set: HashSet<Edge> = s.train.edges().iter().copied().collect();
+        for e in &s.test_pos {
+            assert!(!train_set.contains(e), "test edge {e} leaked into train");
+        }
+        // Union reconstructs the original edge set.
+        assert_eq!(train_set.len() + s.test_pos.len(), g.num_edges());
+    }
+
+    #[test]
+    fn negatives_are_true_non_edges() {
+        let g = fixture();
+        let mut rng = SmallRng::seed_from_u64(3);
+        let s = link_prediction_split(&g, 0.10, &mut rng).unwrap();
+        for e in s.test_neg.iter().chain(&s.train_neg) {
+            assert!(!g.has_edge(e.u(), e.v()), "negative {e} is a real edge");
+        }
+    }
+
+    #[test]
+    fn negatives_are_distinct() {
+        let g = fixture();
+        let mut rng = SmallRng::seed_from_u64(4);
+        let s = link_prediction_split(&g, 0.10, &mut rng).unwrap();
+        let all: Vec<Edge> = s.test_neg.iter().chain(&s.train_neg).copied().collect();
+        let set: HashSet<Edge> = all.iter().copied().collect();
+        assert_eq!(set.len(), all.len(), "duplicate negatives");
+    }
+
+    #[test]
+    fn labels_survive_split() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let g = crate::generators::sbm::degree_corrected_sbm(
+            &crate::generators::sbm::SbmConfig {
+                num_nodes: 100,
+                num_edges: 400,
+                num_blocks: 4,
+                mixing: 0.1,
+                degree_exponent: 2.5,
+            },
+            &mut rng,
+        );
+        let s = link_prediction_split(&g, 0.10, &mut rng).unwrap();
+        assert_eq!(s.train.labels(), g.labels());
+    }
+
+    #[test]
+    fn empty_graph_rejected() {
+        let g = Graph::from_parts(5, vec![], None);
+        let mut rng = SmallRng::seed_from_u64(6);
+        assert!(link_prediction_split(&g, 0.1, &mut rng).is_err());
+    }
+
+    #[test]
+    fn bad_fraction_rejected() {
+        let g = fixture();
+        let mut rng = SmallRng::seed_from_u64(7);
+        assert!(link_prediction_split(&g, 1.0, &mut rng).is_err());
+        assert!(link_prediction_split(&g, -0.1, &mut rng).is_err());
+    }
+
+    #[test]
+    fn non_edge_sampler_respects_count() {
+        let g = fixture();
+        let mut rng = SmallRng::seed_from_u64(8);
+        let negs = sample_non_edges(&g, 250, &mut rng).unwrap();
+        assert_eq!(negs.len(), 250);
+    }
+}

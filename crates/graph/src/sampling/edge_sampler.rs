@@ -1,0 +1,187 @@
+//! Uniform edge batches without replacement (Algorithm 2, line 1).
+//!
+//! Each discriminator step samples `B` edges uniformly **without
+//! replacement** from `E`. This is the "subsampling without replacement"
+//! event of Theorem 4, with sampling probability `gamma = B/|E|`, so
+//! correctness here is privacy-relevant, not just statistical.
+
+use rand::Rng;
+
+use crate::edge::Edge;
+use crate::error::GraphError;
+use crate::graph::Graph;
+
+/// Samples uniform edge batches without replacement.
+///
+/// Keeps a reusable index permutation; each call performs a partial
+/// Fisher–Yates shuffle over the first `B` slots, giving O(B) work per batch
+/// independent of `|E|`.
+#[derive(Debug, Clone)]
+pub struct EdgeBatchSampler {
+    indices: Vec<u32>,
+}
+
+impl EdgeBatchSampler {
+    /// Creates a sampler over `num_edges` edges.
+    ///
+    /// # Errors
+    /// Returns [`GraphError::EmptyGraph`] if there are no edges.
+    pub fn new(num_edges: usize) -> Result<Self, GraphError> {
+        if num_edges == 0 {
+            return Err(GraphError::EmptyGraph {
+                op: "edge batch sampling",
+            });
+        }
+        Ok(Self {
+            indices: (0..num_edges as u32).collect(),
+        })
+    }
+
+    /// Population size `|E|`.
+    pub fn num_edges(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// Draws `batch` distinct edge indices uniformly at random.
+    ///
+    /// # Errors
+    /// Returns [`GraphError::SampleTooLarge`] if `batch > |E|`.
+    pub fn sample_indices(
+        &mut self,
+        batch: usize,
+        rng: &mut impl Rng,
+    ) -> Result<&[u32], GraphError> {
+        if batch > self.indices.len() {
+            return Err(GraphError::SampleTooLarge {
+                requested: batch,
+                available: self.indices.len(),
+            });
+        }
+        for i in 0..batch {
+            let j = rng.gen_range(i..self.indices.len());
+            self.indices.swap(i, j);
+        }
+        Ok(&self.indices[..batch])
+    }
+
+    /// Draws a batch of edges from `graph` (whose edge list must be the
+    /// population this sampler was sized for).
+    ///
+    /// # Errors
+    /// Returns [`GraphError::SampleTooLarge`] if `batch > |E|`, or
+    /// [`GraphError::InvalidParameter`] if the graph's edge count changed.
+    pub fn sample_edges(
+        &mut self,
+        graph: &Graph,
+        batch: usize,
+        rng: &mut impl Rng,
+    ) -> Result<Vec<Edge>, GraphError> {
+        if graph.num_edges() != self.indices.len() {
+            return Err(GraphError::InvalidParameter {
+                name: "graph",
+                reason: format!(
+                    "sampler sized for {} edges, graph has {}",
+                    self.indices.len(),
+                    graph.num_edges()
+                ),
+            });
+        }
+        let idx = self.sample_indices(batch, rng)?;
+        Ok(idx.iter().map(|&i| graph.edges()[i as usize]).collect())
+    }
+
+    /// The subsampling probability `gamma = B/|E|` for the accountant.
+    pub fn sampling_probability(&self, batch: usize) -> f64 {
+        batch as f64 / self.indices.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::classic::complete_graph;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn batch_is_distinct() {
+        let mut s = EdgeBatchSampler::new(100).unwrap();
+        let mut rng = SmallRng::seed_from_u64(1);
+        let idx = s.sample_indices(40, &mut rng).unwrap().to_vec();
+        let mut sorted = idx.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 40, "batch contained duplicates");
+    }
+
+    #[test]
+    fn full_population_batch_is_permutation() {
+        let mut s = EdgeBatchSampler::new(10).unwrap();
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut idx = s.sample_indices(10, &mut rng).unwrap().to_vec();
+        idx.sort_unstable();
+        assert_eq!(idx, (0..10).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn oversized_batch_rejected() {
+        let mut s = EdgeBatchSampler::new(5).unwrap();
+        let mut rng = SmallRng::seed_from_u64(3);
+        assert!(matches!(
+            s.sample_indices(6, &mut rng),
+            Err(GraphError::SampleTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_population_rejected() {
+        assert!(EdgeBatchSampler::new(0).is_err());
+    }
+
+    #[test]
+    fn marginal_inclusion_is_uniform() {
+        // Each edge should appear in a B-of-n batch with probability B/n.
+        let n = 20;
+        let b = 5;
+        let trials = 20_000;
+        let mut s = EdgeBatchSampler::new(n).unwrap();
+        let mut rng = SmallRng::seed_from_u64(4);
+        let mut counts = vec![0usize; n];
+        for _ in 0..trials {
+            for &i in s.sample_indices(b, &mut rng).unwrap() {
+                counts[i as usize] += 1;
+            }
+        }
+        let expected = trials as f64 * b as f64 / n as f64;
+        for (i, &c) in counts.iter().enumerate() {
+            let dev = (c as f64 - expected).abs() / expected;
+            assert!(dev < 0.1, "edge {i} inclusion off by {dev}");
+        }
+    }
+
+    #[test]
+    fn sample_edges_matches_graph() {
+        let g = complete_graph(8);
+        let mut s = EdgeBatchSampler::new(g.num_edges()).unwrap();
+        let mut rng = SmallRng::seed_from_u64(5);
+        let edges = s.sample_edges(&g, 10, &mut rng).unwrap();
+        assert_eq!(edges.len(), 10);
+        for e in &edges {
+            assert!(g.has_edge(e.u(), e.v()));
+        }
+    }
+
+    #[test]
+    fn sampling_probability() {
+        let s = EdgeBatchSampler::new(200).unwrap();
+        assert!((s.sampling_probability(50) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mismatched_graph_rejected() {
+        let g = complete_graph(4); // 6 edges
+        let mut s = EdgeBatchSampler::new(10).unwrap();
+        let mut rng = SmallRng::seed_from_u64(6);
+        assert!(s.sample_edges(&g, 2, &mut rng).is_err());
+    }
+}

@@ -1,0 +1,250 @@
+//! Random walks for walk-based skip-gram front-ends.
+//!
+//! AdvSGM's skip-gram module can be instantiated with any skip-gram graph
+//! embedding; the paper's experiments use LINE-style edge sampling, but
+//! DeepWalk [1] and node2vec [3] walks are the other canonical front-ends,
+//! so the substrate provides them: uniform walks and p/q-biased second-order
+//! walks, plus a corpus generator that turns walks into training pairs.
+
+use rand::Rng;
+
+use crate::graph::Graph;
+use crate::node::NodeId;
+
+/// Parameters for walk-corpus generation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WalkParams {
+    /// Walks started per node.
+    pub walks_per_node: usize,
+    /// Length of each walk (number of nodes).
+    pub walk_length: usize,
+    /// Skip-gram window size for pair extraction.
+    pub window: usize,
+    /// node2vec return parameter `p` (1.0 = DeepWalk).
+    pub p: f64,
+    /// node2vec in-out parameter `q` (1.0 = DeepWalk).
+    pub q: f64,
+}
+
+impl Default for WalkParams {
+    fn default() -> Self {
+        Self {
+            walks_per_node: 10,
+            walk_length: 40,
+            window: 5,
+            p: 1.0,
+            q: 1.0,
+        }
+    }
+}
+
+/// A uniform (DeepWalk) random walk of up to `length` nodes starting at
+/// `start`; stops early at a node with no neighbors.
+pub fn random_walk(graph: &Graph, start: NodeId, length: usize, rng: &mut impl Rng) -> Vec<NodeId> {
+    let mut walk = Vec::with_capacity(length);
+    if length == 0 {
+        return walk;
+    }
+    walk.push(start);
+    let mut current = start;
+    while walk.len() < length {
+        let nbrs = graph.neighbors(current);
+        if nbrs.is_empty() {
+            break;
+        }
+        current = NodeId(nbrs[rng.gen_range(0..nbrs.len())]);
+        walk.push(current);
+    }
+    walk
+}
+
+/// A node2vec second-order biased walk with return parameter `p` and in-out
+/// parameter `q`, using rejection sampling (Grover & Leskovec's unnormalised
+/// weights: 1/p to return, 1 for common neighbors, 1/q otherwise).
+///
+/// # Panics
+/// Panics if `p <= 0` or `q <= 0`.
+pub fn node2vec_walk(
+    graph: &Graph,
+    start: NodeId,
+    length: usize,
+    p: f64,
+    q: f64,
+    rng: &mut impl Rng,
+) -> Vec<NodeId> {
+    assert!(p > 0.0 && q > 0.0, "node2vec requires p, q > 0");
+    let mut walk = Vec::with_capacity(length);
+    if length == 0 {
+        return walk;
+    }
+    walk.push(start);
+    if length == 1 {
+        return walk;
+    }
+    // First hop is uniform.
+    let nbrs = graph.neighbors(start);
+    if nbrs.is_empty() {
+        return walk;
+    }
+    let mut prev = start;
+    let mut current = NodeId(nbrs[rng.gen_range(0..nbrs.len())]);
+    walk.push(current);
+    let max_w = (1.0 / p).max(1.0).max(1.0 / q);
+    while walk.len() < length {
+        let nbrs = graph.neighbors(current);
+        if nbrs.is_empty() {
+            break;
+        }
+        // Rejection sampling against the envelope max_w.
+        let next = loop {
+            let cand = NodeId(nbrs[rng.gen_range(0..nbrs.len())]);
+            let w = if cand == prev {
+                1.0 / p
+            } else if graph.has_edge(cand, prev) {
+                1.0
+            } else {
+                1.0 / q
+            };
+            if rng.gen::<f64>() * max_w <= w {
+                break cand;
+            }
+        };
+        prev = current;
+        current = next;
+        walk.push(current);
+    }
+    walk
+}
+
+/// A corpus of skip-gram training pairs extracted from random walks.
+#[derive(Debug, Clone)]
+pub struct WalkCorpus {
+    /// Center/context pairs (both directions of each co-occurrence).
+    pub pairs: Vec<(NodeId, NodeId)>,
+}
+
+impl WalkCorpus {
+    /// Generates walks from every node and extracts windowed pairs.
+    pub fn generate(graph: &Graph, params: &WalkParams, rng: &mut impl Rng) -> Self {
+        let mut pairs = Vec::new();
+        for _ in 0..params.walks_per_node {
+            for s in 0..graph.num_nodes() {
+                let start = NodeId::from_index(s);
+                let walk = if (params.p - 1.0).abs() < f64::EPSILON
+                    && (params.q - 1.0).abs() < f64::EPSILON
+                {
+                    random_walk(graph, start, params.walk_length, rng)
+                } else {
+                    node2vec_walk(graph, start, params.walk_length, params.p, params.q, rng)
+                };
+                for (i, &center) in walk.iter().enumerate() {
+                    let lo = i.saturating_sub(params.window);
+                    let hi = (i + params.window + 1).min(walk.len());
+                    for &ctx in &walk[lo..hi] {
+                        if ctx != center {
+                            pairs.push((center, ctx));
+                        }
+                    }
+                }
+            }
+        }
+        Self { pairs }
+    }
+
+    /// Number of training pairs.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Whether the corpus is empty.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::classic::{karate_club, path_graph};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn walk_steps_follow_edges() {
+        let g = karate_club();
+        let mut rng = SmallRng::seed_from_u64(1);
+        let w = random_walk(&g, NodeId(0), 20, &mut rng);
+        assert_eq!(w.len(), 20);
+        for pair in w.windows(2) {
+            assert!(g.has_edge(pair[0], pair[1]), "non-edge step {pair:?}");
+        }
+    }
+
+    #[test]
+    fn walk_stops_at_isolated_node() {
+        let g = Graph::from_parts(3, vec![], None);
+        let mut rng = SmallRng::seed_from_u64(2);
+        let w = random_walk(&g, NodeId(1), 10, &mut rng);
+        assert_eq!(w, vec![NodeId(1)]);
+    }
+
+    #[test]
+    fn zero_length_walk_is_empty() {
+        let g = karate_club();
+        let mut rng = SmallRng::seed_from_u64(3);
+        assert!(random_walk(&g, NodeId(0), 0, &mut rng).is_empty());
+    }
+
+    #[test]
+    fn node2vec_steps_follow_edges() {
+        let g = karate_club();
+        let mut rng = SmallRng::seed_from_u64(4);
+        let w = node2vec_walk(&g, NodeId(0), 25, 0.5, 2.0, &mut rng);
+        for pair in w.windows(2) {
+            assert!(g.has_edge(pair[0], pair[1]));
+        }
+    }
+
+    #[test]
+    fn low_p_returns_often() {
+        // On a path graph with tiny p the walk keeps backtracking, so it
+        // stays near the start; with huge p it marches away.
+        let g = path_graph(200);
+        let mut rng = SmallRng::seed_from_u64(5);
+        let sticky = node2vec_walk(&g, NodeId(100), 50, 0.01, 1.0, &mut rng);
+        let roaming = node2vec_walk(&g, NodeId(100), 50, 100.0, 1.0, &mut rng);
+        let spread = |w: &[NodeId]| {
+            w.iter()
+                .map(|n| (n.index() as i64 - 100).abs())
+                .max()
+                .unwrap()
+        };
+        assert!(
+            spread(&sticky) < spread(&roaming),
+            "sticky={} roaming={}",
+            spread(&sticky),
+            spread(&roaming)
+        );
+    }
+
+    #[test]
+    fn corpus_pairs_within_window() {
+        let g = path_graph(30);
+        let mut rng = SmallRng::seed_from_u64(6);
+        let params = WalkParams {
+            walks_per_node: 1,
+            walk_length: 10,
+            window: 2,
+            p: 1.0,
+            q: 1.0,
+        };
+        let corpus = WalkCorpus::generate(&g, &params, &mut rng);
+        assert!(!corpus.is_empty());
+        // On a path graph, window-2 co-occurrences are at distance <= 2.
+        for &(a, b) in &corpus.pairs {
+            let d = (a.index() as i64 - b.index() as i64).abs();
+            assert!(d <= 2, "pair ({a}, {b}) outside window");
+            assert_ne!(a, b);
+        }
+    }
+}

@@ -1,0 +1,81 @@
+//! Error type for linear-algebra operations.
+
+use std::fmt;
+
+/// Errors produced by shape-checked linear-algebra operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LinalgError {
+    /// Two operands had incompatible shapes.
+    DimensionMismatch {
+        /// Human-readable name of the failing operation.
+        op: &'static str,
+        /// Shape of the left operand (rows, cols); vectors use `(len, 1)`.
+        lhs: (usize, usize),
+        /// Shape of the right operand.
+        rhs: (usize, usize),
+    },
+    /// An index was out of bounds for the container.
+    IndexOutOfBounds {
+        /// Which axis the index addressed.
+        axis: &'static str,
+        /// The offending index.
+        index: usize,
+        /// The container extent along that axis.
+        len: usize,
+    },
+    /// A parameter was outside its legal domain (e.g. a non-positive bound).
+    InvalidParameter {
+        /// Parameter name.
+        name: &'static str,
+        /// Explanation of the constraint that was violated.
+        reason: String,
+    },
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::DimensionMismatch { op, lhs, rhs } => write!(
+                f,
+                "dimension mismatch in {op}: lhs {}x{} vs rhs {}x{}",
+                lhs.0, lhs.1, rhs.0, rhs.1
+            ),
+            LinalgError::IndexOutOfBounds { axis, index, len } => {
+                write!(f, "{axis} index {index} out of bounds for length {len}")
+            }
+            LinalgError::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter {name}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = LinalgError::DimensionMismatch {
+            op: "dot",
+            lhs: (3, 1),
+            rhs: (4, 1),
+        };
+        let s = e.to_string();
+        assert!(s.contains("dot"));
+        assert!(s.contains("3x1"));
+        assert!(s.contains("4x1"));
+    }
+
+    #[test]
+    fn error_trait_object_works() {
+        let e: Box<dyn std::error::Error> = Box::new(LinalgError::IndexOutOfBounds {
+            axis: "row",
+            index: 9,
+            len: 3,
+        });
+        assert!(e.to_string().contains("row index 9"));
+    }
+}

@@ -1,0 +1,279 @@
+//! First-order optimizers with row-sparse updates.
+//!
+//! Skip-gram gradients are one-hot: a batch touches only the embedding rows
+//! of the sampled nodes (Section IV-D of the paper: "only a fraction of the
+//! node vectors in W_in and W_out are updated"). The [`Optimizer`] trait
+//! therefore updates one *row* at a time, identified by a `slot` index so
+//! that stateful optimizers (momentum, Adam) can keep per-row state.
+
+use std::collections::HashMap;
+
+/// A first-order optimizer applying gradient steps to individual rows.
+pub trait Optimizer {
+    /// Applies one descent step `param -= f(grad)` for the row identified by
+    /// `slot`. `param` and `grad` must have equal lengths.
+    fn step(&mut self, slot: usize, param: &mut [f64], grad: &[f64]);
+
+    /// Current learning rate.
+    fn learning_rate(&self) -> f64;
+
+    /// Replaces the learning rate (for schedules).
+    fn set_learning_rate(&mut self, lr: f64);
+
+    /// Clears any accumulated state (momentum buffers etc.).
+    fn reset(&mut self) {}
+}
+
+/// Plain stochastic gradient descent: `param -= lr * grad`.
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    lr: f64,
+}
+
+impl Sgd {
+    /// Creates SGD with learning rate `lr > 0`.
+    ///
+    /// # Panics
+    /// Panics if `lr <= 0`.
+    pub fn new(lr: f64) -> Self {
+        assert!(lr > 0.0, "learning rate must be positive, got {lr}");
+        Self { lr }
+    }
+}
+
+impl Optimizer for Sgd {
+    #[inline]
+    fn step(&mut self, _slot: usize, param: &mut [f64], grad: &[f64]) {
+        assert_eq!(param.len(), grad.len(), "sgd step: length mismatch");
+        for (p, g) in param.iter_mut().zip(grad) {
+            *p -= self.lr * g;
+        }
+    }
+
+    fn learning_rate(&self) -> f64 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f64) {
+        assert!(lr > 0.0, "learning rate must be positive, got {lr}");
+        self.lr = lr;
+    }
+}
+
+/// SGD with classical (heavy-ball) momentum.
+#[derive(Debug, Clone)]
+pub struct SgdMomentum {
+    lr: f64,
+    beta: f64,
+    velocity: HashMap<usize, Vec<f64>>,
+}
+
+impl SgdMomentum {
+    /// Creates momentum SGD. `beta` in `[0, 1)`.
+    ///
+    /// # Panics
+    /// Panics on out-of-range hyper-parameters.
+    pub fn new(lr: f64, beta: f64) -> Self {
+        assert!(lr > 0.0, "learning rate must be positive");
+        assert!((0.0..1.0).contains(&beta), "momentum beta must be in [0,1)");
+        Self {
+            lr,
+            beta,
+            velocity: HashMap::new(),
+        }
+    }
+}
+
+impl Optimizer for SgdMomentum {
+    fn step(&mut self, slot: usize, param: &mut [f64], grad: &[f64]) {
+        assert_eq!(param.len(), grad.len(), "momentum step: length mismatch");
+        let v = self
+            .velocity
+            .entry(slot)
+            .or_insert_with(|| vec![0.0; param.len()]);
+        assert_eq!(v.len(), param.len(), "slot reused with different width");
+        for ((p, g), vi) in param.iter_mut().zip(grad).zip(v.iter_mut()) {
+            *vi = self.beta * *vi + g;
+            *p -= self.lr * *vi;
+        }
+    }
+
+    fn learning_rate(&self) -> f64 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f64) {
+        assert!(lr > 0.0, "learning rate must be positive");
+        self.lr = lr;
+    }
+
+    fn reset(&mut self) {
+        self.velocity.clear();
+    }
+}
+
+/// Adam (Kingma & Ba) with per-row state; used by the GNN-style baselines.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    lr: f64,
+    beta1: f64,
+    beta2: f64,
+    eps: f64,
+    state: HashMap<usize, AdamSlot>,
+}
+
+#[derive(Debug, Clone)]
+struct AdamSlot {
+    m: Vec<f64>,
+    v: Vec<f64>,
+    t: u64,
+}
+
+impl Adam {
+    /// Creates Adam with the usual defaults `beta1=0.9, beta2=0.999, eps=1e-8`.
+    pub fn new(lr: f64) -> Self {
+        Self::with_params(lr, 0.9, 0.999, 1e-8)
+    }
+
+    /// Fully parameterised constructor.
+    ///
+    /// # Panics
+    /// Panics on out-of-range hyper-parameters.
+    pub fn with_params(lr: f64, beta1: f64, beta2: f64, eps: f64) -> Self {
+        assert!(lr > 0.0, "learning rate must be positive");
+        assert!((0.0..1.0).contains(&beta1), "beta1 must be in [0,1)");
+        assert!((0.0..1.0).contains(&beta2), "beta2 must be in [0,1)");
+        assert!(eps > 0.0, "eps must be positive");
+        Self {
+            lr,
+            beta1,
+            beta2,
+            eps,
+            state: HashMap::new(),
+        }
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, slot: usize, param: &mut [f64], grad: &[f64]) {
+        assert_eq!(param.len(), grad.len(), "adam step: length mismatch");
+        let s = self.state.entry(slot).or_insert_with(|| AdamSlot {
+            m: vec![0.0; param.len()],
+            v: vec![0.0; param.len()],
+            t: 0,
+        });
+        assert_eq!(s.m.len(), param.len(), "slot reused with different width");
+        s.t += 1;
+        let b1t = 1.0 - self.beta1.powi(s.t as i32);
+        let b2t = 1.0 - self.beta2.powi(s.t as i32);
+        for i in 0..param.len() {
+            s.m[i] = self.beta1 * s.m[i] + (1.0 - self.beta1) * grad[i];
+            s.v[i] = self.beta2 * s.v[i] + (1.0 - self.beta2) * grad[i] * grad[i];
+            let m_hat = s.m[i] / b1t;
+            let v_hat = s.v[i] / b2t;
+            param[i] -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
+        }
+    }
+
+    fn learning_rate(&self) -> f64 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f64) {
+        assert!(lr > 0.0, "learning rate must be positive");
+        self.lr = lr;
+    }
+
+    fn reset(&mut self) {
+        self.state.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sgd_single_step() {
+        let mut opt = Sgd::new(0.1);
+        let mut p = vec![1.0, -1.0];
+        opt.step(0, &mut p, &[2.0, -4.0]);
+        assert_eq!(p, vec![0.8, -0.6]);
+    }
+
+    #[test]
+    fn sgd_lr_change() {
+        let mut opt = Sgd::new(0.1);
+        opt.set_learning_rate(0.5);
+        assert_eq!(opt.learning_rate(), 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn sgd_rejects_zero_lr() {
+        Sgd::new(0.0);
+    }
+
+    #[test]
+    fn momentum_accumulates_velocity() {
+        let mut opt = SgdMomentum::new(1.0, 0.5);
+        let mut p = vec![0.0];
+        opt.step(0, &mut p, &[1.0]); // v = 1, p = -1
+        opt.step(0, &mut p, &[1.0]); // v = 1.5, p = -2.5
+        assert!((p[0] + 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn momentum_slots_are_independent() {
+        let mut opt = SgdMomentum::new(1.0, 0.9);
+        let mut p0 = vec![0.0];
+        let mut p1 = vec![0.0];
+        opt.step(0, &mut p0, &[1.0]);
+        opt.step(1, &mut p1, &[1.0]);
+        // Both are first steps -> same magnitude despite shared optimizer.
+        assert_eq!(p0, p1);
+    }
+
+    #[test]
+    fn momentum_reset_clears_state() {
+        let mut opt = SgdMomentum::new(1.0, 0.9);
+        let mut p = vec![0.0];
+        opt.step(0, &mut p, &[1.0]);
+        opt.reset();
+        let mut q = vec![0.0];
+        opt.step(0, &mut q, &[1.0]);
+        assert_eq!(q[0], -1.0); // as if first step again
+    }
+
+    #[test]
+    fn adam_first_step_is_lr_sized() {
+        // With bias correction the very first Adam step is ~lr * sign(grad).
+        let mut opt = Adam::new(0.01);
+        let mut p = vec![0.0];
+        opt.step(0, &mut p, &[3.0]);
+        assert!((p[0] + 0.01).abs() < 1e-6, "p={}", p[0]);
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        // Minimise f(x) = (x - 3)^2 with gradient 2(x-3).
+        let mut opt = Adam::new(0.1);
+        let mut p = vec![0.0];
+        for _ in 0..2000 {
+            let g = 2.0 * (p[0] - 3.0);
+            opt.step(0, &mut p, &[g]);
+        }
+        assert!((p[0] - 3.0).abs() < 1e-2, "p={}", p[0]);
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let mut opt = Sgd::new(0.1);
+        let mut p = vec![10.0];
+        for _ in 0..200 {
+            let g = 2.0 * (p[0] - 3.0);
+            opt.step(0, &mut p, &[g]);
+        }
+        assert!((p[0] - 3.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,199 @@
+//! Summary statistics for experiment tables.
+//!
+//! Every table in the paper reports "average ± standard deviation" over five
+//! independent runs; this module provides the tiny statistics kit the bench
+//! harness uses to produce those cells.
+
+use std::fmt;
+
+/// Arithmetic mean; 0.0 for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Unbiased sample variance (n-1 denominator); 0.0 for fewer than 2 samples.
+pub fn variance(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64
+}
+
+/// Sample standard deviation.
+pub fn stddev(xs: &[f64]) -> f64 {
+    variance(xs).sqrt()
+}
+
+/// Median (average of the two central order statistics for even n);
+/// 0.0 for an empty slice.
+pub fn median(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut v = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("NaN in median input"));
+    let n = v.len();
+    if n % 2 == 1 {
+        v[n / 2]
+    } else {
+        0.5 * (v[n / 2 - 1] + v[n / 2])
+    }
+}
+
+/// Minimum; +inf for an empty slice.
+pub fn min(xs: &[f64]) -> f64 {
+    xs.iter().copied().fold(f64::INFINITY, f64::min)
+}
+
+/// Maximum; -inf for an empty slice.
+pub fn max(xs: &[f64]) -> f64 {
+    xs.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+}
+
+/// A "mean ± std" summary of repeated measurements, displayed like the
+/// paper's table cells (`0.6095±0.0101`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Mean over runs.
+    pub mean: f64,
+    /// Sample standard deviation over runs.
+    pub std: f64,
+    /// Number of runs aggregated.
+    pub n: usize,
+}
+
+impl Summary {
+    /// Summarises a slice of measurements.
+    pub fn of(xs: &[f64]) -> Self {
+        Self {
+            mean: mean(xs),
+            std: stddev(xs),
+            n: xs.len(),
+        }
+    }
+}
+
+impl fmt::Display for Summary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.4}\u{b1}{:.4}", self.mean, self.std)
+    }
+}
+
+/// Welford's online mean/variance accumulator, for streaming statistics in
+/// long training loops without storing every sample.
+#[derive(Debug, Clone, Default)]
+pub struct OnlineStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl OnlineStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Number of observations so far.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Running mean (0.0 before any observation).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Unbiased running variance (0.0 with fewer than 2 observations).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Running standard deviation.
+    pub fn stddev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_simple() {
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
+        assert_eq!(mean(&[]), 0.0);
+    }
+
+    #[test]
+    fn variance_known_value() {
+        // Sample variance of {2, 4, 4, 4, 5, 5, 7, 9} is 32/7.
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((variance(&xs) - 32.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn variance_degenerate() {
+        assert_eq!(variance(&[5.0]), 0.0);
+        assert_eq!(variance(&[]), 0.0);
+    }
+
+    #[test]
+    fn median_odd_even() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 3.0, 2.0]), 2.5);
+        assert_eq!(median(&[]), 0.0);
+    }
+
+    #[test]
+    fn min_max_simple() {
+        let xs = [3.0, -1.0, 2.0];
+        assert_eq!(min(&xs), -1.0);
+        assert_eq!(max(&xs), 3.0);
+    }
+
+    #[test]
+    fn summary_display_matches_paper_format() {
+        let s = Summary::of(&[0.6, 0.62, 0.61, 0.6, 0.62]);
+        let txt = s.to_string();
+        assert!(txt.starts_with("0.61"), "{txt}");
+        assert!(txt.contains('\u{b1}'), "{txt}");
+        assert_eq!(s.n, 5);
+    }
+
+    #[test]
+    fn online_matches_batch() {
+        let xs = [1.0, 4.0, 9.0, 16.0, 25.0];
+        let mut o = OnlineStats::new();
+        for &x in &xs {
+            o.push(x);
+        }
+        assert!((o.mean() - mean(&xs)).abs() < 1e-12);
+        assert!((o.variance() - variance(&xs)).abs() < 1e-9);
+        assert_eq!(o.count(), 5);
+    }
+
+    #[test]
+    fn online_empty_is_zero() {
+        let o = OnlineStats::new();
+        assert_eq!(o.mean(), 0.0);
+        assert_eq!(o.variance(), 0.0);
+    }
+}

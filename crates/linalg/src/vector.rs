@@ -1,0 +1,271 @@
+//! BLAS-1 style kernels over `f64` slices.
+//!
+//! These are the hot inner loops of skip-gram training: every positive or
+//! negative pair costs a handful of dot products and axpy updates over
+//! `r`-dimensional rows. All functions assert matching lengths in debug
+//! builds and rely on iterator zips so the compiler can elide bounds checks.
+
+/// Dot product `x . y`.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+#[inline]
+pub fn dot(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "dot: length mismatch");
+    x.iter().zip(y).map(|(a, b)| a * b).sum()
+}
+
+/// `y += alpha * x` (the classic axpy update).
+#[inline]
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "axpy: length mismatch");
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// `x *= alpha` in place.
+#[inline]
+pub fn scale(x: &mut [f64], alpha: f64) {
+    for v in x.iter_mut() {
+        *v *= alpha;
+    }
+}
+
+/// Element-wise `out = x + y` into a fresh vector.
+#[inline]
+pub fn add(x: &[f64], y: &[f64]) -> Vec<f64> {
+    assert_eq!(x.len(), y.len(), "add: length mismatch");
+    x.iter().zip(y).map(|(a, b)| a + b).collect()
+}
+
+/// Element-wise `out = x - y` into a fresh vector.
+#[inline]
+pub fn sub(x: &[f64], y: &[f64]) -> Vec<f64> {
+    assert_eq!(x.len(), y.len(), "sub: length mismatch");
+    x.iter().zip(y).map(|(a, b)| a - b).collect()
+}
+
+/// Squared Euclidean norm `||x||^2`.
+#[inline]
+pub fn norm2_sq(x: &[f64]) -> f64 {
+    x.iter().map(|v| v * v).sum()
+}
+
+/// Euclidean norm `||x||`.
+#[inline]
+pub fn norm2(x: &[f64]) -> f64 {
+    norm2_sq(x).sqrt()
+}
+
+/// Squared Euclidean distance `||x - y||^2`.
+#[inline]
+pub fn dist_sq(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "dist_sq: length mismatch");
+    x.iter().zip(y).map(|(a, b)| (a - b) * (a - b)).sum()
+}
+
+/// DPSGD gradient clipping (Abadi et al. 2016, Eq. (5) of the AdvSGM paper):
+/// rescales `x` in place to `x / max(1, ||x||_2 / c)` and returns the factor
+/// that was applied (1.0 when no clipping occurred).
+///
+/// After the call `||x||_2 <= c` holds up to floating-point rounding.
+#[inline]
+pub fn clip_l2(x: &mut [f64], c: f64) -> f64 {
+    assert!(c > 0.0, "clip_l2: threshold must be positive, got {c}");
+    let norm = norm2(x);
+    if norm > c {
+        let factor = c / norm;
+        scale(x, factor);
+        factor
+    } else {
+        1.0
+    }
+}
+
+/// Returns a clipped copy of `x` (see [`clip_l2`]).
+#[inline]
+pub fn clipped(x: &[f64], c: f64) -> Vec<f64> {
+    let mut out = x.to_vec();
+    clip_l2(&mut out, c);
+    out
+}
+
+/// Normalises `x` to unit L2 norm in place. Zero vectors are left unchanged.
+/// Returns the original norm.
+#[inline]
+pub fn normalize(x: &mut [f64]) -> f64 {
+    let norm = norm2(x);
+    if norm > 0.0 {
+        scale(x, 1.0 / norm);
+    }
+    norm
+}
+
+/// Cosine similarity between `x` and `y`; 0.0 if either vector is zero.
+#[inline]
+pub fn cosine(x: &[f64], y: &[f64]) -> f64 {
+    let nx = norm2(x);
+    let ny = norm2(y);
+    if nx == 0.0 || ny == 0.0 {
+        0.0
+    } else {
+        dot(x, y) / (nx * ny)
+    }
+}
+
+/// Sets every element of `x` to zero.
+#[inline]
+pub fn zero(x: &mut [f64]) {
+    for v in x.iter_mut() {
+        *v = 0.0;
+    }
+}
+
+/// Element-wise Hadamard product `out = x (.) y`.
+#[inline]
+pub fn hadamard(x: &[f64], y: &[f64]) -> Vec<f64> {
+    assert_eq!(x.len(), y.len(), "hadamard: length mismatch");
+    x.iter().zip(y).map(|(a, b)| a * b).collect()
+}
+
+/// `y += x` element-wise.
+#[inline]
+pub fn add_assign(y: &mut [f64], x: &[f64]) {
+    axpy(1.0, x, y);
+}
+
+/// Sum of all elements.
+#[inline]
+pub fn sum(x: &[f64]) -> f64 {
+    x.iter().sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_matches_manual() {
+        assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+    }
+
+    #[test]
+    fn dot_empty_is_zero() {
+        assert_eq!(dot(&[], &[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn dot_mismatch_panics() {
+        dot(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut y = vec![1.0, 1.0];
+        axpy(2.0, &[3.0, 4.0], &mut y);
+        assert_eq!(y, vec![7.0, 9.0]);
+    }
+
+    #[test]
+    fn scale_in_place() {
+        let mut x = vec![1.0, -2.0];
+        scale(&mut x, -3.0);
+        assert_eq!(x, vec![-3.0, 6.0]);
+    }
+
+    #[test]
+    fn norms_agree() {
+        let x = [3.0, 4.0];
+        assert_eq!(norm2_sq(&x), 25.0);
+        assert_eq!(norm2(&x), 5.0);
+    }
+
+    #[test]
+    fn clip_leaves_short_vectors_alone() {
+        let mut x = vec![0.3, 0.4];
+        let f = clip_l2(&mut x, 1.0);
+        assert_eq!(f, 1.0);
+        assert_eq!(x, vec![0.3, 0.4]);
+    }
+
+    #[test]
+    fn clip_rescales_long_vectors_to_threshold() {
+        let mut x = vec![3.0, 4.0];
+        let f = clip_l2(&mut x, 1.0);
+        assert!((f - 0.2).abs() < 1e-12);
+        assert!((norm2(&x) - 1.0).abs() < 1e-12);
+        // Direction is preserved.
+        assert!((x[0] / x[1] - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clip_boundary_exactly_at_threshold() {
+        let mut x = vec![1.0, 0.0];
+        assert_eq!(clip_l2(&mut x, 1.0), 1.0);
+        assert_eq!(x, vec![1.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold must be positive")]
+    fn clip_rejects_nonpositive_threshold() {
+        clip_l2(&mut [1.0], 0.0);
+    }
+
+    #[test]
+    fn normalize_unit_norm() {
+        let mut x = vec![3.0, 4.0];
+        let n = normalize(&mut x);
+        assert_eq!(n, 5.0);
+        assert!((norm2(&x) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalize_zero_vector_is_noop() {
+        let mut x = vec![0.0, 0.0];
+        assert_eq!(normalize(&mut x), 0.0);
+        assert_eq!(x, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn cosine_of_parallel_vectors_is_one() {
+        assert!((cosine(&[1.0, 2.0], &[2.0, 4.0]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cosine_of_orthogonal_vectors_is_zero() {
+        assert!(cosine(&[1.0, 0.0], &[0.0, 1.0]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cosine_with_zero_vector_is_zero() {
+        assert_eq!(cosine(&[0.0, 0.0], &[1.0, 1.0]), 0.0);
+    }
+
+    #[test]
+    fn dist_sq_matches_norm_of_difference() {
+        let x = [1.0, 2.0, 3.0];
+        let y = [4.0, 6.0, 3.0];
+        assert_eq!(dist_sq(&x, &y), norm2_sq(&sub(&x, &y)));
+    }
+
+    #[test]
+    fn hadamard_elementwise() {
+        assert_eq!(hadamard(&[1.0, 2.0], &[3.0, 4.0]), vec![3.0, 8.0]);
+    }
+
+    #[test]
+    fn add_sub_roundtrip() {
+        let x = [1.0, 2.0];
+        let y = [0.5, -0.5];
+        assert_eq!(sub(&add(&x, &y), &y), x.to_vec());
+    }
+
+    #[test]
+    fn zero_clears() {
+        let mut x = vec![1.0, 2.0];
+        zero(&mut x);
+        assert_eq!(x, vec![0.0, 0.0]);
+    }
+}

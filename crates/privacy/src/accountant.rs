@@ -1,0 +1,305 @@
+//! Online RDP accountant with the paper's stopping rule.
+//!
+//! Theorem 7: after `n_epoch * n_D` discriminator iterations, each consuming
+//! one subsampled-Gaussian step at rate `B/|E|` (positive batch) and one at
+//! rate `Bk/|V|` (negative batch), the discriminator is
+//! `(alpha, n_epoch n_D (eps_{B/|E|}(alpha) + eps_{Bk/|V|}(alpha)))`-RDP;
+//! the generator inherits the guarantee by post-processing (Theorem 2).
+//!
+//! The accountant accumulates per-step curves online and implements
+//! Algorithm 3 lines 9–11: after each update compute
+//! `delta_hat = get_privacy_spent(target epsilon)` and stop when
+//! `delta_hat >= delta`.
+
+use std::collections::HashMap;
+
+use crate::conversion::{rdp_to_delta, rdp_to_epsilon};
+use crate::error::PrivacyError;
+use crate::rdp::default_alpha_grid;
+use crate::subsampled::subsampled_gaussian_curve;
+
+/// Online Rényi-DP accountant over the workspace's integer order grid.
+#[derive(Debug, Clone)]
+pub struct RdpAccountant {
+    alphas: Vec<usize>,
+    /// Accumulated `eps(alpha)` per grid order.
+    totals: Vec<f64>,
+    /// Cache of per-step curves keyed by (sigma, gamma) bits.
+    cache: HashMap<(u64, u64), Vec<f64>>,
+    steps_recorded: u64,
+}
+
+impl RdpAccountant {
+    /// Creates an empty accountant on the default order grid.
+    pub fn new() -> Self {
+        Self::with_orders(default_alpha_grid())
+    }
+
+    /// Creates an accountant on a caller-supplied integer order grid.
+    ///
+    /// # Panics
+    /// Panics if the grid is empty or contains an order below 2.
+    pub fn with_orders(alphas: Vec<usize>) -> Self {
+        assert!(!alphas.is_empty(), "order grid must be non-empty");
+        assert!(
+            alphas.iter().all(|&a| a >= 2),
+            "all orders must be >= 2 for Theorem 4"
+        );
+        let n = alphas.len();
+        Self {
+            alphas,
+            totals: vec![0.0; n],
+            cache: HashMap::new(),
+            steps_recorded: 0,
+        }
+    }
+
+    /// Number of recorded mechanism invocations.
+    pub fn steps(&self) -> u64 {
+        self.steps_recorded
+    }
+
+    /// Records `count` invocations of a subsampled Gaussian mechanism with
+    /// noise multiplier `sigma` and sampling rate `gamma` (clamped to 1).
+    ///
+    /// # Errors
+    /// Propagates parameter validation from the amplification bound.
+    pub fn record_subsampled_gaussian(
+        &mut self,
+        sigma: f64,
+        gamma: f64,
+        count: u64,
+    ) -> Result<(), PrivacyError> {
+        if count == 0 {
+            return Ok(());
+        }
+        let gamma = gamma.min(1.0);
+        let key = (sigma.to_bits(), gamma.to_bits());
+        if !self.cache.contains_key(&key) {
+            let curve = subsampled_gaussian_curve(sigma, gamma, &self.alphas)?;
+            self.cache
+                .insert(key, curve.into_iter().map(|(_, e)| e).collect());
+        }
+        let step = &self.cache[&key];
+        for (t, &e) in self.totals.iter_mut().zip(step) {
+            *t += e * count as f64;
+        }
+        self.steps_recorded += count;
+        Ok(())
+    }
+
+    /// The accumulated RDP curve as `(alpha, eps)` pairs.
+    pub fn curve(&self) -> Vec<(usize, f64)> {
+        self.alphas
+            .iter()
+            .copied()
+            .zip(self.totals.iter().copied())
+            .collect()
+    }
+
+    /// Tightest `(epsilon, alpha)` at the target `delta`.
+    ///
+    /// # Errors
+    /// Propagates conversion validation errors.
+    pub fn epsilon(&self, delta: f64) -> Result<(f64, usize), PrivacyError> {
+        rdp_to_epsilon(&self.curve(), delta)
+    }
+
+    /// Smallest achievable `delta` at the target `epsilon`
+    /// (`get_privacy_spent` in Algorithm 3, line 10).
+    ///
+    /// # Errors
+    /// Propagates conversion validation errors.
+    pub fn delta(&self, epsilon: f64) -> Result<f64, PrivacyError> {
+        rdp_to_delta(&self.curve(), epsilon)
+    }
+
+    /// Algorithm 3, line 11: returns `Err(BudgetExhausted)` once the
+    /// achievable `delta_hat` at `target_epsilon` reaches `target_delta`.
+    ///
+    /// # Errors
+    /// [`PrivacyError::BudgetExhausted`] when training must stop;
+    /// validation errors for out-of-domain targets.
+    pub fn check_budget(&self, target_epsilon: f64, target_delta: f64) -> Result<(), PrivacyError> {
+        let delta_hat = self.delta(target_epsilon)?;
+        if delta_hat >= target_delta {
+            Err(PrivacyError::BudgetExhausted {
+                delta_spent: delta_hat,
+                delta_target: target_delta,
+            })
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Clears all accumulated privacy loss (cache retained).
+    pub fn reset(&mut self) {
+        self.totals.iter_mut().for_each(|t| *t = 0.0);
+        self.steps_recorded = 0;
+    }
+
+    /// Plans ahead: the largest number of *iterations* (each = one step at
+    /// `gamma_pos` plus one at `gamma_neg`) that keeps
+    /// `delta(target_epsilon) < target_delta`. Binary searches the additive
+    /// composition, so cost is `O(log n * |grid|)`.
+    ///
+    /// # Errors
+    /// Propagates parameter validation errors.
+    pub fn max_supported_iterations(
+        sigma: f64,
+        gamma_pos: f64,
+        gamma_neg: f64,
+        target_epsilon: f64,
+        target_delta: f64,
+    ) -> Result<u64, PrivacyError> {
+        let alphas = default_alpha_grid();
+        let pos = subsampled_gaussian_curve(sigma, gamma_pos.min(1.0), &alphas)?;
+        let neg = subsampled_gaussian_curve(sigma, gamma_neg.min(1.0), &alphas)?;
+        let per_iter: Vec<(usize, f64)> = pos
+            .iter()
+            .zip(&neg)
+            .map(|(&(a, ep), &(_, en))| (a, ep + en))
+            .collect();
+        let fits = |iters: u64| -> Result<bool, PrivacyError> {
+            let scaled: Vec<(usize, f64)> = per_iter
+                .iter()
+                .map(|&(a, e)| (a, e * iters as f64))
+                .collect();
+            Ok(rdp_to_delta(&scaled, target_epsilon)? < target_delta)
+        };
+        if !fits(1)? {
+            return Ok(0);
+        }
+        let mut lo = 1u64; // known to fit
+        let mut hi = 2u64;
+        while fits(hi)? {
+            lo = hi;
+            hi = hi.saturating_mul(2);
+            if hi > 1 << 40 {
+                return Ok(hi); // effectively unbounded for our workloads
+            }
+        }
+        while lo + 1 < hi {
+            let mid = lo + (hi - lo) / 2;
+            if fits(mid)? {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        Ok(lo)
+    }
+}
+
+impl Default for RdpAccountant {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_accountant_spends_nothing() {
+        let acc = RdpAccountant::new();
+        assert_eq!(acc.steps(), 0);
+        let d = acc.delta(1.0).unwrap();
+        assert!(d < 1e-100, "fresh delta should be tiny, got {d}");
+    }
+
+    #[test]
+    fn recording_accumulates_linearly() {
+        let mut a = RdpAccountant::new();
+        a.record_subsampled_gaussian(5.0, 0.05, 10).unwrap();
+        let c10 = a.curve();
+        a.record_subsampled_gaussian(5.0, 0.05, 10).unwrap();
+        let c20 = a.curve();
+        for (x, y) in c10.iter().zip(&c20) {
+            assert!((y.1 - 2.0 * x.1).abs() < 1e-12);
+        }
+        assert_eq!(a.steps(), 20);
+    }
+
+    #[test]
+    fn epsilon_grows_with_steps() {
+        let mut a = RdpAccountant::new();
+        a.record_subsampled_gaussian(5.0, 0.05, 100).unwrap();
+        let e1 = a.epsilon(1e-5).unwrap().0;
+        a.record_subsampled_gaussian(5.0, 0.05, 900).unwrap();
+        let e2 = a.epsilon(1e-5).unwrap().0;
+        assert!(e2 > e1);
+    }
+
+    #[test]
+    fn budget_check_trips_at_exhaustion() {
+        let mut a = RdpAccountant::new();
+        // Tiny sigma + full sampling: budget burns fast.
+        a.record_subsampled_gaussian(0.5, 1.0, 10_000).unwrap();
+        let err = a.check_budget(1.0, 1e-5).unwrap_err();
+        assert!(matches!(err, PrivacyError::BudgetExhausted { .. }));
+    }
+
+    #[test]
+    fn budget_check_passes_when_fresh() {
+        let mut a = RdpAccountant::new();
+        a.record_subsampled_gaussian(5.0, 0.01, 1).unwrap();
+        a.check_budget(6.0, 1e-5).unwrap();
+    }
+
+    #[test]
+    fn reset_clears_spend() {
+        let mut a = RdpAccountant::new();
+        a.record_subsampled_gaussian(5.0, 0.1, 500).unwrap();
+        a.reset();
+        assert_eq!(a.steps(), 0);
+        assert!(a.delta(1.0).unwrap() < 1e-100);
+    }
+
+    #[test]
+    fn zero_count_is_noop() {
+        let mut a = RdpAccountant::new();
+        a.record_subsampled_gaussian(5.0, 0.1, 0).unwrap();
+        assert_eq!(a.steps(), 0);
+    }
+
+    #[test]
+    fn gamma_above_one_is_clamped() {
+        let mut a = RdpAccountant::new();
+        // Bk/|V| can exceed 1 on small graphs; the accountant clamps.
+        a.record_subsampled_gaussian(5.0, 1.7, 5).unwrap();
+        assert_eq!(a.steps(), 5);
+    }
+
+    #[test]
+    fn max_iterations_consistent_with_online_accounting() {
+        let sigma = 5.0;
+        let (gp, gn) = (0.02, 0.2);
+        let (eps, delta) = (2.0, 1e-5);
+        let n = RdpAccountant::max_supported_iterations(sigma, gp, gn, eps, delta).unwrap();
+        assert!(n > 0, "paper-scale config should afford at least one step");
+        // Replay n iterations online: budget must still be open.
+        let mut a = RdpAccountant::new();
+        a.record_subsampled_gaussian(sigma, gp, n).unwrap();
+        a.record_subsampled_gaussian(sigma, gn, n).unwrap();
+        a.check_budget(eps, delta).unwrap();
+        // One more iteration must close it.
+        a.record_subsampled_gaussian(sigma, gp, 1).unwrap();
+        a.record_subsampled_gaussian(sigma, gn, 1).unwrap();
+        assert!(a.check_budget(eps, delta).is_err());
+    }
+
+    #[test]
+    fn larger_epsilon_budget_allows_more_iterations() {
+        let n1 = RdpAccountant::max_supported_iterations(5.0, 0.02, 0.2, 1.0, 1e-5).unwrap();
+        let n6 = RdpAccountant::max_supported_iterations(5.0, 0.02, 0.2, 6.0, 1e-5).unwrap();
+        assert!(n6 > n1, "n1={n1} n6={n6}");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_grid_rejected() {
+        RdpAccountant::with_orders(vec![]);
+    }
+}

@@ -1,0 +1,106 @@
+//! Gradient clipping and the batch-sum sensitivity argument.
+//!
+//! DPSGD (Eq. 5 of the paper) clips each per-example gradient to `L2` norm
+//! `C` before summation. For i.i.d. tabular data the batch sum then has
+//! sensitivity `C` under add/remove DP. **Graphs break this**: changing one
+//! node can alter every pair in the batch (Section III-B), so under bounded
+//! node-level DP the sensitivity of the clipped-gradient sum is taken as
+//! `B * C` — every one of the `B` clipped summands may change, each bounded
+//! by `C` (Theorem 6 and the discussion around Eq. 6). Remark 3 notes
+//! AdvSGM does not reduce this sensitivity; the utility win comes from the
+//! adversarial module, not from a smaller noise scale.
+
+/// Clips `g` to `L2` norm at most `c` in place; returns the applied factor.
+///
+/// # Panics
+/// Panics if `c <= 0`.
+#[inline]
+pub fn clip_gradient(g: &mut [f64], c: f64) -> f64 {
+    assert!(c > 0.0, "clip threshold must be positive, got {c}");
+    let norm: f64 = g.iter().map(|v| v * v).sum::<f64>().sqrt();
+    if norm > c {
+        let f = c / norm;
+        for v in g.iter_mut() {
+            *v *= f;
+        }
+        f
+    } else {
+        1.0
+    }
+}
+
+/// Clips every gradient in `grads` and accumulates their sum into `sum`
+/// (which must be zeroed or pre-loaded by the caller). Returns the number of
+/// gradients that were actually rescaled.
+///
+/// # Panics
+/// Panics if widths disagree or `c <= 0`.
+pub fn clip_and_sum(grads: &mut [Vec<f64>], c: f64, sum: &mut [f64]) -> usize {
+    let mut clipped = 0usize;
+    for g in grads.iter_mut() {
+        assert_eq!(g.len(), sum.len(), "gradient width mismatch");
+        if clip_gradient(g, c) < 1.0 {
+            clipped += 1;
+        }
+        for (s, v) in sum.iter_mut().zip(g.iter()) {
+            *s += v;
+        }
+    }
+    clipped
+}
+
+/// The paper's batch-sum sensitivity under bounded node-level DP:
+/// `Delta = B * C` (Theorem 6; Eq. 6 for the DP-ASGM first cut).
+#[inline]
+pub fn batch_sum_sensitivity(batch_size: usize, c: f64) -> f64 {
+    assert!(c > 0.0, "clip threshold must be positive");
+    batch_size as f64 * c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clip_noop_inside_ball() {
+        let mut g = vec![0.3, 0.4];
+        assert_eq!(clip_gradient(&mut g, 1.0), 1.0);
+        assert_eq!(g, vec![0.3, 0.4]);
+    }
+
+    #[test]
+    fn clip_rescales_outside_ball() {
+        let mut g = vec![6.0, 8.0];
+        let f = clip_gradient(&mut g, 5.0);
+        assert!((f - 0.5).abs() < 1e-12);
+        let n: f64 = g.iter().map(|v| v * v).sum::<f64>().sqrt();
+        assert!((n - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clip_and_sum_bounds_every_summand() {
+        let mut grads = vec![vec![10.0, 0.0], vec![0.0, 0.1], vec![3.0, 4.0]];
+        let mut sum = vec![0.0, 0.0];
+        let clipped = clip_and_sum(&mut grads, 1.0, &mut sum);
+        assert_eq!(clipped, 2);
+        for g in &grads {
+            let n: f64 = g.iter().map(|v| v * v).sum::<f64>().sqrt();
+            assert!(n <= 1.0 + 1e-12);
+        }
+        // The sum's norm is at most B*C (the sensitivity bound).
+        let n: f64 = sum.iter().map(|v| v * v).sum::<f64>().sqrt();
+        assert!(n <= batch_sum_sensitivity(3, 1.0) + 1e-12);
+    }
+
+    #[test]
+    fn sensitivity_formula() {
+        assert_eq!(batch_sum_sensitivity(128, 1.0), 128.0);
+        assert_eq!(batch_sum_sensitivity(16, 0.5), 8.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_threshold_rejected() {
+        clip_gradient(&mut [1.0], 0.0);
+    }
+}

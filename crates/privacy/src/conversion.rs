@@ -1,0 +1,171 @@
+//! Conversion between RDP and `(epsilon, delta)`-DP.
+//!
+//! Theorem 3 of the paper (Mironov 2017, Proposition 3): an
+//! `(alpha, eps)`-RDP mechanism satisfies
+//! `(eps + ln(1/delta)/(alpha - 1), delta)`-DP for every `delta` in (0, 1).
+//! Optimising the free order `alpha` over a grid gives both directions:
+//! the tightest `epsilon` for a target `delta`, and the smallest achievable
+//! `delta` for a target `epsilon` (the paper's `get_privacy_spent`).
+
+use crate::error::PrivacyError;
+
+/// Best `(epsilon, alpha)` at a target `delta`, minimising
+/// `eps(alpha) + ln(1/delta)/(alpha-1)` over the curve's grid.
+///
+/// # Errors
+/// Returns [`PrivacyError::InvalidParameter`] for an empty curve or a
+/// `delta` outside `(0, 1)`.
+pub fn rdp_to_epsilon(curve: &[(usize, f64)], delta: f64) -> Result<(f64, usize), PrivacyError> {
+    if curve.is_empty() {
+        return Err(PrivacyError::InvalidParameter {
+            name: "curve",
+            reason: "empty RDP curve".into(),
+        });
+    }
+    if !(delta > 0.0 && delta < 1.0) {
+        return Err(PrivacyError::InvalidParameter {
+            name: "delta",
+            reason: format!("must be in (0,1), got {delta}"),
+        });
+    }
+    let ln_inv_delta = (1.0 / delta).ln();
+    let mut best = (f64::INFINITY, 0usize);
+    for &(alpha, eps) in curve {
+        debug_assert!(alpha >= 2, "orders must be >= 2");
+        let dp = eps + ln_inv_delta / (alpha as f64 - 1.0);
+        if dp < best.0 {
+            best = (dp, alpha);
+        }
+    }
+    Ok(best)
+}
+
+/// Smallest achievable `delta` at a target `epsilon`:
+/// `delta = min_alpha exp(-(alpha-1)(epsilon - eps(alpha)))`, clamped to 1
+/// when the target epsilon is below the curve everywhere.
+///
+/// This is the `get_privacy_spent given the target epsilon` call in
+/// Algorithm 3, line 10.
+///
+/// # Errors
+/// Returns [`PrivacyError::InvalidParameter`] for an empty curve or a
+/// non-positive `epsilon`.
+pub fn rdp_to_delta(curve: &[(usize, f64)], epsilon: f64) -> Result<f64, PrivacyError> {
+    if curve.is_empty() {
+        return Err(PrivacyError::InvalidParameter {
+            name: "curve",
+            reason: "empty RDP curve".into(),
+        });
+    }
+    if epsilon.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
+        return Err(PrivacyError::InvalidParameter {
+            name: "epsilon",
+            reason: format!("must be positive, got {epsilon}"),
+        });
+    }
+    let mut best_ln_delta = f64::INFINITY;
+    for &(alpha, eps) in curve {
+        let ln_delta = -(alpha as f64 - 1.0) * (epsilon - eps);
+        if ln_delta < best_ln_delta {
+            best_ln_delta = ln_delta;
+        }
+    }
+    Ok(best_ln_delta.exp().min(1.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rdp::{default_alpha_grid, GaussianRdp};
+
+    fn gaussian_curve(sigma: f64, steps: f64) -> Vec<(usize, f64)> {
+        let g = GaussianRdp::new(sigma).unwrap();
+        default_alpha_grid()
+            .into_iter()
+            .map(|a| (a, steps * g.epsilon(a as f64)))
+            .collect()
+    }
+
+    #[test]
+    fn single_gaussian_release_reference_value() {
+        // For sigma and delta, eps = min_a a/(2 s^2) + ln(1/d)/(a-1).
+        // Analytic optimum over continuous a: eps* = 1/(2s^2) + sqrt(2 ln(1/d))/s.
+        // The integer grid should land within a few percent.
+        let sigma = 5.0;
+        let delta = 1e-5;
+        let (eps, alpha) = rdp_to_epsilon(&gaussian_curve(sigma, 1.0), delta).unwrap();
+        let analytic = 1.0 / (2.0 * sigma * sigma) + (2.0 * (1.0f64 / delta).ln()).sqrt() / sigma;
+        assert!(
+            (eps - analytic).abs() / analytic < 0.05,
+            "eps={eps} analytic={analytic} (alpha={alpha})"
+        );
+    }
+
+    #[test]
+    fn epsilon_grows_with_composition() {
+        let delta = 1e-5;
+        let e1 = rdp_to_epsilon(&gaussian_curve(5.0, 10.0), delta).unwrap().0;
+        let e2 = rdp_to_epsilon(&gaussian_curve(5.0, 100.0), delta)
+            .unwrap()
+            .0;
+        assert!(e2 > e1);
+        // Composition in RDP scales like sqrt(T) in the DP epsilon: the
+        // 10x step increase should cost well below 10x epsilon.
+        assert!(e2 < 6.0 * e1, "e1={e1} e2={e2}");
+    }
+
+    #[test]
+    fn smaller_delta_costs_more_epsilon() {
+        let c = gaussian_curve(5.0, 50.0);
+        let tight = rdp_to_epsilon(&c, 1e-8).unwrap().0;
+        let loose = rdp_to_epsilon(&c, 1e-3).unwrap().0;
+        assert!(tight > loose);
+    }
+
+    #[test]
+    fn delta_epsilon_roundtrip() {
+        // delta(epsilon(delta0)) <= delta0 (grid optimisation is consistent).
+        let c = gaussian_curve(5.0, 25.0);
+        let delta0 = 1e-5;
+        let (eps, _) = rdp_to_epsilon(&c, delta0).unwrap();
+        let delta1 = rdp_to_delta(&c, eps).unwrap();
+        assert!(
+            delta1 <= delta0 * 1.0001,
+            "roundtrip delta {delta1} > {delta0}"
+        );
+    }
+
+    #[test]
+    fn delta_monotone_decreasing_in_epsilon() {
+        let c = gaussian_curve(5.0, 100.0);
+        let d1 = rdp_to_delta(&c, 1.0).unwrap();
+        let d2 = rdp_to_delta(&c, 2.0).unwrap();
+        let d3 = rdp_to_delta(&c, 4.0).unwrap();
+        assert!(d1 >= d2 && d2 >= d3, "d1={d1} d2={d2} d3={d3}");
+    }
+
+    #[test]
+    fn delta_clamped_to_one() {
+        // Massive composition with a tiny epsilon target: delta saturates at 1.
+        let c = gaussian_curve(0.5, 10_000.0);
+        let d = rdp_to_delta(&c, 0.01).unwrap();
+        assert_eq!(d, 1.0);
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        let c = gaussian_curve(5.0, 1.0);
+        assert!(rdp_to_epsilon(&[], 1e-5).is_err());
+        assert!(rdp_to_epsilon(&c, 0.0).is_err());
+        assert!(rdp_to_epsilon(&c, 1.0).is_err());
+        assert!(rdp_to_delta(&[], 1.0).is_err());
+        assert!(rdp_to_delta(&c, 0.0).is_err());
+    }
+
+    #[test]
+    fn reports_optimal_alpha_from_grid() {
+        let c = gaussian_curve(5.0, 1.0);
+        let (_, alpha) = rdp_to_epsilon(&c, 1e-5).unwrap();
+        assert!(default_alpha_grid().contains(&alpha));
+    }
+}

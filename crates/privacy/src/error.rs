@@ -1,0 +1,56 @@
+//! Error type for privacy accounting.
+
+use std::fmt;
+
+/// Errors produced by the privacy substrate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PrivacyError {
+    /// A parameter was outside its legal domain.
+    InvalidParameter {
+        /// Parameter name.
+        name: &'static str,
+        /// Explanation of the violated constraint.
+        reason: String,
+    },
+    /// The privacy budget was exhausted (Algorithm 3, line 11).
+    BudgetExhausted {
+        /// Achievable delta at the target epsilon.
+        delta_spent: f64,
+        /// The target delta.
+        delta_target: f64,
+    },
+}
+
+impl fmt::Display for PrivacyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PrivacyError::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter {name}: {reason}")
+            }
+            PrivacyError::BudgetExhausted {
+                delta_spent,
+                delta_target,
+            } => write!(
+                f,
+                "privacy budget exhausted: delta spent {delta_spent:.3e} >= target {delta_target:.3e}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PrivacyError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_budget_exhausted() {
+        let e = PrivacyError::BudgetExhausted {
+            delta_spent: 2e-5,
+            delta_target: 1e-5,
+        };
+        let s = e.to_string();
+        assert!(s.contains("exhausted"), "{s}");
+    }
+}

@@ -1,0 +1,38 @@
+//! # advsgm-privacy
+//!
+//! Differential-privacy substrate for AdvSGM: the Gaussian mechanism, Rényi
+//! differential privacy (RDP) accounting with subsampling amplification, and
+//! the conversions between RDP and `(epsilon, delta)`-DP.
+//!
+//! The paper's privacy argument (Theorems 6 and 7) decomposes as:
+//!
+//! 1. each discriminator update adds `N(0, (B C sigma)^2 I)` noise to a
+//!    batch-gradient sum of sensitivity `B C` — i.e. a Gaussian mechanism
+//!    with *noise multiplier* `sigma`, whose RDP curve is
+//!    `eps(alpha) = alpha / (2 sigma^2)` ([`rdp`]);
+//! 2. the batch is subsampled without replacement at rate `gamma = B/|E|`
+//!    (positives) or `gamma = Bk/|V|` (negatives), amplifying the per-step
+//!    curve via Theorem 4 of the paper (Wang et al., 2019) ([`subsampled`]);
+//! 3. steps compose additively in RDP and convert to `(epsilon, delta)`-DP
+//!    via Mironov's Proposition 3 ([`conversion`]);
+//! 4. the [`accountant::RdpAccountant`] tracks the composition online and
+//!    implements Algorithm 3's stopping rule (lines 9–11).
+//!
+//! All accounting runs in log-space so large orders `alpha` and tiny
+//! sampling rates never overflow.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod accountant;
+pub mod clipping;
+pub mod conversion;
+pub mod error;
+pub mod mechanisms;
+pub mod rdp;
+pub mod subsampled;
+
+pub use accountant::RdpAccountant;
+pub use error::PrivacyError;
+pub use mechanisms::GaussianMechanism;
+pub use rdp::GaussianRdp;

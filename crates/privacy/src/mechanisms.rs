@@ -1,0 +1,150 @@
+//! The Gaussian mechanism.
+//!
+//! `A(G) = f(G) + N(0, (Delta_f * sigma)^2 I)`: noise is calibrated to the
+//! `L2` sensitivity of the released quantity times the noise multiplier.
+//! In AdvSGM the released quantity per step is the *sum* of `B` clipped
+//! per-pair gradients, whose sensitivity under bounded node-level DP is
+//! `B * C` (Theorem 6), so the noise std is `B * C * sigma` (Eqs. 22–23).
+
+use rand::Rng;
+
+use crate::error::PrivacyError;
+
+/// A Gaussian mechanism with a fixed noise multiplier and sensitivity.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GaussianMechanism {
+    noise_multiplier: f64,
+    sensitivity: f64,
+}
+
+impl GaussianMechanism {
+    /// Creates a mechanism with noise multiplier `sigma > 0` and
+    /// `L2` sensitivity `delta_f > 0`.
+    ///
+    /// # Errors
+    /// Returns [`PrivacyError::InvalidParameter`] on out-of-domain inputs.
+    pub fn new(noise_multiplier: f64, sensitivity: f64) -> Result<Self, PrivacyError> {
+        if noise_multiplier.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater)
+            || !noise_multiplier.is_finite()
+        {
+            return Err(PrivacyError::InvalidParameter {
+                name: "noise_multiplier",
+                reason: format!("must be positive and finite, got {noise_multiplier}"),
+            });
+        }
+        if sensitivity.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater)
+            || !sensitivity.is_finite()
+        {
+            return Err(PrivacyError::InvalidParameter {
+                name: "sensitivity",
+                reason: format!("must be positive and finite, got {sensitivity}"),
+            });
+        }
+        Ok(Self {
+            noise_multiplier,
+            sensitivity,
+        })
+    }
+
+    /// The noise standard deviation `Delta_f * sigma`.
+    #[inline]
+    pub fn noise_std(&self) -> f64 {
+        self.noise_multiplier * self.sensitivity
+    }
+
+    /// The noise multiplier `sigma`.
+    pub fn noise_multiplier(&self) -> f64 {
+        self.noise_multiplier
+    }
+
+    /// The calibrated sensitivity `Delta_f`.
+    pub fn sensitivity(&self) -> f64 {
+        self.sensitivity
+    }
+
+    /// Adds calibrated Gaussian noise to `values` in place.
+    pub fn perturb(&self, values: &mut [f64], rng: &mut impl Rng) {
+        let std = self.noise_std();
+        for v in values.iter_mut() {
+            *v += gaussian(rng, std);
+        }
+    }
+
+    /// Returns a noisy copy of `values`.
+    pub fn perturbed(&self, values: &[f64], rng: &mut impl Rng) -> Vec<f64> {
+        let mut out = values.to_vec();
+        self.perturb(&mut out, rng);
+        out
+    }
+
+    /// Draws a fresh noise vector of length `n` (used where the paper treats
+    /// the noise itself as an optimizable term, e.g. `N_{D,1}(C^2 sigma^2 I)`).
+    pub fn sample_noise(&self, n: usize, rng: &mut impl Rng) -> Vec<f64> {
+        let std = self.noise_std();
+        (0..n).map(|_| gaussian(rng, std)).collect()
+    }
+}
+
+/// Box–Muller standard-normal sample scaled by `std` (duplicated from
+/// `advsgm-linalg` to keep this crate dependency-light; both are tested
+/// against each other in the workspace integration tests).
+#[inline]
+fn gaussian(rng: &mut impl Rng, std: f64) -> f64 {
+    if std == 0.0 {
+        return 0.0;
+    }
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen();
+    std * (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn noise_std_is_product() {
+        let m = GaussianMechanism::new(5.0, 2.0).unwrap();
+        assert_eq!(m.noise_std(), 10.0);
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(GaussianMechanism::new(0.0, 1.0).is_err());
+        assert!(GaussianMechanism::new(1.0, 0.0).is_err());
+        assert!(GaussianMechanism::new(f64::INFINITY, 1.0).is_err());
+    }
+
+    #[test]
+    fn perturb_changes_values_with_right_scale() {
+        let m = GaussianMechanism::new(2.0, 1.0).unwrap();
+        let mut rng = SmallRng::seed_from_u64(1);
+        let n = 100_000;
+        let noisy = m.perturbed(&vec![0.0; n], &mut rng);
+        let mean = noisy.iter().sum::<f64>() / n as f64;
+        let var = noisy.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1) as f64;
+        assert!(mean.abs() < 0.05, "mean={mean}");
+        assert!((var.sqrt() - 2.0).abs() < 0.05, "std={}", var.sqrt());
+    }
+
+    #[test]
+    fn sample_noise_length() {
+        let m = GaussianMechanism::new(5.0, 1.0).unwrap();
+        let mut rng = SmallRng::seed_from_u64(2);
+        assert_eq!(m.sample_noise(17, &mut rng).len(), 17);
+    }
+
+    #[test]
+    fn perturbation_is_additive() {
+        // Same seed: perturbed(x) - x must equal the pure noise draw.
+        let m = GaussianMechanism::new(3.0, 1.0).unwrap();
+        let x = vec![5.0, -2.0, 0.5];
+        let noisy = m.perturbed(&x, &mut SmallRng::seed_from_u64(3));
+        let noise = m.sample_noise(3, &mut SmallRng::seed_from_u64(3));
+        for i in 0..3 {
+            assert!((noisy[i] - x[i] - noise[i]).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,250 @@
+//! Privacy amplification by subsampling without replacement.
+//!
+//! Implements Theorem 4 of the paper (Wang, Balle & Kasiviswanathan 2019,
+//! Theorem 27): for integer `alpha >= 2`, a mechanism that is
+//! `(j, eps(j))`-RDP for all `j <= alpha` composed with without-replacement
+//! subsampling at rate `gamma` satisfies `(alpha, eps'(alpha))`-RDP with
+//!
+//! ```text
+//! eps'(alpha) <= 1/(alpha-1) * ln( 1
+//!     + gamma^2 C(alpha,2) min{ 4(e^{eps(2)}-1), e^{eps(2)} min{2, (e^{eps(inf)}-1)^2} }
+//!     + sum_{j=3}^{alpha} gamma^j C(alpha,j) e^{(j-1) eps(j)} min{2, (e^{eps(inf)}-1)^j } )
+//! ```
+//!
+//! For the Gaussian mechanism `eps(inf) = inf`, so both inner `min`s resolve
+//! to the constant branches (`4(e^{eps(2)}-1)` vs `2 e^{eps(2)}`, and `2`).
+//! The sum is evaluated entirely in log-space (log-binomials + log-sum-exp)
+//! so that large orders and tiny rates never overflow `f64`.
+
+use crate::error::PrivacyError;
+use crate::rdp::GaussianRdp;
+
+/// Log-factorials `ln(0!), ln(1!), ..., ln(n!)` by direct summation (exact
+/// to f64 rounding; `n` is at most a few hundred here).
+fn ln_factorials(n: usize) -> Vec<f64> {
+    let mut out = Vec::with_capacity(n + 1);
+    out.push(0.0);
+    let mut acc = 0.0f64;
+    for i in 1..=n {
+        acc += (i as f64).ln();
+        out.push(acc);
+    }
+    out
+}
+
+/// `ln C(n, k)` from a precomputed log-factorial table.
+fn ln_binom(table: &[f64], n: usize, k: usize) -> f64 {
+    debug_assert!(k <= n && n < table.len());
+    table[n] - table[k] - table[n - k]
+}
+
+/// Numerically stable `ln(sum_i e^{x_i})`.
+fn log_sum_exp(xs: &[f64]) -> f64 {
+    let m = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    if m == f64::NEG_INFINITY {
+        return f64::NEG_INFINITY;
+    }
+    m + xs.iter().map(|&x| (x - m).exp()).sum::<f64>().ln()
+}
+
+/// Amplified RDP of a subsampled Gaussian mechanism at integer order
+/// `alpha`, for noise multiplier `sigma` and sampling rate `gamma`.
+///
+/// Returns `min(theorem-4 bound, unamplified alpha/(2 sigma^2))`: the cap is
+/// sound because without-replacement subsampling is a mixture over subsets,
+/// and pairing subsets that agree on the differing element shows the
+/// subsampled divergence never exceeds the base mechanism's.
+///
+/// # Errors
+/// Returns [`PrivacyError::InvalidParameter`] for `alpha < 2`, `sigma <= 0`,
+/// or `gamma` outside `[0, 1]`.
+pub fn subsampled_gaussian_epsilon(
+    sigma: f64,
+    gamma: f64,
+    alpha: usize,
+) -> Result<f64, PrivacyError> {
+    if alpha < 2 {
+        return Err(PrivacyError::InvalidParameter {
+            name: "alpha",
+            reason: format!("Theorem 4 needs integer alpha >= 2, got {alpha}"),
+        });
+    }
+    if !(0.0..=1.0).contains(&gamma) {
+        return Err(PrivacyError::InvalidParameter {
+            name: "gamma",
+            reason: format!("sampling rate must be in [0,1], got {gamma}"),
+        });
+    }
+    let base = GaussianRdp::new(sigma)?; // validates sigma
+    let base_eps = base.epsilon(alpha as f64);
+    if gamma == 0.0 {
+        // The differing element is never sampled: no privacy loss.
+        return Ok(0.0);
+    }
+    if gamma == 1.0 {
+        return Ok(base_eps);
+    }
+
+    let ln_gamma = gamma.ln();
+    let table = ln_factorials(alpha);
+    let eps = |j: usize| base.epsilon(j as f64);
+
+    // Collect log-terms of the bracketed series, starting with ln(1) = 0.
+    let mut ln_terms: Vec<f64> = Vec::with_capacity(alpha);
+    ln_terms.push(0.0);
+
+    // j = 2 term: gamma^2 C(alpha,2) min{ 4(e^{eps2}-1), 2 e^{eps2} }.
+    let eps2 = eps(2);
+    let ln_4_expm1 = if eps2 > 30.0 {
+        // e^{eps2} - 1 ~ e^{eps2}
+        (4.0f64).ln() + eps2
+    } else {
+        (4.0 * eps2.exp_m1()).ln()
+    };
+    let ln_2_exp = (2.0f64).ln() + eps2;
+    let ln_min2 = ln_4_expm1.min(ln_2_exp);
+    ln_terms.push(2.0 * ln_gamma + ln_binom(&table, alpha, 2) + ln_min2);
+
+    // j = 3..alpha terms: gamma^j C(alpha,j) e^{(j-1) eps(j)} * 2.
+    for j in 3..=alpha {
+        ln_terms.push(
+            j as f64 * ln_gamma
+                + ln_binom(&table, alpha, j)
+                + (j as f64 - 1.0) * eps(j)
+                + (2.0f64).ln(),
+        );
+    }
+
+    let bound = log_sum_exp(&ln_terms) / (alpha as f64 - 1.0);
+    Ok(bound.min(base_eps))
+}
+
+/// Evaluates the amplified curve over an integer order grid.
+///
+/// # Errors
+/// Propagates [`subsampled_gaussian_epsilon`] errors.
+pub fn subsampled_gaussian_curve(
+    sigma: f64,
+    gamma: f64,
+    alphas: &[usize],
+) -> Result<Vec<(usize, f64)>, PrivacyError> {
+    alphas
+        .iter()
+        .map(|&a| Ok((a, subsampled_gaussian_epsilon(sigma, gamma, a)?)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ln_binom_small_values() {
+        let t = ln_factorials(10);
+        assert!((ln_binom(&t, 5, 2) - (10.0f64).ln()).abs() < 1e-12);
+        assert!((ln_binom(&t, 10, 0)).abs() < 1e-12);
+        assert!((ln_binom(&t, 10, 10)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn log_sum_exp_matches_direct() {
+        let xs = [0.0f64, 1.0, -2.0];
+        let direct: f64 = xs.iter().map(|x| x.exp()).sum::<f64>().ln();
+        assert!((log_sum_exp(&xs) - direct).abs() < 1e-12);
+    }
+
+    #[test]
+    fn log_sum_exp_huge_inputs() {
+        let v = log_sum_exp(&[1000.0, 1000.0]);
+        assert!((v - (1000.0 + (2.0f64).ln())).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gamma_zero_is_free() {
+        assert_eq!(subsampled_gaussian_epsilon(5.0, 0.0, 16).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn gamma_one_is_base_curve() {
+        let e = subsampled_gaussian_epsilon(5.0, 1.0, 8).unwrap();
+        assert!((e - 8.0 / 50.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn amplification_strictly_helps_for_small_gamma() {
+        let base = 16.0 / (2.0 * 25.0);
+        let amp = subsampled_gaussian_epsilon(5.0, 0.01, 16).unwrap();
+        assert!(amp < base / 10.0, "amp={amp} base={base}");
+    }
+
+    #[test]
+    fn monotone_in_gamma() {
+        let mut prev = 0.0;
+        for &g in &[0.001, 0.01, 0.05, 0.1, 0.3, 0.6, 0.9] {
+            let e = subsampled_gaussian_epsilon(5.0, g, 32).unwrap();
+            assert!(e >= prev, "not monotone at gamma={g}: {e} < {prev}");
+            prev = e;
+        }
+    }
+
+    #[test]
+    fn monotone_in_alpha() {
+        // RDP curves are non-decreasing in order.
+        let mut prev = 0.0;
+        for a in [2usize, 4, 8, 16, 32, 64, 128] {
+            let e = subsampled_gaussian_epsilon(5.0, 0.05, a).unwrap();
+            assert!(e >= prev - 1e-12, "not monotone at alpha={a}: {e} < {prev}");
+            prev = e;
+        }
+    }
+
+    #[test]
+    fn decreasing_in_sigma() {
+        let lo = subsampled_gaussian_epsilon(1.0, 0.05, 16).unwrap();
+        let hi = subsampled_gaussian_epsilon(10.0, 0.05, 16).unwrap();
+        assert!(hi < lo);
+    }
+
+    #[test]
+    fn small_gamma_quadratic_regime() {
+        // For tiny gamma the j=2 term dominates: eps' ~ gamma^2 * C(a,2) *
+        // 4(e^{eps2}-1) / (a-1). Halving gamma should shrink eps' by ~4x.
+        let e1 = subsampled_gaussian_epsilon(5.0, 2e-4, 8).unwrap();
+        let e2 = subsampled_gaussian_epsilon(5.0, 1e-4, 8).unwrap();
+        let ratio = e1 / e2;
+        assert!((ratio - 4.0).abs() < 0.2, "ratio={ratio}");
+    }
+
+    #[test]
+    fn capped_by_base_curve() {
+        for &g in &[0.2, 0.5, 0.8, 0.99] {
+            for &a in &[2usize, 8, 64, 256] {
+                let amp = subsampled_gaussian_epsilon(2.0, g, a).unwrap();
+                let base = a as f64 / (2.0 * 4.0);
+                assert!(amp <= base + 1e-12, "gamma={g} alpha={a}: {amp} > {base}");
+            }
+        }
+    }
+
+    #[test]
+    fn large_alpha_does_not_overflow() {
+        let e = subsampled_gaussian_epsilon(5.0, 0.1, 256).unwrap();
+        assert!(e.is_finite());
+        assert!(e > 0.0);
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        assert!(subsampled_gaussian_epsilon(5.0, -0.1, 8).is_err());
+        assert!(subsampled_gaussian_epsilon(5.0, 1.1, 8).is_err());
+        assert!(subsampled_gaussian_epsilon(5.0, 0.1, 1).is_err());
+        assert!(subsampled_gaussian_epsilon(0.0, 0.1, 8).is_err());
+    }
+
+    #[test]
+    fn curve_over_grid() {
+        let c = subsampled_gaussian_curve(5.0, 0.05, &[2, 4, 8]).unwrap();
+        assert_eq!(c.len(), 3);
+        assert!(c[0].1 <= c[1].1 && c[1].1 <= c[2].1);
+    }
+}

@@ -1,0 +1,61 @@
+//! Node clustering with Affinity Propagation — the Fig. 4 pipeline.
+//!
+//! Trains AdvSGM on a PPI-like labeled graph, clusters the embeddings with
+//! Affinity Propagation (the paper's clusterer), and reports mutual
+//! information against the ground-truth classes.
+//!
+//! ```bash
+//! cargo run --release --example node_clustering
+//! ```
+
+use advsgm::core::{AdvSgmConfig, ModelVariant, Trainer};
+use advsgm::datasets::{synthesize, Dataset};
+use advsgm::eval::clustering::affinity::{AffinityPropagation, ApParams};
+use advsgm::eval::clustering::metrics::{mutual_information, normalized_mutual_information};
+use advsgm::linalg::rng::seeded;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let spec = Dataset::Ppi.spec().scaled(0.05);
+    let graph = synthesize(&spec, 3);
+    println!(
+        "dataset: {} (scaled) — {} nodes, {} edges, {} classes",
+        spec.name,
+        graph.num_nodes(),
+        graph.num_edges(),
+        graph.num_classes()
+    );
+
+    let mut cfg = AdvSgmConfig::for_variant(ModelVariant::AdvSgm);
+    cfg.epochs = 10;
+    cfg.epsilon = 6.0;
+    let out = Trainer::fit(&graph, cfg)?;
+    println!(
+        "trained AdvSGM: {} epochs, stopped_by_budget = {}",
+        out.epochs_run, out.stopped_by_budget
+    );
+
+    // Affinity Propagation discovers the cluster count itself.
+    let views: Vec<&[f64]> = (0..out.node_vectors.rows())
+        .map(|i| out.node_vectors.row(i))
+        .collect();
+    let mut rng = seeded(17);
+    let ap = AffinityPropagation::fit(&views, &ApParams::default(), &mut rng)?;
+    println!(
+        "affinity propagation: {} clusters in {} iterations (converged = {})",
+        ap.num_clusters(),
+        ap.iterations,
+        ap.converged
+    );
+
+    let labels = graph.labels().expect("PPI stand-in is labeled");
+    let truth: Vec<usize> = ap
+        .point_indices
+        .iter()
+        .map(|&i| labels[i] as usize)
+        .collect();
+    let mi = mutual_information(&truth, &ap.assignments)?;
+    let nmi = normalized_mutual_information(&truth, &ap.assignments)?;
+    println!("clustering quality: MI = {mi:.4} nats, NMI = {nmi:.4}");
+    println!("(the paper reports MI; chance level is ~0, perfect recovery equals label entropy)");
+    Ok(())
+}

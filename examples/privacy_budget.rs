@@ -1,0 +1,55 @@
+//! Inside the privacy accountant — how Theorem 7's numbers arise.
+//!
+//! Shows (a) the RDP curve of one subsampled Gaussian step, (b) how epsilon
+//! accumulates over training iterations, and (c) how many discriminator
+//! iterations each target budget affords on a PPI-sized graph — the
+//! quantity that makes AdvSGM's utility grow with epsilon in Fig. 3.
+//!
+//! ```bash
+//! cargo run --release --example privacy_budget
+//! ```
+
+use advsgm::privacy::accountant::RdpAccountant;
+use advsgm::privacy::subsampled::subsampled_gaussian_epsilon;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Paper-default setup on PPI: sigma = 5, B = 128, k = 5,
+    // |E| = 76584, |V| = 3890 (Theorem 7's two sampling rates).
+    let sigma = 5.0;
+    let gamma_pos = 128.0 / 76_584.0;
+    let gamma_neg = (128.0 * 5.0) / 3_890.0;
+    let delta = 1e-5;
+
+    println!("one subsampled-Gaussian step (sigma = 5):");
+    println!(
+        "{:>6} {:>14} {:>14}",
+        "alpha", "eps @ gamma_pos", "eps @ gamma_neg"
+    );
+    for alpha in [2usize, 4, 8, 16, 32, 64] {
+        let ep = subsampled_gaussian_epsilon(sigma, gamma_pos, alpha)?;
+        let en = subsampled_gaussian_epsilon(sigma, gamma_neg, alpha)?;
+        println!("{alpha:>6} {ep:>14.6} {en:>14.6}");
+    }
+
+    println!("\nepsilon(delta=1e-5) as training proceeds (Theorem 7 composition):");
+    let mut acc = RdpAccountant::new();
+    println!("{:>12} {:>12}", "iterations", "epsilon");
+    for chunk in [10u64, 40, 50, 100, 300, 500] {
+        acc.record_subsampled_gaussian(sigma, gamma_pos, chunk)?;
+        acc.record_subsampled_gaussian(sigma, gamma_neg, chunk)?;
+        let (eps, _) = acc.epsilon(delta)?;
+        println!("{:>12} {eps:>12.4}", acc.steps() / 2);
+    }
+
+    println!("\ndiscriminator iterations affordable per target epsilon (Algorithm 3 stop):");
+    println!("{:>8} {:>12}", "epsilon", "iterations");
+    for eps in 1..=6 {
+        let n = RdpAccountant::max_supported_iterations(
+            sigma, gamma_pos, gamma_neg, eps as f64, delta,
+        )?;
+        println!("{eps:>8} {n:>12}");
+    }
+    println!("\nThis is why every private method sits near AUC 0.5 at epsilon = 1:");
+    println!("the budget affords almost no training before the stopping rule fires.");
+    Ok(())
+}

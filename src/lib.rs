@@ -1,0 +1,51 @@
+//! # advsgm
+//!
+//! A complete, from-scratch Rust reproduction of **AdvSGM: Differentially
+//! Private Graph Learning via Adversarial Skip-gram Model** (Zhang, Ye, Hu,
+//! Xu — ICDE 2025), including every substrate the paper depends on and
+//! every baseline it compares against.
+//!
+//! This facade crate re-exports the workspace:
+//!
+//! * [`graph`] — graph storage, synthetic generators, Algorithm-2 sampling,
+//!   random walks, link-prediction splits;
+//! * [`linalg`] — dense matrices, stable sigmoids, the paper's Algorithm-1
+//!   exponential clipping, SGD/Adam;
+//! * [`privacy`] — Gaussian mechanism, subsampled-RDP accounting
+//!   (Theorem 4), RDP↔(ε,δ) conversion (Theorem 3), budget stopping;
+//! * [`core`] — the AdvSGM trainer (Algorithm 3) plus the SGM / DP-SGM /
+//!   DP-ASGM / AdvSGM-NoDP ablations;
+//! * [`baselines`] — DPGGAN, DPGVAE, GAP, DPAR;
+//! * [`eval`] — link-prediction AUC, Affinity-Propagation clustering, MI;
+//! * [`datasets`] — synthetic stand-ins for the paper's six datasets.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use advsgm::core::{AdvSgmConfig, ModelVariant, Trainer};
+//! use advsgm::eval::linkpred::evaluate_split;
+//! use advsgm::graph::generators::classic::karate_club;
+//! use advsgm::graph::partition::link_prediction_split;
+//!
+//! let graph = karate_club();
+//! let mut rng = advsgm::linalg::rng::seeded(7);
+//! let split = link_prediction_split(&graph, 0.1, &mut rng).unwrap();
+//!
+//! let mut cfg = AdvSgmConfig::test_small(ModelVariant::AdvSgm);
+//! cfg.epsilon = 6.0; // node-level (epsilon, delta)-DP target
+//! let out = Trainer::fit(&split.train, cfg).unwrap();
+//!
+//! let auc = evaluate_split(&out.node_vectors, &split).unwrap();
+//! assert!(auc >= 0.0 && auc <= 1.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use advsgm_baselines as baselines;
+pub use advsgm_core as core;
+pub use advsgm_datasets as datasets;
+pub use advsgm_eval as eval;
+pub use advsgm_graph as graph;
+pub use advsgm_linalg as linalg;
+pub use advsgm_privacy as privacy;

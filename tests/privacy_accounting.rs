@@ -1,0 +1,126 @@
+//! Integration tests for the privacy guarantees: the trainer's online
+//! accounting must agree with an independent replay of Theorem 7, and the
+//! stopping rule must actually bound the spend.
+
+use advsgm::core::{AdvSgmConfig, ModelVariant, Trainer};
+use advsgm::datasets::{synthesize, Dataset};
+use advsgm::privacy::accountant::RdpAccountant;
+
+fn fast(cfg: &mut AdvSgmConfig) {
+    cfg.dim = 16;
+    cfg.epochs = 4;
+    cfg.disc_iters = 6;
+    cfg.gen_iters = 1;
+    cfg.batch_size = 64;
+}
+
+#[test]
+fn trainer_accounting_matches_theorem7_replay() {
+    let spec = Dataset::Ppi.spec().scaled(0.05);
+    let graph = synthesize(&spec, 0);
+    let mut cfg = AdvSgmConfig::for_variant(ModelVariant::AdvSgm);
+    fast(&mut cfg);
+    cfg.epsilon = 1e9; // never stop: we want a full, predictable run
+    let sigma = cfg.sigma;
+    let delta = cfg.delta;
+    let (b, k) = (cfg.batch_size, cfg.negatives);
+    let iters = (cfg.epochs * cfg.disc_iters) as u64;
+    let out = Trainer::fit(&graph, cfg).unwrap();
+    assert_eq!(out.disc_updates, 2 * iters);
+
+    // Independent replay: n_epoch * n_D steps at each of the two rates.
+    let gamma_pos = b as f64 / graph.num_edges() as f64;
+    let gamma_neg = (b * k) as f64 / graph.num_nodes() as f64;
+    let mut acc = RdpAccountant::new();
+    acc.record_subsampled_gaussian(sigma, gamma_pos, iters)
+        .unwrap();
+    acc.record_subsampled_gaussian(sigma, gamma_neg, iters)
+        .unwrap();
+    let (replay_eps, _) = acc.epsilon(delta).unwrap();
+    let trainer_eps = out.epsilon_spent.unwrap();
+    assert!(
+        (replay_eps - trainer_eps).abs() < 1e-9,
+        "trainer eps {trainer_eps} != replay {replay_eps}"
+    );
+}
+
+#[test]
+fn stopping_rule_bounds_the_overshoot_to_one_iteration() {
+    // When training stops, the spend may exceed the target by at most the
+    // final iteration's cost (the paper applies the update, then checks).
+    let spec = Dataset::Ppi.spec().scaled(0.05);
+    let graph = synthesize(&spec, 1);
+    let mut cfg = AdvSgmConfig::for_variant(ModelVariant::AdvSgm);
+    fast(&mut cfg);
+    cfg.epochs = 100;
+    cfg.epsilon = 2.0;
+    let sigma = cfg.sigma;
+    let delta = cfg.delta;
+    let (b, k) = (cfg.batch_size, cfg.negatives);
+    let out = Trainer::fit(&graph, cfg).unwrap();
+    assert!(out.stopped_by_budget);
+    // delta_hat crossed the target...
+    assert!(out.delta_spent.unwrap() >= delta);
+    // ...but removing one iteration's worth of steps goes back under.
+    let gamma_pos = b as f64 / graph.num_edges() as f64;
+    let gamma_neg = (b * k) as f64 / graph.num_nodes() as f64;
+    let total_iter_pairs = out.disc_updates / 2;
+    let mut acc = RdpAccountant::new();
+    if total_iter_pairs > 1 {
+        acc.record_subsampled_gaussian(sigma, gamma_pos, total_iter_pairs - 1)
+            .unwrap();
+        acc.record_subsampled_gaussian(sigma, gamma_neg, total_iter_pairs - 1)
+            .unwrap();
+        assert!(
+            acc.delta(2.0).unwrap() < delta,
+            "budget was already exhausted more than one iteration earlier"
+        );
+    }
+}
+
+#[test]
+fn epsilon_spent_scales_with_training_length() {
+    let spec = Dataset::Ppi.spec().scaled(0.05);
+    let graph = synthesize(&spec, 2);
+    let mut spent = Vec::new();
+    for epochs in [2usize, 6] {
+        let mut cfg = AdvSgmConfig::for_variant(ModelVariant::DpSgm);
+        fast(&mut cfg);
+        cfg.epochs = epochs;
+        cfg.epsilon = 1e9;
+        let out = Trainer::fit(&graph, cfg).unwrap();
+        spent.push(out.epsilon_spent.unwrap());
+    }
+    assert!(spent[1] > spent[0], "spend not increasing: {spent:?}");
+}
+
+#[test]
+fn non_private_run_is_unaccounted_and_full_length() {
+    let spec = Dataset::Wiki.spec().scaled(0.05);
+    let graph = synthesize(&spec, 3);
+    let mut cfg = AdvSgmConfig::for_variant(ModelVariant::AdvSgmNoDp);
+    fast(&mut cfg);
+    let epochs = cfg.epochs;
+    let out = Trainer::fit(&graph, cfg).unwrap();
+    assert!(out.epsilon_spent.is_none());
+    assert_eq!(out.epochs_run, epochs);
+}
+
+#[test]
+fn larger_sigma_spends_less_epsilon() {
+    let spec = Dataset::Ppi.spec().scaled(0.05);
+    let graph = synthesize(&spec, 4);
+    let mut spent = Vec::new();
+    for sigma in [2.0, 8.0] {
+        let mut cfg = AdvSgmConfig::for_variant(ModelVariant::AdvSgm);
+        fast(&mut cfg);
+        cfg.sigma = sigma;
+        cfg.epsilon = 1e9;
+        let out = Trainer::fit(&graph, cfg).unwrap();
+        spent.push(out.epsilon_spent.unwrap());
+    }
+    assert!(
+        spent[1] < spent[0],
+        "sigma=8 should spend less than sigma=2: {spent:?}"
+    );
+}

@@ -1,0 +1,125 @@
+//! Property-based tests over the workspace's public invariants.
+
+use advsgm::eval::auc::auc_from_scores;
+use advsgm::eval::clustering::metrics::mutual_information;
+use advsgm::graph::GraphBuilder;
+use advsgm::linalg::activations::{exp_clip, sigmoid, ConstrainedSigmoid};
+use advsgm::linalg::vector;
+use advsgm::privacy::subsampled::subsampled_gaussian_epsilon;
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn clip_l2_postcondition(mut xs in proptest::collection::vec(-100.0f64..100.0, 1..32),
+                             c in 0.01f64..10.0) {
+        let before = xs.clone();
+        let factor = vector::clip_l2(&mut xs, c);
+        // Postcondition: norm <= c, direction preserved.
+        prop_assert!(vector::norm2(&xs) <= c * (1.0 + 1e-9));
+        prop_assert!(factor > 0.0 && factor <= 1.0);
+        for (a, b) in xs.iter().zip(&before) {
+            prop_assert!((a - b * factor).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn sigmoid_bounds_and_symmetry(x in -500.0f64..500.0) {
+        let s = sigmoid(x);
+        prop_assert!((0.0..=1.0).contains(&s));
+        prop_assert!((sigmoid(-x) - (1.0 - s)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn exp_clip_stays_in_extended_range(x in -1e6f64..1e6,
+                                        a in 0.0001f64..1.0,
+                                        width in 1.0f64..200.0) {
+        let b = a + width;
+        let v = exp_clip(x, Some(a), Some(b));
+        // Corner overshoot is bounded by 1/(2c).
+        let c_tanh = 2.0 / (2.0f64.exp() + 1.0);
+        let over = c_tanh * (b - a) / 2.0;
+        prop_assert!(v >= a - over - 1e-9, "v={v} below {a}-{over}");
+        prop_assert!(v <= b + over + 1e-9, "v={v} above {b}+{over}");
+    }
+
+    #[test]
+    fn constrained_sigmoid_monotone_pairs(x in -50.0f64..50.0, dx in 0.001f64..10.0) {
+        let s = ConstrainedSigmoid::new(1e-5, 120.0);
+        prop_assert!(s.eval(x + dx) >= s.eval(x) - 1e-12);
+    }
+
+    #[test]
+    fn auc_stays_in_unit_interval(pos in proptest::collection::vec(-10.0f64..10.0, 1..64),
+                                  neg in proptest::collection::vec(-10.0f64..10.0, 1..64)) {
+        let auc = auc_from_scores(&pos, &neg).unwrap();
+        prop_assert!((0.0..=1.0).contains(&auc));
+        // Complement symmetry.
+        let swapped = auc_from_scores(&neg, &pos).unwrap();
+        prop_assert!((auc + swapped - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn auc_invariant_under_shift_and_positive_scale(
+        pos in proptest::collection::vec(-5.0f64..5.0, 1..32),
+        neg in proptest::collection::vec(-5.0f64..5.0, 1..32),
+        shift in -10.0f64..10.0,
+        scale in 0.1f64..10.0)
+    {
+        let a = auc_from_scores(&pos, &neg).unwrap();
+        let tp: Vec<f64> = pos.iter().map(|x| x * scale + shift).collect();
+        let tn: Vec<f64> = neg.iter().map(|x| x * scale + shift).collect();
+        let b = auc_from_scores(&tp, &tn).unwrap();
+        prop_assert!((a - b).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mutual_information_nonnegative_and_symmetric(
+        a in proptest::collection::vec(0usize..5, 2..64),
+        b_seed in 0usize..5)
+    {
+        let b: Vec<usize> = a.iter().map(|&x| (x + b_seed) % 3).collect();
+        let ab = mutual_information(&a, &b).unwrap();
+        let ba = mutual_information(&b, &a).unwrap();
+        prop_assert!(ab >= 0.0);
+        prop_assert!((ab - ba).abs() < 1e-9);
+    }
+
+    #[test]
+    fn subsampled_rdp_capped_and_monotone(gamma in 0.0f64..1.0,
+                                          sigma in 0.5f64..10.0,
+                                          alpha in 2usize..64) {
+        let amp = subsampled_gaussian_epsilon(sigma, gamma, alpha).unwrap();
+        let base = alpha as f64 / (2.0 * sigma * sigma);
+        prop_assert!(amp >= 0.0);
+        prop_assert!(amp <= base + 1e-9, "amplified {amp} exceeds base {base}");
+        // Shrinking gamma can only help.
+        let half = subsampled_gaussian_epsilon(sigma, gamma / 2.0, alpha).unwrap();
+        prop_assert!(half <= amp + 1e-9);
+    }
+
+    #[test]
+    fn graph_builder_invariants(edges in proptest::collection::vec((0usize..30, 0usize..30), 0..120)) {
+        let mut b = GraphBuilder::new(30);
+        b.add_edges(edges.clone()).unwrap();
+        let g = b.build();
+        g.check_invariants().unwrap();
+        // Edge count <= non-self-loop input count; adjacency is symmetric.
+        let non_loops = edges.iter().filter(|(a, b)| a != b).count();
+        prop_assert!(g.num_edges() <= non_loops);
+        for e in g.edges() {
+            prop_assert!(g.has_edge(e.u(), e.v()));
+            prop_assert!(g.has_edge(e.v(), e.u()));
+        }
+    }
+
+    #[test]
+    fn degree_sum_is_twice_edges(edges in proptest::collection::vec((0usize..20, 0usize..20), 0..80)) {
+        let mut b = GraphBuilder::new(20);
+        b.add_edges(edges).unwrap();
+        let g = b.build();
+        let degree_sum: usize = (0..20)
+            .map(|i| g.degree(advsgm::graph::NodeId::from_index(i)))
+            .sum();
+        prop_assert_eq!(degree_sum, 2 * g.num_edges());
+    }
+}
