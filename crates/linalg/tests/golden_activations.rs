@@ -1,0 +1,180 @@
+//! Golden-value tests for the stable sigmoid and Algorithm-1 exponential
+//! clipping: literal expected values, monotonicity sweeps over wide grids,
+//! bound saturation, and NaN-freedom at the extremes of `f64`.
+
+use advsgm_linalg::activations::{exp_clip, exp_clip_sharp, sigmoid, ConstrainedSigmoid};
+
+const TOL: f64 = 1e-12;
+
+// ---- stable sigmoid --------------------------------------------------------
+
+#[test]
+fn sigmoid_golden_values() {
+    // 1/(1+e^{-x}) evaluated exactly.
+    assert!((sigmoid(0.0) - 0.5).abs() < TOL);
+    assert!((sigmoid(1.0) - 0.731_058_578_630_004_9).abs() < TOL);
+    assert!((sigmoid(-1.0) - 0.268_941_421_369_995_1).abs() < TOL);
+    assert!((sigmoid(2.5) - 0.924_141_819_978_756_6).abs() < TOL);
+    assert!((sigmoid(-2.5) - (1.0 - 0.924_141_819_978_756_6)).abs() < TOL);
+}
+
+#[test]
+fn sigmoid_no_nan_and_saturation_at_f64_extremes() {
+    for &x in &[
+        f64::MAX,
+        f64::MIN,
+        1e308,
+        -1e308,
+        710.0,
+        -710.0,
+        f64::INFINITY,
+        f64::NEG_INFINITY,
+    ] {
+        let s = sigmoid(x);
+        assert!(!s.is_nan(), "sigmoid({x}) is NaN");
+        assert!((0.0..=1.0).contains(&s), "sigmoid({x}) = {s} out of [0,1]");
+    }
+    assert_eq!(sigmoid(f64::INFINITY), 1.0);
+    assert_eq!(sigmoid(f64::NEG_INFINITY), 0.0);
+}
+
+#[test]
+fn sigmoid_monotone_over_wide_grid() {
+    let mut prev = -1.0;
+    let mut x = -800.0;
+    while x <= 800.0 {
+        let s = sigmoid(x);
+        assert!(s >= prev, "sigmoid not monotone at x={x}");
+        prev = s;
+        x += 0.25;
+    }
+}
+
+// ---- Algorithm 1: exponential clipping -------------------------------------
+
+const A: f64 = 1e-5;
+const B: f64 = 120.0;
+
+#[test]
+fn exp_clip_golden_midpoint() {
+    // Far from both corners the wide-corner clip is x plus two tiny corner
+    // terms; at x = 60 (paper bounds) the hand-evaluated value is
+    // 60 + e^{-c|60-a|}/(2c) - e^{-c|60-b|}/(2c) = 60.00000061395962
+    // with c = (1/(2 c_tanh)) / ((b-a)/2) = 0.03495440332507799.
+    let v = exp_clip(60.0, Some(A), Some(B));
+    assert!((v - 60.000_000_613_959_62).abs() < 1e-9, "v={v}");
+}
+
+#[test]
+fn exp_clip_sharp_golden_at_zero() {
+    // Sharp variant at x = 0: clamp(0) = a, corner term e^{-c a}/(2c) with
+    // c = 125.83583099763963, giving 0.003978434209766475 — the value that
+    // makes ConstrainedSigmoid's supremum approach 1 (Section VI-A).
+    let v = exp_clip_sharp(0.0, Some(A), Some(B));
+    assert!((v - 0.003_978_434_209_766_475).abs() < 1e-12, "v={v}");
+}
+
+#[test]
+fn exp_clip_saturates_at_both_bounds() {
+    // Deep below a and far above b, both variants sit on the bound to
+    // within the (exponentially vanishing) corner term.
+    for clip in [exp_clip, exp_clip_sharp] {
+        let lo = clip(-1e6, Some(A), Some(B));
+        assert!((lo - A).abs() < 1e-9, "lower saturation: {lo}");
+        let hi = clip(1e9, Some(A), Some(B));
+        assert!((hi - B).abs() < 1e-9, "upper saturation: {hi}");
+    }
+}
+
+#[test]
+fn exp_clip_no_nan_at_extreme_inputs() {
+    for clip in [exp_clip, exp_clip_sharp] {
+        for &x in &[
+            f64::MAX,
+            f64::MIN,
+            1e308,
+            -1e308,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+        ] {
+            let v = clip(x, Some(A), Some(B));
+            assert!(!v.is_nan(), "clip({x}) is NaN");
+            assert!(v.is_finite(), "clip({x}) = {v} not finite");
+        }
+    }
+    assert!((exp_clip(f64::INFINITY, Some(A), Some(B)) - B).abs() < 1e-9);
+    assert!((exp_clip(f64::NEG_INFINITY, Some(A), Some(B)) - A).abs() < 1e-9);
+}
+
+#[test]
+fn exp_clip_monotone_across_corners() {
+    // Dense sweep straddling both corners plus huge jumps at the ends.
+    for clip in [exp_clip, exp_clip_sharp] {
+        let mut prev = f64::NEG_INFINITY;
+        let mut xs: Vec<f64> = vec![-1e300, -1e9, -1e3];
+        let mut x = -2.0;
+        while x <= 140.0 {
+            xs.push(x);
+            x += 0.01;
+        }
+        xs.extend_from_slice(&[1e3, 1e9, 1e300]);
+        for &x in &xs {
+            let v = clip(x, Some(A), Some(B));
+            assert!(v >= prev - 1e-12, "not monotone at x={x}: {v} < {prev}");
+            prev = v;
+        }
+    }
+}
+
+#[test]
+fn exp_clip_overshoot_bounded_by_corner_constant() {
+    // |softclip(x) - clamp(x)| <= 1/(2c) everywhere (one corner term can
+    // push past a bound by at most its own magnitude).
+    let c_tanh = 2.0 / (2.0f64.exp() + 1.0);
+    let c_wide = 1.0 / (2.0 * c_tanh) / ((B - A) / 2.0);
+    let over = 1.0 / (2.0 * c_wide);
+    let mut x = -50.0;
+    while x <= 250.0 {
+        let v = exp_clip(x, Some(A), Some(B));
+        assert!(v >= A - over - 1e-12, "x={x}: {v}");
+        assert!(v <= B + over + 1e-12, "x={x}: {v}");
+        x += 0.1;
+    }
+}
+
+// ---- constrained sigmoid built on the clip ---------------------------------
+
+#[test]
+fn constrained_sigmoid_golden_range() {
+    let s = ConstrainedSigmoid::PAPER_DEFAULT;
+    // Floor is exactly 1/(1+b) = 1/121.
+    assert!((s.min_value() - 1.0 / 121.0).abs() < TOL);
+    // Ceiling is 1/(1 + sharp_clip(0)) with the golden clip value above.
+    let expected_max = 1.0 / (1.0 + 0.003_978_434_209_766_475);
+    assert!((s.max_value() - expected_max).abs() < 1e-12);
+    assert!(s.max_value() > 0.996, "max={}", s.max_value());
+}
+
+#[test]
+fn constrained_sigmoid_no_nan_at_extremes() {
+    let s = ConstrainedSigmoid::PAPER_DEFAULT;
+    for &x in &[
+        f64::MAX,
+        f64::MIN,
+        1e308,
+        -1e308,
+        f64::INFINITY,
+        f64::NEG_INFINITY,
+    ] {
+        let v = s.eval(x);
+        assert!(!v.is_nan(), "S({x}) is NaN");
+        assert!(
+            (s.min_value() - 1e-12..=s.max_value() + 1e-12).contains(&v),
+            "S({x}) = {v} outside [{}, {}]",
+            s.min_value(),
+            s.max_value()
+        );
+        let l = s.inverse_weight(x);
+        assert!(!l.is_nan() && l.is_finite(), "lambda({x}) = {l}");
+    }
+}

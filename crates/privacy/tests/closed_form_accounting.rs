@@ -1,0 +1,158 @@
+//! Closed-form regression tests for the privacy accounting stack.
+//!
+//! The RDP-to-DP conversion (Theorem 3) is checked against exactly
+//! hand-computable curves, and the subsampled-RDP accountant (Theorem 4
+//! composition) against literal values derived from the theorem's formula
+//! at three `(sigma, q, T)` operating points. On a single order `alpha`
+//! the whole pipeline collapses to
+//!
+//! ```text
+//! eps_dp = T * eps'(alpha) + ln(1/delta) / (alpha - 1)
+//! eps'(alpha) = min( ln(1 + sum_j q^j C(alpha,j) ...) / (alpha-1),
+//!                    alpha / (2 sigma^2) )
+//! ```
+//!
+//! so every expected number below is reproducible by hand (or a few lines
+//! of arithmetic) straight from the paper's statements.
+
+use advsgm_privacy::accountant::RdpAccountant;
+use advsgm_privacy::conversion::{rdp_to_delta, rdp_to_epsilon};
+use advsgm_privacy::subsampled::subsampled_gaussian_epsilon;
+
+const TOL: f64 = 1e-9;
+
+// ---- Theorem 3: RDP -> (epsilon, delta) ------------------------------------
+
+#[test]
+fn theorem3_epsilon_on_explicit_two_point_curve() {
+    // dp(alpha) = eps + ln(1/delta)/(alpha-1) with delta = 1e-2:
+    //   alpha=2: 0.5 + ln(100)/1 = 0.5 + 4.605170185988091 = 5.105170185988091
+    //   alpha=4: 1.0 + ln(100)/3 = 1.0 + 1.535056728662697 = 2.535056728662697
+    // The optimiser must pick alpha = 4.
+    let curve = [(2usize, 0.5f64), (4usize, 1.0f64)];
+    let (eps, alpha) = rdp_to_epsilon(&curve, 1e-2).unwrap();
+    assert_eq!(alpha, 4);
+    assert!((eps - 2.535_056_728_662_697).abs() < TOL, "eps={eps}");
+}
+
+#[test]
+fn theorem3_epsilon_prefers_small_alpha_for_loose_delta() {
+    // With delta = 0.5, ln(1/delta) = ln 2 and the tail penalty is small:
+    //   alpha=2: 0.5 + 0.6931471805599453     = 1.1931471805599454
+    //   alpha=4: 1.0 + 0.6931471805599453 / 3 = 1.2310490601866484
+    // Now alpha = 2 wins.
+    let curve = [(2usize, 0.5f64), (4usize, 1.0f64)];
+    let (eps, alpha) = rdp_to_epsilon(&curve, 0.5).unwrap();
+    assert_eq!(alpha, 2);
+    assert!((eps - 1.193_147_180_559_945_4).abs() < TOL, "eps={eps}");
+}
+
+#[test]
+fn theorem3_delta_single_point_closed_form() {
+    // delta = exp(-(alpha-1)(eps_target - eps_rdp))
+    //       = exp(-(3-1)(1.5 - 0.5)) = e^{-2} = 0.1353352832366127.
+    let curve = [(3usize, 0.5f64)];
+    let d = rdp_to_delta(&curve, 1.5).unwrap();
+    assert!((d - 0.135_335_283_236_612_7).abs() < TOL, "delta={d}");
+}
+
+#[test]
+fn theorem3_delta_saturates_at_one_below_the_curve() {
+    // Target epsilon below the RDP epsilon: the exponent is positive and
+    // the bound clamps to 1.
+    let curve = [(3usize, 2.0f64)];
+    assert_eq!(rdp_to_delta(&curve, 0.5).unwrap(), 1.0);
+}
+
+// ---- Theorem 4: subsampled Gaussian at alpha = 2, closed form --------------
+
+#[test]
+fn theorem4_alpha2_closed_form() {
+    // At alpha = 2 the series has a single term:
+    //   eps'(2) = ln(1 + q^2 * min{4(e^{eps(2)}-1), 2 e^{eps(2)}})
+    // with eps(2) = 1/sigma^2. For sigma = 2, q = 0.1:
+    //   eps(2) = 0.25, 4(e^0.25 - 1) = 1.13610111... < 2 e^0.25,
+    //   eps'   = ln(1 + 0.01 * 1.13610111...) = 0.011296964989239761.
+    let e = subsampled_gaussian_epsilon(2.0, 0.1, 2).unwrap();
+    assert!((e - 0.011_296_964_989_239_761).abs() < TOL, "eps'={e}");
+}
+
+// ---- full accountant pipeline at three (sigma, q, T) points ----------------
+
+/// Runs T steps through a single-order accountant and converts at delta.
+fn pipeline_epsilon(sigma: f64, q: f64, alpha: usize, t: u64, delta: f64) -> f64 {
+    let mut acc = RdpAccountant::with_orders(vec![alpha]);
+    acc.record_subsampled_gaussian(sigma, q, t).unwrap();
+    acc.epsilon(delta).unwrap().0
+}
+
+#[test]
+fn accountant_point_1_sigma2_q01_t100() {
+    // sigma=2, q=0.1, alpha=2, T=100, delta=1e-5:
+    //   eps_dp = 100 * 0.011296964989239761 + ln(1e5)/1
+    //          = 1.1296964989239761 + 11.512925464970229
+    //          = 12.642621963894205.
+    let eps = pipeline_epsilon(2.0, 0.1, 2, 100, 1e-5);
+    assert!(
+        (eps - 12.642_621_963_894_205).abs() < 1e-6,
+        "point 1: eps={eps}"
+    );
+}
+
+#[test]
+fn accountant_point_2_sigma5_q005_t1000() {
+    // sigma=5, q=0.05, alpha=4, T=1000, delta=1e-6. Theorem-4 series:
+    //   j=2: q^2 C(4,2) * 4(e^{0.04}-1)      = 0.0025*6*0.16324...
+    //   j=3: q^3 C(4,3) * e^{2*0.06} * 2
+    //   j=4: q^4 C(4,4) * e^{3*0.08} * 2
+    //   eps'(4) = ln(1 + sum)/3 = 0.001195199323718801 (< base 0.08)
+    //   eps_dp  = 1000 * eps' + ln(1e6)/3 = 5.800369509706892.
+    let eps = pipeline_epsilon(5.0, 0.05, 4, 1000, 1e-6);
+    assert!(
+        (eps - 5.800_369_509_706_892).abs() < 1e-6,
+        "point 2: eps={eps}"
+    );
+}
+
+#[test]
+fn accountant_point_3_sigma1_q1_t50() {
+    // sigma=1, q=1 (no subsampling, exact base curve), alpha=8, T=50,
+    // delta=1e-5:
+    //   eps'(8) = 8/(2*1) = 4 exactly,
+    //   eps_dp  = 50*4 + ln(1e5)/7 = 200 + 1.644703637852890
+    //           = 201.6447036378529.
+    let eps = pipeline_epsilon(1.0, 1.0, 8, 50, 1e-5);
+    assert!(
+        (eps - 201.644_703_637_852_9).abs() < 1e-6,
+        "point 3: eps={eps}"
+    );
+}
+
+#[test]
+fn accountant_composition_is_exactly_linear_in_t() {
+    // RDP composes additively, so on a fixed order the accumulated epsilon
+    // before conversion is exactly T * per-step.
+    let per_step = subsampled_gaussian_epsilon(2.0, 0.1, 2).unwrap();
+    let mut acc = RdpAccountant::with_orders(vec![2]);
+    acc.record_subsampled_gaussian(2.0, 0.1, 100).unwrap();
+    let total = acc.curve()[0].1;
+    assert!(
+        (total - 100.0 * per_step).abs() < 1e-12,
+        "total={total} expected={}",
+        100.0 * per_step
+    );
+}
+
+#[test]
+fn accountant_grid_conversion_never_worse_than_single_order() {
+    // The default grid contains many orders, so its optimised epsilon is at
+    // most the single-order pipeline value at any shared alpha.
+    let mut grid = RdpAccountant::new();
+    grid.record_subsampled_gaussian(2.0, 0.1, 100).unwrap();
+    let eps_grid = grid.epsilon(1e-5).unwrap().0;
+    let eps_single = pipeline_epsilon(2.0, 0.1, 2, 100, 1e-5);
+    assert!(
+        eps_grid <= eps_single + 1e-12,
+        "grid {eps_grid} > single-order {eps_single}"
+    );
+}

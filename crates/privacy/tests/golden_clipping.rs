@@ -1,0 +1,105 @@
+//! Golden-value tests for the DPSGD gradient clipping primitives
+//! (Eq. 5 / Theorem 6): exact rescale factors, batch-sum sensitivity
+//! saturation at `B * C`, and NaN-freedom at extreme magnitudes.
+
+use advsgm_privacy::clipping::{batch_sum_sensitivity, clip_and_sum, clip_gradient};
+
+fn norm2(xs: &[f64]) -> f64 {
+    xs.iter().map(|v| v * v).sum::<f64>().sqrt()
+}
+
+#[test]
+fn clip_golden_345_triangle() {
+    // ||(3,4)|| = 5; clipping to C=1 applies factor exactly 0.2.
+    let mut g = vec![3.0, 4.0];
+    let f = clip_gradient(&mut g, 1.0);
+    assert!((f - 0.2).abs() < 1e-15, "f={f}");
+    assert!((g[0] - 0.6).abs() < 1e-15);
+    assert!((g[1] - 0.8).abs() < 1e-15);
+}
+
+#[test]
+fn clip_inside_ball_is_exact_identity() {
+    let mut g = vec![0.6, 0.8]; // norm exactly 1.0
+    let f = clip_gradient(&mut g, 1.0);
+    assert_eq!(f, 1.0);
+    assert_eq!(g, vec![0.6, 0.8]);
+}
+
+#[test]
+fn clip_monotone_in_threshold() {
+    // Larger C never shrinks the clipped norm.
+    let base = vec![7.0, -24.0]; // norm 25
+    let mut prev = 0.0;
+    for &c in &[0.5, 1.0, 5.0, 24.9, 25.0, 100.0] {
+        let mut g = base.clone();
+        clip_gradient(&mut g, c);
+        let n = norm2(&g);
+        assert!(n >= prev - 1e-12, "norm not monotone at C={c}");
+        assert!(n <= c + 1e-12, "norm {n} exceeds C={c}");
+        prev = n;
+    }
+    // At and beyond the true norm, clipping is a no-op.
+    let mut g = base.clone();
+    clip_gradient(&mut g, 100.0);
+    assert_eq!(g, base);
+}
+
+#[test]
+fn clip_no_nan_at_extreme_inputs() {
+    // Large but square-summable magnitudes.
+    let mut g = vec![1e150, -1e150];
+    let f = clip_gradient(&mut g, 1.0);
+    assert!(!f.is_nan());
+    assert!((norm2(&g) - 1.0).abs() < 1e-9, "norm={}", norm2(&g));
+    // Magnitudes whose squares overflow to infinity: factor degenerates to
+    // 0 but must never produce NaN in the gradient.
+    let mut h = vec![1e200, 1e200, -1e200];
+    let f = clip_gradient(&mut h, 1.0);
+    assert!(!f.is_nan());
+    assert!(h.iter().all(|v| !v.is_nan()), "h={h:?}");
+    // Zero gradient is untouched.
+    let mut z = vec![0.0; 4];
+    assert_eq!(clip_gradient(&mut z, 1.0), 1.0);
+    assert!(z.iter().all(|&v| v == 0.0));
+}
+
+#[test]
+fn batch_sum_saturates_at_sensitivity_bound() {
+    // B aligned worst-case gradients: the clipped sum's norm reaches
+    // exactly B*C — the Theorem-6 sensitivity — and never exceeds it.
+    let b = 8;
+    let c = 0.5;
+    let mut grads: Vec<Vec<f64>> = (0..b).map(|_| vec![100.0, 0.0]).collect();
+    let mut sum = vec![0.0; 2];
+    let clipped = clip_and_sum(&mut grads, c, &mut sum);
+    assert_eq!(clipped, b);
+    let bound = batch_sum_sensitivity(b, c);
+    assert!((bound - 4.0).abs() < 1e-15);
+    assert!((norm2(&sum) - bound).abs() < 1e-12, "norm={}", norm2(&sum));
+}
+
+#[test]
+fn batch_sum_never_exceeds_sensitivity_for_adversarial_directions() {
+    // Mixed directions still respect the bound (triangle inequality).
+    let c = 1.0;
+    let dirs = [
+        vec![5.0, 0.0],
+        vec![-3.0, 4.0],
+        vec![0.0, -9.0],
+        vec![1.0, 1.0],
+        vec![-0.1, 0.0],
+    ];
+    let mut grads = dirs.to_vec();
+    let mut sum = vec![0.0; 2];
+    clip_and_sum(&mut grads, c, &mut sum);
+    assert!(norm2(&sum) <= batch_sum_sensitivity(dirs.len(), c) + 1e-12);
+}
+
+#[test]
+fn sensitivity_golden_values() {
+    assert_eq!(batch_sum_sensitivity(128, 1.0), 128.0);
+    assert_eq!(batch_sum_sensitivity(64, 0.25), 16.0);
+    assert_eq!(batch_sum_sensitivity(1, 3.5), 3.5);
+    assert_eq!(batch_sum_sensitivity(0, 1.0), 0.0);
+}

@@ -1,0 +1,223 @@
+//! Vendored, dependency-free stand-in for `criterion`.
+//!
+//! Implements the API subset the workspace's benches use — `Criterion`,
+//! `benchmark_group` / `bench_function` / `sample_size` / `finish`,
+//! `Bencher::iter`, [`black_box`], and the `criterion_group!` /
+//! `criterion_main!` macros. Measurement is a simple calibrated timing
+//! loop reporting mean ns/iteration; there is no statistical analysis,
+//! HTML report, or baseline comparison. Good enough to smoke-run hot
+//! paths offline; absolute numbers are indicative only.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Re-export point used by generated `criterion_main!` code.
+pub use std::hint::black_box;
+
+/// Target measuring time per benchmark; kept small so `cargo bench`
+/// over the whole workspace completes quickly.
+const TARGET_MEASURE: Duration = Duration::from_millis(200);
+
+/// Entry point and shared configuration for a benchmark run.
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo bench` passes `--bench` plus any user filter string;
+        // treat the first non-flag argument as a substring filter.
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-'))
+            .filter(|a| !a.is_empty());
+        Criterion { filter }
+    }
+}
+
+impl Criterion {
+    /// Accepts CLI configuration; the vendored harness already read the
+    /// filter in `default()`, so this is identity.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            parent: self,
+            name: name.into(),
+            sample_size: 100,
+        }
+    }
+
+    /// Benchmarks a single function outside any group.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = name.into();
+        run_one(self.filter.as_deref(), &name, 100, f);
+        self
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the nominal sample count (scales measuring effort).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the nominal measurement time (accepted for API fidelity).
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Benchmarks one function within the group.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, name.into());
+        run_one(self.parent.filter.as_deref(), &full, self.sample_size, f);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(filter: Option<&str>, name: &str, sample_size: usize, mut f: F) {
+    if let Some(pat) = filter {
+        if !name.contains(pat) {
+            return;
+        }
+    }
+    // Scale effort down for benches that asked for few samples (they are
+    // expensive); criterion's default is 100.
+    let budget = TARGET_MEASURE.mul_f64((sample_size as f64 / 100.0).clamp(0.05, 1.0));
+    let mut b = Bencher {
+        budget,
+        iters: 0,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    if b.iters > 0 {
+        let ns = b.elapsed.as_nanos() as f64 / b.iters as f64;
+        println!("bench {name:<50} {ns:>14.1} ns/iter ({} iters)", b.iters);
+    } else {
+        println!("bench {name:<50} (no measurements)");
+    }
+}
+
+/// Passed to the closure given to `bench_function`; runs the measured
+/// routine.
+pub struct Bencher {
+    budget: Duration,
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Measures `routine` repeatedly until the time budget is consumed.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up and per-iteration estimate.
+        let start = Instant::now();
+        black_box(routine());
+        let first = start.elapsed();
+        let mut iters: u64 = 1;
+        let mut elapsed = first;
+        // Batch iterations so clock overhead stays negligible.
+        let batch = (Duration::from_millis(2).as_nanos() / first.as_nanos().max(1))
+            .clamp(1, 100_000) as u64;
+        while elapsed < self.budget {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            elapsed += t.elapsed();
+            iters += batch;
+        }
+        self.iters = iters;
+        self.elapsed = elapsed;
+    }
+}
+
+/// Bundles benchmark functions into one runner, mirroring criterion's
+/// macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generates `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion { filter: None };
+        let mut ran = 0u64;
+        c.bench_function("smoke", |b| {
+            b.iter(|| {
+                ran += 1;
+                black_box(ran)
+            })
+        });
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let mut c = Criterion {
+            filter: Some("nomatch".into()),
+        };
+        let mut ran = false;
+        c.bench_function("other", |b| {
+            b.iter(|| {
+                ran = true;
+            })
+        });
+        assert!(!ran);
+    }
+
+    #[test]
+    fn group_runs_and_finishes() {
+        let mut c = Criterion { filter: None };
+        let mut group = c.benchmark_group("g");
+        group.sample_size(10);
+        let mut hits = 0u64;
+        group.bench_function("inner", |b| {
+            b.iter(|| {
+                hits += 1;
+                black_box(hits)
+            })
+        });
+        group.finish();
+        assert!(hits > 0);
+    }
+}

@@ -1,0 +1,218 @@
+//! Vendored, dependency-free stand-in for `proptest`.
+//!
+//! Supports the subset this workspace's property tests use: the
+//! [`proptest!`] macro over functions whose arguments are drawn from
+//! strategies, numeric range strategies, tuple strategies,
+//! [`collection::vec`], and the `prop_assert*` macros.
+//!
+//! No shrinking: each test runs a fixed number of deterministic cases
+//! (default 64, overridable via the `PROPTEST_CASES` environment
+//! variable). Cases are seeded from the test name and case index, so a
+//! failing case reproduces exactly on re-run.
+
+#![forbid(unsafe_code)]
+
+pub mod collection;
+pub mod strategy;
+
+/// Re-exports for `use proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Number of cases each property runs, from `PROPTEST_CASES` (default 64).
+///
+/// The default is deliberately modest so the whole tier-1 suite stays fast;
+/// raise it locally for deeper sweeps.
+pub fn cases() -> usize {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(64)
+}
+
+/// Deterministic per-case RNG: a vendored-`rand` [`SmallRng`] seeded from
+/// an FNV-1a hash of the test name mixed with the case index, so the RNG
+/// primitives live in exactly one place.
+///
+/// [`SmallRng`]: rand::rngs::SmallRng
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    inner: rand::rngs::SmallRng,
+}
+
+impl TestRng {
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        rand::RngCore::next_u64(&mut self.inner)
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        rand::Rng::gen(&mut self.inner)
+    }
+
+    /// Uniform integer in `[0, span)`.
+    pub fn below(&mut self, span: u64) -> u64 {
+        debug_assert!(span > 0);
+        rand::Rng::gen_range(&mut self.inner, 0..span)
+    }
+
+    /// Uniform sample from any range the vendored `rand` crate accepts;
+    /// strategies delegate here so range edge-case handling (exclusive
+    /// bounds under float rounding, inclusive spans) lives in one place.
+    pub fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: rand::SampleUniform,
+        R: rand::SampleRange<T>,
+    {
+        rand::Rng::gen_range(&mut self.inner, range)
+    }
+}
+
+/// Builds the deterministic RNG for one test case.
+pub fn test_rng(test_name: &str, case: usize) -> TestRng {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    use rand::SeedableRng;
+    TestRng {
+        inner: rand::rngs::SmallRng::seed_from_u64(
+            h ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        ),
+    }
+}
+
+/// Prints the failing case index if the body panics, so the deterministic
+/// case can be re-run directly.
+pub struct CaseGuard {
+    name: &'static str,
+    case: usize,
+    armed: bool,
+}
+
+impl CaseGuard {
+    /// Arms the guard for one case.
+    pub fn new(name: &'static str, case: usize) -> Self {
+        CaseGuard {
+            name,
+            case,
+            armed: true,
+        }
+    }
+
+    /// Disarms after the body completed without panicking.
+    pub fn disarm(&mut self) {
+        self.armed = false;
+    }
+}
+
+impl Drop for CaseGuard {
+    fn drop(&mut self) {
+        if self.armed && std::thread::panicking() {
+            eprintln!(
+                "proptest: property `{}` failed at deterministic case {} \
+                 (of {}; set PROPTEST_CASES to change the sweep)",
+                self.name,
+                self.case,
+                cases()
+            );
+        }
+    }
+}
+
+/// Defines property tests: each function's arguments are sampled from the
+/// strategies after `in`, and the body runs once per case.
+#[macro_export]
+macro_rules! proptest {
+    ($( $(#[$attr:meta])* fn $name:ident( $($pat:pat in $strat:expr),+ $(,)? ) $body:block )*) => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                let __cases = $crate::cases();
+                for __case in 0..__cases {
+                    let mut __rng = $crate::test_rng(stringify!($name), __case);
+                    let mut __guard = $crate::CaseGuard::new(stringify!($name), __case);
+                    $(let $pat = $crate::strategy::Strategy::sample_value(&($strat), &mut __rng);)+
+                    $body
+                    __guard.disarm();
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a property holds; panics (failing the case) otherwise.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Asserts two values are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+/// Asserts two values are not equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_ne!($a, $b, $($fmt)+) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::strategy::Strategy;
+
+    #[test]
+    fn rng_is_deterministic_per_case() {
+        let mut a = crate::test_rng("t", 3);
+        let mut b = crate::test_rng("t", 3);
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = crate::test_rng("t", 4);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn range_strategies_respect_bounds() {
+        let mut rng = crate::test_rng("bounds", 0);
+        for _ in 0..500 {
+            let x = (-2.0f64..3.0).sample_value(&mut rng);
+            assert!((-2.0..3.0).contains(&x));
+            let n = (1usize..7).sample_value(&mut rng);
+            assert!((1..7).contains(&n));
+        }
+    }
+
+    #[test]
+    fn vec_strategy_respects_len_range() {
+        let mut rng = crate::test_rng("vec", 0);
+        for _ in 0..200 {
+            let v = crate::collection::vec(0usize..5, 2..9).sample_value(&mut rng);
+            assert!((2..9).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 5));
+        }
+    }
+
+    #[test]
+    fn tuple_strategy_samples_both() {
+        let mut rng = crate::test_rng("tuple", 0);
+        let (a, b) = (0usize..3, 10usize..13).sample_value(&mut rng);
+        assert!(a < 3);
+        assert!((10..13).contains(&b));
+    }
+
+    crate::proptest! {
+        #[test]
+        fn macro_smoke(x in 0.0f64..1.0, n in 1usize..5) {
+            crate::prop_assert!((0.0..1.0).contains(&x));
+            crate::prop_assert!((1..5).contains(&n));
+        }
+    }
+}

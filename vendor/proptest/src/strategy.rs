@@ -1,0 +1,74 @@
+//! Strategies: value generators for property tests.
+
+use core::ops::{Range, RangeInclusive};
+
+use crate::TestRng;
+
+/// A generator of values for one property-test argument.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value.
+    fn sample_value(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn sample_value(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).sample_value(rng)
+    }
+}
+
+/// Always yields a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample_value(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+// Range strategies delegate to the vendored `rand` uniform sampler, which
+// owns the edge-case handling (exclusive bounds under float rounding,
+// inclusive and full-width spans).
+macro_rules! impl_strategy_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample_value(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample_value(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_strategy_range!(f32, f64, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_strategy_tuple {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn sample_value(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.sample_value(rng),)+)
+            }
+        }
+    };
+}
+
+impl_strategy_tuple!(A);
+impl_strategy_tuple!(A, B);
+impl_strategy_tuple!(A, B, C);
+impl_strategy_tuple!(A, B, C, D);
+impl_strategy_tuple!(A, B, C, D, E);
+impl_strategy_tuple!(A, B, C, D, E, F);

@@ -1,0 +1,95 @@
+//! Distributions: the `Standard` distribution backing `Rng::gen` and a
+//! uniform distribution object for explicit sampling.
+
+use crate::{RngCore, SampleUniform};
+
+/// A distribution over values of type `T`.
+pub trait Distribution<T> {
+    /// Draws one sample.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// The "natural" distribution for a type: unit interval for floats, full
+/// width for integers, fair coin for `bool`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Standard;
+
+impl Distribution<f64> for Standard {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        // 53 high bits -> [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Distribution<f32> for Standard {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+        ((rng.next_u64() >> 40) as f32) * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Distribution<bool> for Standard {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+        // Use a high bit; low bits of some generators are weaker.
+        rng.next_u64() >> 63 == 1
+    }
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl Distribution<$t> for Standard {
+            #[inline]
+            fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Distribution<u128> for Standard {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u128 {
+        ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128
+    }
+}
+
+/// A uniform distribution over a half-open range, reusable across draws.
+#[derive(Debug, Clone, Copy)]
+pub struct Uniform<T: SampleUniform> {
+    lo: T,
+    hi: T,
+    inclusive: bool,
+}
+
+impl<T: SampleUniform> Uniform<T> {
+    /// Uniform over `[lo, hi)`.
+    pub fn new(lo: T, hi: T) -> Self {
+        assert!(lo < hi, "Uniform::new requires lo < hi");
+        Uniform {
+            lo,
+            hi,
+            inclusive: false,
+        }
+    }
+
+    /// Uniform over `[lo, hi]`.
+    pub fn new_inclusive(lo: T, hi: T) -> Self {
+        assert!(lo <= hi, "Uniform::new_inclusive requires lo <= hi");
+        Uniform {
+            lo,
+            hi,
+            inclusive: true,
+        }
+    }
+}
+
+impl<T: SampleUniform> Distribution<T> for Uniform<T> {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T {
+        T::sample_uniform(rng, self.lo, self.hi, self.inclusive)
+    }
+}

@@ -1,0 +1,387 @@
+//! Vendored, dependency-free stand-in for the `rand` crate.
+//!
+//! The build environment has no crates.io access, so this crate implements
+//! the exact API subset the AdvSGM workspace uses: the [`RngCore`] /
+//! [`Rng`] / [`SeedableRng`] traits, a deterministic
+//! [`rngs::SmallRng`] (xoshiro256++ seeded via SplitMix64), the
+//! [`distributions::Standard`] distribution for `gen::<T>()`, and uniform
+//! range sampling for `gen_range`. Determinism is the only contract the
+//! workspace relies on: the same seed always yields the same stream.
+
+#![forbid(unsafe_code)]
+
+use core::ops::{Range, RangeInclusive};
+
+pub mod rngs;
+
+pub mod distributions;
+
+pub use distributions::{Distribution, Standard};
+
+/// Low-level source of randomness: everything derives from `next_u64`.
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 random bits (upper half of `next_u64`).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let bytes = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// User-facing random value generation, blanket-implemented for every
+/// [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples a value of type `T` from the [`Standard`] distribution.
+    fn gen<T>(&mut self) -> T
+    where
+        Standard: Distribution<T>,
+        Self: Sized,
+    {
+        Standard.sample(self)
+    }
+
+    /// Samples uniformly from `range` (`lo..hi` or `lo..=hi`).
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        debug_assert!((0.0..=1.0).contains(&p), "p must be a probability");
+        self.gen::<f64>() < p
+    }
+
+    /// Samples from an explicit distribution object.
+    fn sample<T, D: Distribution<T>>(&mut self, distr: D) -> T
+    where
+        Self: Sized,
+    {
+        distr.sample(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// RNGs that can be constructed from a fixed-size seed.
+pub trait SeedableRng: Sized {
+    /// Raw seed type (a byte array).
+    type Seed: Default + AsMut<[u8]>;
+
+    /// Builds the RNG from a raw seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Builds the RNG from a `u64`, expanding it with SplitMix64 exactly
+    /// like upstream `rand` does.
+    fn seed_from_u64(state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        let mut sm = SplitMix64 { state };
+        for chunk in seed.as_mut().chunks_mut(8) {
+            let bytes = sm.next().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+
+    /// Upstream seeds from OS entropy; this offline build has no entropy
+    /// source, and silently returning a fixed stream would be a privacy
+    /// hazard for DP noise. Panics so the first caller notices.
+    fn from_entropy() -> Self {
+        panic!(
+            "rand::SeedableRng::from_entropy is unavailable in this offline \
+             vendored build; use seed_from_u64 with an explicit seed"
+        );
+    }
+}
+
+pub(crate) struct SplitMix64 {
+    pub(crate) state: u64,
+}
+
+impl SplitMix64 {
+    pub(crate) fn next(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// Types that can be sampled uniformly from a range.
+pub trait SampleUniform: PartialOrd + Copy {
+    /// Uniform sample in `[lo, hi)` (`inclusive = false`) or `[lo, hi]`.
+    fn sample_uniform<R: RngCore + ?Sized>(
+        rng: &mut R,
+        lo: Self,
+        hi: Self,
+        inclusive: bool,
+    ) -> Self;
+}
+
+/// Range argument accepted by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws one sample from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "cannot sample empty range");
+        T::sample_uniform(rng, self.start, self.end, false)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (lo, hi) = self.into_inner();
+        assert!(lo <= hi, "cannot sample empty inclusive range");
+        T::sample_uniform(rng, lo, hi, true)
+    }
+}
+
+/// Rejection-free-enough uniform integer in `[0, span)`; rejects the biased
+/// tail so small spans are exactly uniform.
+fn uniform_u64_below<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
+    debug_assert!(span > 0);
+    if span.is_power_of_two() {
+        return rng.next_u64() & (span - 1);
+    }
+    let zone = u64::MAX - (u64::MAX % span);
+    loop {
+        let v = rng.next_u64();
+        if v < zone {
+            return v % span;
+        }
+    }
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_uniform<R: RngCore + ?Sized>(
+                rng: &mut R,
+                lo: Self,
+                hi: Self,
+                inclusive: bool,
+            ) -> Self {
+                let lo_w = lo as i128;
+                let hi_w = hi as i128;
+                let span = (hi_w - lo_w) as u128 + if inclusive { 1 } else { 0 };
+                if span == 0 || span > u64::MAX as u128 {
+                    // Full-width range: any u64 is a valid offset.
+                    return (lo_w + (rng.next_u64() as u128 % (span.max(1))) as i128) as $t;
+                }
+                let off = uniform_u64_below(rng, span as u64);
+                (lo_w + off as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_sample_uniform_float {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_uniform<R: RngCore + ?Sized>(
+                rng: &mut R,
+                lo: Self,
+                hi: Self,
+                inclusive: bool,
+            ) -> Self {
+                // Unit draw shares the Standard f64 conversion so gen() and
+                // gen_range() stay stream-compatible; compare *after* the
+                // cast, which can round up to the bound in the target type.
+                let unit: f64 = crate::distributions::Standard.sample(rng);
+                let lo_f = lo as f64;
+                let hi_f = hi as f64;
+                let span = hi_f - lo_f;
+                let v = if span.is_finite() {
+                    (lo_f + span * unit) as $t
+                } else {
+                    // The span overflows f64 (e.g. MIN..MAX): split at the
+                    // midpoint; each half has a representable width.
+                    let mid = lo_f / 2.0 + hi_f / 2.0;
+                    if unit < 0.5 {
+                        (lo_f + (mid - lo_f) * (unit * 2.0)) as $t
+                    } else {
+                        (mid + (hi_f - mid) * ((unit - 0.5) * 2.0)) as $t
+                    }
+                };
+                if inclusive {
+                    v.clamp(lo, hi)
+                } else if v >= hi && lo < hi {
+                    // Rounding pushed the draw onto the open bound; take the
+                    // largest representable value below it.
+                    hi.next_down().max(lo)
+                } else {
+                    v
+                }
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_float!(f32, f64);
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::*;
+
+    #[test]
+    fn deterministic_from_seed() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        for _ in 0..32 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn seeds_differ() {
+        let mut a = SmallRng::seed_from_u64(1);
+        let mut b = SmallRng::seed_from_u64(2);
+        let xs: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_ne!(xs, ys);
+    }
+
+    #[test]
+    fn unit_f64_in_range() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            let v: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn gen_range_int_bounds() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        for _ in 0..1000 {
+            let v = rng.gen_range(3usize..17);
+            assert!((3..17).contains(&v));
+            let w = rng.gen_range(0u32..=5);
+            assert!(w <= 5);
+            let x = rng.gen_range(-4i64..4);
+            assert!((-4..4).contains(&x));
+        }
+    }
+
+    #[test]
+    fn gen_range_float_bounds() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        for _ in 0..1000 {
+            let v = rng.gen_range(-2.5f64..3.5);
+            assert!((-2.5..3.5).contains(&v));
+        }
+    }
+
+    #[test]
+    fn gen_range_f32_never_reaches_open_bound() {
+        // About half the f64 draws in [1.0, next_up(1.0)) round *up* to the
+        // bound when cast to f32; the exclusive contract must still hold.
+        let mut rng = SmallRng::seed_from_u64(9);
+        let hi = 1.0f32.next_up();
+        for _ in 0..2000 {
+            let v = rng.gen_range(1.0f32..hi);
+            assert!(v < hi, "open bound reached: {v}");
+            assert!(v >= 1.0);
+        }
+    }
+
+    #[test]
+    fn gen_range_full_width_float_span() {
+        // hi - lo overflows f64 here; sampling must stay finite, in-range,
+        // and non-constant.
+        let mut rng = SmallRng::seed_from_u64(11);
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..200 {
+            let v = rng.gen_range(f64::MIN..f64::MAX);
+            assert!(v.is_finite(), "non-finite sample {v}");
+            assert!((f64::MIN..f64::MAX).contains(&v));
+            seen.insert(v.to_bits());
+        }
+        assert!(
+            seen.len() > 100,
+            "degenerate sampling: {} values",
+            seen.len()
+        );
+    }
+
+    #[test]
+    fn gen_range_float_inclusive() {
+        let mut rng = SmallRng::seed_from_u64(10);
+        for _ in 0..1000 {
+            let v = rng.gen_range(-1.0f64..=1.0);
+            assert!((-1.0..=1.0).contains(&v));
+        }
+        // Degenerate inclusive range yields its single point.
+        assert_eq!(rng.gen_range(2.5f64..=2.5), 2.5);
+    }
+
+    #[test]
+    fn gen_range_is_roughly_uniform() {
+        let mut rng = SmallRng::seed_from_u64(6);
+        let mut counts = [0usize; 8];
+        let n = 80_000;
+        for _ in 0..n {
+            counts[rng.gen_range(0usize..8)] += 1;
+        }
+        for c in counts {
+            let expected = n / 8;
+            assert!(
+                (c as i64 - expected as i64).unsigned_abs() < (expected / 10) as u64,
+                "bucket count {c} too far from {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn bool_gen_is_balanced() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let trues = (0..10_000).filter(|_| rng.gen::<bool>()).count();
+        assert!((4_000..6_000).contains(&trues), "trues={trues}");
+    }
+
+    #[test]
+    fn reborrowed_rng_is_still_rng() {
+        fn takes_rng(rng: &mut impl Rng) -> f64 {
+            rng.gen()
+        }
+        let mut rng = SmallRng::seed_from_u64(8);
+        let r = &mut rng;
+        let v = takes_rng(r);
+        assert!((0.0..1.0).contains(&v));
+    }
+}

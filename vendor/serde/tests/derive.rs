@@ -1,0 +1,60 @@
+//! Integration tests for the vendored derive macros, driven through the
+//! `serde` facade exactly as workspace crates use them.
+
+use std::marker::PhantomData;
+
+use serde::{Deserialize, Serialize, Value};
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct Plain {
+    name: String,
+    count: usize,
+    ratio: f64,
+    on: bool,
+}
+
+#[test]
+fn derive_roundtrips_named_fields() {
+    let p = Plain {
+        name: "x".into(),
+        count: 3,
+        ratio: 0.5,
+        on: true,
+    };
+    let v = p.to_value();
+    assert_eq!(v.get_field("count"), Some(&Value::U64(3)));
+    let back = Plain::from_value(&v).unwrap();
+    assert_eq!(back, p);
+}
+
+#[test]
+fn derive_reports_missing_fields() {
+    let v = Value::Object(vec![("name".into(), Value::Str("x".into()))]);
+    let err = Plain::from_value(&v).unwrap_err();
+    assert!(err.to_string().contains("missing field"), "{err}");
+}
+
+// Regression: the `>` of a `->` return arrow in a field's type must not be
+// mistaken for an angle-bracket closer, which would swallow every later
+// field during derive expansion.
+#[derive(Debug, Serialize, Deserialize)]
+struct WithArrowType {
+    marker: PhantomData<fn(u32) -> u32>,
+    after: u64,
+}
+
+#[test]
+fn derive_survives_fn_pointer_arrow_in_field_type() {
+    let w = WithArrowType {
+        marker: PhantomData,
+        after: 7,
+    };
+    let v = w.to_value();
+    assert_eq!(
+        v.get_field("after"),
+        Some(&Value::U64(7)),
+        "field after the fn-pointer type was dropped by the derive"
+    );
+    let back = WithArrowType::from_value(&v).unwrap();
+    assert_eq!(back.after, 7);
+}

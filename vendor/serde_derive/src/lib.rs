@@ -1,0 +1,233 @@
+//! Derive macros for the vendored `serde` stand-in.
+//!
+//! Implemented directly on top of `proc_macro` (no `syn`/`quote` — the
+//! build environment is offline), which is practical because the supported
+//! shape is deliberately narrow: non-generic structs with named fields.
+//! Anything else produces a compile error naming the limitation.
+
+use proc_macro::{Delimiter, Spacing, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` by rendering each named field into a
+/// `serde::Value::Object` entry.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Serialize)
+}
+
+/// Derives `serde::Deserialize` by reading each named field back out of a
+/// `serde::Value::Object`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Deserialize)
+}
+
+#[derive(Clone, Copy)]
+enum Mode {
+    Serialize,
+    Deserialize,
+}
+
+fn expand(input: TokenStream, mode: Mode) -> TokenStream {
+    let parsed = match parse_struct(input) {
+        Ok(p) => p,
+        Err(msg) => {
+            return format!("compile_error!({msg:?});")
+                .parse()
+                .expect("compile_error tokens")
+        }
+    };
+    let name = &parsed.name;
+    let code = match mode {
+        Mode::Serialize => {
+            let pushes: String = parsed
+                .fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "__fields.push(({f:?}.to_string(), \
+                         ::serde::Serialize::to_value(&self.{f})));"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         let mut __fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = ::std::vec::Vec::new();\n\
+                         {pushes}\n\
+                         ::serde::Value::Object(__fields)\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Mode::Deserialize => {
+            let inits: String = parsed
+                .fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(\
+                             __v.get_field({f:?})\
+                                .ok_or_else(|| ::serde::Error::missing_field({f:?}))?,\
+                         )?,"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         if !matches!(__v, ::serde::Value::Object(_)) {{\n\
+                             return ::std::result::Result::Err(::serde::Error::type_mismatch(\"object\", __v));\n\
+                         }}\n\
+                         ::std::result::Result::Ok(Self {{ {inits} }})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().expect("generated impl tokens")
+}
+
+struct ParsedStruct {
+    name: String,
+    fields: Vec<String>,
+}
+
+/// Errors on `#[serde(...)]` attributes: upstream honours them, this stub
+/// would silently ignore them, so refusing loudly is the only safe option.
+fn reject_serde_attr(attr_group: &TokenTree) -> Result<(), String> {
+    if let TokenTree::Group(g) = attr_group {
+        if let Some(TokenTree::Ident(id)) = g.stream().into_iter().next() {
+            if id.to_string() == "serde" {
+                return Err(
+                    "the vendored serde derive does not support #[serde(...)] attributes"
+                        .to_string(),
+                );
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Parses `(pub)? struct Name { fields }`, skipping attributes, doc
+/// comments, and field visibility. Rejects enums, tuple/unit structs, and
+/// generics with a clear message.
+fn parse_struct(input: TokenStream) -> Result<ParsedStruct, String> {
+    let mut iter = input.into_iter().peekable();
+    // Skip outer attributes and visibility tokens before the `struct` keyword.
+    let mut name = None;
+    while let Some(tt) = iter.next() {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                // Attribute: consume the following [...] group, rejecting
+                // #[serde(...)] which this derive cannot honour.
+                if let Some(tt) = iter.next() {
+                    reject_serde_attr(&tt)?;
+                }
+            }
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                // Optional `pub(...)` restriction group.
+                if let Some(TokenTree::Group(g)) = iter.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        iter.next();
+                    }
+                }
+            }
+            TokenTree::Ident(id) if id.to_string() == "struct" => {
+                match iter.next() {
+                    Some(TokenTree::Ident(n)) => name = Some(n.to_string()),
+                    _ => return Err("expected struct name".to_string()),
+                }
+                break;
+            }
+            TokenTree::Ident(id) if id.to_string() == "enum" || id.to_string() == "union" => {
+                return Err(
+                    "the vendored serde derive only supports structs with named fields".to_string(),
+                );
+            }
+            _ => {}
+        }
+    }
+    let name = name.ok_or_else(|| "expected a struct definition".to_string())?;
+
+    // Next meaningful token must be the brace group (no generics supported).
+    let body = loop {
+        match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g,
+            Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                return Err(format!(
+                    "the vendored serde derive does not support generics (struct {name})"
+                ));
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                return Err(format!(
+                    "the vendored serde derive does not support tuple structs (struct {name})"
+                ));
+            }
+            Some(_) => continue,
+            None => {
+                return Err(format!(
+                    "the vendored serde derive does not support unit structs (struct {name})"
+                ))
+            }
+        }
+    };
+
+    // Extract field names: idents immediately followed by `:` at depth 0 of
+    // the angle-bracket nesting inside the brace group.
+    let mut fields = Vec::new();
+    let mut tokens = body.stream().into_iter().peekable();
+    loop {
+        // Skip attributes and visibility before each field.
+        match tokens.peek() {
+            None => break,
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next();
+                if let Some(tt) = tokens.next() {
+                    reject_serde_attr(&tt)?; // the [...] group
+                }
+                continue;
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                tokens.next();
+                if let Some(TokenTree::Group(g)) = tokens.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        tokens.next();
+                    }
+                }
+                continue;
+            }
+            _ => {}
+        }
+        // Field name.
+        let fname = match tokens.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            Some(other) => return Err(format!("unexpected token in struct body: {other}")),
+            None => break,
+        };
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            _ => return Err(format!("expected `:` after field `{fname}`")),
+        }
+        fields.push(fname);
+        // Consume the type up to the next top-level comma. The `>` of a
+        // `->` return arrow (fn-pointer types) is not an angle closer: it
+        // arrives as a joint `-` punct followed by `>`.
+        let mut angle_depth = 0i32;
+        let mut prev_joint_minus = false;
+        for tt in tokens.by_ref() {
+            let mut joint_minus = false;
+            if let TokenTree::Punct(p) = &tt {
+                match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' if !prev_joint_minus => angle_depth -= 1,
+                    ',' if angle_depth == 0 => break,
+                    '-' if p.spacing() == Spacing::Joint => joint_minus = true,
+                    _ => {}
+                }
+            }
+            prev_joint_minus = joint_minus;
+        }
+    }
+
+    Ok(ParsedStruct { name, fields })
+}
