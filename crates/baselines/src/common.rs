@@ -29,6 +29,12 @@ pub struct BaselineConfig {
     pub eta: f64,
     /// Gradient clipping threshold.
     pub clip: f64,
+    /// Worker threads for the parallelised baselines (`0` = auto: the
+    /// `ADVSGM_THREADS` environment variable, else 1). Baselines that
+    /// parallelise (currently GAP's aggregation) derive their randomness
+    /// per row, so the output is **identical across thread counts** — the
+    /// pool only changes wall-clock.
+    pub num_threads: usize,
     /// Base RNG seed.
     pub seed: u64,
 }
@@ -43,6 +49,7 @@ impl Default for BaselineConfig {
             batch_size: 128,
             eta: 0.1,
             clip: 1.0,
+            num_threads: 0,
             seed: 0,
         }
     }
@@ -76,7 +83,23 @@ impl BaselineConfig {
         {
             return bad("eta", "learning rate and clip must be positive".into());
         }
+        if self.num_threads > advsgm_parallel::MAX_THREADS {
+            return bad(
+                "num_threads",
+                format!(
+                    "at most {} worker threads, got {}",
+                    advsgm_parallel::MAX_THREADS,
+                    self.num_threads
+                ),
+            );
+        }
         Ok(())
+    }
+
+    /// The thread count parallelised baselines will actually use
+    /// (see [`advsgm_parallel::resolve_threads`]).
+    pub fn effective_threads(&self) -> usize {
+        advsgm_parallel::resolve_threads(self.num_threads)
     }
 
     /// A fast configuration for tests.
@@ -192,6 +215,11 @@ mod tests {
         BaselineConfig::default().validate().unwrap();
         let c = BaselineConfig {
             epsilon: 0.0,
+            ..BaselineConfig::default()
+        };
+        assert!(c.validate().is_err());
+        let c = BaselineConfig {
+            num_threads: advsgm_parallel::MAX_THREADS + 1,
             ..BaselineConfig::default()
         };
         assert!(c.validate().is_err());

@@ -71,24 +71,42 @@ impl Gap {
 
         let bounded = bounded_neighbors(graph, self.max_degree, &mut rng);
         let mut h = random_features(n, cfg.dim, &mut rng);
-        for _ in 0..self.hops {
-            let mut agg = DenseMatrix::zeros(n, cfg.dim);
-            for (i, nbrs) in bounded.iter().enumerate() {
-                // Self + bounded neighbors (GAP keeps a residual connection).
-                let (row_i, row_agg) = (h.row(i).to_vec(), agg.row_mut(i));
-                for (a, &b) in row_agg.iter_mut().zip(&row_i) {
-                    *a = b;
-                }
-                for &j in nbrs {
-                    let src = h.row(j as usize).to_vec();
-                    for (a, b) in agg.row_mut(i).iter_mut().zip(&src) {
-                        *a += b;
+        // Each hop is an embarrassingly parallel per-node job: sum the
+        // bounded neighborhood, add that node's Gaussian perturbation, and
+        // row-normalise. Noise comes from a per-(hop, node) derived stream,
+        // so the result is bitwise-identical for every thread count — the
+        // pool only changes wall-clock (DESIGN.md §7).
+        let mut pool = advsgm_parallel::ThreadPool::new(cfg.effective_threads());
+        let dim = cfg.dim;
+        let hop_base = derive_seed(cfg.seed, 0x6A90);
+        for hop in 0..self.hops {
+            let hop_seed = derive_seed(hop_base, hop as u64);
+            let mut agg = DenseMatrix::zeros(n, dim);
+            let h_ref = &h;
+            let bounded_ref = &bounded;
+            let rows_per_chunk = n.div_ceil(pool.threads()).max(1);
+            pool.for_each_chunk_mut(
+                agg.as_mut_slice(),
+                rows_per_chunk * dim,
+                |_chunk, offset, rows| {
+                    let first_row = offset / dim;
+                    for (local, out) in rows.chunks_mut(dim).enumerate() {
+                        let i = first_row + local;
+                        // Self + bounded neighbors (GAP keeps a residual
+                        // connection).
+                        out.copy_from_slice(h_ref.row(i));
+                        for &j in &bounded_ref[i] {
+                            for (a, b) in out.iter_mut().zip(h_ref.row(j as usize)) {
+                                *a += b;
+                            }
+                        }
+                        let mut noise_rng = seeded(derive_seed(hop_seed, i as u64));
+                        for v in out.iter_mut() {
+                            *v += gaussian(&mut noise_rng, noise_std);
+                        }
                     }
-                }
-            }
-            for v in agg.as_mut_slice().iter_mut() {
-                *v += gaussian(&mut rng, noise_std);
-            }
+                },
+            );
             normalize_rows(&mut agg);
             h = agg;
         }
@@ -140,6 +158,29 @@ mod tests {
             .train(&g, &BaselineConfig::test_small())
             .unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn output_is_invariant_across_thread_counts() {
+        // Noise is derived per (hop, node), so the pool width must not
+        // change a single bit of the embedding.
+        let g = graph();
+        let base = Gap::default()
+            .train(&g, &BaselineConfig::test_small())
+            .unwrap();
+        for threads in [2usize, 4] {
+            let cfg = BaselineConfig {
+                num_threads: threads,
+                ..BaselineConfig::test_small()
+            };
+            let emb = Gap::default().train(&g, &cfg).unwrap();
+            let same = base
+                .as_slice()
+                .iter()
+                .zip(emb.as_slice())
+                .all(|(a, b)| a.to_bits() == b.to_bits());
+            assert!(same, "threads={threads} changed the GAP embedding");
+        }
     }
 
     #[test]

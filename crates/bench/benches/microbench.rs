@@ -97,6 +97,57 @@ fn bench_activations(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_fused_kernels(c: &mut Criterion) {
+    // The fused kernels feed the sharded workers; both must beat (or at
+    // worst match) their two-pass equivalents.
+    use advsgm_linalg::vector;
+    let mut rng = seeded(8);
+    let x = gaussian_vec(&mut rng, 1.0, 128);
+    let a = gaussian_vec(&mut rng, 1.0, 128);
+    let noise = gaussian_vec(&mut rng, 1.0, 128);
+    let mut group = c.benchmark_group("fused_kernels");
+    group.bench_function("dot2_r128", |b| {
+        b.iter(|| black_box(vector::dot2(&x, &a, &noise)))
+    });
+    group.bench_function("two_dots_r128", |b| {
+        b.iter(|| black_box((vector::dot(&x, &a), vector::dot(&x, &noise))))
+    });
+    group.bench_function("fused_axpy_scale_r128", |b| {
+        let mut y = x.clone();
+        b.iter(|| {
+            vector::fused_axpy_scale(&mut y, 3.0, &noise, 1.0 / 3.0);
+            black_box(y[0])
+        })
+    });
+    group.bench_function("axpy_then_scale_r128", |b| {
+        let mut y = x.clone();
+        b.iter(|| {
+            vector::axpy(3.0, &noise, &mut y);
+            vector::scale(&mut y, 1.0 / 3.0);
+            black_box(y[0])
+        })
+    });
+    group.finish();
+}
+
+fn bench_pool_dispatch(c: &mut Criterion) {
+    // Per-region overhead of the scoped pool: what one sharded update pays
+    // on top of its gradient math.
+    use advsgm_parallel::ThreadPool;
+    let data: Vec<f64> = (0..4096).map(|i| i as f64).collect();
+    let mut group = c.benchmark_group("pool_dispatch");
+    for threads in [1usize, 4] {
+        let mut pool = ThreadPool::new(threads);
+        group.bench_function(format!("map_chunks_4096_{threads}t"), |b| {
+            b.iter(|| {
+                let parts = pool.map_chunks(&data, 1024, |_, _, c| c.iter().sum::<f64>());
+                black_box(parts.iter().sum::<f64>())
+            })
+        });
+    }
+    group.finish();
+}
+
 fn bench_privacy(c: &mut Criterion) {
     let mut group = c.benchmark_group("privacy");
     group.bench_function("subsampled_rdp_alpha32", |b| {
@@ -182,6 +233,8 @@ criterion_group!(
     bench_sampling,
     bench_gradients,
     bench_activations,
+    bench_fused_kernels,
+    bench_pool_dispatch,
     bench_privacy,
     bench_eval,
     bench_graphgen

@@ -1,0 +1,107 @@
+//! Throughput scaling of the sharded training engine (DESIGN.md §7).
+//!
+//! Trains AdvSGM on a 10k-node synthetic graph at 1/2/4/8 worker threads
+//! and reports **pairs/sec** (positive + negative pairs pushed through the
+//! discriminator per wall-clock second) plus the speedup over the
+//! single-thread sequential engine. Run with:
+//!
+//! ```text
+//! cargo bench -p advsgm-bench --bench throughput_scaling
+//! ```
+//!
+//! Numbers are only meaningful on a machine whose scheduler actually has
+//! the cores: on a 1-core container every thread count collapses to ~1x
+//! (the table prints the detected parallelism so logs are interpretable).
+
+use std::time::Instant;
+
+use advsgm_core::{AdvSgmConfig, ModelVariant, ShardedTrainer};
+use advsgm_graph::generators::sbm::{degree_corrected_sbm, SbmConfig};
+use advsgm_linalg::rng::seeded;
+
+/// The 10k-node fixture named by the engine's acceptance bar.
+fn fixture() -> advsgm_graph::Graph {
+    let mut rng = seeded(13);
+    degree_corrected_sbm(
+        &SbmConfig {
+            num_nodes: 10_000,
+            num_edges: 50_000,
+            num_blocks: 20,
+            mixing: 0.1,
+            degree_exponent: 2.5,
+        },
+        &mut rng,
+    )
+}
+
+/// One measured workload: a single epoch heavy enough to amortise pool
+/// dispatch, with an unreachable budget so every update runs.
+fn workload(threads: usize) -> AdvSgmConfig {
+    AdvSgmConfig {
+        variant: ModelVariant::AdvSgm,
+        dim: 128,
+        batch_size: 512,
+        negatives: 5,
+        epochs: 1,
+        disc_iters: 8,
+        gen_iters: 2,
+        epsilon: 1e9,
+        ..AdvSgmConfig::default()
+    }
+    .with_threads(threads)
+}
+
+/// Pairs one workload pushes through the discriminator:
+/// `disc_iters * (B + B * k)` per epoch.
+fn pairs_per_run(cfg: &AdvSgmConfig) -> u64 {
+    (cfg.epochs * cfg.disc_iters * (cfg.batch_size + cfg.batch_size * cfg.negatives)) as u64
+}
+
+fn measure(graph: &advsgm_graph::Graph, threads: usize, reps: usize) -> (f64, u64) {
+    let cfg = workload(threads);
+    let pairs = pairs_per_run(&cfg) * reps as u64;
+    // Warm-up run outside the clock (page-faults the embedding matrices,
+    // spawns nothing persistent: each fit builds its own pool).
+    let warm = ShardedTrainer::fit(graph, cfg.clone()).unwrap();
+    assert!(warm.disc_updates > 0);
+    let start = Instant::now();
+    let mut sink = 0u64;
+    for _ in 0..reps {
+        sink += ShardedTrainer::fit(graph, cfg.clone())
+            .unwrap()
+            .disc_updates;
+    }
+    let secs = start.elapsed().as_secs_f64();
+    assert_eq!(sink, (workload(threads).disc_iters * 2 * reps) as u64);
+    (pairs as f64 / secs, pairs)
+}
+
+fn main() {
+    // Compile-out guard used by `cargo bench --no-run` in CI; any CLI arg
+    // containing "quick" shrinks the workload for smoke runs.
+    let quick = std::env::args().any(|a| a.contains("quick"));
+    let reps = if quick { 1 } else { 3 };
+    let graph = fixture();
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!(
+        "throughput_scaling: |V|={} |E|={} r=128 B=512 k=5 (host parallelism: {cores})",
+        graph.num_nodes(),
+        graph.num_edges()
+    );
+    println!(
+        "{:>8} {:>14} {:>12} {:>10}",
+        "threads", "pairs/sec", "pairs", "speedup"
+    );
+    let mut base = None;
+    for threads in [1usize, 2, 4, 8] {
+        let (pps, pairs) = measure(&graph, threads, reps);
+        let speedup = pps / *base.get_or_insert(pps);
+        println!("{threads:>8} {pps:>14.0} {pairs:>12} {speedup:>9.2}x");
+    }
+    println!(
+        "note: >= 2x at 4 threads requires >= 4 free cores; \
+         determinism is per (seed, threads, shard_size) — see DESIGN.md §7"
+    );
+}

@@ -2,7 +2,7 @@
 //! the cost side of the design-choice ablations in DESIGN.md §4
 //! (adversarial module on/off, constrained vs plain sigmoid, DP on/off).
 
-use advsgm_core::{AdvSgmConfig, ModelVariant, Trainer};
+use advsgm_core::{AdvSgmConfig, ModelVariant, ShardedTrainer, Trainer};
 use advsgm_graph::generators::sbm::{degree_corrected_sbm, SbmConfig};
 use advsgm_linalg::rng::seeded;
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
@@ -49,6 +49,30 @@ fn bench_epochs(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_sharded_engine(c: &mut Criterion) {
+    // Sequential vs sharded on the same epoch workload. On a multi-core
+    // host the 4-thread row drops; `throughput_scaling` has the full
+    // pairs/sec sweep on the 10k-node fixture.
+    let g = fixture();
+    let mut group = c.benchmark_group("sharded_epoch");
+    group.sample_size(10);
+    group.bench_function("sequential_trainer", |b| {
+        b.iter(|| {
+            let out = Trainer::fit(&g, one_epoch_config(ModelVariant::AdvSgm)).unwrap();
+            black_box(out.disc_updates)
+        })
+    });
+    for threads in [1usize, 4] {
+        group.bench_function(format!("sharded_{threads}_threads"), |b| {
+            b.iter(|| {
+                let cfg = one_epoch_config(ModelVariant::AdvSgm).with_threads(threads);
+                black_box(ShardedTrainer::fit(&g, cfg).unwrap().disc_updates)
+            })
+        });
+    }
+    group.finish();
+}
+
 fn bench_noise_calibration_cost(c: &mut Criterion) {
     // The faithful-vs-activation noise reading has identical asymptotics;
     // this bench documents that the choice is free at runtime.
@@ -67,5 +91,10 @@ fn bench_noise_calibration_cost(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_epochs, bench_noise_calibration_cost);
+criterion_group!(
+    benches,
+    bench_epochs,
+    bench_sharded_engine,
+    bench_noise_calibration_cost
+);
 criterion_main!(benches);

@@ -63,6 +63,23 @@ pub struct AdvSgmConfig {
     /// which is what reproduces their flat ~0.505 rows in Table V.
     /// The privacy accountant follows Theorem 7 verbatim in both modes.
     pub faithful_noise: bool,
+    /// Worker threads for the sharded training engine
+    /// ([`crate::sharded::ShardedTrainer`]).
+    ///
+    /// `0` means *auto*: the `ADVSGM_THREADS` environment variable if set,
+    /// otherwise 1. At 1 the sharded trainer is bitwise-identical to the
+    /// sequential [`crate::trainer::Trainer`]; at `N > 1` results are
+    /// run-to-run deterministic for a fixed `(seed, threads, shard_size)`
+    /// triple but differ from the sequential trajectory (the parallel
+    /// engine derives independent per-shard RNG streams). The sequential
+    /// `Trainer` ignores this field entirely.
+    pub num_threads: usize,
+    /// Pairs per shard for the parallel engine; `0` means *auto* (divide
+    /// each batch evenly over the worker threads). Smaller shards change
+    /// the derived RNG stream assignment and hence the (still
+    /// deterministic) trajectory; they never change batch composition or
+    /// privacy accounting.
+    pub shard_size: usize,
     /// Base RNG seed.
     pub seed: u64,
 }
@@ -88,6 +105,8 @@ impl Default for AdvSgmConfig {
             negative_distribution: NegativeDistribution::Uniform,
             project_rows: true,
             faithful_noise: false,
+            num_threads: 0,
+            shard_size: 0,
             seed: 0,
         }
     }
@@ -116,6 +135,40 @@ impl AdvSgmConfig {
             gen_iters: 2,
             ..Self::default()
         }
+    }
+
+    /// Sets the worker-thread count for the sharded engine (builder style).
+    ///
+    /// # Examples
+    /// ```
+    /// use advsgm_core::{AdvSgmConfig, ModelVariant};
+    ///
+    /// let cfg = AdvSgmConfig::for_variant(ModelVariant::AdvSgm).with_threads(4);
+    /// assert_eq!(cfg.num_threads, 4);
+    /// assert_eq!(cfg.effective_threads(), 4);
+    /// // 0 requests auto-resolution (ADVSGM_THREADS, else 1).
+    /// let auto = cfg.with_threads(0);
+    /// assert_eq!(auto.num_threads, 0);
+    /// ```
+    #[must_use]
+    pub fn with_threads(mut self, num_threads: usize) -> Self {
+        self.num_threads = num_threads;
+        self
+    }
+
+    /// Sets the shard size for the parallel engine (builder style);
+    /// `0` divides each batch evenly over the threads.
+    #[must_use]
+    pub fn with_shard_size(mut self, shard_size: usize) -> Self {
+        self.shard_size = shard_size;
+        self
+    }
+
+    /// The thread count the sharded engine will actually use: an explicit
+    /// [`Self::num_threads`], else the `ADVSGM_THREADS` environment
+    /// variable, else 1 (see [`advsgm_parallel::resolve_threads`]).
+    pub fn effective_threads(&self) -> usize {
+        advsgm_parallel::resolve_threads(self.num_threads)
     }
 
     /// Validates the configuration.
@@ -178,6 +231,16 @@ impl AdvSgmConfig {
                     format!("delta must be in (0,1), got {}", self.delta),
                 );
             }
+        }
+        if self.num_threads > advsgm_parallel::MAX_THREADS {
+            return bad(
+                "num_threads",
+                format!(
+                    "at most {} worker threads, got {}",
+                    advsgm_parallel::MAX_THREADS,
+                    self.num_threads
+                ),
+            );
         }
         if self.variant.uses_constrained_sigmoid()
             && !(self.sigmoid_a > 0.0 && self.sigmoid_b > self.sigmoid_a)
@@ -247,6 +310,21 @@ mod tests {
         // Plain-sigmoid variants don't care.
         c.variant = ModelVariant::DpSgm;
         c.validate().unwrap();
+    }
+
+    #[test]
+    fn thread_builders_roundtrip() {
+        let c = AdvSgmConfig::default().with_threads(8).with_shard_size(32);
+        assert_eq!(c.num_threads, 8);
+        assert_eq!(c.shard_size, 32);
+        assert_eq!(c.effective_threads(), 8);
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn rejects_absurd_thread_count() {
+        let c = AdvSgmConfig::default().with_threads(4096);
+        assert!(c.validate().is_err());
     }
 
     #[test]

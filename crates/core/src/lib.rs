@@ -17,13 +17,24 @@
 //! optimizable noise terms of Eq. (13), the Theorem-6 gradient identity
 //! `grad = clip(dL_sgm/dv + v') + N(C^2 sigma^2 I)`, per-batch privacy
 //! accounting through `advsgm-privacy`, and the stopping rule of lines 9–11.
+//! [`sharded::ShardedTrainer`] runs the same algorithm on a worker pool
+//! (`advsgm-parallel`): Algorithm 2 batch production on a dedicated
+//! thread, per-pair clipped gradients in thread-local shards, and a
+//! deterministic shard-order reduction — bitwise-identical to the
+//! sequential trainer at `threads = 1` and run-to-run deterministic at any
+//! thread count (DESIGN.md §7).
 //!
 //! Gradients are analytic (the model is two embedding matrices plus two
 //! one-layer generators), so there is no autograd dependency; see [`grad`]
 //! for the derivations cross-checked against finite differences in tests.
+//!
+//! Paper coverage: Section III (skip-gram + first-cut DP-ASGM), Section IV
+//! (AdvSGM: Eqs. 13–24, Theorem 6), Algorithm 2 (sampling glue in
+//! [`sampler`]), Algorithm 3 ([`trainer`], [`sharded`]), and the Fig. 2
+//! weight-setting machinery ([`weighting`], [`loss`]).
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod config;
 pub mod error;
@@ -31,6 +42,7 @@ pub mod grad;
 pub mod loss;
 pub mod model;
 pub mod sampler;
+pub mod sharded;
 pub mod sigmoid;
 pub mod trainer;
 pub mod variants;
@@ -38,6 +50,7 @@ pub mod weighting;
 
 pub use config::AdvSgmConfig;
 pub use error::CoreError;
+pub use sharded::ShardedTrainer;
 pub use sigmoid::SigmoidKind;
 pub use trainer::{TrainOutcome, Trainer};
 pub use variants::ModelVariant;

@@ -3,11 +3,50 @@
 //! Bundles the graph substrate's edge and negative samplers and exposes the
 //! two subsampling probabilities Theorem 7 needs: `gamma_pos = B/|E|` and
 //! `gamma_neg = B k/|V|`.
+//!
+//! Besides the sequential trainer's pull-style methods, the provider can
+//! *produce* whole discriminator iterations up front
+//! ([`BatchProvider::sample_disc_iteration`], [`BatchProvider::plan_epoch`]).
+//! The sharded engine runs this production on a dedicated thread feeding a
+//! bounded queue, so Algorithm 2 sampling for iteration `t + 1` overlaps
+//! the gradient work of iteration `t` (DESIGN.md §7). Batch *composition*
+//! is independent of thread count: it depends only on the producer's RNG
+//! stream, which is derived from the seed alone.
 
 use advsgm_graph::sampling::edge_sampler::EdgeBatchSampler;
 use advsgm_graph::sampling::negative::{NegativeDistribution, NegativePair, NegativeSampler};
 use advsgm_graph::{Edge, Graph, GraphError};
 use rand::Rng;
+
+/// One discriminator update's worth of pairs in the trainer's normalised
+/// `(input row, output row)` form.
+///
+/// Positive batches carry randomly oriented edges (so every node trains
+/// both vector roles); negative batches carry `(source, sampled negative)`
+/// pairs. The flag tells the gradient kernel which loss term applies —
+/// the two batch kinds are *separate* mechanism invocations so their
+/// amplification rates compose cleanly (Theorem 7).
+#[derive(Debug, Clone)]
+pub struct DiscBatch {
+    /// `(input row, output row)` index pairs.
+    pub pairs: Vec<(usize, usize)>,
+    /// `true` for a positive (edge) batch, `false` for a negative batch.
+    pub positive: bool,
+}
+
+/// All batches one epoch of Algorithm 3 consumes, pre-sampled:
+/// `disc_iters` (positive, negative) update pairs plus the epoch-loss
+/// diagnostic batch.
+#[derive(Debug, Clone)]
+pub struct EpochBatches {
+    /// `2 * disc_iters` update batches in consumption order
+    /// (positive, negative, positive, negative, ...).
+    pub updates: Vec<DiscBatch>,
+    /// Positive edges for the epoch's `|L_Nov|` diagnostic.
+    pub loss_positives: Vec<Edge>,
+    /// Matching negative pairs for the diagnostic.
+    pub loss_negatives: Vec<NegativePair>,
+}
 
 /// Produces the paper's positive and negative batches.
 #[derive(Debug, Clone)]
@@ -66,13 +105,76 @@ impl BatchProvider {
         self.negatives.sample_for_batch(positives, self.k, rng)
     }
 
-    /// Negative pairs for explicit (already oriented) source nodes.
-    pub fn negatives_for_sources(
-        &self,
-        sources: &[advsgm_graph::NodeId],
+    /// Samples one full discriminator iteration: a randomly oriented
+    /// positive batch plus the matching negative batch, in the exact
+    /// Algorithm 2/3 order (positives, per-edge orientation coin flips,
+    /// then negatives for the oriented sources).
+    ///
+    /// # Errors
+    /// Propagates edge-sampling failures.
+    pub fn sample_disc_iteration(
+        &mut self,
+        graph: &Graph,
         rng: &mut impl Rng,
-    ) -> Vec<NegativePair> {
-        self.negatives.sample_for_sources(sources, self.k, rng)
+    ) -> Result<(DiscBatch, DiscBatch), GraphError> {
+        let pos = self.positives(graph, rng)?;
+        let oriented: Vec<(usize, usize)> = pos
+            .iter()
+            .map(|e| {
+                if rng.gen::<bool>() {
+                    (e.u().index(), e.v().index())
+                } else {
+                    (e.v().index(), e.u().index())
+                }
+            })
+            .collect();
+        let sources: Vec<advsgm_graph::NodeId> = oriented
+            .iter()
+            .map(|&(i, _)| advsgm_graph::NodeId::from_index(i))
+            .collect();
+        let negs = self.negatives.sample_for_sources(&sources, self.k, rng);
+        let neg_pairs: Vec<(usize, usize)> = negs
+            .iter()
+            .map(|p| (p.source.index(), p.negative.index()))
+            .collect();
+        Ok((
+            DiscBatch {
+                pairs: oriented,
+                positive: true,
+            },
+            DiscBatch {
+                pairs: neg_pairs,
+                positive: false,
+            },
+        ))
+    }
+
+    /// Pre-samples everything one epoch consumes: `disc_iters` update
+    /// pairs plus the epoch-loss batch, in consumption order. The sharded
+    /// engine's producer thread calls this so sampling overlaps gradient
+    /// work; it is equally usable for ahead-of-time batch planning.
+    ///
+    /// # Errors
+    /// Propagates sampling failures.
+    pub fn plan_epoch(
+        &mut self,
+        graph: &Graph,
+        disc_iters: usize,
+        rng: &mut impl Rng,
+    ) -> Result<EpochBatches, GraphError> {
+        let mut updates = Vec::with_capacity(2 * disc_iters);
+        for _ in 0..disc_iters {
+            let (pos, neg) = self.sample_disc_iteration(graph, rng)?;
+            updates.push(pos);
+            updates.push(neg);
+        }
+        let loss_positives = self.positives(graph, rng)?;
+        let loss_negatives = self.negatives(&loss_positives, rng);
+        Ok(EpochBatches {
+            updates,
+            loss_positives,
+            loss_negatives,
+        })
     }
 
     /// `gamma_pos = B / |E|`.
@@ -106,6 +208,52 @@ mod tests {
         let p = BatchProvider::new(&g, 10, 5, NegativeDistribution::Uniform).unwrap();
         assert!((p.gamma_pos() - 10.0 / 78.0).abs() < 1e-12);
         assert!((p.gamma_neg() - 50.0 / 34.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disc_iteration_shapes_and_orientation() {
+        let g = karate_club();
+        let mut p = BatchProvider::new(&g, 12, 4, NegativeDistribution::Uniform).unwrap();
+        let mut rng = SmallRng::seed_from_u64(9);
+        let (pos, neg) = p.sample_disc_iteration(&g, &mut rng).unwrap();
+        assert!(pos.positive);
+        assert!(!neg.positive);
+        assert_eq!(pos.pairs.len(), 12);
+        assert_eq!(neg.pairs.len(), 48);
+        // Every positive pair is a real edge (in one of the two roles).
+        for &(i, j) in &pos.pairs {
+            assert!(g.has_edge(
+                advsgm_graph::NodeId::from_index(i),
+                advsgm_graph::NodeId::from_index(j)
+            ));
+        }
+        // Negative sources are exactly the oriented positive starts, k each.
+        for (b, chunk) in neg.pairs.chunks(4).enumerate() {
+            for &(src, _) in chunk {
+                assert_eq!(src, pos.pairs[b].0);
+            }
+        }
+    }
+
+    #[test]
+    fn plan_epoch_matches_streaming_production() {
+        // Planning an epoch must draw exactly what per-iteration streaming
+        // draws: same RNG schedule, same batches.
+        let g = karate_club();
+        let mut p1 = BatchProvider::new(&g, 8, 3, NegativeDistribution::Uniform).unwrap();
+        let mut p2 = p1.clone();
+        let mut rng1 = SmallRng::seed_from_u64(77);
+        let mut rng2 = SmallRng::seed_from_u64(77);
+        let plan = p1.plan_epoch(&g, 4, &mut rng1).unwrap();
+        assert_eq!(plan.updates.len(), 8);
+        for it in 0..4 {
+            let (pos, neg) = p2.sample_disc_iteration(&g, &mut rng2).unwrap();
+            assert_eq!(plan.updates[2 * it].pairs, pos.pairs);
+            assert_eq!(plan.updates[2 * it + 1].pairs, neg.pairs);
+        }
+        let loss_pos = p2.positives(&g, &mut rng2).unwrap();
+        assert_eq!(plan.loss_positives, loss_pos);
+        assert_eq!(plan.loss_negatives, p2.negatives(&loss_pos, &mut rng2));
     }
 
     #[test]

@@ -16,7 +16,6 @@
 
 use std::collections::HashMap;
 
-use advsgm_graph::sampling::negative::NegativePair;
 use advsgm_graph::Graph;
 use advsgm_linalg::rng::{derive_seed, gaussian_vec, seeded};
 use advsgm_linalg::vector;
@@ -30,14 +29,59 @@ use crate::error::CoreError;
 use crate::grad::{advsgm_augment, dpasgm_augment, sgm_negative_grads, sgm_positive_grads};
 use crate::loss::novel_loss_batch;
 use crate::model::{Embeddings, GeneratorPair};
-use crate::sampler::BatchProvider;
+use crate::sampler::{BatchProvider, DiscBatch};
 use crate::sigmoid::SigmoidKind;
 use crate::variants::ModelVariant;
 use crate::weighting::WeightMode;
 
 /// The fixed adversarial weight DP-ASGM uses (`lambda` in Eq. 4; the paper
 /// notes `lambda in (0, 1]` is the common choice).
-const DPASGM_LAMBDA: f64 = 1.0;
+pub(crate) const DPASGM_LAMBDA: f64 = 1.0;
+
+/// Per-coordinate std of the noise entering the applied gradients.
+///
+/// DP-SGM / DP-ASGM: strict DPSGD calibration `C*sigma` (Abadi et al.;
+/// Eqs. 5–6) — at `sigma = 5` this is destructive, which is exactly the
+/// behaviour the paper's Table V shows for those baselines.
+/// AdvSGM: the activation-argument reading, `C*sigma/r` per coordinate
+/// (noise-vector norm ~ `C*sigma/sqrt(r)`), unless `faithful_noise`
+/// requests the strict calibration (the ablation setting).
+///
+/// Shared by the sequential [`Trainer`] and the sharded engine so the two
+/// paths can never drift apart on calibration.
+pub(crate) fn gradient_noise_std(cfg: &AdvSgmConfig) -> f64 {
+    let base = cfg.clip * cfg.sigma;
+    match cfg.variant {
+        ModelVariant::DpSgm | ModelVariant::DpAsgm => base,
+        ModelVariant::AdvSgm => {
+            if cfg.faithful_noise {
+                base
+            } else {
+                base / cfg.dim as f64
+            }
+        }
+        ModelVariant::Sgm | ModelVariant::AdvSgmNoDp => 0.0,
+    }
+}
+
+/// Records one mechanism invocation against the accountant (when present)
+/// and evaluates Algorithm 3's stopping rule. Returns `true` when training
+/// must stop. Shared by both training engines.
+pub(crate) fn record_and_check(
+    accountant: &mut Option<RdpAccountant>,
+    cfg: &AdvSgmConfig,
+    gamma: f64,
+) -> Result<bool, CoreError> {
+    let Some(acc) = accountant.as_mut() else {
+        return Ok(false);
+    };
+    acc.record_subsampled_gaussian(cfg.sigma, gamma, 1)?;
+    match acc.check_budget(cfg.epsilon, cfg.delta) {
+        Ok(()) => Ok(false),
+        Err(PrivacyError::BudgetExhausted { .. }) => Ok(true),
+        Err(e) => Err(e.into()),
+    }
+}
 
 /// Result of one training run.
 #[derive(Debug, Clone)]
@@ -71,14 +115,6 @@ pub struct Trainer {
     provider: BatchProvider,
     accountant: Option<RdpAccountant>,
     rng: SmallRng,
-}
-
-/// One update's worth of pairs: `(input row, output row)` indices.
-/// Positive pairs are pre-oriented (each sampled undirected edge is given a
-/// uniformly random direction so every node trains both vector roles).
-enum PairBatch<'a> {
-    Positive(&'a [(usize, usize)]),
-    Negative(&'a [NegativePair]),
 }
 
 impl Trainer {
@@ -174,31 +210,19 @@ impl Trainer {
 
         'training: for _epoch in 0..epochs {
             for _ in 0..self.cfg.disc_iters {
-                // Positive batch EB, with random per-edge orientation.
-                let pos = self.provider.positives(graph, &mut self.rng)?;
-                let oriented: Vec<(usize, usize)> = pos
-                    .iter()
-                    .map(|e| {
-                        if self.rng.gen::<bool>() {
-                            (e.u().index(), e.v().index())
-                        } else {
-                            (e.v().index(), e.u().index())
-                        }
-                    })
-                    .collect();
-                self.disc_update(&PairBatch::Positive(&oriented));
+                // One Algorithm 2 iteration — positive batch EB with random
+                // per-edge orientation, then negative batch EBk from the
+                // oriented start nodes — shared verbatim with the sharded
+                // engine's producer so the two paths cannot drift.
+                let (pos_batch, neg_batch) =
+                    self.provider.sample_disc_iteration(graph, &mut self.rng)?;
+                self.disc_update(&pos_batch);
                 disc_updates += 1;
                 if self.record_and_check(self.provider.gamma_pos())? {
                     stopped = true;
                     break 'training;
                 }
-                // Negative batch EBk, sourced from the oriented start nodes.
-                let sources: Vec<advsgm_graph::NodeId> = oriented
-                    .iter()
-                    .map(|&(i, _)| advsgm_graph::NodeId::from_index(i))
-                    .collect();
-                let negs = self.provider.negatives_for_sources(&sources, &mut self.rng);
-                self.disc_update(&PairBatch::Negative(&negs));
+                self.disc_update(&neg_batch);
                 disc_updates += 1;
                 if self.record_and_check(self.provider.gamma_neg())? {
                     stopped = true;
@@ -219,45 +243,21 @@ impl Trainer {
     /// Records one mechanism invocation and evaluates the stopping rule.
     /// Returns `true` when training must stop.
     fn record_and_check(&mut self, gamma: f64) -> Result<bool, CoreError> {
-        let Some(acc) = self.accountant.as_mut() else {
-            return Ok(false);
-        };
-        acc.record_subsampled_gaussian(self.cfg.sigma, gamma, 1)?;
-        match acc.check_budget(self.cfg.epsilon, self.cfg.delta) {
-            Ok(()) => Ok(false),
-            Err(PrivacyError::BudgetExhausted { .. }) => Ok(true),
-            Err(e) => Err(e.into()),
-        }
+        record_and_check(&mut self.accountant, &self.cfg, gamma)
     }
 
-    /// Per-coordinate std of the noise entering the applied gradients.
-    ///
-    /// DP-SGM / DP-ASGM: strict DPSGD calibration `C*sigma` (Abadi et al.;
-    /// Eqs. 5–6) — at `sigma = 5` this is destructive, which is exactly the
-    /// behaviour the paper's Table V shows for those baselines.
-    /// AdvSGM: the activation-argument reading, `C*sigma/r` per coordinate
-    /// (noise-vector norm ~ `C*sigma/sqrt(r)`), unless `faithful_noise`
-    /// requests the strict calibration (the ablation setting).
+    /// Per-coordinate std of the noise entering the applied gradients
+    /// (see the module-level [`gradient_noise_std`]).
     fn gradient_noise_std(&self) -> f64 {
-        let base = self.cfg.clip * self.cfg.sigma;
-        match self.cfg.variant {
-            ModelVariant::DpSgm | ModelVariant::DpAsgm => base,
-            ModelVariant::AdvSgm => {
-                if self.cfg.faithful_noise {
-                    base
-                } else {
-                    base / self.cfg.dim as f64
-                }
-            }
-            ModelVariant::Sgm | ModelVariant::AdvSgmNoDp => 0.0,
-        }
+        gradient_noise_std(&self.cfg)
     }
 
     /// One discriminator update (Algorithm 3 line 8) over a batch.
-    fn disc_update(&mut self, batch: &PairBatch<'_>) {
+    fn disc_update(&mut self, batch: &DiscBatch) {
         let r = self.cfg.dim;
         let variant = self.cfg.variant;
         let clip = self.cfg.clip;
+        let positive = batch.positive;
         // Per-batch shared noise vectors (Theorem 6's N_{D,1}, N_{D,2}).
         let noise_std = self.gradient_noise_std();
         let n_in = gaussian_vec(&mut self.rng, noise_std, r);
@@ -266,10 +266,7 @@ impl Trainer {
         // Accumulate (sum of clipped per-pair grads, touch count) per row.
         let mut acc_in: HashMap<usize, (Vec<f64>, usize)> = HashMap::new();
         let mut acc_out: HashMap<usize, (Vec<f64>, usize)> = HashMap::new();
-        let count = match batch {
-            PairBatch::Positive(pairs) => pairs.len(),
-            PairBatch::Negative(pairs) => pairs.len(),
-        };
+        let count = batch.pairs.len();
         debug_assert!(count > 0, "empty batch");
 
         // For the adversarial variants, sample all fake neighbors up front
@@ -286,13 +283,7 @@ impl Trainer {
         let mut mean_j = vec![0.0; r];
         let mut mean_i = vec![0.0; r];
         if adversarial {
-            for idx in 0..count {
-                let (i, j) = match batch {
-                    PairBatch::Positive(pairs) => (pairs[idx].0, pairs[idx].1),
-                    PairBatch::Negative(pairs) => {
-                        (pairs[idx].source.index(), pairs[idx].negative.index())
-                    }
-                };
+            for &(i, j) in &batch.pairs {
                 let fj = self.gens.for_i.generate(j, &mut self.rng).v;
                 let fi = self.gens.for_j.generate(i, &mut self.rng).v;
                 vector::add_assign(&mut mean_j, &fj);
@@ -304,15 +295,7 @@ impl Trainer {
             vector::scale(&mut mean_i, 1.0 / count as f64);
         }
 
-        for idx in 0..count {
-            let (i, j, positive) = match batch {
-                PairBatch::Positive(pairs) => (pairs[idx].0, pairs[idx].1, true),
-                PairBatch::Negative(pairs) => (
-                    pairs[idx].source.index(),
-                    pairs[idx].negative.index(),
-                    false,
-                ),
-            };
+        for (idx, &(i, j)) in batch.pairs.iter().enumerate() {
             let vi = self.emb.input(i);
             let vj = self.emb.output(j);
             let grads = if positive {
@@ -379,13 +362,11 @@ impl Trainer {
         let eta = self.cfg.eta_d;
         let project = self.cfg.project_rows && variant != ModelVariant::Sgm;
         for (i, (mut g, c)) in acc_in {
-            vector::axpy(c as f64, &n_in, &mut g);
-            vector::scale(&mut g, 1.0 / c as f64);
+            vector::fused_axpy_scale(&mut g, c as f64, &n_in, 1.0 / c as f64);
             self.emb.step_input(i, eta, &g, project);
         }
         for (j, (mut g, c)) in acc_out {
-            vector::axpy(c as f64, &n_out, &mut g);
-            vector::scale(&mut g, 1.0 / c as f64);
+            vector::fused_axpy_scale(&mut g, c as f64, &n_out, 1.0 / c as f64);
             self.emb.step_output(j, eta, &g, project);
         }
     }
@@ -414,16 +395,18 @@ impl Trainer {
             let vj = self.emb.output(t).to_vec();
             // Fake neighbor of the output-side node t, paired with real v_i.
             let f1 = self.gens.for_i.generate(t, &mut self.rng);
-            let s1 = vector::dot(&vi, &f1.v) + vector::dot(&ng1, &vi);
+            let (s1_fake, s1_noise) = vector::dot2(&vi, &f1.v, &ng1);
+            let s1 = s1_fake + s1_noise;
             // d/ds [ln(1 - S(s))] = -S'/(1-S).
             let c1 = -self.kind.neg_log_one_minus_grad(s1);
-            let up1: Vec<f64> = vi.iter().map(|&v| c1 * v).collect();
+            let up1 = vector::scaled(c1, &vi);
             self.gens.for_i.accumulate_grad(&f1, &up1, &mut grads_j);
             // Fake neighbor of the input-side node s, paired with real v_j.
             let f2 = self.gens.for_j.generate(s, &mut self.rng);
-            let s2 = vector::dot(&f2.v, &vj) + vector::dot(&ng2, &vj);
+            let (s2_fake, s2_noise) = vector::dot2(&vj, &f2.v, &ng2);
+            let s2 = s2_fake + s2_noise;
             let c2 = -self.kind.neg_log_one_minus_grad(s2);
-            let up2: Vec<f64> = vj.iter().map(|&v| c2 * v).collect();
+            let up2 = vector::scaled(c2, &vj);
             self.gens.for_j.accumulate_grad(&f2, &up2, &mut grads_i);
         }
         self.gens.for_i.step(self.cfg.eta_g, &grads_j);

@@ -1,7 +1,7 @@
 //! Clustering quality metrics.
 //!
 //! The paper reports **mutual information** (MI, in nats) between cluster
-//! assignments and ground-truth classes, following its reference [21].
+//! assignments and ground-truth classes, following its reference \[21\].
 //! NMI and ARI are provided for completeness.
 
 use std::collections::HashMap;

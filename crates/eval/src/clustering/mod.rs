@@ -3,7 +3,7 @@
 //! The paper feeds embeddings to **Affinity Propagation** (Frey & Dueck,
 //! Science 2007) and reports **mutual information** between the discovered
 //! clusters and the class labels. [`affinity`] implements AP from scratch;
-//! [`kmeans`] provides a cheaper reference clusterer; [`metrics`] has MI,
+//! [`kmeans`](mod@kmeans) provides a cheaper reference clusterer; [`metrics`] has MI,
 //! NMI and ARI.
 
 pub mod affinity;

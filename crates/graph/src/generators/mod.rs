@@ -3,8 +3,8 @@
 //! Two roles:
 //!
 //! 1. **Test fixtures** — deterministic small graphs ([`classic`]) and the
-//!    standard random models ([`erdos_renyi`], [`barabasi_albert`],
-//!    [`watts_strogatz`]) for unit/property tests;
+//!    standard random models ([`erdos_renyi`], [`barabasi_albert()`],
+//!    [`watts_strogatz()`]) for unit/property tests;
 //! 2. **Dataset stand-ins** — the degree-corrected planted-partition model
 //!    ([`sbm`]) used by `advsgm-datasets` to synthesise graphs with the same
 //!    scale, heavy-tailed degrees, and community structure as the paper's

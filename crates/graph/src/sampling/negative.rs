@@ -9,6 +9,11 @@
 //! The paper's Algorithm 2 samples nodes **uniformly**; classical skip-gram
 //! (word2vec/LINE) uses the unigram distribution raised to 3/4. Both are
 //! provided; AdvSGM defaults to the paper's uniform choice.
+//!
+//! The sampler is immutable after construction (`&self` sampling with a
+//! caller-supplied RNG), so the sharded training engine shares one
+//! instance by reference across its batch-production and worker threads;
+//! the `Send + Sync` guarantee is pinned by a compile-time assertion.
 
 use rand::Rng;
 
@@ -131,6 +136,12 @@ impl NegativeSampler {
     }
 }
 
+/// Compile-time proof the sampler can be shared across worker threads.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<NegativeSampler>();
+};
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -193,6 +204,34 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(4);
         let negs = s.sample_for_batch(&g.edges()[..3], 10, &mut rng);
         assert_eq!(negs.len(), 30);
+    }
+
+    #[test]
+    fn shared_sampler_draws_match_sequential_across_threads() {
+        // One sampler, four threads, per-thread seeded RNGs: concurrent
+        // draws must be exactly the draws each RNG would produce alone.
+        let g = karate_club();
+        let s = NegativeSampler::new(&g, NegativeDistribution::Unigram34).unwrap();
+        let sources: Vec<NodeId> = (0..8).map(NodeId::from_index).collect();
+        let draws_with = |seed: u64| {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            s.sample_for_sources(&sources, 5, &mut rng)
+        };
+        let sequential: Vec<_> = (10..14).map(draws_with).collect();
+        let concurrent: Vec<_> = std::thread::scope(|sc| {
+            let handles: Vec<_> = (10..14u64)
+                .map(|seed| {
+                    let s = &s;
+                    let sources = &sources;
+                    sc.spawn(move || {
+                        let mut rng = SmallRng::seed_from_u64(seed);
+                        s.sample_for_sources(sources, 5, &mut rng)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert_eq!(sequential, concurrent);
     }
 
     #[test]

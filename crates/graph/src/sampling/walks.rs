@@ -2,7 +2,7 @@
 //!
 //! AdvSGM's skip-gram module can be instantiated with any skip-gram graph
 //! embedding; the paper's experiments use LINE-style edge sampling, but
-//! DeepWalk [1] and node2vec [3] walks are the other canonical front-ends,
+//! DeepWalk \[1\] and node2vec \[3\] walks are the other canonical front-ends,
 //! so the substrate provides them: uniform walks and p/q-biased second-order
 //! walks, plus a corpus generator that turns walks into training pairs.
 

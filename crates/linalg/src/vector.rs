@@ -141,6 +141,50 @@ pub fn sum(x: &[f64]) -> f64 {
     x.iter().sum()
 }
 
+/// Fused `y = (y + alpha * x) * beta` in one pass.
+///
+/// This is the per-row *apply* step of the trainer's noisy batch update:
+/// add the row's share of the batch noise (`alpha = touch count`,
+/// `x = noise vector`) and normalise by the touch count
+/// (`beta = 1/count`) without re-traversing the row. Each element goes
+/// through exactly the operations `(y_i + alpha * x_i) * beta`, i.e. the
+/// same floating-point sequence as [`axpy`] followed by [`scale`], so
+/// swapping the two-pass form for this kernel is bitwise-neutral.
+#[inline]
+pub fn fused_axpy_scale(y: &mut [f64], alpha: f64, x: &[f64], beta: f64) {
+    assert_eq!(x.len(), y.len(), "fused_axpy_scale: length mismatch");
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi = (*yi + alpha * xi) * beta;
+    }
+}
+
+/// Two dot products against a shared left operand in one pass:
+/// returns `(x . a, x . b)`.
+///
+/// The discriminator's adversarial argument and the generator's score both
+/// need `v . partner + v . noise` for the same `v`; fusing the two
+/// traversals halves the loads of `x`. The accumulators are independent,
+/// so each result is bitwise-identical to the corresponding [`dot`].
+#[inline]
+pub fn dot2(x: &[f64], a: &[f64], b: &[f64]) -> (f64, f64) {
+    assert_eq!(x.len(), a.len(), "dot2: length mismatch (a)");
+    assert_eq!(x.len(), b.len(), "dot2: length mismatch (b)");
+    let mut da = 0.0;
+    let mut db = 0.0;
+    for ((&xi, &ai), &bi) in x.iter().zip(a).zip(b) {
+        da += xi * ai;
+        db += xi * bi;
+    }
+    (da, db)
+}
+
+/// Scaled copy `out = alpha * x` into a fresh vector — the shape of every
+/// closed-form skip-gram pair gradient (`c * partner`).
+#[inline]
+pub fn scaled(alpha: f64, x: &[f64]) -> Vec<f64> {
+    x.iter().map(|&v| alpha * v).collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -267,5 +311,43 @@ mod tests {
         let mut x = vec![1.0, 2.0];
         zero(&mut x);
         assert_eq!(x, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn fused_axpy_scale_bitwise_matches_two_pass() {
+        // The trainer relies on this kernel being a drop-in for
+        // axpy-then-scale; check bit equality on awkward values.
+        let y0: Vec<f64> = (0..64).map(|i| (i as f64 * 0.37).sin() * 1e3).collect();
+        let x: Vec<f64> = (0..64).map(|i| (i as f64 * 0.11).cos() / 3.0).collect();
+        let (alpha, beta) = (7.0, 1.0 / 7.0);
+        let mut two_pass = y0.clone();
+        axpy(alpha, &x, &mut two_pass);
+        scale(&mut two_pass, beta);
+        let mut fused = y0;
+        fused_axpy_scale(&mut fused, alpha, &x, beta);
+        for (a, b) in fused.iter().zip(&two_pass) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn dot2_bitwise_matches_two_dots() {
+        let x: Vec<f64> = (0..128).map(|i| (i as f64).sqrt() - 5.0).collect();
+        let a: Vec<f64> = (0..128).map(|i| 1.0 / (i as f64 + 1.0)).collect();
+        let b: Vec<f64> = (0..128).map(|i| (i as f64 * 0.9).tan()).collect();
+        let (da, db) = dot2(&x, &a, &b);
+        assert_eq!(da.to_bits(), dot(&x, &a).to_bits());
+        assert_eq!(db.to_bits(), dot(&x, &b).to_bits());
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn dot2_mismatch_panics() {
+        dot2(&[1.0], &[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn scaled_copy() {
+        assert_eq!(scaled(2.0, &[1.0, -3.0]), vec![2.0, -6.0]);
     }
 }

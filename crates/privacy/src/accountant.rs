@@ -105,6 +105,31 @@ impl RdpAccountant {
         rdp_to_epsilon(&self.curve(), delta)
     }
 
+    /// The tightest `epsilon` achievable at the target `delta`, without the
+    /// optimal order that [`Self::epsilon`] also reports — the quantity the
+    /// paper's tables print.
+    ///
+    /// # Errors
+    /// Propagates conversion validation errors (e.g. `delta` outside
+    /// `(0, 1)`).
+    ///
+    /// # Examples
+    /// ```
+    /// use advsgm_privacy::RdpAccountant;
+    ///
+    /// let mut acc = RdpAccountant::new();
+    /// // 100 subsampled-Gaussian steps at sigma = 5, gamma = 0.05.
+    /// acc.record_subsampled_gaussian(5.0, 0.05, 100).unwrap();
+    /// let eps = acc.epsilon_at(1e-5).unwrap();
+    /// assert!(eps > 0.0);
+    /// // More steps can only spend more budget.
+    /// acc.record_subsampled_gaussian(5.0, 0.05, 900).unwrap();
+    /// assert!(acc.epsilon_at(1e-5).unwrap() > eps);
+    /// ```
+    pub fn epsilon_at(&self, delta: f64) -> Result<f64, PrivacyError> {
+        self.epsilon(delta).map(|(eps, _alpha)| eps)
+    }
+
     /// Smallest achievable `delta` at the target `epsilon`
     /// (`get_privacy_spent` in Algorithm 3, line 10).
     ///
@@ -220,6 +245,13 @@ mod tests {
             assert!((y.1 - 2.0 * x.1).abs() < 1e-12);
         }
         assert_eq!(a.steps(), 20);
+    }
+
+    #[test]
+    fn epsilon_at_matches_full_epsilon_query() {
+        let mut a = RdpAccountant::new();
+        a.record_subsampled_gaussian(5.0, 0.05, 250).unwrap();
+        assert_eq!(a.epsilon_at(1e-5).unwrap(), a.epsilon(1e-5).unwrap().0);
     }
 
     #[test]

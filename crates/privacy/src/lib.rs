@@ -22,7 +22,7 @@
 //! sampling rates never overflow.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod accountant;
 pub mod clipping;

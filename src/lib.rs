@@ -14,7 +14,10 @@
 //! * [`privacy`] — Gaussian mechanism, subsampled-RDP accounting
 //!   (Theorem 4), RDP↔(ε,δ) conversion (Theorem 3), budget stopping;
 //! * [`core`] — the AdvSGM trainer (Algorithm 3) plus the SGM / DP-SGM /
-//!   DP-ASGM / AdvSGM-NoDP ablations;
+//!   DP-ASGM / AdvSGM-NoDP ablations, sequential ([`core::Trainer`]) and
+//!   sharded-parallel ([`core::ShardedTrainer`]);
+//! * [`parallel`] — the vendored scoped thread pool + chunked parallel-for
+//!   backing the sharded engine;
 //! * [`baselines`] — DPGGAN, DPGVAE, GAP, DPAR;
 //! * [`eval`] — link-prediction AUC, Affinity-Propagation clustering, MI;
 //! * [`datasets`] — synthetic stand-ins for the paper's six datasets.
@@ -48,4 +51,5 @@ pub use advsgm_datasets as datasets;
 pub use advsgm_eval as eval;
 pub use advsgm_graph as graph;
 pub use advsgm_linalg as linalg;
+pub use advsgm_parallel as parallel;
 pub use advsgm_privacy as privacy;

@@ -1,0 +1,533 @@
+//! Minimal scoped thread pool and chunked parallel-for.
+//!
+//! The build environment has no crates.io access, so this crate implements
+//! the tiny slice of `rayon`/`scoped_threadpool` the workspace needs: a
+//! persistent pool of worker threads, a scoped `spawn` that may borrow from
+//! the caller's stack, and deterministic chunked map/for-each helpers that
+//! return results **in chunk order** so callers can reduce them with a
+//! fixed floating-point summation order.
+//!
+//! Design constraints, in priority order:
+//!
+//! 1. **Determinism hooks.** Nothing here forces determinism by itself, but
+//!    every helper hands the closure its chunk index and returns results
+//!    indexed by chunk, so a caller that derives one RNG stream per chunk
+//!    and reduces in chunk order gets run-to-run identical output no matter
+//!    how the OS schedules the workers (DESIGN.md §7).
+//! 2. **Low per-region overhead.** Workers are spawned once and parked on a
+//!    condvar; dispatching a parallel region costs one lock + wakeup per
+//!    job, not a thread spawn. A pool built with `threads = 1` spawns no
+//!    workers at all and runs every job inline, so the single-threaded
+//!    configuration pays nothing.
+//! 3. **Small and auditable.** One file, no dependencies, `unsafe` confined
+//!    to the single lifetime-erasure cast that every scoped pool needs.
+//!
+//! # Examples
+//!
+//! ```
+//! use advsgm_parallel::ThreadPool;
+//!
+//! let mut pool = ThreadPool::new(4);
+//! let data: Vec<u64> = (0..1000).collect();
+//! // Sum in deterministic chunk order: chunk results come back ordered.
+//! let partials = pool.map_chunks(&data, 128, |_chunk, _offset, xs| {
+//!     xs.iter().sum::<u64>()
+//! });
+//! assert_eq!(partials.iter().sum::<u64>(), 1000 * 999 / 2);
+//! ```
+
+use std::collections::VecDeque;
+use std::ops::Range;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// A unit of work queued on the pool. Jobs are erased to `'static`; the
+/// scope protocol (wait-before-return) keeps the borrow sound.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// The most workers [`resolve_threads`] will ever report, whatever the
+/// environment says — an absurd `ADVSGM_THREADS` must degrade to a slow
+/// run, not to a failed OS thread spawn mid-training.
+pub const MAX_THREADS: usize = 1024;
+
+/// Resolves a requested thread count to an effective one.
+///
+/// `requested > 0` wins verbatim. `requested == 0` means "auto": the
+/// `ADVSGM_THREADS` environment variable if set to a positive integer,
+/// otherwise **1**. Auto deliberately does *not* probe the machine's core
+/// count: the workspace's determinism contract fixes results per
+/// `(seed, threads)` pair, and a hardware-dependent default would make
+/// "same command, same output" fail across machines. The result is capped
+/// at [`MAX_THREADS`]; callers with their own field validation (e.g.
+/// `AdvSgmConfig`) reject earlier with a proper error.
+pub fn resolve_threads(requested: usize) -> usize {
+    let resolved = if requested > 0 {
+        requested
+    } else {
+        std::env::var("ADVSGM_THREADS")
+            .ok()
+            .and_then(|s| s.trim().parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or(1)
+    };
+    resolved.min(MAX_THREADS)
+}
+
+/// Splits `0..len` into at most `parts` contiguous ranges of near-equal
+/// length (sizes differ by at most one, longer ranges first). Returns an
+/// empty vector when `len == 0`; clamps `parts` to at least 1.
+pub fn chunk_ranges(len: usize, parts: usize) -> Vec<Range<usize>> {
+    if len == 0 {
+        return Vec::new();
+    }
+    let parts = parts.clamp(1, len);
+    let base = len / parts;
+    let extra = len % parts;
+    let mut out = Vec::with_capacity(parts);
+    let mut start = 0;
+    for k in 0..parts {
+        let size = base + usize::from(k < extra);
+        out.push(start..start + size);
+        start += size;
+    }
+    out
+}
+
+/// Shared worker-facing state: the job queue plus shutdown flag.
+struct QueueState {
+    jobs: VecDeque<Job>,
+    shutdown: bool,
+}
+
+struct SharedQueue {
+    state: Mutex<QueueState>,
+    job_ready: Condvar,
+}
+
+/// Per-scope completion tracking: outstanding job count + panic flag.
+struct Completion {
+    state: Mutex<(usize, bool)>,
+    all_done: Condvar,
+}
+
+impl Completion {
+    fn new() -> Arc<Self> {
+        Arc::new(Self {
+            state: Mutex::new((0, false)),
+            all_done: Condvar::new(),
+        })
+    }
+
+    fn add_job(&self) {
+        self.state.lock().unwrap().0 += 1;
+    }
+
+    fn finish_job(&self, panicked: bool) {
+        let mut s = self.state.lock().unwrap();
+        s.0 -= 1;
+        s.1 |= panicked;
+        if s.0 == 0 {
+            self.all_done.notify_all();
+        }
+    }
+
+    /// Blocks until every job spawned on this scope has finished; returns
+    /// whether any of them panicked.
+    fn wait(&self) -> bool {
+        let mut s = self.state.lock().unwrap();
+        while s.0 > 0 {
+            s = self.all_done.wait(s).unwrap();
+        }
+        s.1
+    }
+}
+
+/// A persistent pool of worker threads with scoped spawning.
+///
+/// `ThreadPool::new(1)` spawns **no** OS threads — every job runs inline on
+/// the calling thread — so a `threads = 1` training configuration is not
+/// merely "parallel with one worker", it is the plain sequential program.
+pub struct ThreadPool {
+    queue: Arc<SharedQueue>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ThreadPool {
+    /// Creates a pool with `threads` execution contexts (clamped to at
+    /// least 1). `threads` counts the calling thread's inline fallback,
+    /// so `new(n)` spawns `n` workers only for `n >= 2`, and `new(1)`
+    /// spawns none.
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let queue = Arc::new(SharedQueue {
+            state: Mutex::new(QueueState {
+                jobs: VecDeque::new(),
+                shutdown: false,
+            }),
+            job_ready: Condvar::new(),
+        });
+        let workers = if threads == 1 {
+            Vec::new()
+        } else {
+            (0..threads)
+                .map(|k| {
+                    let q = Arc::clone(&queue);
+                    std::thread::Builder::new()
+                        .name(format!("advsgm-worker-{k}"))
+                        .spawn(move || worker_loop(&q))
+                        .expect("failed to spawn pool worker")
+                })
+                .collect()
+        };
+        Self { queue, workers }
+    }
+
+    /// The number of execution contexts (1 for the inline pool).
+    pub fn threads(&self) -> usize {
+        self.workers.len().max(1)
+    }
+
+    /// Runs `f` with a [`Scope`] on which borrowing jobs can be spawned;
+    /// returns only after every spawned job has completed. Panics if any
+    /// job panicked (after all jobs have still been waited for, so no
+    /// borrow outlives the scope even on the panic path).
+    pub fn scope<'scope, F, T>(&mut self, f: F) -> T
+    where
+        F: FnOnce(&Scope<'_, 'scope>) -> T,
+    {
+        let completion = Completion::new();
+        let scope = Scope {
+            queue: &self.queue,
+            completion: Arc::clone(&completion),
+            inline: self.workers.is_empty(),
+            _marker: std::marker::PhantomData,
+        };
+        // Even if `f` itself panics we must wait for already-spawned jobs
+        // before unwinding: they may borrow the caller's stack.
+        let result = catch_unwind(AssertUnwindSafe(|| f(&scope)));
+        let job_panicked = completion.wait();
+        match result {
+            Err(e) => resume_unwind(e),
+            Ok(_) if job_panicked => panic!("a job spawned on the thread pool panicked"),
+            Ok(t) => t,
+        }
+    }
+
+    /// Chunked parallel map over a slice: splits `items` into consecutive
+    /// chunks of `chunk_len` (the last may be shorter) and calls
+    /// `f(chunk_index, offset, chunk)` for each, returning the results
+    /// **ordered by chunk index** — the hook for deterministic reductions.
+    pub fn map_chunks<T, R, F>(&mut self, items: &[T], chunk_len: usize, f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, usize, &[T]) -> R + Sync,
+    {
+        let chunk_len = chunk_len.max(1);
+        let n_chunks = items.len().div_ceil(chunk_len);
+        let slots: Vec<Mutex<Option<R>>> = (0..n_chunks).map(|_| Mutex::new(None)).collect();
+        self.scope(|s| {
+            for (k, chunk) in items.chunks(chunk_len).enumerate() {
+                let slot = &slots[k];
+                let f = &f;
+                s.spawn(move || {
+                    *slot.lock().unwrap() = Some(f(k, k * chunk_len, chunk));
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|m| m.into_inner().unwrap().expect("job completed"))
+            .collect()
+    }
+
+    /// Index-range parallel map: splits `0..len` into at most `parts`
+    /// near-equal ranges and calls `f(part_index, range)` for each,
+    /// returning results ordered by part index.
+    pub fn map_parts<R, F>(&mut self, len: usize, parts: usize, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize, Range<usize>) -> R + Sync,
+    {
+        let ranges = chunk_ranges(len, parts);
+        let slots: Vec<Mutex<Option<R>>> = (0..ranges.len()).map(|_| Mutex::new(None)).collect();
+        self.scope(|s| {
+            for (k, range) in ranges.into_iter().enumerate() {
+                let slot = &slots[k];
+                let f = &f;
+                s.spawn(move || {
+                    *slot.lock().unwrap() = Some(f(k, range));
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|m| m.into_inner().unwrap().expect("job completed"))
+            .collect()
+    }
+
+    /// Chunked parallel for-each over a mutable slice: each chunk of
+    /// `chunk_len` consecutive elements is handed to exactly one job as
+    /// `f(chunk_index, offset, chunk)`. Chunks are disjoint, so no
+    /// synchronisation is needed inside `f`.
+    pub fn for_each_chunk_mut<T, F>(&mut self, data: &mut [T], chunk_len: usize, f: F)
+    where
+        T: Send,
+        F: Fn(usize, usize, &mut [T]) + Sync,
+    {
+        let chunk_len = chunk_len.max(1);
+        self.scope(|s| {
+            for (k, chunk) in data.chunks_mut(chunk_len).enumerate() {
+                let f = &f;
+                s.spawn(move || f(k, k * chunk_len, chunk));
+            }
+        });
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        {
+            let mut state = self.queue.state.lock().unwrap();
+            state.shutdown = true;
+        }
+        self.queue.job_ready.notify_all();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+/// Spawning surface handed to [`ThreadPool::scope`] closures. Jobs may
+/// borrow anything that outlives the scope (`'scope`).
+pub struct Scope<'pool, 'scope> {
+    queue: &'pool Arc<SharedQueue>,
+    completion: Arc<Completion>,
+    inline: bool,
+    /// Invariant over `'scope`, mirroring `std::thread::Scope`.
+    _marker: std::marker::PhantomData<&'scope mut &'scope ()>,
+}
+
+impl<'scope> Scope<'_, 'scope> {
+    /// Spawns a job on the pool. On an inline (1-thread) pool the job runs
+    /// immediately on the calling thread.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce() + Send + 'scope,
+    {
+        if self.inline {
+            f();
+            return;
+        }
+        self.completion.add_job();
+        let completion = Arc::clone(&self.completion);
+        let job: Box<dyn FnOnce() + Send + 'scope> = Box::new(f);
+        // SAFETY: the only lifetime-bearing capture in `job` is bounded by
+        // `'scope`. `ThreadPool::scope` blocks on `completion.wait()` until
+        // this job has run to completion (including on every panic path)
+        // before control can return to the code owning the borrowed data,
+        // so erasing the lifetime to `'static` cannot produce a dangling
+        // reference. This is the standard scoped-threadpool construction.
+        let job: Job = unsafe { std::mem::transmute(job) };
+        let wrapped: Job = Box::new(move || {
+            let panicked = catch_unwind(AssertUnwindSafe(job)).is_err();
+            completion.finish_job(panicked);
+        });
+        {
+            let mut state = self.queue.state.lock().unwrap();
+            state.jobs.push_back(wrapped);
+        }
+        self.queue.job_ready.notify_one();
+    }
+}
+
+fn worker_loop(queue: &SharedQueue) {
+    loop {
+        let job = {
+            let mut state = queue.state.lock().unwrap();
+            loop {
+                if let Some(job) = state.jobs.pop_front() {
+                    break job;
+                }
+                if state.shutdown {
+                    return;
+                }
+                state = queue.job_ready.wait(state).unwrap();
+            }
+        };
+        job();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn chunk_ranges_cover_exactly() {
+        for len in [0usize, 1, 7, 64, 1000] {
+            for parts in [1usize, 2, 3, 8, 2000] {
+                let ranges = chunk_ranges(len, parts);
+                let mut covered = 0;
+                let mut expect_start = 0;
+                for r in &ranges {
+                    assert_eq!(r.start, expect_start, "gap at {r:?}");
+                    covered += r.len();
+                    expect_start = r.end;
+                }
+                assert_eq!(covered, len, "len={len} parts={parts}");
+                if len > 0 {
+                    assert!(ranges.len() <= parts.max(1));
+                    assert!(ranges.iter().all(|r| !r.is_empty()));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn resolve_threads_prefers_explicit_and_caps() {
+        assert_eq!(resolve_threads(3), 3);
+        assert_eq!(resolve_threads(1), 1);
+        assert_eq!(resolve_threads(usize::MAX), MAX_THREADS);
+    }
+
+    #[test]
+    fn single_thread_pool_runs_inline() {
+        let mut pool = ThreadPool::new(1);
+        assert_eq!(pool.threads(), 1);
+        let tid = std::thread::current().id();
+        let mut observed = None;
+        pool.scope(|s| {
+            s.spawn(|| observed = Some(std::thread::current().id()));
+        });
+        assert_eq!(observed, Some(tid), "inline pool must not hop threads");
+    }
+
+    #[test]
+    fn scope_jobs_borrow_and_complete() {
+        let mut pool = ThreadPool::new(4);
+        assert_eq!(pool.threads(), 4);
+        let counter = AtomicUsize::new(0);
+        pool.scope(|s| {
+            for _ in 0..100 {
+                s.spawn(|| {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn map_chunks_preserves_chunk_order() {
+        let mut pool = ThreadPool::new(4);
+        let data: Vec<usize> = (0..103).collect();
+        let got = pool.map_chunks(&data, 10, |k, offset, chunk| {
+            assert_eq!(offset, k * 10);
+            (k, chunk.to_vec())
+        });
+        assert_eq!(got.len(), 11);
+        for (k, (idx, chunk)) in got.iter().enumerate() {
+            assert_eq!(*idx, k);
+            let expect: Vec<usize> = (k * 10..(k * 10 + chunk.len())).collect();
+            assert_eq!(*chunk, expect);
+        }
+        assert_eq!(got.last().unwrap().1.len(), 3);
+    }
+
+    #[test]
+    fn map_parts_matches_chunk_ranges() {
+        let mut pool = ThreadPool::new(3);
+        let got = pool.map_parts(100, 3, |k, r| (k, r));
+        assert_eq!(
+            got.iter().map(|(_, r)| r.clone()).collect::<Vec<_>>(),
+            chunk_ranges(100, 3)
+        );
+    }
+
+    #[test]
+    fn for_each_chunk_mut_writes_disjoint_chunks() {
+        let mut pool = ThreadPool::new(4);
+        let mut data = vec![0usize; 57];
+        pool.for_each_chunk_mut(&mut data, 8, |k, offset, chunk| {
+            for (i, v) in chunk.iter_mut().enumerate() {
+                *v = k * 1000 + offset + i;
+            }
+        });
+        for (i, &v) in data.iter().enumerate() {
+            assert_eq!(v, (i / 8) * 1000 + i);
+        }
+    }
+
+    #[test]
+    fn reduction_in_chunk_order_is_deterministic() {
+        // The load-bearing property: unordered scheduling, ordered results.
+        let data: Vec<f64> = (0..10_000).map(|i| (i as f64).sin()).collect();
+        let reduce = |pool: &mut ThreadPool| {
+            let partials = pool.map_chunks(&data, 613, |_, _, c| c.iter().sum::<f64>());
+            partials.iter().fold(0.0f64, |a, b| a + b).to_bits()
+        };
+        let mut p4 = ThreadPool::new(4);
+        let mut p2 = ThreadPool::new(2);
+        let mut p1 = ThreadPool::new(1);
+        let first = reduce(&mut p4);
+        for _ in 0..10 {
+            assert_eq!(reduce(&mut p4), first);
+        }
+        // Same chunking => same bits regardless of pool width.
+        assert_eq!(reduce(&mut p2), first);
+        assert_eq!(reduce(&mut p1), first);
+    }
+
+    #[test]
+    fn empty_inputs_are_noops() {
+        let mut pool = ThreadPool::new(2);
+        let empty: Vec<u8> = Vec::new();
+        assert!(pool.map_chunks(&empty, 4, |_, _, c| c.len()).is_empty());
+        assert!(pool.map_parts(0, 4, |_, r| r.len()).is_empty());
+        let mut none: Vec<u8> = Vec::new();
+        pool.for_each_chunk_mut(&mut none, 4, |_, _, _| panic!("no chunks"));
+    }
+
+    #[test]
+    fn job_panic_propagates_after_all_jobs_finish() {
+        let mut pool = ThreadPool::new(4);
+        let done = AtomicUsize::new(0);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.scope(|s| {
+                for i in 0..16 {
+                    let done = &done;
+                    s.spawn(move || {
+                        if i == 7 {
+                            panic!("boom");
+                        }
+                        done.fetch_add(1, Ordering::Relaxed);
+                    });
+                }
+            });
+        }));
+        assert!(result.is_err(), "scope must re-panic");
+        assert_eq!(
+            done.load(Ordering::Relaxed),
+            15,
+            "all non-panicking jobs ran"
+        );
+        // Pool must remain usable after a panicked scope.
+        let ok = pool.map_parts(10, 2, |_, r| r.len());
+        assert_eq!(ok.iter().sum::<usize>(), 10);
+    }
+
+    #[test]
+    fn pool_is_reusable_across_scopes() {
+        let mut pool = ThreadPool::new(3);
+        for round in 0..20 {
+            let sum: usize = pool
+                .map_parts(100, 5, |_, r| r.map(|i| i + round).sum::<usize>())
+                .iter()
+                .sum();
+            assert_eq!(sum, (0..100).map(|i| i + round).sum::<usize>());
+        }
+    }
+}

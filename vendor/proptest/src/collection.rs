@@ -5,7 +5,7 @@ use core::ops::Range;
 use crate::strategy::Strategy;
 use crate::TestRng;
 
-/// Length range accepted by [`vec`]: a `usize` (exact) or `Range<usize>`.
+/// Length range accepted by [`vec()`]: a `usize` (exact) or `Range<usize>`.
 #[derive(Debug, Clone)]
 pub struct SizeRange {
     lo: usize,
@@ -40,7 +40,7 @@ pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S
     }
 }
 
-/// Strategy returned by [`vec`].
+/// Strategy returned by [`vec()`].
 #[derive(Debug, Clone)]
 pub struct VecStrategy<S> {
     element: S,
