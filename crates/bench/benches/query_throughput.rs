@@ -1,0 +1,105 @@
+//! Query-serving throughput of the embedding store (DESIGN.md §9).
+//!
+//! Fills an [`EmbeddingStore`] with Xavier-initialised vectors (queries
+//! only read the matrix, so trained weights would change nothing about the
+//! cost profile) and measures **queries/sec** for `batch_top_k` at 1/2/4/8
+//! worker threads, plus the speedup over the single-thread scan. Run with:
+//!
+//! ```text
+//! cargo bench -p advsgm-bench --bench query_throughput          # full sweep
+//! cargo bench -p advsgm-bench --bench query_throughput -- quick # 1 rep/width
+//! ```
+//!
+//! Each query is one fused dot-product scan over all `|V|` rows plus a
+//! bounded k-heap (`advsgm_linalg::topk`), so ideal scaling is linear in
+//! threads; on a 1-core container every width collapses to ~1x (the table
+//! prints the detected parallelism so logs stay interpretable). Results
+//! are bitwise thread-count-invariant — the sweep asserts it while timing.
+
+use std::time::Instant;
+
+use advsgm_core::ModelVariant;
+use advsgm_linalg::rng::seeded;
+use advsgm_linalg::DenseMatrix;
+use advsgm_store::{EmbeddingStore, Neighbor, PrivacyMeta};
+use rand::Rng;
+
+/// Store scale: the serving-side counterpart of `throughput_scaling`'s
+/// 10k-node training fixture.
+const NODES: usize = 10_000;
+const DIM: usize = 128;
+const TOP_K: usize = 10;
+/// Queries per timed batch.
+const BATCH: usize = 256;
+
+fn fixture() -> EmbeddingStore {
+    let mut rng = seeded(17);
+    // Xavier-style scale for a |V| x r matrix; exact distribution is
+    // irrelevant to throughput, it only needs realistic magnitudes.
+    let bound = (6.0 / (NODES + DIM) as f64).sqrt();
+    let m = DenseMatrix::from_fn(NODES, DIM, |_, _| rng.gen_range(-bound..bound));
+    EmbeddingStore::new(
+        m,
+        PrivacyMeta::private(ModelVariant::AdvSgm, 6.0, 1e-5, 5.0),
+    )
+    .unwrap()
+}
+
+fn checksum(results: &[Vec<Neighbor>]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for r in results {
+        for n in r {
+            h ^= n.node as u64 ^ n.score.to_bits();
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+    }
+    h
+}
+
+fn measure(store: &EmbeddingStore, queries: &[usize], threads: usize, reps: usize) -> (f64, u64) {
+    // One pool per width, built outside the clock — the serving-loop
+    // pattern (`batch_top_k_in`), so the sweep times queries, not thread
+    // spawns.
+    let mut pool = advsgm_parallel::ThreadPool::new(threads);
+    let warm = store.batch_top_k_in(queries, TOP_K, &mut pool).unwrap();
+    let sum = checksum(&warm);
+    let start = Instant::now();
+    for _ in 0..reps {
+        let got = store.batch_top_k_in(queries, TOP_K, &mut pool).unwrap();
+        // Thread-count invariance, asserted on the hot path's real output.
+        assert_eq!(checksum(&got), sum, "threads={threads}: results drifted");
+    }
+    let secs = start.elapsed().as_secs_f64();
+    ((queries.len() * reps) as f64 / secs, sum)
+}
+
+fn main() {
+    // Compile-out guard used by `cargo bench --no-run` in CI; any CLI arg
+    // containing "quick" shrinks the workload for smoke runs.
+    let quick = std::env::args().any(|a| a.contains("quick"));
+    let reps = if quick { 1 } else { 4 };
+    let store = fixture();
+    let mut rng = seeded(91);
+    let queries: Vec<usize> = (0..BATCH).map(|_| rng.gen_range(0..store.len())).collect();
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!(
+        "query_throughput: |V|={} r={DIM} k={TOP_K} batch={BATCH} (host parallelism: {cores})",
+        store.len()
+    );
+    println!("{:>8} {:>14} {:>10}", "threads", "queries/sec", "speedup");
+    let mut base = None;
+    let mut reference = None;
+    for threads in [1usize, 2, 4, 8] {
+        let (qps, sum) = measure(&store, &queries, threads, reps);
+        // Same results at every width — the §9 serving contract.
+        assert_eq!(*reference.get_or_insert(sum), sum, "threads={threads}");
+        let speedup = qps / *base.get_or_insert(qps);
+        println!("{threads:>8} {qps:>14.0} {speedup:>9.2}x");
+    }
+    println!(
+        "note: each query scans all |V| rows (fused dot4 + bounded heap); \
+         results are bitwise identical at every thread count (DESIGN.md §9)"
+    );
+}

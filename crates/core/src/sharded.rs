@@ -132,6 +132,15 @@ impl ShardedTrainer {
         }
     }
 
+    /// The validated configuration this trainer was built with (see
+    /// [`Trainer::config`]).
+    pub fn config(&self) -> &AdvSgmConfig {
+        match &self.inner {
+            Inner::Sequential(t) => t.config(),
+            Inner::Parallel(p) => &p.cfg,
+        }
+    }
+
     /// Runs Algorithm 3 to completion (or budget exhaustion) and returns
     /// the outcome — the sharded counterpart of [`Trainer::run`].
     ///
@@ -279,10 +288,10 @@ impl ParallelTrainer {
 
         let (epsilon_spent, delta_spent) = match &self.accountant {
             None => (None, None),
-            Some(acc) => (
-                Some(acc.epsilon(self.cfg.delta)?.0),
-                Some(acc.delta(self.cfg.epsilon)?),
-            ),
+            Some(acc) => {
+                let snap = acc.snapshot(self.cfg.epsilon, self.cfg.delta)?;
+                (Some(snap.epsilon_spent), Some(snap.delta_spent))
+            }
         };
         Ok(TrainOutcome {
             context_vectors: self.emb.w_out().clone(),

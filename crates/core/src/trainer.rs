@@ -161,6 +161,13 @@ impl Trainer {
         self.kind
     }
 
+    /// The validated configuration this trainer was built with. Exporters
+    /// (e.g. `advsgm-store`) read the privacy parameters (`sigma`, target
+    /// `epsilon`/`delta`) here to stamp released artifacts.
+    pub fn config(&self) -> &AdvSgmConfig {
+        &self.cfg
+    }
+
     /// Runs Algorithm 3 to completion (or budget exhaustion) and returns
     /// the outcome.
     ///
@@ -173,10 +180,10 @@ impl Trainer {
             self.train_in_place(graph, epochs)?;
         let (epsilon_spent, delta_spent) = match &self.accountant {
             None => (None, None),
-            Some(acc) => (
-                Some(acc.epsilon(self.cfg.delta)?.0),
-                Some(acc.delta(self.cfg.epsilon)?),
-            ),
+            Some(acc) => {
+                let snap = acc.snapshot(self.cfg.epsilon, self.cfg.delta)?;
+                (Some(snap.epsilon_spent), Some(snap.delta_spent))
+            }
         };
         Ok(TrainOutcome {
             context_vectors: self.emb.w_out().clone(),

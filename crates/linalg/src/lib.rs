@@ -17,7 +17,9 @@
 //! * [`optim`] — SGD / momentum / Adam with row-sparse updates, matching the
 //!   one-hot structure of skip-gram gradients;
 //! * [`rng`] — seeded RNG construction and Gaussian draws;
-//! * [`stats`] — summary statistics used by the experiment tables.
+//! * [`stats`] — summary statistics used by the experiment tables;
+//! * [`topk`] — bounded-heap top-k selection over fused row-score scans,
+//!   the serving-side kernel behind `advsgm-store` neighbor queries.
 //!
 //! Everything is `f64`, allocation-conscious, and free of `unsafe`.
 
@@ -31,6 +33,7 @@ pub mod matrix;
 pub mod optim;
 pub mod rng;
 pub mod stats;
+pub mod topk;
 pub mod vector;
 
 pub use error::LinalgError;

@@ -1,0 +1,296 @@
+//! Bounded top-k selection over row scores.
+//!
+//! The inference-side counterpart of the training kernels: a trained
+//! embedding matrix answers "which `k` nodes score highest against this
+//! query?" (link prediction and neighbor serving — the paper's Fig. 3 /
+//! Table 5 workload, run online). Scoring is a dense scan — one inner
+//! product per row, fused four rows at a time through
+//! [`crate::vector::dot4`] — and selection keeps a bounded binary min-heap
+//! of size `k`, so a query over `n` rows costs `O(n r)` multiplies and
+//! `O(n log k)` comparisons with no `O(n)` score buffer.
+//!
+//! Determinism contract: results depend only on the scores. Ties break
+//! toward the **lower row index**, and the returned list is sorted by
+//! `(score desc, index asc)`, so callers (including the parallel
+//! `batch_top_k` in `advsgm-store`) can compare result lists across thread
+//! counts bitwise.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::matrix::DenseMatrix;
+use crate::vector;
+
+/// One scored row: the output unit of a top-k query.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScoredIndex {
+    /// Row index in the scanned matrix.
+    pub index: usize,
+    /// The row's score (inner product against the query).
+    pub score: f64,
+}
+
+/// Min-heap entry ordered by `(score, Reverse(index))` under total order,
+/// so the heap root is always the *weakest* kept candidate and ties evict
+/// the higher index first.
+#[derive(Debug, Clone, Copy)]
+struct HeapEntry(ScoredIndex);
+
+impl PartialEq for HeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for HeapEntry {}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the root is the entry we
+        // want to evict first: lowest score, then highest index.
+        other
+            .0
+            .score
+            .total_cmp(&self.0.score)
+            .then_with(|| self.0.index.cmp(&other.0.index))
+    }
+}
+
+/// A bounded top-k accumulator: keeps the `k` highest-scoring indices seen
+/// so far, evicting the weakest entry once full.
+///
+/// # Examples
+/// ```
+/// use advsgm_linalg::topk::TopK;
+///
+/// let mut top = TopK::new(2);
+/// for (i, s) in [0.5, 2.0, 1.0, 2.0].iter().enumerate() {
+///     top.push(i, *s);
+/// }
+/// let out = top.into_sorted();
+/// // Ties break toward the lower index: row 1 beats row 3 at score 2.0.
+/// assert_eq!(out.iter().map(|e| e.index).collect::<Vec<_>>(), vec![1, 3]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TopK {
+    k: usize,
+    heap: BinaryHeap<HeapEntry>,
+}
+
+impl TopK {
+    /// Creates an accumulator keeping the best `k` entries (`k = 0` keeps
+    /// nothing and every push is a no-op).
+    pub fn new(k: usize) -> Self {
+        Self {
+            k,
+            heap: BinaryHeap::with_capacity(k.saturating_add(1)),
+        }
+    }
+
+    /// Offers one `(index, score)` candidate.
+    #[inline]
+    pub fn push(&mut self, index: usize, score: f64) {
+        if self.k == 0 {
+            return;
+        }
+        let entry = HeapEntry(ScoredIndex { index, score });
+        if self.heap.len() < self.k {
+            self.heap.push(entry);
+        } else if let Some(weakest) = self.heap.peek() {
+            // Replace the root only if the candidate strictly beats it
+            // under the same (score, index) order the heap uses.
+            if entry.cmp(weakest) == Ordering::Less {
+                self.heap.pop();
+                self.heap.push(entry);
+            }
+        }
+    }
+
+    /// Number of entries currently kept.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether nothing has been kept.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Consumes the accumulator, returning entries sorted by
+    /// `(score desc, index asc)`.
+    pub fn into_sorted(self) -> Vec<ScoredIndex> {
+        let mut out: Vec<ScoredIndex> = self.heap.into_iter().map(|e| e.0).collect();
+        out.sort_by(|a, b| {
+            b.score
+                .total_cmp(&a.score)
+                .then_with(|| a.index.cmp(&b.index))
+        });
+        out
+    }
+}
+
+/// Scores `query` against every row of `matrix` (inner product, fused four
+/// rows per pass via [`vector::dot4`]) and returns the top `k` rows,
+/// excluding `exclude` when given (the self-row of a neighbor query).
+///
+/// Returned entries are sorted by `(score desc, index asc)`; fewer than `k`
+/// entries come back when the matrix has fewer eligible rows.
+///
+/// # Panics
+/// Panics if `query.len() != matrix.cols()`.
+///
+/// # Examples
+/// ```
+/// use advsgm_linalg::matrix::DenseMatrix;
+/// use advsgm_linalg::topk::top_k_rows;
+///
+/// let m = DenseMatrix::from_vec(3, 2, vec![1.0, 0.0, 0.0, 1.0, 1.0, 1.0]).unwrap();
+/// let top = top_k_rows(&m, &[1.0, 0.0], 2, Some(0));
+/// assert_eq!(top[0].index, 2); // [1,1] scores 1.0
+/// assert_eq!(top[1].index, 1); // [0,1] scores 0.0
+/// ```
+pub fn top_k_rows(
+    matrix: &DenseMatrix,
+    query: &[f64],
+    k: usize,
+    exclude: Option<usize>,
+) -> Vec<ScoredIndex> {
+    assert_eq!(
+        query.len(),
+        matrix.cols(),
+        "top_k_rows: query length {} != matrix cols {}",
+        query.len(),
+        matrix.cols()
+    );
+    let n = matrix.rows();
+    let mut top = TopK::new(k);
+    let mut row = 0usize;
+    // Fused path: four rows per traversal of the query.
+    while row + 4 <= n {
+        let scores = vector::dot4(
+            query,
+            matrix.row(row),
+            matrix.row(row + 1),
+            matrix.row(row + 2),
+            matrix.row(row + 3),
+        );
+        for (off, &s) in scores.iter().enumerate() {
+            if Some(row + off) != exclude {
+                top.push(row + off, s);
+            }
+        }
+        row += 4;
+    }
+    // Scalar remainder — bitwise-identical scores (see `dot4` docs).
+    while row < n {
+        if Some(row) != exclude {
+            top.push(row, vector::dot(query, matrix.row(row)));
+        }
+        row += 1;
+    }
+    top.into_sorted()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn matrix_from_rows(rows: &[&[f64]]) -> DenseMatrix {
+        let cols = rows[0].len();
+        let data: Vec<f64> = rows.iter().flat_map(|r| r.iter().copied()).collect();
+        DenseMatrix::from_vec(rows.len(), cols, data).unwrap()
+    }
+
+    /// Reference: full sort of all eligible scores.
+    fn brute_force(
+        matrix: &DenseMatrix,
+        query: &[f64],
+        k: usize,
+        exclude: Option<usize>,
+    ) -> Vec<ScoredIndex> {
+        let mut all: Vec<ScoredIndex> = (0..matrix.rows())
+            .filter(|&i| Some(i) != exclude)
+            .map(|i| ScoredIndex {
+                index: i,
+                score: vector::dot(query, matrix.row(i)),
+            })
+            .collect();
+        all.sort_by(|a, b| {
+            b.score
+                .total_cmp(&a.score)
+                .then_with(|| a.index.cmp(&b.index))
+        });
+        all.truncate(k);
+        all
+    }
+
+    #[test]
+    fn matches_brute_force_on_awkward_sizes() {
+        // Sizes straddling the 4-row fused boundary.
+        for n in [1usize, 3, 4, 5, 7, 8, 9, 17] {
+            let m = DenseMatrix::from_fn(n, 6, |i, j| ((i * 7 + j * 3) as f64 * 0.37).sin());
+            let q: Vec<f64> = (0..6).map(|j| (j as f64 + 0.5).cos()).collect();
+            for k in [0usize, 1, 2, n, n + 3] {
+                for exclude in [None, Some(0), Some(n - 1)] {
+                    let fast = top_k_rows(&m, &q, k, exclude);
+                    let slow = brute_force(&m, &q, k, exclude);
+                    assert_eq!(fast.len(), slow.len(), "n={n} k={k}");
+                    for (f, s) in fast.iter().zip(&slow) {
+                        assert_eq!(f.index, s.index, "n={n} k={k} exclude={exclude:?}");
+                        assert_eq!(f.score.to_bits(), s.score.to_bits());
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ties_break_toward_lower_index() {
+        let m = matrix_from_rows(&[&[1.0], &[1.0], &[1.0], &[2.0], &[1.0]]);
+        let top = top_k_rows(&m, &[1.0], 3, None);
+        assert_eq!(
+            top.iter().map(|e| e.index).collect::<Vec<_>>(),
+            vec![3, 0, 1]
+        );
+    }
+
+    #[test]
+    fn exclude_removes_self_row() {
+        let m = matrix_from_rows(&[&[5.0], &[1.0], &[3.0]]);
+        let top = top_k_rows(&m, &[1.0], 3, Some(0));
+        assert_eq!(top.iter().map(|e| e.index).collect::<Vec<_>>(), vec![2, 1]);
+    }
+
+    #[test]
+    fn k_zero_and_empty_matrix() {
+        let m = matrix_from_rows(&[&[1.0, 2.0]]);
+        assert!(top_k_rows(&m, &[1.0, 1.0], 0, None).is_empty());
+        let empty = DenseMatrix::zeros(0, 2);
+        assert!(top_k_rows(&empty, &[1.0, 1.0], 5, None).is_empty());
+    }
+
+    #[test]
+    fn negative_and_nonfinite_scores_order_totally() {
+        // total_cmp gives NaN a fixed position; the heap must not panic
+        // and ordering must stay deterministic.
+        let m = matrix_from_rows(&[&[f64::NAN], &[-1.0], &[f64::INFINITY], &[0.0]]);
+        let a = top_k_rows(&m, &[1.0], 4, None);
+        let b = top_k_rows(&m, &[1.0], 4, None);
+        let idx: Vec<usize> = a.iter().map(|e| e.index).collect();
+        assert_eq!(idx, b.iter().map(|e| e.index).collect::<Vec<_>>());
+        // +inf first; NaN sorts above +inf under total_cmp's descending order.
+        assert_eq!(idx, vec![0, 2, 3, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "query length")]
+    fn query_dim_mismatch_panics() {
+        top_k_rows(&DenseMatrix::zeros(2, 3), &[1.0], 1, None);
+    }
+}

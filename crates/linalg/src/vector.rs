@@ -185,6 +185,36 @@ pub fn scaled(alpha: f64, x: &[f64]) -> Vec<f64> {
     x.iter().map(|&v| alpha * v).collect()
 }
 
+/// Four dot products against a shared left operand in one pass:
+/// returns `[x . a, x . b, x . c, x . d]`.
+///
+/// The batched form of [`dot2`], sized for the query-serving scan: scoring
+/// one query vector against an embedding matrix touches every row once, and
+/// processing four rows per traversal of `x` quarters the loads of the
+/// query. Each accumulator is independent, so every result is
+/// bitwise-identical to the corresponding [`dot`] — the top-k path can swap
+/// between the fused and scalar kernels without changing a single returned
+/// neighbor.
+#[inline]
+pub fn dot4(x: &[f64], a: &[f64], b: &[f64], c: &[f64], d: &[f64]) -> [f64; 4] {
+    assert_eq!(x.len(), a.len(), "dot4: length mismatch (a)");
+    assert_eq!(x.len(), b.len(), "dot4: length mismatch (b)");
+    assert_eq!(x.len(), c.len(), "dot4: length mismatch (c)");
+    assert_eq!(x.len(), d.len(), "dot4: length mismatch (d)");
+    let mut da = 0.0;
+    let mut db = 0.0;
+    let mut dc = 0.0;
+    let mut dd = 0.0;
+    for i in 0..x.len() {
+        let xi = x[i];
+        da += xi * a[i];
+        db += xi * b[i];
+        dc += xi * c[i];
+        dd += xi * d[i];
+    }
+    [da, db, dc, dd]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -349,5 +379,23 @@ mod tests {
     #[test]
     fn scaled_copy() {
         assert_eq!(scaled(2.0, &[1.0, -3.0]), vec![2.0, -6.0]);
+    }
+
+    #[test]
+    fn dot4_bitwise_matches_four_dots() {
+        let x: Vec<f64> = (0..96).map(|i| (i as f64 * 0.7).sin() * 3.0).collect();
+        let rows: Vec<Vec<f64>> = (0..4)
+            .map(|r| (0..96).map(|i| ((i + r * 31) as f64).cos() / 7.0).collect())
+            .collect();
+        let got = dot4(&x, &rows[0], &rows[1], &rows[2], &rows[3]);
+        for (g, row) in got.iter().zip(&rows) {
+            assert_eq!(g.to_bits(), dot(&x, row).to_bits());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn dot4_mismatch_panics() {
+        dot4(&[1.0], &[1.0], &[1.0], &[1.0], &[1.0, 2.0]);
     }
 }

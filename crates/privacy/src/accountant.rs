@@ -18,6 +18,27 @@ use crate::error::PrivacyError;
 use crate::rdp::default_alpha_grid;
 use crate::subsampled::subsampled_gaussian_curve;
 
+/// A frozen reading of an accountant's spend against a `(epsilon, delta)`
+/// target — the accounting metadata that travels with a released artifact.
+///
+/// Post-processing is free under DP (Theorem 2), so once training ends this
+/// snapshot is the *complete* privacy story of the released embeddings:
+/// downstream consumers (the `.aemb` store, serving layers, evaluators) can
+/// query the vectors freely while citing exactly these numbers. Produced by
+/// [`RdpAccountant::snapshot`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpendSnapshot {
+    /// Mechanism invocations recorded so far.
+    pub steps: u64,
+    /// Tightest `epsilon` achievable at the target `delta`.
+    pub epsilon_spent: f64,
+    /// The RDP order at which `epsilon_spent` is attained.
+    pub optimal_alpha: usize,
+    /// Smallest achievable `delta` at the target `epsilon`
+    /// (`delta_hat` in Algorithm 3's stopping rule).
+    pub delta_spent: f64,
+}
+
 /// Online Rényi-DP accountant over the workspace's integer order grid.
 #[derive(Debug, Clone)]
 pub struct RdpAccountant {
@@ -155,6 +176,41 @@ impl RdpAccountant {
         } else {
             Ok(())
         }
+    }
+
+    /// Freezes the current spend against a `(target_epsilon, target_delta)`
+    /// pair into a [`SpendSnapshot`] — both conversion directions in one
+    /// call, for stamping released artifacts with their accounting
+    /// metadata.
+    ///
+    /// # Errors
+    /// Propagates conversion validation errors (targets outside their
+    /// domains).
+    ///
+    /// # Examples
+    /// ```
+    /// use advsgm_privacy::RdpAccountant;
+    ///
+    /// let mut acc = RdpAccountant::new();
+    /// acc.record_subsampled_gaussian(5.0, 0.05, 200).unwrap();
+    /// let snap = acc.snapshot(6.0, 1e-5).unwrap();
+    /// assert_eq!(snap.steps, 200);
+    /// assert_eq!(snap.epsilon_spent, acc.epsilon_at(1e-5).unwrap());
+    /// assert_eq!(snap.delta_spent, acc.delta(6.0).unwrap());
+    /// ```
+    pub fn snapshot(
+        &self,
+        target_epsilon: f64,
+        target_delta: f64,
+    ) -> Result<SpendSnapshot, PrivacyError> {
+        let (epsilon_spent, optimal_alpha) = self.epsilon(target_delta)?;
+        let delta_spent = self.delta(target_epsilon)?;
+        Ok(SpendSnapshot {
+            steps: self.steps_recorded,
+            epsilon_spent,
+            optimal_alpha,
+            delta_spent,
+        })
     }
 
     /// Clears all accumulated privacy loss (cache retained).
@@ -333,5 +389,24 @@ mod tests {
     #[should_panic(expected = "non-empty")]
     fn empty_grid_rejected() {
         RdpAccountant::with_orders(vec![]);
+    }
+
+    #[test]
+    fn snapshot_agrees_with_point_queries() {
+        let mut a = RdpAccountant::new();
+        a.record_subsampled_gaussian(5.0, 0.05, 123).unwrap();
+        let snap = a.snapshot(2.0, 1e-5).unwrap();
+        assert_eq!(snap.steps, 123);
+        let (eps, alpha) = a.epsilon(1e-5).unwrap();
+        assert_eq!(snap.epsilon_spent, eps);
+        assert_eq!(snap.optimal_alpha, alpha);
+        assert_eq!(snap.delta_spent, a.delta(2.0).unwrap());
+    }
+
+    #[test]
+    fn snapshot_rejects_out_of_domain_targets() {
+        let mut a = RdpAccountant::new();
+        a.record_subsampled_gaussian(5.0, 0.05, 1).unwrap();
+        assert!(a.snapshot(2.0, 0.0).is_err());
     }
 }

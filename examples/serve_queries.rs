@@ -1,0 +1,98 @@
+//! End-to-end serving demo: train → export → save → load → query.
+//!
+//! ```bash
+//! cargo run --release --example serve_queries
+//! ```
+//!
+//! Trains AdvSGM on a small synthetic community graph, exports the
+//! released vectors as an `.aemb` store stamped with the accountant's
+//! spend, roundtrips it through disk (bitwise-exact — the file format
+//! stores raw IEEE-754 bits, see `docs/FORMAT.md`), and serves pair-score
+//! and top-k neighbor queries from the loaded copy. All of the serving is
+//! post-processing (Theorem 5): the privacy metadata printed below is the
+//! complete cost, no matter how many queries run.
+
+use advsgm::core::{AdvSgmConfig, ModelVariant, ShardedTrainer};
+use advsgm::graph::generators::sbm::{degree_corrected_sbm, SbmConfig};
+use advsgm::graph::NodeId;
+use advsgm::linalg::rng::seeded;
+use advsgm::store::{EmbeddingStore, ExportEmbeddings};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = seeded(33);
+    let graph = degree_corrected_sbm(
+        &SbmConfig {
+            num_nodes: 400,
+            num_edges: 2_400,
+            num_blocks: 8,
+            mixing: 0.08,
+            degree_exponent: 2.5,
+        },
+        &mut rng,
+    );
+    println!(
+        "graph: {} nodes, {} edges, 8 planted communities",
+        graph.num_nodes(),
+        graph.num_edges()
+    );
+
+    // Train and export in one step; the store carries the accountant's
+    // spent epsilon, the target delta, and sigma.
+    let mut cfg = AdvSgmConfig::test_small(ModelVariant::AdvSgm);
+    cfg.dim = 32;
+    cfg.epochs = 4;
+    cfg.disc_iters = 8;
+    let store = ShardedTrainer::new(&graph, cfg)?.export(&graph)?;
+    println!("exported: {} x {} vectors", store.len(), store.dim());
+    println!("privacy:  {}", store.meta());
+
+    // Persist and reload — the roundtrip is bitwise-exact.
+    let path = std::env::temp_dir().join("serve_queries_demo.aemb");
+    store.save(&path)?;
+    let served = EmbeddingStore::load(&path)?;
+    assert_eq!(served, store, "save -> load must be exact");
+    println!(
+        "saved + reloaded {} ({} bytes), checksum verified",
+        path.display(),
+        std::fs::metadata(&path)?.len()
+    );
+
+    // Pair scores: Eq. 2's inner product, the link-prediction statistic.
+    let (u, some_neighbor) = {
+        let e = graph.edges()[0];
+        (e.u().index(), e.v().index())
+    };
+    println!(
+        "\nscore({u}, {some_neighbor})    = {:+.4}  (real edge)",
+        served.score(u, some_neighbor)?
+    );
+    let far = (u + served.len() / 2) % served.len();
+    println!(
+        "score({u}, {far}) = {:+.4}  (random pair)",
+        served.score(u, far)?
+    );
+
+    // Neighbor serving: top-k by inner product, self excluded.
+    println!("\ntop 5 neighbors of node {u}:");
+    for n in served.top_k(u, 5)? {
+        let real = if graph.has_edge(NodeId(u as u32), NodeId(n.node as u32)) {
+            "edge in training graph"
+        } else {
+            "no training edge"
+        };
+        println!("  node {:>4}  score {:+.4}  ({real})", n.node, n.score);
+    }
+
+    // Batched serving is thread-count invariant: same bits at any width.
+    let queries: Vec<usize> = (0..served.len()).step_by(37).collect();
+    let one = served.batch_top_k(&queries, 5, 1)?;
+    let four = served.batch_top_k(&queries, 5, 4)?;
+    assert_eq!(one, four, "batch_top_k must not depend on thread count");
+    println!(
+        "\nbatch_top_k over {} queries: identical results at 1 and 4 threads",
+        queries.len()
+    );
+
+    std::fs::remove_file(&path)?;
+    Ok(())
+}

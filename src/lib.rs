@@ -20,7 +20,10 @@
 //!   backing the sharded engine;
 //! * [`baselines`] — DPGGAN, DPGVAE, GAP, DPAR;
 //! * [`eval`] — link-prediction AUC, Affinity-Propagation clustering, MI;
-//! * [`datasets`] — synthetic stand-ins for the paper's six datasets.
+//! * [`datasets`] — synthetic stand-ins for the paper's six datasets;
+//! * [`store`] — embedding persistence (the `.aemb` format, see
+//!   `docs/FORMAT.md`) and the query-serving [`store::EmbeddingStore`];
+//!   the `advsgm` CLI binary (`train` / `query` / `info`) fronts it.
 //!
 //! # Quickstart
 //!
@@ -53,3 +56,4 @@ pub use advsgm_graph as graph;
 pub use advsgm_linalg as linalg;
 pub use advsgm_parallel as parallel;
 pub use advsgm_privacy as privacy;
+pub use advsgm_store as store;

@@ -1,0 +1,289 @@
+//! The `advsgm` command-line interface: train embeddings, persist them in
+//! the `.aemb` format (`docs/FORMAT.md`), and serve queries from the file.
+//!
+//! ```text
+//! advsgm train --out emb.aemb [--dataset ppi] [--scale 0.1] [--edges FILE]
+//!              [--variant advsgm] [--epsilon 6] [--delta 1e-5] [--sigma 5]
+//!              [--epochs N] [--dim 128] [--threads N] [--seed 0]
+//! advsgm query --store emb.aemb --node U [--top-k 10] [--threads N]
+//! advsgm query --store emb.aemb --pair U V
+//! advsgm info  --store emb.aemb
+//! ```
+//!
+//! Argument parsing is hand-rolled like `advsgm-bench`'s: three
+//! subcommands and a dozen flags do not justify a CLI dependency outside
+//! the vendored crate set.
+
+use std::process::ExitCode;
+
+use advsgm::core::{AdvSgmConfig, ModelVariant, ShardedTrainer};
+use advsgm::datasets::{dataset_by_name, synthesize};
+use advsgm::graph::io::read_edge_list_file;
+use advsgm::graph::Graph;
+use advsgm::store::EmbeddingStore;
+
+const USAGE: &str = "usage:
+  advsgm train --out PATH [--dataset NAME] [--scale F] [--edges FILE]
+               [--variant sgm|dp-sgm|dp-asgm|advsgm|advsgm-nodp]
+               [--epsilon F] [--delta F] [--sigma F] [--epochs N]
+               [--dim N] [--threads N] [--seed N]
+  advsgm query --store PATH --node U [--top-k K] [--threads N]
+  advsgm query --store PATH --pair U V
+  advsgm info  --store PATH";
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let cmd = match args.next() {
+        Some(c) => c,
+        None => {
+            eprintln!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let rest: Vec<String> = args.collect();
+    let result = match cmd.as_str() {
+        "train" => cmd_train(&rest),
+        "query" => cmd_query(&rest),
+        "info" => cmd_info(&rest),
+        "--help" | "-h" | "help" => {
+            println!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        other => Err(format!("unknown subcommand {other:?}\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("advsgm {cmd}: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Pulls the value following a flag out of the token list.
+fn take_value(tokens: &[String], i: &mut usize, flag: &str) -> Result<String, String> {
+    *i += 1;
+    tokens
+        .get(*i)
+        .cloned()
+        .ok_or_else(|| format!("{flag} needs a value"))
+}
+
+fn parse_num<T: std::str::FromStr>(value: &str, flag: &str) -> Result<T, String>
+where
+    T::Err: std::fmt::Display,
+{
+    value.parse().map_err(|e| format!("{flag}: {e}"))
+}
+
+fn parse_variant(name: &str) -> Result<ModelVariant, String> {
+    Ok(match name.to_ascii_lowercase().as_str() {
+        "sgm" => ModelVariant::Sgm,
+        "dp-sgm" | "dpsgm" => ModelVariant::DpSgm,
+        "dp-asgm" | "dpasgm" => ModelVariant::DpAsgm,
+        "advsgm" => ModelVariant::AdvSgm,
+        "advsgm-nodp" | "advsgmnodp" => ModelVariant::AdvSgmNoDp,
+        other => {
+            return Err(format!(
+                "unknown variant {other:?} (sgm, dp-sgm, dp-asgm, advsgm, advsgm-nodp)"
+            ))
+        }
+    })
+}
+
+fn cmd_train(tokens: &[String]) -> Result<(), String> {
+    let mut out: Option<String> = None;
+    let mut dataset = "ppi".to_string();
+    let mut scale = 0.1f64;
+    let mut edges: Option<String> = None;
+    // A CLI run should finish in seconds by default; paper-scale epochs
+    // remain one `--epochs 50` away.
+    let mut cfg = AdvSgmConfig {
+        epochs: 5,
+        ..AdvSgmConfig::default()
+    };
+
+    let mut i = 0;
+    while i < tokens.len() {
+        match tokens[i].as_str() {
+            "--out" => out = Some(take_value(tokens, &mut i, "--out")?),
+            "--dataset" => dataset = take_value(tokens, &mut i, "--dataset")?,
+            "--scale" => {
+                scale = parse_num(&take_value(tokens, &mut i, "--scale")?, "--scale")?;
+                if !(scale > 0.0 && scale <= 1.0) {
+                    return Err(format!("--scale must be in (0,1], got {scale}"));
+                }
+            }
+            "--edges" => edges = Some(take_value(tokens, &mut i, "--edges")?),
+            "--variant" => {
+                cfg.variant = parse_variant(&take_value(tokens, &mut i, "--variant")?)?;
+            }
+            "--epsilon" => {
+                cfg.epsilon = parse_num(&take_value(tokens, &mut i, "--epsilon")?, "--epsilon")?;
+            }
+            "--delta" => {
+                cfg.delta = parse_num(&take_value(tokens, &mut i, "--delta")?, "--delta")?;
+            }
+            "--sigma" => {
+                cfg.sigma = parse_num(&take_value(tokens, &mut i, "--sigma")?, "--sigma")?;
+            }
+            "--epochs" => {
+                cfg.epochs = parse_num(&take_value(tokens, &mut i, "--epochs")?, "--epochs")?;
+            }
+            "--dim" => cfg.dim = parse_num(&take_value(tokens, &mut i, "--dim")?, "--dim")?,
+            "--threads" => {
+                cfg.num_threads =
+                    parse_num(&take_value(tokens, &mut i, "--threads")?, "--threads")?;
+            }
+            "--seed" => cfg.seed = parse_num(&take_value(tokens, &mut i, "--seed")?, "--seed")?,
+            other => return Err(format!("unknown flag {other}\n{USAGE}")),
+        }
+        i += 1;
+    }
+    let out = out.ok_or_else(|| format!("--out is required\n{USAGE}"))?;
+
+    let graph: Graph = match &edges {
+        Some(path) => {
+            let g = read_edge_list_file(path, None).map_err(|e| format!("--edges {path}: {e}"))?;
+            println!(
+                "loaded {path}: {} nodes, {} edges",
+                g.num_nodes(),
+                g.num_edges()
+            );
+            g
+        }
+        None => {
+            let d = dataset_by_name(&dataset).ok_or_else(|| {
+                format!("unknown dataset {dataset:?} (PPI, Facebook, Wiki, Blog, Epinions, DBLP)")
+            })?;
+            let spec = d.spec().scaled(scale);
+            let g = synthesize(&spec, cfg.seed);
+            println!(
+                "synthesized {} at scale {scale}: {} nodes, {} edges",
+                d.name(),
+                g.num_nodes(),
+                g.num_edges()
+            );
+            g
+        }
+    };
+
+    let trainer = ShardedTrainer::new(&graph, cfg.clone()).map_err(|e| e.to_string())?;
+    println!(
+        "training {} (dim {}, {} epochs, {} thread(s))...",
+        cfg.variant.paper_name(),
+        cfg.dim,
+        cfg.epochs,
+        trainer.threads()
+    );
+    let start = std::time::Instant::now();
+    let outcome = trainer.train(&graph).map_err(|e| e.to_string())?;
+    println!(
+        "trained in {:.2?}: {} epochs, {} discriminator updates{}",
+        start.elapsed(),
+        outcome.epochs_run,
+        outcome.disc_updates,
+        if outcome.stopped_by_budget {
+            " (stopped by privacy budget)"
+        } else {
+            ""
+        }
+    );
+
+    let store = EmbeddingStore::from_outcome(&outcome, &cfg).map_err(|e| e.to_string())?;
+    // Serialise once; the same buffer provides the file and the size line.
+    let bytes = store.to_bytes();
+    std::fs::write(&out, &bytes).map_err(|e| format!("{out}: {e}"))?;
+    println!(
+        "saved {} nodes x {} dims to {out} ({}); privacy: {}",
+        store.len(),
+        store.dim(),
+        human_bytes(bytes.len()),
+        store.meta()
+    );
+    Ok(())
+}
+
+fn cmd_query(tokens: &[String]) -> Result<(), String> {
+    let mut path: Option<String> = None;
+    let mut node: Option<usize> = None;
+    let mut pair: Option<(usize, usize)> = None;
+    let mut top_k = 10usize;
+    let mut threads = 0usize;
+
+    let mut i = 0;
+    while i < tokens.len() {
+        match tokens[i].as_str() {
+            "--store" => path = Some(take_value(tokens, &mut i, "--store")?),
+            "--node" => node = Some(parse_num(&take_value(tokens, &mut i, "--node")?, "--node")?),
+            "--pair" => {
+                let u: usize = parse_num(&take_value(tokens, &mut i, "--pair")?, "--pair")?;
+                let v: usize = parse_num(&take_value(tokens, &mut i, "--pair")?, "--pair")?;
+                pair = Some((u, v));
+            }
+            "--top-k" => top_k = parse_num(&take_value(tokens, &mut i, "--top-k")?, "--top-k")?,
+            "--threads" => {
+                threads = parse_num(&take_value(tokens, &mut i, "--threads")?, "--threads")?;
+            }
+            other => return Err(format!("unknown flag {other}\n{USAGE}")),
+        }
+        i += 1;
+    }
+    let path = path.ok_or_else(|| format!("--store is required\n{USAGE}"))?;
+    let store = EmbeddingStore::load(&path).map_err(|e| e.to_string())?;
+
+    match (pair, node) {
+        (Some((u, v)), _) => {
+            let s = store.score(u, v).map_err(|e| e.to_string())?;
+            println!("score({u}, {v}) = {s}");
+        }
+        (None, Some(u)) => {
+            let results = store
+                .batch_top_k(&[u], top_k, threads)
+                .map_err(|e| e.to_string())?;
+            println!("top {top_k} neighbors of node {u}:");
+            println!("{:>10}  {:>10}  {:>14}", "row", "id", "score");
+            for n in &results[0] {
+                println!("{:>10}  {:>10}  {:>14.6}", n.node, n.id, n.score);
+            }
+        }
+        (None, None) => return Err(format!("need --node U or --pair U V\n{USAGE}")),
+    }
+    Ok(())
+}
+
+fn cmd_info(tokens: &[String]) -> Result<(), String> {
+    let mut path: Option<String> = None;
+    let mut i = 0;
+    while i < tokens.len() {
+        match tokens[i].as_str() {
+            "--store" => path = Some(take_value(tokens, &mut i, "--store")?),
+            other => return Err(format!("unknown flag {other}\n{USAGE}")),
+        }
+        i += 1;
+    }
+    let path = path.ok_or_else(|| format!("--store is required\n{USAGE}"))?;
+    let bytes = std::fs::read(&path).map_err(|e| format!("{path}: {e}"))?;
+    let store = EmbeddingStore::from_bytes(&bytes).map_err(|e| e.to_string())?;
+    println!("{path}:");
+    println!(
+        "  format      .aemb v{}",
+        advsgm::store::format::FORMAT_VERSION
+    );
+    println!("  size        {}", human_bytes(bytes.len()));
+    println!("  checksum    ok (crc32)");
+    println!("  nodes       {}", store.len());
+    println!("  dim         {}", store.dim());
+    println!("  privacy     {}", store.meta());
+    Ok(())
+}
+
+fn human_bytes(n: usize) -> String {
+    if n >= 1 << 20 {
+        format!("{:.1} MiB", n as f64 / (1 << 20) as f64)
+    } else if n >= 1 << 10 {
+        format!("{:.1} KiB", n as f64 / (1 << 10) as f64)
+    } else {
+        format!("{n} B")
+    }
+}
