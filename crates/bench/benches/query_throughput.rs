@@ -15,11 +15,19 @@
 //! threads; on a 1-core container every width collapses to ~1x (the table
 //! prints the detected parallelism so logs stay interpretable). Results
 //! are bitwise thread-count-invariant — the sweep asserts it while timing.
+//!
+//! Like the paper-artifact binaries, the sweep appends its measurements
+//! to `results/query_throughput.jsonl` (`docs/BENCHMARKS.md` schema:
+//! `parameter = "threads"`, `metric = "queries_per_sec"`, mean/std over
+//! the repetitions), so serving numbers land in the same trajectory files
+//! as everything else.
 
 use std::time::Instant;
 
+use advsgm_bench::{append_jsonl_at, Record};
 use advsgm_core::ModelVariant;
 use advsgm_linalg::rng::seeded;
+use advsgm_linalg::stats::Summary;
 use advsgm_linalg::DenseMatrix;
 use advsgm_store::{EmbeddingStore, Neighbor, PrivacyMeta};
 use rand::Rng;
@@ -56,21 +64,30 @@ fn checksum(results: &[Vec<Neighbor>]) -> u64 {
     h
 }
 
-fn measure(store: &EmbeddingStore, queries: &[usize], threads: usize, reps: usize) -> (f64, u64) {
+/// Times `reps` batches, returning per-repetition queries/sec (so mean
+/// *and* spread can be reported) plus the result checksum.
+fn measure(
+    store: &EmbeddingStore,
+    queries: &[usize],
+    threads: usize,
+    reps: usize,
+) -> (Vec<f64>, u64) {
     // One pool per width, built outside the clock — the serving-loop
     // pattern (`batch_top_k_in`), so the sweep times queries, not thread
     // spawns.
     let mut pool = advsgm_parallel::ThreadPool::new(threads);
     let warm = store.batch_top_k_in(queries, TOP_K, &mut pool).unwrap();
     let sum = checksum(&warm);
-    let start = Instant::now();
+    let mut qps = Vec::with_capacity(reps);
     for _ in 0..reps {
+        let start = Instant::now();
         let got = store.batch_top_k_in(queries, TOP_K, &mut pool).unwrap();
+        let secs = start.elapsed().as_secs_f64();
         // Thread-count invariance, asserted on the hot path's real output.
         assert_eq!(checksum(&got), sum, "threads={threads}: results drifted");
+        qps.push(queries.len() as f64 / secs);
     }
-    let secs = start.elapsed().as_secs_f64();
-    ((queries.len() * reps) as f64 / secs, sum)
+    (qps, sum)
 }
 
 fn main() {
@@ -91,15 +108,38 @@ fn main() {
     println!("{:>8} {:>14} {:>10}", "threads", "queries/sec", "speedup");
     let mut base = None;
     let mut reference = None;
+    let mut records = Vec::new();
     for threads in [1usize, 2, 4, 8] {
-        let (qps, sum) = measure(&store, &queries, threads, reps);
+        let (per_rep, sum) = measure(&store, &queries, threads, reps);
         // Same results at every width — the §9 serving contract.
         assert_eq!(*reference.get_or_insert(sum), sum, "threads={threads}");
-        let speedup = qps / *base.get_or_insert(qps);
-        println!("{threads:>8} {qps:>14.0} {speedup:>9.2}x");
+        let s = Summary::of(&per_rep);
+        let speedup = s.mean / *base.get_or_insert(s.mean);
+        println!("{threads:>8} {:>14.0} {speedup:>9.2}x", s.mean);
+        records.push(Record {
+            experiment: "query_throughput".into(),
+            dataset: format!("synthetic-{}x{DIM}", store.len()),
+            method: "batch_top_k".into(),
+            parameter: "threads".into(),
+            value: threads as f64,
+            metric: "queries_per_sec".into(),
+            mean: s.mean,
+            std: s.std,
+            runs: reps as u64,
+            scale: 1.0,
+        });
     }
+    // Criterion benches run with the package as working directory; anchor
+    // the records to the workspace-root results/ like the paper binaries.
+    append_jsonl_at(
+        std::path::PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../../results")),
+        "query_throughput",
+        &records,
+    );
     println!(
         "note: each query scans all |V| rows (fused dot4 + bounded heap); \
-         results are bitwise identical at every thread count (DESIGN.md §9)"
+         results are bitwise identical at every thread count (DESIGN.md §9); \
+         appended {} records to results/query_throughput.jsonl",
+        records.len()
     );
 }

@@ -6,9 +6,28 @@
 //! the trained AdvSGM state with `a = 1e-5`, `b = 120`.
 
 use advsgm_bench::{append_jsonl, print_table, BenchArgs, Record};
+use advsgm_core::session::{EpochEvent, SessionControl, TrainHooks};
 use advsgm_core::{AdvSgmConfig, ModelVariant, Trainer, WeightMode};
 use advsgm_datasets::{synthesize, Dataset};
 use advsgm_linalg::stats::Summary;
+
+/// Session hook that traces the per-epoch `|L_Nov|` trajectory — the
+/// harness trains through the session layer (`Trainer::train_with_hooks`)
+/// and keeps the trainer alive to evaluate the Fig. 2 weight modes on the
+/// trained state afterwards.
+#[derive(Default)]
+struct LossTrace {
+    losses: Vec<f64>,
+}
+
+impl TrainHooks for LossTrace {
+    fn on_epoch(&mut self, event: &EpochEvent) -> SessionControl {
+        if let Some(loss) = event.loss {
+            self.losses.push(loss);
+        }
+        SessionControl::Continue
+    }
+}
 
 fn main() {
     let args = BenchArgs::from_env();
@@ -44,9 +63,14 @@ fn main() {
                 }
                 let epochs = cfg.epochs;
                 let mut trainer = Trainer::new(&graph, cfg).expect("trainer");
+                let mut trace = LossTrace::default();
                 trainer
-                    .train_in_place(&graph, epochs)
+                    .train_with_hooks(&graph, &mut trace)
                     .expect("training failed");
+                assert!(
+                    trace.losses.len() <= epochs,
+                    "hook observed more epochs than scheduled"
+                );
                 let loss = trainer
                     .loss_under_weight_mode(&graph, mode, 5)
                     .expect("loss eval failed");

@@ -30,11 +30,20 @@ pub struct Record {
     pub scale: f64,
 }
 
-/// Appends records to `results/<experiment>.jsonl` (directory created on
-/// demand). I/O failures are reported to stderr but never abort an
+/// Appends records to `results/<experiment>.jsonl` relative to the
+/// current directory (directory created on demand) — the paper-artifact
+/// binaries run from the workspace root, so records land in the
+/// top-level `results/`. Criterion benches, whose working directory is
+/// the *package* root, should use [`append_jsonl_at`] with an anchored
+/// path instead. I/O failures are reported to stderr but never abort an
 /// experiment that already computed its numbers.
 pub fn append_jsonl(experiment: &str, records: &[Record]) {
-    let dir = PathBuf::from("results");
+    append_jsonl_at(PathBuf::from("results"), experiment, records);
+}
+
+/// [`append_jsonl`] with an explicit results directory, for callers whose
+/// working directory is not the workspace root.
+pub fn append_jsonl_at(dir: PathBuf, experiment: &str, records: &[Record]) {
     if let Err(e) = std::fs::create_dir_all(&dir) {
         eprintln!("warning: cannot create results dir: {e}");
         return;

@@ -20,6 +20,12 @@ pub enum CoreError {
     /// A privacy-substrate failure (not including budget exhaustion, which
     /// is a normal stopping condition handled by the trainer).
     Privacy(PrivacyError),
+    /// A checkpoint could not be resumed: it is internally inconsistent or
+    /// does not match the graph/configuration it is being resumed against.
+    Checkpoint {
+        /// What was wrong.
+        reason: String,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -30,6 +36,7 @@ impl fmt::Display for CoreError {
             }
             CoreError::Graph(e) => write!(f, "graph error: {e}"),
             CoreError::Privacy(e) => write!(f, "privacy error: {e}"),
+            CoreError::Checkpoint { reason } => write!(f, "cannot resume checkpoint: {reason}"),
         }
     }
 }
@@ -39,7 +46,7 @@ impl std::error::Error for CoreError {
         match self {
             CoreError::Graph(e) => Some(e),
             CoreError::Privacy(e) => Some(e),
-            CoreError::Config { .. } => None,
+            CoreError::Config { .. } | CoreError::Checkpoint { .. } => None,
         }
     }
 }

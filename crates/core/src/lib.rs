@@ -12,17 +12,22 @@
 //! | `AdvSgm`            | Section IV (contribution)| yes | yes |
 //! | `AdvSgmNoDp`        | "AdvSGM (No DP)"         | –   | yes |
 //!
-//! The heart of the crate is [`trainer::Trainer`], a literal implementation
-//! of Algorithm 3: alternating discriminator/generator optimisation, the
-//! optimizable noise terms of Eq. (13), the Theorem-6 gradient identity
-//! `grad = clip(dL_sgm/dv + v') + N(C^2 sigma^2 I)`, per-batch privacy
-//! accounting through `advsgm-privacy`, and the stopping rule of lines 9–11.
-//! [`sharded::ShardedTrainer`] runs the same algorithm on a worker pool
-//! (`advsgm-parallel`): Algorithm 2 batch production on a dedicated
-//! thread, per-pair clipped gradients in thread-local shards, and a
-//! deterministic shard-order reduction — bitwise-identical to the
-//! sequential trainer at `threads = 1` and run-to-run deterministic at any
-//! thread count (DESIGN.md §7).
+//! The heart of the crate is the [`session`] layer, a literal
+//! implementation of Algorithm 3: alternating discriminator/generator
+//! optimisation, the optimizable noise terms of Eq. (13), the Theorem-6
+//! gradient identity `grad = clip(dL_sgm/dv + v') + N(C^2 sigma^2 I)`,
+//! per-batch privacy accounting through `advsgm-privacy`, and the
+//! stopping rule of lines 9–11. The schedule exists exactly once
+//! (`session::run_schedule`) and executes through one of two engine
+//! strategies: [`trainer::Trainer`] fronts the sequential engine, and
+//! [`sharded::ShardedTrainer`] the producer/worker engine (Algorithm 2
+//! batch production on a dedicated thread, per-pair clipped gradients in
+//! thread-local shards, a deterministic shard-order reduction) —
+//! bitwise-identical to the sequential trainer at `threads = 1` and
+//! run-to-run deterministic at any thread count (DESIGN.md §7/§10). The
+//! session layer also provides [`session::TrainHooks`] (epoch-boundary
+//! observability) and [`session::CheckpointState`] (bitwise-exact
+//! checkpoint/resume).
 //!
 //! Gradients are analytic (the model is two embedding matrices plus two
 //! one-layer generators), so there is no autograd dependency; see [`grad`]
@@ -42,6 +47,7 @@ pub mod grad;
 pub mod loss;
 pub mod model;
 pub mod sampler;
+pub mod session;
 pub mod sharded;
 pub mod sigmoid;
 pub mod trainer;
@@ -50,6 +56,10 @@ pub mod weighting;
 
 pub use config::AdvSgmConfig;
 pub use error::CoreError;
+pub use session::{
+    CheckpointState, EngineKind, EpochEvent, NoHooks, SessionControl, SpendSnapshot, StopReason,
+    TrainHooks,
+};
 pub use sharded::ShardedTrainer;
 pub use sigmoid::SigmoidKind;
 pub use trainer::{TrainOutcome, Trainer};

@@ -28,6 +28,14 @@ impl Embeddings {
         Self { w_in, w_out }
     }
 
+    /// Rebuilds the pair from previously trained matrices (checkpoint
+    /// resume). Shapes must match; the session layer validates them
+    /// against the graph and configuration before calling.
+    pub(crate) fn from_parts(w_in: DenseMatrix, w_out: DenseMatrix) -> Self {
+        debug_assert_eq!(w_in.shape(), w_out.shape(), "mismatched embedding shapes");
+        Self { w_in, w_out }
+    }
+
     /// Number of nodes.
     pub fn num_nodes(&self) -> usize {
         self.w_in.rows()

@@ -63,6 +63,12 @@ impl Generator {
         Self { theta }
     }
 
+    /// Rebuilds a generator from a previously trained parameter table
+    /// (checkpoint resume); the session layer validates the shape.
+    pub(crate) fn from_weights(theta: DenseMatrix) -> Self {
+        Self { theta }
+    }
+
     /// Embedding dimension `r`.
     pub fn dim(&self) -> usize {
         self.theta.cols()
@@ -153,6 +159,15 @@ impl GeneratorPair {
         Self {
             for_i: Generator::new(num_nodes, dim, rng),
             for_j: Generator::new(num_nodes, dim, rng),
+        }
+    }
+
+    /// Rebuilds the pair from previously trained parameter tables
+    /// (checkpoint resume).
+    pub(crate) fn from_parts(for_i: DenseMatrix, for_j: DenseMatrix) -> Self {
+        Self {
+            for_i: Generator::from_weights(for_i),
+            for_j: Generator::from_weights(for_j),
         }
     }
 }

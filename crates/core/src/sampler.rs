@@ -177,6 +177,23 @@ impl BatchProvider {
         })
     }
 
+    /// The edge sampler's internal index permutation — mutable sampling
+    /// state that a bitwise-exact checkpoint must capture (the negative
+    /// sampler is stateless, so this is the provider's *only* hidden
+    /// state; see `session::CheckpointState`).
+    pub fn edge_permutation(&self) -> &[u32] {
+        self.edges.permutation()
+    }
+
+    /// Restores the edge sampler's permutation from a checkpoint.
+    ///
+    /// # Errors
+    /// Propagates the sampler's validation (must be a permutation of
+    /// `0..|E|`).
+    pub fn restore_edge_permutation(&mut self, perm: Vec<u32>) -> Result<(), GraphError> {
+        self.edges.restore_permutation(perm)
+    }
+
     /// `gamma_pos = B / |E|`.
     pub fn gamma_pos(&self) -> f64 {
         self.edges.sampling_probability(self.batch)

@@ -1,35 +1,17 @@
-//! The parallel sharded training engine (DESIGN.md §7).
+//! The parallel training facade over the session layer (DESIGN.md §7/§10).
 //!
-//! [`ShardedTrainer`] runs the same Algorithm 3 as [`crate::trainer::Trainer`]
-//! but splits every batch across a pool of worker threads. The split follows
-//! the structure of the paper's own privacy argument: Theorem 6 releases a
-//! *sum of independently clipped per-pair gradients* plus one batch noise
-//! vector, so per-pair work (fake-neighbor generation, closed-form
-//! gradients, clipping) is embarrassingly parallel and only the final
-//! sum-and-apply is sequential. Concretely, each discriminator update is:
-//!
-//! 1. **Produce** — a dedicated producer thread runs Algorithm 2
-//!    ([`BatchProvider::sample_disc_iteration`]) ahead of the consumer
-//!    through a bounded queue, so sampling for iteration `t + 1` overlaps
-//!    the gradient work of iteration `t`;
-//! 2. **Shard** — the batch is cut into fixed-size shards
-//!    ([`AdvSgmConfig::shard_size`], default `ceil(B / threads)`); shard
-//!    `k` of update `u` gets its own RNG stream
-//!    `seeded(derive_seed(derive_seed(disc_base, u), 1 + k))`;
-//! 3. **Map** — workers compute clipped per-pair gradient contributions
-//!    into **thread-local accumulators** (a `row -> (grad sum, touch
-//!    count)` map per shard, summed in pair order);
-//! 4. **Reduce** — the main thread folds shard accumulators **in shard
-//!    order**, so each row's floating-point sum has one fixed association
-//!    regardless of OS scheduling;
-//! 5. **Apply** — the Theorem-6 batch noise (drawn once per update from
-//!    the update's stream 0) and the per-row touch-count normalisation
-//!    (DESIGN.md §5) are applied exactly as in the sequential trainer.
+//! [`ShardedTrainer`] runs the same Algorithm 3 as [`crate::Trainer`] —
+//! literally the same loop, `session::run_schedule` — but executes each
+//! step through the sharded producer/worker engine
+//! (`session::sharded::ShardedEngine`): Algorithm-2 batch
+//! production one iteration ahead on a dedicated thread, per-pair clipped
+//! gradients in thread-local shards with derived per-`(update, shard)`
+//! RNG streams, and a deterministic shard-order reduction.
 //!
 //! # Determinism contract
 //!
 //! * `threads = 1` (or an unset auto) is **bitwise-identical** to the
-//!   sequential [`Trainer`]: the engine simply delegates to it, so there
+//!   sequential [`Trainer`]: the facade simply delegates to it, so there
 //!   is no second single-threaded code path to drift.
 //! * `threads = N > 1` is **run-to-run deterministic** for a fixed
 //!   `(seed, threads, shard_size)` triple, but follows a different (equally
@@ -40,59 +22,28 @@
 //!   configuration, so `disc_updates`, `epochs_run`, `stopped_by_budget`
 //!   and the reported `epsilon`/`delta` spend are bitwise-equal across all
 //!   thread counts (property-tested in `tests/sharded_determinism.rs`).
+//! * **Checkpoint/resume is bitwise-exact**: a [`CheckpointState`]
+//!   captured through [`crate::session::TrainHooks`] and resumed with
+//!   [`ShardedTrainer::resume`] continues the identical trajectory
+//!   (`tests/checkpoint_resume.rs`).
 
-use std::collections::HashMap;
-use std::sync::mpsc::{sync_channel, Receiver};
+use std::sync::mpsc::sync_channel;
 
-use advsgm_graph::sampling::negative::NegativePair;
-use advsgm_graph::{Edge, Graph, GraphError};
-use advsgm_linalg::rng::{derive_seed, gaussian_vec, seeded};
-use advsgm_linalg::vector;
+use advsgm_graph::Graph;
+use advsgm_linalg::rng::{derive_seed, rng_from_state, rng_state, seeded};
 use advsgm_parallel::ThreadPool;
-use advsgm_privacy::RdpAccountant;
-use rand::rngs::SmallRng;
-use rand::Rng;
 
 use crate::config::AdvSgmConfig;
 use crate::error::CoreError;
-use crate::grad::{advsgm_augment, dpasgm_augment, sgm_negative_grads, sgm_positive_grads};
-use crate::loss::novel_loss_batch;
-use crate::model::{Embeddings, GeneratorPair};
-use crate::sampler::{BatchProvider, DiscBatch};
-use crate::sigmoid::SigmoidKind;
-use crate::trainer::{gradient_noise_std, record_and_check, TrainOutcome, Trainer, DPASGM_LAMBDA};
-use crate::variants::ModelVariant;
-use crate::weighting::WeightMode;
-
-/// Stream tag for the init RNG — identical to the sequential trainer's so
-/// both engines start from the same parameters.
-const STREAM_INIT: u64 = 0xAD5;
-/// Stream tag for the producer thread's Algorithm 2 sampling.
-const STREAM_SAMPLER: u64 = 0x5A11;
-/// Stream tag for discriminator update seeds.
-const STREAM_DISC: u64 = 0xD15C;
-/// Stream tag for generator update seeds.
-const STREAM_GEN: u64 = 0x6E47;
-/// Stream tag for the epoch-loss diagnostic draws.
-const STREAM_LOSS: u64 = 0x1055;
-
-/// Bounded depth of the producer -> consumer batch queue: enough for
-/// sampling to run ahead of gradient work, small enough to cap memory at a
-/// few batches.
-const QUEUE_DEPTH: usize = 4;
-
-/// Items flowing from the producer thread to the training loop.
-enum Produced {
-    /// One discriminator update batch.
-    Update(DiscBatch),
-    /// The epoch-loss diagnostic batch, sent once per epoch.
-    Loss(Vec<Edge>, Vec<NegativePair>),
-    /// Sampling failed; training must abort with this error.
-    Failed(GraphError),
-}
-
-/// A sparse per-row gradient accumulator: `row -> (grad sum, touch count)`.
-type RowAcc = HashMap<usize, (Vec<f64>, usize)>;
+use crate::sampler::BatchProvider;
+use crate::session::sharded::{
+    produce_batches, ProducePlan, ProducerSnapshot, ShardedEngine, QUEUE_DEPTH,
+};
+use crate::session::{
+    run_schedule, CheckpointState, EngineKind, NoHooks, SessionCore, TrainHooks, STREAM_LOSS,
+    STREAM_SAMPLER,
+};
+use crate::trainer::{TrainOutcome, Trainer};
 
 /// Multi-threaded Algorithm 3 with Hogwild-style sharding and a
 /// deterministic reduction (module docs have the full contract).
@@ -105,7 +56,7 @@ pub struct ShardedTrainer {
 
 enum Inner {
     Sequential(Box<Trainer>),
-    Parallel(Box<ParallelTrainer>),
+    Parallel(Box<ParallelSession>),
 }
 
 impl ShardedTrainer {
@@ -119,7 +70,34 @@ impl ShardedTrainer {
         let inner = if threads <= 1 {
             Inner::Sequential(Box::new(Trainer::new(graph, cfg)?))
         } else {
-            Inner::Parallel(Box::new(ParallelTrainer::new(graph, cfg, threads)?))
+            Inner::Parallel(Box::new(ParallelSession::new(graph, cfg, threads)?))
+        };
+        Ok(Self { inner })
+    }
+
+    /// Rebuilds a trainer mid-schedule from a checkpoint captured through
+    /// [`TrainHooks::on_checkpoint`], dispatching on the engine that
+    /// captured it (a sequential checkpoint resumes sequentially, a
+    /// sharded one on its recorded thread count — trajectories are
+    /// engine-specific, so the engine is pinned, not re-resolved).
+    ///
+    /// # Errors
+    /// [`CoreError::Checkpoint`] when the state is inconsistent or does
+    /// not match `graph`.
+    pub fn resume(graph: &Graph, state: &CheckpointState) -> Result<Self, CoreError> {
+        let inner = match state.engine {
+            EngineKind::Sequential => Inner::Sequential(Box::new(Trainer::resume(graph, state)?)),
+            EngineKind::Sharded => {
+                let threads = state.config.num_threads;
+                if threads < 2 {
+                    return Err(CoreError::Checkpoint {
+                        reason: format!(
+                            "sharded checkpoint records {threads} thread(s); need >= 2"
+                        ),
+                    });
+                }
+                Inner::Parallel(Box::new(ParallelSession::resume(graph, state, threads)?))
+            }
         };
         Ok(Self { inner })
     }
@@ -137,7 +115,7 @@ impl ShardedTrainer {
     pub fn config(&self) -> &AdvSgmConfig {
         match &self.inner {
             Inner::Sequential(t) => t.config(),
-            Inner::Parallel(p) => &p.cfg,
+            Inner::Parallel(p) => &p.core.cfg,
         }
     }
 
@@ -162,9 +140,22 @@ impl ShardedTrainer {
     /// assert!(out.disc_updates > 0);
     /// ```
     pub fn train(self, graph: &Graph) -> Result<TrainOutcome, CoreError> {
+        self.train_with_hooks(graph, &mut NoHooks)
+    }
+
+    /// [`ShardedTrainer::train`] with a [`TrainHooks`] observer (epoch
+    /// events, graceful stop, checkpoint capture).
+    ///
+    /// # Errors
+    /// See [`ShardedTrainer::train`].
+    pub fn train_with_hooks(
+        self,
+        graph: &Graph,
+        hooks: &mut dyn TrainHooks,
+    ) -> Result<TrainOutcome, CoreError> {
         match self.inner {
-            Inner::Sequential(t) => t.run(graph),
-            Inner::Parallel(p) => p.train(graph),
+            Inner::Sequential(t) => t.run_with_hooks(graph, hooks),
+            Inner::Parallel(p) => p.train_with_hooks(graph, hooks),
         }
     }
 
@@ -177,442 +168,97 @@ impl ShardedTrainer {
     }
 }
 
-/// The `threads > 1` engine.
-struct ParallelTrainer {
-    cfg: AdvSgmConfig,
-    kind: SigmoidKind,
-    emb: Embeddings,
-    gens: GeneratorPair,
+/// The `threads > 1` session: a [`SessionCore`] plus everything needed to
+/// stand up the producer thread and the sharded engine at train time.
+struct ParallelSession {
+    core: SessionCore,
     provider: Option<BatchProvider>,
-    accountant: Option<RdpAccountant>,
     threads: usize,
+    /// `[producer, epoch-loss]` RNG states when resuming; `None` for a
+    /// fresh run (streams derive from the seed).
+    resume_streams: Option<[[u64; 4]; 2]>,
 }
 
-impl ParallelTrainer {
+impl ParallelSession {
     fn new(graph: &Graph, cfg: AdvSgmConfig, threads: usize) -> Result<Self, CoreError> {
-        cfg.validate()?;
-        if graph.num_edges() == 0 {
-            return Err(CoreError::Config {
-                field: "graph",
-                reason: "cannot train on a graph with no edges".into(),
-            });
-        }
-        let kind = if cfg.variant.uses_constrained_sigmoid() {
-            SigmoidKind::constrained(cfg.sigmoid_a, cfg.sigmoid_b)
-        } else {
-            SigmoidKind::Plain
-        };
-        // Same init stream as the sequential trainer: both engines start
-        // from identical parameters and only the training trajectories
-        // differ.
-        let mut init_rng = seeded(derive_seed(cfg.seed, STREAM_INIT));
-        let emb = Embeddings::init(graph.num_nodes(), cfg.dim, &mut init_rng);
-        let gens = GeneratorPair::new(graph.num_nodes(), cfg.dim, &mut init_rng);
-        let provider = BatchProvider::new(
-            graph,
-            cfg.batch_size,
-            cfg.negatives,
-            cfg.negative_distribution,
-        )?;
-        let accountant = cfg.variant.is_private().then(RdpAccountant::new);
+        // The init-stream RNG is dropped: the parallel engine derives its
+        // own streams, sharing only the parameter initialisation.
+        let (core, provider, _init_rng) = SessionCore::new(graph, cfg)?;
         Ok(Self {
-            cfg,
-            kind,
-            emb,
-            gens,
+            core,
             provider: Some(provider),
-            accountant,
             threads,
+            resume_streams: None,
         })
     }
 
-    /// Pairs per shard for a batch of `count` pairs.
-    fn shard_len(&self, count: usize) -> usize {
-        if self.cfg.shard_size > 0 {
-            self.cfg.shard_size
-        } else {
-            count.div_ceil(self.threads).max(1)
-        }
-    }
-
-    fn train(mut self, graph: &Graph) -> Result<TrainOutcome, CoreError> {
-        let mut pool = ThreadPool::new(self.threads);
-        let mut provider = self.provider.take().expect("provider present until train");
-        // Theorem 7's amplification rates, captured before the provider
-        // moves to the producer thread.
-        let gamma_pos = provider.gamma_pos();
-        let gamma_neg = provider.gamma_neg();
-        let epochs = self.cfg.epochs;
-        let disc_iters = self.cfg.disc_iters;
-        let sampler_seed = derive_seed(self.cfg.seed, STREAM_SAMPLER);
-
-        let (stopped, epochs_run, disc_updates, epoch_losses) =
-            std::thread::scope(|scope| -> Result<(bool, usize, u64, Vec<f64>), CoreError> {
-                let (tx, rx) = sync_channel::<Produced>(QUEUE_DEPTH);
-                // Producer: runs Algorithm 2 ahead of the training loop.
-                // Ends when the full schedule is produced or when the
-                // consumer hangs up (early stop / error).
-                scope.spawn(move || {
-                    let mut rng = seeded(sampler_seed);
-                    'produce: for _ in 0..epochs {
-                        for _ in 0..disc_iters {
-                            match provider.sample_disc_iteration(graph, &mut rng) {
-                                Ok((pos, neg)) => {
-                                    if tx.send(Produced::Update(pos)).is_err()
-                                        || tx.send(Produced::Update(neg)).is_err()
-                                    {
-                                        break 'produce;
-                                    }
-                                }
-                                Err(e) => {
-                                    let _ = tx.send(Produced::Failed(e));
-                                    break 'produce;
-                                }
-                            }
-                        }
-                        let loss_pos = match provider.positives(graph, &mut rng) {
-                            Ok(v) => v,
-                            Err(e) => {
-                                let _ = tx.send(Produced::Failed(e));
-                                break 'produce;
-                            }
-                        };
-                        let loss_neg = provider.negatives(&loss_pos, &mut rng);
-                        if tx.send(Produced::Loss(loss_pos, loss_neg)).is_err() {
-                            break 'produce;
-                        }
-                    }
-                });
-                self.consume(graph, &mut pool, &rx, gamma_pos, gamma_neg)
-            })?;
-
-        let (epsilon_spent, delta_spent) = match &self.accountant {
-            None => (None, None),
-            Some(acc) => {
-                let snap = acc.snapshot(self.cfg.epsilon, self.cfg.delta)?;
-                (Some(snap.epsilon_spent), Some(snap.delta_spent))
-            }
-        };
-        Ok(TrainOutcome {
-            context_vectors: self.emb.w_out().clone(),
-            node_vectors: self.emb.into_node_vectors(),
-            variant: self.cfg.variant,
-            epochs_run,
-            disc_updates,
-            stopped_by_budget: stopped,
-            epsilon_spent,
-            delta_spent,
-            epoch_losses,
+    fn resume(graph: &Graph, state: &CheckpointState, threads: usize) -> Result<Self, CoreError> {
+        let (core, provider) = SessionCore::resume(graph, state)?;
+        Ok(Self {
+            core,
+            provider: Some(provider),
+            threads,
+            resume_streams: Some([state.rng_streams[0], state.rng_streams[1]]),
         })
     }
 
-    /// The training loop proper: consumes the producer's queue in the
-    /// fixed Algorithm 3 schedule.
-    fn consume(
-        &mut self,
+    fn train_with_hooks(
+        mut self,
         graph: &Graph,
-        pool: &mut ThreadPool,
-        rx: &Receiver<Produced>,
-        gamma_pos: f64,
-        gamma_neg: f64,
-    ) -> Result<(bool, usize, u64, Vec<f64>), CoreError> {
-        let epochs = self.cfg.epochs;
-        let disc_base = derive_seed(self.cfg.seed, STREAM_DISC);
-        let gen_base = derive_seed(self.cfg.seed, STREAM_GEN);
-        let mut loss_rng = seeded(derive_seed(self.cfg.seed, STREAM_LOSS));
-        let mut stopped = false;
-        let mut epochs_run = 0usize;
-        let mut disc_updates = 0u64;
-        let mut update_idx = 0u64;
-        let mut gen_idx = 0u64;
-        let mut epoch_losses = Vec::with_capacity(epochs);
+        hooks: &mut dyn TrainHooks,
+    ) -> Result<TrainOutcome, CoreError> {
+        let mut pool = ThreadPool::new(self.threads);
+        let provider = self.provider.take().expect("provider present until train");
+        let seed = self.core.cfg.seed;
+        let epochs = self.core.cfg.epochs;
+        let disc_iters = self.core.cfg.disc_iters;
+        let start_epoch = self.core.cursor.epochs_done;
+        let (producer_rng, loss_rng) = match self.resume_streams {
+            Some([producer, loss]) => (rng_from_state(producer), rng_from_state(loss)),
+            None => (
+                seeded(derive_seed(seed, STREAM_SAMPLER)),
+                seeded(derive_seed(seed, STREAM_LOSS)),
+            ),
+        };
+        // The engine's checkpoint baseline: the producer's start state is
+        // by definition its state at the `start_epoch` boundary.
+        let initial = ProducerSnapshot {
+            rng: rng_state(&producer_rng),
+            edge_permutation: provider.edge_permutation().to_vec(),
+        };
 
-        'training: for _epoch in 0..epochs {
-            for _ in 0..self.cfg.disc_iters {
-                for gamma in [gamma_pos, gamma_neg] {
-                    let batch = match recv_item(rx)? {
-                        Produced::Update(b) => b,
-                        _ => unreachable!("producer schedule mismatch: expected update"),
-                    };
-                    self.par_disc_update(pool, &batch, derive_seed(disc_base, update_idx));
-                    update_idx += 1;
-                    disc_updates += 1;
-                    if record_and_check(&mut self.accountant, &self.cfg, gamma)? {
-                        stopped = true;
-                        break 'training;
-                    }
-                }
-            }
-            if self.cfg.variant.is_adversarial() {
-                for _ in 0..self.cfg.gen_iters {
-                    self.par_generator_update(pool, graph, derive_seed(gen_base, gen_idx));
-                    gen_idx += 1;
-                }
-            }
-            epochs_run += 1;
-            let (loss_pos, loss_neg) = match recv_item(rx)? {
-                Produced::Loss(p, n) => (p, n),
-                _ => unreachable!("producer schedule mismatch: expected loss batch"),
-            };
-            epoch_losses.push(self.epoch_loss(&loss_pos, &loss_neg, &mut loss_rng));
-        }
-        Ok((stopped, epochs_run, disc_updates, epoch_losses))
-    }
-
-    /// One discriminator update, sharded (module docs, steps 2–5).
-    fn par_disc_update(&mut self, pool: &mut ThreadPool, batch: &DiscBatch, update_seed: u64) {
-        let r = self.cfg.dim;
-        let count = batch.pairs.len();
-        if count == 0 {
-            // Cannot happen with the current producer (batch >= 1 after
-            // clamping), but an empty update is a well-defined no-op.
-            return;
-        }
-        let variant = self.cfg.variant;
-        let clip = self.cfg.clip;
-        let kind = self.kind;
-        let positive = batch.positive;
-        let shard_len = self.shard_len(count);
-
-        // Theorem 6's per-batch noise (N_{D,1}, N_{D,2}): one draw per
-        // update from the update's stream 0, like the sequential engine.
-        let noise_std = gradient_noise_std(&self.cfg);
-        let mut noise_rng = seeded(derive_seed(update_seed, 0));
-        let n_in = gaussian_vec(&mut noise_rng, noise_std, r);
-        let n_out = gaussian_vec(&mut noise_rng, noise_std, r);
-
-        // Phase A (adversarial variants): generate all fake neighbors in
-        // parallel — the only RNG-consuming per-pair work — with one
-        // derived stream per shard, and reduce the batch means in shard
-        // order (the centering control variate needs the whole batch).
-        let adversarial = variant.is_adversarial();
-        let (fakes, mean_j, mean_i) = if adversarial {
-            let gens = &self.gens;
-            let shard_out = pool.map_chunks(&batch.pairs, shard_len, |k, _offset, chunk| {
-                let mut rng = seeded(derive_seed(update_seed, 1 + k as u64));
-                let mut local = Vec::with_capacity(chunk.len());
-                let mut sum_j = vec![0.0; r];
-                let mut sum_i = vec![0.0; r];
-                for &(i, j) in chunk {
-                    let fj = gens.for_i.generate(j, &mut rng).v;
-                    let fi = gens.for_j.generate(i, &mut rng).v;
-                    vector::add_assign(&mut sum_j, &fj);
-                    vector::add_assign(&mut sum_i, &fi);
-                    local.push((fj, fi));
-                }
-                (local, sum_j, sum_i)
+        let core = &mut self.core;
+        let threads = self.threads;
+        let plan = ProducePlan {
+            start_epoch,
+            epochs,
+            disc_iters,
+            // Snapshot upkeep is skipped entirely for runs that can never
+            // checkpoint (it copies the edge permutation once per epoch).
+            snapshots: hooks.may_checkpoint(),
+        };
+        std::thread::scope(|scope| {
+            let (tx, rx) = sync_channel(QUEUE_DEPTH);
+            // Producer: runs Algorithm 2 ahead of the training loop.
+            scope.spawn(move || {
+                produce_batches(provider, graph, producer_rng, &plan, &tx);
             });
-            let mut fakes = Vec::with_capacity(count);
-            let mut mean_j = vec![0.0; r];
-            let mut mean_i = vec![0.0; r];
-            for (local, sum_j, sum_i) in shard_out {
-                fakes.extend(local);
-                vector::add_assign(&mut mean_j, &sum_j);
-                vector::add_assign(&mut mean_i, &sum_i);
-            }
-            vector::scale(&mut mean_j, 1.0 / count as f64);
-            vector::scale(&mut mean_i, 1.0 / count as f64);
-            (fakes, mean_j, mean_i)
-        } else {
-            (Vec::new(), Vec::new(), Vec::new())
-        };
-
-        // Phase B: clipped per-pair gradients into thread-local
-        // accumulators. RNG-free, so shards only need their data.
-        let emb = &self.emb;
-        let fakes = &fakes;
-        let mean_j = &mean_j;
-        let mean_i = &mean_i;
-        let shard_accs = pool.map_chunks(&batch.pairs, shard_len, |_k, offset, chunk| {
-            let mut acc_in: RowAcc = HashMap::new();
-            let mut acc_out: RowAcc = HashMap::new();
-            for (local_idx, &(i, j)) in chunk.iter().enumerate() {
-                let idx = offset + local_idx;
-                let vi = emb.input(i);
-                let vj = emb.output(j);
-                let grads = if positive {
-                    sgm_positive_grads(kind, vi, vj)
-                } else {
-                    sgm_negative_grads(kind, vi, vj)
-                };
-                let mut gi = grads.first;
-                let mut gj = grads.second;
-                match variant {
-                    ModelVariant::AdvSgm | ModelVariant::AdvSgmNoDp => {
-                        let centered_j = vector::sub(&fakes[idx].0, mean_j);
-                        let centered_i = vector::sub(&fakes[idx].1, mean_i);
-                        advsgm_augment(&mut gi, &centered_j);
-                        advsgm_augment(&mut gj, &centered_i);
-                    }
-                    ModelVariant::DpAsgm => {
-                        dpasgm_augment(kind, DPASGM_LAMBDA, vi, &fakes[idx].0, &mut gi);
-                        dpasgm_augment(kind, DPASGM_LAMBDA, vj, &fakes[idx].1, &mut gj);
-                    }
-                    ModelVariant::Sgm | ModelVariant::DpSgm => {}
-                }
-                if variant != ModelVariant::Sgm {
-                    vector::clip_l2(&mut gi, clip);
-                    vector::clip_l2(&mut gj, clip);
-                }
-                accumulate(&mut acc_in, i, gi);
-                accumulate(&mut acc_out, j, gj);
-            }
-            (acc_in, acc_out)
-        });
-
-        // Deterministic reduction: fold shard accumulators in shard order,
-        // so every row's gradient sum has one fixed floating-point
-        // association no matter which worker computed which shard.
-        let mut acc_in: RowAcc = HashMap::new();
-        let mut acc_out: RowAcc = HashMap::new();
-        for (shard_in, shard_out) in shard_accs {
-            merge_acc(&mut acc_in, shard_in);
-            merge_acc(&mut acc_out, shard_out);
-        }
-
-        // Apply: identical to the sequential engine (per-row noise share +
-        // touch-count normalisation; DESIGN.md §5). Row updates are
-        // independent, so map iteration order cannot affect the result.
-        let eta = self.cfg.eta_d;
-        let project = self.cfg.project_rows && variant != ModelVariant::Sgm;
-        for (i, (mut g, c)) in acc_in {
-            vector::fused_axpy_scale(&mut g, c as f64, &n_in, 1.0 / c as f64);
-            self.emb.step_input(i, eta, &g, project);
-        }
-        for (j, (mut g, c)) in acc_out {
-            vector::fused_axpy_scale(&mut g, c as f64, &n_out, 1.0 / c as f64);
-            self.emb.step_output(j, eta, &g, project);
-        }
-    }
-
-    /// One generator iteration (Algorithm 3 lines 14–18), sharded over the
-    /// `B (k + 1)` samples with the same per-shard stream scheme.
-    fn par_generator_update(&mut self, pool: &mut ThreadPool, graph: &Graph, gen_seed: u64) {
-        let r = self.cfg.dim;
-        let sample_count = self.cfg.batch_size * (self.cfg.negatives + 1);
-        let shard_len = self.shard_len(sample_count);
-        let parts = sample_count.div_ceil(shard_len);
-        let noise_std = gradient_noise_std(&self.cfg);
-        let mut noise_rng = seeded(derive_seed(gen_seed, 0));
-        let ng1 = gaussian_vec(&mut noise_rng, noise_std, r);
-        let ng2 = gaussian_vec(&mut noise_rng, noise_std, r);
-
-        let emb = &self.emb;
-        let gens = &self.gens;
-        let kind = self.kind;
-        let edges = graph.edges();
-        let ng1 = &ng1;
-        let ng2 = &ng2;
-        let shard_grads = pool.map_parts(sample_count, parts, |k, range| {
-            let mut rng = seeded(derive_seed(gen_seed, 1 + k as u64));
-            let mut grads_j: RowAcc = HashMap::new();
-            let mut grads_i: RowAcc = HashMap::new();
-            for _ in range {
-                let e = edges[rng.gen_range(0..edges.len())];
-                let (s, t) = if rng.gen::<bool>() {
-                    (e.u().index(), e.v().index())
-                } else {
-                    (e.v().index(), e.u().index())
-                };
-                let vi = emb.input(s);
-                let vj = emb.output(t);
-                let f1 = gens.for_i.generate(t, &mut rng);
-                let (s1_fake, s1_noise) = vector::dot2(vi, &f1.v, ng1);
-                let c1 = -kind.neg_log_one_minus_grad(s1_fake + s1_noise);
-                let up1 = vector::scaled(c1, vi);
-                gens.for_i.accumulate_grad(&f1, &up1, &mut grads_j);
-                let f2 = gens.for_j.generate(s, &mut rng);
-                let (s2_fake, s2_noise) = vector::dot2(vj, &f2.v, ng2);
-                let c2 = -kind.neg_log_one_minus_grad(s2_fake + s2_noise);
-                let up2 = vector::scaled(c2, vj);
-                gens.for_j.accumulate_grad(&f2, &up2, &mut grads_i);
-            }
-            (grads_j, grads_i)
-        });
-
-        let mut grads_j: RowAcc = HashMap::new();
-        let mut grads_i: RowAcc = HashMap::new();
-        for (shard_j, shard_i) in shard_grads {
-            merge_acc(&mut grads_j, shard_j);
-            merge_acc(&mut grads_i, shard_i);
-        }
-        self.gens.for_i.step(self.cfg.eta_g, &grads_j);
-        self.gens.for_j.step(self.cfg.eta_g, &grads_i);
-    }
-
-    /// Per-epoch `|L_Nov|` diagnostic on the producer's loss batch.
-    fn epoch_loss(
-        &mut self,
-        positives: &[Edge],
-        negatives: &[NegativePair],
-        rng: &mut SmallRng,
-    ) -> f64 {
-        let mode = if self.cfg.variant.is_adversarial() {
-            WeightMode::InverseS
-        } else {
-            WeightMode::Fixed(0.0)
-        };
-        novel_loss_batch(
-            self.kind,
-            mode,
-            &self.emb,
-            &self.gens,
-            positives,
-            negatives,
-            gradient_noise_std(&self.cfg),
-            rng,
-        )
-        .abs()
-    }
-}
-
-/// Receives the next produced item, surfacing producer-side failures.
-fn recv_item(rx: &Receiver<Produced>) -> Result<Produced, CoreError> {
-    match rx.recv() {
-        Ok(Produced::Failed(e)) => Err(e.into()),
-        Ok(item) => Ok(item),
-        Err(_) => Err(CoreError::Config {
-            field: "sampler",
-            reason: "batch producer terminated before the training schedule completed".into(),
-        }),
-    }
-}
-
-/// Adds one pair's gradient into a row accumulator (pair order within a
-/// shard, shard order across shards — both deterministic).
-fn accumulate(acc: &mut RowAcc, row: usize, grad: Vec<f64>) {
-    match acc.get_mut(&row) {
-        Some((sum, c)) => {
-            vector::add_assign(sum, &grad);
-            *c += 1;
-        }
-        None => {
-            acc.insert(row, (grad, 1));
-        }
-    }
-}
-
-/// Folds one shard's accumulator into the global one. Rows are summed in
-/// the order shards are folded, which the caller fixes to shard order.
-fn merge_acc(into: &mut RowAcc, from: RowAcc) {
-    for (row, (grad, c)) in from {
-        match into.get_mut(&row) {
-            Some((sum, count)) => {
-                vector::add_assign(sum, &grad);
-                *count += c;
-            }
-            None => {
-                into.insert(row, (grad, c));
-            }
-        }
+            let mut engine = ShardedEngine::new(&mut pool, rx, threads, seed, loss_rng, initial);
+            run_schedule(core, &mut engine, graph, hooks)
+        })?;
+        self.core.into_outcome()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::variants::ModelVariant;
     use advsgm_graph::generators::classic::karate_club;
     use advsgm_graph::generators::sbm::{degree_corrected_sbm, SbmConfig};
+    use advsgm_linalg::rng::seeded;
+    use advsgm_linalg::vector;
+    use rand::Rng;
 
     fn small_graph() -> Graph {
         let mut rng = seeded(99);

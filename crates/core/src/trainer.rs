@@ -1,87 +1,26 @@
-//! Algorithm 3: the AdvSGM training loop.
+//! The sequential training facade over the session layer.
 //!
-//! Per epoch: `n_D` discriminator iterations, each consuming one positive
-//! batch `EB` and one negative batch `EBk` as **separate** updates (the
-//! paper separates them so the two amplification probabilities `B/|E|` and
-//! `Bk/|V|` compose cleanly — Theorem 7), followed by `n_G` generator
-//! iterations. Private variants record every update with the RDP accountant
-//! and stop as soon as `delta_hat >= delta` at the target `epsilon`
-//! (lines 9–11).
-//!
-//! The discriminator update implements Theorem 6 literally: per pair the
-//! released direction is `clip(dL_sgm/dv + v') ` and a per-batch noise
-//! vector `N(0, (C sigma)^2 I)` rides along each summand, so a row touched
-//! `c` times receives `c * n` — summing to the paper's `N(B^2 C^2 sigma^2 I)`
-//! over the batch (Eqs. 22–23).
-
-use std::collections::HashMap;
+//! [`Trainer`] is a session core driven by the sequential engine
+//! (`session::sequential::SequentialEngine`): the Algorithm-3 schedule
+//! itself — epochs, `n_D`/`n_G` iteration counts, the Theorem-7 stopping
+//! rule, outcome assembly — lives once in `session::run_schedule` and is
+//! shared verbatim with the sharded engine, so the two paths cannot
+//! drift (DESIGN.md §10).
 
 use advsgm_graph::Graph;
-use advsgm_linalg::rng::{derive_seed, gaussian_vec, seeded};
-use advsgm_linalg::vector;
+use advsgm_linalg::rng::rng_from_state;
 use advsgm_linalg::DenseMatrix;
-use advsgm_privacy::{PrivacyError, RdpAccountant};
-use rand::rngs::SmallRng;
-use rand::Rng;
 
 use crate::config::AdvSgmConfig;
 use crate::error::CoreError;
-use crate::grad::{advsgm_augment, dpasgm_augment, sgm_negative_grads, sgm_positive_grads};
 use crate::loss::novel_loss_batch;
-use crate::model::{Embeddings, GeneratorPair};
-use crate::sampler::{BatchProvider, DiscBatch};
+use crate::session::sequential::SequentialEngine;
+use crate::session::{
+    gradient_noise_std, run_schedule, CheckpointState, EngineKind, NoHooks, SessionCore, TrainHooks,
+};
 use crate::sigmoid::SigmoidKind;
 use crate::variants::ModelVariant;
 use crate::weighting::WeightMode;
-
-/// The fixed adversarial weight DP-ASGM uses (`lambda` in Eq. 4; the paper
-/// notes `lambda in (0, 1]` is the common choice).
-pub(crate) const DPASGM_LAMBDA: f64 = 1.0;
-
-/// Per-coordinate std of the noise entering the applied gradients.
-///
-/// DP-SGM / DP-ASGM: strict DPSGD calibration `C*sigma` (Abadi et al.;
-/// Eqs. 5–6) — at `sigma = 5` this is destructive, which is exactly the
-/// behaviour the paper's Table V shows for those baselines.
-/// AdvSGM: the activation-argument reading, `C*sigma/r` per coordinate
-/// (noise-vector norm ~ `C*sigma/sqrt(r)`), unless `faithful_noise`
-/// requests the strict calibration (the ablation setting).
-///
-/// Shared by the sequential [`Trainer`] and the sharded engine so the two
-/// paths can never drift apart on calibration.
-pub(crate) fn gradient_noise_std(cfg: &AdvSgmConfig) -> f64 {
-    let base = cfg.clip * cfg.sigma;
-    match cfg.variant {
-        ModelVariant::DpSgm | ModelVariant::DpAsgm => base,
-        ModelVariant::AdvSgm => {
-            if cfg.faithful_noise {
-                base
-            } else {
-                base / cfg.dim as f64
-            }
-        }
-        ModelVariant::Sgm | ModelVariant::AdvSgmNoDp => 0.0,
-    }
-}
-
-/// Records one mechanism invocation against the accountant (when present)
-/// and evaluates Algorithm 3's stopping rule. Returns `true` when training
-/// must stop. Shared by both training engines.
-pub(crate) fn record_and_check(
-    accountant: &mut Option<RdpAccountant>,
-    cfg: &AdvSgmConfig,
-    gamma: f64,
-) -> Result<bool, CoreError> {
-    let Some(acc) = accountant.as_mut() else {
-        return Ok(false);
-    };
-    acc.record_subsampled_gaussian(cfg.sigma, gamma, 1)?;
-    match acc.check_budget(cfg.epsilon, cfg.delta) {
-        Ok(()) => Ok(false),
-        Err(PrivacyError::BudgetExhausted { .. }) => Ok(true),
-        Err(e) => Err(e.into()),
-    }
-}
 
 /// Result of one training run.
 #[derive(Debug, Clone)]
@@ -106,15 +45,10 @@ pub struct TrainOutcome {
     pub epoch_losses: Vec<f64>,
 }
 
-/// Trains one model variant on one graph (Algorithm 3).
+/// Trains one model variant on one graph (Algorithm 3), single-threaded.
 pub struct Trainer {
-    cfg: AdvSgmConfig,
-    kind: SigmoidKind,
-    emb: Embeddings,
-    gens: GeneratorPair,
-    provider: BatchProvider,
-    accountant: Option<RdpAccountant>,
-    rng: SmallRng,
+    core: SessionCore,
+    engine: SequentialEngine,
 }
 
 impl Trainer {
@@ -123,49 +57,46 @@ impl Trainer {
     /// # Errors
     /// Configuration or sampler-construction failures.
     pub fn new(graph: &Graph, cfg: AdvSgmConfig) -> Result<Self, CoreError> {
-        cfg.validate()?;
-        if graph.num_edges() == 0 {
-            return Err(CoreError::Config {
-                field: "graph",
-                reason: "cannot train on a graph with no edges".into(),
+        let (core, provider, rng) = SessionCore::new(graph, cfg)?;
+        Ok(Self {
+            core,
+            engine: SequentialEngine::new(provider, rng),
+        })
+    }
+
+    /// Rebuilds a trainer mid-schedule from a sequential checkpoint
+    /// captured through [`TrainHooks::on_checkpoint`]. Running the result
+    /// is bitwise-identical to never having interrupted the original run.
+    ///
+    /// # Errors
+    /// [`CoreError::Checkpoint`] when the state is inconsistent, was
+    /// captured by the sharded engine, or does not match `graph`.
+    pub fn resume(graph: &Graph, state: &CheckpointState) -> Result<Self, CoreError> {
+        if state.engine != EngineKind::Sequential {
+            return Err(CoreError::Checkpoint {
+                reason: "checkpoint was captured by the sharded engine; \
+                         resume it through ShardedTrainer::resume"
+                    .into(),
             });
         }
-        let kind = if cfg.variant.uses_constrained_sigmoid() {
-            SigmoidKind::constrained(cfg.sigmoid_a, cfg.sigmoid_b)
-        } else {
-            SigmoidKind::Plain
-        };
-        let mut rng = seeded(derive_seed(cfg.seed, 0xAD5));
-        let emb = Embeddings::init(graph.num_nodes(), cfg.dim, &mut rng);
-        let gens = GeneratorPair::new(graph.num_nodes(), cfg.dim, &mut rng);
-        let provider = BatchProvider::new(
-            graph,
-            cfg.batch_size,
-            cfg.negatives,
-            cfg.negative_distribution,
-        )?;
-        let accountant = cfg.variant.is_private().then(RdpAccountant::new);
+        let (core, provider) = SessionCore::resume(graph, state)?;
+        let rng = rng_from_state(state.rng_streams[0]);
         Ok(Self {
-            cfg,
-            kind,
-            emb,
-            gens,
-            provider,
-            accountant,
-            rng,
+            core,
+            engine: SequentialEngine::new(provider, rng),
         })
     }
 
     /// The sigmoid used by this trainer (plain or constrained).
     pub fn sigmoid(&self) -> SigmoidKind {
-        self.kind
+        self.core.kind
     }
 
     /// The validated configuration this trainer was built with. Exporters
     /// (e.g. `advsgm-store`) read the privacy parameters (`sigma`, target
     /// `epsilon`/`delta`) here to stamp released artifacts.
     pub fn config(&self) -> &AdvSgmConfig {
-        &self.cfg
+        &self.core.cfg
     }
 
     /// Runs Algorithm 3 to completion (or budget exhaustion) and returns
@@ -174,273 +105,39 @@ impl Trainer {
     /// # Errors
     /// Propagates substrate failures; budget exhaustion is *not* an error
     /// (it sets [`TrainOutcome::stopped_by_budget`]).
-    pub fn run(mut self, graph: &Graph) -> Result<TrainOutcome, CoreError> {
-        let epochs = self.cfg.epochs;
-        let (stopped, epochs_run, disc_updates, epoch_losses) =
-            self.train_in_place(graph, epochs)?;
-        let (epsilon_spent, delta_spent) = match &self.accountant {
-            None => (None, None),
-            Some(acc) => {
-                let snap = acc.snapshot(self.cfg.epsilon, self.cfg.delta)?;
-                (Some(snap.epsilon_spent), Some(snap.delta_spent))
-            }
-        };
-        Ok(TrainOutcome {
-            context_vectors: self.emb.w_out().clone(),
-            node_vectors: self.emb.into_node_vectors(),
-            variant: self.cfg.variant,
-            epochs_run,
-            disc_updates,
-            stopped_by_budget: stopped,
-            epsilon_spent,
-            delta_spent,
-            epoch_losses,
-        })
+    pub fn run(self, graph: &Graph) -> Result<TrainOutcome, CoreError> {
+        self.run_with_hooks(graph, &mut NoHooks)
     }
 
-    /// Runs up to `epochs` epochs of Algorithm 3 without consuming the
-    /// trainer, returning `(stopped_by_budget, epochs_run, disc_updates,
-    /// epoch_losses)`. Used by the Fig. 2 harness, which needs to evaluate
-    /// losses on the trained state afterwards.
+    /// [`Trainer::run`] with a [`TrainHooks`] observer: epoch-boundary
+    /// events (index, loss, privacy spend, stop reason), graceful stop,
+    /// and checkpoint capture.
+    ///
+    /// # Errors
+    /// See [`Trainer::run`].
+    pub fn run_with_hooks(
+        mut self,
+        graph: &Graph,
+        hooks: &mut dyn TrainHooks,
+    ) -> Result<TrainOutcome, CoreError> {
+        self.train_with_hooks(graph, hooks)?;
+        self.core.into_outcome()
+    }
+
+    /// Runs the remaining schedule *without consuming* the trainer, so the
+    /// trained state stays queryable afterwards — the Fig. 2 harness
+    /// trains this way and then evaluates
+    /// [`Trainer::loss_under_weight_mode`] on the result. A second call is
+    /// a no-op once every epoch has run.
     ///
     /// # Errors
     /// Propagates substrate failures.
-    pub fn train_in_place(
+    pub fn train_with_hooks(
         &mut self,
         graph: &Graph,
-        epochs: usize,
-    ) -> Result<(bool, usize, u64, Vec<f64>), CoreError> {
-        let mut stopped = false;
-        let mut epochs_run = 0usize;
-        let mut disc_updates = 0u64;
-        let mut epoch_losses = Vec::with_capacity(epochs);
-
-        'training: for _epoch in 0..epochs {
-            for _ in 0..self.cfg.disc_iters {
-                // One Algorithm 2 iteration — positive batch EB with random
-                // per-edge orientation, then negative batch EBk from the
-                // oriented start nodes — shared verbatim with the sharded
-                // engine's producer so the two paths cannot drift.
-                let (pos_batch, neg_batch) =
-                    self.provider.sample_disc_iteration(graph, &mut self.rng)?;
-                self.disc_update(&pos_batch);
-                disc_updates += 1;
-                if self.record_and_check(self.provider.gamma_pos())? {
-                    stopped = true;
-                    break 'training;
-                }
-                self.disc_update(&neg_batch);
-                disc_updates += 1;
-                if self.record_and_check(self.provider.gamma_neg())? {
-                    stopped = true;
-                    break 'training;
-                }
-            }
-            if self.cfg.variant.is_adversarial() {
-                for _ in 0..self.cfg.gen_iters {
-                    self.generator_update(graph);
-                }
-            }
-            epochs_run += 1;
-            epoch_losses.push(self.epoch_loss(graph)?);
-        }
-        Ok((stopped, epochs_run, disc_updates, epoch_losses))
-    }
-
-    /// Records one mechanism invocation and evaluates the stopping rule.
-    /// Returns `true` when training must stop.
-    fn record_and_check(&mut self, gamma: f64) -> Result<bool, CoreError> {
-        record_and_check(&mut self.accountant, &self.cfg, gamma)
-    }
-
-    /// Per-coordinate std of the noise entering the applied gradients
-    /// (see the module-level [`gradient_noise_std`]).
-    fn gradient_noise_std(&self) -> f64 {
-        gradient_noise_std(&self.cfg)
-    }
-
-    /// One discriminator update (Algorithm 3 line 8) over a batch.
-    fn disc_update(&mut self, batch: &DiscBatch) {
-        let r = self.cfg.dim;
-        let variant = self.cfg.variant;
-        let clip = self.cfg.clip;
-        let positive = batch.positive;
-        // Per-batch shared noise vectors (Theorem 6's N_{D,1}, N_{D,2}).
-        let noise_std = self.gradient_noise_std();
-        let n_in = gaussian_vec(&mut self.rng, noise_std, r);
-        let n_out = gaussian_vec(&mut self.rng, noise_std, r);
-
-        // Accumulate (sum of clipped per-pair grads, touch count) per row.
-        let mut acc_in: HashMap<usize, (Vec<f64>, usize)> = HashMap::new();
-        let mut acc_out: HashMap<usize, (Vec<f64>, usize)> = HashMap::new();
-        let count = batch.pairs.len();
-        debug_assert!(count > 0, "empty batch");
-
-        // For the adversarial variants, sample all fake neighbors up front
-        // and (for AdvSGM) compute the batch-mean fakes: the augment uses
-        // the *centered* fake `v' - mean(v')` as a control variate, so the
-        // common component of the generator output (which would drift every
-        // touched row identically and crush the skip-gram signal inside the
-        // clip) cancels, while the per-node structure the generator learned
-        // passes through. Centering subtracts a pair-independent constant,
-        // so Theorem 6's sensitivity/noise argument is unchanged.
-        let adversarial = variant.is_adversarial();
-        let mut fakes_j: Vec<Vec<f64>> = Vec::new();
-        let mut fakes_i: Vec<Vec<f64>> = Vec::new();
-        let mut mean_j = vec![0.0; r];
-        let mut mean_i = vec![0.0; r];
-        if adversarial {
-            for &(i, j) in &batch.pairs {
-                let fj = self.gens.for_i.generate(j, &mut self.rng).v;
-                let fi = self.gens.for_j.generate(i, &mut self.rng).v;
-                vector::add_assign(&mut mean_j, &fj);
-                vector::add_assign(&mut mean_i, &fi);
-                fakes_j.push(fj);
-                fakes_i.push(fi);
-            }
-            vector::scale(&mut mean_j, 1.0 / count as f64);
-            vector::scale(&mut mean_i, 1.0 / count as f64);
-        }
-
-        for (idx, &(i, j)) in batch.pairs.iter().enumerate() {
-            let vi = self.emb.input(i);
-            let vj = self.emb.output(j);
-            let grads = if positive {
-                sgm_positive_grads(self.kind, vi, vj)
-            } else {
-                sgm_negative_grads(self.kind, vi, vj)
-            };
-            let mut gi = grads.first;
-            let mut gj = grads.second;
-
-            match variant {
-                ModelVariant::AdvSgm | ModelVariant::AdvSgmNoDp => {
-                    // Theorem 6: lambda = 1/S collapses the adversarial
-                    // gradient to the bare (here: centered) fake neighbor.
-                    let centered_j = vector::sub(&fakes_j[idx], &mean_j);
-                    let centered_i = vector::sub(&fakes_i[idx], &mean_i);
-                    advsgm_augment(&mut gi, &centered_j);
-                    advsgm_augment(&mut gj, &centered_i);
-                }
-                ModelVariant::DpAsgm => {
-                    // First-cut: the *real* adversarial gradient (Eq. 11),
-                    // uncentered — the naive construction the paper shows
-                    // performs poorly.
-                    dpasgm_augment(self.kind, DPASGM_LAMBDA, vi, &fakes_j[idx], &mut gi);
-                    dpasgm_augment(self.kind, DPASGM_LAMBDA, vj, &fakes_i[idx], &mut gj);
-                }
-                ModelVariant::Sgm | ModelVariant::DpSgm => {}
-            }
-            // DPSGD-style clipping for every variant except plain SGM.
-            if variant != ModelVariant::Sgm {
-                vector::clip_l2(&mut gi, clip);
-                vector::clip_l2(&mut gj, clip);
-            }
-            match acc_in.get_mut(&i) {
-                Some((sum, c)) => {
-                    vector::add_assign(sum, &gi);
-                    *c += 1;
-                }
-                None => {
-                    acc_in.insert(i, (gi, 1));
-                }
-            }
-            match acc_out.get_mut(&j) {
-                Some((sum, c)) => {
-                    vector::add_assign(sum, &gj);
-                    *c += 1;
-                }
-                None => {
-                    acc_out.insert(j, (gj, 1));
-                }
-            }
-        }
-
-        // Apply noisy updates. Eq. (22) writes the batch release as
-        // `(sum_b clip_b + noise)/B`, but a skip-gram row receives only its
-        // own `c << B` summands; dividing those by the full `B` makes the
-        // per-row effective step `eta/B` and training stalls (each pair
-        // then contributes ~1e-3 of a word2vec step). We therefore
-        // normalise each row by its own touch count `c` — per-pair SGD
-        // semantics, the convention of every skip-gram implementation —
-        // which rescales signal and that row's noise share identically, so
-        // the privacy analysis (noise calibrated to the clipped summands)
-        // is untouched. DESIGN.md §5 records this reading.
-        let eta = self.cfg.eta_d;
-        let project = self.cfg.project_rows && variant != ModelVariant::Sgm;
-        for (i, (mut g, c)) in acc_in {
-            vector::fused_axpy_scale(&mut g, c as f64, &n_in, 1.0 / c as f64);
-            self.emb.step_input(i, eta, &g, project);
-        }
-        for (j, (mut g, c)) in acc_out {
-            vector::fused_axpy_scale(&mut g, c as f64, &n_out, 1.0 / c as f64);
-            self.emb.step_output(j, eta, &g, project);
-        }
-    }
-
-    /// One generator iteration (Algorithm 3 lines 14–18, Eq. 17).
-    fn generator_update(&mut self, graph: &Graph) {
-        let r = self.cfg.dim;
-        let sample_count = self.cfg.batch_size * (self.cfg.negatives + 1);
-        // Activation-input noise only exists in the full AdvSGM loss.
-        let noise_std = self.gradient_noise_std();
-        let ng1 = gaussian_vec(&mut self.rng, noise_std, r);
-        let ng2 = gaussian_vec(&mut self.rng, noise_std, r);
-
-        let mut grads_j: HashMap<usize, (Vec<f64>, usize)> = HashMap::new();
-        let mut grads_i: HashMap<usize, (Vec<f64>, usize)> = HashMap::new();
-        let edges = graph.edges();
-        for _ in 0..sample_count {
-            let e = edges[self.rng.gen_range(0..edges.len())];
-            // Random orientation, matching the discriminator's convention.
-            let (s, t) = if self.rng.gen::<bool>() {
-                (e.u().index(), e.v().index())
-            } else {
-                (e.v().index(), e.u().index())
-            };
-            let vi = self.emb.input(s).to_vec();
-            let vj = self.emb.output(t).to_vec();
-            // Fake neighbor of the output-side node t, paired with real v_i.
-            let f1 = self.gens.for_i.generate(t, &mut self.rng);
-            let (s1_fake, s1_noise) = vector::dot2(&vi, &f1.v, &ng1);
-            let s1 = s1_fake + s1_noise;
-            // d/ds [ln(1 - S(s))] = -S'/(1-S).
-            let c1 = -self.kind.neg_log_one_minus_grad(s1);
-            let up1 = vector::scaled(c1, &vi);
-            self.gens.for_i.accumulate_grad(&f1, &up1, &mut grads_j);
-            // Fake neighbor of the input-side node s, paired with real v_j.
-            let f2 = self.gens.for_j.generate(s, &mut self.rng);
-            let (s2_fake, s2_noise) = vector::dot2(&vj, &f2.v, &ng2);
-            let s2 = s2_fake + s2_noise;
-            let c2 = -self.kind.neg_log_one_minus_grad(s2);
-            let up2 = vector::scaled(c2, &vj);
-            self.gens.for_j.accumulate_grad(&f2, &up2, &mut grads_i);
-        }
-        self.gens.for_i.step(self.cfg.eta_g, &grads_j);
-        self.gens.for_j.step(self.cfg.eta_g, &grads_i);
-    }
-
-    /// Per-epoch `|L_Nov|` diagnostic on one fresh batch.
-    fn epoch_loss(&mut self, graph: &Graph) -> Result<f64, CoreError> {
-        let pos = self.provider.positives(graph, &mut self.rng)?;
-        let negs = self.provider.negatives(&pos, &mut self.rng);
-        let noise_std = self.gradient_noise_std();
-        let mode = if self.cfg.variant.is_adversarial() {
-            WeightMode::InverseS
-        } else {
-            WeightMode::Fixed(0.0)
-        };
-        Ok(novel_loss_batch(
-            self.kind,
-            mode,
-            &self.emb,
-            &self.gens,
-            &pos,
-            &negs,
-            noise_std,
-            &mut self.rng,
-        )
-        .abs())
+        hooks: &mut dyn TrainHooks,
+    ) -> Result<(), CoreError> {
+        run_schedule(&mut self.core, &mut self.engine, graph, hooks)
     }
 
     /// Evaluates `|L_Nov|` under an arbitrary weight mode (Fig. 2 harness).
@@ -453,20 +150,23 @@ impl Trainer {
         mode: WeightMode,
         batches: usize,
     ) -> Result<f64, CoreError> {
-        let noise_std = self.gradient_noise_std();
+        let noise_std = gradient_noise_std(&self.core.cfg);
         let mut total = 0.0;
         for _ in 0..batches.max(1) {
-            let pos = self.provider.positives(graph, &mut self.rng)?;
-            let negs = self.provider.negatives(&pos, &mut self.rng);
+            let pos = self
+                .engine
+                .provider
+                .positives(graph, &mut self.engine.rng)?;
+            let negs = self.engine.provider.negatives(&pos, &mut self.engine.rng);
             total += novel_loss_batch(
-                self.kind,
+                self.core.kind,
                 mode,
-                &self.emb,
-                &self.gens,
+                &self.core.emb,
+                &self.core.gens,
                 &pos,
                 &negs,
                 noise_std,
-                &mut self.rng,
+                &mut self.engine.rng,
             )
             .abs();
         }
@@ -485,8 +185,12 @@ impl Trainer {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::session::{EpochEvent, SessionControl, StopReason};
     use advsgm_graph::generators::classic::karate_club;
     use advsgm_graph::generators::sbm::{degree_corrected_sbm, SbmConfig};
+    use advsgm_linalg::rng::seeded;
+    use advsgm_linalg::vector;
+    use rand::Rng;
 
     fn small_graph() -> Graph {
         let mut rng = seeded(99);
@@ -640,5 +344,86 @@ mod tests {
     fn empty_graph_rejected() {
         let g = Graph::from_parts(5, vec![], None);
         assert!(Trainer::new(&g, AdvSgmConfig::test_small(ModelVariant::Sgm)).is_err());
+    }
+
+    /// Records every epoch event; optionally stops after `stop_after`.
+    struct Recorder {
+        events: Vec<EpochEvent>,
+        stop_after: Option<usize>,
+    }
+
+    impl TrainHooks for Recorder {
+        fn on_epoch(&mut self, event: &EpochEvent) -> SessionControl {
+            self.events.push(event.clone());
+            match self.stop_after {
+                Some(k) if self.events.len() >= k => SessionControl::Stop,
+                _ => SessionControl::Continue,
+            }
+        }
+    }
+
+    #[test]
+    fn hooks_observe_every_epoch_with_spend() {
+        let g = small_graph();
+        let cfg = AdvSgmConfig::test_small(ModelVariant::AdvSgm);
+        let epochs = cfg.epochs;
+        let mut rec = Recorder {
+            events: Vec::new(),
+            stop_after: None,
+        };
+        let out = Trainer::new(&g, cfg)
+            .unwrap()
+            .run_with_hooks(&g, &mut rec)
+            .unwrap();
+        assert_eq!(rec.events.len(), epochs);
+        for (i, e) in rec.events.iter().enumerate() {
+            assert_eq!(e.epoch, i);
+            assert_eq!(e.epochs_total, epochs);
+            assert_eq!(e.loss, Some(out.epoch_losses[i]));
+            let spend = e.spend.expect("private variant reports spend");
+            assert!(spend.epsilon_spent > 0.0);
+        }
+        assert_eq!(rec.events.last().unwrap().stop, Some(StopReason::Completed));
+        assert!(rec.events[..epochs - 1].iter().all(|e| e.stop.is_none()));
+    }
+
+    #[test]
+    fn hooks_see_budget_stop_event() {
+        let g = karate_club();
+        let mut cfg = AdvSgmConfig::test_small(ModelVariant::AdvSgm);
+        cfg.epochs = 50;
+        cfg.disc_iters = 10;
+        cfg.sigma = 1.0;
+        cfg.epsilon = 0.8;
+        let mut rec = Recorder {
+            events: Vec::new(),
+            stop_after: None,
+        };
+        let out = Trainer::new(&g, cfg)
+            .unwrap()
+            .run_with_hooks(&g, &mut rec)
+            .unwrap();
+        assert!(out.stopped_by_budget);
+        let last = rec.events.last().unwrap();
+        assert_eq!(last.stop, Some(StopReason::BudgetExhausted));
+        assert_eq!(last.loss, None, "mid-epoch stop has no epoch loss");
+    }
+
+    #[test]
+    fn hook_stop_ends_training_gracefully() {
+        let g = small_graph();
+        let mut cfg = AdvSgmConfig::test_small(ModelVariant::AdvSgm);
+        cfg.epochs = 5;
+        let mut rec = Recorder {
+            events: Vec::new(),
+            stop_after: Some(2),
+        };
+        let out = Trainer::new(&g, cfg)
+            .unwrap()
+            .run_with_hooks(&g, &mut rec)
+            .unwrap();
+        assert_eq!(out.epochs_run, 2);
+        assert!(!out.stopped_by_budget);
+        assert_eq!(out.epoch_losses.len(), 2);
     }
 }

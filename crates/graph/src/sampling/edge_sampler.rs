@@ -94,6 +94,45 @@ impl EdgeBatchSampler {
     pub fn sampling_probability(&self, batch: usize) -> f64 {
         batch as f64 / self.indices.len() as f64
     }
+
+    /// The sampler's internal index permutation.
+    ///
+    /// The partial Fisher–Yates shuffle mutates this array across calls,
+    /// so it is *state*: a bitwise-exact training resume must restore it
+    /// (via [`Self::restore_permutation`]) alongside the RNG, or the next
+    /// batch after resume would differ from an uninterrupted run.
+    pub fn permutation(&self) -> &[u32] {
+        &self.indices
+    }
+
+    /// Restores the internal permutation captured by
+    /// [`Self::permutation`].
+    ///
+    /// # Errors
+    /// Returns [`GraphError::InvalidParameter`] unless `perm` is exactly a
+    /// permutation of `0..|E|` for this sampler's population.
+    pub fn restore_permutation(&mut self, perm: Vec<u32>) -> Result<(), GraphError> {
+        let n = self.indices.len();
+        let bad = |reason: String| {
+            Err(GraphError::InvalidParameter {
+                name: "permutation",
+                reason,
+            })
+        };
+        if perm.len() != n {
+            return bad(format!("length {} != population {n}", perm.len()));
+        }
+        let mut seen = vec![false; n];
+        for &i in &perm {
+            match seen.get_mut(i as usize) {
+                Some(s) if !*s => *s = true,
+                Some(_) => return bad(format!("index {i} appears twice")),
+                None => return bad(format!("index {i} out of range for population {n}")),
+            }
+        }
+        self.indices = perm;
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -175,6 +214,34 @@ mod tests {
     fn sampling_probability() {
         let s = EdgeBatchSampler::new(200).unwrap();
         assert!((s.sampling_probability(50) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn permutation_roundtrip_resumes_exactly() {
+        // Restoring the permutation + reusing the same RNG stream must
+        // reproduce the draws an uninterrupted sampler would make.
+        let mut a = EdgeBatchSampler::new(50).unwrap();
+        let mut rng_a = SmallRng::seed_from_u64(9);
+        a.sample_indices(20, &mut rng_a).unwrap();
+        let saved = a.permutation().to_vec();
+
+        let mut b = EdgeBatchSampler::new(50).unwrap();
+        b.restore_permutation(saved).unwrap();
+        let mut rng_b = rng_a.clone();
+        assert_eq!(
+            a.sample_indices(20, &mut rng_a).unwrap(),
+            b.sample_indices(20, &mut rng_b).unwrap()
+        );
+    }
+
+    #[test]
+    fn bad_permutations_rejected() {
+        let mut s = EdgeBatchSampler::new(4).unwrap();
+        assert!(s.restore_permutation(vec![0, 1, 2]).is_err()); // short
+        assert!(s.restore_permutation(vec![0, 1, 2, 2]).is_err()); // dup
+        assert!(s.restore_permutation(vec![0, 1, 2, 9]).is_err()); // range
+        s.restore_permutation(vec![3, 1, 0, 2]).unwrap();
+        assert_eq!(s.permutation(), &[3, 1, 0, 2]);
     }
 
     #[test]

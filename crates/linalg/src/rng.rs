@@ -19,6 +19,30 @@ pub fn seeded(seed: u64) -> SmallRng {
     SmallRng::seed_from_u64(seed)
 }
 
+/// Captures the full internal state of a workspace RNG (four xoshiro256++
+/// words) for checkpointing; [`rng_from_state`] restores it.
+///
+/// # Examples
+/// ```
+/// use advsgm_linalg::rng::{rng_from_state, rng_state, seeded};
+/// use rand::Rng;
+///
+/// let mut a = seeded(7);
+/// let _ = a.gen::<u64>(); // advance
+/// let mut b = rng_from_state(rng_state(&a));
+/// assert_eq!(a.gen::<u64>(), b.gen::<u64>()); // identical stream resumes
+/// ```
+pub fn rng_state(rng: &SmallRng) -> [u64; 4] {
+    rng.state()
+}
+
+/// Rebuilds an RNG from a state captured by [`rng_state`], resuming the
+/// exact output stream — the primitive behind bitwise-exact training
+/// checkpoint/resume.
+pub fn rng_from_state(state: [u64; 4]) -> SmallRng {
+    SmallRng::from_state(state)
+}
+
 /// Derives a stream of independent sub-seeds from a master seed.
 ///
 /// Uses SplitMix64, the standard seed-expansion permutation, so that

@@ -39,6 +39,25 @@ pub struct SpendSnapshot {
     pub delta_spent: f64,
 }
 
+/// The complete serialisable state of an [`RdpAccountant`] — the
+/// accumulated RDP curve plus the step counter.
+///
+/// `totals` are raw `f64` values; a caller persisting them bit-exactly
+/// (e.g. the training checkpoint format in `advsgm-store`) restores an
+/// accountant whose every future query — `epsilon`, `delta`, the
+/// Algorithm-3 stopping rule — is bitwise-identical to the original's.
+/// The per-`(sigma, gamma)` curve cache is *not* part of the state: it is
+/// a pure function of its keys and rebuilds on demand.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AccountantState {
+    /// Mechanism invocations recorded so far.
+    pub steps: u64,
+    /// The integer RDP order grid.
+    pub alphas: Vec<usize>,
+    /// Accumulated `eps(alpha)` per grid order (same length as `alphas`).
+    pub totals: Vec<f64>,
+}
+
 /// Online Rényi-DP accountant over the workspace's integer order grid.
 #[derive(Debug, Clone)]
 pub struct RdpAccountant {
@@ -210,6 +229,66 @@ impl RdpAccountant {
             epsilon_spent,
             optimal_alpha,
             delta_spent,
+        })
+    }
+
+    /// Captures the accountant's complete state for checkpointing.
+    ///
+    /// # Examples
+    /// ```
+    /// use advsgm_privacy::{AccountantState, RdpAccountant};
+    ///
+    /// let mut acc = RdpAccountant::new();
+    /// acc.record_subsampled_gaussian(5.0, 0.05, 40).unwrap();
+    /// let state = acc.state();
+    /// let restored = RdpAccountant::from_state(state).unwrap();
+    /// assert_eq!(restored.delta(2.0).unwrap(), acc.delta(2.0).unwrap());
+    /// ```
+    pub fn state(&self) -> AccountantState {
+        AccountantState {
+            steps: self.steps_recorded,
+            alphas: self.alphas.clone(),
+            totals: self.totals.clone(),
+        }
+    }
+
+    /// Rebuilds an accountant from a state captured by [`Self::state`].
+    /// All subsequent queries and recordings are bitwise-identical to the
+    /// accountant the state was taken from (the curve cache rebuilds
+    /// deterministically on demand).
+    ///
+    /// # Errors
+    /// [`PrivacyError::InvalidParameter`] when the grid is empty, contains
+    /// an order below 2, mismatches `totals` in length, or any total is
+    /// negative or non-finite.
+    pub fn from_state(state: AccountantState) -> Result<Self, PrivacyError> {
+        let bad = |reason: String| {
+            Err(PrivacyError::InvalidParameter {
+                name: "accountant_state",
+                reason,
+            })
+        };
+        if state.alphas.is_empty() {
+            return bad("order grid must be non-empty".into());
+        }
+        if let Some(&a) = state.alphas.iter().find(|&&a| a < 2) {
+            return bad(format!("all orders must be >= 2, got {a}"));
+        }
+        if state.alphas.len() != state.totals.len() {
+            return bad(format!(
+                "grid has {} orders but {} totals",
+                state.alphas.len(),
+                state.totals.len()
+            ));
+        }
+        if let Some(&t) = state.totals.iter().find(|t| !(t.is_finite() && **t >= 0.0)) {
+            return bad(format!("accumulated eps must be finite and >= 0, got {t}"));
+        }
+        Ok(Self {
+            alphas: state.alphas,
+            totals: state.totals,
+            cache: HashMap::new(),
+            steps_recorded: state.steps,
         })
     }
 

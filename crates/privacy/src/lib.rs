@@ -32,7 +32,7 @@ pub mod mechanisms;
 pub mod rdp;
 pub mod subsampled;
 
-pub use accountant::{RdpAccountant, SpendSnapshot};
+pub use accountant::{AccountantState, RdpAccountant, SpendSnapshot};
 pub use error::PrivacyError;
 pub use mechanisms::GaussianMechanism;
 pub use rdp::GaussianRdp;

@@ -15,14 +15,15 @@ use advsgm_core::CoreError;
 pub enum StoreError {
     /// An underlying I/O failure (file system, permissions, ...).
     Io(std::io::Error),
-    /// The file does not start with the `AEMB` magic — not an `.aemb`
-    /// file at all.
+    /// The file does not start with the magic of the format being read
+    /// (`AEMB` for embedding stores, `ACKP` for training checkpoints) —
+    /// not one of this crate's files at all.
     BadMagic {
         /// The four bytes actually found.
         found: [u8; 4],
     },
     /// The file's format version is newer than this reader understands
-    /// (the format is strictly versioned; see `docs/FORMAT.md`).
+    /// (both formats are strictly versioned; see `docs/FORMAT.md`).
     UnsupportedVersion {
         /// Version stamped in the file.
         found: u16,
@@ -79,7 +80,11 @@ impl fmt::Display for StoreError {
         match self {
             StoreError::Io(e) => write!(f, "i/o error: {e}"),
             StoreError::BadMagic { found } => {
-                write!(f, "not an .aemb file: magic bytes {found:?} != b\"AEMB\"")
+                write!(
+                    f,
+                    "unrecognised file magic {found:?} (expected b\"AEMB\" for \
+                     embedding stores or b\"ACKP\" for checkpoints)"
+                )
             }
             StoreError::UnsupportedVersion { found, supported } => write!(
                 f,
@@ -141,7 +146,7 @@ mod tests {
         let cases: Vec<(StoreError, &str)> = vec![
             (
                 StoreError::BadMagic { found: *b"PNG\0" },
-                "not an .aemb file",
+                "unrecognised file magic",
             ),
             (
                 StoreError::UnsupportedVersion {

@@ -17,7 +17,12 @@
 //!   bitwise-exact and every corruption mode is a typed [`StoreError`];
 //! * [`ExportEmbeddings`] — `export()` on [`advsgm_core::Trainer`] and
 //!   [`advsgm_core::ShardedTrainer`], stamping accounting metadata from
-//!   the RDP accountant's spend snapshot into the released store.
+//!   the RDP accountant's spend snapshot into the released store;
+//! * [`checkpoint`] — the versioned, CRC-checksummed `.actk` codec for
+//!   [`advsgm_core::CheckpointState`]: crash-safe persistence of a
+//!   training session's mid-schedule state, enabling bitwise-exact
+//!   interrupt/resume (`advsgm train --checkpoint-every N --resume PATH`).
+//!   Checkpoints are *curator-side* state, not release artifacts.
 //!
 //! Why serving is free: the paper's Theorem 5 (post-processing) puts the
 //! privacy boundary at the embedding matrix itself. Once the matrix is
@@ -53,12 +58,14 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod checkpoint;
 pub mod error;
 pub mod export;
 pub mod format;
 pub mod meta;
 pub mod store;
 
+pub use checkpoint::{decode_checkpoint, encode_checkpoint, load_checkpoint, save_checkpoint};
 pub use error::StoreError;
 pub use export::ExportEmbeddings;
 pub use meta::PrivacyMeta;

@@ -1,35 +1,54 @@
-//! The `advsgm` command-line interface: train embeddings, persist them in
-//! the `.aemb` format (`docs/FORMAT.md`), and serve queries from the file.
+//! The `advsgm` command-line interface: train embeddings (with live
+//! progress and crash-safe checkpointing), persist them in the `.aemb`
+//! format (`docs/FORMAT.md`), and serve queries from the file.
 //!
 //! ```text
 //! advsgm train --out emb.aemb [--dataset ppi] [--scale 0.1] [--edges FILE]
 //!              [--variant advsgm] [--epsilon 6] [--delta 1e-5] [--sigma 5]
-//!              [--epochs N] [--dim 128] [--threads N] [--seed 0]
+//!              [--epochs N] [--dim 128] [--batch-size 128] [--lr 0.1]
+//!              [--threads N] [--shard-size N] [--seed 0]
+//!              [--checkpoint-every N] [--checkpoint PATH] [--resume PATH]
 //! advsgm query --store emb.aemb --node U [--top-k 10] [--threads N]
 //! advsgm query --store emb.aemb --pair U V
 //! advsgm info  --store emb.aemb
 //! ```
 //!
 //! Argument parsing is hand-rolled like `advsgm-bench`'s: three
-//! subcommands and a dozen flags do not justify a CLI dependency outside
-//! the vendored crate set.
+//! subcommands and a score of flags do not justify a CLI dependency
+//! outside the vendored crate set. Parsing is pure (`parse_train` /
+//! `parse_query` / `parse_info` return argument structs) so it is
+//! unit-tested without touching the filesystem.
 
 use std::process::ExitCode;
 
+use advsgm::core::session::{CheckpointState, EpochEvent, SessionControl, StopReason, TrainHooks};
 use advsgm::core::{AdvSgmConfig, ModelVariant, ShardedTrainer};
 use advsgm::datasets::{dataset_by_name, synthesize};
 use advsgm::graph::io::read_edge_list_file;
 use advsgm::graph::Graph;
-use advsgm::store::EmbeddingStore;
+use advsgm::store::{load_checkpoint, save_checkpoint, EmbeddingStore};
 
 const USAGE: &str = "usage:
   advsgm train --out PATH [--dataset NAME] [--scale F] [--edges FILE]
                [--variant sgm|dp-sgm|dp-asgm|advsgm|advsgm-nodp]
                [--epsilon F] [--delta F] [--sigma F] [--epochs N]
-               [--dim N] [--threads N] [--seed N]
+               [--dim N] [--batch-size N] [--lr F] [--threads N]
+               [--shard-size N] [--seed N]
+               [--checkpoint-every N] [--checkpoint PATH] [--resume PATH]
   advsgm query --store PATH --node U [--top-k K] [--threads N]
   advsgm query --store PATH --pair U V
-  advsgm info  --store PATH";
+  advsgm info  --store PATH
+
+train flags:
+  --batch-size N        pairs per discriminator batch B (default 128)
+  --lr F                learning rate for both eta_d and eta_g (default 0.1)
+  --shard-size N        pairs per parallel shard; 0 = auto (batch/threads)
+  --checkpoint-every N  write a resumable .actk checkpoint every N epochs
+  --checkpoint PATH     checkpoint file (default: <out>.actk)
+  --resume PATH         resume a checkpointed run bitwise-exactly; only
+                        --out/--dataset/--scale/--edges/--epochs and the
+                        checkpoint flags may accompany it (the rest of the
+                        configuration is pinned by the checkpoint)";
 
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
@@ -42,9 +61,9 @@ fn main() -> ExitCode {
     };
     let rest: Vec<String> = args.collect();
     let result = match cmd.as_str() {
-        "train" => cmd_train(&rest),
-        "query" => cmd_query(&rest),
-        "info" => cmd_info(&rest),
+        "train" => parse_train(&rest).and_then(cmd_train),
+        "query" => parse_query(&rest).and_then(cmd_query),
+        "info" => parse_info(&rest).and_then(cmd_info),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             return ExitCode::SUCCESS;
@@ -91,120 +110,165 @@ fn parse_variant(name: &str) -> Result<ModelVariant, String> {
     })
 }
 
-fn cmd_train(tokens: &[String]) -> Result<(), String> {
-    let mut out: Option<String> = None;
-    let mut dataset = "ppi".to_string();
-    let mut scale = 0.1f64;
-    let mut edges: Option<String> = None;
-    // A CLI run should finish in seconds by default; paper-scale epochs
-    // remain one `--epochs 50` away.
-    let mut cfg = AdvSgmConfig {
-        epochs: 5,
-        ..AdvSgmConfig::default()
+/// Parsed `advsgm train` arguments.
+#[derive(Debug, Clone)]
+struct TrainArgs {
+    out: String,
+    dataset: String,
+    scale: f64,
+    edges: Option<String>,
+    cfg: AdvSgmConfig,
+    /// `--epochs`, remembered separately so `--resume` can extend a run.
+    epochs_explicit: Option<usize>,
+    checkpoint_every: Option<usize>,
+    checkpoint_path: Option<String>,
+    resume: Option<String>,
+    /// Model-configuration flags seen on the command line; `--resume`
+    /// rejects them (the checkpoint pins the configuration).
+    model_flags_seen: Vec<&'static str>,
+}
+
+fn parse_train(tokens: &[String]) -> Result<TrainArgs, String> {
+    let mut args = TrainArgs {
+        out: String::new(),
+        dataset: "ppi".to_string(),
+        scale: 0.1,
+        edges: None,
+        // A CLI run should finish in seconds by default; paper-scale epochs
+        // remain one `--epochs 50` away.
+        cfg: AdvSgmConfig {
+            epochs: 5,
+            ..AdvSgmConfig::default()
+        },
+        epochs_explicit: None,
+        checkpoint_every: None,
+        checkpoint_path: None,
+        resume: None,
+        model_flags_seen: Vec::new(),
     };
+    let mut out: Option<String> = None;
 
     let mut i = 0;
     while i < tokens.len() {
         match tokens[i].as_str() {
             "--out" => out = Some(take_value(tokens, &mut i, "--out")?),
-            "--dataset" => dataset = take_value(tokens, &mut i, "--dataset")?,
+            "--dataset" => args.dataset = take_value(tokens, &mut i, "--dataset")?,
             "--scale" => {
-                scale = parse_num(&take_value(tokens, &mut i, "--scale")?, "--scale")?;
-                if !(scale > 0.0 && scale <= 1.0) {
-                    return Err(format!("--scale must be in (0,1], got {scale}"));
+                args.scale = parse_num(&take_value(tokens, &mut i, "--scale")?, "--scale")?;
+                if !(args.scale > 0.0 && args.scale <= 1.0) {
+                    return Err(format!("--scale must be in (0,1], got {}", args.scale));
                 }
             }
-            "--edges" => edges = Some(take_value(tokens, &mut i, "--edges")?),
+            "--edges" => args.edges = Some(take_value(tokens, &mut i, "--edges")?),
             "--variant" => {
-                cfg.variant = parse_variant(&take_value(tokens, &mut i, "--variant")?)?;
+                args.cfg.variant = parse_variant(&take_value(tokens, &mut i, "--variant")?)?;
+                args.model_flags_seen.push("--variant");
             }
             "--epsilon" => {
-                cfg.epsilon = parse_num(&take_value(tokens, &mut i, "--epsilon")?, "--epsilon")?;
+                args.cfg.epsilon =
+                    parse_num(&take_value(tokens, &mut i, "--epsilon")?, "--epsilon")?;
+                args.model_flags_seen.push("--epsilon");
             }
             "--delta" => {
-                cfg.delta = parse_num(&take_value(tokens, &mut i, "--delta")?, "--delta")?;
+                args.cfg.delta = parse_num(&take_value(tokens, &mut i, "--delta")?, "--delta")?;
+                args.model_flags_seen.push("--delta");
             }
             "--sigma" => {
-                cfg.sigma = parse_num(&take_value(tokens, &mut i, "--sigma")?, "--sigma")?;
+                args.cfg.sigma = parse_num(&take_value(tokens, &mut i, "--sigma")?, "--sigma")?;
+                args.model_flags_seen.push("--sigma");
             }
             "--epochs" => {
-                cfg.epochs = parse_num(&take_value(tokens, &mut i, "--epochs")?, "--epochs")?;
+                let e: usize = parse_num(&take_value(tokens, &mut i, "--epochs")?, "--epochs")?;
+                args.cfg.epochs = e;
+                args.epochs_explicit = Some(e);
             }
-            "--dim" => cfg.dim = parse_num(&take_value(tokens, &mut i, "--dim")?, "--dim")?,
+            "--dim" => {
+                args.cfg.dim = parse_num(&take_value(tokens, &mut i, "--dim")?, "--dim")?;
+                args.model_flags_seen.push("--dim");
+            }
+            "--batch-size" => {
+                let b: usize =
+                    parse_num(&take_value(tokens, &mut i, "--batch-size")?, "--batch-size")?;
+                if b == 0 {
+                    return Err("--batch-size must be positive, got 0".into());
+                }
+                args.cfg.batch_size = b;
+                args.model_flags_seen.push("--batch-size");
+            }
+            "--lr" => {
+                let lr: f64 = parse_num(&take_value(tokens, &mut i, "--lr")?, "--lr")?;
+                if !(lr > 0.0 && lr.is_finite()) {
+                    return Err(format!("--lr must be positive and finite, got {lr}"));
+                }
+                // The paper sets eta_d = eta_g (Section VI-A); one flag
+                // drives both.
+                args.cfg.eta_d = lr;
+                args.cfg.eta_g = lr;
+                args.model_flags_seen.push("--lr");
+            }
             "--threads" => {
-                cfg.num_threads =
+                args.cfg.num_threads =
                     parse_num(&take_value(tokens, &mut i, "--threads")?, "--threads")?;
+                args.model_flags_seen.push("--threads");
             }
-            "--seed" => cfg.seed = parse_num(&take_value(tokens, &mut i, "--seed")?, "--seed")?,
+            "--shard-size" => {
+                // 0 is meaningful (auto: divide the batch over threads).
+                args.cfg.shard_size =
+                    parse_num(&take_value(tokens, &mut i, "--shard-size")?, "--shard-size")?;
+                args.model_flags_seen.push("--shard-size");
+            }
+            "--seed" => {
+                args.cfg.seed = parse_num(&take_value(tokens, &mut i, "--seed")?, "--seed")?;
+                args.model_flags_seen.push("--seed");
+            }
+            "--checkpoint-every" => {
+                let n: usize = parse_num(
+                    &take_value(tokens, &mut i, "--checkpoint-every")?,
+                    "--checkpoint-every",
+                )?;
+                if n == 0 {
+                    return Err("--checkpoint-every must be positive, got 0".into());
+                }
+                args.checkpoint_every = Some(n);
+            }
+            "--checkpoint" => {
+                args.checkpoint_path = Some(take_value(tokens, &mut i, "--checkpoint")?);
+            }
+            "--resume" => args.resume = Some(take_value(tokens, &mut i, "--resume")?),
             other => return Err(format!("unknown flag {other}\n{USAGE}")),
         }
         i += 1;
     }
-    let out = out.ok_or_else(|| format!("--out is required\n{USAGE}"))?;
-
-    let graph: Graph = match &edges {
-        Some(path) => {
-            let g = read_edge_list_file(path, None).map_err(|e| format!("--edges {path}: {e}"))?;
-            println!(
-                "loaded {path}: {} nodes, {} edges",
-                g.num_nodes(),
-                g.num_edges()
-            );
-            g
-        }
-        None => {
-            let d = dataset_by_name(&dataset).ok_or_else(|| {
-                format!("unknown dataset {dataset:?} (PPI, Facebook, Wiki, Blog, Epinions, DBLP)")
-            })?;
-            let spec = d.spec().scaled(scale);
-            let g = synthesize(&spec, cfg.seed);
-            println!(
-                "synthesized {} at scale {scale}: {} nodes, {} edges",
-                d.name(),
-                g.num_nodes(),
-                g.num_edges()
-            );
-            g
-        }
-    };
-
-    let trainer = ShardedTrainer::new(&graph, cfg.clone()).map_err(|e| e.to_string())?;
-    println!(
-        "training {} (dim {}, {} epochs, {} thread(s))...",
-        cfg.variant.paper_name(),
-        cfg.dim,
-        cfg.epochs,
-        trainer.threads()
-    );
-    let start = std::time::Instant::now();
-    let outcome = trainer.train(&graph).map_err(|e| e.to_string())?;
-    println!(
-        "trained in {:.2?}: {} epochs, {} discriminator updates{}",
-        start.elapsed(),
-        outcome.epochs_run,
-        outcome.disc_updates,
-        if outcome.stopped_by_budget {
-            " (stopped by privacy budget)"
-        } else {
-            ""
-        }
-    );
-
-    let store = EmbeddingStore::from_outcome(&outcome, &cfg).map_err(|e| e.to_string())?;
-    // Serialise once; the same buffer provides the file and the size line.
-    let bytes = store.to_bytes();
-    std::fs::write(&out, &bytes).map_err(|e| format!("{out}: {e}"))?;
-    println!(
-        "saved {} nodes x {} dims to {out} ({}); privacy: {}",
-        store.len(),
-        store.dim(),
-        human_bytes(bytes.len()),
-        store.meta()
-    );
-    Ok(())
+    args.out = out.ok_or_else(|| format!("--out is required\n{USAGE}"))?;
+    if args.resume.is_some() && !args.model_flags_seen.is_empty() {
+        return Err(format!(
+            "--resume pins the model configuration from the checkpoint; \
+             remove {} (only --out/--dataset/--scale/--edges/--epochs and \
+             the checkpoint flags may accompany --resume)",
+            args.model_flags_seen.join(", ")
+        ));
+    }
+    Ok(args)
 }
 
-fn cmd_query(tokens: &[String]) -> Result<(), String> {
+/// What an `advsgm query` invocation asks for.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum QueryTarget {
+    /// Top-k neighbors of one node.
+    Node { node: usize, top_k: usize },
+    /// The Eq. 2 link score of one pair.
+    Pair { u: usize, v: usize },
+}
+
+/// Parsed `advsgm query` arguments.
+#[derive(Debug, Clone)]
+struct QueryArgs {
+    store: String,
+    target: QueryTarget,
+    threads: usize,
+}
+
+fn parse_query(tokens: &[String]) -> Result<QueryArgs, String> {
     let mut path: Option<String> = None;
     let mut node: Option<usize> = None;
     let mut pair: Option<(usize, usize)> = None;
@@ -221,7 +285,9 @@ fn cmd_query(tokens: &[String]) -> Result<(), String> {
                 let v: usize = parse_num(&take_value(tokens, &mut i, "--pair")?, "--pair")?;
                 pair = Some((u, v));
             }
-            "--top-k" => top_k = parse_num(&take_value(tokens, &mut i, "--top-k")?, "--top-k")?,
+            "--top-k" => {
+                top_k = parse_num(&take_value(tokens, &mut i, "--top-k")?, "--top-k")?;
+            }
             "--threads" => {
                 threads = parse_num(&take_value(tokens, &mut i, "--threads")?, "--threads")?;
             }
@@ -229,30 +295,29 @@ fn cmd_query(tokens: &[String]) -> Result<(), String> {
         }
         i += 1;
     }
-    let path = path.ok_or_else(|| format!("--store is required\n{USAGE}"))?;
-    let store = EmbeddingStore::load(&path).map_err(|e| e.to_string())?;
-
-    match (pair, node) {
-        (Some((u, v)), _) => {
-            let s = store.score(u, v).map_err(|e| e.to_string())?;
-            println!("score({u}, {v}) = {s}");
+    let store = path.ok_or_else(|| format!("--store is required\n{USAGE}"))?;
+    let target = match (pair, node) {
+        (Some(_), Some(_)) => {
+            return Err("pass either --node U or --pair U V, not both".into());
         }
-        (None, Some(u)) => {
-            let results = store
-                .batch_top_k(&[u], top_k, threads)
-                .map_err(|e| e.to_string())?;
-            println!("top {top_k} neighbors of node {u}:");
-            println!("{:>10}  {:>10}  {:>14}", "row", "id", "score");
-            for n in &results[0] {
-                println!("{:>10}  {:>10}  {:>14.6}", n.node, n.id, n.score);
-            }
-        }
+        (Some((u, v)), None) => QueryTarget::Pair { u, v },
+        (None, Some(node)) => QueryTarget::Node { node, top_k },
         (None, None) => return Err(format!("need --node U or --pair U V\n{USAGE}")),
-    }
-    Ok(())
+    };
+    Ok(QueryArgs {
+        store,
+        target,
+        threads,
+    })
 }
 
-fn cmd_info(tokens: &[String]) -> Result<(), String> {
+/// Parsed `advsgm info` arguments.
+#[derive(Debug, Clone)]
+struct InfoArgs {
+    store: String,
+}
+
+fn parse_info(tokens: &[String]) -> Result<InfoArgs, String> {
     let mut path: Option<String> = None;
     let mut i = 0;
     while i < tokens.len() {
@@ -262,8 +327,237 @@ fn cmd_info(tokens: &[String]) -> Result<(), String> {
         }
         i += 1;
     }
-    let path = path.ok_or_else(|| format!("--store is required\n{USAGE}"))?;
-    let bytes = std::fs::read(&path).map_err(|e| format!("{path}: {e}"))?;
+    Ok(InfoArgs {
+        store: path.ok_or_else(|| format!("--store is required\n{USAGE}"))?,
+    })
+}
+
+/// Live progress lines + periodic checkpoint writing, through the session
+/// layer's [`TrainHooks`] seam.
+struct CliHooks {
+    checkpoint_every: Option<usize>,
+    checkpoint_path: String,
+    /// Set when a checkpoint write failed; training stops gracefully and
+    /// the error is reported after the run.
+    write_error: Option<String>,
+    checkpoints_written: usize,
+}
+
+impl TrainHooks for CliHooks {
+    fn may_checkpoint(&self) -> bool {
+        self.checkpoint_every.is_some()
+    }
+
+    fn on_epoch(&mut self, event: &EpochEvent) -> SessionControl {
+        let spend = match &event.spend {
+            Some(s) => format!("  eps {:.4}  delta {:.2e}", s.epsilon_spent, s.delta_spent),
+            None => String::new(),
+        };
+        match (event.stop, event.loss) {
+            (Some(StopReason::BudgetExhausted), _) => {
+                println!(
+                    "epoch {:>3}/{}: privacy budget exhausted after {} updates{spend}",
+                    event.epoch + 1,
+                    event.epochs_total,
+                    event.disc_updates
+                );
+            }
+            (_, Some(loss)) => {
+                println!(
+                    "epoch {:>3}/{}  |L_Nov| {loss:.4}{spend}",
+                    event.epoch + 1,
+                    event.epochs_total
+                );
+            }
+            (_, None) => {}
+        }
+        SessionControl::Continue
+    }
+
+    fn wants_checkpoint(&mut self, epochs_done: usize) -> bool {
+        matches!(self.checkpoint_every, Some(n) if epochs_done.is_multiple_of(n))
+    }
+
+    fn on_checkpoint(&mut self, state: &CheckpointState) -> SessionControl {
+        match save_checkpoint(&self.checkpoint_path, state) {
+            Ok(()) => {
+                println!(
+                    "checkpoint: wrote {} (epoch {})",
+                    self.checkpoint_path, state.epochs_done
+                );
+                self.checkpoints_written += 1;
+                SessionControl::Continue
+            }
+            Err(e) => {
+                self.write_error = Some(format!("{}: {e}", self.checkpoint_path));
+                SessionControl::Stop
+            }
+        }
+    }
+}
+
+/// Builds the training graph from `--edges` or the named synthetic
+/// dataset (scaled), announcing what was loaded.
+fn build_graph(args: &TrainArgs, seed: u64) -> Result<Graph, String> {
+    match &args.edges {
+        Some(path) => {
+            let g = read_edge_list_file(path, None).map_err(|e| format!("--edges {path}: {e}"))?;
+            println!(
+                "loaded {path}: {} nodes, {} edges",
+                g.num_nodes(),
+                g.num_edges()
+            );
+            Ok(g)
+        }
+        None => {
+            let d = dataset_by_name(&args.dataset).ok_or_else(|| {
+                format!(
+                    "unknown dataset {:?} (PPI, Facebook, Wiki, Blog, Epinions, DBLP)",
+                    args.dataset
+                )
+            })?;
+            let spec = d.spec().scaled(args.scale);
+            let g = synthesize(&spec, seed);
+            println!(
+                "synthesized {} at scale {}: {} nodes, {} edges",
+                d.name(),
+                args.scale,
+                g.num_nodes(),
+                g.num_edges()
+            );
+            Ok(g)
+        }
+    }
+}
+
+fn cmd_train(args: TrainArgs) -> Result<(), String> {
+    match args.resume.clone() {
+        None => {
+            let graph = build_graph(&args, args.cfg.seed)?;
+            let trainer =
+                ShardedTrainer::new(&graph, args.cfg.clone()).map_err(|e| e.to_string())?;
+            let cfg = args.cfg.clone();
+            run_training(&args, &graph, trainer, cfg)
+        }
+        Some(resume_path) => {
+            let mut state = load_checkpoint(&resume_path)
+                .map_err(|e| format!("--resume {resume_path}: {e}"))?;
+            if let Some(e) = args.epochs_explicit {
+                if (e as u64) < state.epochs_done {
+                    return Err(format!(
+                        "--epochs {e} is below the checkpoint's {} completed epochs",
+                        state.epochs_done
+                    ));
+                }
+                // Extending (or shortening, down to the completed count)
+                // the schedule is the one legal override: batch draws
+                // never depend on the total epoch count.
+                state.config.epochs = e;
+            }
+            // The graph must be the checkpoint's graph; for synthetic
+            // datasets that means the checkpoint's seed, and resume
+            // re-verifies the stored fingerprint either way.
+            let graph = build_graph(&args, state.config.seed)?;
+            let cfg = state.config.clone();
+            let trainer = ShardedTrainer::resume(&graph, &state).map_err(|e| e.to_string())?;
+            println!(
+                "resumed {resume_path}: {}/{} epochs done, {} discriminator updates",
+                state.epochs_done, cfg.epochs, state.disc_updates
+            );
+            run_training(&args, &graph, trainer, cfg)
+        }
+    }
+}
+
+/// Drives a (fresh or resumed) trainer to completion with progress +
+/// checkpoint hooks, then exports the released store.
+fn run_training(
+    args: &TrainArgs,
+    graph: &Graph,
+    trainer: ShardedTrainer,
+    cfg: AdvSgmConfig,
+) -> Result<(), String> {
+    println!(
+        "training {} (dim {}, {} epochs, batch {}, lr {}, {} thread(s))...",
+        cfg.variant.paper_name(),
+        cfg.dim,
+        cfg.epochs,
+        cfg.batch_size,
+        cfg.eta_d,
+        trainer.threads()
+    );
+    let mut hooks = CliHooks {
+        checkpoint_every: args.checkpoint_every,
+        checkpoint_path: args
+            .checkpoint_path
+            .clone()
+            .unwrap_or_else(|| format!("{}.actk", args.out)),
+        write_error: None,
+        checkpoints_written: 0,
+    };
+    let start = std::time::Instant::now();
+    let outcome = trainer
+        .train_with_hooks(graph, &mut hooks)
+        .map_err(|e| e.to_string())?;
+    if let Some(e) = hooks.write_error {
+        return Err(format!("checkpoint write failed, training stopped: {e}"));
+    }
+    println!(
+        "trained in {:.2?}: {} epochs, {} discriminator updates{}{}",
+        start.elapsed(),
+        outcome.epochs_run,
+        outcome.disc_updates,
+        if outcome.stopped_by_budget {
+            " (stopped by privacy budget)"
+        } else {
+            ""
+        },
+        if hooks.checkpoints_written > 0 {
+            format!(", {} checkpoint(s) written", hooks.checkpoints_written)
+        } else {
+            String::new()
+        }
+    );
+
+    let store = EmbeddingStore::from_outcome(&outcome, &cfg).map_err(|e| e.to_string())?;
+    // Serialise once; the same buffer provides the file and the size line.
+    let bytes = store.to_bytes();
+    std::fs::write(&args.out, &bytes).map_err(|e| format!("{}: {e}", args.out))?;
+    println!(
+        "saved {} nodes x {} dims to {} ({}); privacy: {}",
+        store.len(),
+        store.dim(),
+        args.out,
+        human_bytes(bytes.len()),
+        store.meta()
+    );
+    Ok(())
+}
+
+fn cmd_query(args: QueryArgs) -> Result<(), String> {
+    let store = EmbeddingStore::load(&args.store).map_err(|e| e.to_string())?;
+    match args.target {
+        QueryTarget::Pair { u, v } => {
+            let s = store.score(u, v).map_err(|e| e.to_string())?;
+            println!("score({u}, {v}) = {s}");
+        }
+        QueryTarget::Node { node, top_k } => {
+            let results = store
+                .batch_top_k(&[node], top_k, args.threads)
+                .map_err(|e| e.to_string())?;
+            println!("top {top_k} neighbors of node {node}:");
+            println!("{:>10}  {:>10}  {:>14}", "row", "id", "score");
+            for n in &results[0] {
+                println!("{:>10}  {:>10}  {:>14.6}", n.node, n.id, n.score);
+            }
+        }
+    }
+    Ok(())
+}
+
+fn cmd_info(args: InfoArgs) -> Result<(), String> {
+    let path = &args.store;
+    let bytes = std::fs::read(path).map_err(|e| format!("{path}: {e}"))?;
     let store = EmbeddingStore::from_bytes(&bytes).map_err(|e| e.to_string())?;
     println!("{path}:");
     println!(
@@ -285,5 +579,210 @@ fn human_bytes(n: usize) -> String {
         format!("{:.1} KiB", n as f64 / (1 << 10) as f64)
     } else {
         format!("{n} B")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    // ---- train ----
+
+    #[test]
+    fn train_happy_path_sets_every_flag() {
+        let a = parse_train(&toks(
+            "--out e.aemb --dataset wiki --scale 0.5 --variant dp-sgm --epsilon 2 \
+             --delta 1e-6 --sigma 3 --epochs 7 --dim 32 --batch-size 64 --lr 0.05 \
+             --threads 4 --shard-size 16 --seed 9 --checkpoint-every 2 --checkpoint c.actk",
+        ))
+        .unwrap();
+        assert_eq!(a.out, "e.aemb");
+        assert_eq!(a.dataset, "wiki");
+        assert_eq!(a.scale, 0.5);
+        assert_eq!(a.cfg.variant, ModelVariant::DpSgm);
+        assert_eq!(a.cfg.epsilon, 2.0);
+        assert_eq!(a.cfg.delta, 1e-6);
+        assert_eq!(a.cfg.sigma, 3.0);
+        assert_eq!(a.cfg.epochs, 7);
+        assert_eq!(a.epochs_explicit, Some(7));
+        assert_eq!(a.cfg.dim, 32);
+        assert_eq!(a.cfg.batch_size, 64);
+        assert_eq!(a.cfg.eta_d, 0.05);
+        assert_eq!(a.cfg.eta_g, 0.05, "--lr drives both learning rates");
+        assert_eq!(a.cfg.num_threads, 4);
+        assert_eq!(a.cfg.shard_size, 16);
+        assert_eq!(a.cfg.seed, 9);
+        assert_eq!(a.checkpoint_every, Some(2));
+        assert_eq!(a.checkpoint_path.as_deref(), Some("c.actk"));
+        a.cfg.validate().unwrap();
+    }
+
+    #[test]
+    fn train_defaults_are_quick() {
+        let a = parse_train(&toks("--out e.aemb")).unwrap();
+        assert_eq!(a.cfg.epochs, 5);
+        assert_eq!(a.epochs_explicit, None);
+        assert_eq!(a.cfg.batch_size, 128);
+        assert_eq!(a.checkpoint_every, None);
+        assert!(a.resume.is_none());
+    }
+
+    #[test]
+    fn train_requires_out() {
+        let err = parse_train(&toks("--dataset ppi")).unwrap_err();
+        assert!(err.contains("--out is required"), "{err}");
+    }
+
+    #[test]
+    fn train_rejects_unknown_flag() {
+        let err = parse_train(&toks("--out e.aemb --bogus 3")).unwrap_err();
+        assert!(err.contains("unknown flag --bogus"), "{err}");
+    }
+
+    #[test]
+    fn train_rejects_missing_value() {
+        for flag in ["--out", "--epochs", "--batch-size", "--lr", "--resume"] {
+            let err = parse_train(&toks(flag)).unwrap_err();
+            assert!(err.contains("needs a value"), "{flag}: {err}");
+        }
+    }
+
+    #[test]
+    fn train_rejects_out_of_range_numerics() {
+        for (cmd, needle) in [
+            ("--out e --scale 0", "--scale must be in (0,1]"),
+            ("--out e --scale 1.5", "--scale must be in (0,1]"),
+            ("--out e --batch-size 0", "--batch-size must be positive"),
+            ("--out e --lr 0", "--lr must be positive"),
+            ("--out e --lr -0.5", "--lr must be positive"),
+            ("--out e --lr inf", "--lr must be positive and finite"),
+            (
+                "--out e --checkpoint-every 0",
+                "--checkpoint-every must be positive",
+            ),
+        ] {
+            let err = parse_train(&toks(cmd)).unwrap_err();
+            assert!(err.contains(needle), "{cmd}: {err}");
+        }
+    }
+
+    #[test]
+    fn train_rejects_unparseable_numerics() {
+        for cmd in [
+            "--out e --epochs many",
+            "--out e --dim 3.5",
+            "--out e --batch-size -2",
+            "--out e --epsilon six",
+            "--out e --seed 0x12",
+        ] {
+            assert!(parse_train(&toks(cmd)).is_err(), "{cmd} should fail");
+        }
+    }
+
+    #[test]
+    fn train_rejects_unknown_variant() {
+        let err = parse_train(&toks("--out e --variant gpt")).unwrap_err();
+        assert!(err.contains("unknown variant"), "{err}");
+    }
+
+    #[test]
+    fn resume_pins_the_model_configuration() {
+        // Dataset/epochs/checkpoint flags may accompany --resume...
+        let a = parse_train(&toks(
+            "--out e.aemb --resume c.actk --dataset wiki --scale 0.2 --epochs 9 \
+             --checkpoint-every 1",
+        ))
+        .unwrap();
+        assert_eq!(a.resume.as_deref(), Some("c.actk"));
+        assert_eq!(a.epochs_explicit, Some(9));
+        // ...but model flags are rejected, naming the offenders.
+        for flag in [
+            "--variant advsgm",
+            "--epsilon 3",
+            "--sigma 2",
+            "--dim 64",
+            "--batch-size 32",
+            "--lr 0.2",
+            "--threads 2",
+            "--shard-size 8",
+            "--seed 4",
+        ] {
+            let cmd = format!("--out e.aemb --resume c.actk {flag}");
+            let err = parse_train(&toks(&cmd)).unwrap_err();
+            assert!(
+                err.contains("--resume pins the model configuration"),
+                "{flag}: {err}"
+            );
+            assert!(
+                err.contains(flag.split_whitespace().next().unwrap()),
+                "{flag}: {err}"
+            );
+        }
+    }
+
+    // ---- query ----
+
+    #[test]
+    fn query_node_happy_path() {
+        let a = parse_query(&toks("--store e.aemb --node 3 --top-k 7 --threads 2")).unwrap();
+        assert_eq!(a.store, "e.aemb");
+        assert_eq!(a.target, QueryTarget::Node { node: 3, top_k: 7 });
+        assert_eq!(a.threads, 2);
+    }
+
+    #[test]
+    fn query_pair_happy_path() {
+        let a = parse_query(&toks("--store e.aemb --pair 3 8")).unwrap();
+        assert_eq!(a.target, QueryTarget::Pair { u: 3, v: 8 });
+    }
+
+    #[test]
+    fn query_rejects_node_and_pair_together() {
+        let err = parse_query(&toks("--store e.aemb --node 1 --pair 2 3")).unwrap_err();
+        assert!(err.contains("not both"), "{err}");
+        // Order must not matter.
+        let err = parse_query(&toks("--store e.aemb --pair 2 3 --node 1")).unwrap_err();
+        assert!(err.contains("not both"), "{err}");
+    }
+
+    #[test]
+    fn query_requires_a_target_and_store() {
+        let err = parse_query(&toks("--store e.aemb")).unwrap_err();
+        assert!(err.contains("need --node U or --pair U V"), "{err}");
+        let err = parse_query(&toks("--node 1")).unwrap_err();
+        assert!(err.contains("--store is required"), "{err}");
+    }
+
+    #[test]
+    fn query_rejects_unknown_flags_and_bad_numbers() {
+        assert!(parse_query(&toks("--store e --node 1 --frobnicate"))
+            .unwrap_err()
+            .contains("unknown flag"));
+        assert!(parse_query(&toks("--store e --node minus-one")).is_err());
+        assert!(
+            parse_query(&toks("--store e --pair 1")).is_err(),
+            "pair needs two values"
+        );
+        assert!(parse_query(&toks("--store e --node 1 --top-k -4")).is_err());
+    }
+
+    // ---- info ----
+
+    #[test]
+    fn info_happy_and_sad_paths() {
+        assert_eq!(parse_info(&toks("--store e.aemb")).unwrap().store, "e.aemb");
+        assert!(parse_info(&toks(""))
+            .unwrap_err()
+            .contains("--store is required"));
+        assert!(parse_info(&toks("--wat"))
+            .unwrap_err()
+            .contains("unknown flag"));
+        assert!(parse_info(&toks("--store"))
+            .unwrap_err()
+            .contains("needs a value"));
     }
 }

@@ -29,6 +29,35 @@ impl RngCore for SmallRng {
     }
 }
 
+impl SmallRng {
+    /// The generator's full internal state — four xoshiro256++ words.
+    ///
+    /// Together with [`SmallRng::from_state`] this makes the generator
+    /// checkpointable: persisting the four words and restoring them later
+    /// resumes the exact output stream, which the workspace's bitwise
+    /// resume contract depends on.
+    pub fn state(&self) -> [u64; 4] {
+        self.s
+    }
+
+    /// Rebuilds a generator from a state captured by [`SmallRng::state`].
+    ///
+    /// The all-zero state (xoshiro's one fixed point, unreachable from any
+    /// seeded generator) is nudged to the same constants `from_seed` uses,
+    /// so a hand-made zero state cannot produce a constant stream.
+    pub fn from_state(mut s: [u64; 4]) -> Self {
+        if s == [0; 4] {
+            s = [
+                0x9E37_79B9_7F4A_7C15,
+                0xBF58_476D_1CE4_E5B9,
+                0x94D0_49BB_1331_11EB,
+                0x2545_F491_4F6C_DD1D,
+            ];
+        }
+        SmallRng { s }
+    }
+}
+
 impl SeedableRng for SmallRng {
     type Seed = [u8; 32];
 
