@@ -63,7 +63,8 @@ impl fmt::Display for GraphError {
                 write!(f, "invalid parameter {name}: {reason}")
             }
             GraphError::Parse { line, reason } => write!(f, "parse error on line {line}: {reason}"),
-            GraphError::Io(e) => write!(f, "I/O error: {e}"),
+            // Lowercase by workspace convention (see tests/error_display.rs).
+            GraphError::Io(e) => write!(f, "i/o error: {e}"),
         }
     }
 }

@@ -1,14 +1,15 @@
 //! All five private methods side by side — one row of Fig. 3.
 //!
-//! Runs DPGGAN, DPGVAE, GAP, DPAR and AdvSGM on a Wiki-like graph at a
-//! fixed budget and prints the link-prediction AUC of each.
+//! Runs DPGGAN, DPGVAE, GAP, DPAR (the baseline trainers) and AdvSGM
+//! (through `advsgm::api`) on a Wiki-like graph at a fixed budget and
+//! prints the link-prediction AUC of each.
 //!
 //! ```bash
 //! cargo run --release --example compare_baselines
 //! ```
 
+use advsgm::api::{Epsilon, ModelVariant, PipelineBuilder};
 use advsgm::baselines::{BaselineConfig, Dpar, DpgGan, DpgVae, Gap};
-use advsgm::core::{AdvSgmConfig, ModelVariant, Trainer};
 use advsgm::datasets::{synthesize, Dataset};
 use advsgm::eval::linkpred::evaluate_split;
 use advsgm::graph::partition::link_prediction_split;
@@ -49,11 +50,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         evaluate_split(&Dpar::default().train(&split.train, &bcfg)?, &split)?,
     ));
 
-    let mut cfg = AdvSgmConfig::for_variant(ModelVariant::AdvSgm);
-    cfg.epochs = 10;
-    cfg.epsilon = 6.0;
-    let adv = Trainer::fit(&split.train, cfg)?;
-    results.push(("AdvSGM", evaluate_split(&adv.node_vectors, &split)?));
+    let adv = PipelineBuilder::new(ModelVariant::AdvSgm)
+        .epochs(10)
+        .epsilon(Epsilon::new(6.0)?)
+        .build(&split.train)?
+        .train()?;
+    results.push(("AdvSGM", evaluate_split(adv.embeddings(), &split)?));
 
     println!("{:<10} {:>8}", "method", "AUC");
     for (name, auc) in &results {

@@ -1,13 +1,14 @@
 //! Link prediction across privacy budgets — the Fig. 3 story in miniature.
 //!
 //! Trains SGM (non-private), DP-SGM, and AdvSGM on a Facebook-like
-//! synthetic social network and prints AUC per privacy budget.
+//! synthetic social network through `advsgm::api` and prints AUC per
+//! privacy budget.
 //!
 //! ```bash
 //! cargo run --release --example link_prediction
 //! ```
 
-use advsgm::core::{AdvSgmConfig, ModelVariant, Trainer};
+use advsgm::api::{Epsilon, ModelVariant, PipelineBuilder};
 use advsgm::datasets::{synthesize, Dataset};
 use advsgm::eval::linkpred::evaluate_split;
 use advsgm::graph::partition::link_prediction_split;
@@ -27,21 +28,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let split = link_prediction_split(&graph, 0.10, &mut rng)?;
 
     // Non-private reference.
-    let mut cfg = AdvSgmConfig::for_variant(ModelVariant::Sgm);
-    cfg.epochs = 10;
-    let sgm = Trainer::fit(&split.train, cfg)?;
-    let sgm_auc = evaluate_split(&sgm.node_vectors, &split)?;
+    let sgm = PipelineBuilder::new(ModelVariant::Sgm)
+        .epochs(10)
+        .build(&split.train)?
+        .train()?;
+    let sgm_auc = evaluate_split(sgm.embeddings(), &split)?;
     println!("\nSGM (no DP):      AUC = {sgm_auc:.4}");
 
     println!("\n{:<8} {:>10} {:>10}", "epsilon", "DP-SGM", "AdvSGM");
     for eps in [1.0, 3.0, 6.0] {
         let mut row = format!("{eps:<8}");
         for variant in [ModelVariant::DpSgm, ModelVariant::AdvSgm] {
-            let mut cfg = AdvSgmConfig::for_variant(variant);
-            cfg.epochs = 10;
-            cfg.epsilon = eps;
-            let out = Trainer::fit(&split.train, cfg)?;
-            let auc = evaluate_split(&out.node_vectors, &split)?;
+            let trained = PipelineBuilder::new(variant)
+                .epochs(10)
+                .epsilon(Epsilon::new(eps)?)
+                .build(&split.train)?
+                .train()?;
+            let auc = evaluate_split(trained.embeddings(), &split)?;
             row.push_str(&format!(" {auc:>10.4}"));
         }
         println!("{row}");

@@ -1,14 +1,15 @@
 //! Node clustering with Affinity Propagation — the Fig. 4 pipeline.
 //!
-//! Trains AdvSGM on a PPI-like labeled graph, clusters the embeddings with
-//! Affinity Propagation (the paper's clusterer), and reports mutual
-//! information against the ground-truth classes.
+//! Trains AdvSGM on a PPI-like labeled graph through `advsgm::api`,
+//! clusters the embeddings with Affinity Propagation (the paper's
+//! clusterer), and reports mutual information against the ground-truth
+//! classes.
 //!
 //! ```bash
 //! cargo run --release --example node_clustering
 //! ```
 
-use advsgm::core::{AdvSgmConfig, ModelVariant, Trainer};
+use advsgm::api::{Epsilon, ModelVariant, PipelineBuilder};
 use advsgm::datasets::{synthesize, Dataset};
 use advsgm::eval::clustering::affinity::{AffinityPropagation, ApParams};
 use advsgm::eval::clustering::metrics::{mutual_information, normalized_mutual_information};
@@ -25,19 +26,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         graph.num_classes()
     );
 
-    let mut cfg = AdvSgmConfig::for_variant(ModelVariant::AdvSgm);
-    cfg.epochs = 10;
-    cfg.epsilon = 6.0;
-    let out = Trainer::fit(&graph, cfg)?;
+    let trained = PipelineBuilder::new(ModelVariant::AdvSgm)
+        .epochs(10)
+        .epsilon(Epsilon::new(6.0)?)
+        .build(&graph)?
+        .train()?;
     println!(
         "trained AdvSGM: {} epochs, stopped_by_budget = {}",
-        out.epochs_run, out.stopped_by_budget
+        trained.outcome().epochs_run,
+        trained.outcome().stopped_by_budget
     );
 
-    // Affinity Propagation discovers the cluster count itself.
-    let views: Vec<&[f64]> = (0..out.node_vectors.rows())
-        .map(|i| out.node_vectors.row(i))
-        .collect();
+    // Affinity Propagation discovers the cluster count itself
+    // (post-processing of the released matrix: no further budget).
+    let emb = trained.embeddings();
+    let views: Vec<&[f64]> = (0..emb.rows()).map(|i| emb.row(i)).collect();
     let mut rng = seeded(17);
     let ap = AffinityPropagation::fit(&views, &ApParams::default(), &mut rng)?;
     println!(

@@ -1,17 +1,20 @@
-//! Parallel sharded training: the same Algorithm 3, spread over a worker
-//! pool, with the engine's determinism contract demonstrated live.
+//! Parallel sharded training through `advsgm::api`: the same Algorithm 3
+//! at every width, engine selection left entirely to the pipeline — plus
+//! a live proof that the facade is bitwise-faithful to the hand-wired
+//! engines it wraps.
 //!
 //! ```bash
 //! cargo run --release --example parallel_training
 //! ```
 //!
 //! The sweep below pins explicit widths (1/2/4) so the determinism checks
-//! are self-contained; a final auto run leaves `num_threads = 0` to show
-//! how `ADVSGM_THREADS` resolves when the width is not pinned in code.
+//! are self-contained; a final auto run leaves the width unset to show
+//! how `ADVSGM_THREADS` resolves when it is not pinned in code.
 
 use std::time::Instant;
 
-use advsgm::core::{AdvSgmConfig, ModelVariant, ShardedTrainer, Trainer};
+use advsgm::api::{ModelVariant, PipelineBuilder};
+use advsgm::core::{ShardedTrainer, Trainer};
 use advsgm::graph::generators::sbm::{degree_corrected_sbm, SbmConfig};
 use advsgm::linalg::rng::seeded;
 
@@ -35,79 +38,76 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         graph.num_edges()
     );
 
-    let base = AdvSgmConfig {
-        variant: ModelVariant::AdvSgm,
-        dim: 64,
-        batch_size: 256,
-        epochs: 2,
-        disc_iters: 8,
-        gen_iters: 2,
-        epsilon: 1e9, // never stop early: comparable work at every width
-        ..AdvSgmConfig::default()
-    };
+    let base = PipelineBuilder::new(ModelVariant::AdvSgm)
+        .dim(advsgm::api::Dim::new(64)?)
+        .batch_size(256)
+        .epochs(2)
+        .disc_iters(8)
+        .gen_iters(2)
+        .epsilon(advsgm::api::Epsilon::new(1e9)?); // never stop early
 
-    // Reference: the sequential trainer.
+    // Reference: the hand-wired sequential trainer (internals surface).
     let t0 = Instant::now();
-    let seq = Trainer::fit(&graph, base.clone())?;
+    let seq = Trainer::fit(&graph, base.config().clone())?;
     let seq_time = t0.elapsed();
     println!(
-        "sequential Trainer        {seq_time:>10.2?}  ({} updates)",
+        "hand-wired Trainer        {seq_time:>10.2?}  ({} updates)",
         seq.disc_updates
     );
 
-    // The sharded engine at increasing widths. threads = 1 must reproduce
-    // the sequential run bit-for-bit; wider runs are deterministic too,
-    // each on its own derived-stream trajectory.
+    // The pipeline at increasing widths. threads = 1 must reproduce the
+    // sequential run bit-for-bit; wider runs are deterministic too, each
+    // on its own derived-stream trajectory — and every width must match
+    // the hand-wired ShardedTrainer exactly (the facade adds nothing).
     for threads in [1usize, 2, 4] {
-        let cfg = base.clone().with_threads(threads);
+        let b = base.clone().threads(threads);
         let t0 = Instant::now();
-        let out = ShardedTrainer::fit(&graph, cfg.clone())?;
+        let out = b.clone().build(&graph)?.train()?;
         let elapsed = t0.elapsed();
-        let rerun = ShardedTrainer::fit(&graph, cfg)?;
-        let deterministic = out
-            .node_vectors
+        let hand_wired = ShardedTrainer::fit(&graph, b.config().clone())?;
+        let bitwise_engine = out
+            .embeddings()
             .as_slice()
             .iter()
-            .zip(rerun.node_vectors.as_slice())
+            .zip(hand_wired.node_vectors.as_slice())
             .all(|(a, b)| a.to_bits() == b.to_bits());
         let bitwise_seq = out
-            .node_vectors
+            .embeddings()
             .as_slice()
             .iter()
             .zip(seq.node_vectors.as_slice())
             .all(|(a, b)| a.to_bits() == b.to_bits());
         println!(
-            "sharded, {threads} thread(s)      {elapsed:>10.2?}  run-to-run deterministic: {deterministic}{}",
+            "pipeline, {threads} thread(s)     {elapsed:>10.2?}  bitwise == hand-wired engine: {bitwise_engine}{}",
             if threads == 1 {
                 format!(", bitwise == sequential: {bitwise_seq}")
             } else {
                 String::new()
             }
         );
-        assert!(deterministic, "determinism contract violated");
+        assert!(bitwise_engine, "facade must be bitwise-faithful");
         if threads == 1 {
             assert!(bitwise_seq, "threads=1 must match the sequential trainer");
         }
         // Accounting never depends on the engine.
-        assert_eq!(out.disc_updates, seq.disc_updates);
-        assert_eq!(out.epsilon_spent, seq.epsilon_spent);
+        assert_eq!(out.outcome().disc_updates, seq.disc_updates);
+        assert_eq!(out.outcome().epsilon_spent, seq.epsilon_spent);
     }
 
-    // Auto resolution: num_threads = 0 defers to ADVSGM_THREADS (else 1).
-    let auto_cfg = base.clone().with_threads(0);
-    let auto = ShardedTrainer::new(&graph, auto_cfg.clone())?;
+    // Auto resolution: an unpinned width defers to ADVSGM_THREADS (else 1).
+    let auto = base.clone().threads(0).build(&graph)?;
     println!(
-        "\nauto width: num_threads = 0 resolves to {} thread(s) \
+        "\nauto width: threads = 0 resolves to {} thread(s) \
          (ADVSGM_THREADS = {})",
         auto.threads(),
         std::env::var("ADVSGM_THREADS").unwrap_or_else(|_| "unset".into())
     );
-    assert_eq!(auto.threads(), auto_cfg.effective_threads());
+    assert_eq!(auto.threads(), auto.config().effective_threads());
 
     println!(
         "\nprivacy spend (any engine): epsilon = {:.3} at delta = {:.0e}",
         seq.epsilon_spent.unwrap_or(f64::NAN),
-        base.delta
+        base.config().delta
     );
     println!("speedups require free cores; see `cargo bench --bench throughput_scaling`");
     Ok(())

@@ -1,0 +1,44 @@
+//! The whole lifecycle in one screen: train → save → load → top-k,
+//! entirely through `advsgm::api` — no engine names, no crate-level
+//! types, one error type.
+//!
+//! ```bash
+//! cargo run --release --example pipeline_quickstart
+//! ```
+
+use advsgm::api::{Dim, EmbeddingService, Epsilon, ModelVariant, PipelineBuilder, Result};
+use advsgm::graph::generators::classic::karate_club;
+
+fn main() -> Result<()> {
+    // The complete train → save → load → top-k flow (the builder rejects
+    // invalid parameters at construction; `build` validates the rest).
+    let graph = karate_club();
+    let path = std::env::temp_dir().join("pipeline_quickstart.aemb");
+    let trained = PipelineBuilder::test_small(ModelVariant::AdvSgm)
+        .dim(Dim::new(16)?)
+        .epsilon(Epsilon::new(6.0)?)
+        .epochs(10)
+        .seed(7)
+        .build(&graph)?
+        .train()?;
+    trained.save_embeddings(&path)?;
+    let service = EmbeddingService::open(&path)?;
+    let neighbors = service.top_k(0, 5)?;
+    // ---- that's the whole pipeline; the rest is printing. ----
+
+    if let Some(spend) = trained.spend() {
+        println!(
+            "trained {} epochs; spent epsilon = {:.4} over {} mechanism steps",
+            trained.outcome().epochs_run,
+            spend.epsilon_spent,
+            spend.steps
+        );
+    }
+    println!("released under: {}", service.privacy());
+    println!("top 5 neighbors of node 0:");
+    for n in &neighbors {
+        println!("  node {:>3}  score {:+.4}", n.node, n.score);
+    }
+    std::fs::remove_file(&path)?;
+    Ok(())
+}

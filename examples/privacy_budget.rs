@@ -1,14 +1,18 @@
 //! Inside the privacy accountant — how Theorem 7's numbers arise.
 //!
 //! Shows (a) the RDP curve of one subsampled Gaussian step, (b) how epsilon
-//! accumulates over training iterations, and (c) how many discriminator
+//! accumulates over training iterations, (c) how many discriminator
 //! iterations each target budget affords on a PPI-sized graph — the
-//! quantity that makes AdvSGM's utility grow with epsilon in Fig. 3.
+//! quantity that makes AdvSGM's utility grow with epsilon in Fig. 3 —
+//! and (d) the same accounting surfaced through `advsgm::api` as a
+//! `Trained::spend` snapshot.
 //!
 //! ```bash
 //! cargo run --release --example privacy_budget
 //! ```
 
+use advsgm::api::{Epsilon, ModelVariant, PipelineBuilder};
+use advsgm::graph::generators::classic::karate_club;
 use advsgm::privacy::accountant::RdpAccountant;
 use advsgm::privacy::subsampled::subsampled_gaussian_epsilon;
 
@@ -51,5 +55,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     println!("\nThis is why every private method sits near AUC 0.5 at epsilon = 1:");
     println!("the budget affords almost no training before the stopping rule fires.");
+
+    // The same machinery through the public pipeline: a Trained handle
+    // carries the accountant's final snapshot — the number every artifact
+    // released from it is stamped with.
+    let graph = karate_club();
+    let trained = PipelineBuilder::test_small(ModelVariant::AdvSgm)
+        .epsilon(Epsilon::new(2.0)?)
+        .epochs(8)
+        .build(&graph)?
+        .train()?;
+    let spend = trained.spend().expect("AdvSGM is private");
+    println!(
+        "\nthrough advsgm::api on the karate club: {} mechanism steps, \
+         epsilon_spent = {:.4} (optimal RDP order {}), stopped_by_budget = {}",
+        spend.steps,
+        spend.epsilon_spent,
+        spend.optimal_alpha,
+        trained.outcome().stopped_by_budget
+    );
     Ok(())
 }

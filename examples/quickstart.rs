@@ -1,11 +1,12 @@
 //! Quickstart: train a differentially private AdvSGM embedding on
-//! Zachary's karate club and evaluate link prediction.
+//! Zachary's karate club through `advsgm::api` and evaluate link
+//! prediction.
 //!
 //! ```bash
 //! cargo run --release --example quickstart
 //! ```
 
-use advsgm::core::{AdvSgmConfig, ModelVariant, Trainer};
+use advsgm::api::{Dim, Epsilon, ModelVariant, PipelineBuilder};
 use advsgm::eval::linkpred::evaluate_split;
 use advsgm::graph::generators::classic::karate_club;
 use advsgm::graph::partition::link_prediction_split;
@@ -26,30 +27,36 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut rng = seeded(7);
     let split = link_prediction_split(&graph, 0.10, &mut rng)?;
 
-    // 3. Train AdvSGM under a node-level (epsilon = 6, delta = 1e-5) budget.
-    //    `test_small` shrinks the model so this example runs in a second;
-    //    see `AdvSgmConfig::default()` for the paper's full setup.
-    let mut cfg = AdvSgmConfig::test_small(ModelVariant::AdvSgm);
-    cfg.epochs = 10;
-    cfg.epsilon = 6.0;
-    let out = Trainer::fit(&split.train, cfg)?;
+    // 3. Train AdvSGM under a node-level (epsilon = 6, delta = 1e-5)
+    //    budget. `test_small` shrinks the model so this example runs in a
+    //    second; `PipelineBuilder::new` starts from the paper's full
+    //    setup. The typed `Epsilon`/`Dim` parameters cannot hold invalid
+    //    values, and `build` validates the rest exactly once.
+    let trained = PipelineBuilder::test_small(ModelVariant::AdvSgm)
+        .dim(Dim::new(16)?)
+        .epsilon(Epsilon::new(6.0)?)
+        .epochs(10)
+        .build(&split.train)?
+        .train()?;
+    let out = trained.outcome();
     println!(
         "trained: {} epochs, {} discriminator updates, stopped_by_budget = {}",
         out.epochs_run, out.disc_updates, out.stopped_by_budget
     );
-    if let (Some(eps), Some(delta)) = (out.epsilon_spent, out.delta_spent) {
+    if let Some(spend) = trained.spend() {
         println!(
-            "privacy spent: epsilon = {eps:.3} at delta = 1e-5 (delta_hat at eps=6: {delta:.2e})"
+            "privacy spent: epsilon = {:.3} at delta = 1e-5 (delta_hat at eps=6: {:.2e})",
+            spend.epsilon_spent, spend.delta_spent
         );
     }
 
     // 4. Score held-out pairs with embedding inner products.
-    let auc = evaluate_split(&out.node_vectors, &split)?;
+    let auc = evaluate_split(trained.embeddings(), &split)?;
     println!("link prediction AUC = {auc:.4}");
 
     // 5. The released matrix is plain data — post-processing (Theorem 5)
     //    means anything you compute from it keeps the DP guarantee.
-    let v0 = &out.node_vectors.row(0)[..4.min(out.node_vectors.cols())];
+    let v0 = &trained.embeddings().row(0)[..4.min(trained.embeddings().cols())];
     println!("embedding of node 0 (first coords): {v0:?}");
     Ok(())
 }

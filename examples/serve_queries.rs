@@ -1,22 +1,23 @@
-//! End-to-end serving demo: train → export → save → load → query.
+//! End-to-end serving demo: train → release → save → load → query,
+//! entirely through `advsgm::api`.
 //!
 //! ```bash
 //! cargo run --release --example serve_queries
 //! ```
 //!
-//! Trains AdvSGM on a small synthetic community graph, exports the
-//! released vectors as an `.aemb` store stamped with the accountant's
-//! spend, roundtrips it through disk (bitwise-exact — the file format
-//! stores raw IEEE-754 bits, see `docs/FORMAT.md`), and serves pair-score
-//! and top-k neighbor queries from the loaded copy. All of the serving is
-//! post-processing (Theorem 5): the privacy metadata printed below is the
-//! complete cost, no matter how many queries run.
+//! Trains AdvSGM on a small synthetic community graph, releases the
+//! vectors as an `.aemb` store stamped with the accountant's spend,
+//! roundtrips it through disk (bitwise-exact — the file format stores
+//! raw IEEE-754 bits, see `docs/FORMAT.md`), and serves pair-score and
+//! top-k neighbor queries from an `EmbeddingService` over the loaded
+//! copy. All of the serving is post-processing (Theorem 5): the privacy
+//! stamp printed below is the complete cost, no matter how many queries
+//! run.
 
-use advsgm::core::{AdvSgmConfig, ModelVariant, ShardedTrainer};
+use advsgm::api::{Dim, EmbeddingService, ModelVariant, PipelineBuilder};
 use advsgm::graph::generators::sbm::{degree_corrected_sbm, SbmConfig};
 use advsgm::graph::NodeId;
 use advsgm::linalg::rng::seeded;
-use advsgm::store::{EmbeddingStore, ExportEmbeddings};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut rng = seeded(33);
@@ -36,21 +37,31 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         graph.num_edges()
     );
 
-    // Train and export in one step; the store carries the accountant's
+    // Train and release in one flow; the store carries the accountant's
     // spent epsilon, the target delta, and sigma.
-    let mut cfg = AdvSgmConfig::test_small(ModelVariant::AdvSgm);
-    cfg.dim = 32;
-    cfg.epochs = 4;
-    cfg.disc_iters = 8;
-    let store = ShardedTrainer::new(&graph, cfg)?.export(&graph)?;
-    println!("exported: {} x {} vectors", store.len(), store.dim());
-    println!("privacy:  {}", store.meta());
+    let trained = PipelineBuilder::test_small(ModelVariant::AdvSgm)
+        .dim(Dim::new(32)?)
+        .epochs(4)
+        .disc_iters(8)
+        .build(&graph)?
+        .train()?;
+    println!(
+        "released: {} x {} vectors",
+        trained.store().len(),
+        trained.store().dim()
+    );
+    println!("privacy:  {}", trained.store().meta());
 
-    // Persist and reload — the roundtrip is bitwise-exact.
+    // Persist and reload through the service — the roundtrip is
+    // bitwise-exact and the checksum is verified on open.
     let path = std::env::temp_dir().join("serve_queries_demo.aemb");
-    store.save(&path)?;
-    let served = EmbeddingStore::load(&path)?;
-    assert_eq!(served, store, "save -> load must be exact");
+    trained.save_embeddings(&path)?;
+    let served = EmbeddingService::open(&path)?;
+    assert_eq!(
+        served.store(),
+        trained.store(),
+        "save -> load must be exact"
+    );
     println!(
         "saved + reloaded {} ({} bytes), checksum verified",
         path.display(),
@@ -85,9 +96,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Batched serving is thread-count invariant: same bits at any width.
     let queries: Vec<usize> = (0..served.len()).step_by(37).collect();
-    let one = served.batch_top_k(&queries, 5, 1)?;
-    let four = served.batch_top_k(&queries, 5, 4)?;
-    assert_eq!(one, four, "batch_top_k must not depend on thread count");
+    let here = served.batch_top_k(&queries, 5)?;
+    let four = EmbeddingService::open_with_threads(&path, 4)?;
+    assert_eq!(
+        here,
+        four.batch_top_k(&queries, 5)?,
+        "batch_top_k must not depend on the service's pool width"
+    );
     println!(
         "\nbatch_top_k over {} queries: identical results at 1 and 4 threads",
         queries.len()

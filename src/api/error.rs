@@ -1,0 +1,190 @@
+//! The one workspace error: every crate failure funnels into
+//! [`enum@Error`], so the whole facade returns one [`Result`].
+//!
+//! Each wrapped error keeps its source chain (the inner error is
+//! reachable through [`std::error::Error::source`]) and its `Display`
+//! names the originating layer, so `"store: truncated .aemb file: ..."`
+//! tells a caller at a glance which subsystem failed without matching on
+//! variants. The enum is `#[non_exhaustive]`: new layers can join
+//! without breaking downstream matches.
+
+use std::fmt;
+use std::path::PathBuf;
+
+use advsgm_baselines::BaselineError;
+use advsgm_core::CoreError;
+use advsgm_eval::EvalError;
+use advsgm_graph::GraphError;
+use advsgm_linalg::LinalgError;
+use advsgm_privacy::PrivacyError;
+use advsgm_store::StoreError;
+
+/// The facade-wide result type: every `advsgm::api` operation returns it.
+///
+/// # Examples
+/// ```
+/// fn parse_budget(raw: f64) -> advsgm::api::Result<advsgm::api::Epsilon> {
+///     advsgm::api::Epsilon::new(raw)
+/// }
+/// assert!(parse_budget(6.0).is_ok());
+/// assert!(parse_budget(-1.0).is_err());
+/// ```
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Every failure the workspace can produce, under one roof.
+///
+/// Constructed via `From` impls from each crate's error type (or by the
+/// `api` layer itself for typed-parameter violations), with the source
+/// chain preserved and the originating layer named in the `Display`
+/// rendering.
+///
+/// # Examples
+/// ```
+/// use std::error::Error as _;
+/// use advsgm::graph::GraphError;
+///
+/// let e = advsgm::api::Error::from(GraphError::EmptyGraph { op: "train" });
+/// assert_eq!(e.to_string(), "graph: train requires a non-empty graph");
+/// assert!(e.source().is_some(), "the layer error stays reachable");
+/// ```
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum Error {
+    /// A graph-substrate failure (construction, I/O, sampling).
+    Graph(GraphError),
+    /// A linear-algebra failure (shape mismatch, bad parameter).
+    Linalg(LinalgError),
+    /// A privacy-substrate failure (accounting parameters; budget
+    /// exhaustion during training is *not* an error — it is a normal
+    /// stopping condition reported on the outcome).
+    Privacy(PrivacyError),
+    /// A training failure from the core engines.
+    Core(CoreError),
+    /// A failure in one of the comparison baselines.
+    Baselines(BaselineError),
+    /// An evaluation failure (link prediction, clustering).
+    Eval(EvalError),
+    /// A persistence or serving failure (`.aemb`/`.actk` codecs, store
+    /// queries).
+    Store(StoreError),
+    /// A bare I/O failure raised by the `api` layer itself.
+    Io(std::io::Error),
+    /// A typed parameter rejected at construction
+    /// ([`Epsilon`](crate::api::Epsilon) and friends), or an `api`-level
+    /// precondition violation.
+    InvalidParameter {
+        /// The parameter that was rejected.
+        param: &'static str,
+        /// The constraint it violated.
+        reason: String,
+    },
+    /// A periodic checkpoint write requested through
+    /// [`Pipeline::checkpoint_every`](crate::api::Pipeline::checkpoint_every)
+    /// failed; training stopped gracefully at that epoch boundary.
+    CheckpointWrite {
+        /// The checkpoint file that could not be written.
+        path: PathBuf,
+        /// The underlying codec/I-O failure.
+        source: StoreError,
+    },
+}
+
+impl Error {
+    /// An `api`-layer parameter rejection (used by the typed newtypes).
+    pub(crate) fn invalid(param: &'static str, reason: impl Into<String>) -> Self {
+        Error::InvalidParameter {
+            param,
+            reason: reason.into(),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Graph(e) => write!(f, "graph: {e}"),
+            Error::Linalg(e) => write!(f, "linalg: {e}"),
+            Error::Privacy(e) => write!(f, "privacy: {e}"),
+            Error::Core(e) => write!(f, "core: {e}"),
+            Error::Baselines(e) => write!(f, "baselines: {e}"),
+            Error::Eval(e) => write!(f, "eval: {e}"),
+            Error::Store(e) => write!(f, "store: {e}"),
+            Error::Io(e) => write!(f, "io: {e}"),
+            Error::InvalidParameter { param, reason } => {
+                write!(f, "api: invalid parameter {param}: {reason}")
+            }
+            Error::CheckpointWrite { path, source } => {
+                write!(
+                    f,
+                    "api: checkpoint write failed at {}: {source}",
+                    path.display()
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Graph(e) => Some(e),
+            Error::Linalg(e) => Some(e),
+            Error::Privacy(e) => Some(e),
+            Error::Core(e) => Some(e),
+            Error::Baselines(e) => Some(e),
+            Error::Eval(e) => Some(e),
+            Error::Store(e) => Some(e),
+            Error::Io(e) => Some(e),
+            Error::InvalidParameter { .. } => None,
+            Error::CheckpointWrite { source, .. } => Some(source),
+        }
+    }
+}
+
+impl From<GraphError> for Error {
+    fn from(e: GraphError) -> Self {
+        Error::Graph(e)
+    }
+}
+
+impl From<LinalgError> for Error {
+    fn from(e: LinalgError) -> Self {
+        Error::Linalg(e)
+    }
+}
+
+impl From<PrivacyError> for Error {
+    fn from(e: PrivacyError) -> Self {
+        Error::Privacy(e)
+    }
+}
+
+impl From<CoreError> for Error {
+    fn from(e: CoreError) -> Self {
+        Error::Core(e)
+    }
+}
+
+impl From<BaselineError> for Error {
+    fn from(e: BaselineError) -> Self {
+        Error::Baselines(e)
+    }
+}
+
+impl From<EvalError> for Error {
+    fn from(e: EvalError) -> Self {
+        Error::Eval(e)
+    }
+}
+
+impl From<StoreError> for Error {
+    fn from(e: StoreError) -> Self {
+        Error::Store(e)
+    }
+}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Io(e)
+    }
+}

@@ -1,0 +1,223 @@
+//! The long-lived query-serving handle over a released embedding store.
+//!
+//! [`EmbeddingService`] wraps an [`EmbeddingStore`] together with an
+//! owned worker pool, so a serving loop pays thread spawns once and
+//! answers every query — Eq.-2 pair scores, top-k neighbors, batched
+//! top-k — from then on. All of it is post-processing of the released
+//! matrix (the paper's Theorem 5): the privacy stamp the service reports
+//! is the complete cost no matter how many queries run, and batched
+//! results are bitwise-identical at every pool width.
+
+use std::path::Path;
+use std::sync::Mutex;
+
+use advsgm_parallel::{resolve_threads, ThreadPool};
+use advsgm_store::{EmbeddingStore, Neighbor, PrivacyMeta};
+
+use crate::api::error::Result;
+
+/// A query-serving handle: the released store plus an owned worker pool.
+///
+/// # Examples
+/// ```
+/// use advsgm::api::{EmbeddingService, ModelVariant, PipelineBuilder};
+/// use advsgm::graph::generators::classic::karate_club;
+///
+/// let graph = karate_club();
+/// let dir = std::env::temp_dir().join("advsgm_api_service_doc");
+/// std::fs::create_dir_all(&dir)?;
+/// let path = dir.join("doc.aemb");
+///
+/// PipelineBuilder::test_small(ModelVariant::AdvSgm)
+///     .build(&graph)?
+///     .train()?
+///     .save_embeddings(&path)?;
+///
+/// let service = EmbeddingService::open(&path)?;
+/// println!("released under: {}", service.privacy());
+/// let score = service.score(0, 33)?;
+/// assert!(score.is_finite());
+/// let top = service.top_k(0, 5)?;
+/// assert_eq!(top.len(), 5);
+/// let batched = service.batch_top_k(&[0, 33], 5)?;
+/// assert_eq!(batched[0], top, "batched serving matches single-query");
+/// # std::fs::remove_file(&path)?;
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub struct EmbeddingService {
+    store: EmbeddingStore,
+    /// Resolved worker width; the pool itself is built on the first
+    /// batched query, so single-query and metadata-only consumers (e.g.
+    /// `advsgm info`) never spawn threads. Interior-mutable so the whole
+    /// query surface takes `&self` (a shared service handle can serve).
+    threads: usize,
+    pool: Mutex<Option<ThreadPool>>,
+}
+
+impl std::fmt::Debug for EmbeddingService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EmbeddingService")
+            .field("nodes", &self.store.len())
+            .field("dim", &self.store.dim())
+            .field("privacy", self.store.meta())
+            .field("pool_threads", &self.threads)
+            .finish()
+    }
+}
+
+impl EmbeddingService {
+    /// Loads an `.aemb` file (checksum-verified) and stands up a serving
+    /// handle with the worker width auto-resolved (`ADVSGM_THREADS` if
+    /// set, else 1).
+    ///
+    /// # Errors
+    /// [`Error`](crate::api::Error) wrapping I/O failures and every
+    /// typed corruption mode of the format.
+    pub fn open(path: impl AsRef<Path>) -> Result<Self> {
+        Ok(Self::from_store(EmbeddingStore::load(path)?))
+    }
+
+    /// [`EmbeddingService::open`] with an explicit worker width
+    /// (`0` = auto). Width never changes results, only latency: batched
+    /// serving is bitwise thread-count-invariant.
+    ///
+    /// # Errors
+    /// See [`EmbeddingService::open`].
+    pub fn open_with_threads(path: impl AsRef<Path>, threads: usize) -> Result<Self> {
+        Ok(Self::with_threads(EmbeddingStore::load(path)?, threads))
+    }
+
+    /// Wraps an in-memory store with the worker width auto-resolved.
+    pub fn from_store(store: EmbeddingStore) -> Self {
+        Self::with_threads(store, 0)
+    }
+
+    /// Wraps an in-memory store with an explicit worker width
+    /// (`0` = auto, resolved here so `ADVSGM_THREADS` is read once at
+    /// construction). Worker threads spawn lazily on the first
+    /// [`EmbeddingService::batch_top_k`] call.
+    pub fn with_threads(store: EmbeddingStore, threads: usize) -> Self {
+        Self {
+            threads: resolve_threads(threads),
+            pool: Mutex::new(None),
+            store,
+        }
+    }
+
+    /// Number of served nodes.
+    pub fn len(&self) -> usize {
+        self.store.len()
+    }
+
+    /// Whether the service holds no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.store.is_empty()
+    }
+
+    /// Embedding dimension `r`.
+    pub fn dim(&self) -> usize {
+        self.store.dim()
+    }
+
+    /// The privacy stamp the release carries: variant and, for private
+    /// variants, the spent `(epsilon, delta)` and `sigma`.
+    pub fn privacy(&self) -> &PrivacyMeta {
+        self.store.meta()
+    }
+
+    /// Eq. 2's link score `<v_u, v_v>`.
+    ///
+    /// # Errors
+    /// [`Error::Store`](crate::api::Error::Store) for rows the store
+    /// does not hold.
+    pub fn score(&self, u: usize, v: usize) -> Result<f64> {
+        Ok(self.store.score(u, v)?)
+    }
+
+    /// The `k` highest-scoring neighbors of `u` (self excluded), sorted
+    /// by `(score desc, row asc)`.
+    ///
+    /// # Errors
+    /// [`Error::Store`](crate::api::Error::Store) for rows the store
+    /// does not hold.
+    pub fn top_k(&self, u: usize, k: usize) -> Result<Vec<Neighbor>> {
+        Ok(self.store.top_k(u, k)?)
+    }
+
+    /// [`EmbeddingService::top_k`] for many query nodes at once, spread
+    /// over the service's pool (spawned on the first call, then reused;
+    /// concurrent callers serialise on it). Results are assembled in
+    /// query order and are bitwise-identical at every pool width.
+    ///
+    /// # Errors
+    /// [`Error::Store`](crate::api::Error::Store) if *any* query row is
+    /// out of range (checked up front; no partial results).
+    pub fn batch_top_k(&self, queries: &[usize], k: usize) -> Result<Vec<Vec<Neighbor>>> {
+        // A poisoned lock only means a previous batch panicked; the pool
+        // cache itself stays usable.
+        let mut guard = self
+            .pool
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let pool = guard.get_or_insert_with(|| ThreadPool::new(self.threads));
+        Ok(self.store.batch_top_k_in(queries, k, pool)?)
+    }
+
+    /// Persists the served store as an `.aemb` file (bitwise-exact
+    /// roundtrip).
+    ///
+    /// # Errors
+    /// [`Error::Store`](crate::api::Error::Store) on I/O failures.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<()> {
+        Ok(self.store.save(path)?)
+    }
+
+    /// The wrapped store (internals escape hatch).
+    pub fn store(&self) -> &EmbeddingStore {
+        &self.store
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use advsgm_core::ModelVariant;
+    use advsgm_linalg::DenseMatrix;
+
+    fn service() -> EmbeddingService {
+        let m = DenseMatrix::from_fn(20, 4, |i, j| ((i * 7 + j * 3) as f64 * 0.17).sin());
+        let store = EmbeddingStore::new(m, PrivacyMeta::non_private(ModelVariant::Sgm)).unwrap();
+        EmbeddingService::with_threads(store, 2)
+    }
+
+    #[test]
+    fn queries_match_the_store() {
+        let s = service();
+        assert_eq!(s.len(), 20);
+        assert_eq!(s.dim(), 4);
+        assert!(!s.is_empty());
+        assert!(!s.privacy().is_private());
+        let solo = s.top_k(3, 5).unwrap();
+        assert_eq!(solo, s.store().top_k(3, 5).unwrap());
+        let batched = s.batch_top_k(&[3, 7], 5).unwrap();
+        assert_eq!(batched[0], solo);
+        assert_eq!(
+            s.score(1, 2).unwrap().to_bits(),
+            s.store().score(1, 2).unwrap().to_bits()
+        );
+    }
+
+    #[test]
+    fn out_of_range_queries_are_typed_errors() {
+        let s = service();
+        assert!(s.score(0, 99).is_err());
+        assert!(s.top_k(99, 3).is_err());
+        assert!(s.batch_top_k(&[0, 99], 3).is_err());
+    }
+
+    #[test]
+    fn open_missing_file_reports_the_store_layer() {
+        let err = EmbeddingService::open("/nonexistent/advsgm/nope.aemb").unwrap_err();
+        assert!(err.to_string().starts_with("store: "), "{err}");
+    }
+}

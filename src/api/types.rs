@@ -1,0 +1,219 @@
+//! Typed configuration values — parse, don't validate.
+//!
+//! Each newtype's constructor rejects out-of-range values, so once a
+//! value exists it is known-good: a [`PipelineBuilder`] built from these
+//! types cannot represent a config whose named privacy/shape parameters
+//! are invalid, and the remaining cross-field constraints are checked
+//! exactly once by [`PipelineBuilder::build`].
+//!
+//! [`PipelineBuilder`]: crate::api::PipelineBuilder
+//! [`PipelineBuilder::build`]: crate::api::PipelineBuilder::build
+
+use std::fmt;
+
+use crate::api::error::{Error, Result};
+
+/// A validated privacy budget `epsilon`: finite and strictly positive.
+///
+/// # Examples
+/// ```
+/// use advsgm::api::Epsilon;
+///
+/// let eps = Epsilon::new(6.0).unwrap();
+/// assert_eq!(eps.get(), 6.0);
+/// assert!(Epsilon::new(0.0).is_err());
+/// assert!(Epsilon::new(f64::NAN).is_err());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+pub struct Epsilon(f64);
+
+impl Epsilon {
+    /// Parses a raw budget; rejects non-finite and non-positive values.
+    ///
+    /// # Errors
+    /// [`Error::InvalidParameter`] naming `epsilon`.
+    pub fn new(value: f64) -> Result<Self> {
+        if value.is_finite() && value > 0.0 {
+            Ok(Self(value))
+        } else {
+            Err(Error::invalid(
+                "epsilon",
+                format!("privacy budget must be finite and positive, got {value}"),
+            ))
+        }
+    }
+
+    /// The validated value.
+    pub fn get(self) -> f64 {
+        self.0
+    }
+}
+
+impl fmt::Display for Epsilon {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// A validated failure probability `delta`: strictly inside `(0, 1)`.
+///
+/// # Examples
+/// ```
+/// use advsgm::api::Delta;
+///
+/// assert_eq!(Delta::new(1e-5).unwrap().get(), 1e-5);
+/// assert!(Delta::new(0.0).is_err());
+/// assert!(Delta::new(1.0).is_err());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+pub struct Delta(f64);
+
+impl Delta {
+    /// Parses a raw delta; rejects values outside the open interval
+    /// `(0, 1)` (NaN included).
+    ///
+    /// # Errors
+    /// [`Error::InvalidParameter`] naming `delta`.
+    pub fn new(value: f64) -> Result<Self> {
+        if value > 0.0 && value < 1.0 {
+            Ok(Self(value))
+        } else {
+            Err(Error::invalid(
+                "delta",
+                format!("failure probability must be in (0, 1), got {value}"),
+            ))
+        }
+    }
+
+    /// The validated value.
+    pub fn get(self) -> f64 {
+        self.0
+    }
+}
+
+impl fmt::Display for Delta {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// A validated noise multiplier `sigma`: finite and strictly positive.
+///
+/// # Examples
+/// ```
+/// use advsgm::api::NoiseSigma;
+///
+/// assert_eq!(NoiseSigma::new(5.0).unwrap().get(), 5.0);
+/// assert!(NoiseSigma::new(-1.0).is_err());
+/// assert!(NoiseSigma::new(f64::INFINITY).is_err());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+pub struct NoiseSigma(f64);
+
+impl NoiseSigma {
+    /// Parses a raw noise multiplier; rejects non-finite and non-positive
+    /// values.
+    ///
+    /// # Errors
+    /// [`Error::InvalidParameter`] naming `sigma`.
+    pub fn new(value: f64) -> Result<Self> {
+        if value.is_finite() && value > 0.0 {
+            Ok(Self(value))
+        } else {
+            Err(Error::invalid(
+                "sigma",
+                format!("noise multiplier must be finite and positive, got {value}"),
+            ))
+        }
+    }
+
+    /// The validated value.
+    pub fn get(self) -> f64 {
+        self.0
+    }
+}
+
+impl fmt::Display for NoiseSigma {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// A validated embedding dimension `r`: strictly positive.
+///
+/// # Examples
+/// ```
+/// use advsgm::api::Dim;
+///
+/// assert_eq!(Dim::new(128).unwrap().get(), 128);
+/// assert!(Dim::new(0).is_err());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Dim(usize);
+
+impl Dim {
+    /// Parses a raw dimension; rejects zero.
+    ///
+    /// # Errors
+    /// [`Error::InvalidParameter`] naming `dim`.
+    pub fn new(value: usize) -> Result<Self> {
+        if value > 0 {
+            Ok(Self(value))
+        } else {
+            Err(Error::invalid(
+                "dim",
+                "embedding dimension must be positive, got 0".to_string(),
+            ))
+        }
+    }
+
+    /// The validated value.
+    pub fn get(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for Dim {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epsilon_domain() {
+        assert!(Epsilon::new(1e-9).is_ok());
+        assert!(Epsilon::new(1e9).is_ok());
+        for bad in [0.0, -3.0, f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let err = Epsilon::new(bad).unwrap_err();
+            assert!(err
+                .to_string()
+                .starts_with("api: invalid parameter epsilon"));
+        }
+    }
+
+    #[test]
+    fn delta_domain() {
+        assert!(Delta::new(0.5).is_ok());
+        for bad in [0.0, 1.0, -1e-5, 2.0, f64::NAN] {
+            assert!(Delta::new(bad).is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn sigma_domain() {
+        assert!(NoiseSigma::new(0.1).is_ok());
+        for bad in [0.0, -5.0, f64::NAN, f64::INFINITY] {
+            assert!(NoiseSigma::new(bad).is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn dim_domain() {
+        assert!(Dim::new(1).is_ok());
+        assert!(Dim::new(0).is_err());
+    }
+}

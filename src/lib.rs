@@ -5,7 +5,43 @@
 //! Xu — ICDE 2025), including every substrate the paper depends on and
 //! every baseline it compares against.
 //!
-//! This facade crate re-exports the workspace:
+//! # Quickstart
+//!
+//! The public surface is [`api`]: a typed pipeline covering the whole
+//! train → persist → serve lifecycle behind one builder, one error type,
+//! and no engine names.
+//!
+//! ```
+//! use advsgm::api::{Dim, EmbeddingService, Epsilon, ModelVariant, PipelineBuilder};
+//! use advsgm::graph::generators::classic::karate_club;
+//!
+//! let graph = karate_club();
+//! let out = std::env::temp_dir().join("advsgm_lib_quickstart.aemb");
+//!
+//! let trained = PipelineBuilder::test_small(ModelVariant::AdvSgm)
+//!     .dim(Dim::new(16)?)
+//!     .epsilon(Epsilon::new(6.0)?)
+//!     .build(&graph)?
+//!     .train()?;
+//! trained.save_embeddings(&out)?;
+//!
+//! let service = EmbeddingService::open(&out)?;
+//! println!("released under: {}", service.privacy());
+//! let neighbors = service.top_k(0, 5)?;
+//! assert_eq!(neighbors.len(), 5);
+//! # std::fs::remove_file(&out)?;
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
+//! The `advsgm` CLI binary (`train` / `query` / `info`) fronts the same
+//! pipeline from the shell.
+//!
+//! # Internals
+//!
+//! The workspace crates stay public for engine-level control (hand-wired
+//! trainers, custom hooks, format introspection, baselines, paper
+//! experiments) — the [`api`] pipeline is a facade over them, not a
+//! replacement:
 //!
 //! * [`graph`] — graph storage, synthetic generators, Algorithm-2 sampling,
 //!   random walks, link-prediction splits;
@@ -22,31 +58,12 @@
 //! * [`eval`] — link-prediction AUC, Affinity-Propagation clustering, MI;
 //! * [`datasets`] — synthetic stand-ins for the paper's six datasets;
 //! * [`store`] — embedding persistence (the `.aemb` format, see
-//!   `docs/FORMAT.md`) and the query-serving [`store::EmbeddingStore`];
-//!   the `advsgm` CLI binary (`train` / `query` / `info`) fronts it.
-//!
-//! # Quickstart
-//!
-//! ```
-//! use advsgm::core::{AdvSgmConfig, ModelVariant, Trainer};
-//! use advsgm::eval::linkpred::evaluate_split;
-//! use advsgm::graph::generators::classic::karate_club;
-//! use advsgm::graph::partition::link_prediction_split;
-//!
-//! let graph = karate_club();
-//! let mut rng = advsgm::linalg::rng::seeded(7);
-//! let split = link_prediction_split(&graph, 0.1, &mut rng).unwrap();
-//!
-//! let mut cfg = AdvSgmConfig::test_small(ModelVariant::AdvSgm);
-//! cfg.epsilon = 6.0; // node-level (epsilon, delta)-DP target
-//! let out = Trainer::fit(&split.train, cfg).unwrap();
-//!
-//! let auc = evaluate_split(&out.node_vectors, &split).unwrap();
-//! assert!(auc >= 0.0 && auc <= 1.0);
-//! ```
+//!   `docs/FORMAT.md`) and the query-serving [`store::EmbeddingStore`].
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
+
+pub mod api;
 
 pub use advsgm_baselines as baselines;
 pub use advsgm_core as core;

@@ -13,20 +13,28 @@
 //! advsgm info  --store emb.aemb
 //! ```
 //!
+//! The CLI is a thin shell over `advsgm::api`: `parse_train` assembles a
+//! [`PipelineBuilder`] (so configuration validation happens exactly once,
+//! inside [`PipelineBuilder::build`]), `train` drives a [`Pipeline`] with
+//! an observer for progress lines and the built-in checkpoint policy, and
+//! `query`/`info` serve from an [`EmbeddingService`].
+//!
 //! Argument parsing is hand-rolled like `advsgm-bench`'s: three
 //! subcommands and a score of flags do not justify a CLI dependency
 //! outside the vendored crate set. Parsing is pure (`parse_train` /
 //! `parse_query` / `parse_info` return argument structs) so it is
 //! unit-tested without touching the filesystem.
 
+use std::num::NonZeroUsize;
 use std::process::ExitCode;
 
-use advsgm::core::session::{CheckpointState, EpochEvent, SessionControl, StopReason, TrainHooks};
-use advsgm::core::{AdvSgmConfig, ModelVariant, ShardedTrainer};
+use advsgm::api::{
+    Checkpoint, Delta, Dim, EmbeddingService, Epsilon, ModelVariant, NoiseSigma, Pipeline,
+    PipelineBuilder, PipelineEvent, StopReason,
+};
 use advsgm::datasets::{dataset_by_name, synthesize};
 use advsgm::graph::io::read_edge_list_file;
 use advsgm::graph::Graph;
-use advsgm::store::{load_checkpoint, save_checkpoint, EmbeddingStore};
 
 const USAGE: &str = "usage:
   advsgm train --out PATH [--dataset NAME] [--scale F] [--edges FILE]
@@ -42,6 +50,11 @@ const USAGE: &str = "usage:
 train flags:
   --batch-size N        pairs per discriminator batch B (default 128)
   --lr F                learning rate for both eta_d and eta_g (default 0.1)
+  --threads N           worker threads for the training engine; precedence:
+                        an explicit N > 0 here overrides the ADVSGM_THREADS
+                        environment variable, 0 (the default) defers to
+                        ADVSGM_THREADS, and with both unset training runs on
+                        1 thread
   --shard-size N        pairs per parallel shard; 0 = auto (batch/threads)
   --checkpoint-every N  write a resumable .actk checkpoint every N epochs
   --checkpoint PATH     checkpoint file (default: <out>.actk)
@@ -110,17 +123,19 @@ fn parse_variant(name: &str) -> Result<ModelVariant, String> {
     })
 }
 
-/// Parsed `advsgm train` arguments.
+/// Parsed `advsgm train` arguments. The model configuration lives in a
+/// [`PipelineBuilder`] so no code path can hold an `AdvSgmConfig` that
+/// skipped the builder's validation.
 #[derive(Debug, Clone)]
 struct TrainArgs {
     out: String,
     dataset: String,
     scale: f64,
     edges: Option<String>,
-    cfg: AdvSgmConfig,
+    builder: PipelineBuilder,
     /// `--epochs`, remembered separately so `--resume` can extend a run.
     epochs_explicit: Option<usize>,
-    checkpoint_every: Option<usize>,
+    checkpoint_every: Option<NonZeroUsize>,
     checkpoint_path: Option<String>,
     resume: Option<String>,
     /// Model-configuration flags seen on the command line; `--resume`
@@ -136,10 +151,7 @@ fn parse_train(tokens: &[String]) -> Result<TrainArgs, String> {
         edges: None,
         // A CLI run should finish in seconds by default; paper-scale epochs
         // remain one `--epochs 50` away.
-        cfg: AdvSgmConfig {
-            epochs: 5,
-            ..AdvSgmConfig::default()
-        },
+        builder: PipelineBuilder::new(ModelVariant::AdvSgm).epochs(5),
         epochs_explicit: None,
         checkpoint_every: None,
         checkpoint_path: None,
@@ -161,29 +173,37 @@ fn parse_train(tokens: &[String]) -> Result<TrainArgs, String> {
             }
             "--edges" => args.edges = Some(take_value(tokens, &mut i, "--edges")?),
             "--variant" => {
-                args.cfg.variant = parse_variant(&take_value(tokens, &mut i, "--variant")?)?;
+                let v = parse_variant(&take_value(tokens, &mut i, "--variant")?)?;
+                args.builder = args.builder.variant(v);
                 args.model_flags_seen.push("--variant");
             }
             "--epsilon" => {
-                args.cfg.epsilon =
-                    parse_num(&take_value(tokens, &mut i, "--epsilon")?, "--epsilon")?;
+                let raw: f64 = parse_num(&take_value(tokens, &mut i, "--epsilon")?, "--epsilon")?;
+                let eps = Epsilon::new(raw).map_err(|e| format!("--epsilon: {e}"))?;
+                args.builder = args.builder.epsilon(eps);
                 args.model_flags_seen.push("--epsilon");
             }
             "--delta" => {
-                args.cfg.delta = parse_num(&take_value(tokens, &mut i, "--delta")?, "--delta")?;
+                let raw: f64 = parse_num(&take_value(tokens, &mut i, "--delta")?, "--delta")?;
+                let delta = Delta::new(raw).map_err(|e| format!("--delta: {e}"))?;
+                args.builder = args.builder.delta(delta);
                 args.model_flags_seen.push("--delta");
             }
             "--sigma" => {
-                args.cfg.sigma = parse_num(&take_value(tokens, &mut i, "--sigma")?, "--sigma")?;
+                let raw: f64 = parse_num(&take_value(tokens, &mut i, "--sigma")?, "--sigma")?;
+                let sigma = NoiseSigma::new(raw).map_err(|e| format!("--sigma: {e}"))?;
+                args.builder = args.builder.sigma(sigma);
                 args.model_flags_seen.push("--sigma");
             }
             "--epochs" => {
                 let e: usize = parse_num(&take_value(tokens, &mut i, "--epochs")?, "--epochs")?;
-                args.cfg.epochs = e;
+                args.builder = args.builder.epochs(e);
                 args.epochs_explicit = Some(e);
             }
             "--dim" => {
-                args.cfg.dim = parse_num(&take_value(tokens, &mut i, "--dim")?, "--dim")?;
+                let raw: usize = parse_num(&take_value(tokens, &mut i, "--dim")?, "--dim")?;
+                let dim = Dim::new(raw).map_err(|e| format!("--dim: {e}"))?;
+                args.builder = args.builder.dim(dim);
                 args.model_flags_seen.push("--dim");
             }
             "--batch-size" => {
@@ -192,7 +212,7 @@ fn parse_train(tokens: &[String]) -> Result<TrainArgs, String> {
                 if b == 0 {
                     return Err("--batch-size must be positive, got 0".into());
                 }
-                args.cfg.batch_size = b;
+                args.builder = args.builder.batch_size(b);
                 args.model_flags_seen.push("--batch-size");
             }
             "--lr" => {
@@ -202,23 +222,27 @@ fn parse_train(tokens: &[String]) -> Result<TrainArgs, String> {
                 }
                 // The paper sets eta_d = eta_g (Section VI-A); one flag
                 // drives both.
-                args.cfg.eta_d = lr;
-                args.cfg.eta_g = lr;
+                args.builder = args.builder.learning_rate(lr);
                 args.model_flags_seen.push("--lr");
             }
             "--threads" => {
-                args.cfg.num_threads =
-                    parse_num(&take_value(tokens, &mut i, "--threads")?, "--threads")?;
+                // Maps to `AdvSgmConfig::with_threads` via the builder.
+                // Precedence: an explicit N > 0 overrides ADVSGM_THREADS;
+                // 0 (the default) defers to the environment, else 1.
+                let n: usize = parse_num(&take_value(tokens, &mut i, "--threads")?, "--threads")?;
+                args.builder = args.builder.threads(n);
                 args.model_flags_seen.push("--threads");
             }
             "--shard-size" => {
                 // 0 is meaningful (auto: divide the batch over threads).
-                args.cfg.shard_size =
+                let n: usize =
                     parse_num(&take_value(tokens, &mut i, "--shard-size")?, "--shard-size")?;
+                args.builder = args.builder.shard_size(n);
                 args.model_flags_seen.push("--shard-size");
             }
             "--seed" => {
-                args.cfg.seed = parse_num(&take_value(tokens, &mut i, "--seed")?, "--seed")?;
+                let s: u64 = parse_num(&take_value(tokens, &mut i, "--seed")?, "--seed")?;
+                args.builder = args.builder.seed(s);
                 args.model_flags_seen.push("--seed");
             }
             "--checkpoint-every" => {
@@ -226,10 +250,10 @@ fn parse_train(tokens: &[String]) -> Result<TrainArgs, String> {
                     &take_value(tokens, &mut i, "--checkpoint-every")?,
                     "--checkpoint-every",
                 )?;
-                if n == 0 {
-                    return Err("--checkpoint-every must be positive, got 0".into());
-                }
-                args.checkpoint_every = Some(n);
+                args.checkpoint_every = Some(
+                    NonZeroUsize::new(n)
+                        .ok_or_else(|| "--checkpoint-every must be positive, got 0".to_string())?,
+                );
             }
             "--checkpoint" => {
                 args.checkpoint_path = Some(take_value(tokens, &mut i, "--checkpoint")?);
@@ -332,70 +356,6 @@ fn parse_info(tokens: &[String]) -> Result<InfoArgs, String> {
     })
 }
 
-/// Live progress lines + periodic checkpoint writing, through the session
-/// layer's [`TrainHooks`] seam.
-struct CliHooks {
-    checkpoint_every: Option<usize>,
-    checkpoint_path: String,
-    /// Set when a checkpoint write failed; training stops gracefully and
-    /// the error is reported after the run.
-    write_error: Option<String>,
-    checkpoints_written: usize,
-}
-
-impl TrainHooks for CliHooks {
-    fn may_checkpoint(&self) -> bool {
-        self.checkpoint_every.is_some()
-    }
-
-    fn on_epoch(&mut self, event: &EpochEvent) -> SessionControl {
-        let spend = match &event.spend {
-            Some(s) => format!("  eps {:.4}  delta {:.2e}", s.epsilon_spent, s.delta_spent),
-            None => String::new(),
-        };
-        match (event.stop, event.loss) {
-            (Some(StopReason::BudgetExhausted), _) => {
-                println!(
-                    "epoch {:>3}/{}: privacy budget exhausted after {} updates{spend}",
-                    event.epoch + 1,
-                    event.epochs_total,
-                    event.disc_updates
-                );
-            }
-            (_, Some(loss)) => {
-                println!(
-                    "epoch {:>3}/{}  |L_Nov| {loss:.4}{spend}",
-                    event.epoch + 1,
-                    event.epochs_total
-                );
-            }
-            (_, None) => {}
-        }
-        SessionControl::Continue
-    }
-
-    fn wants_checkpoint(&mut self, epochs_done: usize) -> bool {
-        matches!(self.checkpoint_every, Some(n) if epochs_done.is_multiple_of(n))
-    }
-
-    fn on_checkpoint(&mut self, state: &CheckpointState) -> SessionControl {
-        match save_checkpoint(&self.checkpoint_path, state) {
-            Ok(()) => {
-                println!(
-                    "checkpoint: wrote {} (epoch {})",
-                    self.checkpoint_path, state.epochs_done
-                );
-                self.checkpoints_written += 1;
-                SessionControl::Continue
-            }
-            Err(e) => {
-                self.write_error = Some(format!("{}: {e}", self.checkpoint_path));
-                SessionControl::Stop
-            }
-        }
-    }
-}
-
 /// Builds the training graph from `--edges` or the named synthetic
 /// dataset (scaled), announcing what was loaded.
 fn build_graph(args: &TrainArgs, seed: u64) -> Result<Graph, String> {
@@ -433,50 +393,43 @@ fn build_graph(args: &TrainArgs, seed: u64) -> Result<Graph, String> {
 fn cmd_train(args: TrainArgs) -> Result<(), String> {
     match args.resume.clone() {
         None => {
-            let graph = build_graph(&args, args.cfg.seed)?;
-            let trainer =
-                ShardedTrainer::new(&graph, args.cfg.clone()).map_err(|e| e.to_string())?;
-            let cfg = args.cfg.clone();
-            run_training(&args, &graph, trainer, cfg)
+            let graph = build_graph(&args, args.builder.config().seed)?;
+            let pipeline = args
+                .builder
+                .clone()
+                .build(&graph)
+                .map_err(|e| e.to_string())?;
+            run_training(&args, pipeline)
         }
         Some(resume_path) => {
-            let mut state = load_checkpoint(&resume_path)
+            let mut ckpt = Checkpoint::load(&resume_path)
                 .map_err(|e| format!("--resume {resume_path}: {e}"))?;
             if let Some(e) = args.epochs_explicit {
-                if (e as u64) < state.epochs_done {
-                    return Err(format!(
-                        "--epochs {e} is below the checkpoint's {} completed epochs",
-                        state.epochs_done
-                    ));
-                }
                 // Extending (or shortening, down to the completed count)
                 // the schedule is the one legal override: batch draws
                 // never depend on the total epoch count.
-                state.config.epochs = e;
+                ckpt.extend_epochs(e).map_err(|e| e.to_string())?;
             }
             // The graph must be the checkpoint's graph; for synthetic
             // datasets that means the checkpoint's seed, and resume
             // re-verifies the stored fingerprint either way.
-            let graph = build_graph(&args, state.config.seed)?;
-            let cfg = state.config.clone();
-            let trainer = ShardedTrainer::resume(&graph, &state).map_err(|e| e.to_string())?;
+            let graph = build_graph(&args, ckpt.seed())?;
             println!(
                 "resumed {resume_path}: {}/{} epochs done, {} discriminator updates",
-                state.epochs_done, cfg.epochs, state.disc_updates
+                ckpt.epochs_done(),
+                ckpt.config().epochs,
+                ckpt.disc_updates()
             );
-            run_training(&args, &graph, trainer, cfg)
+            let pipeline = Pipeline::resume_from(&graph, ckpt).map_err(|e| e.to_string())?;
+            run_training(&args, pipeline)
         }
     }
 }
 
-/// Drives a (fresh or resumed) trainer to completion with progress +
-/// checkpoint hooks, then exports the released store.
-fn run_training(
-    args: &TrainArgs,
-    graph: &Graph,
-    trainer: ShardedTrainer,
-    cfg: AdvSgmConfig,
-) -> Result<(), String> {
+/// Drives a (fresh or resumed) pipeline to completion with progress +
+/// checkpoint reporting, then persists the released store.
+fn run_training(args: &TrainArgs, pipeline: Pipeline<'_>) -> Result<(), String> {
+    let cfg = pipeline.config().clone();
     println!(
         "training {} (dim {}, {} epochs, batch {}, lr {}, {} thread(s))...",
         cfg.variant.paper_name(),
@@ -484,24 +437,49 @@ fn run_training(
         cfg.epochs,
         cfg.batch_size,
         cfg.eta_d,
-        trainer.threads()
+        pipeline.threads()
     );
-    let mut hooks = CliHooks {
-        checkpoint_every: args.checkpoint_every,
-        checkpoint_path: args
+    let mut pipeline = pipeline.observe(|event| match event {
+        PipelineEvent::Epoch(e) => {
+            let spend = match &e.spend {
+                Some(s) => format!("  eps {:.4}  delta {:.2e}", s.epsilon_spent, s.delta_spent),
+                None => String::new(),
+            };
+            match (e.stop, e.loss) {
+                (Some(StopReason::BudgetExhausted), _) => {
+                    println!(
+                        "epoch {:>3}/{}: privacy budget exhausted after {} updates{spend}",
+                        e.epoch + 1,
+                        e.epochs_total,
+                        e.disc_updates
+                    );
+                }
+                (_, Some(loss)) => {
+                    println!(
+                        "epoch {:>3}/{}  |L_Nov| {loss:.4}{spend}",
+                        e.epoch + 1,
+                        e.epochs_total
+                    );
+                }
+                (_, None) => {}
+            }
+        }
+        PipelineEvent::CheckpointSaved { path, epochs_done } => {
+            println!("checkpoint: wrote {} (epoch {epochs_done})", path.display());
+        }
+        _ => {}
+    });
+    if let Some(every) = args.checkpoint_every {
+        let path = args
             .checkpoint_path
             .clone()
-            .unwrap_or_else(|| format!("{}.actk", args.out)),
-        write_error: None,
-        checkpoints_written: 0,
-    };
-    let start = std::time::Instant::now();
-    let outcome = trainer
-        .train_with_hooks(graph, &mut hooks)
-        .map_err(|e| e.to_string())?;
-    if let Some(e) = hooks.write_error {
-        return Err(format!("checkpoint write failed, training stopped: {e}"));
+            .unwrap_or_else(|| format!("{}.actk", args.out));
+        pipeline = pipeline.checkpoint_every(every, path);
     }
+
+    let start = std::time::Instant::now();
+    let trained = pipeline.train().map_err(|e| e.to_string())?;
+    let outcome = trained.outcome();
     println!(
         "trained in {:.2?}: {} epochs, {} discriminator updates{}{}",
         start.elapsed(),
@@ -512,38 +490,38 @@ fn run_training(
         } else {
             ""
         },
-        if hooks.checkpoints_written > 0 {
-            format!(", {} checkpoint(s) written", hooks.checkpoints_written)
+        if trained.checkpoints_written() > 0 {
+            format!(", {} checkpoint(s) written", trained.checkpoints_written())
         } else {
             String::new()
         }
     );
 
-    let store = EmbeddingStore::from_outcome(&outcome, &cfg).map_err(|e| e.to_string())?;
     // Serialise once; the same buffer provides the file and the size line.
-    let bytes = store.to_bytes();
+    let bytes = trained.store().to_bytes();
     std::fs::write(&args.out, &bytes).map_err(|e| format!("{}: {e}", args.out))?;
     println!(
         "saved {} nodes x {} dims to {} ({}); privacy: {}",
-        store.len(),
-        store.dim(),
+        trained.store().len(),
+        trained.store().dim(),
         args.out,
         human_bytes(bytes.len()),
-        store.meta()
+        trained.store().meta()
     );
     Ok(())
 }
 
 fn cmd_query(args: QueryArgs) -> Result<(), String> {
-    let store = EmbeddingStore::load(&args.store).map_err(|e| e.to_string())?;
+    let service = EmbeddingService::open_with_threads(&args.store, args.threads)
+        .map_err(|e| e.to_string())?;
     match args.target {
         QueryTarget::Pair { u, v } => {
-            let s = store.score(u, v).map_err(|e| e.to_string())?;
+            let s = service.score(u, v).map_err(|e| e.to_string())?;
             println!("score({u}, {v}) = {s}");
         }
         QueryTarget::Node { node, top_k } => {
-            let results = store
-                .batch_top_k(&[node], top_k, args.threads)
+            let results = service
+                .batch_top_k(&[node], top_k)
                 .map_err(|e| e.to_string())?;
             println!("top {top_k} neighbors of node {node}:");
             println!("{:>10}  {:>10}  {:>14}", "row", "id", "score");
@@ -557,18 +535,23 @@ fn cmd_query(args: QueryArgs) -> Result<(), String> {
 
 fn cmd_info(args: InfoArgs) -> Result<(), String> {
     let path = &args.store;
+    // `info` is deliberately format-level introspection, so it reads the
+    // raw bytes and the internals `format` module alongside the service.
     let bytes = std::fs::read(path).map_err(|e| format!("{path}: {e}"))?;
-    let store = EmbeddingStore::from_bytes(&bytes).map_err(|e| e.to_string())?;
+    let size = bytes.len();
+    let service = EmbeddingService::from_store(
+        advsgm::store::EmbeddingStore::from_bytes(&bytes).map_err(|e| e.to_string())?,
+    );
     println!("{path}:");
     println!(
         "  format      .aemb v{}",
         advsgm::store::format::FORMAT_VERSION
     );
-    println!("  size        {}", human_bytes(bytes.len()));
+    println!("  size        {}", human_bytes(size));
     println!("  checksum    ok (crc32)");
-    println!("  nodes       {}", store.len());
-    println!("  dim         {}", store.dim());
-    println!("  privacy     {}", store.meta());
+    println!("  nodes       {}", service.len());
+    println!("  dim         {}", service.dim());
+    println!("  privacy     {}", service.privacy());
     Ok(())
 }
 
@@ -603,30 +586,31 @@ mod tests {
         assert_eq!(a.out, "e.aemb");
         assert_eq!(a.dataset, "wiki");
         assert_eq!(a.scale, 0.5);
-        assert_eq!(a.cfg.variant, ModelVariant::DpSgm);
-        assert_eq!(a.cfg.epsilon, 2.0);
-        assert_eq!(a.cfg.delta, 1e-6);
-        assert_eq!(a.cfg.sigma, 3.0);
-        assert_eq!(a.cfg.epochs, 7);
+        let cfg = a.builder.config();
+        assert_eq!(cfg.variant, ModelVariant::DpSgm);
+        assert_eq!(cfg.epsilon, 2.0);
+        assert_eq!(cfg.delta, 1e-6);
+        assert_eq!(cfg.sigma, 3.0);
+        assert_eq!(cfg.epochs, 7);
         assert_eq!(a.epochs_explicit, Some(7));
-        assert_eq!(a.cfg.dim, 32);
-        assert_eq!(a.cfg.batch_size, 64);
-        assert_eq!(a.cfg.eta_d, 0.05);
-        assert_eq!(a.cfg.eta_g, 0.05, "--lr drives both learning rates");
-        assert_eq!(a.cfg.num_threads, 4);
-        assert_eq!(a.cfg.shard_size, 16);
-        assert_eq!(a.cfg.seed, 9);
-        assert_eq!(a.checkpoint_every, Some(2));
+        assert_eq!(cfg.dim, 32);
+        assert_eq!(cfg.batch_size, 64);
+        assert_eq!(cfg.eta_d, 0.05);
+        assert_eq!(cfg.eta_g, 0.05, "--lr drives both learning rates");
+        assert_eq!(cfg.num_threads, 4);
+        assert_eq!(cfg.shard_size, 16);
+        assert_eq!(cfg.seed, 9);
+        assert_eq!(a.checkpoint_every.map(NonZeroUsize::get), Some(2));
         assert_eq!(a.checkpoint_path.as_deref(), Some("c.actk"));
-        a.cfg.validate().unwrap();
+        cfg.validate().unwrap();
     }
 
     #[test]
     fn train_defaults_are_quick() {
         let a = parse_train(&toks("--out e.aemb")).unwrap();
-        assert_eq!(a.cfg.epochs, 5);
+        assert_eq!(a.builder.config().epochs, 5);
         assert_eq!(a.epochs_explicit, None);
-        assert_eq!(a.cfg.batch_size, 128);
+        assert_eq!(a.builder.config().batch_size, 128);
         assert_eq!(a.checkpoint_every, None);
         assert!(a.resume.is_none());
     }
@@ -671,6 +655,26 @@ mod tests {
     }
 
     #[test]
+    fn train_rejects_typed_parameter_violations() {
+        // The api newtypes reject these at parse time — the flag name and
+        // the api's own constraint both appear in the message.
+        for (cmd, needle) in [
+            ("--out e --epsilon 0", "invalid parameter epsilon"),
+            ("--out e --epsilon -2", "invalid parameter epsilon"),
+            ("--out e --epsilon inf", "invalid parameter epsilon"),
+            ("--out e --delta 0", "invalid parameter delta"),
+            ("--out e --delta 1", "invalid parameter delta"),
+            ("--out e --sigma 0", "invalid parameter sigma"),
+            ("--out e --dim 0", "invalid parameter dim"),
+        ] {
+            let err = parse_train(&toks(cmd)).unwrap_err();
+            assert!(err.contains(needle), "{cmd}: {err}");
+            let flag = cmd.split_whitespace().nth(2).unwrap();
+            assert!(err.contains(flag), "{cmd}: {err}");
+        }
+    }
+
+    #[test]
     fn train_rejects_unparseable_numerics() {
         for cmd in [
             "--out e --epochs many",
@@ -687,6 +691,30 @@ mod tests {
     fn train_rejects_unknown_variant() {
         let err = parse_train(&toks("--out e --variant gpt")).unwrap_err();
         assert!(err.contains("unknown variant"), "{err}");
+    }
+
+    #[test]
+    fn threads_flag_maps_to_with_threads_and_overrides_env() {
+        // --threads N lands in AdvSgmConfig::num_threads via the builder's
+        // with_threads mapping...
+        let pinned = parse_train(&toks("--out e --threads 3")).unwrap();
+        assert_eq!(pinned.builder.config().num_threads, 3);
+        let auto = parse_train(&toks("--out e")).unwrap();
+        assert_eq!(auto.builder.config().num_threads, 0, "default is auto");
+
+        // ...and the precedence is: explicit flag > ADVSGM_THREADS > 1.
+        // (This is the only test in this binary touching the variable.)
+        std::env::set_var("ADVSGM_THREADS", "7");
+        let explicit = pinned.builder.config().effective_threads();
+        let deferred = auto.builder.config().effective_threads();
+        std::env::remove_var("ADVSGM_THREADS");
+        assert_eq!(explicit, 3, "--threads N overrides ADVSGM_THREADS");
+        assert_eq!(deferred, 7, "--threads unset defers to ADVSGM_THREADS");
+        assert_eq!(
+            auto.builder.config().effective_threads(),
+            1,
+            "both unset falls back to 1 thread"
+        );
     }
 
     #[test]
