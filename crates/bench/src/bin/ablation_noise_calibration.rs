@@ -74,6 +74,8 @@ fn main() {
         ],
         &rows,
     );
-    append_jsonl("ablation_noise", &records);
+    append_jsonl("ablation_noise", &records).expect(
+        "failed to append results/ablation_noise.jsonl (bench records must not vanish silently)",
+    );
     println!("\nexpected: the faithful DPSGD reading pins AUC at ~0.5 at every epsilon.");
 }

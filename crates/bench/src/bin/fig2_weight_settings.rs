@@ -106,7 +106,8 @@ fn main() {
         ],
         &rows,
     );
-    append_jsonl("fig2", &records);
+    append_jsonl("fig2", &records)
+        .expect("failed to append results/fig2.jsonl (bench records must not vanish silently)");
     println!(
         "\npaper shape check: gap(1/S vs 1) < gap(1/S vs 0.5), both gaps small (paper: <2 and <6)"
     );

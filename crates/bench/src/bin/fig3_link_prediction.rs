@@ -65,6 +65,7 @@ fn main() {
             &rows,
         );
     }
-    append_jsonl("fig3", &records);
+    append_jsonl("fig3", &records)
+        .expect("failed to append results/fig3.jsonl (bench records must not vanish silently)");
     println!("\npaper shape check: AdvSGM on top at every epsilon; DPAR second; all methods near 0.5 at eps=1");
 }

@@ -64,6 +64,7 @@ fn main() {
             &rows,
         );
     }
-    append_jsonl("fig4", &records);
+    append_jsonl("fig4", &records)
+        .expect("failed to append results/fig4.jsonl (bench records must not vanish silently)");
     println!("\npaper shape check: AdvSGM achieves the highest MI among private methods at every epsilon");
 }

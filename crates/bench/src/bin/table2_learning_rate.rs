@@ -63,6 +63,7 @@ fn main() {
         &["eta".into(), "PPI".into(), "Facebook".into(), "Blog".into()],
         &rows,
     );
-    append_jsonl("table2", &records);
+    append_jsonl("table2", &records)
+        .expect("failed to append results/table2.jsonl (bench records must not vanish silently)");
     println!("\npaper shape check: peak near eta = 0.1, decay toward 0.01 and 0.3");
 }

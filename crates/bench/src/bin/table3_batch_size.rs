@@ -61,6 +61,7 @@ fn main() {
         &["B".into(), "PPI".into(), "Facebook".into(), "Blog".into()],
         &rows,
     );
-    append_jsonl("table3", &records);
+    append_jsonl("table3", &records)
+        .expect("failed to append results/table3.jsonl (bench records must not vanish silently)");
     println!("\npaper shape check: optimum near B = 128 (Blog tolerates larger B)");
 }

@@ -63,6 +63,7 @@ fn main() {
         &["b".into(), "PPI".into(), "Facebook".into(), "Blog".into()],
         &rows,
     );
-    append_jsonl("table4", &records);
+    append_jsonl("table4", &records)
+        .expect("failed to append results/table4.jsonl (bench records must not vanish silently)");
     println!("\npaper shape check: AUC improves gradually as b grows 40 -> 140");
 }

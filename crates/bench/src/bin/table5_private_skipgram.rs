@@ -129,6 +129,7 @@ fn main() {
         ],
         &rows,
     );
-    append_jsonl("table5", &records);
+    append_jsonl("table5", &records)
+        .expect("failed to append results/table5.jsonl (bench records must not vanish silently)");
     println!("\npaper shape check: AdvSGM(No DP) > SGM(No DP); AdvSGM >> DP-SGM/DP-ASGM at every epsilon; AdvSGM grows with epsilon");
 }

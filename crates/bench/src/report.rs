@@ -35,40 +35,34 @@ pub struct Record {
 /// binaries run from the workspace root, so records land in the
 /// top-level `results/`. Criterion benches, whose working directory is
 /// the *package* root, should use [`append_jsonl_at`] with an anchored
-/// path instead. I/O failures are reported to stderr but never abort an
-/// experiment that already computed its numbers.
-pub fn append_jsonl(experiment: &str, records: &[Record]) {
-    append_jsonl_at(PathBuf::from("results"), experiment, records);
+/// path instead.
+///
+/// # Errors
+/// Any directory-creation, open, or write failure. Callers must surface
+/// the error — a bench whose records silently vanish leaves no perf
+/// trajectory on disk, which is worse than a loud failure after the
+/// numbers were printed.
+pub fn append_jsonl(experiment: &str, records: &[Record]) -> std::io::Result<()> {
+    append_jsonl_at(PathBuf::from("results"), experiment, records)
 }
 
 /// [`append_jsonl`] with an explicit results directory, for callers whose
 /// working directory is not the workspace root.
-pub fn append_jsonl_at(dir: PathBuf, experiment: &str, records: &[Record]) {
-    if let Err(e) = std::fs::create_dir_all(&dir) {
-        eprintln!("warning: cannot create results dir: {e}");
-        return;
-    }
+///
+/// # Errors
+/// Any directory-creation, open, serialisation, or write failure.
+pub fn append_jsonl_at(dir: PathBuf, experiment: &str, records: &[Record]) -> std::io::Result<()> {
+    std::fs::create_dir_all(&dir)?;
     let path = dir.join(format!("{experiment}.jsonl"));
-    let file = std::fs::OpenOptions::new()
+    let mut file = std::fs::OpenOptions::new()
         .create(true)
         .append(true)
-        .open(&path);
-    match file {
-        Err(e) => eprintln!("warning: cannot open {}: {e}", path.display()),
-        Ok(mut f) => {
-            for r in records {
-                match serde_json::to_string(r) {
-                    Ok(line) => {
-                        if let Err(e) = writeln!(f, "{line}") {
-                            eprintln!("warning: write failed: {e}");
-                            return;
-                        }
-                    }
-                    Err(e) => eprintln!("warning: serialise failed: {e}"),
-                }
-            }
-        }
+        .open(&path)?;
+    for r in records {
+        let line = serde_json::to_string(r).map_err(std::io::Error::other)?;
+        writeln!(file, "{line}")?;
     }
+    Ok(())
 }
 
 /// Prints an aligned text table.

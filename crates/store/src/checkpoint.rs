@@ -89,10 +89,23 @@ fn distribution_from_code(code: u8) -> Result<NegativeDistribution, StoreError> 
 }
 
 /// Serialises a checkpoint to the version-1 wire format.
-pub fn encode_checkpoint(state: &CheckpointState) -> Vec<u8> {
+///
+/// # Errors
+/// [`StoreError::LimitExceeded`] if the embedding dimension overflows the
+/// header's u32 field — writing would silently truncate and the file
+/// would round-trip to a different state (`docs/FORMAT.md`, "Format
+/// limits").
+pub fn encode_checkpoint(state: &CheckpointState) -> Result<Vec<u8>, StoreError> {
     let cfg = &state.config;
     let n = state.graph_nodes as usize;
     let r = cfg.dim;
+    if r as u64 > u32::MAX as u64 {
+        return Err(StoreError::LimitExceeded {
+            what: "embedding dimension",
+            value: r as u64,
+            max: u32::MAX as u64,
+        });
+    }
     let mut flags = 0u16;
     if state.accountant.is_some() {
         flags |= FLAG_ACCOUNTANT;
@@ -188,7 +201,7 @@ pub fn encode_checkpoint(state: &CheckpointState) -> Vec<u8> {
 
     let checksum = crc32(&out);
     out.extend_from_slice(&checksum.to_le_bytes());
-    out
+    Ok(out)
 }
 
 /// A bounds-checked little-endian reader over the checkpoint body.
@@ -460,12 +473,13 @@ pub fn decode_checkpoint(bytes: &[u8]) -> Result<CheckpointState, StoreError> {
 /// mid-write can never destroy the previous good checkpoint.
 ///
 /// # Errors
-/// I/O failures as [`StoreError::Io`].
+/// I/O failures as [`StoreError::Io`]; [`StoreError::LimitExceeded`] from
+/// [`encode_checkpoint`] before anything is written.
 pub fn save_checkpoint(path: impl AsRef<Path>, state: &CheckpointState) -> Result<(), StoreError> {
     use std::io::Write;
 
     let path = path.as_ref();
-    let bytes = encode_checkpoint(state);
+    let bytes = encode_checkpoint(state)?;
     let tmp = path.with_extension("actk.tmp");
     let mut file = std::fs::File::create(&tmp)?;
     file.write_all(&bytes)?;
@@ -557,7 +571,7 @@ mod tests {
     #[test]
     fn roundtrip_is_bitwise_exact() {
         let state = sample_state();
-        let back = decode_checkpoint(&encode_checkpoint(&state)).unwrap();
+        let back = decode_checkpoint(&encode_checkpoint(&state).unwrap()).unwrap();
         assert_states_bitwise_equal(&state, &back);
     }
 
@@ -581,7 +595,7 @@ mod tests {
 
     #[test]
     fn future_version_is_rejected() {
-        let mut bytes = encode_checkpoint(&sample_state());
+        let mut bytes = encode_checkpoint(&sample_state()).unwrap();
         bytes[4..6].copy_from_slice(&9u16.to_le_bytes());
         let err = decode_checkpoint(&bytes).unwrap_err();
         assert!(
@@ -592,7 +606,7 @@ mod tests {
 
     #[test]
     fn truncation_is_typed_at_every_cut() {
-        let bytes = encode_checkpoint(&sample_state());
+        let bytes = encode_checkpoint(&sample_state()).unwrap();
         for cut in [3usize, 7, 100, CHECKPOINT_HEADER_LEN + 5, bytes.len() - 1] {
             let err = decode_checkpoint(&bytes[..cut]).unwrap_err();
             assert!(
@@ -609,7 +623,7 @@ mod tests {
 
     #[test]
     fn flipped_byte_fails_checksum() {
-        let mut bytes = encode_checkpoint(&sample_state());
+        let mut bytes = encode_checkpoint(&sample_state()).unwrap();
         let mid = bytes.len() / 2;
         bytes[mid] ^= 0x10;
         let err = decode_checkpoint(&bytes).unwrap_err();
@@ -618,7 +632,7 @@ mod tests {
 
     #[test]
     fn trailing_bytes_are_corruption() {
-        let mut bytes = encode_checkpoint(&sample_state());
+        let mut bytes = encode_checkpoint(&sample_state()).unwrap();
         // Valid CRC over an extended body: recompute after appending.
         bytes.truncate(bytes.len() - 4);
         bytes.extend_from_slice(&[0u8; 8]);
@@ -632,7 +646,7 @@ mod tests {
     fn unknown_codes_are_corruption() {
         let state = sample_state();
         for (offset, label) in [(8usize, "engine"), (9, "variant"), (10, "distribution")] {
-            let mut bytes = encode_checkpoint(&state);
+            let mut bytes = encode_checkpoint(&state).unwrap();
             bytes[offset] = 200;
             let sum = crc32(&bytes[..bytes.len() - 4]);
             let end = bytes.len();
@@ -649,7 +663,7 @@ mod tests {
     fn hostile_length_cannot_balloon_allocation() {
         // Declare u64::MAX epoch losses; the reader must reject before
         // allocating anything of that order.
-        let mut bytes = encode_checkpoint(&sample_state());
+        let mut bytes = encode_checkpoint(&sample_state()).unwrap();
         bytes[CHECKPOINT_HEADER_LEN..CHECKPOINT_HEADER_LEN + 8]
             .copy_from_slice(&u64::MAX.to_le_bytes());
         let sum = crc32(&bytes[..bytes.len() - 4]);

@@ -66,6 +66,22 @@ pub enum StoreError {
         /// Number of rows in the store.
         num_nodes: usize,
     },
+    /// A count exceeds what the on-disk format can represent; writing
+    /// would silently truncate it (`docs/FORMAT.md`, "Format limits").
+    LimitExceeded {
+        /// The field that overflowed (e.g. `"embedding dimension"`).
+        what: &'static str,
+        /// The value that was asked for.
+        value: u64,
+        /// The largest value the format can carry.
+        max: u64,
+    },
+    /// An ANN index was presented together with a store it was not built
+    /// from ([`crate::IvfIndex`] binds to one released matrix).
+    IndexStoreMismatch {
+        /// What failed to line up (fingerprint, row count, dimension).
+        reason: String,
+    },
     /// The store could not be constructed from the given parts.
     Invalid {
         /// What was wrong.
@@ -92,7 +108,7 @@ impl fmt::Display for StoreError {
             ),
             StoreError::Truncated { expected, found } => write!(
                 f,
-                "truncated .aemb file: header implies {expected} bytes, found {found}"
+                "truncated store file: header implies {expected} bytes, found {found}"
             ),
             StoreError::ChecksumMismatch { stored, computed } => write!(
                 f,
@@ -108,6 +124,14 @@ impl fmt::Display for StoreError {
                     f,
                     "node {node} out of range (store holds {num_nodes} nodes)"
                 )
+            }
+            StoreError::LimitExceeded { what, value, max } => write!(
+                f,
+                "{what} {value} exceeds the format limit of {max} (refusing to \
+                 truncate on write)"
+            ),
+            StoreError::IndexStoreMismatch { reason } => {
+                write!(f, "index does not match the store: {reason}")
             }
             StoreError::Invalid { reason } => write!(f, "invalid store: {reason}"),
             StoreError::Train(e) => write!(f, "training failed during export: {e}"),
@@ -182,6 +206,20 @@ mod tests {
                     num_nodes: 5,
                 },
                 "node 9 out of range",
+            ),
+            (
+                StoreError::LimitExceeded {
+                    what: "embedding dimension",
+                    value: 1 << 33,
+                    max: u32::MAX as u64,
+                },
+                "exceeds the format limit",
+            ),
+            (
+                StoreError::IndexStoreMismatch {
+                    reason: "fingerprint".into(),
+                },
+                "index does not match the store",
             ),
         ];
         for (e, needle) in cases {

@@ -1,0 +1,965 @@
+//! Cluster-pruned (IVF-style) approximate top-k over a released store,
+//! and its `.aidx` on-disk format.
+//!
+//! The exhaustive [`EmbeddingStore::top_k`] scan costs `O(n·r)` per query
+//! — fine at 10k nodes, unusable at the "millions of users" scale the
+//! serving layer targets. An [`IvfIndex`] trades a one-time build for
+//! sublinear queries: rows are partitioned into `nlist` clusters by
+//! k-means at the Theorem-5 release boundary, and a query scans only the
+//! `nprobe` clusters whose centroids score highest against it.
+//!
+//! **Privacy:** the index is computed *from the released matrix* — it is
+//! post-processing under the paper's Theorem 5, so building, persisting,
+//! and serving from it consume no additional privacy budget. (This is why
+//! it must be built at or after the release boundary, never from
+//! pre-noise state.)
+//!
+//! **Exactness-vs-recall toggle:** `nprobe` ranges from 1 (fastest,
+//! lowest recall) to `nlist` (every cluster probed). At `nprobe >=
+//! nlist` the search is *exact* and **bitwise-identical** to
+//! [`advsgm_linalg::topk::top_k_rows`]: top-k selection under the total
+//! `(score desc, index asc)` order is scan-order-invariant, and the
+//! subset kernel scores with [`advsgm_linalg::vector::dot`], which is
+//! bitwise-equal to the fused `dot4` path (property-tested in
+//! `tests/index_serving.rs`). Callers usually don't pick `nprobe`
+//! directly: [`IvfIndex::nprobe_for`] maps a recall target to a probe
+//! count through a calibration table measured at build time.
+//!
+//! Rows containing non-finite values (NaN/±inf) cannot be clustered
+//! meaningfully; they live on an *always-scanned* list so approximate
+//! search still sees them and exact-mode equality holds for hostile
+//! stores.
+//!
+//! The `.aidx` codec follows the same conventions as `.aemb`
+//! (`docs/FORMAT.md`): little-endian, raw IEEE-754 bit patterns, CRC-32
+//! trailer, every corruption mode a typed [`StoreError`], and an
+//! append-only compatibility policy. An index file carries the
+//! [`EmbeddingStore::fingerprint`] of the store it was built from, and
+//! pairing it with any other store is a typed
+//! [`StoreError::IndexStoreMismatch`].
+
+use std::path::Path;
+
+use advsgm_linalg::topk::{top_k_rows, top_k_rows_among};
+use advsgm_linalg::{vector, DenseMatrix};
+
+use crate::error::StoreError;
+use crate::format::crc32;
+use crate::store::{EmbeddingStore, Neighbor};
+
+/// The four magic bytes every `.aidx` file starts with.
+pub const INDEX_MAGIC: [u8; 4] = *b"AIDX";
+
+/// The `.aidx` format version this build writes and the highest it reads.
+pub const INDEX_FORMAT_VERSION: u16 = 1;
+
+/// Fixed `.aidx` header length in bytes (everything before the centroid
+/// section).
+pub const INDEX_HEADER_LEN: usize = 36;
+
+/// Assignment sentinel: the row is on the always-scanned list (non-finite
+/// values), not in any cluster.
+const ALWAYS_SCAN: u32 = u32::MAX;
+
+/// Recall targets the build calibrates probe counts for.
+const CALIBRATION_TARGETS: [f64; 5] = [0.50, 0.80, 0.90, 0.95, 0.99];
+
+/// Build-time knobs for [`IvfIndex::build`].
+///
+/// The defaults are sized for "build once at release, serve forever":
+/// `nlist = 0` auto-selects ~`sqrt(n)` clusters, a handful of Lloyd
+/// iterations is enough for pruning (the index only needs *good* clusters,
+/// not converged ones), and 64 sampled queries calibrate the
+/// recall → `nprobe` table.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IndexParams {
+    /// Number of clusters; `0` auto-selects `max(1, round(sqrt(n)))`,
+    /// clamped to the number of finite rows.
+    pub nlist: usize,
+    /// Lloyd (k-means) refinement iterations after deterministic seeding.
+    pub kmeans_iters: usize,
+    /// Rows sampled as calibration queries (clamped to the finite rows).
+    pub sample_queries: usize,
+    /// `k` used when measuring calibration recall (recall@k).
+    pub calibration_k: usize,
+}
+
+impl Default for IndexParams {
+    fn default() -> Self {
+        Self {
+            nlist: 0,
+            kmeans_iters: 5,
+            sample_queries: 64,
+            calibration_k: 10,
+        }
+    }
+}
+
+/// One approximate query's outcome: the neighbors plus how much of the
+/// store the search actually touched (the cost the index exists to cut).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchResult {
+    /// The retrieved neighbors, sorted by `(score desc, row asc)` exactly
+    /// like [`EmbeddingStore::top_k`].
+    pub neighbors: Vec<Neighbor>,
+    /// Rows whose scores were computed (including the query's own row
+    /// when it had to be visited and skipped).
+    pub rows_scanned: usize,
+}
+
+/// A cluster-pruned approximate-nearest-neighbor index over one released
+/// [`EmbeddingStore`].
+///
+/// Deterministic end to end: seeding, Lloyd iteration, tie-breaks
+/// (lower-index wins), and probe ordering are all fixed functions of the
+/// store's contents, so the same release always builds byte-identical
+/// indexes and every query is reproducible.
+///
+/// # Examples
+/// ```
+/// use advsgm_linalg::DenseMatrix;
+/// use advsgm_core::ModelVariant;
+/// use advsgm_store::{EmbeddingStore, IndexParams, IvfIndex, PrivacyMeta};
+///
+/// let m = DenseMatrix::from_fn(200, 8, |i, j| ((i * 7 + j) as f64 * 0.31).sin());
+/// let store = EmbeddingStore::new(m, PrivacyMeta::non_private(ModelVariant::Sgm)).unwrap();
+/// let index = IvfIndex::build(&store, IndexParams::default()).unwrap();
+///
+/// // Exact mode (nprobe = nlist) is bitwise-identical to the full scan.
+/// let exact = index.search(&store, 3, 5, index.nlist()).unwrap();
+/// assert_eq!(exact.neighbors, store.top_k(3, 5).unwrap());
+///
+/// // Approximate mode scans a fraction of the rows.
+/// let nprobe = index.nprobe_for(0.9);
+/// let approx = index.search(&store, 3, 5, nprobe).unwrap();
+/// assert!(approx.rows_scanned <= store.len());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct IvfIndex {
+    dim: usize,
+    nodes: usize,
+    store_fingerprint: u64,
+    /// `nlist x dim` cluster centroids (always finite values).
+    centroids: DenseMatrix,
+    /// Per-row cluster id, or [`ALWAYS_SCAN`] for non-finite rows.
+    assignments: Vec<u32>,
+    /// `(recall target, nprobe)` pairs, ascending by target.
+    calibration: Vec<(f64, u32)>,
+    /// Derived: member rows per cluster (not serialised; rebuilt on load).
+    clusters: Vec<Vec<usize>>,
+    /// Derived: rows scanned on every query (non-finite embeddings).
+    always: Vec<usize>,
+}
+
+impl IvfIndex {
+    /// Builds an index over `store` — k-means clustering with
+    /// deterministic seeding (evenly spaced rows), then a recall
+    /// calibration pass over sampled queries.
+    ///
+    /// Cost is `O(iters · n · nlist · r)` for clustering plus
+    /// `O(samples · n · r)` for calibration; this is the one-time price of
+    /// sublinear queries and belongs at the release boundary, not on the
+    /// serving path.
+    ///
+    /// # Errors
+    /// [`StoreError::LimitExceeded`] if the resolved `nlist` overflows the
+    /// format's u32 field (unreachable for any store that fits in memory,
+    /// guarded anyway per the FORMAT.md no-truncation policy).
+    pub fn build(store: &EmbeddingStore, params: IndexParams) -> Result<Self, StoreError> {
+        let n = store.len();
+        let dim = store.dim();
+        let matrix = store.matrix();
+
+        // Non-finite rows cannot be clustered; they are always scanned.
+        let mut finite: Vec<usize> = Vec::with_capacity(n);
+        let mut always: Vec<usize> = Vec::new();
+        for row in 0..n {
+            if matrix.row(row).iter().all(|v| v.is_finite()) {
+                finite.push(row);
+            } else {
+                always.push(row);
+            }
+        }
+
+        let nlist = if finite.is_empty() {
+            0
+        } else {
+            let requested = if params.nlist > 0 {
+                params.nlist
+            } else {
+                ((n as f64).sqrt().round() as usize).max(1)
+            };
+            requested.min(finite.len())
+        };
+        if nlist as u64 > ALWAYS_SCAN as u64 - 1 {
+            return Err(StoreError::LimitExceeded {
+                what: "index cluster count",
+                value: nlist as u64,
+                max: ALWAYS_SCAN as u64 - 1,
+            });
+        }
+
+        // Deterministic seeding: centroids start at evenly spaced finite
+        // rows, then Lloyd iterations refine (empty clusters keep their
+        // previous centroid, so every centroid stays finite).
+        let mut centroids = DenseMatrix::zeros(nlist, dim);
+        for c in 0..nlist {
+            let row = finite[c * finite.len() / nlist];
+            centroids.row_mut(c).copy_from_slice(matrix.row(row));
+        }
+        let mut finite_assign = vec![0usize; finite.len()];
+        for _ in 0..params.kmeans_iters.max(1) {
+            for (slot, &row) in finite.iter().enumerate() {
+                finite_assign[slot] = nearest_centroid(&centroids, matrix.row(row));
+            }
+            let mut sums = DenseMatrix::zeros(nlist, dim);
+            let mut counts = vec![0usize; nlist];
+            for (slot, &row) in finite.iter().enumerate() {
+                let c = finite_assign[slot];
+                vector::add_assign(sums.row_mut(c), matrix.row(row));
+                counts[c] += 1;
+            }
+            for (c, &count) in counts.iter().enumerate() {
+                if count > 0 {
+                    let inv = 1.0 / count as f64;
+                    let dst = centroids.row_mut(c);
+                    for (d, &s) in dst.iter_mut().zip(sums.row(c)) {
+                        *d = s * inv;
+                    }
+                }
+            }
+        }
+        // Final assignment against the final centroids.
+        for (slot, &row) in finite.iter().enumerate() {
+            finite_assign[slot] = nearest_centroid(&centroids, matrix.row(row));
+        }
+
+        let mut assignments = vec![ALWAYS_SCAN; n];
+        for (slot, &row) in finite.iter().enumerate() {
+            assignments[row] = finite_assign[slot] as u32;
+        }
+
+        let mut index = Self {
+            dim,
+            nodes: n,
+            store_fingerprint: store.fingerprint(),
+            centroids,
+            assignments,
+            calibration: Vec::new(),
+            clusters: Vec::new(),
+            always: Vec::new(),
+        };
+        index.rebuild_derived();
+        index.calibration = index.calibrate(store, &finite, params);
+        Ok(index)
+    }
+
+    /// Recomputes the derived cluster membership lists from the
+    /// serialised assignment table.
+    fn rebuild_derived(&mut self) {
+        let nlist = self.centroids.rows();
+        let mut clusters = vec![Vec::new(); nlist];
+        let mut always = Vec::new();
+        for (row, &a) in self.assignments.iter().enumerate() {
+            if a == ALWAYS_SCAN {
+                always.push(row);
+            } else {
+                clusters[a as usize].push(row);
+            }
+        }
+        self.clusters = clusters;
+        self.always = always;
+    }
+
+    /// Measures, on evenly sampled query rows, how many probes each
+    /// [`CALIBRATION_TARGETS`] recall level needs, producing the
+    /// `(target, nprobe)` table behind [`IvfIndex::nprobe_for`]. One probe
+    /// of safety margin is added on top of the in-sample requirement so
+    /// out-of-sample queries stay at or above the target in practice.
+    fn calibrate(
+        &self,
+        store: &EmbeddingStore,
+        finite: &[usize],
+        params: IndexParams,
+    ) -> Vec<(f64, u32)> {
+        let nlist = self.nlist();
+        if nlist == 0 || finite.is_empty() {
+            return Vec::new();
+        }
+        let samples = params.sample_queries.clamp(1, finite.len());
+        let k = params.calibration_k.max(1);
+        // hits_at[p] = exact-top-k rows found with p+1 probes, summed over
+        // all sampled queries; always-scanned hits count at every p.
+        let mut hits_at = vec![0usize; nlist];
+        let mut total_hits = 0usize;
+        for s in 0..samples {
+            let u = finite[s * finite.len() / samples];
+            let query = store.matrix().row(u);
+            let order = self.probe_order(query);
+            // rank_of[c] = position of cluster c in this query's probe order.
+            let mut rank_of = vec![0usize; nlist];
+            for (rank, &c) in order.iter().enumerate() {
+                rank_of[c] = rank;
+            }
+            let exact = top_k_rows(store.matrix(), query, k, Some(u));
+            for hit in &exact {
+                total_hits += 1;
+                let a = self.assignments[hit.index];
+                let first_found = if a == ALWAYS_SCAN {
+                    0
+                } else {
+                    rank_of[a as usize]
+                };
+                hits_at[first_found] += 1;
+            }
+        }
+        if total_hits == 0 {
+            // Degenerate store (k = 0 effective, single node): every
+            // target is satisfied by a single probe.
+            return CALIBRATION_TARGETS.iter().map(|&t| (t, 1u32)).collect();
+        }
+        // Prefix-sum into a recall curve: recall(p) with p probes.
+        let mut cumulative = 0usize;
+        let recall_at: Vec<f64> = hits_at
+            .iter()
+            .map(|&h| {
+                cumulative += h;
+                cumulative as f64 / total_hits as f64
+            })
+            .collect();
+        CALIBRATION_TARGETS
+            .iter()
+            .map(|&target| {
+                let needed = recall_at
+                    .iter()
+                    .position(|&r| r >= target)
+                    .map(|p| p + 1)
+                    .unwrap_or(nlist);
+                // +1 probe out-of-sample margin, capped at a full scan.
+                (target, (needed + 1).min(nlist) as u32)
+            })
+            .collect()
+    }
+
+    /// Clusters ranked by centroid score against `query` (inner product,
+    /// descending; ties toward the lower cluster index) — the order probes
+    /// open clusters in.
+    fn probe_order(&self, query: &[f64]) -> Vec<usize> {
+        let mut scored: Vec<(usize, f64)> = (0..self.nlist())
+            .map(|c| (c, vector::dot(query, self.centroids.row(c))))
+            .collect();
+        scored.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        scored.into_iter().map(|(c, _)| c).collect()
+    }
+
+    /// Number of clusters.
+    pub fn nlist(&self) -> usize {
+        self.centroids.rows()
+    }
+
+    /// Embedding dimension the index was built for.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of rows in the store the index was built from.
+    pub fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    /// Fingerprint of the store this index belongs to
+    /// ([`EmbeddingStore::fingerprint`]).
+    pub fn store_fingerprint(&self) -> u64 {
+        self.store_fingerprint
+    }
+
+    /// The build-time `(recall target, nprobe)` calibration table,
+    /// ascending by target.
+    pub fn calibration(&self) -> &[(f64, u32)] {
+        &self.calibration
+    }
+
+    /// Rows scanned on every query because their embeddings contain
+    /// non-finite values.
+    pub fn always_scanned(&self) -> usize {
+        self.always.len()
+    }
+
+    /// Maps a recall target in `[0, 1]` to a probe count via the
+    /// calibration table: the first calibrated level at or above the
+    /// target wins; targets beyond the calibrated range (including
+    /// `>= 1.0`, i.e. exactness) return `nlist` — a full, exact scan.
+    pub fn nprobe_for(&self, recall_target: f64) -> usize {
+        let nlist = self.nlist();
+        if nlist == 0 {
+            return 0;
+        }
+        let target = recall_target.clamp(0.0, 1.0);
+        for &(t, p) in &self.calibration {
+            if t >= target {
+                return (p as usize).clamp(1, nlist);
+            }
+        }
+        nlist
+    }
+
+    /// Cheap compatibility check — row count, dimension, and the content
+    /// fingerprint must all match the presented store. Call once when
+    /// pairing an index with a store (the fingerprint pass is `O(n·r)`);
+    /// [`IvfIndex::search`] then only re-checks the cheap shape fields.
+    ///
+    /// # Errors
+    /// [`StoreError::IndexStoreMismatch`] naming the first field that
+    /// disagrees.
+    pub fn validate_for(&self, store: &EmbeddingStore) -> Result<(), StoreError> {
+        self.check_shape(store)?;
+        let found = store.fingerprint();
+        if found != self.store_fingerprint {
+            return Err(StoreError::IndexStoreMismatch {
+                reason: format!(
+                    "store fingerprint {found:#018x} != index's {:#018x} (the index \
+                     was built from a different release)",
+                    self.store_fingerprint
+                ),
+            });
+        }
+        Ok(())
+    }
+
+    /// Shape-only compatibility check (no fingerprint pass).
+    fn check_shape(&self, store: &EmbeddingStore) -> Result<(), StoreError> {
+        if store.len() != self.nodes {
+            return Err(StoreError::IndexStoreMismatch {
+                reason: format!(
+                    "store has {} rows, index was built over {}",
+                    store.len(),
+                    self.nodes
+                ),
+            });
+        }
+        if store.dim() != self.dim {
+            return Err(StoreError::IndexStoreMismatch {
+                reason: format!(
+                    "store dimension {} != index dimension {}",
+                    store.dim(),
+                    self.dim
+                ),
+            });
+        }
+        Ok(())
+    }
+
+    /// The `k` highest-scoring neighbors of row `u` (self excluded),
+    /// probing the top `nprobe` clusters plus the always-scanned list.
+    ///
+    /// `nprobe >= nlist` is **exact mode**: the scan covers every row via
+    /// the fused full-scan kernel and the result is bitwise-identical to
+    /// [`EmbeddingStore::top_k`]. Smaller `nprobe` trades recall for a
+    /// smaller [`SearchResult::rows_scanned`].
+    ///
+    /// # Errors
+    /// [`StoreError::IndexStoreMismatch`] if the store's shape disagrees
+    /// with the index (fingerprint equality is the caller's pairing-time
+    /// check, see [`IvfIndex::validate_for`]);
+    /// [`StoreError::NodeOutOfRange`] for rows the store does not hold.
+    pub fn search(
+        &self,
+        store: &EmbeddingStore,
+        u: usize,
+        k: usize,
+        nprobe: usize,
+    ) -> Result<SearchResult, StoreError> {
+        self.check_shape(store)?;
+        if u >= self.nodes {
+            return Err(StoreError::NodeOutOfRange {
+                node: u,
+                num_nodes: self.nodes,
+            });
+        }
+        let matrix = store.matrix();
+        let query = matrix.row(u);
+        let nlist = self.nlist();
+        if nprobe >= nlist {
+            // Exact mode: the full fused scan, bitwise-identical by
+            // construction (and property-tested against the probing path).
+            let neighbors = scored_to_neighbors(store, top_k_rows(matrix, query, k, Some(u)));
+            return Ok(SearchResult {
+                neighbors,
+                rows_scanned: self.nodes.saturating_sub(1),
+            });
+        }
+        let order = self.probe_order(query);
+        let probed = &order[..nprobe.max(1).min(order.len())];
+        let candidates = probed
+            .iter()
+            .flat_map(|&c| self.clusters[c].iter().copied())
+            .chain(self.always.iter().copied());
+        let rows_scanned: usize = probed
+            .iter()
+            .map(|&c| self.clusters[c].len())
+            .sum::<usize>()
+            + self.always.len();
+        let neighbors = scored_to_neighbors(
+            store,
+            top_k_rows_among(matrix, query, k, candidates, Some(u)),
+        );
+        Ok(SearchResult {
+            neighbors,
+            rows_scanned,
+        })
+    }
+
+    /// Serialises the index to the `.aidx` wire format (`docs/FORMAT.md`).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        encode_index(self)
+    }
+
+    /// Parses an index from `.aidx` bytes, verifying structure and the
+    /// CRC-32 trailer.
+    ///
+    /// # Errors
+    /// The full typed menu: [`StoreError::BadMagic`],
+    /// [`StoreError::UnsupportedVersion`], [`StoreError::Truncated`],
+    /// [`StoreError::ChecksumMismatch`], [`StoreError::Corrupted`].
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, StoreError> {
+        decode_index(bytes)
+    }
+
+    /// Writes the index to a file (bytes fully serialised, checksum
+    /// included, before the file is created).
+    ///
+    /// # Errors
+    /// I/O failures.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), StoreError> {
+        std::fs::write(path, self.to_bytes())?;
+        Ok(())
+    }
+
+    /// Loads an index from an `.aidx` file.
+    ///
+    /// # Errors
+    /// I/O failures plus everything [`IvfIndex::from_bytes`] reports.
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, StoreError> {
+        Self::from_bytes(&std::fs::read(path)?)
+    }
+}
+
+/// Index of the centroid nearest to `row` in squared Euclidean distance
+/// (ties toward the lower centroid index).
+fn nearest_centroid(centroids: &DenseMatrix, row: &[f64]) -> usize {
+    let mut best = 0usize;
+    let mut best_d = f64::INFINITY;
+    for c in 0..centroids.rows() {
+        let d = vector::dist_sq(row, centroids.row(c));
+        if d < best_d {
+            best_d = d;
+            best = c;
+        }
+    }
+    best
+}
+
+/// Maps kernel-level scored rows to the serving [`Neighbor`] type.
+fn scored_to_neighbors(
+    store: &EmbeddingStore,
+    scored: Vec<advsgm_linalg::topk::ScoredIndex>,
+) -> Vec<Neighbor> {
+    scored
+        .into_iter()
+        .map(|s| Neighbor {
+            node: s.index,
+            id: store.node_ids()[s.index],
+            score: s.score,
+        })
+        .collect()
+}
+
+/// Serialises an index to the version-1 `.aidx` wire format.
+fn encode_index(index: &IvfIndex) -> Vec<u8> {
+    let nlist = index.centroids.rows();
+    let total = INDEX_HEADER_LEN
+        + 8 * nlist * index.dim
+        + 4 * index.nodes
+        + 12 * index.calibration.len()
+        + 4;
+    let mut out = Vec::with_capacity(total);
+    out.extend_from_slice(&INDEX_MAGIC);
+    out.extend_from_slice(&INDEX_FORMAT_VERSION.to_le_bytes());
+    out.extend_from_slice(&0u16.to_le_bytes()); // flags: none defined in v1
+    out.extend_from_slice(&(index.dim as u32).to_le_bytes());
+    out.extend_from_slice(&(index.nodes as u64).to_le_bytes());
+    out.extend_from_slice(&(nlist as u32).to_le_bytes());
+    out.extend_from_slice(&(index.calibration.len() as u32).to_le_bytes());
+    out.extend_from_slice(&index.store_fingerprint.to_le_bytes());
+    debug_assert_eq!(out.len(), INDEX_HEADER_LEN);
+    for &v in index.centroids.as_slice() {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    for &a in &index.assignments {
+        out.extend_from_slice(&a.to_le_bytes());
+    }
+    for &(target, nprobe) in &index.calibration {
+        out.extend_from_slice(&target.to_le_bytes());
+        out.extend_from_slice(&nprobe.to_le_bytes());
+    }
+    let checksum = crc32(&out);
+    out.extend_from_slice(&checksum.to_le_bytes());
+    out
+}
+
+/// Parses the version-1 `.aidx` wire format, verifying magic, version,
+/// structural lengths, field validity, and the CRC-32 trailer — the same
+/// reader-obligation order as `.aemb` (`docs/FORMAT.md`).
+fn decode_index(bytes: &[u8]) -> Result<IvfIndex, StoreError> {
+    if bytes.len() < 4 || bytes[0..4] != INDEX_MAGIC {
+        let mut found = [0u8; 4];
+        let take = bytes.len().min(4);
+        found[..take].copy_from_slice(&bytes[..take]);
+        return Err(StoreError::BadMagic { found });
+    }
+    if bytes.len() < 6 {
+        return Err(StoreError::Truncated {
+            expected: (INDEX_HEADER_LEN + 4) as u64,
+            found: bytes.len() as u64,
+        });
+    }
+    let version = u16::from_le_bytes([bytes[4], bytes[5]]);
+    if version == 0 || version > INDEX_FORMAT_VERSION {
+        return Err(StoreError::UnsupportedVersion {
+            found: version,
+            supported: INDEX_FORMAT_VERSION,
+        });
+    }
+    if bytes.len() < INDEX_HEADER_LEN + 4 {
+        return Err(StoreError::Truncated {
+            expected: (INDEX_HEADER_LEN + 4) as u64,
+            found: bytes.len() as u64,
+        });
+    }
+    let flags = u16::from_le_bytes([bytes[6], bytes[7]]);
+    let dim = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes")) as usize;
+    let nodes = u64::from_le_bytes(bytes[12..20].try_into().expect("8 bytes"));
+    let nlist = u32::from_le_bytes(bytes[20..24].try_into().expect("4 bytes"));
+    let calib_len = u32::from_le_bytes(bytes[24..28].try_into().expect("4 bytes"));
+    let store_fingerprint = u64::from_le_bytes(bytes[28..36].try_into().expect("8 bytes"));
+
+    // Header-implied total in u128 so hostile counts cannot overflow into
+    // a bogus "valid" length.
+    let expected = INDEX_HEADER_LEN as u128
+        + 8 * nlist as u128 * dim as u128
+        + 4 * nodes as u128
+        + 12 * calib_len as u128
+        + 4;
+    if (bytes.len() as u128) < expected {
+        return Err(StoreError::Truncated {
+            expected: expected.min(u64::MAX as u128) as u64,
+            found: bytes.len() as u64,
+        });
+    }
+    if (bytes.len() as u128) > expected {
+        return Err(StoreError::Corrupted {
+            reason: format!(
+                "{} trailing bytes after the checksum",
+                bytes.len() as u128 - expected
+            ),
+        });
+    }
+    let nodes = nodes as usize;
+
+    if flags != 0 {
+        return Err(StoreError::Corrupted {
+            reason: format!("unknown flag bits {flags:#06x} (version 1 defines none)"),
+        });
+    }
+    if dim == 0 {
+        return Err(StoreError::Corrupted {
+            reason: "index dimension is zero".into(),
+        });
+    }
+
+    // Structure checks out; verify integrity before trusting the body.
+    let body = &bytes[..bytes.len() - 4];
+    let stored = u32::from_le_bytes(bytes[bytes.len() - 4..].try_into().expect("4 bytes"));
+    let computed = crc32(body);
+    if stored != computed {
+        return Err(StoreError::ChecksumMismatch { stored, computed });
+    }
+
+    let mut pos = INDEX_HEADER_LEN;
+    let mut centroid_data = Vec::with_capacity(nlist as usize * dim);
+    for _ in 0..nlist as usize * dim {
+        centroid_data.push(f64::from_le_bytes(
+            bytes[pos..pos + 8].try_into().expect("8 bytes"),
+        ));
+        pos += 8;
+    }
+    let centroids = DenseMatrix::from_vec(nlist as usize, dim, centroid_data).map_err(|e| {
+        StoreError::Corrupted {
+            reason: format!("centroid shape: {e}"),
+        }
+    })?;
+    let mut assignments = Vec::with_capacity(nodes);
+    for _ in 0..nodes {
+        let a = u32::from_le_bytes(bytes[pos..pos + 4].try_into().expect("4 bytes"));
+        if a != ALWAYS_SCAN && a >= nlist {
+            return Err(StoreError::Corrupted {
+                reason: format!("row assigned to cluster {a} but the index has {nlist}"),
+            });
+        }
+        assignments.push(a);
+        pos += 4;
+    }
+    let mut calibration = Vec::with_capacity(calib_len as usize);
+    let mut last_target = f64::NEG_INFINITY;
+    for _ in 0..calib_len {
+        let target = f64::from_le_bytes(bytes[pos..pos + 8].try_into().expect("8 bytes"));
+        let nprobe = u32::from_le_bytes(bytes[pos + 8..pos + 12].try_into().expect("4 bytes"));
+        pos += 12;
+        if !(0.0..=1.0).contains(&target) || target < last_target {
+            return Err(StoreError::Corrupted {
+                reason: format!("calibration targets must ascend within [0, 1], got {target}"),
+            });
+        }
+        last_target = target;
+        if nprobe as usize > nlist as usize && nlist > 0 {
+            return Err(StoreError::Corrupted {
+                reason: format!("calibration nprobe {nprobe} exceeds nlist {nlist}"),
+            });
+        }
+        calibration.push((target, nprobe));
+    }
+
+    let mut index = IvfIndex {
+        dim,
+        nodes,
+        store_fingerprint,
+        centroids,
+        assignments,
+        calibration,
+        clusters: Vec::new(),
+        always: Vec::new(),
+    };
+    index.rebuild_derived();
+    Ok(index)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::meta::PrivacyMeta;
+    use advsgm_core::ModelVariant;
+
+    /// A clustered fixture: `groups` well-separated Gaussian-ish blobs,
+    /// the workload IVF pruning is designed for.
+    fn clustered_store(n: usize, dim: usize, groups: usize) -> EmbeddingStore {
+        let m = DenseMatrix::from_fn(n, dim, |i, j| {
+            let g = i % groups;
+            let center = ((g * 31 + j * 7) as f64 * 0.7).sin() * 4.0;
+            center + ((i * 13 + j * 5) as f64 * 0.37).sin() * 0.25
+        });
+        EmbeddingStore::new(m, PrivacyMeta::non_private(ModelVariant::Sgm)).unwrap()
+    }
+
+    fn small_params() -> IndexParams {
+        IndexParams {
+            nlist: 16,
+            kmeans_iters: 4,
+            sample_queries: 32,
+            calibration_k: 10,
+        }
+    }
+
+    #[test]
+    fn exact_mode_is_bitwise_equal_to_top_k() {
+        let store = clustered_store(500, 8, 12);
+        let index = IvfIndex::build(&store, small_params()).unwrap();
+        for u in [0usize, 13, 250, 499] {
+            let exact = index.search(&store, u, 10, index.nlist()).unwrap();
+            let reference = store.top_k(u, 10).unwrap();
+            assert_eq!(exact.neighbors.len(), reference.len());
+            for (a, b) in exact.neighbors.iter().zip(&reference) {
+                assert_eq!(a.node, b.node, "u={u}");
+                assert_eq!(a.score.to_bits(), b.score.to_bits(), "u={u}");
+            }
+        }
+    }
+
+    #[test]
+    fn approx_search_prunes_and_finds_neighbors() {
+        let store = clustered_store(2_000, 8, 16);
+        let index = IvfIndex::build(&store, small_params()).unwrap();
+        let nprobe = index.nprobe_for(0.95);
+        assert!(nprobe >= 1 && nprobe <= index.nlist());
+        let mut scanned_total = 0usize;
+        let mut hits = 0usize;
+        let mut total = 0usize;
+        for u in (0..2_000).step_by(97) {
+            let approx = index.search(&store, u, 10, nprobe).unwrap();
+            scanned_total += approx.rows_scanned;
+            let exact: Vec<usize> = store.top_k(u, 10).unwrap().iter().map(|n| n.node).collect();
+            total += exact.len();
+            hits += approx
+                .neighbors
+                .iter()
+                .filter(|n| exact.contains(&n.node))
+                .count();
+        }
+        let queries = (0..2_000).step_by(97).count();
+        let recall = hits as f64 / total as f64;
+        assert!(recall >= 0.95, "recall {recall} below the calibrated 0.95");
+        assert!(
+            scanned_total < queries * 2_000,
+            "approx mode should scan fewer rows than exhaustive"
+        );
+    }
+
+    #[test]
+    fn nonfinite_rows_are_always_scanned_and_exactness_survives() {
+        let mut m = DenseMatrix::from_fn(64, 4, |i, j| ((i * 7 + j) as f64 * 0.3).sin());
+        m.set(5, 1, f64::NAN);
+        m.set(40, 0, f64::INFINITY);
+        let store = EmbeddingStore::new(m, PrivacyMeta::non_private(ModelVariant::Sgm)).unwrap();
+        let index = IvfIndex::build(
+            &store,
+            IndexParams {
+                nlist: 8,
+                ..IndexParams::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(index.always_scanned(), 2);
+        // Exact mode bitwise against the full scan, NaN rows included.
+        for u in [0usize, 5, 40] {
+            let exact = index.search(&store, u, 64, index.nlist()).unwrap();
+            let reference = store.top_k(u, 64).unwrap();
+            assert_eq!(exact.neighbors.len(), reference.len());
+            for (a, b) in exact.neighbors.iter().zip(&reference) {
+                assert_eq!(a.node, b.node);
+                assert_eq!(a.score.to_bits(), b.score.to_bits());
+            }
+        }
+        // Approx search still sees the non-finite rows.
+        let approx = index.search(&store, 0, 64, 1).unwrap();
+        assert!(approx.rows_scanned >= 2);
+    }
+
+    #[test]
+    fn build_is_deterministic() {
+        let store = clustered_store(300, 6, 10);
+        let a = IvfIndex::build(&store, small_params()).unwrap();
+        let b = IvfIndex::build(&store, small_params()).unwrap();
+        assert_eq!(a.to_bytes(), b.to_bytes());
+    }
+
+    #[test]
+    fn roundtrip_is_bitwise_exact() {
+        let store = clustered_store(120, 5, 8);
+        let index = IvfIndex::build(&store, small_params()).unwrap();
+        let bytes = index.to_bytes();
+        let back = IvfIndex::from_bytes(&bytes).unwrap();
+        assert_eq!(back, index);
+        assert_eq!(back.to_bytes(), bytes);
+    }
+
+    #[test]
+    fn empty_and_single_node_stores_index() {
+        let empty = EmbeddingStore::new(
+            DenseMatrix::zeros(0, 4),
+            PrivacyMeta::non_private(ModelVariant::Sgm),
+        )
+        .unwrap();
+        let index = IvfIndex::build(&empty, IndexParams::default()).unwrap();
+        assert_eq!(index.nlist(), 0);
+        let back = IvfIndex::from_bytes(&index.to_bytes()).unwrap();
+        assert_eq!(back, index);
+
+        let single = clustered_store(1, 3, 1);
+        let index = IvfIndex::build(&single, IndexParams::default()).unwrap();
+        let got = index.search(&single, 0, 5, index.nprobe_for(0.9)).unwrap();
+        assert!(got.neighbors.is_empty(), "no neighbors besides self");
+    }
+
+    #[test]
+    fn mismatched_store_is_rejected() {
+        let store = clustered_store(100, 4, 8);
+        let index = IvfIndex::build(&store, small_params()).unwrap();
+        index.validate_for(&store).unwrap();
+
+        let other = clustered_store(100, 4, 9);
+        let err = index.validate_for(&other).unwrap_err();
+        assert!(
+            matches!(err, StoreError::IndexStoreMismatch { .. }),
+            "{err}"
+        );
+
+        let shorter = clustered_store(99, 4, 8);
+        let err = index.search(&shorter, 0, 3, 2).unwrap_err();
+        assert!(
+            matches!(err, StoreError::IndexStoreMismatch { .. }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn out_of_range_query_is_typed() {
+        let store = clustered_store(50, 4, 4);
+        let index = IvfIndex::build(&store, small_params()).unwrap();
+        let err = index.search(&store, 50, 3, 2).unwrap_err();
+        assert!(matches!(err, StoreError::NodeOutOfRange { node: 50, .. }));
+    }
+
+    #[test]
+    fn corruption_modes_are_typed() {
+        let store = clustered_store(40, 4, 6);
+        let index = IvfIndex::build(&store, small_params()).unwrap();
+        let bytes = index.to_bytes();
+
+        assert!(matches!(
+            IvfIndex::from_bytes(b"AEMBnotanindex").unwrap_err(),
+            StoreError::BadMagic { .. }
+        ));
+
+        let mut v = bytes.clone();
+        v[4..6].copy_from_slice(&9u16.to_le_bytes());
+        assert!(matches!(
+            IvfIndex::from_bytes(&v).unwrap_err(),
+            StoreError::UnsupportedVersion { found: 9, .. }
+        ));
+
+        for cut in [3usize, 10, INDEX_HEADER_LEN + 5, bytes.len() - 1] {
+            let err = IvfIndex::from_bytes(&bytes[..cut]).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    StoreError::Truncated { .. } | StoreError::BadMagic { .. }
+                ),
+                "cut={cut}: {err}"
+            );
+        }
+
+        let mut v = bytes.clone();
+        let i = INDEX_HEADER_LEN + 9;
+        v[i] ^= 0x10;
+        assert!(matches!(
+            IvfIndex::from_bytes(&v).unwrap_err(),
+            StoreError::ChecksumMismatch { .. }
+        ));
+
+        let mut v = bytes.clone();
+        v.extend_from_slice(b"zzz");
+        assert!(matches!(
+            IvfIndex::from_bytes(&v).unwrap_err(),
+            StoreError::Corrupted { .. }
+        ));
+
+        // Out-of-range cluster assignment with a re-stamped checksum.
+        let mut v = bytes;
+        let assign_start = INDEX_HEADER_LEN + 8 * index.nlist() * index.dim();
+        v[assign_start..assign_start + 4].copy_from_slice(&500u32.to_le_bytes());
+        let sum = crc32(&v[..v.len() - 4]);
+        let end = v.len();
+        v[end - 4..].copy_from_slice(&sum.to_le_bytes());
+        let err = IvfIndex::from_bytes(&v).unwrap_err();
+        assert!(matches!(err, StoreError::Corrupted { .. }), "{err}");
+    }
+}

@@ -62,11 +62,13 @@ pub mod checkpoint;
 pub mod error;
 pub mod export;
 pub mod format;
+pub mod index;
 pub mod meta;
 pub mod store;
 
 pub use checkpoint::{decode_checkpoint, encode_checkpoint, load_checkpoint, save_checkpoint};
 pub use error::StoreError;
 pub use export::ExportEmbeddings;
+pub use index::{IndexParams, IvfIndex, SearchResult};
 pub use meta::PrivacyMeta;
 pub use store::{EmbeddingStore, Neighbor};

@@ -75,6 +75,17 @@ impl EmbeddingStore {
                 reason: "embedding dimension must be positive".into(),
             });
         }
+        // The `.aemb` header stores the dimension as a u32 (FORMAT.md,
+        // "Format limits"): refuse here, at construction, so the writer's
+        // `dim as u32` cast is provably lossless and can never silently
+        // truncate a store into a different one on a 64-bit host.
+        if vectors.cols() as u64 > u32::MAX as u64 {
+            return Err(StoreError::LimitExceeded {
+                what: "embedding dimension",
+                value: vectors.cols() as u64,
+                max: u32::MAX as u64,
+            });
+        }
         if node_ids.len() != vectors.rows() {
             return Err(StoreError::Invalid {
                 reason: format!(
@@ -149,6 +160,32 @@ impl EmbeddingStore {
     /// The underlying embedding matrix.
     pub fn matrix(&self) -> &DenseMatrix {
         &self.vectors
+    }
+
+    /// A 64-bit FNV-1a fingerprint of the store's contents: the row
+    /// count, the dimension, the node-id table, and every payload value's
+    /// raw bit pattern, folded word-wise with the standard FNV-64
+    /// parameters (offset basis `0xcbf29ce484222325`, prime
+    /// `0x100000001b3`) — the same folding scheme as the checkpoint graph
+    /// fingerprint (`docs/FORMAT.md`).
+    ///
+    /// Derived artifacts built from a release (the `.aidx` ANN index)
+    /// carry this fingerprint so a mismatched pairing is rejected instead
+    /// of silently serving wrong neighbors.
+    pub fn fingerprint(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = FNV_OFFSET;
+        let mut fold = |w: u64| h = (h ^ w).wrapping_mul(FNV_PRIME);
+        fold(self.len() as u64);
+        fold(self.dim() as u64);
+        for &id in &self.node_ids {
+            fold(id);
+        }
+        for &v in self.vectors.as_slice() {
+            fold(v.to_bits());
+        }
+        h
     }
 
     /// The embedding of row `node`.
@@ -226,6 +263,14 @@ impl EmbeddingStore {
     /// computed independently and results reassembled in query order, so
     /// the output is bitwise-identical at every pool width.
     ///
+    /// Duplicate query nodes are computed **once**: the batch is deduped
+    /// to its distinct nodes before dispatch and results are fanned back
+    /// out in query order. A query's result depends only on the store and
+    /// the `(node, k)` pair, so the output is bitwise-identical to
+    /// computing every duplicate from scratch (regression-tested) — a
+    /// serving loop with hot query nodes pays for each distinct scan once
+    /// per batch.
+    ///
     /// # Errors
     /// [`StoreError::NodeOutOfRange`] if *any* query row is out of range
     /// (checked up front; no partial results).
@@ -243,14 +288,32 @@ impl EmbeddingStore {
                 });
             }
         }
-        let chunk_len = queries.len().div_ceil(pool.threads()).max(1);
-        let per_chunk = pool.map_chunks(queries, chunk_len, |_k, _offset, chunk| {
+        // Dedupe to first occurrences. `slot[i]` is each query's index
+        // into the distinct-node work list, so fan-out is a plain lookup.
+        let mut first_slot: std::collections::HashMap<usize, usize> =
+            std::collections::HashMap::with_capacity(queries.len());
+        let mut distinct: Vec<usize> = Vec::with_capacity(queries.len());
+        let slots: Vec<usize> = queries
+            .iter()
+            .map(|&q| {
+                *first_slot.entry(q).or_insert_with(|| {
+                    distinct.push(q);
+                    distinct.len() - 1
+                })
+            })
+            .collect();
+        let chunk_len = distinct.len().div_ceil(pool.threads()).max(1);
+        let per_chunk = pool.map_chunks(&distinct, chunk_len, |_k, _offset, chunk| {
             chunk
                 .iter()
                 .map(|&u| self.top_k_unchecked(u, k))
                 .collect::<Vec<_>>()
         });
-        Ok(per_chunk.into_iter().flatten().collect())
+        let per_distinct: Vec<Vec<Neighbor>> = per_chunk.into_iter().flatten().collect();
+        if distinct.len() == queries.len() {
+            return Ok(per_distinct);
+        }
+        Ok(slots.iter().map(|&s| per_distinct[s].clone()).collect())
     }
 
     /// Serialises the store to the `.aemb` wire format (`docs/FORMAT.md`).
@@ -381,6 +444,64 @@ mod tests {
             let got = s.batch_top_k_in(&queries, 3, &mut pool).unwrap();
             assert_eq!(got, reference);
         }
+    }
+
+    #[test]
+    fn batch_top_k_dedupes_bitwise_identically() {
+        // A batch with heavy duplication must be indistinguishable from
+        // the per-query path — same nodes, same score bits, query order.
+        let m = DenseMatrix::from_fn(30, 6, |i, j| ((i * 17 + j * 5) as f64 * 0.13).sin());
+        let s = EmbeddingStore::new(m, PrivacyMeta::non_private(ModelVariant::Sgm)).unwrap();
+        let queries = [7usize, 3, 7, 7, 0, 3, 29, 7, 0];
+        for threads in [1usize, 2, 4] {
+            let batch = s.batch_top_k(&queries, 4, threads).unwrap();
+            assert_eq!(batch.len(), queries.len());
+            for (&q, result) in queries.iter().zip(&batch) {
+                let solo = s.top_k(q, 4).unwrap();
+                assert_eq!(result.len(), solo.len(), "threads={threads} q={q}");
+                for (a, b) in result.iter().zip(&solo) {
+                    assert_eq!(a.node, b.node);
+                    assert_eq!(a.score.to_bits(), b.score.to_bits());
+                }
+            }
+        }
+        // All-duplicates edge: one distinct scan, four identical results.
+        let same = s.batch_top_k(&[5, 5, 5, 5], 3, 2).unwrap();
+        assert!(same.iter().all(|r| r == &same[0]));
+    }
+
+    #[test]
+    fn oversized_dimension_is_rejected_before_any_write() {
+        // 0 rows x (u32::MAX + 1) cols allocates nothing but would
+        // truncate the header's u32 dim field if it ever reached encode().
+        let m = DenseMatrix::zeros(0, u32::MAX as usize + 1);
+        let err = EmbeddingStore::new(m, PrivacyMeta::non_private(ModelVariant::Sgm)).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                StoreError::LimitExceeded {
+                    what: "embedding dimension",
+                    ..
+                }
+            ),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn fingerprint_tracks_content() {
+        let a = store_of(&[&[1.0, 2.0], &[3.0, -1.0]]);
+        let b = store_of(&[&[1.0, 2.0], &[3.0, -1.0]]);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        let c = store_of(&[&[1.0, 2.0], &[3.0, -1.0000000001]]);
+        assert_ne!(a.fingerprint(), c.fingerprint());
+        let d = EmbeddingStore::with_node_ids(
+            DenseMatrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, -1.0]).unwrap(),
+            vec![10, 11],
+            PrivacyMeta::non_private(ModelVariant::Sgm),
+        )
+        .unwrap();
+        assert_ne!(a.fingerprint(), d.fingerprint(), "id table is covered");
     }
 
     #[test]

@@ -3,7 +3,7 @@
 //!
 //! Each wrapped error keeps its source chain (the inner error is
 //! reachable through [`std::error::Error::source`]) and its `Display`
-//! names the originating layer, so `"store: truncated .aemb file: ..."`
+//! names the originating layer, so `"store: truncated store file: ..."`
 //! tells a caller at a glance which subsystem failed without matching on
 //! variants. The enum is `#[non_exhaustive]`: new layers can join
 //! without breaking downstream matches.

@@ -12,7 +12,7 @@ use std::path::Path;
 use std::sync::Mutex;
 
 use advsgm_parallel::{resolve_threads, ThreadPool};
-use advsgm_store::{EmbeddingStore, Neighbor, PrivacyMeta};
+use advsgm_store::{EmbeddingStore, IndexParams, IvfIndex, Neighbor, PrivacyMeta, SearchResult};
 
 use crate::api::error::Result;
 
@@ -52,6 +52,10 @@ pub struct EmbeddingService {
     /// query surface takes `&self` (a shared service handle can serve).
     threads: usize,
     pool: Mutex<Option<ThreadPool>>,
+    /// Optional ANN index for sublinear approximate queries; validated
+    /// against the store's fingerprint when attached. Exact paths never
+    /// consult it.
+    index: Option<IvfIndex>,
 }
 
 impl std::fmt::Debug for EmbeddingService {
@@ -101,7 +105,57 @@ impl EmbeddingService {
             threads: resolve_threads(threads),
             pool: Mutex::new(None),
             store,
+            index: None,
         }
+    }
+
+    /// [`EmbeddingService::open_with_threads`] plus an `.aidx` ANN index
+    /// loaded alongside and validated against the store (fingerprint,
+    /// shape). The result serves approximate queries sublinearly; every
+    /// exact path is untouched.
+    ///
+    /// # Errors
+    /// Everything [`EmbeddingService::open`] reports, the index format's
+    /// typed corruption modes, and
+    /// [`StoreError::IndexStoreMismatch`](advsgm_store::StoreError::IndexStoreMismatch)
+    /// when the index was built from a different release.
+    pub fn open_indexed(
+        store_path: impl AsRef<Path>,
+        index_path: impl AsRef<Path>,
+        threads: usize,
+    ) -> Result<Self> {
+        let mut service = Self::open_with_threads(store_path, threads)?;
+        service.attach_index(IvfIndex::load(index_path)?)?;
+        Ok(service)
+    }
+
+    /// Attaches a prebuilt ANN index after validating it belongs to the
+    /// served store (the `O(n·r)` fingerprint pass runs once, here — not
+    /// per query).
+    ///
+    /// # Errors
+    /// [`StoreError::IndexStoreMismatch`](advsgm_store::StoreError::IndexStoreMismatch)
+    /// when shape or fingerprint disagree.
+    pub fn attach_index(&mut self, index: IvfIndex) -> Result<()> {
+        index.validate_for(&self.store)?;
+        self.index = Some(index);
+        Ok(())
+    }
+
+    /// Builds an ANN index from the served store (Theorem-5
+    /// post-processing; no privacy cost) and attaches it.
+    ///
+    /// # Errors
+    /// See [`IvfIndex::build`].
+    pub fn build_index(&mut self, params: IndexParams) -> Result<&IvfIndex> {
+        let index = IvfIndex::build(&self.store, params)?;
+        self.index = Some(index);
+        Ok(self.index.as_ref().expect("just attached"))
+    }
+
+    /// The attached ANN index, if any.
+    pub fn index(&self) -> Option<&IvfIndex> {
+        self.index.as_ref()
     }
 
     /// Number of served nodes.
@@ -163,6 +217,75 @@ impl EmbeddingService {
         Ok(self.store.batch_top_k_in(queries, k, pool)?)
     }
 
+    /// Approximate top-k through the attached ANN index: probes the
+    /// clusters the build-time calibration says reach `recall_target`,
+    /// scanning a fraction of the store instead of all of it.
+    ///
+    /// `recall_target >= 1.0` — or no attached index — falls back to the
+    /// exact scan, so the call is always answerable and exactness is an
+    /// explicit point on the same dial.
+    ///
+    /// # Errors
+    /// [`Error::Store`](crate::api::Error::Store) for rows the store does
+    /// not hold.
+    pub fn top_k_approx(&self, u: usize, k: usize, recall_target: f64) -> Result<Vec<Neighbor>> {
+        Ok(self.top_k_approx_with_stats(u, k, recall_target)?.neighbors)
+    }
+
+    /// [`EmbeddingService::top_k_approx`] keeping the search statistics
+    /// ([`SearchResult::rows_scanned`]) — the bench harness and recall
+    /// tests read the scan fraction from here.
+    ///
+    /// # Errors
+    /// See [`EmbeddingService::top_k_approx`].
+    pub fn top_k_approx_with_stats(
+        &self,
+        u: usize,
+        k: usize,
+        recall_target: f64,
+    ) -> Result<SearchResult> {
+        match &self.index {
+            Some(index) if recall_target < 1.0 => {
+                Ok(index.search(&self.store, u, k, index.nprobe_for(recall_target))?)
+            }
+            _ => Ok(SearchResult {
+                neighbors: self.store.top_k(u, k)?,
+                rows_scanned: self.store.len().saturating_sub(1),
+            }),
+        }
+    }
+
+    /// [`EmbeddingService::top_k_approx`] for many query nodes: duplicate
+    /// queries are resolved once and fanned back out in query order, so a
+    /// hot node costs one index probe no matter how often the batch asks
+    /// for it.
+    ///
+    /// # Errors
+    /// [`Error::Store`](crate::api::Error::Store) if *any* query row is
+    /// out of range (checked per query as it is resolved).
+    pub fn batch_top_k_approx(
+        &self,
+        queries: &[usize],
+        k: usize,
+        recall_target: f64,
+    ) -> Result<Vec<Vec<Neighbor>>> {
+        let mut resolved: std::collections::HashMap<usize, Vec<Neighbor>> =
+            std::collections::HashMap::new();
+        let mut out = Vec::with_capacity(queries.len());
+        for &u in queries {
+            let neighbors = match resolved.entry(u) {
+                std::collections::hash_map::Entry::Occupied(e) => e.get().clone(),
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    let got = self.top_k_approx_with_stats(u, k, recall_target)?.neighbors;
+                    e.insert(got.clone());
+                    got
+                }
+            };
+            out.push(neighbors);
+        }
+        Ok(out)
+    }
+
     /// Persists the served store as an `.aemb` file (bitwise-exact
     /// roundtrip).
     ///
@@ -219,5 +342,52 @@ mod tests {
     fn open_missing_file_reports_the_store_layer() {
         let err = EmbeddingService::open("/nonexistent/advsgm/nope.aemb").unwrap_err();
         assert!(err.to_string().starts_with("store: "), "{err}");
+    }
+
+    #[test]
+    fn approx_without_index_is_the_exact_scan() {
+        let s = service();
+        let approx = s.top_k_approx(3, 5, 0.9).unwrap();
+        let exact = s.top_k(3, 5).unwrap();
+        assert_eq!(approx, exact);
+        let stats = s.top_k_approx_with_stats(3, 5, 0.9).unwrap();
+        assert_eq!(stats.rows_scanned, s.len() - 1);
+    }
+
+    #[test]
+    fn approx_with_index_serves_and_exact_target_matches_top_k() {
+        let mut s = service();
+        s.build_index(IndexParams {
+            nlist: 4,
+            ..IndexParams::default()
+        })
+        .unwrap();
+        assert!(s.index().is_some());
+        // recall_target >= 1.0 must take the untouched exact path.
+        let exact = s.top_k_approx(3, 5, 1.0).unwrap();
+        let reference = s.top_k(3, 5).unwrap();
+        assert_eq!(exact.len(), reference.len());
+        for (a, b) in exact.iter().zip(&reference) {
+            assert_eq!(a.node, b.node);
+            assert_eq!(a.score.to_bits(), b.score.to_bits());
+        }
+        // Approximate batches dedupe and fan out in query order.
+        let batched = s.batch_top_k_approx(&[3, 7, 3], 5, 0.9).unwrap();
+        assert_eq!(batched.len(), 3);
+        assert_eq!(batched[0], batched[2]);
+        assert_eq!(batched[0], s.top_k_approx(3, 5, 0.9).unwrap());
+    }
+
+    #[test]
+    fn foreign_index_is_rejected_at_attach() {
+        let mut s = service();
+        let other = {
+            let m = DenseMatrix::from_fn(20, 4, |i, j| ((i * 5 + j) as f64 * 0.23).cos());
+            EmbeddingStore::new(m, PrivacyMeta::non_private(ModelVariant::Sgm)).unwrap()
+        };
+        let foreign = IvfIndex::build(&other, IndexParams::default()).unwrap();
+        let err = s.attach_index(foreign).unwrap_err();
+        assert!(err.to_string().contains("does not match"), "{err}");
+        assert!(s.index().is_none());
     }
 }

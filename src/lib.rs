@@ -64,6 +64,7 @@
 #![deny(missing_docs)]
 
 pub mod api;
+pub mod serve;
 
 pub use advsgm_baselines as baselines;
 pub use advsgm_core as core;

@@ -9,21 +9,30 @@
 //!              [--threads N] [--shard-size N] [--seed 0]
 //!              [--checkpoint-every N] [--checkpoint PATH] [--resume PATH]
 //! advsgm query --store emb.aemb --node U [--top-k 10] [--threads N]
+//!              [--index emb.aidx --approx 0.95]
+//! advsgm query --remote HOST:PORT --node U [--top-k 10] [--approx 0.95]
 //! advsgm query --store emb.aemb --pair U V
 //! advsgm info  --store emb.aemb
+//! advsgm index --store emb.aemb --out emb.aidx [--nlist N]
+//! advsgm serve --store emb.aemb [--index emb.aidx | --build-index]
+//!              [--addr 127.0.0.1:7878] [--threads N]
+//! advsgm stop  --addr HOST:PORT
 //! ```
 //!
 //! The CLI is a thin shell over `advsgm::api`: `parse_train` assembles a
 //! [`PipelineBuilder`] (so configuration validation happens exactly once,
 //! inside [`PipelineBuilder::build`]), `train` drives a [`Pipeline`] with
-//! an observer for progress lines and the built-in checkpoint policy, and
-//! `query`/`info` serve from an [`EmbeddingService`].
+//! an observer for progress lines and the built-in checkpoint policy,
+//! `query`/`info` serve from an [`EmbeddingService`], and
+//! `index`/`serve`/`stop` front the sublinear serving stack
+//! (`advsgm::serve`, DESIGN.md §12).
 //!
-//! Argument parsing is hand-rolled like `advsgm-bench`'s: three
+//! Argument parsing is hand-rolled like `advsgm-bench`'s: a handful of
 //! subcommands and a score of flags do not justify a CLI dependency
 //! outside the vendored crate set. Parsing is pure (`parse_train` /
-//! `parse_query` / `parse_info` return argument structs) so it is
-//! unit-tested without touching the filesystem.
+//! `parse_query` / `parse_info` / `parse_index` / `parse_serve` /
+//! `parse_stop` return argument structs) so it is unit-tested without
+//! touching the filesystem.
 
 use std::num::NonZeroUsize;
 use std::process::ExitCode;
@@ -35,6 +44,8 @@ use advsgm::api::{
 use advsgm::datasets::{dataset_by_name, synthesize};
 use advsgm::graph::io::read_edge_list_file;
 use advsgm::graph::Graph;
+use advsgm::serve::{client::ServeClient, ServeConfig, Server};
+use advsgm::store::{IndexParams, IvfIndex};
 
 const USAGE: &str = "usage:
   advsgm train --out PATH [--dataset NAME] [--scale F] [--edges FILE]
@@ -44,8 +55,16 @@ const USAGE: &str = "usage:
                [--shard-size N] [--seed N]
                [--checkpoint-every N] [--checkpoint PATH] [--resume PATH]
   advsgm query --store PATH --node U [--top-k K] [--threads N]
+               [--index PATH --approx RECALL]
+  advsgm query --remote HOST:PORT --node U [--top-k K] [--approx RECALL]
   advsgm query --store PATH --pair U V
   advsgm info  --store PATH
+  advsgm index --store PATH --out PATH [--nlist N] [--kmeans-iters N]
+               [--sample-queries N]
+  advsgm serve --store PATH [--index PATH | --build-index]
+               [--addr HOST:PORT] [--threads N] [--cache N]
+               [--max-requests N]
+  advsgm stop  --addr HOST:PORT
 
 train flags:
   --batch-size N        pairs per discriminator batch B (default 128)
@@ -61,7 +80,21 @@ train flags:
   --resume PATH         resume a checkpointed run bitwise-exactly; only
                         --out/--dataset/--scale/--edges/--epochs and the
                         checkpoint flags may accompany it (the rest of the
-                        configuration is pinned by the checkpoint)";
+                        configuration is pinned by the checkpoint)
+
+serving flags:
+  --index PATH          load a prebuilt .aidx ANN index (query: enables
+                        --approx; serve: serves approximate requests)
+  --approx RECALL       answer top-k through the ANN index at a recall
+                        target in [0,1] (1.0 = exact); requires --index
+                        locally, always available against --remote
+  --remote HOST:PORT    query a running `advsgm serve` over the wire
+                        instead of opening a store file
+  --build-index         serve: build the index in memory at startup
+                        instead of loading an .aidx file
+  --cache N             serve: LRU capacity in cached top-k results
+                        (default 1024; 0 disables)
+  --max-requests N      serve: exit after answering N requests";
 
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
@@ -77,6 +110,9 @@ fn main() -> ExitCode {
         "train" => parse_train(&rest).and_then(cmd_train),
         "query" => parse_query(&rest).and_then(cmd_query),
         "info" => parse_info(&rest).and_then(cmd_info),
+        "index" => parse_index(&rest).and_then(cmd_index),
+        "serve" => parse_serve(&rest).and_then(cmd_serve),
+        "stop" => parse_stop(&rest).and_then(cmd_stop),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             return ExitCode::SUCCESS;
@@ -284,25 +320,45 @@ enum QueryTarget {
     Pair { u: usize, v: usize },
 }
 
+/// Where an `advsgm query` resolves: a local store file or a running
+/// `advsgm serve` endpoint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum QuerySource {
+    /// Open a local `.aemb` (optionally with an `.aidx` alongside).
+    Local {
+        store: String,
+        index: Option<String>,
+    },
+    /// Talk to a serving endpoint over the wire protocol.
+    Remote { addr: String },
+}
+
 /// Parsed `advsgm query` arguments.
 #[derive(Debug, Clone)]
 struct QueryArgs {
-    store: String,
+    source: QuerySource,
     target: QueryTarget,
     threads: usize,
+    /// Recall target for approximate top-k; `None` = exact.
+    approx: Option<f64>,
 }
 
 fn parse_query(tokens: &[String]) -> Result<QueryArgs, String> {
     let mut path: Option<String> = None;
+    let mut index: Option<String> = None;
+    let mut remote: Option<String> = None;
     let mut node: Option<usize> = None;
     let mut pair: Option<(usize, usize)> = None;
     let mut top_k = 10usize;
     let mut threads = 0usize;
+    let mut approx: Option<f64> = None;
 
     let mut i = 0;
     while i < tokens.len() {
         match tokens[i].as_str() {
             "--store" => path = Some(take_value(tokens, &mut i, "--store")?),
+            "--index" => index = Some(take_value(tokens, &mut i, "--index")?),
+            "--remote" => remote = Some(take_value(tokens, &mut i, "--remote")?),
             "--node" => node = Some(parse_num(&take_value(tokens, &mut i, "--node")?, "--node")?),
             "--pair" => {
                 let u: usize = parse_num(&take_value(tokens, &mut i, "--pair")?, "--pair")?;
@@ -315,11 +371,38 @@ fn parse_query(tokens: &[String]) -> Result<QueryArgs, String> {
             "--threads" => {
                 threads = parse_num(&take_value(tokens, &mut i, "--threads")?, "--threads")?;
             }
+            "--approx" => {
+                let r: f64 = parse_num(&take_value(tokens, &mut i, "--approx")?, "--approx")?;
+                if !(0.0..=1.0).contains(&r) {
+                    return Err(format!("--approx must be in [0,1], got {r}"));
+                }
+                approx = Some(r);
+            }
             other => return Err(format!("unknown flag {other}\n{USAGE}")),
         }
         i += 1;
     }
-    let store = path.ok_or_else(|| format!("--store is required\n{USAGE}"))?;
+    let source = match (remote, path) {
+        (Some(_), Some(_)) => {
+            return Err("pass either --store PATH or --remote HOST:PORT, not both".into())
+        }
+        (Some(addr), None) => {
+            if index.is_some() {
+                return Err("--index is a local-store flag; the server owns its index".into());
+            }
+            if threads != 0 {
+                return Err("--threads is a local-store flag; the server owns its pool".into());
+            }
+            QuerySource::Remote { addr }
+        }
+        (None, Some(store)) => QuerySource::Local { store, index },
+        (None, None) => {
+            return Err(format!("--store or --remote is required\n{USAGE}"));
+        }
+    };
+    if approx.is_some() && matches!(source, QuerySource::Local { index: None, .. }) {
+        return Err("--approx needs an ANN index: pass --index PATH (or query --remote)".into());
+    }
     let target = match (pair, node) {
         (Some(_), Some(_)) => {
             return Err("pass either --node U or --pair U V, not both".into());
@@ -329,9 +412,10 @@ fn parse_query(tokens: &[String]) -> Result<QueryArgs, String> {
         (None, None) => return Err(format!("need --node U or --pair U V\n{USAGE}")),
     };
     Ok(QueryArgs {
-        store,
+        source,
         target,
         threads,
+        approx,
     })
 }
 
@@ -353,6 +437,135 @@ fn parse_info(tokens: &[String]) -> Result<InfoArgs, String> {
     }
     Ok(InfoArgs {
         store: path.ok_or_else(|| format!("--store is required\n{USAGE}"))?,
+    })
+}
+
+/// Parsed `advsgm index` arguments.
+#[derive(Debug, Clone, PartialEq)]
+struct IndexArgs {
+    store: String,
+    out: String,
+    params: IndexParams,
+}
+
+fn parse_index(tokens: &[String]) -> Result<IndexArgs, String> {
+    let mut store: Option<String> = None;
+    let mut out: Option<String> = None;
+    let mut params = IndexParams::default();
+    let mut i = 0;
+    while i < tokens.len() {
+        match tokens[i].as_str() {
+            "--store" => store = Some(take_value(tokens, &mut i, "--store")?),
+            "--out" => out = Some(take_value(tokens, &mut i, "--out")?),
+            "--nlist" => {
+                params.nlist = parse_num(&take_value(tokens, &mut i, "--nlist")?, "--nlist")?;
+            }
+            "--kmeans-iters" => {
+                let n: usize = parse_num(
+                    &take_value(tokens, &mut i, "--kmeans-iters")?,
+                    "--kmeans-iters",
+                )?;
+                if n == 0 {
+                    return Err("--kmeans-iters must be positive, got 0".into());
+                }
+                params.kmeans_iters = n;
+            }
+            "--sample-queries" => {
+                let n: usize = parse_num(
+                    &take_value(tokens, &mut i, "--sample-queries")?,
+                    "--sample-queries",
+                )?;
+                if n == 0 {
+                    return Err("--sample-queries must be positive, got 0".into());
+                }
+                params.sample_queries = n;
+            }
+            other => return Err(format!("unknown flag {other}\n{USAGE}")),
+        }
+        i += 1;
+    }
+    Ok(IndexArgs {
+        store: store.ok_or_else(|| format!("--store is required\n{USAGE}"))?,
+        out: out.ok_or_else(|| format!("--out is required\n{USAGE}"))?,
+        params,
+    })
+}
+
+/// Parsed `advsgm serve` arguments.
+#[derive(Debug, Clone, PartialEq)]
+struct ServeArgs {
+    store: String,
+    index: Option<String>,
+    build_index: bool,
+    addr: String,
+    threads: usize,
+    cache: usize,
+    max_requests: Option<u64>,
+}
+
+fn parse_serve(tokens: &[String]) -> Result<ServeArgs, String> {
+    let mut args = ServeArgs {
+        store: String::new(),
+        index: None,
+        build_index: false,
+        addr: "127.0.0.1:7878".to_string(),
+        threads: 0,
+        cache: 1024,
+        max_requests: None,
+    };
+    let mut store: Option<String> = None;
+    let mut i = 0;
+    while i < tokens.len() {
+        match tokens[i].as_str() {
+            "--store" => store = Some(take_value(tokens, &mut i, "--store")?),
+            "--index" => args.index = Some(take_value(tokens, &mut i, "--index")?),
+            "--build-index" => args.build_index = true,
+            "--addr" => args.addr = take_value(tokens, &mut i, "--addr")?,
+            "--threads" => {
+                args.threads = parse_num(&take_value(tokens, &mut i, "--threads")?, "--threads")?;
+            }
+            "--cache" => {
+                args.cache = parse_num(&take_value(tokens, &mut i, "--cache")?, "--cache")?;
+            }
+            "--max-requests" => {
+                let n: u64 = parse_num(
+                    &take_value(tokens, &mut i, "--max-requests")?,
+                    "--max-requests",
+                )?;
+                if n == 0 {
+                    return Err("--max-requests must be positive, got 0".into());
+                }
+                args.max_requests = Some(n);
+            }
+            other => return Err(format!("unknown flag {other}\n{USAGE}")),
+        }
+        i += 1;
+    }
+    if args.index.is_some() && args.build_index {
+        return Err("pass either --index PATH or --build-index, not both".into());
+    }
+    args.store = store.ok_or_else(|| format!("--store is required\n{USAGE}"))?;
+    Ok(args)
+}
+
+/// Parsed `advsgm stop` arguments.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct StopArgs {
+    addr: String,
+}
+
+fn parse_stop(tokens: &[String]) -> Result<StopArgs, String> {
+    let mut addr: Option<String> = None;
+    let mut i = 0;
+    while i < tokens.len() {
+        match tokens[i].as_str() {
+            "--addr" => addr = Some(take_value(tokens, &mut i, "--addr")?),
+            other => return Err(format!("unknown flag {other}\n{USAGE}")),
+        }
+        i += 1;
+    }
+    Ok(StopArgs {
+        addr: addr.ok_or_else(|| format!("--addr is required\n{USAGE}"))?,
     })
 }
 
@@ -511,25 +724,154 @@ fn run_training(args: &TrainArgs, pipeline: Pipeline<'_>) -> Result<(), String> 
     Ok(())
 }
 
+fn print_neighbors(node: usize, top_k: usize, neighbors: &[advsgm::store::Neighbor]) {
+    println!("top {top_k} neighbors of node {node}:");
+    println!("{:>10}  {:>10}  {:>14}", "row", "id", "score");
+    for n in neighbors {
+        println!("{:>10}  {:>10}  {:>14.6}", n.node, n.id, n.score);
+    }
+}
+
 fn cmd_query(args: QueryArgs) -> Result<(), String> {
-    let service = EmbeddingService::open_with_threads(&args.store, args.threads)
-        .map_err(|e| e.to_string())?;
-    match args.target {
-        QueryTarget::Pair { u, v } => {
-            let s = service.score(u, v).map_err(|e| e.to_string())?;
-            println!("score({u}, {v}) = {s}");
+    match &args.source {
+        QuerySource::Remote { addr } => {
+            let mut client =
+                ServeClient::connect(addr.as_str()).map_err(|e| format!("{addr}: {e}"))?;
+            match args.target {
+                QueryTarget::Pair { u, v } => {
+                    let s = client
+                        .score(u as u64, v as u64)
+                        .map_err(|e| e.to_string())?;
+                    println!("score({u}, {v}) = {s}");
+                }
+                QueryTarget::Node { node, top_k } => {
+                    let neighbors = match args.approx {
+                        Some(recall) => client.top_k_approx(node as u64, top_k as u32, recall),
+                        None => client.top_k(node as u64, top_k as u32),
+                    }
+                    .map_err(|e| e.to_string())?;
+                    print_neighbors(node, top_k, &neighbors);
+                }
+            }
         }
-        QueryTarget::Node { node, top_k } => {
-            let results = service
-                .batch_top_k(&[node], top_k)
+        QuerySource::Local { store, index } => {
+            let mut service = EmbeddingService::open_with_threads(store, args.threads)
                 .map_err(|e| e.to_string())?;
-            println!("top {top_k} neighbors of node {node}:");
-            println!("{:>10}  {:>10}  {:>14}", "row", "id", "score");
-            for n in &results[0] {
-                println!("{:>10}  {:>10}  {:>14.6}", n.node, n.id, n.score);
+            if let Some(index_path) = index {
+                let idx = IvfIndex::load(index_path).map_err(|e| format!("{index_path}: {e}"))?;
+                service.attach_index(idx).map_err(|e| e.to_string())?;
+            }
+            match args.target {
+                QueryTarget::Pair { u, v } => {
+                    let s = service.score(u, v).map_err(|e| e.to_string())?;
+                    println!("score({u}, {v}) = {s}");
+                }
+                QueryTarget::Node { node, top_k } => {
+                    let neighbors = match args.approx {
+                        Some(recall) => {
+                            let got = service
+                                .top_k_approx_with_stats(node, top_k, recall)
+                                .map_err(|e| e.to_string())?;
+                            println!(
+                                "approx (recall target {recall}): scanned {} of {} rows",
+                                got.rows_scanned,
+                                service.len().saturating_sub(1)
+                            );
+                            got.neighbors
+                        }
+                        None => service
+                            .batch_top_k(&[node], top_k)
+                            .map_err(|e| e.to_string())?
+                            .remove(0),
+                    };
+                    print_neighbors(node, top_k, &neighbors);
+                }
             }
         }
     }
+    Ok(())
+}
+
+fn cmd_index(args: IndexArgs) -> Result<(), String> {
+    let store = advsgm::store::EmbeddingStore::load(&args.store)
+        .map_err(|e| format!("{}: {e}", args.store))?;
+    println!(
+        "building IVF index over {} nodes x {} dims...",
+        store.len(),
+        store.dim()
+    );
+    let start = std::time::Instant::now();
+    let index = IvfIndex::build(&store, args.params).map_err(|e| e.to_string())?;
+    let bytes = index.to_bytes();
+    std::fs::write(&args.out, &bytes).map_err(|e| format!("{}: {e}", args.out))?;
+    println!(
+        "built in {:.2?}: {} clusters, {} always-scanned row(s); wrote {} ({})",
+        start.elapsed(),
+        index.nlist(),
+        index.always_scanned(),
+        args.out,
+        human_bytes(bytes.len())
+    );
+    for &(target, nprobe) in index.calibration() {
+        println!(
+            "  recall >= {target:.2}: probe {nprobe}/{} clusters",
+            index.nlist()
+        );
+    }
+    Ok(())
+}
+
+fn cmd_serve(args: ServeArgs) -> Result<(), String> {
+    let mut service = EmbeddingService::open_with_threads(&args.store, args.threads)
+        .map_err(|e| format!("{}: {e}", args.store))?;
+    if let Some(index_path) = &args.index {
+        let idx = IvfIndex::load(index_path).map_err(|e| format!("{index_path}: {e}"))?;
+        service.attach_index(idx).map_err(|e| e.to_string())?;
+        println!("loaded index {index_path}");
+    } else if args.build_index {
+        let start = std::time::Instant::now();
+        let idx = service
+            .build_index(IndexParams::default())
+            .map_err(|e| e.to_string())?;
+        println!(
+            "built in-memory index in {:.2?} ({} clusters)",
+            start.elapsed(),
+            idx.nlist()
+        );
+    }
+    let nodes = service.len();
+    let indexed = service.index().is_some();
+    let config = ServeConfig {
+        cache_capacity: args.cache,
+        max_requests: args.max_requests,
+        ..ServeConfig::default()
+    };
+    let server = Server::bind(service, args.addr.as_str(), config)
+        .map_err(|e| format!("{}: {e}", args.addr))?;
+    println!(
+        "serving {} nodes on {} ({}; stop with `advsgm stop --addr {}`)",
+        nodes,
+        server.local_addr(),
+        if indexed {
+            "exact + approximate"
+        } else {
+            "exact only"
+        },
+        server.local_addr()
+    );
+    let stats = server.wait();
+    println!(
+        "served {} request(s) in {} batch(es): {} cache hit(s), {} error(s)",
+        stats.requests, stats.batches, stats.cache_hits, stats.errors
+    );
+    Ok(())
+}
+
+fn cmd_stop(args: StopArgs) -> Result<(), String> {
+    let mut client =
+        ServeClient::connect(args.addr.as_str()).map_err(|e| format!("{}: {e}", args.addr))?;
+    client.shutdown().map_err(|e| e.to_string())?;
+    println!("server at {} acknowledged shutdown", args.addr);
     Ok(())
 }
 
@@ -757,9 +1099,55 @@ mod tests {
     #[test]
     fn query_node_happy_path() {
         let a = parse_query(&toks("--store e.aemb --node 3 --top-k 7 --threads 2")).unwrap();
-        assert_eq!(a.store, "e.aemb");
+        assert_eq!(
+            a.source,
+            QuerySource::Local {
+                store: "e.aemb".into(),
+                index: None
+            }
+        );
         assert_eq!(a.target, QueryTarget::Node { node: 3, top_k: 7 });
         assert_eq!(a.threads, 2);
+        assert_eq!(a.approx, None);
+    }
+
+    #[test]
+    fn query_local_approx_needs_an_index() {
+        let err = parse_query(&toks("--store e.aemb --node 3 --approx 0.9")).unwrap_err();
+        assert!(err.contains("--approx needs an ANN index"), "{err}");
+        let a = parse_query(&toks("--store e.aemb --index e.aidx --node 3 --approx 0.9")).unwrap();
+        assert_eq!(a.approx, Some(0.9));
+        assert_eq!(
+            a.source,
+            QuerySource::Local {
+                store: "e.aemb".into(),
+                index: Some("e.aidx".into())
+            }
+        );
+        for bad in ["--approx 1.5", "--approx -0.1", "--approx nan"] {
+            let cmd = format!("--store e.aemb --index e.aidx --node 3 {bad}");
+            assert!(parse_query(&toks(&cmd)).is_err(), "{bad} should fail");
+        }
+    }
+
+    #[test]
+    fn query_remote_excludes_local_flags() {
+        let a = parse_query(&toks("--remote 127.0.0.1:7878 --node 3 --approx 0.95")).unwrap();
+        assert_eq!(
+            a.source,
+            QuerySource::Remote {
+                addr: "127.0.0.1:7878".into()
+            }
+        );
+        assert_eq!(a.approx, Some(0.95));
+        for (cmd, needle) in [
+            ("--remote h:1 --store e.aemb --node 1", "not both"),
+            ("--remote h:1 --index e.aidx --node 1", "local-store flag"),
+            ("--remote h:1 --threads 2 --node 1", "local-store flag"),
+        ] {
+            let err = parse_query(&toks(cmd)).unwrap_err();
+            assert!(err.contains(needle), "{cmd}: {err}");
+        }
     }
 
     #[test]
@@ -782,7 +1170,7 @@ mod tests {
         let err = parse_query(&toks("--store e.aemb")).unwrap_err();
         assert!(err.contains("need --node U or --pair U V"), "{err}");
         let err = parse_query(&toks("--node 1")).unwrap_err();
-        assert!(err.contains("--store is required"), "{err}");
+        assert!(err.contains("--store or --remote is required"), "{err}");
     }
 
     #[test]
@@ -812,5 +1200,91 @@ mod tests {
         assert!(parse_info(&toks("--store"))
             .unwrap_err()
             .contains("needs a value"));
+    }
+
+    // ---- index ----
+
+    #[test]
+    fn index_happy_path_and_defaults() {
+        let a = parse_index(&toks(
+            "--store e.aemb --out e.aidx --nlist 64 --kmeans-iters 3 --sample-queries 16",
+        ))
+        .unwrap();
+        assert_eq!(a.store, "e.aemb");
+        assert_eq!(a.out, "e.aidx");
+        assert_eq!(a.params.nlist, 64);
+        assert_eq!(a.params.kmeans_iters, 3);
+        assert_eq!(a.params.sample_queries, 16);
+
+        let d = parse_index(&toks("--store e.aemb --out e.aidx")).unwrap();
+        assert_eq!(d.params, IndexParams::default());
+    }
+
+    #[test]
+    fn index_rejects_bad_arguments() {
+        assert!(parse_index(&toks("--out e.aidx"))
+            .unwrap_err()
+            .contains("--store is required"));
+        assert!(parse_index(&toks("--store e.aemb"))
+            .unwrap_err()
+            .contains("--out is required"));
+        assert!(parse_index(&toks("--store e --out o --kmeans-iters 0"))
+            .unwrap_err()
+            .contains("must be positive"));
+        assert!(parse_index(&toks("--store e --out o --sample-queries 0"))
+            .unwrap_err()
+            .contains("must be positive"));
+        assert!(parse_index(&toks("--store e --out o --wat"))
+            .unwrap_err()
+            .contains("unknown flag"));
+    }
+
+    // ---- serve / stop ----
+
+    #[test]
+    fn serve_happy_path_and_defaults() {
+        let a = parse_serve(&toks(
+            "--store e.aemb --index e.aidx --addr 0.0.0.0:9000 --threads 4 --cache 99 \
+             --max-requests 1000",
+        ))
+        .unwrap();
+        assert_eq!(a.store, "e.aemb");
+        assert_eq!(a.index.as_deref(), Some("e.aidx"));
+        assert_eq!(a.addr, "0.0.0.0:9000");
+        assert_eq!(a.threads, 4);
+        assert_eq!(a.cache, 99);
+        assert_eq!(a.max_requests, Some(1000));
+
+        let d = parse_serve(&toks("--store e.aemb")).unwrap();
+        assert_eq!(d.addr, "127.0.0.1:7878");
+        assert_eq!(d.cache, 1024);
+        assert_eq!(d.max_requests, None);
+        assert!(!d.build_index);
+    }
+
+    #[test]
+    fn serve_rejects_conflicting_index_flags() {
+        let err = parse_serve(&toks("--store e.aemb --index e.aidx --build-index")).unwrap_err();
+        assert!(err.contains("not both"), "{err}");
+        assert!(parse_serve(&toks("--index e.aidx"))
+            .unwrap_err()
+            .contains("--store is required"));
+        assert!(parse_serve(&toks("--store e --max-requests 0"))
+            .unwrap_err()
+            .contains("must be positive"));
+    }
+
+    #[test]
+    fn stop_requires_addr() {
+        assert_eq!(
+            parse_stop(&toks("--addr 127.0.0.1:7878")).unwrap().addr,
+            "127.0.0.1:7878"
+        );
+        assert!(parse_stop(&toks(""))
+            .unwrap_err()
+            .contains("--addr is required"));
+        assert!(parse_stop(&toks("--wat"))
+            .unwrap_err()
+            .contains("unknown flag"));
     }
 }

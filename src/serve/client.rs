@@ -1,0 +1,140 @@
+//! Blocking client for the `advsgm serve` wire protocol.
+//!
+//! One [`ServeClient`] wraps one TCP connection; requests run strictly
+//! in sequence (the protocol has no request ids, so a connection is a
+//! simple request/response pipe). Server-side failures arrive as
+//! [`std::io::ErrorKind::Other`] errors carrying the server's message —
+//! a malformed-request rejection or an out-of-range node reads exactly
+//! like the server printed it.
+
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use advsgm_store::Neighbor;
+
+use super::protocol::{
+    read_frame, write_frame, Request, Response, OP_PING, OP_SCORE, OP_SHUTDOWN, OP_TOP_K,
+};
+
+/// A connected client for one `advsgm serve` endpoint.
+///
+/// # Examples
+/// ```no_run
+/// use advsgm::serve::client::ServeClient;
+///
+/// let mut client = ServeClient::connect("127.0.0.1:7878")?;
+/// client.ping()?;
+/// let neighbors = client.top_k(0, 10)?;
+/// println!("top neighbor of 0: {:?}", neighbors.first());
+/// # Ok::<(), std::io::Error>(())
+/// ```
+#[derive(Debug)]
+pub struct ServeClient {
+    stream: TcpStream,
+}
+
+impl ServeClient {
+    /// Connects to a serving endpoint (`host:port`).
+    ///
+    /// # Errors
+    /// Resolution and connection failures.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        // Request/response round-trips are latency-bound; never Nagle.
+        stream.set_nodelay(true)?;
+        // A hung server must not hang the client forever.
+        stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+        Ok(Self { stream })
+    }
+
+    /// One request/response round-trip.
+    fn call(&mut self, request: &Request, op: u8) -> io::Result<Response> {
+        write_frame(&mut self.stream, &request.encode())?;
+        let payload = read_frame(&mut self.stream)?;
+        Response::decode(op, &payload).map_err(io::Error::other)
+    }
+
+    /// Converts a server-side [`Response::Error`] into an `io::Error`.
+    fn ok_or_server_error(response: Response) -> io::Result<Response> {
+        match response {
+            Response::Error(msg) => Err(io::Error::other(format!("server: {msg}"))),
+            other => Ok(other),
+        }
+    }
+
+    /// Liveness probe.
+    ///
+    /// # Errors
+    /// Transport failures or a server-side error response.
+    pub fn ping(&mut self) -> io::Result<()> {
+        Self::ok_or_server_error(self.call(&Request::Ping, OP_PING)?).map(|_| ())
+    }
+
+    /// Exact top-k neighbors of `node` — bitwise the same rows and scores
+    /// as a local [`EmbeddingStore::top_k`](advsgm_store::EmbeddingStore::top_k).
+    ///
+    /// # Errors
+    /// Transport failures or a server-side error response (out-of-range
+    /// node, `k` over the protocol cap).
+    pub fn top_k(&mut self, node: u64, k: u32) -> io::Result<Vec<Neighbor>> {
+        self.top_k_request(node, k, false, 1.0)
+    }
+
+    /// Approximate top-k through the server's ANN index at a recall
+    /// target in `[0, 1]` (a target `>= 1.0` asks for the exact path).
+    ///
+    /// # Errors
+    /// See [`ServeClient::top_k`].
+    pub fn top_k_approx(
+        &mut self,
+        node: u64,
+        k: u32,
+        recall_target: f64,
+    ) -> io::Result<Vec<Neighbor>> {
+        self.top_k_request(node, k, true, recall_target)
+    }
+
+    fn top_k_request(
+        &mut self,
+        node: u64,
+        k: u32,
+        approx: bool,
+        recall_target: f64,
+    ) -> io::Result<Vec<Neighbor>> {
+        let req = Request::TopK {
+            node,
+            k,
+            approx,
+            recall_target,
+        };
+        match Self::ok_or_server_error(self.call(&req, OP_TOP_K)?)? {
+            Response::Neighbors(neighbors) => Ok(neighbors),
+            other => Err(io::Error::other(format!(
+                "protocol violation: expected neighbors, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Eq.-2 link score between two rows.
+    ///
+    /// # Errors
+    /// Transport failures or a server-side error response.
+    pub fn score(&mut self, u: u64, v: u64) -> io::Result<f64> {
+        match Self::ok_or_server_error(self.call(&Request::Score { u, v }, OP_SCORE)?)? {
+            Response::Score(s) => Ok(s),
+            other => Err(io::Error::other(format!(
+                "protocol violation: expected a score, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Asks the server to shut down cleanly; returns once the server has
+    /// acknowledged.
+    ///
+    /// # Errors
+    /// Transport failures.
+    pub fn shutdown(&mut self) -> io::Result<()> {
+        Self::ok_or_server_error(self.call(&Request::Shutdown, OP_SHUTDOWN)?).map(|_| ())
+    }
+}

@@ -1,0 +1,532 @@
+//! The `advsgm serve` front-end: a long-lived TCP server over a released
+//! embedding store.
+//!
+//! Everything served here is post-processing of a released `.aemb`
+//! matrix (the paper's Theorem 5): no matter how many queries run or how
+//! they batch, the privacy stamp on the store is the complete cost.
+//! Serving architecture, protocol layout, and the release-boundary
+//! argument are documented in DESIGN.md §12; the byte-level frame format
+//! lives in [`protocol`].
+//!
+//! ## Architecture
+//!
+//! Three kinds of threads cooperate around one [`crossbeam-free
+//! mpsc`](std::sync::mpsc) channel:
+//!
+//! * **Connection threads** (one per accepted client) parse
+//!   length-prefixed frames, turn malformed payloads into error
+//!   responses *without* dropping the connection, and forward valid
+//!   requests to the dispatcher with a private reply channel.
+//! * **The dispatcher** (one thread, owns the [`EmbeddingService`])
+//!   drains the channel in small time windows so concurrent top-k
+//!   requests coalesce into one `batch_top_k` call — the store dedupes
+//!   repeated nodes, the pool spreads distinct ones — and keeps an LRU
+//!   cache of hot query results ([`cache`]). Exact and approximate
+//!   requests batch separately; scores and pings answer inline.
+//! * **The acceptor** blocks on `accept` and hands sockets to connection
+//!   threads; shutdown wakes it with a self-connect.
+//!
+//! Shutdown is cooperative: a [`protocol::Request::Shutdown`] frame (or
+//! reaching `max_requests`) makes the dispatcher acknowledge, stop the
+//! world via an atomic flag, and wake the acceptor. Connection threads
+//! poll the flag on a short read timeout, so lingering idle clients
+//! cannot hold the process open.
+
+pub mod cache;
+pub mod client;
+pub mod protocol;
+
+use std::collections::HashMap;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use advsgm_store::Neighbor;
+
+use crate::api::{EmbeddingService, Result};
+use cache::LruCache;
+use protocol::{read_frame, write_frame, Request, Response};
+
+/// Largest number of requests the dispatcher folds into one batch window.
+const BATCH_MAX: usize = 256;
+
+/// How often blocked threads re-check the shutdown flag.
+const POLL_INTERVAL: Duration = Duration::from_millis(250);
+
+/// Tuning knobs for [`Server::bind`]. `Default` is sized for a small
+/// serving box: a 1024-entry result cache and a 1 ms batching window
+/// (long enough to coalesce a concurrent burst, short enough to be
+/// invisible in per-query latency).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServeConfig {
+    /// LRU capacity, in cached top-k results (`0` disables caching).
+    pub cache_capacity: usize,
+    /// How long the dispatcher waits for more requests to join a batch
+    /// after the first one arrives.
+    pub batch_window: Duration,
+    /// Stop serving after this many requests (`None` = run until a
+    /// shutdown frame). Useful for bounded smoke runs.
+    pub max_requests: Option<u64>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            cache_capacity: 1024,
+            batch_window: Duration::from_millis(1),
+            max_requests: None,
+        }
+    }
+}
+
+/// Counters the dispatcher accumulates over a server's lifetime,
+/// returned by [`Server::wait`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Requests answered (including error responses).
+    pub requests: u64,
+    /// Top-k requests answered from the LRU cache.
+    pub cache_hits: u64,
+    /// Dispatcher batch windows that processed at least one request.
+    pub batches: u64,
+    /// Requests answered with an error response.
+    pub errors: u64,
+}
+
+/// One request in flight from a connection thread to the dispatcher.
+struct Job {
+    request: Request,
+    reply: mpsc::Sender<Response>,
+}
+
+/// A running server: acceptor + dispatcher threads bound to a socket.
+///
+/// Dropping the handle does *not* stop the server; send a shutdown frame
+/// (e.g. [`client::ServeClient::shutdown`]) and then [`Server::wait`].
+#[derive(Debug)]
+pub struct Server {
+    addr: SocketAddr,
+    accept_handle: JoinHandle<()>,
+    dispatch_handle: JoinHandle<ServerStats>,
+}
+
+impl Server {
+    /// Binds `addr` (use port `0` for an ephemeral port) and starts
+    /// serving `service` in background threads; returns immediately.
+    ///
+    /// # Errors
+    /// Bind failures as [`Error::Io`](crate::api::Error::Io).
+    pub fn bind(
+        service: EmbeddingService,
+        addr: impl ToSocketAddrs,
+        config: ServeConfig,
+    ) -> Result<Server> {
+        let listener = TcpListener::bind(addr).map_err(crate::api::Error::Io)?;
+        let local = listener.local_addr().map_err(crate::api::Error::Io)?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let (tx, rx) = mpsc::channel::<Job>();
+
+        let dispatch_handle = {
+            let shutdown = Arc::clone(&shutdown);
+            std::thread::spawn(move || dispatcher(service, rx, config, shutdown, local))
+        };
+        let accept_handle = {
+            let shutdown = Arc::clone(&shutdown);
+            std::thread::spawn(move || acceptor(listener, tx, shutdown))
+        };
+        Ok(Server {
+            addr: local,
+            accept_handle,
+            dispatch_handle,
+        })
+    }
+
+    /// The bound socket address (resolves ephemeral ports).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Blocks until the server shuts down (shutdown frame or
+    /// `max_requests`), then returns the lifetime counters.
+    pub fn wait(self) -> ServerStats {
+        let stats = self.dispatch_handle.join().unwrap_or_default();
+        let _ = self.accept_handle.join();
+        stats
+    }
+}
+
+/// Accept loop: hands each connection to its own thread until the
+/// shutdown flag rises (the dispatcher wakes a blocked `accept` with a
+/// self-connect).
+fn acceptor(listener: TcpListener, tx: mpsc::Sender<Job>, shutdown: Arc<AtomicBool>) {
+    for stream in listener.incoming() {
+        if shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        match stream {
+            Ok(stream) => {
+                let tx = tx.clone();
+                let shutdown = Arc::clone(&shutdown);
+                std::thread::spawn(move || connection(stream, tx, shutdown));
+            }
+            // Transient accept errors (EMFILE, aborted handshake) must
+            // not kill the serve loop.
+            Err(_) => continue,
+        }
+    }
+}
+
+/// Per-connection loop: frames in, frames out. Malformed payloads get an
+/// error response on the open connection; only an unframeable stream
+/// (bad header, EOF, mid-frame timeout) tears it down.
+fn connection(stream: TcpStream, tx: mpsc::Sender<Job>, shutdown: Arc<AtomicBool>) {
+    let _ = stream.set_nodelay(true);
+    // Short read timeout so idle connections notice shutdown promptly.
+    let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
+    let mut read_half = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    let mut write_half = stream;
+    loop {
+        if shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let payload = match read_frame(&mut read_half) {
+            Ok(p) => p,
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue; // idle; poll the shutdown flag again
+            }
+            Err(_) => return, // EOF or an unframeable stream
+        };
+        let response = match Request::decode(&payload) {
+            Err(reason) => Response::Error(format!("malformed request: {reason}")),
+            Ok(request) => {
+                let (reply_tx, reply_rx) = mpsc::channel();
+                if tx
+                    .send(Job {
+                        request,
+                        reply: reply_tx,
+                    })
+                    .is_err()
+                {
+                    Response::Error("server is shutting down".into())
+                } else {
+                    reply_rx
+                        .recv()
+                        .unwrap_or_else(|_| Response::Error("server dropped the request".into()))
+                }
+            }
+        };
+        if write_frame(&mut write_half, &response.encode()).is_err() {
+            return;
+        }
+    }
+}
+
+/// Key identifying one cacheable top-k answer: `(node, k, mode)`, where
+/// mode is `u64::MAX` for exact scans and the recall target's bit
+/// pattern for approximate ones (`f64::from_bits(u64::MAX)` is NaN,
+/// which the protocol rejects, so the sentinel cannot collide).
+type CacheKey = (u64, u32, u64);
+
+/// A cache-missing top-k job awaiting its batched answer: the query node
+/// plus the reply channel of the connection that asked.
+type PendingTopK = (u64, mpsc::Sender<Response>);
+
+const EXACT_MODE: u64 = u64::MAX;
+
+/// Dispatcher: owns the service and the cache, coalesces top-k requests
+/// into batches, answers everything else inline, and drives shutdown.
+fn dispatcher(
+    service: EmbeddingService,
+    rx: mpsc::Receiver<Job>,
+    config: ServeConfig,
+    shutdown: Arc<AtomicBool>,
+    local: SocketAddr,
+) -> ServerStats {
+    let mut stats = ServerStats::default();
+    let mut cache: LruCache<CacheKey, Vec<Neighbor>> = LruCache::new(config.cache_capacity);
+    let mut stop = false;
+    while !stop {
+        let first = match rx.recv_timeout(POLL_INTERVAL) {
+            Ok(job) => job,
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                if shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                continue;
+            }
+            Err(mpsc::RecvTimeoutError::Disconnected) => break,
+        };
+        // Coalesce: wait out the batch window for concurrent requests.
+        let mut batch = vec![first];
+        let deadline = Instant::now() + config.batch_window;
+        while batch.len() < BATCH_MAX {
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            match rx.recv_timeout(deadline - now) {
+                Ok(job) => batch.push(job),
+                Err(_) => break,
+            }
+        }
+        stats.batches += 1;
+        stop = process_batch(&service, &mut cache, batch, &mut stats);
+        if let Some(max) = config.max_requests {
+            if stats.requests >= max {
+                stop = true;
+            }
+        }
+    }
+    // Stop the world: raise the flag, then wake the blocked acceptor so
+    // it observes the flag and exits.
+    shutdown.store(true, Ordering::SeqCst);
+    let _ = TcpStream::connect(local);
+    stats
+}
+
+/// Answers one coalesced batch. Returns `true` when a shutdown request
+/// was part of it.
+fn process_batch(
+    service: &EmbeddingService,
+    cache: &mut LruCache<CacheKey, Vec<Neighbor>>,
+    batch: Vec<Job>,
+    stats: &mut ServerStats,
+) -> bool {
+    let mut shutdown_requested = false;
+    // Cache-missing top-k jobs, grouped by (k, mode) so each group is one
+    // batched store call.
+    let mut groups: HashMap<(u32, u64), Vec<PendingTopK>> = HashMap::new();
+    for job in batch {
+        stats.requests += 1;
+        match job.request {
+            Request::Ping => {
+                let _ = job.reply.send(Response::Ok);
+            }
+            Request::Shutdown => {
+                shutdown_requested = true;
+                let _ = job.reply.send(Response::Ok);
+            }
+            Request::Score { u, v } => {
+                let response = match service.score(u as usize, v as usize) {
+                    Ok(s) => Response::Score(s),
+                    Err(e) => {
+                        stats.errors += 1;
+                        Response::Error(e.to_string())
+                    }
+                };
+                let _ = job.reply.send(response);
+            }
+            Request::TopK {
+                node,
+                k,
+                approx,
+                recall_target,
+            } => {
+                if node as usize >= service.len() {
+                    stats.errors += 1;
+                    let _ = job.reply.send(Response::Error(format!(
+                        "node {node} out of range (store holds {} nodes)",
+                        service.len()
+                    )));
+                    continue;
+                }
+                let mode = if approx {
+                    recall_target.to_bits()
+                } else {
+                    EXACT_MODE
+                };
+                if let Some(hit) = cache.get(&(node, k, mode)) {
+                    stats.cache_hits += 1;
+                    let _ = job.reply.send(Response::Neighbors(hit.clone()));
+                    continue;
+                }
+                groups.entry((k, mode)).or_default().push((node, job.reply));
+            }
+        }
+    }
+    for ((k, mode), jobs) in groups {
+        let nodes: Vec<usize> = jobs.iter().map(|(n, _)| *n as usize).collect();
+        let results = if mode == EXACT_MODE {
+            service.batch_top_k(&nodes, k as usize)
+        } else {
+            service.batch_top_k_approx(&nodes, k as usize, f64::from_bits(mode))
+        };
+        match results {
+            Ok(per_query) => {
+                for ((node, reply), neighbors) in jobs.into_iter().zip(per_query) {
+                    cache.insert((node, k, mode), neighbors.clone());
+                    let _ = reply.send(Response::Neighbors(neighbors));
+                }
+            }
+            Err(e) => {
+                // Range errors were filtered above; anything left (pool
+                // failure, index drift) fails the group loudly but keeps
+                // the server alive.
+                let msg = e.to_string();
+                for (_, reply) in jobs {
+                    stats.errors += 1;
+                    let _ = reply.send(Response::Error(msg.clone()));
+                }
+            }
+        }
+    }
+    shutdown_requested
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use advsgm_core::ModelVariant;
+    use advsgm_linalg::DenseMatrix;
+    use advsgm_store::{EmbeddingStore, IndexParams, PrivacyMeta};
+    use client::ServeClient;
+
+    fn test_service(indexed: bool) -> EmbeddingService {
+        let m = DenseMatrix::from_fn(80, 6, |i, j| ((i * 7 + j * 3) as f64 * 0.13).sin());
+        let store = EmbeddingStore::new(m, PrivacyMeta::non_private(ModelVariant::Sgm)).unwrap();
+        let mut service = EmbeddingService::with_threads(store, 2);
+        if indexed {
+            service
+                .build_index(IndexParams {
+                    nlist: 8,
+                    ..IndexParams::default()
+                })
+                .unwrap();
+        }
+        service
+    }
+
+    fn start(indexed: bool, config: ServeConfig) -> (Server, SocketAddr) {
+        let server = Server::bind(test_service(indexed), "127.0.0.1:0", config).unwrap();
+        let addr = server.local_addr();
+        (server, addr)
+    }
+
+    #[test]
+    fn round_trip_matches_local_exact_scan() {
+        let (server, addr) = start(true, ServeConfig::default());
+        let reference = test_service(false);
+        let mut client = ServeClient::connect(addr).unwrap();
+        client.ping().unwrap();
+        for node in [0u64, 7, 79] {
+            let wire = client.top_k(node, 10).unwrap();
+            let local = reference.top_k(node as usize, 10).unwrap();
+            assert_eq!(wire.len(), local.len());
+            for (a, b) in wire.iter().zip(&local) {
+                assert_eq!(a.node, b.node);
+                assert_eq!(a.id, b.id);
+                assert_eq!(a.score.to_bits(), b.score.to_bits(), "node={node}");
+            }
+        }
+        let s = client.score(1, 2).unwrap();
+        assert_eq!(
+            s.to_bits(),
+            reference.score(1, 2).unwrap().to_bits(),
+            "score must be bitwise"
+        );
+        let approx = client.top_k_approx(3, 5, 0.9).unwrap();
+        assert!(approx.len() <= 5);
+        client.shutdown().unwrap();
+        let stats = server.wait();
+        assert!(stats.requests >= 6);
+    }
+
+    #[test]
+    fn malformed_requests_degrade_gracefully() {
+        let (server, addr) = start(false, ServeConfig::default());
+        let mut raw = TcpStream::connect(addr).unwrap();
+        raw.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+        // Unknown opcode: error response, connection stays usable.
+        write_frame(&mut raw, &[0xEE, 1, 2, 3]).unwrap();
+        let resp = read_frame(&mut raw).unwrap();
+        assert_eq!(resp[0], protocol::STATUS_ERR);
+        assert!(String::from_utf8_lossy(&resp[1..]).contains("opcode"));
+        // Out-of-range node: error response, connection stays usable.
+        write_frame(
+            &mut raw,
+            &Request::TopK {
+                node: 9_999,
+                k: 3,
+                approx: false,
+                recall_target: 1.0,
+            }
+            .encode(),
+        )
+        .unwrap();
+        let resp = read_frame(&mut raw).unwrap();
+        assert_eq!(resp[0], protocol::STATUS_ERR);
+        assert!(String::from_utf8_lossy(&resp[1..]).contains("out of range"));
+        // The same connection still answers valid requests afterwards.
+        write_frame(&mut raw, &Request::Ping.encode()).unwrap();
+        assert_eq!(read_frame(&mut raw).unwrap(), vec![protocol::STATUS_OK]);
+        drop(raw);
+
+        let mut client = ServeClient::connect(addr).unwrap();
+        client.shutdown().unwrap();
+        let stats = server.wait();
+        // The unknown opcode is answered connection-side (it never
+        // reaches the dispatcher); only the out-of-range node counts.
+        assert!(stats.errors >= 1, "stats: {stats:?}");
+    }
+
+    #[test]
+    fn concurrent_clients_batch_and_cache() {
+        let config = ServeConfig {
+            batch_window: Duration::from_millis(5),
+            ..ServeConfig::default()
+        };
+        let (server, addr) = start(false, config);
+        let reference = test_service(false);
+        let expected = reference.top_k(5, 8).unwrap();
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            handles.push(std::thread::spawn(move || {
+                let mut client = ServeClient::connect(addr).unwrap();
+                let mut answers = Vec::new();
+                for _ in 0..6 {
+                    answers.push(client.top_k(5, 8).unwrap());
+                }
+                answers
+            }));
+        }
+        for handle in handles {
+            for got in handle.join().unwrap() {
+                assert_eq!(got.len(), expected.len());
+                for (a, b) in got.iter().zip(&expected) {
+                    assert_eq!(a.node, b.node);
+                    assert_eq!(a.score.to_bits(), b.score.to_bits());
+                }
+            }
+        }
+        ServeClient::connect(addr).unwrap().shutdown().unwrap();
+        let stats = server.wait();
+        // 24 identical queries: all but the very first resolve from the
+        // LRU (or dedupe inside one batch window, which the store makes
+        // a single scan anyway — either way the cache must have fired).
+        assert!(stats.cache_hits > 0, "stats: {stats:?}");
+        assert!(stats.requests >= 25);
+    }
+
+    #[test]
+    fn max_requests_bounds_the_run() {
+        let config = ServeConfig {
+            max_requests: Some(3),
+            ..ServeConfig::default()
+        };
+        let (server, addr) = start(false, config);
+        let mut client = ServeClient::connect(addr).unwrap();
+        for _ in 0..3 {
+            client.ping().unwrap();
+        }
+        let stats = server.wait();
+        assert_eq!(stats.requests, 3);
+    }
+}

@@ -81,7 +81,7 @@ fn assert_resume_is_bitwise_exact(threads: usize) {
 
         // Through the on-disk format: the persisted bytes, not the live
         // struct, must carry the full contract.
-        let wire = encode_checkpoint(&state);
+        let wire = encode_checkpoint(&state).unwrap();
         let restored = decode_checkpoint(&wire).unwrap();
         let resumed = ShardedTrainer::resume(&g, &restored)
             .unwrap()
@@ -237,7 +237,7 @@ fn wire_corruption_is_typed_never_a_panic() {
         .unwrap()
         .train_with_hooks(&g, &mut hook)
         .unwrap();
-    let bytes = encode_checkpoint(&hook.taken.unwrap());
+    let bytes = encode_checkpoint(&hook.taken.unwrap()).unwrap();
 
     // Every single-byte truncation decodes to a typed error.
     for cut in (0..bytes.len()).step_by(997).chain([bytes.len() - 1]) {

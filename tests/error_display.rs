@@ -71,7 +71,7 @@ fn snapshots() -> Vec<(Error, &'static str)> {
                 expected: 100,
                 found: 60,
             }),
-            "store: truncated .aemb file: header implies 100 bytes, found 60",
+            "store: truncated store file: header implies 100 bytes, found 60",
         ),
         (
             Error::from(StoreError::DimMismatch {

@@ -1,0 +1,233 @@
+//! Integration + property tests for the IVF approximate-nearest-neighbor
+//! index (`.aidx`, DESIGN.md §12): calibrated recall on clustered stores,
+//! bitwise-exact full-coverage mode (including non-finite rows and
+//! tie-breaks), typed rejection of corrupted index files, and the
+//! index↔store fingerprint binding.
+
+use advsgm::core::ModelVariant;
+use advsgm::linalg::rng::seeded;
+use advsgm::linalg::DenseMatrix;
+use advsgm::store::{EmbeddingStore, IndexParams, IvfIndex, PrivacyMeta, StoreError};
+use proptest::prelude::*;
+use rand::Rng;
+
+/// A store with `groups` well-separated direction clusters — the regime
+/// trained community embeddings live in and where pruning must both hit
+/// its recall calibration and actually skip most rows.
+fn clustered_store(n: usize, dim: usize, groups: usize, seed: u64) -> EmbeddingStore {
+    let mut rng = seeded(seed);
+    let m = DenseMatrix::from_fn(n, dim, |i, j| {
+        let g = i % groups;
+        let center = 3.0 * ((g * dim + j) as f64 * 0.7129).sin();
+        center + rng.gen_range(-0.3..0.3)
+    });
+    EmbeddingStore::new(m, PrivacyMeta::non_private(ModelVariant::Sgm)).unwrap()
+}
+
+fn assert_bitwise_eq(a: &[advsgm::store::Neighbor], b: &[advsgm::store::Neighbor], context: &str) {
+    assert_eq!(a.len(), b.len(), "{context}: lengths differ");
+    for (x, y) in a.iter().zip(b) {
+        assert_eq!(x.node, y.node, "{context}");
+        assert_eq!(x.score.to_bits(), y.score.to_bits(), "{context}");
+    }
+}
+
+#[test]
+fn calibrated_recall_holds_on_a_clustered_store() {
+    let store = clustered_store(4000, 16, 32, 11);
+    let index = IvfIndex::build(&store, IndexParams::default()).unwrap();
+    let k = 10;
+    for target in [0.8, 0.9, 0.95] {
+        let nprobe = index.nprobe_for(target);
+        let mut hits = 0usize;
+        let mut total = 0usize;
+        let mut scanned = 0usize;
+        // Out-of-calibration-sample queries: every 7th row.
+        for u in (0..store.len()).step_by(7) {
+            let exact: std::collections::HashSet<usize> =
+                store.top_k(u, k).unwrap().iter().map(|n| n.node).collect();
+            let got = index.search(&store, u, k, nprobe).unwrap();
+            hits += got
+                .neighbors
+                .iter()
+                .filter(|n| exact.contains(&n.node))
+                .count();
+            total += exact.len();
+            scanned += got.rows_scanned;
+        }
+        let recall = hits as f64 / total as f64;
+        assert!(
+            recall >= target - 0.03,
+            "target {target}: measured recall@{k} {recall:.4} (nprobe={nprobe})"
+        );
+        // Pruning is real, not vacuous: well under the full scan.
+        let queries = (0..store.len()).step_by(7).count();
+        let fraction = scanned as f64 / (queries * (store.len() - 1)) as f64;
+        assert!(
+            fraction < 0.6,
+            "target {target}: scanned {:.1}% of rows",
+            100.0 * fraction
+        );
+    }
+}
+
+#[test]
+fn full_coverage_search_is_bitwise_identical_to_top_k() {
+    // Rows include NaN, +inf, -inf, and exact duplicates (tie-break by
+    // lower index) — the cases where "approximately equal" answers would
+    // hide real ordering bugs.
+    let mut m = DenseMatrix::from_fn(300, 6, |i, j| ((i * 13 + j * 5) as f64 * 0.37).sin());
+    for j in 0..6 {
+        m.set(17, j, f64::NAN);
+        m.set(54, j, f64::INFINITY);
+        m.set(55, j, f64::NEG_INFINITY);
+        // Duplicate rows: 90 and 91 tie bitwise on every score.
+        let v = m.get(90, j);
+        m.set(91, j, v);
+    }
+    let store = EmbeddingStore::new(m, PrivacyMeta::non_private(ModelVariant::Sgm)).unwrap();
+    let index = IvfIndex::build(&store, IndexParams::default()).unwrap();
+    let nlist = index.nlist();
+    for u in [0usize, 17, 54, 55, 90, 91, 299] {
+        for k in [1usize, 5, 13] {
+            let exact = store.top_k(u, k).unwrap();
+            let got = index.search(&store, u, k, nlist).unwrap();
+            assert_bitwise_eq(&got.neighbors, &exact, &format!("u={u} k={k}"));
+            // nprobe above nlist is clamped, still exact.
+            let over = index.search(&store, u, k, nlist + 100).unwrap();
+            assert_bitwise_eq(&over.neighbors, &exact, &format!("u={u} k={k} over"));
+        }
+    }
+}
+
+#[test]
+fn index_roundtrips_bitwise_through_disk() {
+    let store = clustered_store(500, 8, 10, 3);
+    let index = IvfIndex::build(&store, IndexParams::default()).unwrap();
+    let path = std::env::temp_dir().join("advsgm_it_index.aidx");
+    index.save(&path).unwrap();
+    let back = IvfIndex::load(&path).unwrap();
+    std::fs::remove_file(&path).unwrap();
+    assert_eq!(back, index);
+    // Same answers after the roundtrip, bit for bit.
+    let nprobe = index.nprobe_for(0.9);
+    for u in [0usize, 123, 499] {
+        let a = index.search(&store, u, 7, nprobe).unwrap();
+        let b = back.search(&store, u, 7, nprobe).unwrap();
+        assert_eq!(a, b, "u={u}");
+    }
+}
+
+#[test]
+fn index_rejects_a_different_store() {
+    let store = clustered_store(400, 8, 10, 3);
+    let index = IvfIndex::build(&store, IndexParams::default()).unwrap();
+
+    // Same shape, different contents: fingerprint mismatch.
+    let other = clustered_store(400, 8, 10, 4);
+    assert!(matches!(
+        index.validate_for(&other),
+        Err(StoreError::IndexStoreMismatch { .. })
+    ));
+    // Different shape: caught before fingerprinting.
+    let smaller = clustered_store(200, 8, 10, 3);
+    assert!(matches!(
+        index.validate_for(&smaller),
+        Err(StoreError::IndexStoreMismatch { .. })
+    ));
+    // Search against the wrong store fails at the shape gate too.
+    assert!(index.search(&smaller, 0, 5, 1).is_err());
+    // The original store validates clean.
+    index.validate_for(&store).unwrap();
+}
+
+#[test]
+fn corrupted_index_files_fail_with_typed_errors() {
+    let store = clustered_store(300, 8, 10, 3);
+    let index = IvfIndex::build(&store, IndexParams::default()).unwrap();
+    let bytes = index.to_bytes();
+
+    let mut magic = bytes.clone();
+    magic[0..4].copy_from_slice(b"NOPE");
+    assert!(matches!(
+        IvfIndex::from_bytes(&magic),
+        Err(StoreError::BadMagic { .. })
+    ));
+
+    let mut ver = bytes.clone();
+    ver[4..6].copy_from_slice(&9u16.to_le_bytes());
+    assert!(matches!(
+        IvfIndex::from_bytes(&ver),
+        Err(StoreError::UnsupportedVersion { found: 9, .. })
+    ));
+
+    // Cuts shorter than the magic can't even identify the format...
+    assert!(matches!(
+        IvfIndex::from_bytes(&bytes[..2]),
+        Err(StoreError::BadMagic { .. })
+    ));
+    // ...everything past it reports truncation.
+    for cut in [10usize, bytes.len() / 2, bytes.len() - 1] {
+        assert!(
+            matches!(
+                IvfIndex::from_bytes(&bytes[..cut]),
+                Err(StoreError::Truncated { .. })
+            ),
+            "cut={cut}"
+        );
+    }
+
+    let mut payload = bytes.clone();
+    let mid = bytes.len() / 2;
+    payload[mid] ^= 0x01;
+    assert!(IvfIndex::from_bytes(&payload).is_err(), "mid-file bit flip");
+
+    IvfIndex::from_bytes(&bytes).unwrap();
+}
+
+proptest! {
+    #[test]
+    fn full_coverage_equals_exact_on_arbitrary_stores(
+        n in 2usize..120,
+        dim in 1usize..6,
+        seed in 0u64..500,
+        k in 1usize..15,
+    ) {
+        let mut rng = seeded(seed);
+        let m = DenseMatrix::from_fn(n, dim, |_, _| {
+            // Occasional non-finite rows keep the always-scan path hot.
+            match rng.gen_range(0..20) {
+                0 => f64::NAN,
+                1 => f64::INFINITY,
+                _ => rng.gen_range(-4.0..4.0),
+            }
+        });
+        let store = EmbeddingStore::new(
+            m, PrivacyMeta::non_private(ModelVariant::Sgm),
+        ).unwrap();
+        let index = IvfIndex::build(&store, IndexParams::default()).unwrap();
+        let u = seed as usize % n;
+        let exact = store.top_k(u, k).unwrap();
+        let got = index.search(&store, u, k, index.nlist()).unwrap();
+        prop_assert_eq!(got.neighbors.len(), exact.len());
+        for (x, y) in got.neighbors.iter().zip(&exact) {
+            prop_assert_eq!(x.node, y.node);
+            prop_assert_eq!(x.score.to_bits(), y.score.to_bits());
+        }
+    }
+
+    #[test]
+    fn every_index_byte_flip_is_detected(pos_frac in 0.0f64..1.0, bit in 0u8..8) {
+        let store = clustered_store(60, 4, 6, 9);
+        let index = IvfIndex::build(&store, IndexParams {
+            nlist: 4, kmeans_iters: 2, sample_queries: 8, calibration_k: 3,
+        }).unwrap();
+        let mut bytes = index.to_bytes();
+        let pos = ((bytes.len() - 1) as f64 * pos_frac) as usize;
+        bytes[pos] ^= 1 << bit;
+        prop_assert!(
+            IvfIndex::from_bytes(&bytes).is_err(),
+            "flip at byte {} bit {} was accepted", pos, bit
+        );
+    }
+}

@@ -1,0 +1,111 @@
+//! End-to-end test of the serving front-end (DESIGN.md §12): a real
+//! `Server` on an ephemeral TCP port, queried over the wire with
+//! `ServeClient`, answers bitwise-identically to a local exact scan —
+//! and a malformed peer cannot take the server down.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+use advsgm::api::EmbeddingService;
+use advsgm::core::ModelVariant;
+use advsgm::linalg::rng::seeded;
+use advsgm::linalg::DenseMatrix;
+use advsgm::serve::client::ServeClient;
+use advsgm::serve::{ServeConfig, Server};
+use advsgm::store::{EmbeddingStore, IndexParams, PrivacyMeta};
+use rand::Rng;
+
+fn fixture_store(n: usize, dim: usize) -> EmbeddingStore {
+    let mut rng = seeded(29);
+    let m = DenseMatrix::from_fn(n, dim, |i, j| {
+        let g = i % 8;
+        3.0 * ((g * dim + j) as f64 * 0.7129).sin() + rng.gen_range(-0.3..0.3)
+    });
+    EmbeddingStore::new(
+        m,
+        PrivacyMeta::private(ModelVariant::AdvSgm, 6.0, 1e-5, 5.0),
+    )
+    .unwrap()
+}
+
+#[test]
+fn wire_answers_match_local_service_bitwise() {
+    let store = fixture_store(600, 12);
+    let local = EmbeddingService::from_store(store.clone());
+    let mut service = EmbeddingService::from_store(store);
+    service.build_index(IndexParams::default()).unwrap();
+
+    let server = Server::bind(service, "127.0.0.1:0", ServeConfig::default()).unwrap();
+    let addr = server.local_addr();
+    let mut client = ServeClient::connect(addr).unwrap();
+    client.ping().unwrap();
+
+    for u in [0u64, 7, 300, 599] {
+        // Exact top-k over the wire vs the local scan.
+        let wire = client.top_k(u, 9).unwrap();
+        let here = local.top_k(u as usize, 9).unwrap();
+        assert_eq!(wire.len(), here.len(), "u={u}");
+        for (w, h) in wire.iter().zip(&here) {
+            assert_eq!(w.node, h.node, "u={u}");
+            assert_eq!(w.score.to_bits(), h.score.to_bits(), "u={u}");
+        }
+        // Scores too.
+        let s = client.score(u, (u + 1) % 600).unwrap();
+        let l = local.score(u as usize, (u as usize + 1) % 600).unwrap();
+        assert_eq!(s.to_bits(), l.to_bits(), "u={u}");
+    }
+
+    // Approximate serving over the wire: right count, plausible answers
+    // (recall vs exact asserted precisely in tests/index_serving.rs).
+    let approx = client.top_k_approx(42, 10, 0.95).unwrap();
+    assert_eq!(approx.len(), 10);
+    let exact: std::collections::HashSet<u64> = local
+        .top_k(42, 10)
+        .unwrap()
+        .iter()
+        .map(|n| n.node as u64)
+        .collect();
+    let hits = approx
+        .iter()
+        .filter(|n| exact.contains(&(n.node as u64)))
+        .count();
+    assert!(hits >= 8, "recall over the wire collapsed: {hits}/10");
+
+    // Server-side errors come back as typed error responses, not hangups.
+    assert!(client.top_k(600, 5).is_err());
+    client.ping().unwrap(); // connection still healthy
+
+    client.shutdown().unwrap();
+    let stats = server.wait();
+    assert!(stats.requests >= 10, "stats: {stats:?}");
+}
+
+#[test]
+fn garbage_frames_do_not_kill_the_server() {
+    let service = EmbeddingService::from_store(fixture_store(100, 6));
+    let server = Server::bind(service, "127.0.0.1:0", ServeConfig::default()).unwrap();
+    let addr = server.local_addr();
+
+    // A peer speaking gibberish: valid frame, bogus opcode.
+    let mut raw = TcpStream::connect(addr).unwrap();
+    raw.write_all(&3u32.to_le_bytes()).unwrap();
+    raw.write_all(&[0xEE, 0x01, 0x02]).unwrap();
+    let mut len = [0u8; 4];
+    raw.read_exact(&mut len).unwrap();
+    let mut body = vec![0u8; u32::from_le_bytes(len) as usize];
+    raw.read_exact(&mut body).unwrap();
+    assert_eq!(body[0], 1, "garbage must get an ERR status, got {body:?}");
+
+    // An unframeable peer (oversized length prefix) just gets dropped...
+    let mut flood = TcpStream::connect(addr).unwrap();
+    flood.write_all(&u32::MAX.to_le_bytes()).unwrap();
+    drop(flood);
+
+    // ...while real clients keep getting served.
+    let mut client = ServeClient::connect(addr).unwrap();
+    let got = client.top_k(3, 5).unwrap();
+    assert_eq!(got.len(), 5);
+    client.shutdown().unwrap();
+    let stats = server.wait();
+    assert!(stats.requests >= 1);
+}
