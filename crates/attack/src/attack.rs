@@ -1,0 +1,253 @@
+//! The attacks: decision rules over released Eq.-2 inner products.
+//!
+//! Both attacks see exactly what a downstream consumer sees — the score
+//! `<w_u, w_v>` computed from released `.aemb` bytes — for a set of
+//! *member* trials (the artifact was trained with the target edge) and
+//! *non-member* trials (it was not). Each attack picks the decision rule
+//! that maximises the certified [`empirical_epsilon`] over its own trial
+//! data, so the reported bound is the strongest operating point the
+//! attack family achieves; the Clopper–Pearson bounds keep the claim
+//! statistically one-sided at the configured confidence.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::AttackError;
+use crate::stats::{clopper_pearson, empirical_epsilon};
+
+/// One attack's result: the chosen decision rule, its confusion counts,
+/// and the certified empirical `epsilon` lower bound.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AttackSummary {
+    /// Attack family (`score_threshold` or `likelihood_ratio`).
+    pub name: String,
+    /// The decision threshold (raw score for the threshold attack,
+    /// log-likelihood ratio for the LR attack); `score >= threshold`
+    /// predicts *member*.
+    pub threshold: f64,
+    /// Member trials classified as members.
+    pub true_positives: u64,
+    /// Non-member trials classified as members.
+    pub false_positives: u64,
+    /// Non-member trials classified as non-members.
+    pub true_negatives: u64,
+    /// Member trials classified as non-members.
+    pub false_negatives: u64,
+    /// Point-estimate true-positive rate.
+    pub tpr: f64,
+    /// Point-estimate false-positive rate.
+    pub fpr: f64,
+    /// Clopper–Pearson lower bound on the TPR.
+    pub tpr_lo: f64,
+    /// Clopper–Pearson upper bound on the FPR.
+    pub fpr_hi: f64,
+    /// The certified empirical `epsilon` lower bound at the configured
+    /// confidence (0 when the attack separates nothing).
+    pub empirical_epsilon: f64,
+}
+
+/// Validates attack inputs shared by both families.
+fn check_inputs(members: &[f64], non_members: &[f64]) -> Result<(), AttackError> {
+    if members.is_empty() || non_members.is_empty() {
+        return Err(AttackError::invalid(
+            "trials",
+            "need at least one member and one non-member trial",
+        ));
+    }
+    if members.iter().chain(non_members).any(|s| !s.is_finite()) {
+        return Err(AttackError::invalid(
+            "scores",
+            "released scores must be finite",
+        ));
+    }
+    Ok(())
+}
+
+/// Candidate decision thresholds for a pooled score set: midpoints
+/// between consecutive distinct values, plus one sentinel on each side
+/// (classify-everything and classify-nothing).
+fn candidate_thresholds(members: &[f64], non_members: &[f64]) -> Vec<f64> {
+    let mut all: Vec<f64> = members.iter().chain(non_members).copied().collect();
+    all.sort_by(f64::total_cmp);
+    all.dedup();
+    let mut out = Vec::with_capacity(all.len() + 1);
+    out.push(all[0] - 1.0);
+    for w in all.windows(2) {
+        out.push(0.5 * (w[0] + w[1]));
+    }
+    out.push(all[all.len() - 1] + 1.0);
+    out
+}
+
+/// Evaluates every candidate threshold and keeps the one certifying the
+/// largest empirical `epsilon` (first maximiser wins, so the result is
+/// deterministic under score permutations).
+fn best_operating_point(
+    name: &str,
+    members: &[f64],
+    non_members: &[f64],
+    confidence: f64,
+    delta: f64,
+) -> Result<AttackSummary, AttackError> {
+    check_inputs(members, non_members)?;
+    let (n_pos, n_neg) = (members.len() as u64, non_members.len() as u64);
+    let mut best: Option<AttackSummary> = None;
+    for t in candidate_thresholds(members, non_members) {
+        let tp = members.iter().filter(|&&s| s >= t).count() as u64;
+        let fp = non_members.iter().filter(|&&s| s >= t).count() as u64;
+        let (tpr_lo, _) = clopper_pearson(tp, n_pos, confidence)?;
+        let (_, fpr_hi) = clopper_pearson(fp, n_neg, confidence)?;
+        let eps = empirical_epsilon(tpr_lo, fpr_hi, delta);
+        if best.as_ref().is_none_or(|b| eps > b.empirical_epsilon) {
+            best = Some(AttackSummary {
+                name: name.to_string(),
+                threshold: t,
+                true_positives: tp,
+                false_positives: fp,
+                true_negatives: n_neg - fp,
+                false_negatives: n_pos - tp,
+                tpr: tp as f64 / n_pos as f64,
+                fpr: fp as f64 / n_neg as f64,
+                tpr_lo,
+                fpr_hi,
+                empirical_epsilon: eps,
+            });
+        }
+    }
+    Ok(best.expect("at least one candidate threshold"))
+}
+
+/// The score-threshold attack: predict *member* when the released
+/// Eq.-2 inner product clears a threshold, chosen to maximise the
+/// certified empirical `epsilon`.
+///
+/// # Errors
+/// [`AttackError::InvalidParameter`] on empty or non-finite inputs, or
+/// an out-of-range confidence level.
+pub fn score_threshold_attack(
+    members: &[f64],
+    non_members: &[f64],
+    confidence: f64,
+    delta: f64,
+) -> Result<AttackSummary, AttackError> {
+    best_operating_point("score_threshold", members, non_members, confidence, delta)
+}
+
+/// Mean and (floored) standard deviation of a score sample.
+fn gaussian_fit(xs: &[f64]) -> (f64, f64) {
+    let n = xs.len() as f64;
+    let mean = xs.iter().sum::<f64>() / n;
+    let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+    // Floor the deviation so a degenerate (constant) sample yields a
+    // finite, extremely spiky likelihood instead of a division by zero.
+    (mean, var.sqrt().max(1e-12))
+}
+
+/// Log-density of `N(mean, sd^2)` at `x`, up to the shared `ln(2*pi)/2`
+/// constant (which cancels in the ratio).
+fn ln_normal(x: f64, mean: f64, sd: f64) -> f64 {
+    let z = (x - mean) / sd;
+    -0.5 * z * z - sd.ln()
+}
+
+/// The Gaussian likelihood-ratio attack: fit one Gaussian to the member
+/// scores and one to the non-member scores, map every trial to its
+/// log-likelihood ratio, and threshold *that* — by Neyman–Pearson the
+/// strongest test of the two-Gaussian hypothesis, and sensitive to
+/// variance differences a raw score threshold cannot see.
+///
+/// The Gaussians are fit on the same trials they classify
+/// (resubstitution); the Clopper–Pearson machinery still certifies the
+/// resulting operating point, and DESIGN.md §13 spells out the caveat.
+///
+/// # Errors
+/// [`AttackError::InvalidParameter`] on empty or non-finite inputs, or
+/// an out-of-range confidence level.
+pub fn likelihood_ratio_attack(
+    members: &[f64],
+    non_members: &[f64],
+    confidence: f64,
+    delta: f64,
+) -> Result<AttackSummary, AttackError> {
+    check_inputs(members, non_members)?;
+    let (mu1, sd1) = gaussian_fit(members);
+    let (mu0, sd0) = gaussian_fit(non_members);
+    let llr = |s: f64| ln_normal(s, mu1, sd1) - ln_normal(s, mu0, sd0);
+    let members_llr: Vec<f64> = members.iter().map(|&s| llr(s)).collect();
+    let non_members_llr: Vec<f64> = non_members.iter().map(|&s| llr(s)).collect();
+    best_operating_point(
+        "likelihood_ratio",
+        &members_llr,
+        &non_members_llr,
+        confidence,
+        delta,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn separated_samples_certify_a_positive_epsilon() {
+        let members: Vec<f64> = (0..20).map(|i| 1.0 + 0.01 * i as f64).collect();
+        let non_members: Vec<f64> = (0..20).map(|i| -1.0 + 0.01 * i as f64).collect();
+        for attack in [score_threshold_attack, likelihood_ratio_attack] {
+            let s = attack(&members, &non_members, 0.95, 1e-5).unwrap();
+            assert_eq!(s.true_positives, 20, "{}", s.name);
+            assert_eq!(s.false_positives, 0, "{}", s.name);
+            assert!(
+                s.empirical_epsilon > 1.0,
+                "{}: {}",
+                s.name,
+                s.empirical_epsilon
+            );
+        }
+    }
+
+    #[test]
+    fn identical_samples_certify_nothing() {
+        let xs: Vec<f64> = (0..30).map(|i| (i as f64 * 0.37).sin()).collect();
+        for attack in [score_threshold_attack, likelihood_ratio_attack] {
+            let s = attack(&xs, &xs, 0.95, 1e-5).unwrap();
+            assert_eq!(s.empirical_epsilon, 0.0, "{}", s.name);
+        }
+    }
+
+    #[test]
+    fn likelihood_ratio_sees_variance_differences() {
+        // Same mean, very different spread: a raw threshold can exploit
+        // one tail, but the LR attack's two-sided rule must do at least
+        // as well as the raw rule does on the LLR axis.
+        let members: Vec<f64> = (0..40).map(|i| 10.0 * ((i as f64) - 19.5) / 19.5).collect();
+        let non_members: Vec<f64> = (0..40).map(|i| 0.1 * ((i as f64) - 19.5) / 19.5).collect();
+        let lr = likelihood_ratio_attack(&members, &non_members, 0.95, 0.0).unwrap();
+        assert!(lr.empirical_epsilon > 0.5, "{}", lr.empirical_epsilon);
+        // Every member sits in a tail, every non-member in the core.
+        assert_eq!(lr.true_positives + lr.false_negatives, 40);
+        assert!(lr.tpr > 0.9, "tpr={}", lr.tpr);
+    }
+
+    #[test]
+    fn confusion_counts_are_consistent() {
+        let members = vec![0.9, 0.8, 0.2, 0.7];
+        let non_members = vec![0.1, 0.3, 0.6];
+        let s = score_threshold_attack(&members, &non_members, 0.9, 0.0).unwrap();
+        assert_eq!(s.true_positives + s.false_negatives, 4);
+        assert_eq!(s.false_positives + s.true_negatives, 3);
+        assert!((s.tpr - s.true_positives as f64 / 4.0).abs() < 1e-12);
+        assert!((s.fpr - s.false_positives as f64 / 3.0).abs() < 1e-12);
+        assert!(s.tpr_lo <= s.tpr && s.fpr <= s.fpr_hi);
+    }
+
+    #[test]
+    fn degenerate_and_bad_inputs_are_typed_errors() {
+        assert!(score_threshold_attack(&[], &[1.0], 0.95, 0.0).is_err());
+        assert!(score_threshold_attack(&[1.0], &[], 0.95, 0.0).is_err());
+        assert!(score_threshold_attack(&[f64::NAN], &[1.0], 0.95, 0.0).is_err());
+        assert!(score_threshold_attack(&[1.0], &[f64::INFINITY], 0.95, 0.0).is_err());
+        assert!(score_threshold_attack(&[1.0], &[0.0], 1.5, 0.0).is_err());
+        // Constant samples are degenerate but legal (variance floor).
+        let s = likelihood_ratio_attack(&[1.0; 5], &[0.0; 5], 0.95, 0.0).unwrap();
+        assert!(s.empirical_epsilon.is_finite());
+    }
+}

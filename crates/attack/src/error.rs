@@ -1,0 +1,89 @@
+//! The attack crate's typed error.
+
+use std::fmt;
+
+use advsgm_graph::GraphError;
+use advsgm_store::StoreError;
+
+/// Every failure the audit harness can produce.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum AttackError {
+    /// An audit parameter rejected at validation.
+    InvalidParameter {
+        /// The parameter that was rejected.
+        param: &'static str,
+        /// The constraint it violated.
+        reason: String,
+    },
+    /// A graph-substrate failure (panel selection, world construction).
+    Graph(GraphError),
+    /// A released-artifact failure (the attacker could not even parse or
+    /// query the `.aemb` bytes it was handed).
+    Store(StoreError),
+    /// The release function failed to produce an artifact — a training
+    /// failure on the auditor's side of the trust boundary, rendered to a
+    /// message so the attack crate stays independent of the training
+    /// stack.
+    Release(String),
+    /// An I/O failure writing the audit report.
+    Io(std::io::Error),
+}
+
+impl AttackError {
+    /// An audit-parameter rejection.
+    pub fn invalid(param: &'static str, reason: impl Into<String>) -> Self {
+        AttackError::InvalidParameter {
+            param,
+            reason: reason.into(),
+        }
+    }
+
+    /// A release-side failure, rendered to a message.
+    pub fn release(reason: impl Into<String>) -> Self {
+        AttackError::Release(reason.into())
+    }
+}
+
+impl fmt::Display for AttackError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AttackError::InvalidParameter { param, reason } => {
+                write!(f, "invalid audit parameter {param}: {reason}")
+            }
+            AttackError::Graph(e) => write!(f, "audit graph setup failed: {e}"),
+            AttackError::Store(e) => write!(f, "released artifact unreadable: {e}"),
+            AttackError::Release(reason) => write!(f, "release failed: {reason}"),
+            AttackError::Io(e) => write!(f, "report write failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for AttackError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AttackError::Graph(e) => Some(e),
+            AttackError::Store(e) => Some(e),
+            AttackError::Io(e) => Some(e),
+            AttackError::InvalidParameter { .. } | AttackError::Release(_) => None,
+        }
+    }
+}
+
+impl From<GraphError> for AttackError {
+    fn from(e: GraphError) -> Self {
+        AttackError::Graph(e)
+    }
+}
+
+impl From<StoreError> for AttackError {
+    fn from(e: StoreError) -> Self {
+        AttackError::Store(e)
+    }
+}
+
+impl From<std::io::Error> for AttackError {
+    fn from(e: std::io::Error) -> Self {
+        AttackError::Io(e)
+    }
+}

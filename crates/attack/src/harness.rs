@@ -1,0 +1,475 @@
+//! The paired-worlds audit harness: panel selection, seed derivation,
+//! fan-out, and attack evaluation.
+//!
+//! For each target edge `e` the harness trains `runs_per_world`
+//! independent releases on `G0 + e` (member world) and the same number
+//! on `G0` (non-member world), where `G0` is the training side of a
+//! [`link_prediction_split`] and `e` is one of the split's sampled
+//! *non-edges* — a canary. Member worlds never differ from `G0` by more
+//! than the one audited edge, and because edge-level DP must hold for
+//! *every* pair of adjacent graphs, auditing the most-exposed edges is
+//! exactly what yields the tightest honest lower bound. Held-out
+//! positive edges would be the wrong panel: they are structurally
+//! predictable (common neighbors, community blocks) and score high even
+//! in the world that never trained on them, washing out the membership
+//! signal the audit is trying to measure. A sampled non-edge carries no
+//! such structural alibi — any score lift it shows can only come from
+//! the release having memorized it.
+//!
+//! Every run gets its own seed, derived from the base seed
+//! by a splitmix64 chain over `(edge, world, rep)`; the fan-out runs on
+//! [`advsgm_parallel::ThreadPool::map_chunks`], whose results come back
+//! in submission order, so the audit is byte-deterministic regardless of
+//! thread count.
+//!
+//! The harness is generic over the *release function* — anything that
+//! turns a graph and a seed into released `.aemb` bytes. It never sees
+//! model internals: attacks read scores back through
+//! [`EmbeddingStore::from_bytes`], exactly the Theorem-5 trust boundary
+//! a real adversary sits behind.
+
+use advsgm_graph::partition::link_prediction_split;
+use advsgm_graph::{Edge, Graph};
+use advsgm_parallel::{resolve_threads, ThreadPool};
+use advsgm_store::EmbeddingStore;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use crate::attack::{likelihood_ratio_attack, score_threshold_attack, AttackSummary};
+use crate::error::AttackError;
+
+/// Audit geometry and statistical parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AuditConfig {
+    /// Canary edges to audit (the panel size).
+    pub targets: usize,
+    /// Independent training runs per world per edge; each side of the
+    /// attack sees `targets * runs_per_world` trials.
+    pub runs_per_world: usize,
+    /// Held-out fraction for the [`link_prediction_split`] that supplies
+    /// the panel (the paper's protocol uses 0.1).
+    pub test_fraction: f64,
+    /// Base seed; every run seed derives from it deterministically.
+    pub seed: u64,
+    /// Confidence level of the Clopper–Pearson bounds.
+    pub confidence: f64,
+    /// The `delta` at which the empirical `epsilon` bound is stated
+    /// (match the training `delta`).
+    pub delta: f64,
+    /// Fan-out width for paired training runs; `0` = auto
+    /// (`ADVSGM_THREADS`, else 1).
+    pub threads: usize,
+}
+
+impl AuditConfig {
+    /// A config with the documented defaults: 3 target edges, 5 runs per
+    /// world, the paper's 0.1 split, 95% confidence, `delta = 1e-5`.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            targets: 3,
+            runs_per_world: 5,
+            test_fraction: 0.1,
+            seed,
+            confidence: 0.95,
+            delta: 1e-5,
+            threads: 0,
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    /// [`AttackError::InvalidParameter`] naming the offending field.
+    pub fn validate(&self) -> Result<(), AttackError> {
+        if self.targets == 0 {
+            return Err(AttackError::invalid(
+                "targets",
+                "need at least one target edge",
+            ));
+        }
+        if self.runs_per_world < 2 {
+            return Err(AttackError::invalid(
+                "runs_per_world",
+                format!(
+                    "need at least 2 runs per world, got {}",
+                    self.runs_per_world
+                ),
+            ));
+        }
+        if !(self.test_fraction > 0.0 && self.test_fraction < 1.0) {
+            return Err(AttackError::invalid(
+                "test_fraction",
+                format!("must be in (0,1), got {}", self.test_fraction),
+            ));
+        }
+        if !(self.confidence > 0.0 && self.confidence < 1.0) {
+            return Err(AttackError::invalid(
+                "confidence",
+                format!("must be in (0,1), got {}", self.confidence),
+            ));
+        }
+        if !(self.delta >= 0.0 && self.delta < 1.0) {
+            return Err(AttackError::invalid(
+                "delta",
+                format!("must be in [0,1), got {}", self.delta),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Per-target-edge score summary (a report detail row).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EdgeAudit {
+    /// First endpoint of the audited edge.
+    pub u: u64,
+    /// Second endpoint of the audited edge.
+    pub v: u64,
+    /// Mean released score across the member-world runs.
+    pub mean_score_with: f64,
+    /// Mean released score across the non-member-world runs.
+    pub mean_score_without: f64,
+}
+
+/// Everything one audited condition produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AuditOutcome {
+    /// Both attack families, threshold attack first.
+    pub attacks: Vec<AttackSummary>,
+    /// Per-edge detail rows, in panel order.
+    pub edges: Vec<EdgeAudit>,
+    /// The strongest certified bound across the attacks.
+    pub empirical_epsilon: f64,
+    /// Largest accountant stamp read back from the released bytes
+    /// (`None` when no run carried one).
+    pub stamped_epsilon: Option<f64>,
+    /// Trials on each side of the attack.
+    pub trials_per_world: u64,
+    /// Nodes in the audited graph.
+    pub graph_nodes: usize,
+    /// Edges in the audited graph (before the split).
+    pub graph_edges: usize,
+    /// Edges in the shared without-world graph `G0`.
+    pub train_edges: usize,
+}
+
+/// splitmix64 finalizer: the seed-derivation primitive.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The seed of one training run, derived so that every `(edge, world,
+/// rep)` cell gets an independent stream from the base seed.
+fn derive_seed(base: u64, edge: usize, member: bool, rep: usize) -> u64 {
+    let world = u64::from(member);
+    mix(mix(mix(base).wrapping_add(edge as u64)).wrapping_add(world)).wrapping_add(mix(rep as u64))
+}
+
+/// One training run the fan-out must execute.
+struct RunSpec {
+    /// Index into the per-edge world graphs (`None` = the shared `G0`).
+    world: Option<usize>,
+    edge_idx: usize,
+    member: bool,
+    seed: u64,
+}
+
+/// Runs the full paired-worlds audit: selects the panel, trains
+/// `2 * targets * runs_per_world` releases through `release`, attacks
+/// the released bytes, and certifies the empirical `epsilon` bound.
+///
+/// `release` maps `(graph, seed)` to released `.aemb` bytes
+/// ([`EmbeddingStore::to_bytes`] form); it must be deterministic in its
+/// arguments for the audit itself to be deterministic.
+///
+/// # Errors
+/// [`AttackError::Graph`] when the panel split fails,
+/// [`AttackError::InvalidParameter`] on config violations or a panel
+/// larger than the held-out edge set, [`AttackError::Release`] /
+/// [`AttackError::Store`] when a release cannot be produced or read.
+pub fn run_audit<F>(
+    graph: &Graph,
+    cfg: &AuditConfig,
+    release: F,
+) -> Result<AuditOutcome, AttackError>
+where
+    F: Fn(&Graph, u64) -> Result<Vec<u8>, AttackError> + Sync,
+{
+    cfg.validate()?;
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    let split = link_prediction_split(graph, cfg.test_fraction, &mut rng)?;
+    if split.test_neg.len() < cfg.targets {
+        return Err(AttackError::invalid(
+            "targets",
+            format!(
+                "panel of {} exceeds the {} held-out canaries (raise test_fraction or shrink the panel)",
+                cfg.targets,
+                split.test_neg.len()
+            ),
+        ));
+    }
+    // The canary panel: the split's sampled non-edges (see module docs).
+    let panel: Vec<Edge> = split.test_neg[..cfg.targets].to_vec();
+    let g0 = &split.train;
+
+    // Member worlds: G0 plus exactly the audited edge.
+    let with_worlds: Vec<Graph> = panel
+        .iter()
+        .map(|e| {
+            let mut edges = g0.edges().to_vec();
+            edges.push(*e);
+            g0.with_edges(edges)
+        })
+        .collect();
+
+    let mut specs = Vec::with_capacity(2 * cfg.targets * cfg.runs_per_world);
+    for (j, _) in panel.iter().enumerate() {
+        for rep in 0..cfg.runs_per_world {
+            specs.push(RunSpec {
+                world: Some(j),
+                edge_idx: j,
+                member: true,
+                seed: derive_seed(cfg.seed, j, true, rep),
+            });
+            specs.push(RunSpec {
+                world: None,
+                edge_idx: j,
+                member: false,
+                seed: derive_seed(cfg.seed, j, false, rep),
+            });
+        }
+    }
+
+    // Train and attack each release. map_chunks returns results in
+    // submission order, so collation below is thread-count-invariant.
+    let mut pool = ThreadPool::new(resolve_threads(cfg.threads));
+    let results: Vec<Result<(f64, Option<f64>), AttackError>> =
+        pool.map_chunks(&specs, 1, |_, _, chunk| {
+            let spec = &chunk[0];
+            let world = match spec.world {
+                Some(j) => &with_worlds[j],
+                None => g0,
+            };
+            let bytes = release(world, spec.seed)?;
+            let store = EmbeddingStore::from_bytes(&bytes)?;
+            let e = panel[spec.edge_idx];
+            let score = store.score(e.u().index(), e.v().index())?;
+            Ok((score, store.meta().epsilon))
+        });
+
+    let mut member_scores = vec![Vec::with_capacity(cfg.runs_per_world); cfg.targets];
+    let mut non_member_scores = vec![Vec::with_capacity(cfg.runs_per_world); cfg.targets];
+    let mut stamped: Option<f64> = None;
+    for (spec, result) in specs.iter().zip(results) {
+        let (score, stamp) = result?;
+        if let Some(s) = stamp {
+            stamped = Some(stamped.map_or(s, |prev: f64| prev.max(s)));
+        }
+        if spec.member {
+            member_scores[spec.edge_idx].push(score);
+        } else {
+            non_member_scores[spec.edge_idx].push(score);
+        }
+    }
+
+    let edges: Vec<EdgeAudit> = panel
+        .iter()
+        .enumerate()
+        .map(|(j, e)| EdgeAudit {
+            u: e.u().index() as u64,
+            v: e.v().index() as u64,
+            mean_score_with: mean(&member_scores[j]),
+            mean_score_without: mean(&non_member_scores[j]),
+        })
+        .collect();
+
+    // Pool the trials after label-free per-edge centering: each edge has
+    // its own baseline score level (degree, community), so the attacker
+    // subtracts the mean over *all* of that edge's runs — both worlds
+    // pooled, no labels consulted — before applying one decision rule to
+    // the whole panel. (DESIGN.md §13 discusses the independence caveat
+    // of the shared centering constant.)
+    let mut members = Vec::with_capacity(cfg.targets * cfg.runs_per_world);
+    let mut non_members = Vec::with_capacity(cfg.targets * cfg.runs_per_world);
+    for (with, without) in member_scores.iter().zip(&non_member_scores) {
+        let pooled: f64 = with.iter().chain(without).sum();
+        let center = pooled / (with.len() + without.len()) as f64;
+        members.extend(with.iter().map(|s| s - center));
+        non_members.extend(without.iter().map(|s| s - center));
+    }
+    let attacks = vec![
+        score_threshold_attack(&members, &non_members, cfg.confidence, cfg.delta)?,
+        likelihood_ratio_attack(&members, &non_members, cfg.confidence, cfg.delta)?,
+    ];
+    let empirical_epsilon = attacks
+        .iter()
+        .map(|a| a.empirical_epsilon)
+        .fold(0.0, f64::max);
+
+    Ok(AuditOutcome {
+        attacks,
+        edges,
+        empirical_epsilon,
+        stamped_epsilon: stamped,
+        trials_per_world: members.len() as u64,
+        graph_nodes: graph.num_nodes(),
+        graph_edges: graph.num_edges(),
+        train_edges: g0.num_edges(),
+    })
+}
+
+fn mean(xs: &[f64]) -> f64 {
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use advsgm_graph::generators::erdos_renyi::gnm_random_graph;
+
+    fn fixture_graph() -> Graph {
+        let mut rng = SmallRng::seed_from_u64(11);
+        gnm_random_graph(60, 240, &mut rng)
+    }
+
+    /// A fake "training" release with a tunable leak. Rows live in
+    /// `R^n`: node `u` gets `e_u` plus `leak * 0.1` times the indicator
+    /// sum of its neighbors plus per-seed jitter, so a pair score is
+    /// `~0.2 * leak` when the edge is present and `~0` when it is not —
+    /// deterministic in `(graph, seed)` like a real release function.
+    fn fake_release(graph: &Graph, seed: u64, leak: f64) -> Result<Vec<u8>, AttackError> {
+        use advsgm_store::PrivacyMeta;
+        use rand::Rng;
+        let n = graph.num_nodes();
+        let s = 0.1 * leak;
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut rows = vec![vec![0.0f64; n]; n];
+        for (u, row) in rows.iter_mut().enumerate() {
+            row[u] = 1.0;
+            for x in row.iter_mut() {
+                *x += rng.gen_range(-0.01..0.01);
+            }
+        }
+        for e in graph.edges() {
+            let (u, v) = (e.u().index(), e.v().index());
+            rows[u][v] += s;
+            rows[v][u] += s;
+        }
+        let flat: Vec<f64> = rows.into_iter().flatten().collect();
+        let matrix = advsgm_linalg::DenseMatrix::from_vec(n, n, flat)
+            .map_err(|e| AttackError::release(e.to_string()))?;
+        let store = EmbeddingStore::new(
+            matrix,
+            PrivacyMeta::private(advsgm_core::ModelVariant::AdvSgm, 6.0, 1e-5, 5.0),
+        )?;
+        Ok(store.to_bytes())
+    }
+
+    /// A perfectly leaky mechanism the attack must flag.
+    fn leaky_release(graph: &Graph, seed: u64) -> Result<Vec<u8>, AttackError> {
+        fake_release(graph, seed, 1.0)
+    }
+
+    /// Embeddings that ignore the graph entirely (a perfectly private
+    /// mechanism; the attack must certify ~0).
+    fn oblivious_release(graph: &Graph, seed: u64) -> Result<Vec<u8>, AttackError> {
+        fake_release(graph, seed, 0.0)
+    }
+
+    #[test]
+    fn leaky_mechanism_is_flagged_with_high_epsilon() {
+        let g = fixture_graph();
+        let mut cfg = AuditConfig::new(7);
+        cfg.targets = 2;
+        cfg.runs_per_world = 8;
+        let out = run_audit(&g, &cfg, leaky_release).unwrap();
+        assert_eq!(out.trials_per_world, 16);
+        assert!(
+            out.empirical_epsilon > 1.0,
+            "leak not detected: {}",
+            out.empirical_epsilon
+        );
+        // Member-world mean scores dominate per edge.
+        for e in &out.edges {
+            assert!(e.mean_score_with > e.mean_score_without, "{e:?}");
+        }
+        assert_eq!(out.stamped_epsilon, Some(6.0));
+    }
+
+    #[test]
+    fn oblivious_mechanism_certifies_nothing() {
+        let g = fixture_graph();
+        let mut cfg = AuditConfig::new(7);
+        cfg.targets = 2;
+        cfg.runs_per_world = 6;
+        let out = run_audit(&g, &cfg, oblivious_release).unwrap();
+        assert_eq!(
+            out.empirical_epsilon, 0.0,
+            "phantom leak: {:?}",
+            out.attacks
+        );
+    }
+
+    #[test]
+    fn audit_is_deterministic_across_thread_counts() {
+        let g = fixture_graph();
+        let mut cfg = AuditConfig::new(3);
+        cfg.targets = 2;
+        cfg.runs_per_world = 3;
+        cfg.threads = 1;
+        let a = run_audit(&g, &cfg, leaky_release).unwrap();
+        cfg.threads = 4;
+        let b = run_audit(&g, &cfg, leaky_release).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn derived_seeds_do_not_collide_across_cells() {
+        let mut seen = std::collections::HashSet::new();
+        for edge in 0..16 {
+            for member in [false, true] {
+                for rep in 0..16 {
+                    assert!(
+                        seen.insert(derive_seed(99, edge, member, rep)),
+                        "seed collision at ({edge}, {member}, {rep})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn config_violations_are_typed() {
+        let g = fixture_graph();
+        let mut cfg = AuditConfig::new(1);
+        cfg.targets = 0;
+        assert!(run_audit(&g, &cfg, leaky_release).is_err());
+        let mut cfg = AuditConfig::new(1);
+        cfg.runs_per_world = 1;
+        assert!(run_audit(&g, &cfg, leaky_release).is_err());
+        let mut cfg = AuditConfig::new(1);
+        cfg.confidence = 1.0;
+        assert!(run_audit(&g, &cfg, leaky_release).is_err());
+        // Panel larger than the held-out set.
+        let mut cfg = AuditConfig::new(1);
+        cfg.targets = 1000;
+        cfg.runs_per_world = 2;
+        let err = run_audit(&g, &cfg, leaky_release).unwrap_err();
+        assert!(err.to_string().contains("held-out"), "{err}");
+    }
+
+    #[test]
+    fn release_failures_propagate() {
+        let g = fixture_graph();
+        let cfg = AuditConfig::new(1);
+        let err = run_audit(&g, &cfg, |_, _| {
+            Err(AttackError::release("engine exploded"))
+        })
+        .unwrap_err();
+        assert!(matches!(err, AttackError::Release(_)), "{err}");
+    }
+}

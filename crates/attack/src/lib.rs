@@ -1,0 +1,45 @@
+//! Empirical privacy auditing for AdvSGM releases: membership-inference
+//! attacks on `.aemb` bytes, with certified empirical-`epsilon` reporting.
+//!
+//! The accountant in `advsgm-privacy` proves an *upper* bound on what a
+//! release can leak; this crate attacks the release to establish a
+//! statistical *lower* bound, so the stamped `epsilon` becomes a
+//! falsifiable claim instead of an article of faith (ROADMAP item 4:
+//! "trust, but verify the epsilon"). The pieces:
+//!
+//! * [`harness`] — the paired-worlds protocol: pick a panel of target
+//!   edges via the existing link-prediction split, train many releases
+//!   with and without each edge (independent derived seeds, deterministic
+//!   fan-out), and read scores back through the released bytes only.
+//! * [`attack`] — the decision rules: a score-threshold attack and a
+//!   Gaussian likelihood-ratio attack over the released Eq.-2 inner
+//!   products.
+//! * [`stats`] — exact binomial machinery: Clopper–Pearson intervals and
+//!   the `(epsilon, delta)`-DP hypothesis-testing bound that converts a
+//!   confident (TPR, FPR) operating point into `epsilon >= ...`.
+//! * [`report`] — the `results/AUDIT_membership.json` artifact: schema,
+//!   verdict, and a byte-deterministic pretty renderer.
+//!
+//! The crate deliberately depends only on the graph substrate, the store
+//! (the release boundary), and the thread pool — never on the training
+//! stack. A release reaches the harness as opaque bytes through a caller
+//! -supplied release function, which is exactly the adversary's view
+//! under the paper's Theorem 5: everything after release is
+//! post-processing, so the audit consumes no additional privacy budget
+//! and can never peek past the trust boundary. The `advsgm::api` facade
+//! supplies the release function that wires this to real training.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod attack;
+pub mod error;
+pub mod harness;
+pub mod report;
+pub mod stats;
+
+pub use attack::{likelihood_ratio_attack, score_threshold_attack, AttackSummary};
+pub use error::AttackError;
+pub use harness::{run_audit, AuditConfig, AuditOutcome, EdgeAudit};
+pub use report::{AuditReport, AuditSection, GraphInfo, PanelInfo, ReleaseProfile};
+pub use stats::{clopper_pearson, empirical_epsilon};

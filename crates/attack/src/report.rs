@@ -1,0 +1,330 @@
+//! The `results/AUDIT_membership.json` artifact: schema, assembly, and a
+//! deterministic pretty renderer.
+//!
+//! The report places the attack's certified empirical `epsilon` lower
+//! bound *next to* the accountant's stamped spend read back from the
+//! released bytes, and states the comparison as a verdict. Field order
+//! is fixed by the struct definitions (the vendored serde preserves it),
+//! floats render shortest-roundtrip, and nothing in the schema depends
+//! on wall-clock time — so a rerun at the same seed reproduces the file
+//! byte-for-byte. The schema is documented in `docs/BENCHMARKS.md`.
+
+use std::path::Path;
+
+use serde::{Deserialize, Serialize, Value};
+
+use crate::attack::AttackSummary;
+use crate::error::AttackError;
+use crate::harness::{AuditConfig, AuditOutcome, EdgeAudit};
+
+/// Current value of [`AuditReport::schema_version`].
+pub const AUDIT_SCHEMA_VERSION: u64 = 1;
+
+/// The training configuration behind the audited releases, echoed into
+/// the report by the caller (the harness itself only ever sees released
+/// bytes, so it cannot reconstruct this).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReleaseProfile {
+    /// Paper name of the trained variant (e.g. `AdvSGM`).
+    pub variant: String,
+    /// Embedding dimension `r`.
+    pub dim: usize,
+    /// Training epochs per run.
+    pub epochs: usize,
+    /// Pairs per discriminator batch `B`.
+    pub batch_size: usize,
+    /// Learning rate (`eta_d = eta_g`).
+    pub learning_rate: f64,
+    /// Noise multiplier `sigma` (the configured value; the σ→0 ablation
+    /// echoes the non-private variant instead of a literal zero).
+    pub sigma: f64,
+    /// Configured privacy budget ceiling `epsilon`.
+    pub epsilon_target: f64,
+    /// Configured failure probability `delta`.
+    pub delta: f64,
+}
+
+/// The graph the audit ran on.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GraphInfo {
+    /// Nodes in the audited graph.
+    pub nodes: usize,
+    /// Edges in the audited graph (before the split).
+    pub edges: usize,
+    /// Edges in the shared without-world training graph `G0`.
+    pub train_edges: usize,
+}
+
+/// Panel geometry: how many paired worlds were trained.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PanelInfo {
+    /// Target edges audited.
+    pub targets: usize,
+    /// Independent training runs per world per edge.
+    pub runs_per_world: usize,
+    /// Total trials on each side of the attack
+    /// (`targets * runs_per_world`).
+    pub trials_per_world: u64,
+}
+
+/// One audited condition (the private run, or the σ→0 ablation): its
+/// attacks, per-edge score summaries, and the two `epsilon` values being
+/// compared.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AuditSection {
+    /// Both attack families, in fixed order.
+    pub attacks: Vec<AttackSummary>,
+    /// Per-target-edge mean released scores in each world.
+    pub edges: Vec<EdgeAudit>,
+    /// The strongest certified bound across the attacks.
+    pub empirical_epsilon: f64,
+    /// The accountant's spend stamped in the released bytes (largest
+    /// stamp across the runs; `null` for non-private variants).
+    pub stamped_epsilon: Option<f64>,
+}
+
+impl AuditSection {
+    /// Builds a section from a harness outcome.
+    pub fn from_outcome(outcome: &AuditOutcome) -> Self {
+        Self {
+            attacks: outcome.attacks.clone(),
+            edges: outcome.edges.clone(),
+            empirical_epsilon: outcome.empirical_epsilon,
+            stamped_epsilon: outcome.stamped_epsilon,
+        }
+    }
+}
+
+/// The complete audit artifact.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AuditReport {
+    /// Schema version ([`AUDIT_SCHEMA_VERSION`]).
+    pub schema_version: u64,
+    /// Experiment tag, always `audit_membership`.
+    pub experiment: String,
+    /// Base seed the whole audit derives from.
+    pub seed: u64,
+    /// Confidence level of the Clopper–Pearson bounds.
+    pub confidence: f64,
+    /// The `delta` at which the empirical `epsilon` bound is stated.
+    pub delta: f64,
+    /// The audited graph.
+    pub graph: GraphInfo,
+    /// Panel geometry.
+    pub panel: PanelInfo,
+    /// Training configuration behind the audited releases.
+    pub train: ReleaseProfile,
+    /// The audited condition proper (the private variant).
+    pub audit: AuditSection,
+    /// The σ→0 sensitivity check (`null` when skipped).
+    pub ablation: Option<AuditSection>,
+    /// `consistent` (empirical bound within the stamp), `violation`
+    /// (attack certified more `epsilon` than the stamp admits), or
+    /// `unstamped` (the release carries no privacy stamp to compare
+    /// against).
+    pub verdict: String,
+}
+
+impl AuditReport {
+    /// Assembles the artifact from harness outcomes, computing the
+    /// verdict.
+    pub fn assemble(
+        cfg: &AuditConfig,
+        train: ReleaseProfile,
+        outcome: &AuditOutcome,
+        ablation: Option<&AuditOutcome>,
+    ) -> Self {
+        let audit = AuditSection::from_outcome(outcome);
+        let verdict = match audit.stamped_epsilon {
+            Some(stamp) if audit.empirical_epsilon <= stamp => "consistent",
+            Some(_) => "violation",
+            None => "unstamped",
+        };
+        Self {
+            schema_version: AUDIT_SCHEMA_VERSION,
+            experiment: "audit_membership".to_string(),
+            seed: cfg.seed,
+            confidence: cfg.confidence,
+            delta: cfg.delta,
+            graph: GraphInfo {
+                nodes: outcome.graph_nodes,
+                edges: outcome.graph_edges,
+                train_edges: outcome.train_edges,
+            },
+            panel: PanelInfo {
+                targets: cfg.targets,
+                runs_per_world: cfg.runs_per_world,
+                trials_per_world: outcome.trials_per_world,
+            },
+            train,
+            audit,
+            ablation: ablation.map(AuditSection::from_outcome),
+            verdict: verdict.to_string(),
+        }
+    }
+
+    /// Renders the report as deterministic pretty-printed JSON
+    /// (two-space indent, trailing newline) — the exact bytes of the
+    /// `results/AUDIT_membership.json` artifact.
+    pub fn to_json_pretty(&self) -> String {
+        let mut out = String::new();
+        render_pretty(&self.to_value(), 0, &mut out);
+        out.push('\n');
+        out
+    }
+
+    /// Writes the artifact to `path`, creating parent directories.
+    ///
+    /// # Errors
+    /// [`AttackError::Io`] on filesystem failures.
+    pub fn write(&self, path: impl AsRef<Path>) -> Result<(), AttackError> {
+        let path = path.as_ref();
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        std::fs::write(path, self.to_json_pretty())?;
+        Ok(())
+    }
+}
+
+/// Pretty-prints a value tree with two-space indentation. The vendored
+/// `serde_json` only renders compact JSON; committed artifacts want to
+/// diff line-by-line across PRs, so the report carries its own renderer
+/// (scalar rendering delegates to `serde_json`, keeping the two forms
+/// byte-compatible after whitespace removal).
+fn render_pretty(v: &Value, depth: usize, out: &mut String) {
+    match v {
+        Value::Array(items) if !items.is_empty() => {
+            out.push_str("[\n");
+            for (i, item) in items.iter().enumerate() {
+                push_indent(depth + 1, out);
+                render_pretty(item, depth + 1, out);
+                if i + 1 < items.len() {
+                    out.push(',');
+                }
+                out.push('\n');
+            }
+            push_indent(depth, out);
+            out.push(']');
+        }
+        Value::Object(fields) if !fields.is_empty() => {
+            out.push_str("{\n");
+            for (i, (key, val)) in fields.iter().enumerate() {
+                push_indent(depth + 1, out);
+                out.push_str(&serde_json::to_string(key.as_str()).expect("string renders"));
+                out.push_str(": ");
+                render_pretty(val, depth + 1, out);
+                if i + 1 < fields.len() {
+                    out.push(',');
+                }
+                out.push('\n');
+            }
+            push_indent(depth, out);
+            out.push('}');
+        }
+        scalar => out.push_str(&serde_json::to_string(scalar).expect("scalar renders")),
+    }
+}
+
+fn push_indent(depth: usize, out: &mut String) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fixture_outcome() -> AuditOutcome {
+        AuditOutcome {
+            attacks: vec![AttackSummary {
+                name: "score_threshold".into(),
+                threshold: 0.25,
+                true_positives: 9,
+                false_positives: 1,
+                true_negatives: 9,
+                false_negatives: 1,
+                tpr: 0.9,
+                fpr: 0.1,
+                tpr_lo: 0.6,
+                fpr_hi: 0.4,
+                empirical_epsilon: 0.4,
+            }],
+            edges: vec![EdgeAudit {
+                u: 3,
+                v: 7,
+                mean_score_with: 0.8,
+                mean_score_without: -0.2,
+            }],
+            empirical_epsilon: 0.4,
+            stamped_epsilon: Some(5.5),
+            trials_per_world: 10,
+            graph_nodes: 60,
+            graph_edges: 180,
+            train_edges: 162,
+        }
+    }
+
+    fn fixture_report(stamp: Option<f64>, emp: f64) -> AuditReport {
+        let mut outcome = fixture_outcome();
+        outcome.stamped_epsilon = stamp;
+        outcome.empirical_epsilon = emp;
+        let cfg = AuditConfig::new(42);
+        let train = ReleaseProfile {
+            variant: "AdvSGM".into(),
+            dim: 16,
+            epochs: 8,
+            batch_size: 32,
+            learning_rate: 0.1,
+            sigma: 5.0,
+            epsilon_target: 6.0,
+            delta: 1e-5,
+        };
+        AuditReport::assemble(&cfg, train, &outcome, None)
+    }
+
+    #[test]
+    fn verdicts_cover_all_three_cases() {
+        assert_eq!(fixture_report(Some(5.5), 0.4).verdict, "consistent");
+        assert_eq!(fixture_report(Some(0.3), 0.4).verdict, "violation");
+        assert_eq!(fixture_report(None, 3.0).verdict, "unstamped");
+    }
+
+    #[test]
+    fn report_roundtrips_through_json() {
+        let report = fixture_report(Some(5.5), 0.4);
+        let json = report.to_json_pretty();
+        let back: AuditReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, report);
+        // The compact form parses to the same report too.
+        let compact = serde_json::to_string(&report).unwrap();
+        let back: AuditReport = serde_json::from_str(&compact).unwrap();
+        assert_eq!(back, report);
+    }
+
+    #[test]
+    fn pretty_rendering_is_deterministic_and_indented() {
+        let report = fixture_report(Some(5.5), 0.4);
+        let a = report.to_json_pretty();
+        let b = report.to_json_pretty();
+        assert_eq!(a, b);
+        assert!(a.ends_with('\n'));
+        assert!(a.contains("\"experiment\": \"audit_membership\""));
+        assert!(a.contains("  \"schema_version\": 1,\n"));
+        // Null ablation renders as a literal null.
+        assert!(a.contains("\"ablation\": null"));
+    }
+
+    #[test]
+    fn empty_containers_render_compactly() {
+        let mut out = String::new();
+        render_pretty(&Value::Array(vec![]), 0, &mut out);
+        assert_eq!(out, "[]");
+        out.clear();
+        render_pretty(&Value::Object(vec![]), 0, &mut out);
+        assert_eq!(out, "{}");
+    }
+}

@@ -1,0 +1,216 @@
+//! Exact binomial statistics for the audit's confidence machinery.
+//!
+//! Trial counts in an audit are small (tens to a few thousand paired
+//! training runs), so nothing here approximates: tail probabilities are
+//! exact binomial sums evaluated in log space, and the Clopper–Pearson
+//! interval inverts those tails by bisection. No external statistics
+//! dependency is needed — or available — in this workspace.
+
+use crate::error::AttackError;
+
+/// `ln(n!)` by direct summation — exact enough for the audit's trial
+/// counts (`n` is a number of training runs, not a number of samples).
+fn ln_factorial(n: u64) -> f64 {
+    (2..=n).map(|i| (i as f64).ln()).sum()
+}
+
+/// `ln C(n, k)`.
+fn ln_choose(n: u64, k: u64) -> f64 {
+    debug_assert!(k <= n);
+    ln_factorial(n) - ln_factorial(k) - ln_factorial(n - k)
+}
+
+/// Exact upper tail `P(X >= k)` for `X ~ Binomial(n, p)`.
+pub fn binomial_tail_ge(k: u64, n: u64, p: f64) -> f64 {
+    if k == 0 {
+        return 1.0;
+    }
+    if k > n {
+        return 0.0;
+    }
+    if p <= 0.0 {
+        return 0.0;
+    }
+    if p >= 1.0 {
+        return 1.0;
+    }
+    let (ln_p, ln_q) = (p.ln(), (1.0 - p).ln());
+    (k..=n)
+        .map(|i| (ln_choose(n, i) + i as f64 * ln_p + (n - i) as f64 * ln_q).exp())
+        .sum::<f64>()
+        .min(1.0)
+}
+
+/// Exact lower tail `P(X <= k)` for `X ~ Binomial(n, p)`.
+pub fn binomial_tail_le(k: u64, n: u64, p: f64) -> f64 {
+    if k >= n {
+        return 1.0;
+    }
+    1.0 - binomial_tail_ge(k + 1, n, p)
+}
+
+/// The two-sided Clopper–Pearson interval for `k` successes in `n`
+/// trials at the given confidence level: the exact binomial interval,
+/// inverted by bisection on the monotone tail functions.
+///
+/// # Errors
+/// [`AttackError::InvalidParameter`] when `n == 0`, `k > n`, or the
+/// confidence level is outside `(0, 1)`.
+pub fn clopper_pearson(k: u64, n: u64, confidence: f64) -> Result<(f64, f64), AttackError> {
+    if n == 0 {
+        return Err(AttackError::invalid("trials", "need at least one trial"));
+    }
+    if k > n {
+        return Err(AttackError::invalid(
+            "successes",
+            format!("{k} successes exceed {n} trials"),
+        ));
+    }
+    if !(confidence > 0.0 && confidence < 1.0) {
+        return Err(AttackError::invalid(
+            "confidence",
+            format!("must be in (0,1), got {confidence}"),
+        ));
+    }
+    let half_alpha = (1.0 - confidence) / 2.0;
+    // Lower bound: the smallest p with P(X >= k | p) >= alpha/2. The
+    // upper tail is increasing in p, so bisect.
+    let lo = if k == 0 {
+        0.0
+    } else {
+        bisect(|p| binomial_tail_ge(k, n, p) - half_alpha)
+    };
+    // Upper bound: the largest p with P(X <= k | p) >= alpha/2. The
+    // lower tail is decreasing in p, so bisect the negated difference.
+    let hi = if k == n {
+        1.0
+    } else {
+        bisect(|p| half_alpha - binomial_tail_le(k, n, p))
+    };
+    Ok((lo, hi))
+}
+
+/// Finds the root of an increasing function on `[0, 1]` by bisection.
+/// 90 halvings put the answer well below `f64` noise for these tails.
+fn bisect(f: impl Fn(f64) -> f64) -> f64 {
+    let (mut lo, mut hi) = (0.0f64, 1.0f64);
+    for _ in 0..90 {
+        let mid = 0.5 * (lo + hi);
+        if f(mid) < 0.0 {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+/// The empirical `epsilon` lower bound implied by a (TPR, FPR) operating
+/// point under `(epsilon, delta)`-DP.
+///
+/// Any `(epsilon, delta)`-DP mechanism constrains every attack to
+/// `TPR <= e^eps * FPR + delta` and, symmetrically on the rejection side,
+/// `TNR <= e^eps * FNR + delta`. Feeding in a *conservative* operating
+/// point — the Clopper–Pearson lower bound on TPR and upper bound on
+/// FPR — turns the contrapositive into a one-sided statistical lower
+/// bound on `epsilon`:
+///
+/// ```text
+/// eps >= max( ln((tpr_lo - delta) / fpr_hi),
+///             ln((1 - fpr_hi - delta) / (1 - tpr_lo)),
+///             0 )
+/// ```
+///
+/// Degenerate operating points (zero denominators, rates below `delta`)
+/// contribute nothing rather than infinities.
+pub fn empirical_epsilon(tpr_lo: f64, fpr_hi: f64, delta: f64) -> f64 {
+    let mut eps = 0.0f64;
+    if fpr_hi > 0.0 && tpr_lo - delta > 0.0 {
+        eps = eps.max(((tpr_lo - delta) / fpr_hi).ln());
+    }
+    let (tnr_lo, fnr_hi) = (1.0 - fpr_hi, 1.0 - tpr_lo);
+    if fnr_hi > 0.0 && tnr_lo - delta > 0.0 {
+        eps = eps.max(((tnr_lo - delta) / fnr_hi).ln());
+    }
+    eps
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tails_match_hand_computed_binomials() {
+        // X ~ Bin(4, 0.5): P(X >= 2) = 11/16, P(X <= 1) = 5/16.
+        assert!((binomial_tail_ge(2, 4, 0.5) - 11.0 / 16.0).abs() < 1e-12);
+        assert!((binomial_tail_le(1, 4, 0.5) - 5.0 / 16.0).abs() < 1e-12);
+        // Edges.
+        assert_eq!(binomial_tail_ge(0, 10, 0.3), 1.0);
+        assert_eq!(binomial_tail_ge(11, 10, 0.3), 0.0);
+        assert_eq!(binomial_tail_le(10, 10, 0.3), 1.0);
+        assert_eq!(binomial_tail_ge(3, 10, 0.0), 0.0);
+        assert_eq!(binomial_tail_ge(3, 10, 1.0), 1.0);
+    }
+
+    #[test]
+    fn clopper_pearson_matches_reference_values() {
+        // k=0: lower is exactly 0, upper is 1 - (alpha/2)^(1/n).
+        let (lo, hi) = clopper_pearson(0, 20, 0.95).unwrap();
+        assert_eq!(lo, 0.0);
+        assert!((hi - (1.0 - 0.025f64.powf(1.0 / 20.0))).abs() < 1e-9);
+        // k=n mirrors it.
+        let (lo, hi) = clopper_pearson(20, 20, 0.95).unwrap();
+        assert_eq!(hi, 1.0);
+        assert!((lo - 0.025f64.powf(1.0 / 20.0)).abs() < 1e-9);
+        // A standard textbook value: 10/100 at 95% => (0.0490, 0.1762).
+        let (lo, hi) = clopper_pearson(10, 100, 0.95).unwrap();
+        assert!((lo - 0.049005).abs() < 5e-4, "lo={lo}");
+        assert!((hi - 0.176223).abs() < 5e-4, "hi={hi}");
+    }
+
+    #[test]
+    fn clopper_pearson_bounds_bracket_the_point_estimate() {
+        for (k, n) in [(0u64, 5u64), (1, 5), (3, 7), (7, 7), (50, 80)] {
+            let (lo, hi) = clopper_pearson(k, n, 0.9).unwrap();
+            let p_hat = k as f64 / n as f64;
+            assert!(lo <= p_hat + 1e-12 && p_hat <= hi + 1e-12, "{k}/{n}");
+            assert!((0.0..=1.0).contains(&lo) && (0.0..=1.0).contains(&hi));
+        }
+    }
+
+    #[test]
+    fn clopper_pearson_rejects_bad_inputs() {
+        assert!(clopper_pearson(0, 0, 0.95).is_err());
+        assert!(clopper_pearson(6, 5, 0.95).is_err());
+        assert!(clopper_pearson(1, 5, 1.0).is_err());
+        assert!(clopper_pearson(1, 5, 0.0).is_err());
+    }
+
+    #[test]
+    fn empirical_epsilon_known_points() {
+        // A perfect attacker pinned at (tpr_lo, fpr_hi) = (0.9, 0.1)
+        // with delta=0 certifies eps >= ln(9).
+        let eps = empirical_epsilon(0.9, 0.1, 0.0);
+        assert!((eps - 9.0f64.ln()).abs() < 1e-12);
+        // The rejection side dominates when TPR is high but FPR is only
+        // moderate: (0.9, 0.5) gives ln(1.8) on the TPR side but ln(5)
+        // on the TNR/FNR side.
+        let eps = empirical_epsilon(0.9, 0.5, 0.0);
+        assert!((eps - (0.5f64 / 0.1).ln()).abs() < 1e-9);
+        // A random-guessing attacker certifies nothing.
+        assert_eq!(empirical_epsilon(0.5, 0.5, 0.0), 0.0);
+        // TPR below FPR (a bad attack) still floors at zero.
+        assert_eq!(empirical_epsilon(0.2, 0.6, 1e-5), 0.0);
+        // Degenerate denominators do not produce infinities.
+        assert!(empirical_epsilon(1.0, 0.0, 0.0).is_finite());
+        assert_eq!(empirical_epsilon(1.0, 0.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn empirical_epsilon_monotone_in_the_operating_point() {
+        // Better attacks (higher tpr_lo, lower fpr_hi) never certify less.
+        let base = empirical_epsilon(0.7, 0.2, 1e-5);
+        assert!(empirical_epsilon(0.8, 0.2, 1e-5) >= base);
+        assert!(empirical_epsilon(0.7, 0.1, 1e-5) >= base);
+    }
+}

@@ -11,6 +11,7 @@
 use std::fmt;
 use std::path::PathBuf;
 
+use advsgm_attack::AttackError;
 use advsgm_baselines::BaselineError;
 use advsgm_core::CoreError;
 use advsgm_eval::EvalError;
@@ -67,6 +68,9 @@ pub enum Error {
     /// A persistence or serving failure (`.aemb`/`.actk` codecs, store
     /// queries).
     Store(StoreError),
+    /// A membership-inference audit failure (bad audit geometry, a
+    /// release that could not be produced or read, report I/O).
+    Attack(AttackError),
     /// A bare I/O failure raised by the `api` layer itself.
     Io(std::io::Error),
     /// A typed parameter rejected at construction
@@ -109,6 +113,7 @@ impl fmt::Display for Error {
             Error::Baselines(e) => write!(f, "baselines: {e}"),
             Error::Eval(e) => write!(f, "eval: {e}"),
             Error::Store(e) => write!(f, "store: {e}"),
+            Error::Attack(e) => write!(f, "attack: {e}"),
             Error::Io(e) => write!(f, "io: {e}"),
             Error::InvalidParameter { param, reason } => {
                 write!(f, "api: invalid parameter {param}: {reason}")
@@ -134,6 +139,7 @@ impl std::error::Error for Error {
             Error::Baselines(e) => Some(e),
             Error::Eval(e) => Some(e),
             Error::Store(e) => Some(e),
+            Error::Attack(e) => Some(e),
             Error::Io(e) => Some(e),
             Error::InvalidParameter { .. } => None,
             Error::CheckpointWrite { source, .. } => Some(source),
@@ -180,6 +186,12 @@ impl From<EvalError> for Error {
 impl From<StoreError> for Error {
     fn from(e: StoreError) -> Self {
         Error::Store(e)
+    }
+}
+
+impl From<AttackError> for Error {
+    fn from(e: AttackError) -> Self {
+        Error::Attack(e)
     }
 }
 

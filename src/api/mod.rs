@@ -64,12 +64,14 @@
 //! `advsgm::store::EmbeddingStore`, ...) remain public as internals for
 //! callers that need engine-level control; see the crate root docs.
 
+mod audit;
 mod builder;
 mod error;
 mod pipeline;
 mod service;
 mod types;
 
+pub use audit::{audit_membership, audit_outcome};
 pub use builder::PipelineBuilder;
 pub use error::{Error, Result};
 pub use pipeline::{Checkpoint, Pipeline, PipelineEvent, Trained};
@@ -79,5 +81,6 @@ pub use types::{Delta, Dim, Epsilon, NoiseSigma};
 // The vocabulary the pipeline surface speaks, re-exported so the whole
 // train -> persist -> serve flow needs no direct advsgm_core /
 // advsgm_store imports.
+pub use advsgm_attack::{AuditConfig, AuditReport};
 pub use advsgm_core::{EpochEvent, ModelVariant, SpendSnapshot, StopReason, TrainOutcome};
 pub use advsgm_store::{Neighbor, PrivacyMeta};

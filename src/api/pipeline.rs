@@ -522,6 +522,16 @@ impl Trained {
         Ok(save_checkpoint(path, state)?)
     }
 
+    /// The released store serialized to `.aemb` bytes — exactly what a
+    /// [`Trained::save_embeddings`] file contains, without touching the
+    /// filesystem. This is the Theorem-5 adversary's complete view of
+    /// the run; the membership-inference audit
+    /// ([`audit_membership`](crate::api::audit_membership)) attacks
+    /// these bytes and nothing else.
+    pub fn release_bytes(&self) -> Vec<u8> {
+        self.store.to_bytes()
+    }
+
     /// Opens a long-lived serving handle over a copy of the released
     /// store (thread width auto-resolved; see
     /// [`EmbeddingService::from_store`]). Consuming alternative:

@@ -58,7 +58,11 @@
 //! * [`eval`] — link-prediction AUC, Affinity-Propagation clustering, MI;
 //! * [`datasets`] — synthetic stand-ins for the paper's six datasets;
 //! * [`store`] — embedding persistence (the `.aemb` format, see
-//!   `docs/FORMAT.md`) and the query-serving [`store::EmbeddingStore`].
+//!   `docs/FORMAT.md`) and the query-serving [`store::EmbeddingStore`];
+//! * [`attack`] — the empirical privacy audit: membership-inference
+//!   attacks on released bytes with certified empirical-ε reporting
+//!   (front door: [`api::audit_membership`] and the `advsgm audit`
+//!   subcommand).
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
@@ -66,6 +70,7 @@
 pub mod api;
 pub mod serve;
 
+pub use advsgm_attack as attack;
 pub use advsgm_baselines as baselines;
 pub use advsgm_core as core;
 pub use advsgm_datasets as datasets;

@@ -8,6 +8,9 @@
 //!              [--epochs N] [--dim 128] [--batch-size 128] [--lr 0.1]
 //!              [--threads N] [--shard-size N] [--seed 0]
 //!              [--checkpoint-every N] [--checkpoint PATH] [--resume PATH]
+//! advsgm audit --out results/AUDIT_membership.json [--dataset ppi] [--scale 0.05]
+//!              [--targets 3] [--runs 5] [--confidence 0.95] [--no-ablation]
+//!              [model flags as for train]
 //! advsgm query --store emb.aemb --node U [--top-k 10] [--threads N]
 //!              [--index emb.aidx --approx 0.95]
 //! advsgm query --remote HOST:PORT --node U [--top-k 10] [--approx 0.95]
@@ -27,19 +30,23 @@
 //! `index`/`serve`/`stop` front the sublinear serving stack
 //! (`advsgm::serve`, DESIGN.md §12).
 //!
+//! `audit` runs the membership-inference harness
+//! ([`advsgm::api::audit_membership`], DESIGN.md §13) against the same
+//! pipeline and writes the `results/AUDIT_membership.json` artifact.
+//!
 //! Argument parsing is hand-rolled like `advsgm-bench`'s: a handful of
 //! subcommands and a score of flags do not justify a CLI dependency
 //! outside the vendored crate set. Parsing is pure (`parse_train` /
-//! `parse_query` / `parse_info` / `parse_index` / `parse_serve` /
-//! `parse_stop` return argument structs) so it is unit-tested without
-//! touching the filesystem.
+//! `parse_audit` / `parse_query` / `parse_info` / `parse_index` /
+//! `parse_serve` / `parse_stop` return argument structs) so it is
+//! unit-tested without touching the filesystem.
 
 use std::num::NonZeroUsize;
 use std::process::ExitCode;
 
 use advsgm::api::{
-    Checkpoint, Delta, Dim, EmbeddingService, Epsilon, ModelVariant, NoiseSigma, Pipeline,
-    PipelineBuilder, PipelineEvent, StopReason,
+    audit_membership, AuditConfig, Checkpoint, Delta, Dim, EmbeddingService, Epsilon, ModelVariant,
+    NoiseSigma, Pipeline, PipelineBuilder, PipelineEvent, StopReason,
 };
 use advsgm::datasets::{dataset_by_name, synthesize};
 use advsgm::graph::io::read_edge_list_file;
@@ -54,6 +61,11 @@ const USAGE: &str = "usage:
                [--dim N] [--batch-size N] [--lr F] [--threads N]
                [--shard-size N] [--seed N]
                [--checkpoint-every N] [--checkpoint PATH] [--resume PATH]
+  advsgm audit [--out PATH] [--dataset NAME] [--scale F] [--edges FILE]
+               [--variant ...] [--epsilon F] [--delta F] [--sigma F]
+               [--epochs N] [--dim N] [--batch-size N] [--lr F]
+               [--seed N] [--threads N] [--targets N] [--runs N]
+               [--test-fraction F] [--confidence F] [--no-ablation]
   advsgm query --store PATH --node U [--top-k K] [--threads N]
                [--index PATH --approx RECALL]
   advsgm query --remote HOST:PORT --node U [--top-k K] [--approx RECALL]
@@ -82,6 +94,19 @@ train flags:
                         checkpoint flags may accompany it (the rest of the
                         configuration is pinned by the checkpoint)
 
+audit flags (model flags as for train; --dim 32 / --epochs 5 defaults):
+  --out PATH            report path (default results/AUDIT_membership.json)
+  --targets N           target edges in the audit panel (default 3)
+  --runs N              training runs per world per edge (default 5; the
+                        audit trains 2 * targets * runs releases)
+  --test-fraction F     held-out split fraction supplying the panel
+                        (default 0.1)
+  --confidence F        Clopper-Pearson confidence level (default 0.95)
+  --threads N           fan-out width for paired training runs; 0 = auto
+                        (ADVSGM_THREADS, else 1); each run trains on 1
+                        thread regardless
+  --no-ablation         skip the sigma->0 (no-DP) sensitivity check
+
 serving flags:
   --index PATH          load a prebuilt .aidx ANN index (query: enables
                         --approx; serve: serves approximate requests)
@@ -108,6 +133,7 @@ fn main() -> ExitCode {
     let rest: Vec<String> = args.collect();
     let result = match cmd.as_str() {
         "train" => parse_train(&rest).and_then(cmd_train),
+        "audit" => parse_audit(&rest).and_then(cmd_audit),
         "query" => parse_query(&rest).and_then(cmd_query),
         "info" => parse_info(&rest).and_then(cmd_info),
         "index" => parse_index(&rest).and_then(cmd_index),
@@ -309,6 +335,188 @@ fn parse_train(tokens: &[String]) -> Result<TrainArgs, String> {
         ));
     }
     Ok(args)
+}
+
+/// Parsed `advsgm audit` arguments: the training configuration under
+/// audit (a [`PipelineBuilder`], like `train`) plus the harness geometry
+/// (an [`AuditConfig`]).
+#[derive(Debug, Clone)]
+struct AuditArgs {
+    out: String,
+    dataset: String,
+    scale: f64,
+    edges: Option<String>,
+    builder: PipelineBuilder,
+    cfg: AuditConfig,
+    ablation: bool,
+}
+
+fn parse_audit(tokens: &[String]) -> Result<AuditArgs, String> {
+    let mut args = AuditArgs {
+        out: "results/AUDIT_membership.json".to_string(),
+        dataset: "ppi".to_string(),
+        scale: 0.05,
+        edges: None,
+        // The audit trains 2 * targets * runs releases, so the default
+        // model is the quick CLI shape (small dim, few epochs); paper
+        // scale stays one `--dim 128 --epochs 50` away.
+        builder: PipelineBuilder::new(ModelVariant::AdvSgm)
+            .epochs(5)
+            .dim(Dim::new(32).expect("32 is a valid dimension")),
+        cfg: AuditConfig::new(0),
+        ablation: true,
+    };
+
+    let mut i = 0;
+    while i < tokens.len() {
+        match tokens[i].as_str() {
+            "--out" => args.out = take_value(tokens, &mut i, "--out")?,
+            "--dataset" => args.dataset = take_value(tokens, &mut i, "--dataset")?,
+            "--scale" => {
+                args.scale = parse_num(&take_value(tokens, &mut i, "--scale")?, "--scale")?;
+                if !(args.scale > 0.0 && args.scale <= 1.0) {
+                    return Err(format!("--scale must be in (0,1], got {}", args.scale));
+                }
+            }
+            "--edges" => args.edges = Some(take_value(tokens, &mut i, "--edges")?),
+            "--variant" => {
+                let v = parse_variant(&take_value(tokens, &mut i, "--variant")?)?;
+                args.builder = args.builder.variant(v);
+            }
+            "--epsilon" => {
+                let raw: f64 = parse_num(&take_value(tokens, &mut i, "--epsilon")?, "--epsilon")?;
+                let eps = Epsilon::new(raw).map_err(|e| format!("--epsilon: {e}"))?;
+                args.builder = args.builder.epsilon(eps);
+            }
+            "--delta" => {
+                let raw: f64 = parse_num(&take_value(tokens, &mut i, "--delta")?, "--delta")?;
+                let delta = Delta::new(raw).map_err(|e| format!("--delta: {e}"))?;
+                args.builder = args.builder.delta(delta);
+                // The empirical bound is stated at the training delta.
+                args.cfg.delta = raw;
+            }
+            "--sigma" => {
+                let raw: f64 = parse_num(&take_value(tokens, &mut i, "--sigma")?, "--sigma")?;
+                let sigma = NoiseSigma::new(raw).map_err(|e| format!("--sigma: {e}"))?;
+                args.builder = args.builder.sigma(sigma);
+            }
+            "--epochs" => {
+                let e: usize = parse_num(&take_value(tokens, &mut i, "--epochs")?, "--epochs")?;
+                args.builder = args.builder.epochs(e);
+            }
+            "--dim" => {
+                let raw: usize = parse_num(&take_value(tokens, &mut i, "--dim")?, "--dim")?;
+                let dim = Dim::new(raw).map_err(|e| format!("--dim: {e}"))?;
+                args.builder = args.builder.dim(dim);
+            }
+            "--batch-size" => {
+                let b: usize =
+                    parse_num(&take_value(tokens, &mut i, "--batch-size")?, "--batch-size")?;
+                if b == 0 {
+                    return Err("--batch-size must be positive, got 0".into());
+                }
+                args.builder = args.builder.batch_size(b);
+            }
+            "--lr" => {
+                let lr: f64 = parse_num(&take_value(tokens, &mut i, "--lr")?, "--lr")?;
+                if !(lr > 0.0 && lr.is_finite()) {
+                    return Err(format!("--lr must be positive and finite, got {lr}"));
+                }
+                args.builder = args.builder.learning_rate(lr);
+            }
+            "--seed" => {
+                let s: u64 = parse_num(&take_value(tokens, &mut i, "--seed")?, "--seed")?;
+                // One seed drives both the graph synthesis/panel draw and
+                // (through the harness's derivation chain) every run.
+                args.builder = args.builder.seed(s);
+                args.cfg.seed = s;
+            }
+            "--threads" => {
+                // Unlike train, this is the *fan-out* width over paired
+                // runs; each individual run trains sequentially.
+                args.cfg.threads =
+                    parse_num(&take_value(tokens, &mut i, "--threads")?, "--threads")?;
+            }
+            "--targets" => {
+                args.cfg.targets =
+                    parse_num(&take_value(tokens, &mut i, "--targets")?, "--targets")?;
+            }
+            "--runs" => {
+                args.cfg.runs_per_world =
+                    parse_num(&take_value(tokens, &mut i, "--runs")?, "--runs")?;
+            }
+            "--test-fraction" => {
+                args.cfg.test_fraction = parse_num(
+                    &take_value(tokens, &mut i, "--test-fraction")?,
+                    "--test-fraction",
+                )?;
+            }
+            "--confidence" => {
+                args.cfg.confidence =
+                    parse_num(&take_value(tokens, &mut i, "--confidence")?, "--confidence")?;
+            }
+            "--no-ablation" => args.ablation = false,
+            other => return Err(format!("unknown flag {other}\n{USAGE}")),
+        }
+        i += 1;
+    }
+    // Geometry/statistics violations get the harness's typed messages at
+    // parse time rather than after graph synthesis.
+    args.cfg.validate().map_err(|e| e.to_string())?;
+    Ok(args)
+}
+
+fn cmd_audit(args: AuditArgs) -> Result<(), String> {
+    let graph = build_graph(
+        args.edges.as_deref(),
+        &args.dataset,
+        args.scale,
+        args.cfg.seed,
+    )?;
+    let per_condition = 2 * args.cfg.targets * args.cfg.runs_per_world;
+    let conditions = if args.ablation { 2 } else { 1 };
+    println!(
+        "auditing {} ({} target edge(s) x {} run(s)/world x 2 worlds = {} training runs{})...",
+        args.builder.config().variant.paper_name(),
+        args.cfg.targets,
+        args.cfg.runs_per_world,
+        per_condition * conditions,
+        if args.ablation {
+            " incl. sigma->0 ablation"
+        } else {
+            ""
+        }
+    );
+    let start = std::time::Instant::now();
+    let report = audit_membership(&graph, &args.builder, &args.cfg, args.ablation)
+        .map_err(|e| e.to_string())?;
+    report.write(&args.out).map_err(|e| e.to_string())?;
+
+    println!("audited in {:.2?}:", start.elapsed());
+    for a in &report.audit.attacks {
+        println!(
+            "  {:<18} tpr {:.3}  fpr {:.3}  certified eps >= {:.4}",
+            a.name, a.tpr, a.fpr, a.empirical_epsilon
+        );
+    }
+    match report.audit.stamped_epsilon {
+        Some(stamp) => println!(
+            "  empirical eps >= {:.4} vs stamped eps = {:.4} -> {}",
+            report.audit.empirical_epsilon, stamp, report.verdict
+        ),
+        None => println!(
+            "  empirical eps >= {:.4} (release is unstamped) -> {}",
+            report.audit.empirical_epsilon, report.verdict
+        ),
+    }
+    if let Some(ablation) = &report.ablation {
+        println!(
+            "  sigma->0 ablation: empirical eps >= {:.4} (attack power check)",
+            ablation.empirical_epsilon
+        );
+    }
+    println!("wrote {}", args.out);
+    Ok(())
 }
 
 /// What an `advsgm query` invocation asks for.
@@ -569,10 +777,10 @@ fn parse_stop(tokens: &[String]) -> Result<StopArgs, String> {
     })
 }
 
-/// Builds the training graph from `--edges` or the named synthetic
-/// dataset (scaled), announcing what was loaded.
-fn build_graph(args: &TrainArgs, seed: u64) -> Result<Graph, String> {
-    match &args.edges {
+/// Builds a graph from `--edges` or the named synthetic dataset
+/// (scaled), announcing what was loaded. Shared by `train` and `audit`.
+fn build_graph(edges: Option<&str>, dataset: &str, scale: f64, seed: u64) -> Result<Graph, String> {
+    match edges {
         Some(path) => {
             let g = read_edge_list_file(path, None).map_err(|e| format!("--edges {path}: {e}"))?;
             println!(
@@ -583,18 +791,14 @@ fn build_graph(args: &TrainArgs, seed: u64) -> Result<Graph, String> {
             Ok(g)
         }
         None => {
-            let d = dataset_by_name(&args.dataset).ok_or_else(|| {
-                format!(
-                    "unknown dataset {:?} (PPI, Facebook, Wiki, Blog, Epinions, DBLP)",
-                    args.dataset
-                )
+            let d = dataset_by_name(dataset).ok_or_else(|| {
+                format!("unknown dataset {dataset:?} (PPI, Facebook, Wiki, Blog, Epinions, DBLP)")
             })?;
-            let spec = d.spec().scaled(args.scale);
+            let spec = d.spec().scaled(scale);
             let g = synthesize(&spec, seed);
             println!(
-                "synthesized {} at scale {}: {} nodes, {} edges",
+                "synthesized {} at scale {scale}: {} nodes, {} edges",
                 d.name(),
-                args.scale,
                 g.num_nodes(),
                 g.num_edges()
             );
@@ -606,7 +810,12 @@ fn build_graph(args: &TrainArgs, seed: u64) -> Result<Graph, String> {
 fn cmd_train(args: TrainArgs) -> Result<(), String> {
     match args.resume.clone() {
         None => {
-            let graph = build_graph(&args, args.builder.config().seed)?;
+            let graph = build_graph(
+                args.edges.as_deref(),
+                &args.dataset,
+                args.scale,
+                args.builder.config().seed,
+            )?;
             let pipeline = args
                 .builder
                 .clone()
@@ -626,7 +835,12 @@ fn cmd_train(args: TrainArgs) -> Result<(), String> {
             // The graph must be the checkpoint's graph; for synthetic
             // datasets that means the checkpoint's seed, and resume
             // re-verifies the stored fingerprint either way.
-            let graph = build_graph(&args, ckpt.seed())?;
+            let graph = build_graph(
+                args.edges.as_deref(),
+                &args.dataset,
+                args.scale,
+                ckpt.seed(),
+            )?;
             println!(
                 "resumed {resume_path}: {}/{} epochs done, {} discriminator updates",
                 ckpt.epochs_done(),
@@ -1092,6 +1306,75 @@ mod tests {
                 "{flag}: {err}"
             );
         }
+    }
+
+    // ---- audit ----
+
+    #[test]
+    fn audit_defaults_are_quick_and_writable() {
+        let a = parse_audit(&toks("")).unwrap();
+        assert_eq!(a.out, "results/AUDIT_membership.json");
+        assert_eq!((a.dataset.as_str(), a.scale), ("ppi", 0.05));
+        assert_eq!(a.builder.config().variant, ModelVariant::AdvSgm);
+        assert_eq!(a.builder.config().dim, 32);
+        assert_eq!(a.builder.config().epochs, 5);
+        assert_eq!((a.cfg.targets, a.cfg.runs_per_world), (3, 5));
+        assert_eq!((a.cfg.confidence, a.cfg.test_fraction), (0.95, 0.1));
+        assert!(a.ablation, "the sigma->0 check is on by default");
+    }
+
+    #[test]
+    fn audit_happy_path_sets_every_flag() {
+        let a = parse_audit(&toks(
+            "--out r.json --dataset wiki --scale 0.2 --variant advsgm --epsilon 2 \
+             --delta 1e-6 --sigma 3 --epochs 7 --dim 16 --batch-size 64 --lr 0.05 \
+             --seed 9 --threads 4 --targets 2 --runs 6 --test-fraction 0.2 \
+             --confidence 0.9 --no-ablation",
+        ))
+        .unwrap();
+        assert_eq!(a.out, "r.json");
+        assert_eq!((a.dataset.as_str(), a.scale), ("wiki", 0.2));
+        let cfg = a.builder.config();
+        assert_eq!((cfg.epsilon, cfg.delta, cfg.sigma), (2.0, 1e-6, 3.0));
+        assert_eq!((cfg.epochs, cfg.dim, cfg.batch_size), (7, 16, 64));
+        assert_eq!(cfg.eta_d, 0.05);
+        assert_eq!(cfg.seed, 9, "--seed drives the builder...");
+        assert_eq!(a.cfg.seed, 9, "...and the harness derivation chain");
+        assert_eq!(a.cfg.delta, 1e-6, "--delta states the bound's delta too");
+        assert_eq!(a.cfg.threads, 4);
+        assert_eq!((a.cfg.targets, a.cfg.runs_per_world), (2, 6));
+        assert_eq!((a.cfg.test_fraction, a.cfg.confidence), (0.2, 0.9));
+        assert!(!a.ablation);
+    }
+
+    #[test]
+    fn audit_rejects_bad_geometry_at_parse_time() {
+        for (cmd, needle) in [
+            ("--targets 0", "targets"),
+            ("--runs 1", "runs_per_world"),
+            ("--confidence 1.0", "confidence"),
+            ("--test-fraction 0", "test_fraction"),
+        ] {
+            let err = parse_audit(&toks(cmd)).unwrap_err();
+            assert!(err.contains(needle), "{cmd}: {err}");
+            assert!(err.contains("invalid audit parameter"), "{cmd}: {err}");
+        }
+    }
+
+    #[test]
+    fn audit_rejects_bad_model_flags_and_unknowns() {
+        assert!(parse_audit(&toks("--epsilon 0"))
+            .unwrap_err()
+            .contains("invalid parameter epsilon"));
+        assert!(parse_audit(&toks("--scale 2"))
+            .unwrap_err()
+            .contains("--scale must be in (0,1]"));
+        assert!(parse_audit(&toks("--resume c.actk"))
+            .unwrap_err()
+            .contains("unknown flag"));
+        assert!(parse_audit(&toks("--runs"))
+            .unwrap_err()
+            .contains("needs a value"));
     }
 
     // ---- query ----

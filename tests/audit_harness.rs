@@ -1,0 +1,116 @@
+//! Integration tests of the empirical privacy audit (DESIGN.md §13):
+//! the committed `results/AUDIT_membership.json` artifact stays schema-
+//! valid and internally consistent, and a rerun of the audit at a fixed
+//! seed reproduces its report byte-for-byte regardless of fan-out width.
+//!
+//! The artifact itself is generated in release mode by the documented
+//! CLI invocation (see BENCHMARKS.md); these tests rerun the pipeline
+//! only at the scaled-down `test_small` shape so the suite stays fast in
+//! debug builds. The full-strength separation claim (σ→0 ablation at
+//! near-perfect TPR) is asserted against the committed artifact.
+
+use std::path::Path;
+
+use advsgm::api::{audit_membership, AuditConfig, AuditReport, ModelVariant, PipelineBuilder};
+use advsgm::graph::io::read_edge_list_file;
+use advsgm::graph::Graph;
+
+fn repo_path(rel: &str) -> std::path::PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join(rel)
+}
+
+fn fixture_graph() -> Graph {
+    read_edge_list_file(repo_path("data/audit_sbm60.edges"), None).unwrap()
+}
+
+fn small_audit_config() -> AuditConfig {
+    let mut cfg = AuditConfig::new(42);
+    cfg.targets = 2;
+    cfg.runs_per_world = 2;
+    cfg
+}
+
+#[test]
+fn committed_artifact_is_schema_valid_and_consistent() {
+    let raw = std::fs::read_to_string(repo_path("results/AUDIT_membership.json")).unwrap();
+    let report: AuditReport = serde_json::from_str(&raw).unwrap();
+
+    assert_eq!(report.schema_version, 1);
+    assert_eq!(report.experiment, "audit_membership");
+    assert_eq!(report.verdict, "consistent");
+
+    // The headline claim: the attack's certified lower bound sits below
+    // the accountant's stamped spend.
+    let stamp = report
+        .audit
+        .stamped_epsilon
+        .expect("private run is stamped");
+    assert!(
+        report.audit.empirical_epsilon <= stamp,
+        "empirical {} exceeds stamped {stamp}",
+        report.audit.empirical_epsilon
+    );
+
+    // The σ→0 ablation proves the harness has teeth: without noise the
+    // attack reaches near-perfect TPR and certifies a substantial bound.
+    let ablation = report
+        .ablation
+        .as_ref()
+        .expect("artifact carries the ablation");
+    assert!(
+        ablation.empirical_epsilon > 1.0,
+        "ablation bound too weak: {}",
+        ablation.empirical_epsilon
+    );
+    let best_tpr = ablation.attacks.iter().map(|a| a.tpr).fold(0.0, f64::max);
+    assert!(best_tpr >= 0.9, "ablation TPR not near-perfect: {best_tpr}");
+    assert_eq!(ablation.stamped_epsilon, None, "ablation must be unstamped");
+
+    // Internal consistency of the counts.
+    let trials = (report.panel.targets * report.panel.runs_per_world) as u64;
+    assert_eq!(report.panel.trials_per_world, trials);
+    for a in report.audit.attacks.iter().chain(&ablation.attacks) {
+        assert_eq!(a.true_positives + a.false_negatives, trials, "{}", a.name);
+        assert_eq!(a.false_positives + a.true_negatives, trials, "{}", a.name);
+        assert!(a.tpr_lo <= a.tpr && a.fpr <= a.fpr_hi, "{}", a.name);
+    }
+}
+
+#[test]
+fn committed_artifact_matches_its_own_pretty_renderer() {
+    // The committed bytes are exactly what `AuditReport::write` renders —
+    // no hand edits, no foreign formatter.
+    let raw = std::fs::read_to_string(repo_path("results/AUDIT_membership.json")).unwrap();
+    let report: AuditReport = serde_json::from_str(&raw).unwrap();
+    assert_eq!(report.to_json_pretty(), raw);
+}
+
+#[test]
+fn audit_report_roundtrips_through_json() {
+    let graph = fixture_graph();
+    let builder = PipelineBuilder::test_small(ModelVariant::AdvSgm);
+    let report = audit_membership(&graph, &builder, &small_audit_config(), false).unwrap();
+
+    let back: AuditReport = serde_json::from_str(&report.to_json_pretty()).unwrap();
+    assert_eq!(back, report);
+}
+
+#[test]
+fn audit_rerun_at_fixed_seed_is_byte_identical() {
+    let graph = fixture_graph();
+    let builder = PipelineBuilder::test_small(ModelVariant::AdvSgm);
+
+    let mut cfg = small_audit_config();
+    cfg.threads = 1;
+    let a = audit_membership(&graph, &builder, &cfg, false).unwrap();
+    // A different fan-out width must not change a single byte.
+    cfg.threads = 4;
+    let b = audit_membership(&graph, &builder, &cfg, false).unwrap();
+    assert_eq!(a.to_json_pretty(), b.to_json_pretty());
+
+    // A different base seed draws a different panel and different runs.
+    let mut other = small_audit_config();
+    other.seed = 43;
+    let c = audit_membership(&graph, &builder, &other, false).unwrap();
+    assert_ne!(a.to_json_pretty(), c.to_json_pretty());
+}

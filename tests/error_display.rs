@@ -7,6 +7,7 @@
 use std::error::Error as _;
 
 use advsgm::api::Error;
+use advsgm::attack::AttackError;
 use advsgm::baselines::BaselineError;
 use advsgm::core::CoreError;
 use advsgm::eval::EvalError;
@@ -102,6 +103,17 @@ fn snapshots() -> Vec<(Error, &'static str)> {
         (
             advsgm::api::Dim::new(0).unwrap_err(),
             "api: invalid parameter dim: embedding dimension must be positive, got 0",
+        ),
+        (
+            Error::from(AttackError::invalid(
+                "targets",
+                "need at least one target edge",
+            )),
+            "attack: invalid audit parameter targets: need at least one target edge",
+        ),
+        (
+            Error::from(AttackError::release("engine exploded")),
+            "attack: release failed: engine exploded",
         ),
     ]
 }

@@ -2,11 +2,15 @@
 
 use advsgm::eval::auc::auc_from_scores;
 use advsgm::eval::clustering::metrics::mutual_information;
-use advsgm::graph::GraphBuilder;
+use advsgm::graph::partition::{link_prediction_split, sample_non_edges};
+use advsgm::graph::{GraphBuilder, GraphError};
 use advsgm::linalg::activations::{exp_clip, sigmoid, ConstrainedSigmoid};
 use advsgm::linalg::vector;
 use advsgm::privacy::subsampled::subsampled_gaussian_epsilon;
+use advsgm::privacy::RdpAccountant;
 use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
 
 proptest! {
     #[test]
@@ -110,6 +114,84 @@ proptest! {
             prop_assert!(g.has_edge(e.u(), e.v()));
             prop_assert!(g.has_edge(e.v(), e.u()));
         }
+    }
+
+    #[test]
+    fn near_complete_graphs_never_hang_non_edge_sampling(
+        n in 2usize..8,
+        missing in proptest::collection::vec((0usize..8, 0usize..8), 0..3),
+        extra in 1usize..4)
+    {
+        // A complete graph minus at most two pairs: rejection sampling has
+        // almost nothing left to find. Asking for more non-edges than exist
+        // must return the typed error instead of spinning forever.
+        let mut b = GraphBuilder::new(n);
+        for u in 0..n {
+            for v in (u + 1)..n {
+                if missing.contains(&(u, v)) {
+                    continue;
+                }
+                b.add_edge(u, v).unwrap();
+            }
+        }
+        let g = b.build();
+        let free = n * (n - 1) / 2 - g.num_edges();
+        let mut rng = SmallRng::seed_from_u64(5);
+        match sample_non_edges(&g, free + extra, &mut rng) {
+            Err(GraphError::InvalidParameter { .. }) => {}
+            Err(other) => prop_assert!(false, "wrong error type: {other}"),
+            Ok(found) => prop_assert!(false, "found {} non-edges, only {free} exist", found.len()),
+        }
+        // Asking for exactly what exists still succeeds, and every sample
+        // really is a non-edge.
+        if free > 0 {
+            let got = sample_non_edges(&g, free, &mut rng).unwrap();
+            prop_assert_eq!(got.len(), free);
+            for e in &got {
+                prop_assert!(!g.has_edge(e.u(), e.v()));
+            }
+        }
+    }
+
+    #[test]
+    fn link_prediction_split_is_seed_deterministic(
+        edges in proptest::collection::vec((0usize..25, 0usize..25), 30..120),
+        seed in 0u64..1_000_000,
+        frac in 0.05f64..0.5)
+    {
+        let mut b = GraphBuilder::new(25);
+        b.add_edges(edges).unwrap();
+        let g = b.build();
+        if g.num_edges() < 10 {
+            return;
+        }
+        let a = link_prediction_split(&g, frac, &mut SmallRng::seed_from_u64(seed)).unwrap();
+        let b = link_prediction_split(&g, frac, &mut SmallRng::seed_from_u64(seed)).unwrap();
+        prop_assert_eq!(a.test_pos, b.test_pos);
+        prop_assert_eq!(a.test_neg, b.test_neg);
+        prop_assert_eq!(a.train_neg, b.train_neg);
+        prop_assert_eq!(a.train.edges(), b.train.edges());
+    }
+
+    #[test]
+    fn accountant_epsilon_monotone_in_steps_and_sigma(
+        sigma in 1.0f64..10.0,
+        gamma in 0.001f64..0.5,
+        steps in 1u64..500,
+        more in 1u64..500)
+    {
+        // epsilon_at is non-decreasing in the step count T ...
+        let mut acc = RdpAccountant::new();
+        acc.record_subsampled_gaussian(sigma, gamma, steps).unwrap();
+        let eps_t = acc.epsilon_at(1e-5).unwrap();
+        acc.record_subsampled_gaussian(sigma, gamma, more).unwrap();
+        let eps_more = acc.epsilon_at(1e-5).unwrap();
+        prop_assert!(eps_more >= eps_t - 1e-12, "T: {eps_t} -> {eps_more}");
+        // ... and non-increasing in the noise multiplier sigma.
+        let mut louder = RdpAccountant::new();
+        louder.record_subsampled_gaussian(sigma * 1.5, gamma, steps).unwrap();
+        let eps_louder = louder.epsilon_at(1e-5).unwrap();
+        prop_assert!(eps_louder <= eps_t + 1e-12, "sigma: {eps_t} -> {eps_louder}");
     }
 
     #[test]

@@ -109,3 +109,76 @@ fn garbage_frames_do_not_kill_the_server() {
     let stats = server.wait();
     assert!(stats.requests >= 1);
 }
+
+// ---- protocol fuzz: arbitrary bytes must never panic the decoders ----
+
+use advsgm::serve::protocol::{Request, Response, MAX_K, OP_PING, OP_SCORE, OP_SHUTDOWN, OP_TOP_K};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn request_decoder_never_panics_and_ok_is_canonical(
+        payload in proptest::collection::vec(0u8..=255, 0..64))
+    {
+        // Decoding is total: any byte string yields Ok or a typed reason,
+        // never a panic — and an accepted payload is exactly the encoding
+        // of the request it parsed to (the wire format has no slack).
+        match Request::decode(&payload) {
+            Ok(req) => prop_assert_eq!(req.encode(), payload),
+            Err(reason) => prop_assert!(!reason.is_empty()),
+        }
+    }
+
+    #[test]
+    fn malformed_but_framed_requests_get_typed_errors(
+        which in 0usize..4,
+        body in proptest::collection::vec(0u8..=255, 0..40))
+    {
+        // A known opcode with a wrong-sized body is the malformed-but-
+        // framed case the server answers with Response::Error: it must be
+        // an Err naming the problem, not a panic or a bogus Ok.
+        let op = [OP_PING, OP_TOP_K, OP_SCORE, OP_SHUTDOWN][which];
+        let wrong_size = match op {
+            OP_TOP_K => body.len() != 21,
+            OP_SCORE => body.len() != 16,
+            _ => !body.is_empty(),
+        };
+        let mut payload = vec![op];
+        payload.extend_from_slice(&body);
+        let decoded = Request::decode(&payload);
+        if wrong_size {
+            let reason = decoded.unwrap_err();
+            prop_assert!(!reason.is_empty());
+        }
+    }
+
+    #[test]
+    fn response_decoder_never_panics(
+        op in 0u8..=255,
+        payload in proptest::collection::vec(0u8..=255, 0..96))
+    {
+        match Response::decode(op, &payload) {
+            Ok(_) => {}
+            Err(reason) => prop_assert!(!reason.is_empty()),
+        }
+    }
+
+    #[test]
+    fn request_roundtrips_through_the_wire_format(
+        node in 0u64..=u64::MAX,
+        k in 0u32..=MAX_K as u32,
+        approx_bit in 0u8..2,
+        recall in 0.0f64..=1.0,
+        u in 0u64..=u64::MAX,
+        v in 0u64..=u64::MAX)
+    {
+        for req in [
+            Request::Ping,
+            Request::Shutdown,
+            Request::TopK { node, k, approx: approx_bit == 1, recall_target: recall },
+            Request::Score { u, v },
+        ] {
+            prop_assert_eq!(Request::decode(&req.encode()).unwrap(), req);
+        }
+    }
+}
