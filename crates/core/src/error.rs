@@ -26,6 +26,9 @@ pub enum CoreError {
         /// What was wrong.
         reason: String,
     },
+    /// An I/O failure in the out-of-core engine's partition spill store
+    /// (the in-RAM engines never perform I/O and never produce this).
+    Io(std::io::Error),
 }
 
 impl fmt::Display for CoreError {
@@ -37,6 +40,7 @@ impl fmt::Display for CoreError {
             CoreError::Graph(e) => write!(f, "graph error: {e}"),
             CoreError::Privacy(e) => write!(f, "privacy error: {e}"),
             CoreError::Checkpoint { reason } => write!(f, "cannot resume checkpoint: {reason}"),
+            CoreError::Io(e) => write!(f, "i/o error: {e}"),
         }
     }
 }
@@ -46,6 +50,7 @@ impl std::error::Error for CoreError {
         match self {
             CoreError::Graph(e) => Some(e),
             CoreError::Privacy(e) => Some(e),
+            CoreError::Io(e) => Some(e),
             CoreError::Config { .. } | CoreError::Checkpoint { .. } => None,
         }
     }
@@ -60,6 +65,12 @@ impl From<GraphError> for CoreError {
 impl From<PrivacyError> for CoreError {
     fn from(e: PrivacyError) -> Self {
         CoreError::Privacy(e)
+    }
+}
+
+impl From<std::io::Error> for CoreError {
+    fn from(e: std::io::Error) -> Self {
+        CoreError::Io(e)
     }
 }
 

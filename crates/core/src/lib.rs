@@ -18,13 +18,17 @@
 //! gradient identity `grad = clip(dL_sgm/dv + v') + N(C^2 sigma^2 I)`,
 //! per-batch privacy accounting through `advsgm-privacy`, and the
 //! stopping rule of lines 9–11. The schedule exists exactly once
-//! (`session::run_schedule`) and executes through one of two engine
-//! strategies: [`trainer::Trainer`] fronts the sequential engine, and
+//! (`session::run_schedule`) and executes through one of three engine
+//! strategies: [`trainer::Trainer`] fronts the sequential engine,
 //! [`sharded::ShardedTrainer`] the producer/worker engine (Algorithm 2
 //! batch production on a dedicated thread, per-pair clipped gradients in
 //! thread-local shards, a deterministic shard-order reduction) —
 //! bitwise-identical to the sequential trainer at `threads = 1` and
-//! run-to-run deterministic at any thread count (DESIGN.md §7/§10). The
+//! run-to-run deterministic at any thread count (DESIGN.md §7/§10) —
+//! and [`partitioned::PartitionedTrainer`] the out-of-core engine
+//! (embedding partitions swapped through a two-slot pool with a disk
+//! spill store, bitwise-identical to the sequential trainer at every
+//! partition and thread count; DESIGN.md §14). The
 //! session layer also provides [`session::TrainHooks`] (epoch-boundary
 //! observability) and [`session::CheckpointState`] (bitwise-exact
 //! checkpoint/resume).
@@ -46,6 +50,7 @@ pub mod error;
 pub mod grad;
 pub mod loss;
 pub mod model;
+pub mod partitioned;
 pub mod sampler;
 pub mod session;
 pub mod sharded;
@@ -56,6 +61,7 @@ pub mod weighting;
 
 pub use config::AdvSgmConfig;
 pub use error::CoreError;
+pub use partitioned::{PartitionedTrainer, SlotPoolStats};
 pub use session::{
     CheckpointState, EngineKind, EpochEvent, NoHooks, SessionControl, SpendSnapshot, StopReason,
     TrainHooks,

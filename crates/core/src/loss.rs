@@ -35,6 +35,70 @@ pub fn generator_term_loss(kind: SigmoidKind, arg: f64) -> f64 {
     (1.0 - kind.value(arg)).ln()
 }
 
+/// The dot-product arguments one positive pair contributes to `L_Nov`:
+/// the skip-gram score plus the two noisy adversarial arguments (Eq. 13).
+///
+/// Splitting the evaluation into these pure scalars and the order-fixed
+/// fold in [`fold_novel_loss`] is what lets the out-of-core engine
+/// compute them per bucket pair and still reproduce the sequential
+/// engine's floating-point result bit for bit.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct PositiveTerms {
+    /// `v_i . v_j`.
+    pub dot_ij: f64,
+    /// `v_i . fake_j + n1 . v_i`.
+    pub arg1: f64,
+    /// `fake_i . v_j + n2 . v_j`.
+    pub arg2: f64,
+}
+
+/// Computes one positive pair's [`PositiveTerms`] — each scalar with the
+/// exact operation order the in-place evaluation uses.
+pub(crate) fn positive_terms(
+    vi: &[f64],
+    vj: &[f64],
+    fake_j: &[f64],
+    fake_i: &[f64],
+    n1: &[f64],
+    n2: &[f64],
+) -> PositiveTerms {
+    PositiveTerms {
+        dot_ij: vector::dot(vi, vj),
+        arg1: vector::dot(vi, fake_j) + vector::dot(n1, vi),
+        arg2: vector::dot(fake_i, vj) + vector::dot(n2, vj),
+    }
+}
+
+/// The dot product one negative sample contributes (`v_n . v_i`, operand
+/// order matching [`sgm_negative_loss`]).
+pub(crate) fn negative_dot(vi: &[f64], vn: &[f64]) -> f64 {
+    vector::dot(vn, vi)
+}
+
+/// Folds per-pair terms into the batch-mean `L_Nov` in the canonical
+/// accumulation order: skip-gram and adversarial sums are kept separate,
+/// positives are folded first (in slice order), then negatives, then
+/// `(sgm + adv) / |positives|`.
+pub(crate) fn fold_novel_loss(
+    kind: SigmoidKind,
+    mode: WeightMode,
+    positives: &[PositiveTerms],
+    negative_dots: &[f64],
+) -> f64 {
+    assert!(!positives.is_empty(), "need at least one positive pair");
+    let mut sgm = 0.0;
+    let mut adv = 0.0;
+    for t in positives {
+        sgm += -kind.log_value(t.dot_ij);
+        adv += mode.lambda(kind, t.arg1) * adversarial_term_loss(kind, t.arg1);
+        adv += mode.lambda(kind, t.arg2) * adversarial_term_loss(kind, t.arg2);
+    }
+    for &d in negative_dots {
+        sgm += -kind.log_value(-d);
+    }
+    (sgm + adv) / positives.len() as f64
+}
+
 /// Evaluates the novel discriminator loss `L_Nov` (Eq. 24) on one batch:
 /// the skip-gram part over `positives`/`negatives` plus the weighted
 /// adversarial parts with fresh fake neighbors and noise draws
@@ -54,29 +118,23 @@ pub fn novel_loss_batch(
 ) -> f64 {
     assert!(!positives.is_empty(), "need at least one positive pair");
     let r = emb.dim();
-    let mut sgm = 0.0;
-    let mut adv = 0.0;
     // Per-batch noise vectors, as in the trainer (zero when noise_std = 0).
     let n1 = gaussian_vec(rng, noise_std.max(0.0), r);
     let n2 = gaussian_vec(rng, noise_std.max(0.0), r);
+    let mut terms = Vec::with_capacity(positives.len());
     for e in positives {
         let vi = emb.input(e.u().index());
         let vj = emb.output(e.v().index());
-        sgm += sgm_positive_loss(kind, vi, vj);
         // Adversarial terms with fresh fakes (Eq. 13).
         let fake_j = gens.for_i.generate(e.v().index(), rng).v;
         let fake_i = gens.for_j.generate(e.u().index(), rng).v;
-        let arg1 = vector::dot(vi, &fake_j) + vector::dot(&n1, vi);
-        let arg2 = vector::dot(&fake_i, vj) + vector::dot(&n2, vj);
-        adv += mode.lambda(kind, arg1) * adversarial_term_loss(kind, arg1);
-        adv += mode.lambda(kind, arg2) * adversarial_term_loss(kind, arg2);
+        terms.push(positive_terms(vi, vj, &fake_j, &fake_i, &n1, &n2));
     }
-    for p in negatives {
-        let vi = emb.input(p.source.index());
-        let vn = emb.output(p.negative.index());
-        sgm += sgm_negative_loss(kind, vi, vn);
-    }
-    (sgm + adv) / positives.len() as f64
+    let neg_dots: Vec<f64> = negatives
+        .iter()
+        .map(|p| negative_dot(emb.input(p.source.index()), emb.output(p.negative.index())))
+        .collect();
+    fold_novel_loss(kind, mode, &terms, &neg_dots)
 }
 
 #[cfg(test)]

@@ -10,6 +10,22 @@ use advsgm_linalg::init::{embedding_uniform, normalize_rows, project_rows_to_bal
 use advsgm_linalg::DenseMatrix;
 use rand::Rng;
 
+/// Applies a descent step `row -= eta * grad`, optionally projecting the
+/// row back into the unit ball.
+///
+/// This is *the* embedding update: [`Embeddings::step_input`],
+/// [`Embeddings::step_output`], and the out-of-core engine's partition
+/// slots all call it, so every engine applies bit-identical arithmetic.
+#[inline]
+pub(crate) fn step_row(row: &mut [f64], eta: f64, grad: &[f64], project: bool) {
+    for (p, g) in row.iter_mut().zip(grad) {
+        *p -= eta * g;
+    }
+    if project {
+        advsgm_linalg::vector::clip_l2(row, 1.0);
+    }
+}
+
 /// The pair of skip-gram embedding matrices.
 #[derive(Debug, Clone)]
 pub struct Embeddings {
@@ -61,24 +77,12 @@ impl Embeddings {
     /// Applies a descent step `W_in[i] -= eta * grad`, optionally projecting
     /// the row back into the unit ball.
     pub fn step_input(&mut self, i: usize, eta: f64, grad: &[f64], project: bool) {
-        let row = self.w_in.row_mut(i);
-        for (p, g) in row.iter_mut().zip(grad) {
-            *p -= eta * g;
-        }
-        if project {
-            advsgm_linalg::vector::clip_l2(row, 1.0);
-        }
+        step_row(self.w_in.row_mut(i), eta, grad, project);
     }
 
     /// Applies a descent step to `W_out[j]`.
     pub fn step_output(&mut self, j: usize, eta: f64, grad: &[f64], project: bool) {
-        let row = self.w_out.row_mut(j);
-        for (p, g) in row.iter_mut().zip(grad) {
-            *p -= eta * g;
-        }
-        if project {
-            advsgm_linalg::vector::clip_l2(row, 1.0);
-        }
+        step_row(self.w_out.row_mut(j), eta, grad, project);
     }
 
     /// Re-projects every row of both matrices onto the unit ball.

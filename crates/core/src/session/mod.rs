@@ -8,18 +8,25 @@
 //! iteration counts, accounting (`record_and_check`), budget stop,
 //! epoch-loss recording, and [`TrainOutcome`] assembly, while the
 //! *execution* of each step is delegated to an
-//! `Engine` strategy with exactly two implementations:
+//! `Engine` strategy with exactly three implementations:
 //!
 //! * `sequential::SequentialEngine` — single-threaded step execution on
 //!   one interleaved RNG stream (the classic `Trainer` behaviour);
 //! * `sharded::ShardedEngine` — the producer/worker execution of
 //!   DESIGN.md §7 (Algorithm-2 production one iteration ahead, per-shard
-//!   RNG streams, deterministic shard-order reduction).
+//!   RNG streams, deterministic shard-order reduction);
+//! * `partitioned::PartitionedEngine` — the out-of-core execution of
+//!   DESIGN.md §14: embedding partitions swap through a two-slot pool
+//!   (spilling to disk) while every step *replays* the sequential
+//!   engine's RNG draws and floating-point accumulation order, so its
+//!   trajectory is bitwise-identical to the sequential engine's at any
+//!   partition count and thread count.
 //!
-//! [`Trainer`](crate::Trainer) and [`ShardedTrainer`](crate::ShardedTrainer)
-//! are thin facades over a session core plus one engine; the engine trait
-//! and both implementations are deliberately crate-private, so a third
-//! loop cannot appear without touching this layer.
+//! [`Trainer`](crate::Trainer), [`ShardedTrainer`](crate::ShardedTrainer),
+//! and [`PartitionedTrainer`](crate::PartitionedTrainer) are thin facades
+//! over a session core plus one engine; the engine trait and all three
+//! implementations are deliberately crate-private, so a fourth loop
+//! cannot appear without touching this layer.
 //!
 //! # Observability: [`TrainHooks`]
 //!
@@ -63,6 +70,7 @@ use crate::sigmoid::SigmoidKind;
 use crate::trainer::TrainOutcome;
 use crate::variants::ModelVariant;
 
+pub(crate) mod partitioned;
 pub(crate) mod sequential;
 pub(crate) mod sharded;
 
@@ -320,6 +328,12 @@ pub enum EngineKind {
     /// `threads > 1`); the thread count travels in the checkpoint's
     /// `config.num_threads`.
     Sharded,
+    /// The out-of-core partition-swapping execution
+    /// (`PartitionedTrainer`). Its trajectory replays the sequential
+    /// engine's, so its checkpoints are interchangeable across partition
+    /// counts — but not across engines, because the stream layout
+    /// differs from the sharded engine's.
+    Partitioned,
 }
 
 /// A complete training checkpoint: everything the remaining epochs depend
@@ -368,7 +382,8 @@ pub struct CheckpointState {
     /// Which engine captured this state.
     pub engine: EngineKind,
     /// Engine-owned RNG stream positions, in the engine's fixed order:
-    /// sequential `[main]`; sharded `[producer, epoch-loss]`.
+    /// sequential `[main]`; sharded `[producer, epoch-loss]`;
+    /// partitioned `[main]` (it replays the sequential stream).
     pub rng_streams: Vec<[u64; 4]>,
     /// The edge sampler's index permutation at the boundary — the batch
     /// provider's only hidden mutable state.
@@ -407,10 +422,14 @@ pub(crate) struct EngineStreams {
 
 /// The execution strategy behind the one Algorithm-3 schedule.
 ///
-/// Exactly two implementations exist — [`sequential::SequentialEngine`]
-/// and [`sharded::ShardedEngine`] — and [`run_schedule`] is their only
-/// driver. An engine executes *steps*; it never sees the epoch structure,
-/// iteration counts, accounting, or stopping rule.
+/// Exactly three implementations exist —
+/// [`sequential::SequentialEngine`], [`sharded::ShardedEngine`], and
+/// [`partitioned::PartitionedEngine`] — and [`run_schedule`] is their
+/// only driver. An engine executes *steps*; it never sees the epoch
+/// structure, iteration counts, accounting, or stopping rule.
+///
+/// Step methods are fallible because the out-of-core engine performs
+/// spill I/O inside a step; the in-RAM engines always return `Ok`.
 pub(crate) trait Engine {
     /// Which engine this is (persisted in checkpoints).
     fn kind(&self) -> EngineKind;
@@ -420,11 +439,19 @@ pub(crate) trait Engine {
     /// (positive, negative, positive, negative, ...).
     fn next_batch(&mut self, graph: &Graph) -> Result<DiscBatch, CoreError>;
     /// One discriminator update (Algorithm 3 line 8) over `batch`.
-    fn disc_update(&mut self, core: &mut SessionCore, batch: &DiscBatch);
+    fn disc_update(&mut self, core: &mut SessionCore, batch: &DiscBatch) -> Result<(), CoreError>;
     /// One generator iteration (Algorithm 3 lines 14–18).
-    fn generator_update(&mut self, core: &mut SessionCore, graph: &Graph);
+    fn generator_update(&mut self, core: &mut SessionCore, graph: &Graph) -> Result<(), CoreError>;
     /// The epoch's `|L_Nov|` diagnostic on one fresh batch.
     fn epoch_loss(&mut self, core: &mut SessionCore, graph: &Graph) -> Result<f64, CoreError>;
+    /// Writes any engine-resident model state back into `core` so that
+    /// `core.emb` is authoritative (checkpoint capture, outcome
+    /// assembly). No-op for the in-RAM engines, which mutate `core.emb`
+    /// directly; the out-of-core engine materialises its partitions here.
+    fn sync_core(&mut self, core: &mut SessionCore) -> Result<(), CoreError> {
+        let _ = core;
+        Ok(())
+    }
     /// RNG/sampler state for checkpoint capture, valid only at an epoch
     /// boundary (the only place [`run_schedule`] calls it).
     fn streams(&self) -> EngineStreams;
@@ -586,7 +613,7 @@ impl SessionCore {
             ));
         }
         let expected_streams = match state.engine {
-            EngineKind::Sequential => 1,
+            EngineKind::Sequential | EngineKind::Partitioned => 1,
             EngineKind::Sharded => 2,
         };
         if state.rng_streams.len() != expected_streams {
@@ -743,7 +770,7 @@ pub(crate) fn run_schedule(
             // their amplification rates compose cleanly (Theorem 7).
             for gamma in [core.gamma_pos, core.gamma_neg] {
                 let batch = engine.next_batch(graph)?;
-                engine.disc_update(core, &batch);
+                engine.disc_update(core, &batch)?;
                 core.cursor.disc_updates += 1;
                 if record_and_check(&mut core.accountant, &core.cfg, gamma)? {
                     core.cursor.stopped_by_budget = true;
@@ -761,7 +788,7 @@ pub(crate) fn run_schedule(
         }
         if core.cfg.variant.is_adversarial() {
             for _ in 0..core.cfg.gen_iters {
-                engine.generator_update(core, graph);
+                engine.generator_update(core, graph)?;
                 core.cursor.gen_updates += 1;
             }
         }
@@ -778,6 +805,9 @@ pub(crate) fn run_schedule(
             stop: finished.then_some(StopReason::Completed),
         });
         if may_checkpoint && hooks.wants_checkpoint(core.cursor.epochs_done) {
+            // Out-of-core engines hold the embeddings in their slot pool;
+            // make core.emb authoritative before capturing.
+            engine.sync_core(core)?;
             let state = capture_checkpoint(core, engine, graph);
             if hooks.on_checkpoint(&state) == SessionControl::Stop {
                 control = SessionControl::Stop;

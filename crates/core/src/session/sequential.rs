@@ -74,7 +74,7 @@ impl Engine for SequentialEngine {
     }
 
     /// One discriminator update (Algorithm 3 line 8) over a batch.
-    fn disc_update(&mut self, core: &mut SessionCore, batch: &DiscBatch) {
+    fn disc_update(&mut self, core: &mut SessionCore, batch: &DiscBatch) -> Result<(), CoreError> {
         let r = core.cfg.dim;
         let variant = core.cfg.variant;
         let clip = core.cfg.clip;
@@ -149,10 +149,11 @@ impl Engine for SequentialEngine {
             vector::fused_axpy_scale(&mut g, c as f64, &n_out, 1.0 / c as f64);
             core.emb.step_output(j, eta, &g, project);
         }
+        Ok(())
     }
 
     /// One generator iteration (Algorithm 3 lines 14–18, Eq. 17).
-    fn generator_update(&mut self, core: &mut SessionCore, graph: &Graph) {
+    fn generator_update(&mut self, core: &mut SessionCore, graph: &Graph) -> Result<(), CoreError> {
         let r = core.cfg.dim;
         let sample_count = core.cfg.batch_size * (core.cfg.negatives + 1);
         // Activation-input noise only exists in the full AdvSGM loss.
@@ -191,6 +192,7 @@ impl Engine for SequentialEngine {
         }
         core.gens.for_i.step(core.cfg.eta_g, &grads_j);
         core.gens.for_j.step(core.cfg.eta_g, &grads_i);
+        Ok(())
     }
 
     /// Per-epoch `|L_Nov|` diagnostic on one fresh batch.

@@ -226,13 +226,13 @@ impl Engine for ShardedEngine<'_> {
     /// update's stream index is the schedule cursor's `disc_updates`
     /// counter, which also makes resumed runs derive the same streams as
     /// uninterrupted ones.
-    fn disc_update(&mut self, core: &mut SessionCore, batch: &DiscBatch) {
+    fn disc_update(&mut self, core: &mut SessionCore, batch: &DiscBatch) -> Result<(), CoreError> {
         let r = core.cfg.dim;
         let count = batch.pairs.len();
         if count == 0 {
             // Cannot happen with the current producer (batch >= 1 after
             // clamping), but an empty update is a well-defined no-op.
-            return;
+            return Ok(());
         }
         let update_seed = derive_seed(self.disc_base, core.cursor.disc_updates);
         let variant = core.cfg.variant;
@@ -343,12 +343,13 @@ impl Engine for ShardedEngine<'_> {
             vector::fused_axpy_scale(&mut g, c as f64, &n_out, 1.0 / c as f64);
             core.emb.step_output(j, eta, &g, project);
         }
+        Ok(())
     }
 
     /// One generator iteration (Algorithm 3 lines 14–18), sharded over the
     /// `B (k + 1)` samples with the same per-shard stream scheme; the
     /// iteration's stream index is the cursor's `gen_updates` counter.
-    fn generator_update(&mut self, core: &mut SessionCore, graph: &Graph) {
+    fn generator_update(&mut self, core: &mut SessionCore, graph: &Graph) -> Result<(), CoreError> {
         let r = core.cfg.dim;
         let sample_count = core.cfg.batch_size * (core.cfg.negatives + 1);
         let shard_len = self.shard_len(core, sample_count);
@@ -400,6 +401,7 @@ impl Engine for ShardedEngine<'_> {
         }
         core.gens.for_i.step(core.cfg.eta_g, &grads_j);
         core.gens.for_j.step(core.cfg.eta_g, &grads_i);
+        Ok(())
     }
 
     /// Per-epoch `|L_Nov|` diagnostic on the producer's loss batch; also

@@ -98,6 +98,13 @@ impl ShardedTrainer {
                 }
                 Inner::Parallel(Box::new(ParallelSession::resume(graph, state, threads)?))
             }
+            EngineKind::Partitioned => {
+                return Err(CoreError::Checkpoint {
+                    reason: "checkpoint was captured by the partitioned out-of-core engine; \
+                             resume it through PartitionedTrainer::resume"
+                        .into(),
+                })
+            }
         };
         Ok(Self { inner })
     }

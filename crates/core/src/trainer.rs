@@ -70,13 +70,15 @@ impl Trainer {
     ///
     /// # Errors
     /// [`CoreError::Checkpoint`] when the state is inconsistent, was
-    /// captured by the sharded engine, or does not match `graph`.
+    /// captured by another engine, or does not match `graph`.
     pub fn resume(graph: &Graph, state: &CheckpointState) -> Result<Self, CoreError> {
         if state.engine != EngineKind::Sequential {
             return Err(CoreError::Checkpoint {
-                reason: "checkpoint was captured by the sharded engine; \
-                         resume it through ShardedTrainer::resume"
-                    .into(),
+                reason: format!(
+                    "checkpoint was captured by the {:?} engine; resume it through \
+                     ShardedTrainer::resume or PartitionedTrainer::resume",
+                    state.engine
+                ),
             });
         }
         let (core, provider) = SessionCore::resume(graph, state)?;

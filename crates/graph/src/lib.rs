@@ -12,11 +12,14 @@
 //! * [`sampling`] — alias tables, uniform edge batches, the paper's
 //!   Algorithm 2 negative sampling, and DeepWalk/node2vec random walks;
 //! * [`partition`] — the 90/10 link-prediction edge split of Section VI-A;
+//! * [`buckets`] — contiguous node buckets and the `P x P` bucket-pair
+//!   schedule behind out-of-core partitioned training;
 //! * [`io`] — plain-text edge-list and label readers/writers.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod buckets;
 pub mod builder;
 pub mod csr;
 pub mod edge;
@@ -28,6 +31,7 @@ pub mod node;
 pub mod partition;
 pub mod sampling;
 
+pub use buckets::NodeBuckets;
 pub use builder::GraphBuilder;
 pub use edge::Edge;
 pub use error::GraphError;

@@ -58,6 +58,28 @@ pub fn link_prediction_split(
     let m = graph.num_edges();
     let n_test = ((m as f64) * test_fraction).round() as usize;
     let n_train = m - n_test;
+    // Rounding on small graphs can silently defeat the split: a positive
+    // fraction that rounds to zero held-out edges, or one that rounds to
+    // holding out *every* edge. Both make the caller's evaluation
+    // meaningless, so reject them instead of returning a degenerate split.
+    if test_fraction > 0.0 && n_test == 0 {
+        return Err(GraphError::InvalidParameter {
+            name: "test_fraction",
+            reason: format!(
+                "{test_fraction} of {m} edges rounds to zero held-out test \
+                 edges; use a larger fraction or a larger graph"
+            ),
+        });
+    }
+    if n_train == 0 {
+        return Err(GraphError::InvalidParameter {
+            name: "test_fraction",
+            reason: format!(
+                "{test_fraction} of {m} edges rounds to holding out every \
+                 edge, leaving an empty training graph"
+            ),
+        });
+    }
 
     // Shuffle edge indices, take the prefix as test.
     let mut idx: Vec<usize> = (0..m).collect();
@@ -224,6 +246,48 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(7);
         assert!(link_prediction_split(&g, 1.0, &mut rng).is_err());
         assert!(link_prediction_split(&g, -0.1, &mut rng).is_err());
+    }
+
+    #[test]
+    fn fraction_rounding_to_zero_test_edges_is_rejected() {
+        // 4 edges at 10%: round(0.4) == 0 held-out edges used to be
+        // returned silently; it must now be a typed error.
+        let g = {
+            let mut rng = SmallRng::seed_from_u64(9);
+            gnm_random_graph(10, 4, &mut rng)
+        };
+        let mut rng = SmallRng::seed_from_u64(10);
+        let err = link_prediction_split(&g, 0.10, &mut rng).unwrap_err();
+        assert!(
+            matches!(err, GraphError::InvalidParameter { name, ref reason }
+                if name == "test_fraction" && reason.contains("zero held-out")),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn fraction_rounding_to_empty_training_graph_is_rejected() {
+        // A single edge at 50%: round(0.5) == 1 holds out the only edge,
+        // leaving nothing to train on.
+        let g = Graph::from_parts(4, vec![Edge::from_raw(0, 1)], None);
+        let mut rng = SmallRng::seed_from_u64(11);
+        let err = link_prediction_split(&g, 0.5, &mut rng).unwrap_err();
+        assert!(
+            matches!(err, GraphError::InvalidParameter { name, ref reason }
+                if name == "test_fraction" && reason.contains("empty training graph")),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn zero_fraction_is_still_an_explicit_no_split() {
+        // test_fraction == 0.0 asks for no held-out edges; that is not a
+        // rounding accident and must keep working.
+        let g = fixture();
+        let mut rng = SmallRng::seed_from_u64(12);
+        let s = link_prediction_split(&g, 0.0, &mut rng).unwrap();
+        assert!(s.test_pos.is_empty());
+        assert_eq!(s.train.num_edges(), g.num_edges());
     }
 
     #[test]

@@ -1,0 +1,751 @@
+//! The `.agph` bucket-partitioned on-disk graph format (version 1).
+//!
+//! Byte-level specification lives in `docs/FORMAT.md`; this module is the
+//! reference implementation. `.agph` is the disk-resident input of the
+//! out-of-core training path (DESIGN.md §14): the edge set is stored in
+//! `P` *sections*, one per node bucket of
+//! [`advsgm_graph::buckets::NodeBuckets`], so the partitioned engine can
+//! map one bucket's edges at a time instead of materialising the whole
+//! edge list. Summary (all integers little-endian):
+//!
+//! ```text
+//! offset      size   field
+//! 0           4      magic  b"AGPH"
+//! 4           2      format version u16 (currently 1)
+//! 6           2      flags u16 (version 1 defines none; must be zero)
+//! 8           8      node count n (u64, <= u32::MAX)
+//! 16          8      edge count m (u64)
+//! 24          4      bucket count P (u32, >= 1)
+//! 28          4      reserved, must be zero
+//! 32          8      graph fingerprint (FNV-1a-64, see below)
+//! 40          12*P   section table: per bucket, edge count (u64) then
+//!                    section CRC-32 (u32)
+//! 40+12P      4      header CRC-32 over bytes [0, 40+12P)
+//! 44+12P      8*m    sections in bucket order; one edge per 8 bytes:
+//!                    u (u32), v (u32), canonical u < v
+//! ```
+//!
+//! Section `b` holds exactly the edges whose *lower* endpoint falls in
+//! bucket `b` (`bucket_of(u) == b`), in the writer's stable order. The
+//! canonical edge order of the file is the concatenation of its sections;
+//! the fingerprint is FNV-1a-64 over `n` (8 LE bytes) followed by each
+//! edge's `u` and `v` (4 LE bytes each) in that canonical order, so a
+//! reader can prove the edge set it reassembled is the one that was
+//! written.
+//!
+//! There is no whole-file trailer: the header CRC plus the per-section
+//! CRCs already cover every byte, and per-section checksums are what let
+//! [`AgphReader`] verify a single bucket without reading the rest of the
+//! file. Like `.aemb` and `.actk`, the format is strictly versioned and
+//! evolves append-only, and every corruption mode is a typed
+//! [`StoreError`], never a panic.
+
+use std::io::{Read, Seek, SeekFrom};
+use std::path::Path;
+
+use advsgm_graph::buckets::NodeBuckets;
+use advsgm_graph::{Edge, Graph};
+
+use crate::error::StoreError;
+use crate::format::crc32;
+
+/// The four magic bytes every `.agph` file starts with.
+pub const AGPH_MAGIC: [u8; 4] = *b"AGPH";
+
+/// The `.agph` format version this build writes and the highest it reads.
+pub const AGPH_VERSION: u16 = 1;
+
+/// Fixed header length in bytes (everything before the section table).
+pub const AGPH_FIXED_HEADER_LEN: usize = 40;
+
+/// Bytes per section-table entry (edge count u64 + section CRC-32).
+const TABLE_ENTRY_LEN: usize = 12;
+
+/// Bytes per on-disk edge record (two u32 endpoints).
+const EDGE_LEN: usize = 8;
+
+/// FNV-1a-64 offset basis.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a-64 prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Folds `bytes` into a running FNV-1a-64 hash.
+fn fnv1a(mut h: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Header length including the section table (but not its CRC).
+fn table_end(buckets: usize) -> usize {
+    AGPH_FIXED_HEADER_LEN + TABLE_ENTRY_LEN * buckets
+}
+
+/// Serialises `graph` into the version-1 `.agph` wire format with `buckets`
+/// sections.
+///
+/// The writer partitions the edge list *stably* by the bucket of each
+/// edge's lower endpoint, so the file's canonical order (section
+/// concatenation) is a deterministic function of the graph's edge order
+/// and `buckets`. The on-disk bucket count is independent of the runtime
+/// partition count used for training.
+///
+/// # Errors
+/// [`StoreError::Invalid`] when `buckets == 0`;
+/// [`StoreError::LimitExceeded`] when the node count overflows the u32
+/// edge endpoints.
+pub fn encode_agph(graph: &Graph, buckets: usize) -> Result<Vec<u8>, StoreError> {
+    if buckets == 0 {
+        return Err(StoreError::Invalid {
+            reason: "bucket count must be at least 1".into(),
+        });
+    }
+    let n = graph.num_nodes();
+    if n as u64 > u32::MAX as u64 {
+        return Err(StoreError::LimitExceeded {
+            what: "node count",
+            value: n as u64,
+            max: u32::MAX as u64,
+        });
+    }
+    if buckets as u64 > u32::MAX as u64 {
+        return Err(StoreError::LimitExceeded {
+            what: "bucket count",
+            value: buckets as u64,
+            max: u32::MAX as u64,
+        });
+    }
+    let nb = NodeBuckets::new(n, buckets).map_err(|e| StoreError::Invalid {
+        reason: e.to_string(),
+    })?;
+    let m = graph.num_edges();
+
+    // Stable partition of the edge list by lower-endpoint bucket.
+    let mut sections: Vec<Vec<Edge>> = vec![Vec::new(); buckets];
+    for &e in graph.edges() {
+        sections[nb.bucket_of(e.u().index())].push(e);
+    }
+
+    // Fingerprint over n then the canonical (section-concatenation) order.
+    let mut fp = fnv1a(FNV_OFFSET, &(n as u64).to_le_bytes());
+    let mut encoded: Vec<Vec<u8>> = Vec::with_capacity(buckets);
+    for sec in &sections {
+        let mut body = Vec::with_capacity(sec.len() * EDGE_LEN);
+        for e in sec {
+            let (u, v) = (e.u().index() as u32, e.v().index() as u32);
+            body.extend_from_slice(&u.to_le_bytes());
+            body.extend_from_slice(&v.to_le_bytes());
+        }
+        fp = fnv1a(fp, &body);
+        encoded.push(body);
+    }
+
+    let mut out = Vec::with_capacity(table_end(buckets) + 4 + m * EDGE_LEN);
+    out.extend_from_slice(&AGPH_MAGIC);
+    out.extend_from_slice(&AGPH_VERSION.to_le_bytes());
+    out.extend_from_slice(&0u16.to_le_bytes()); // flags
+    out.extend_from_slice(&(n as u64).to_le_bytes());
+    out.extend_from_slice(&(m as u64).to_le_bytes());
+    out.extend_from_slice(&(buckets as u32).to_le_bytes());
+    out.extend_from_slice(&0u32.to_le_bytes()); // reserved
+    out.extend_from_slice(&fp.to_le_bytes());
+    debug_assert_eq!(out.len(), AGPH_FIXED_HEADER_LEN);
+    for (sec, body) in sections.iter().zip(&encoded) {
+        out.extend_from_slice(&(sec.len() as u64).to_le_bytes());
+        out.extend_from_slice(&crc32(body).to_le_bytes());
+    }
+    debug_assert_eq!(out.len(), table_end(buckets));
+    let header_sum = crc32(&out);
+    out.extend_from_slice(&header_sum.to_le_bytes());
+    for body in &encoded {
+        out.extend_from_slice(body);
+    }
+    Ok(out)
+}
+
+/// Writes `graph` to `path` as `.agph` crash-safely (temporary file,
+/// fsync, rename — the same discipline as checkpoint writes).
+///
+/// # Errors
+/// Everything [`encode_agph`] rejects, plus I/O failures as
+/// [`StoreError::Io`].
+pub fn save_agph(path: impl AsRef<Path>, graph: &Graph, buckets: usize) -> Result<(), StoreError> {
+    use std::io::Write;
+
+    let path = path.as_ref();
+    let bytes = encode_agph(graph, buckets)?;
+    let tmp = path.with_extension("agph.tmp");
+    let mut file = std::fs::File::create(&tmp)?;
+    file.write_all(&bytes)?;
+    file.sync_all()?;
+    drop(file);
+    std::fs::rename(&tmp, path)?;
+    if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+        if let Ok(d) = std::fs::File::open(dir) {
+            let _ = d.sync_all();
+        }
+    }
+    Ok(())
+}
+
+/// The fully validated header of an `.agph` file: counts, per-section
+/// layout, and the stored fingerprint.
+#[derive(Debug, Clone)]
+struct AgphHeader {
+    num_nodes: usize,
+    num_edges: usize,
+    buckets: NodeBuckets,
+    /// Per-section edge counts, in bucket order.
+    section_counts: Vec<usize>,
+    /// Per-section CRC-32 checksums, in bucket order.
+    section_crcs: Vec<u32>,
+    /// Stored FNV-1a-64 fingerprint over the canonical edge order.
+    fingerprint: u64,
+}
+
+impl AgphHeader {
+    /// Byte offset of section `b` within the file.
+    fn section_offset(&self, b: usize) -> u64 {
+        let edges_before: u64 = self.section_counts[..b].iter().map(|&c| c as u64).sum();
+        (table_end(self.buckets.count()) + 4) as u64 + edges_before * EDGE_LEN as u64
+    }
+}
+
+/// Validates everything up to and including the header CRC.
+///
+/// `total_len` is the length of the whole file (for in-memory decoding,
+/// `header_bytes.len()`); `header_bytes` must hold at least the fixed
+/// header, the section table, and the header CRC whenever that much of
+/// the file exists.
+fn parse_header(header_bytes: &[u8], total_len: u64) -> Result<AgphHeader, StoreError> {
+    let bytes = header_bytes;
+    // Magic and version first, so "wrong file" and "newer writer" produce
+    // their specific errors even on short inputs.
+    if bytes.len() < 4 || bytes[0..4] != AGPH_MAGIC {
+        let mut found = [0u8; 4];
+        let take = bytes.len().min(4);
+        found[..take].copy_from_slice(&bytes[..take]);
+        return Err(StoreError::BadMagic { found });
+    }
+    let min_len = (table_end(1) + 4) as u64;
+    if bytes.len() < 6 {
+        return Err(StoreError::Truncated {
+            expected: min_len,
+            found: total_len,
+        });
+    }
+    let version = u16::from_le_bytes([bytes[4], bytes[5]]);
+    if version == 0 || version > AGPH_VERSION {
+        return Err(StoreError::UnsupportedVersion {
+            found: version,
+            supported: AGPH_VERSION,
+        });
+    }
+    if bytes.len() < AGPH_FIXED_HEADER_LEN {
+        return Err(StoreError::Truncated {
+            expected: min_len,
+            found: total_len,
+        });
+    }
+
+    let flags = u16::from_le_bytes([bytes[6], bytes[7]]);
+    if flags != 0 {
+        return Err(StoreError::Corrupted {
+            reason: format!("unknown flag bits {flags:#06x}"),
+        });
+    }
+    let n = u64::from_le_bytes(bytes[8..16].try_into().expect("8 bytes"));
+    let m = u64::from_le_bytes(bytes[16..24].try_into().expect("8 bytes"));
+    let p = u32::from_le_bytes(bytes[24..28].try_into().expect("4 bytes"));
+    let reserved = u32::from_le_bytes(bytes[28..32].try_into().expect("4 bytes"));
+    let fingerprint = u64::from_le_bytes(bytes[32..40].try_into().expect("8 bytes"));
+    if p == 0 {
+        return Err(StoreError::Corrupted {
+            reason: "bucket count is zero".into(),
+        });
+    }
+    if reserved != 0 {
+        return Err(StoreError::Corrupted {
+            reason: "reserved header bytes are non-zero".into(),
+        });
+    }
+
+    // Total size implied by the header, in u128 so hostile counts cannot
+    // overflow into a bogus "valid" length. This also bounds the section
+    // table and every allocation below by the real file size.
+    let expected = (table_end(1) - TABLE_ENTRY_LEN) as u128
+        + TABLE_ENTRY_LEN as u128 * p as u128
+        + 4
+        + EDGE_LEN as u128 * m as u128;
+    if (total_len as u128) < expected {
+        return Err(StoreError::Truncated {
+            expected: expected.min(u64::MAX as u128) as u64,
+            found: total_len,
+        });
+    }
+    if (total_len as u128) > expected {
+        return Err(StoreError::Corrupted {
+            reason: format!(
+                "{} trailing bytes after the last section",
+                total_len as u128 - expected
+            ),
+        });
+    }
+    let p = p as usize;
+    let tbl_end = table_end(p);
+    debug_assert!(bytes.len() >= tbl_end + 4, "caller supplies header+table");
+
+    // Integrity of every header byte before trusting n or the table.
+    let stored = u32::from_le_bytes(bytes[tbl_end..tbl_end + 4].try_into().expect("4 bytes"));
+    let computed = crc32(&bytes[..tbl_end]);
+    if stored != computed {
+        return Err(StoreError::ChecksumMismatch { stored, computed });
+    }
+
+    if n > u32::MAX as u64 {
+        return Err(StoreError::LimitExceeded {
+            what: "node count",
+            value: n,
+            max: u32::MAX as u64,
+        });
+    }
+    let buckets = NodeBuckets::new(n as usize, p).map_err(|e| StoreError::Corrupted {
+        reason: e.to_string(),
+    })?;
+
+    let mut section_counts = Vec::with_capacity(p);
+    let mut section_crcs = Vec::with_capacity(p);
+    let mut sum: u64 = 0;
+    for b in 0..p {
+        let at = AGPH_FIXED_HEADER_LEN + TABLE_ENTRY_LEN * b;
+        let c = u64::from_le_bytes(bytes[at..at + 8].try_into().expect("8 bytes"));
+        sum = sum.saturating_add(c);
+        section_counts.push(c as usize);
+        section_crcs.push(u32::from_le_bytes(
+            bytes[at + 8..at + 12].try_into().expect("4 bytes"),
+        ));
+    }
+    if sum != m {
+        return Err(StoreError::Corrupted {
+            reason: format!("section edge counts sum to {sum}, header says {m}"),
+        });
+    }
+
+    Ok(AgphHeader {
+        num_nodes: n as usize,
+        num_edges: m as usize,
+        buckets,
+        section_counts,
+        section_crcs,
+        fingerprint,
+    })
+}
+
+/// Validates one section's raw bytes and parses its edges.
+fn parse_section(header: &AgphHeader, b: usize, body: &[u8]) -> Result<Vec<Edge>, StoreError> {
+    let computed = crc32(body);
+    let stored = header.section_crcs[b];
+    if stored != computed {
+        return Err(StoreError::ChecksumMismatch { stored, computed });
+    }
+    let n = header.num_nodes as u32;
+    let mut edges = Vec::with_capacity(body.len() / EDGE_LEN);
+    for rec in body.chunks_exact(EDGE_LEN) {
+        let u = u32::from_le_bytes(rec[0..4].try_into().expect("4 bytes"));
+        let v = u32::from_le_bytes(rec[4..8].try_into().expect("4 bytes"));
+        // Typed rejection before Edge construction: Edge::new asserts on
+        // self-loops, and the reader must never panic on hostile input.
+        if u >= v {
+            return Err(StoreError::Corrupted {
+                reason: format!("edge ({u}, {v}) in section {b} is not canonical (need u < v)"),
+            });
+        }
+        if v >= n {
+            return Err(StoreError::Corrupted {
+                reason: format!("edge ({u}, {v}) references node >= node count {n}"),
+            });
+        }
+        if header.buckets.bucket_of(u as usize) != b {
+            return Err(StoreError::Corrupted {
+                reason: format!(
+                    "edge ({u}, {v}) filed under section {b} but its lower endpoint \
+                     belongs to bucket {}",
+                    header.buckets.bucket_of(u as usize)
+                ),
+            });
+        }
+        edges.push(Edge::from_raw(u, v));
+    }
+    Ok(edges)
+}
+
+/// Parses the version-1 `.agph` wire format back into a [`Graph`],
+/// verifying magic, version, structural lengths, the header CRC, every
+/// section CRC, per-edge invariants, and the fingerprint.
+///
+/// The reassembled graph's edge order is the file's canonical
+/// (section-concatenation) order.
+///
+/// # Errors
+/// A typed [`StoreError`] for every corruption mode; never panics.
+pub fn decode_agph(bytes: &[u8]) -> Result<Graph, StoreError> {
+    let header = parse_header(bytes, bytes.len() as u64)?;
+    let mut edges = Vec::with_capacity(header.num_edges);
+    let mut fp = fnv1a(FNV_OFFSET, &(header.num_nodes as u64).to_le_bytes());
+    let mut seen = std::collections::HashSet::with_capacity(header.num_edges);
+    for b in 0..header.buckets.count() {
+        let start = header.section_offset(b) as usize;
+        let len = header.section_counts[b] * EDGE_LEN;
+        let body = &bytes[start..start + len];
+        fp = fnv1a(fp, body);
+        for e in parse_section(&header, b, body)? {
+            if !seen.insert(e) {
+                return Err(StoreError::Corrupted {
+                    reason: format!("duplicate edge {e} in section {b}"),
+                });
+            }
+            edges.push(e);
+        }
+    }
+    if fp != header.fingerprint {
+        return Err(StoreError::Corrupted {
+            reason: format!(
+                "graph fingerprint mismatch: stored {:#018x}, computed {fp:#018x}",
+                header.fingerprint
+            ),
+        });
+    }
+    Ok(Graph::from_parts(header.num_nodes, edges, None))
+}
+
+/// Reads and fully validates an `.agph` file written by [`save_agph`].
+///
+/// This materialises the whole graph; use [`AgphReader`] to stream one
+/// bucket's edges at a time.
+///
+/// # Errors
+/// I/O failures plus every decode error of [`decode_agph`].
+pub fn load_agph(path: impl AsRef<Path>) -> Result<Graph, StoreError> {
+    let bytes = std::fs::read(path.as_ref())?;
+    decode_agph(&bytes)
+}
+
+/// A streaming `.agph` reader that maps one bucket's edge section at a
+/// time — the reader the out-of-core engine and tooling use when the edge
+/// list should not be materialised whole.
+///
+/// [`AgphReader::open`] validates the header, the section table, and the
+/// header CRC; each [`AgphReader::bucket_edges`] call then reads exactly
+/// one section from disk and verifies its CRC and per-edge invariants
+/// before handing the edges out. The whole-file fingerprint is only
+/// checkable by visiting every section ([`AgphReader::verify_fingerprint`]).
+///
+/// # Examples
+/// ```no_run
+/// use advsgm_store::agph::AgphReader;
+///
+/// let mut r = AgphReader::open("graph.agph")?;
+/// for b in 0..r.bucket_count() {
+///     let edges = r.bucket_edges(b)?;
+///     println!("bucket {b}: {} edges", edges.len());
+/// }
+/// # Ok::<(), advsgm_store::StoreError>(())
+/// ```
+#[derive(Debug)]
+pub struct AgphReader {
+    file: std::fs::File,
+    header: AgphHeader,
+}
+
+impl AgphReader {
+    /// Opens `path` and validates everything up to the header CRC.
+    ///
+    /// # Errors
+    /// I/O failures plus every header-level decode error.
+    pub fn open(path: impl AsRef<Path>) -> Result<Self, StoreError> {
+        let mut file = std::fs::File::open(path.as_ref())?;
+        let total_len = file.metadata()?.len();
+
+        // Enough for magic/version/fixed fields even on tiny files.
+        let mut fixed = vec![0u8; (AGPH_FIXED_HEADER_LEN as u64).min(total_len) as usize];
+        file.read_exact(&mut fixed)?;
+        // Short or foreign files are fully diagnosed by the fixed header.
+        if fixed.len() < AGPH_FIXED_HEADER_LEN {
+            parse_header(&fixed, total_len)?;
+            return Err(StoreError::Truncated {
+                expected: (table_end(1) + 4) as u64,
+                found: total_len,
+            });
+        }
+        let p = u32::from_le_bytes(fixed[24..28].try_into().expect("4 bytes")) as usize;
+        // parse_header's u128 length check bounds the table read by the
+        // real file size; only read the table once that check can pass.
+        let want = (table_end(p.max(1)) + 4) as u64;
+        let mut header_bytes = fixed;
+        if p > 0 && total_len >= want {
+            let extra = want as usize - AGPH_FIXED_HEADER_LEN;
+            let mut table = vec![0u8; extra];
+            file.read_exact(&mut table)?;
+            header_bytes.extend_from_slice(&table);
+        }
+        let header = parse_header(&header_bytes, total_len)?;
+        Ok(Self { file, header })
+    }
+
+    /// Number of nodes stamped in the header.
+    pub fn num_nodes(&self) -> usize {
+        self.header.num_nodes
+    }
+
+    /// Total number of edges stamped in the header.
+    pub fn num_edges(&self) -> usize {
+        self.header.num_edges
+    }
+
+    /// Number of on-disk buckets `P`.
+    pub fn bucket_count(&self) -> usize {
+        self.header.buckets.count()
+    }
+
+    /// The node bucketing the file was written with.
+    pub fn buckets(&self) -> NodeBuckets {
+        self.header.buckets
+    }
+
+    /// Number of edges filed under bucket `b`.
+    ///
+    /// # Errors
+    /// [`StoreError::NodeOutOfRange`]-style misuse is a programming error;
+    /// out-of-range `b` returns [`StoreError::Invalid`].
+    pub fn bucket_edge_count(&self, b: usize) -> Result<usize, StoreError> {
+        self.check_bucket(b)?;
+        Ok(self.header.section_counts[b])
+    }
+
+    fn check_bucket(&self, b: usize) -> Result<(), StoreError> {
+        if b >= self.header.buckets.count() {
+            return Err(StoreError::Invalid {
+                reason: format!(
+                    "bucket {b} out of range (file has {} buckets)",
+                    self.header.buckets.count()
+                ),
+            });
+        }
+        Ok(())
+    }
+
+    /// Reads, checksums, and parses section `b`'s edges from disk.
+    ///
+    /// # Errors
+    /// I/O failures, [`StoreError::ChecksumMismatch`] when the section
+    /// bytes were altered, [`StoreError::Corrupted`] for per-edge
+    /// invariant violations.
+    pub fn bucket_edges(&mut self, b: usize) -> Result<Vec<Edge>, StoreError> {
+        self.check_bucket(b)?;
+        let body = self.read_section(b)?;
+        parse_section(&self.header, b, &body)
+    }
+
+    /// Reads every section once and checks the whole-file fingerprint.
+    ///
+    /// # Errors
+    /// Every [`AgphReader::bucket_edges`] error, plus
+    /// [`StoreError::Corrupted`] when the fingerprint does not match.
+    pub fn verify_fingerprint(&mut self) -> Result<(), StoreError> {
+        let mut fp = fnv1a(FNV_OFFSET, &(self.header.num_nodes as u64).to_le_bytes());
+        for b in 0..self.header.buckets.count() {
+            let body = self.read_section(b)?;
+            parse_section(&self.header, b, &body)?;
+            fp = fnv1a(fp, &body);
+        }
+        if fp != self.header.fingerprint {
+            return Err(StoreError::Corrupted {
+                reason: format!(
+                    "graph fingerprint mismatch: stored {:#018x}, computed {fp:#018x}",
+                    self.header.fingerprint
+                ),
+            });
+        }
+        Ok(())
+    }
+
+    fn read_section(&mut self, b: usize) -> Result<Vec<u8>, StoreError> {
+        let start = self.header.section_offset(b);
+        let len = self.header.section_counts[b] * EDGE_LEN;
+        self.file.seek(SeekFrom::Start(start))?;
+        let mut body = vec![0u8; len];
+        self.file.read_exact(&mut body)?;
+        Ok(body)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use advsgm_graph::generators::classic::karate_club;
+
+    fn bits_of(g: &Graph) -> (usize, Vec<(u32, u32)>) {
+        (
+            g.num_nodes(),
+            g.edges()
+                .iter()
+                .map(|e| (e.u().index() as u32, e.v().index() as u32))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn roundtrip_single_bucket_preserves_edge_order() {
+        let g = karate_club();
+        let bytes = encode_agph(&g, 1).unwrap();
+        let back = decode_agph(&bytes).unwrap();
+        assert_eq!(bits_of(&back), bits_of(&g));
+    }
+
+    #[test]
+    fn roundtrip_many_buckets_preserves_edge_set() {
+        let g = karate_club();
+        for p in [2usize, 3, 4, 7, 64] {
+            let bytes = encode_agph(&g, p).unwrap();
+            let back = decode_agph(&bytes).unwrap();
+            assert_eq!(back.num_nodes(), g.num_nodes());
+            let mut a: Vec<_> = bits_of(&back).1;
+            let mut b: Vec<_> = bits_of(&g).1;
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b, "p={p}");
+        }
+    }
+
+    #[test]
+    fn encode_is_deterministic() {
+        let g = karate_club();
+        assert_eq!(encode_agph(&g, 4).unwrap(), encode_agph(&g, 4).unwrap());
+    }
+
+    #[test]
+    fn layout_is_stable() {
+        let g = karate_club();
+        let p = 4usize;
+        let bytes = encode_agph(&g, p).unwrap();
+        assert_eq!(&bytes[0..4], b"AGPH");
+        assert_eq!(u16::from_le_bytes([bytes[4], bytes[5]]), AGPH_VERSION);
+        assert_eq!(u16::from_le_bytes([bytes[6], bytes[7]]), 0);
+        assert_eq!(
+            u64::from_le_bytes(bytes[8..16].try_into().unwrap()),
+            g.num_nodes() as u64
+        );
+        assert_eq!(
+            u64::from_le_bytes(bytes[16..24].try_into().unwrap()),
+            g.num_edges() as u64
+        );
+        assert_eq!(u32::from_le_bytes(bytes[24..28].try_into().unwrap()), 4);
+        assert_eq!(bytes.len(), table_end(p) + 4 + g.num_edges() * EDGE_LEN);
+    }
+
+    #[test]
+    fn zero_buckets_rejected_at_write() {
+        let g = karate_club();
+        assert!(matches!(
+            encode_agph(&g, 0).unwrap_err(),
+            StoreError::Invalid { .. }
+        ));
+    }
+
+    #[test]
+    fn streaming_reader_agrees_with_full_decode() {
+        let g = karate_club();
+        let dir = std::env::temp_dir().join("advsgm_agph_unit");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("karate.agph");
+        save_agph(&path, &g, 4).unwrap();
+
+        let full = load_agph(&path).unwrap();
+        let mut r = AgphReader::open(&path).unwrap();
+        assert_eq!(r.num_nodes(), g.num_nodes());
+        assert_eq!(r.num_edges(), g.num_edges());
+        assert_eq!(r.bucket_count(), 4);
+        let mut streamed = Vec::new();
+        for b in 0..r.bucket_count() {
+            assert_eq!(
+                r.bucket_edge_count(b).unwrap(),
+                r.bucket_edges(b).unwrap().len()
+            );
+            streamed.extend(r.bucket_edges(b).unwrap());
+        }
+        assert_eq!(streamed, full.edges().to_vec());
+        r.verify_fingerprint().unwrap();
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn reader_rejects_out_of_range_bucket() {
+        let g = karate_club();
+        let dir = std::env::temp_dir().join("advsgm_agph_unit");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("oor.agph");
+        save_agph(&path, &g, 2).unwrap();
+        let mut r = AgphReader::open(&path).unwrap();
+        assert!(matches!(
+            r.bucket_edges(2).unwrap_err(),
+            StoreError::Invalid { .. }
+        ));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn empty_graph_roundtrips() {
+        let g = Graph::from_parts(0, vec![], None);
+        let back = decode_agph(&encode_agph(&g, 3).unwrap()).unwrap();
+        assert_eq!(back.num_nodes(), 0);
+        assert_eq!(back.num_edges(), 0);
+    }
+
+    #[test]
+    fn bad_magic_is_typed() {
+        assert!(matches!(
+            decode_agph(b"AEMBnotagraph").unwrap_err(),
+            StoreError::BadMagic { .. }
+        ));
+        assert!(matches!(
+            decode_agph(b"AG").unwrap_err(),
+            StoreError::BadMagic { .. }
+        ));
+    }
+
+    #[test]
+    fn future_version_is_rejected() {
+        let mut bytes = encode_agph(&karate_club(), 2).unwrap();
+        bytes[4..6].copy_from_slice(&9u16.to_le_bytes());
+        assert!(matches!(
+            decode_agph(&bytes).unwrap_err(),
+            StoreError::UnsupportedVersion { found: 9, .. }
+        ));
+    }
+
+    #[test]
+    fn hostile_node_count_cannot_balloon_allocation() {
+        // Inflate n to u64::MAX: the header CRC fails before anything of
+        // that order is allocated.
+        let mut bytes = encode_agph(&karate_club(), 2).unwrap();
+        bytes[8..16].copy_from_slice(&u64::MAX.to_le_bytes());
+        let err = decode_agph(&bytes).unwrap_err();
+        assert!(matches!(err, StoreError::ChecksumMismatch { .. }), "{err}");
+    }
+
+    #[test]
+    fn crafted_oversize_node_count_hits_the_limit() {
+        // Same, but with a recomputed header CRC: the u32 endpoint limit
+        // is the typed backstop.
+        let g = karate_club();
+        let p = 2usize;
+        let mut bytes = encode_agph(&g, p).unwrap();
+        bytes[8..16].copy_from_slice(&(u32::MAX as u64 + 1).to_le_bytes());
+        let sum = crc32(&bytes[..table_end(p)]);
+        bytes[table_end(p)..table_end(p) + 4].copy_from_slice(&sum.to_le_bytes());
+        let err = decode_agph(&bytes).unwrap_err();
+        assert!(matches!(err, StoreError::LimitExceeded { .. }), "{err}");
+    }
+}

@@ -51,6 +51,7 @@ fn engine_code(kind: EngineKind) -> u8 {
     match kind {
         EngineKind::Sequential => 0,
         EngineKind::Sharded => 1,
+        EngineKind::Partitioned => 2,
     }
 }
 
@@ -59,6 +60,7 @@ fn engine_from_code(code: u8) -> Result<EngineKind, StoreError> {
     Ok(match code {
         0 => EngineKind::Sequential,
         1 => EngineKind::Sharded,
+        2 => EngineKind::Partitioned,
         other => {
             return Err(StoreError::Corrupted {
                 reason: format!("unknown engine code {other}"),
@@ -675,7 +677,11 @@ mod tests {
 
     #[test]
     fn engine_codes_roundtrip() {
-        for k in [EngineKind::Sequential, EngineKind::Sharded] {
+        for k in [
+            EngineKind::Sequential,
+            EngineKind::Sharded,
+            EngineKind::Partitioned,
+        ] {
             assert_eq!(engine_from_code(engine_code(k)).unwrap(), k);
         }
         assert!(engine_from_code(7).is_err());

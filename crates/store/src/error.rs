@@ -16,8 +16,9 @@ pub enum StoreError {
     /// An underlying I/O failure (file system, permissions, ...).
     Io(std::io::Error),
     /// The file does not start with the magic of the format being read
-    /// (`AEMB` for embedding stores, `ACKP` for training checkpoints) —
-    /// not one of this crate's files at all.
+    /// (`AEMB` for embedding stores, `ACKP` for training checkpoints,
+    /// `AGPH` for partitioned graphs) — not one of this crate's files at
+    /// all.
     BadMagic {
         /// The four bytes actually found.
         found: [u8; 4],
@@ -99,12 +100,13 @@ impl fmt::Display for StoreError {
                 write!(
                     f,
                     "unrecognised file magic {found:?} (expected b\"AEMB\" for \
-                     embedding stores or b\"ACKP\" for checkpoints)"
+                     embedding stores, b\"ACKP\" for checkpoints, or b\"AGPH\" \
+                     for partitioned graphs)"
                 )
             }
             StoreError::UnsupportedVersion { found, supported } => write!(
                 f,
-                "unsupported .aemb version {found} (this reader supports <= {supported})"
+                "unsupported format version {found} (this reader supports <= {supported})"
             ),
             StoreError::Truncated { expected, found } => write!(
                 f,
@@ -114,7 +116,7 @@ impl fmt::Display for StoreError {
                 f,
                 "checksum mismatch: stored {stored:#010x}, computed {computed:#010x}"
             ),
-            StoreError::Corrupted { reason } => write!(f, "corrupted .aemb file: {reason}"),
+            StoreError::Corrupted { reason } => write!(f, "corrupted store file: {reason}"),
             StoreError::DimMismatch { expected, found } => write!(
                 f,
                 "embedding dimension mismatch: expected {expected}, file has {found}"

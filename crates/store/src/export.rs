@@ -7,7 +7,7 @@
 //! exported store — saving, loading, serving any number of queries — is
 //! post-processing and spends no additional budget.
 
-use advsgm_core::{ShardedTrainer, Trainer};
+use advsgm_core::{PartitionedTrainer, ShardedTrainer, Trainer};
 use advsgm_graph::Graph;
 
 use crate::error::StoreError;
@@ -16,8 +16,9 @@ use crate::store::EmbeddingStore;
 /// Runs a training engine to completion and packages the released vectors
 /// as an [`EmbeddingStore`] with privacy metadata attached.
 ///
-/// Implemented for [`Trainer`] and [`ShardedTrainer`]; both consume the
-/// engine the way [`Trainer::run`] / [`ShardedTrainer::train`] do.
+/// Implemented for [`Trainer`], [`ShardedTrainer`], and
+/// [`PartitionedTrainer`]; all consume the engine the way
+/// [`Trainer::run`] / [`ShardedTrainer::train`] do.
 pub trait ExportEmbeddings {
     /// Trains on `graph` and returns the released store.
     ///
@@ -37,6 +38,14 @@ impl ExportEmbeddings for Trainer {
 }
 
 impl ExportEmbeddings for ShardedTrainer {
+    fn export(self, graph: &Graph) -> Result<EmbeddingStore, StoreError> {
+        let cfg = self.config().clone();
+        let outcome = self.train(graph)?;
+        EmbeddingStore::from_outcome(&outcome, &cfg)
+    }
+}
+
+impl ExportEmbeddings for PartitionedTrainer {
     fn export(self, graph: &Graph) -> Result<EmbeddingStore, StoreError> {
         let cfg = self.config().clone();
         let outcome = self.train(graph)?;
@@ -83,6 +92,20 @@ mod tests {
         let cfg = AdvSgmConfig::test_small(ModelVariant::AdvSgm).with_threads(1);
         let a = Trainer::new(&g, cfg.clone()).unwrap().export(&g).unwrap();
         let b = ShardedTrainer::new(&g, cfg).unwrap().export(&g).unwrap();
+        assert_eq!(a.to_bytes(), b.to_bytes());
+    }
+
+    #[test]
+    fn partitioned_export_matches_sequential_bitwise() {
+        // The out-of-core engine replays the sequential trajectory, so
+        // the exported stores must be bitwise-identical at any P.
+        let g = karate_club();
+        let cfg = AdvSgmConfig::test_small(ModelVariant::AdvSgm).with_threads(1);
+        let a = Trainer::new(&g, cfg.clone()).unwrap().export(&g).unwrap();
+        let b = PartitionedTrainer::new(&g, cfg, 3)
+            .unwrap()
+            .export(&g)
+            .unwrap();
         assert_eq!(a.to_bytes(), b.to_bytes());
     }
 

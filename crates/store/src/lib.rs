@@ -23,6 +23,10 @@
 //!   training session's mid-schedule state, enabling bitwise-exact
 //!   interrupt/resume (`advsgm train --checkpoint-every N --resume PATH`).
 //!   Checkpoints are *curator-side* state, not release artifacts.
+//! * [`agph`] — the versioned, per-section CRC-checksummed `.agph`
+//!   disk-resident graph format behind out-of-core partitioned training
+//!   (DESIGN.md §14): edges are filed into node-bucket sections so
+//!   [`AgphReader`] can map one bucket's edges at a time.
 //!
 //! Why serving is free: the paper's Theorem 5 (post-processing) puts the
 //! privacy boundary at the embedding matrix itself. Once the matrix is
@@ -58,6 +62,7 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod agph;
 pub mod checkpoint;
 pub mod error;
 pub mod export;
@@ -66,6 +71,7 @@ pub mod index;
 pub mod meta;
 pub mod store;
 
+pub use agph::{decode_agph, encode_agph, load_agph, save_agph, AgphReader};
 pub use checkpoint::{decode_checkpoint, encode_checkpoint, load_checkpoint, save_checkpoint};
 pub use error::StoreError;
 pub use export::ExportEmbeddings;

@@ -8,7 +8,9 @@
 //! so an invalid config is unrepresentable past the builder, and no
 //! caller ever threads a raw `AdvSgmConfig` between crates by hand.
 
-use advsgm_core::{AdvSgmConfig, ModelVariant, ShardedTrainer};
+use std::path::{Path, PathBuf};
+
+use advsgm_core::{AdvSgmConfig, ModelVariant, PartitionedTrainer, ShardedTrainer};
 use advsgm_graph::Graph;
 
 use crate::api::error::Result;
@@ -35,6 +37,17 @@ use crate::api::types::{Delta, Dim, Epsilon, NoiseSigma};
 #[derive(Debug, Clone)]
 pub struct PipelineBuilder {
     cfg: AdvSgmConfig,
+    /// `0` selects the in-RAM engines (sequential/sharded by thread
+    /// count); `>= 1` selects the out-of-core partitioned engine with
+    /// this many node buckets. Deliberately *not* part of
+    /// [`AdvSgmConfig`]: the trajectory is partition-invariant, so the
+    /// bucket count is an execution-resource choice, never pinned into
+    /// checkpoints or release metadata.
+    partitions: usize,
+    /// An optional graph file recorded by
+    /// [`PipelineBuilder::graph_path`], consumed by
+    /// [`PipelineBuilder::load_graph`].
+    graph_path: Option<PathBuf>,
 }
 
 impl PipelineBuilder {
@@ -43,6 +56,8 @@ impl PipelineBuilder {
     pub fn new(variant: ModelVariant) -> Self {
         Self {
             cfg: AdvSgmConfig::for_variant(variant),
+            partitions: 0,
+            graph_path: None,
         }
     }
 
@@ -53,6 +68,8 @@ impl PipelineBuilder {
     pub fn test_small(variant: ModelVariant) -> Self {
         Self {
             cfg: AdvSgmConfig::test_small(variant),
+            partitions: 0,
+            graph_path: None,
         }
     }
 
@@ -61,7 +78,11 @@ impl PipelineBuilder {
     /// harness). [`PipelineBuilder::build`] still validates it exactly
     /// once, so this cannot smuggle an invalid config past the builder.
     pub fn from_config(cfg: AdvSgmConfig) -> Self {
-        Self { cfg }
+        Self {
+            cfg,
+            partitions: 0,
+            graph_path: None,
+        }
     }
 
     /// The configuration as assembled so far (not yet validated).
@@ -177,10 +198,52 @@ impl PipelineBuilder {
         self
     }
 
+    /// Selects the out-of-core partitioned engine with `partitions` node
+    /// buckets: embeddings live on disk and at most two bucket
+    /// partitions are resident at once, while the trajectory (released
+    /// bytes, losses, privacy spend) stays bitwise-identical to the
+    /// in-RAM engines (`tests/ooc_equivalence.rs`). `0` (the default)
+    /// keeps the in-RAM engine selection by thread count.
+    #[must_use]
+    pub fn partitions(mut self, partitions: usize) -> Self {
+        self.partitions = partitions;
+        self
+    }
+
+    /// Records a graph file for [`PipelineBuilder::load_graph`]: a
+    /// disk-resident `.agph` partitioned graph (`docs/FORMAT.md`) or a
+    /// whitespace edge-list (any other extension).
+    #[must_use]
+    pub fn graph_path(mut self, path: impl Into<PathBuf>) -> Self {
+        self.graph_path = Some(path.into());
+        self
+    }
+
+    /// Loads the graph recorded by [`PipelineBuilder::graph_path`],
+    /// dispatching on the extension: `.agph` goes through the verified
+    /// streaming codec ([`advsgm_store::load_agph`]), anything else is
+    /// parsed as a whitespace edge-list.
+    ///
+    /// # Errors
+    /// [`Error::InvalidParameter`](crate::api::Error::InvalidParameter)
+    /// when no path was recorded; [`Error::Store`](crate::api::Error::Store)
+    /// / [`Error::Graph`](crate::api::Error::Graph) on decode failures
+    /// (including every `.agph` corruption mode).
+    pub fn load_graph(&self) -> Result<Graph> {
+        let path = self.graph_path.as_deref().ok_or_else(|| {
+            crate::api::Error::invalid(
+                "graph_path",
+                "no graph file recorded; call PipelineBuilder::graph_path first",
+            )
+        })?;
+        load_graph_file(path)
+    }
+
     /// Validates the assembled configuration — the builder's single
     /// [`AdvSgmConfig::validate`] call — and stands up a [`Pipeline`]
-    /// with the engine auto-selected from
-    /// [`AdvSgmConfig::effective_threads`].
+    /// with the engine auto-selected: the out-of-core partitioned engine
+    /// when [`PipelineBuilder::partitions`] is `>= 1`, otherwise the
+    /// in-RAM engine for [`AdvSgmConfig::effective_threads`].
     ///
     /// # Errors
     /// [`Error::Core`](crate::api::Error::Core) on any cross-field
@@ -188,10 +251,24 @@ impl PipelineBuilder {
     /// failures (e.g. an empty graph).
     pub fn build(self, graph: &Graph) -> Result<Pipeline<'_>> {
         self.cfg.validate()?;
+        if self.partitions >= 1 {
+            let trainer = PartitionedTrainer::new(graph, self.cfg, self.partitions)?;
+            return Ok(Pipeline::from_partitioned(graph, trainer));
+        }
         // Engine selection is the trainer facade's existing contract:
         // `effective_threads() <= 1` delegates to the sequential engine.
         let trainer = ShardedTrainer::new(graph, self.cfg)?;
         Ok(Pipeline::from_trainer(graph, trainer))
+    }
+}
+
+/// Loads a training graph from disk by extension: `.agph` through the
+/// verified streaming codec, anything else as a whitespace edge-list.
+pub(crate) fn load_graph_file(path: &Path) -> Result<Graph> {
+    if path.extension().is_some_and(|e| e == "agph") {
+        Ok(advsgm_store::load_agph(path)?)
+    } else {
+        Ok(advsgm_graph::io::read_edge_list_file(path, None)?)
     }
 }
 
@@ -252,6 +329,60 @@ mod tests {
         assert_eq!((c.disc_iters, c.gen_iters), (9, 4));
         assert_eq!((c.eta_d, c.eta_g), (0.05, 0.05));
         assert_eq!((c.seed, c.num_threads, c.shard_size), (9, 4, 16));
+    }
+
+    #[test]
+    fn partitions_select_the_out_of_core_engine_bitwise() {
+        // Same seed, in-RAM vs partitioned build: identical release bytes.
+        let g = karate_club();
+        let a = PipelineBuilder::test_small(ModelVariant::AdvSgm)
+            .threads(1)
+            .build(&g)
+            .unwrap()
+            .train()
+            .unwrap();
+        let b = PipelineBuilder::test_small(ModelVariant::AdvSgm)
+            .threads(1)
+            .partitions(3)
+            .build(&g)
+            .unwrap()
+            .train()
+            .unwrap();
+        assert_eq!(a.release_bytes(), b.release_bytes());
+    }
+
+    #[test]
+    fn load_graph_dispatches_on_extension() {
+        let g = karate_club();
+        let dir = std::env::temp_dir().join("advsgm_api_builder_load_graph");
+        std::fs::create_dir_all(&dir).unwrap();
+        let agph = dir.join("karate.agph");
+        advsgm_store::save_agph(&agph, &g, 4).unwrap();
+        let edges = dir.join("karate.edges");
+        let mut text = String::new();
+        for e in g.edges() {
+            let (u, v) = e.endpoints();
+            text.push_str(&format!("{} {}\n", u.0, v.0));
+        }
+        std::fs::write(&edges, text).unwrap();
+
+        let from_agph = PipelineBuilder::test_small(ModelVariant::Sgm)
+            .graph_path(&agph)
+            .load_graph()
+            .unwrap();
+        let from_list = PipelineBuilder::test_small(ModelVariant::Sgm)
+            .graph_path(&edges)
+            .load_graph()
+            .unwrap();
+        assert_eq!(from_agph.num_nodes(), g.num_nodes());
+        assert_eq!(from_agph.num_edges(), g.num_edges());
+        assert_eq!(from_list.num_edges(), g.num_edges());
+
+        let err = PipelineBuilder::test_small(ModelVariant::Sgm)
+            .load_graph()
+            .unwrap_err();
+        assert!(err.to_string().contains("graph_path"), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

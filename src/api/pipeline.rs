@@ -15,8 +15,8 @@ use std::num::NonZeroUsize;
 use std::path::{Path, PathBuf};
 
 use advsgm_core::{
-    AdvSgmConfig, CheckpointState, EpochEvent, SessionControl, ShardedTrainer, SpendSnapshot,
-    TrainHooks, TrainOutcome,
+    AdvSgmConfig, CheckpointState, EngineKind, EpochEvent, PartitionedTrainer, SessionControl,
+    ShardedTrainer, SpendSnapshot, TrainHooks, TrainOutcome,
 };
 use advsgm_graph::Graph;
 use advsgm_linalg::DenseMatrix;
@@ -99,6 +99,11 @@ pub enum PipelineEvent<'a> {
 #[derive(Debug, Clone)]
 pub struct Checkpoint {
     state: CheckpointState,
+    /// The partition-count *hint* for resuming out-of-core checkpoints
+    /// ([`Checkpoint::set_partitions`]). Never persisted: the trajectory
+    /// is partition-invariant, so the bucket count is free to change
+    /// between the captured run and the resumed one.
+    partitions: usize,
 }
 
 impl Checkpoint {
@@ -110,7 +115,18 @@ impl Checkpoint {
     pub fn load(path: impl AsRef<Path>) -> Result<Self> {
         Ok(Self {
             state: load_checkpoint(path)?,
+            partitions: 0,
         })
+    }
+
+    /// Sets the node-bucket count used when resuming a checkpoint that
+    /// was captured by the out-of-core partitioned engine (defaults to 1
+    /// when unset). The continued trajectory is bitwise-identical under
+    /// *any* count — this is purely a memory-residency choice, which is
+    /// why it is a resume-time hint and not part of the persisted state.
+    /// Ignored for in-RAM checkpoints.
+    pub fn set_partitions(&mut self, partitions: usize) {
+        self.partitions = partitions;
     }
 
     /// The base RNG seed of the checkpointed run (rebuild synthetic
@@ -171,15 +187,56 @@ struct CheckpointPolicy {
 /// The boxed observer a [`Pipeline`] carries.
 type Observer<'g> = Box<dyn FnMut(PipelineEvent<'_>) + 'g>;
 
+/// The engine a [`Pipeline`] drives: the in-RAM facade (which itself
+/// selects sequential vs sharded by thread count) or the out-of-core
+/// partitioned engine. Every variant runs the same `run_schedule` and
+/// produces the same bitwise trajectory at a fixed seed.
+enum AnyTrainer {
+    InRam(ShardedTrainer),
+    OutOfCore(Box<PartitionedTrainer>),
+}
+
+impl AnyTrainer {
+    fn threads(&self) -> usize {
+        match self {
+            AnyTrainer::InRam(t) => t.threads(),
+            AnyTrainer::OutOfCore(t) => t.threads(),
+        }
+    }
+
+    fn config(&self) -> &AdvSgmConfig {
+        match self {
+            AnyTrainer::InRam(t) => t.config(),
+            AnyTrainer::OutOfCore(t) => t.config(),
+        }
+    }
+
+    fn train_with_hooks(
+        self,
+        graph: &Graph,
+        hooks: &mut dyn TrainHooks,
+    ) -> std::result::Result<TrainOutcome, advsgm_core::CoreError> {
+        match self {
+            AnyTrainer::InRam(t) => t.train_with_hooks(graph, hooks),
+            AnyTrainer::OutOfCore(t) => t.train_with_hooks(graph, hooks),
+        }
+    }
+}
+
 /// One training run, engine-agnostic: built by
 /// [`PipelineBuilder::build`] or [`Pipeline::resume`], consumed by
 /// [`Pipeline::train`].
 ///
-/// The engine (sequential vs sharded) is selected from
-/// [`AdvSgmConfig::effective_threads`] at construction; a `Pipeline` run
-/// is bitwise-identical to the equivalent hand-wired
-/// [`Trainer`](advsgm_core::Trainer) / [`ShardedTrainer`] run
-/// (`tests/api_facade.rs`).
+/// The engine is selected at construction: sequential vs sharded from
+/// [`AdvSgmConfig::effective_threads`], or the out-of-core partitioned
+/// engine when the builder asked for node buckets
+/// ([`PipelineBuilder::partitions`]). A `Pipeline` run is
+/// bitwise-identical to the equivalent hand-wired
+/// [`Trainer`](advsgm_core::Trainer) / [`ShardedTrainer`] /
+/// [`PartitionedTrainer`] run (`tests/api_facade.rs`,
+/// `tests/ooc_equivalence.rs`).
+///
+/// [`PipelineBuilder::partitions`]: crate::api::PipelineBuilder::partitions
 ///
 /// [`PipelineBuilder::build`]: crate::api::PipelineBuilder::build
 ///
@@ -199,7 +256,7 @@ type Observer<'g> = Box<dyn FnMut(PipelineEvent<'_>) + 'g>;
 /// ```
 pub struct Pipeline<'g> {
     graph: &'g Graph,
-    trainer: ShardedTrainer,
+    trainer: AnyTrainer,
     checkpoints: Option<CheckpointPolicy>,
     keep_checkpoint: bool,
     observer: Option<Observer<'g>>,
@@ -222,9 +279,21 @@ impl std::fmt::Debug for Pipeline<'_> {
 }
 
 impl<'g> Pipeline<'g> {
-    /// Wraps an already-constructed trainer (crate-internal: the builder
-    /// and resume paths are the public constructors).
+    /// Wraps an already-constructed in-RAM trainer (crate-internal: the
+    /// builder and resume paths are the public constructors).
     pub(crate) fn from_trainer(graph: &'g Graph, trainer: ShardedTrainer) -> Self {
+        Self::from_any(graph, AnyTrainer::InRam(trainer))
+    }
+
+    /// Wraps an already-constructed out-of-core trainer (crate-internal:
+    /// reached through [`PipelineBuilder::partitions`]).
+    ///
+    /// [`PipelineBuilder::partitions`]: crate::api::PipelineBuilder::partitions
+    pub(crate) fn from_partitioned(graph: &'g Graph, trainer: PartitionedTrainer) -> Self {
+        Self::from_any(graph, AnyTrainer::OutOfCore(Box::new(trainer)))
+    }
+
+    fn from_any(graph: &'g Graph, trainer: AnyTrainer) -> Self {
         Self {
             graph,
             trainer,
@@ -255,7 +324,18 @@ impl<'g> Pipeline<'g> {
     /// [`Error::Core`] when the state is inconsistent or does not match
     /// `graph`.
     pub fn resume_from(graph: &'g Graph, checkpoint: Checkpoint) -> Result<Self> {
-        let trainer = ShardedTrainer::resume(graph, &checkpoint.state)?;
+        // Dispatch on the engine recorded in the checkpoint: out-of-core
+        // captures resume through the partitioned trainer (with the
+        // caller's bucket-count hint — any count continues the same
+        // bitwise trajectory), everything else through the in-RAM facade.
+        let trainer = match checkpoint.state.engine {
+            EngineKind::Partitioned => AnyTrainer::OutOfCore(Box::new(PartitionedTrainer::resume(
+                graph,
+                &checkpoint.state,
+                checkpoint.partitions.max(1),
+            )?)),
+            _ => AnyTrainer::InRam(ShardedTrainer::resume(graph, &checkpoint.state)?),
+        };
         // Seed the spend from the checkpointed accountant: if every epoch
         // is already done, no epoch event will ever fire to report it.
         let resumed_spend = match &checkpoint.state.accountant {
@@ -265,7 +345,7 @@ impl<'g> Pipeline<'g> {
             }
             None => None,
         };
-        let mut pipeline = Self::from_trainer(graph, trainer);
+        let mut pipeline = Self::from_any(graph, trainer);
         pipeline.resumed_spend = resumed_spend;
         Ok(pipeline)
     }

@@ -4,10 +4,13 @@
 //!
 //! ```text
 //! advsgm train --out emb.aemb [--dataset ppi] [--scale 0.1] [--edges FILE]
+//!              [--graph FILE.agph] [--partitions P]
 //!              [--variant advsgm] [--epsilon 6] [--delta 1e-5] [--sigma 5]
 //!              [--epochs N] [--dim 128] [--batch-size 128] [--lr 0.1]
 //!              [--threads N] [--shard-size N] [--seed 0]
 //!              [--checkpoint-every N] [--checkpoint PATH] [--resume PATH]
+//! advsgm convert --out graph.agph [--dataset ppi] [--scale 0.1]
+//!              [--edges FILE] [--seed 0] [--buckets P]
 //! advsgm audit --out results/AUDIT_membership.json [--dataset ppi] [--scale 0.05]
 //!              [--targets 3] [--runs 5] [--confidence 0.95] [--no-ablation]
 //!              [model flags as for train]
@@ -34,12 +37,18 @@
 //! ([`advsgm::api::audit_membership`], DESIGN.md §13) against the same
 //! pipeline and writes the `results/AUDIT_membership.json` artifact.
 //!
+//! `convert` writes a graph out as a partitioned `.agph` file
+//! (`docs/FORMAT.md`), the disk-resident input of the out-of-core
+//! training path: `train --graph g.agph --partitions P` runs the
+//! partitioned engine, which keeps at most two embedding partitions in
+//! memory while producing bitwise-identical releases (DESIGN.md §14).
+//!
 //! Argument parsing is hand-rolled like `advsgm-bench`'s: a handful of
 //! subcommands and a score of flags do not justify a CLI dependency
 //! outside the vendored crate set. Parsing is pure (`parse_train` /
-//! `parse_audit` / `parse_query` / `parse_info` / `parse_index` /
-//! `parse_serve` / `parse_stop` return argument structs) so it is
-//! unit-tested without touching the filesystem.
+//! `parse_convert` / `parse_audit` / `parse_query` / `parse_info` /
+//! `parse_index` / `parse_serve` / `parse_stop` return argument structs)
+//! so it is unit-tested without touching the filesystem.
 
 use std::num::NonZeroUsize;
 use std::process::ExitCode;
@@ -56,11 +65,14 @@ use advsgm::store::{IndexParams, IvfIndex};
 
 const USAGE: &str = "usage:
   advsgm train --out PATH [--dataset NAME] [--scale F] [--edges FILE]
+               [--graph FILE] [--partitions P]
                [--variant sgm|dp-sgm|dp-asgm|advsgm|advsgm-nodp]
                [--epsilon F] [--delta F] [--sigma F] [--epochs N]
                [--dim N] [--batch-size N] [--lr F] [--threads N]
                [--shard-size N] [--seed N]
                [--checkpoint-every N] [--checkpoint PATH] [--resume PATH]
+  advsgm convert --out PATH [--dataset NAME] [--scale F] [--edges FILE]
+               [--seed N] [--buckets P]
   advsgm audit [--out PATH] [--dataset NAME] [--scale F] [--edges FILE]
                [--variant ...] [--epsilon F] [--delta F] [--sigma F]
                [--epochs N] [--dim N] [--batch-size N] [--lr F]
@@ -87,6 +99,15 @@ train flags:
                         ADVSGM_THREADS, and with both unset training runs on
                         1 thread
   --shard-size N        pairs per parallel shard; 0 = auto (batch/threads)
+  --graph FILE          load the training graph from FILE: .agph files go
+                        through the verified partitioned codec, anything
+                        else is parsed as a whitespace edge-list
+  --partitions P        train out of core with P node buckets: embeddings
+                        live on disk and at most two bucket partitions are
+                        resident at once, bitwise-identical to the in-RAM
+                        engines; 0 (the default) trains in RAM. With
+                        --resume this is a residency hint only (any P
+                        continues the checkpointed trajectory exactly)
   --checkpoint-every N  write a resumable .actk checkpoint every N epochs
   --checkpoint PATH     checkpoint file (default: <out>.actk)
   --resume PATH         resume a checkpointed run bitwise-exactly; only
@@ -106,6 +127,12 @@ audit flags (model flags as for train; --dim 32 / --epochs 5 defaults):
                         (ADVSGM_THREADS, else 1); each run trains on 1
                         thread regardless
   --no-ablation         skip the sigma->0 (no-DP) sensitivity check
+
+convert flags:
+  --out PATH            the .agph file to write (required)
+  --buckets P           node buckets to partition the edge sections into
+                        (default 1); training may use any partition count
+                        regardless of how the file was bucketed
 
 serving flags:
   --index PATH          load a prebuilt .aidx ANN index (query: enables
@@ -133,6 +160,7 @@ fn main() -> ExitCode {
     let rest: Vec<String> = args.collect();
     let result = match cmd.as_str() {
         "train" => parse_train(&rest).and_then(cmd_train),
+        "convert" => parse_convert(&rest).and_then(cmd_convert),
         "audit" => parse_audit(&rest).and_then(cmd_audit),
         "query" => parse_query(&rest).and_then(cmd_query),
         "info" => parse_info(&rest).and_then(cmd_info),
@@ -194,6 +222,14 @@ struct TrainArgs {
     dataset: String,
     scale: f64,
     edges: Option<String>,
+    /// `--graph`: a graph file loaded by extension (`.agph` through the
+    /// partitioned codec, anything else as an edge-list). Takes
+    /// precedence over `--edges`.
+    graph: Option<String>,
+    /// `--partitions`: node buckets for the out-of-core engine; `0`
+    /// trains in RAM. Not a model flag — the trajectory is
+    /// partition-invariant, so it is legal alongside `--resume`.
+    partitions: usize,
     builder: PipelineBuilder,
     /// `--epochs`, remembered separately so `--resume` can extend a run.
     epochs_explicit: Option<usize>,
@@ -211,6 +247,8 @@ fn parse_train(tokens: &[String]) -> Result<TrainArgs, String> {
         dataset: "ppi".to_string(),
         scale: 0.1,
         edges: None,
+        graph: None,
+        partitions: 0,
         // A CLI run should finish in seconds by default; paper-scale epochs
         // remain one `--epochs 50` away.
         builder: PipelineBuilder::new(ModelVariant::AdvSgm).epochs(5),
@@ -234,6 +272,11 @@ fn parse_train(tokens: &[String]) -> Result<TrainArgs, String> {
                 }
             }
             "--edges" => args.edges = Some(take_value(tokens, &mut i, "--edges")?),
+            "--graph" => args.graph = Some(take_value(tokens, &mut i, "--graph")?),
+            "--partitions" => {
+                args.partitions =
+                    parse_num(&take_value(tokens, &mut i, "--partitions")?, "--partitions")?;
+            }
             "--variant" => {
                 let v = parse_variant(&take_value(tokens, &mut i, "--variant")?)?;
                 args.builder = args.builder.variant(v);
@@ -335,6 +378,72 @@ fn parse_train(tokens: &[String]) -> Result<TrainArgs, String> {
         ));
     }
     Ok(args)
+}
+
+/// Parsed `advsgm convert` arguments: a graph source (as for `train`)
+/// and the `.agph` file to write.
+#[derive(Debug, Clone)]
+struct ConvertArgs {
+    out: String,
+    dataset: String,
+    scale: f64,
+    edges: Option<String>,
+    seed: u64,
+    buckets: usize,
+}
+
+fn parse_convert(tokens: &[String]) -> Result<ConvertArgs, String> {
+    let mut args = ConvertArgs {
+        out: String::new(),
+        dataset: "ppi".to_string(),
+        scale: 0.1,
+        edges: None,
+        seed: 0,
+        buckets: 1,
+    };
+    let mut out: Option<String> = None;
+
+    let mut i = 0;
+    while i < tokens.len() {
+        match tokens[i].as_str() {
+            "--out" => out = Some(take_value(tokens, &mut i, "--out")?),
+            "--dataset" => args.dataset = take_value(tokens, &mut i, "--dataset")?,
+            "--scale" => {
+                args.scale = parse_num(&take_value(tokens, &mut i, "--scale")?, "--scale")?;
+                if !(args.scale > 0.0 && args.scale <= 1.0) {
+                    return Err(format!("--scale must be in (0,1], got {}", args.scale));
+                }
+            }
+            "--edges" => args.edges = Some(take_value(tokens, &mut i, "--edges")?),
+            "--seed" => args.seed = parse_num(&take_value(tokens, &mut i, "--seed")?, "--seed")?,
+            "--buckets" => {
+                args.buckets = parse_num(&take_value(tokens, &mut i, "--buckets")?, "--buckets")?;
+                if args.buckets == 0 {
+                    return Err("--buckets must be positive, got 0".into());
+                }
+            }
+            other => return Err(format!("unknown flag {other}\n{USAGE}")),
+        }
+        i += 1;
+    }
+    args.out = out.ok_or_else(|| format!("--out is required\n{USAGE}"))?;
+    Ok(args)
+}
+
+fn cmd_convert(args: ConvertArgs) -> Result<(), String> {
+    let graph = build_graph(args.edges.as_deref(), &args.dataset, args.scale, args.seed)?;
+    advsgm::store::save_agph(&args.out, &graph, args.buckets)
+        .map_err(|e| format!("{}: {e}", args.out))?;
+    let size = std::fs::metadata(&args.out).map(|m| m.len()).unwrap_or(0);
+    println!(
+        "wrote {}: {} nodes, {} edges in {} bucket section(s) ({})",
+        args.out,
+        graph.num_nodes(),
+        graph.num_edges(),
+        args.buckets,
+        human_bytes(size as usize)
+    );
+    Ok(())
 }
 
 /// Parsed `advsgm audit` arguments: the training configuration under
@@ -782,7 +891,16 @@ fn parse_stop(tokens: &[String]) -> Result<StopArgs, String> {
 fn build_graph(edges: Option<&str>, dataset: &str, scale: f64, seed: u64) -> Result<Graph, String> {
     match edges {
         Some(path) => {
-            let g = read_edge_list_file(path, None).map_err(|e| format!("--edges {path}: {e}"))?;
+            // Dispatch on the extension: `.agph` goes through the
+            // verified partitioned codec, anything else is an edge-list.
+            let g = if std::path::Path::new(path)
+                .extension()
+                .is_some_and(|e| e == "agph")
+            {
+                advsgm::store::load_agph(path).map_err(|e| format!("--graph {path}: {e}"))?
+            } else {
+                read_edge_list_file(path, None).map_err(|e| format!("--edges {path}: {e}"))?
+            };
             println!(
                 "loaded {path}: {} nodes, {} edges",
                 g.num_nodes(),
@@ -808,10 +926,11 @@ fn build_graph(edges: Option<&str>, dataset: &str, scale: f64, seed: u64) -> Res
 }
 
 fn cmd_train(args: TrainArgs) -> Result<(), String> {
+    let graph_source = args.graph.as_deref().or(args.edges.as_deref());
     match args.resume.clone() {
         None => {
             let graph = build_graph(
-                args.edges.as_deref(),
+                graph_source,
                 &args.dataset,
                 args.scale,
                 args.builder.config().seed,
@@ -819,6 +938,7 @@ fn cmd_train(args: TrainArgs) -> Result<(), String> {
             let pipeline = args
                 .builder
                 .clone()
+                .partitions(args.partitions)
                 .build(&graph)
                 .map_err(|e| e.to_string())?;
             run_training(&args, pipeline)
@@ -832,15 +952,15 @@ fn cmd_train(args: TrainArgs) -> Result<(), String> {
                 // never depend on the total epoch count.
                 ckpt.extend_epochs(e).map_err(|e| e.to_string())?;
             }
+            if args.partitions > 0 {
+                // A residency hint only: out-of-core checkpoints resume
+                // under any bucket count, bitwise-exactly.
+                ckpt.set_partitions(args.partitions);
+            }
             // The graph must be the checkpoint's graph; for synthetic
             // datasets that means the checkpoint's seed, and resume
             // re-verifies the stored fingerprint either way.
-            let graph = build_graph(
-                args.edges.as_deref(),
-                &args.dataset,
-                args.scale,
-                ckpt.seed(),
-            )?;
+            let graph = build_graph(graph_source, &args.dataset, args.scale, ckpt.seed())?;
             println!(
                 "resumed {resume_path}: {}/{} epochs done, {} discriminator updates",
                 ckpt.epochs_done(),
@@ -1228,6 +1348,49 @@ mod tests {
             let flag = cmd.split_whitespace().nth(2).unwrap();
             assert!(err.contains(flag), "{cmd}: {err}");
         }
+    }
+
+    #[test]
+    fn train_parses_graph_and_partitions() {
+        let a = parse_train(&toks("--out e.aemb --graph g.agph --partitions 4")).unwrap();
+        assert_eq!(a.graph.as_deref(), Some("g.agph"));
+        assert_eq!(a.partitions, 4);
+        // Not model flags: the trajectory is partition-invariant, so both
+        // stay legal alongside --resume.
+        let a = parse_train(&toks(
+            "--out e.aemb --resume c.actk --graph g.agph --partitions 2",
+        ))
+        .unwrap();
+        assert_eq!(a.partitions, 2);
+        assert!(a.resume.is_some());
+    }
+
+    // ---- convert ----
+
+    #[test]
+    fn convert_happy_path_sets_every_flag() {
+        let a = parse_convert(&toks(
+            "--out g.agph --dataset wiki --scale 0.5 --seed 9 --buckets 8",
+        ))
+        .unwrap();
+        assert_eq!(a.out, "g.agph");
+        assert_eq!(a.dataset, "wiki");
+        assert_eq!(a.scale, 0.5);
+        assert_eq!(a.seed, 9);
+        assert_eq!(a.buckets, 8);
+        assert!(a.edges.is_none());
+    }
+
+    #[test]
+    fn convert_defaults_and_rejections() {
+        let a = parse_convert(&toks("--out g.agph")).unwrap();
+        assert_eq!((a.buckets, a.seed, a.scale), (1, 0, 0.1));
+        let err = parse_convert(&toks("--dataset ppi")).unwrap_err();
+        assert!(err.contains("--out is required"), "{err}");
+        let err = parse_convert(&toks("--out g.agph --buckets 0")).unwrap_err();
+        assert!(err.contains("--buckets must be positive"), "{err}");
+        let err = parse_convert(&toks("--out g.agph --bogus 1")).unwrap_err();
+        assert!(err.contains("unknown flag --bogus"), "{err}");
     }
 
     #[test]
