@@ -130,6 +130,43 @@ fn bench_fused_kernels(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_kernel_backends(c: &mut Criterion) {
+    // The dispatched kernel surface, timed per backend (DESIGN.md §15):
+    // scalar is the reference, the host's native backend the deployed
+    // path. `*_with` bypasses the cached global selection so one process
+    // can A/B without env games. The committed speedup numbers live in
+    // `results/BENCH_kernels.json` (the `kernel_throughput` bench); this
+    // group is for interactive criterion runs.
+    use advsgm_linalg::backend::{self, Backend, RelaxedKernels};
+    let mut rng = seeded(21);
+    let x = gaussian_vec(&mut rng, 1.0, 128);
+    let a = gaussian_vec(&mut rng, 1.0, 128);
+    let bb = gaussian_vec(&mut rng, 1.0, 128);
+    let cc = gaussian_vec(&mut rng, 1.0, 128);
+    let d = gaussian_vec(&mut rng, 1.0, 128);
+    let mut group = c.benchmark_group("kernel_backends");
+    for be in Backend::ALL.into_iter().filter(|b| b.is_supported()) {
+        group.bench_function(format!("dot4_r128_{be}"), |bch| {
+            bch.iter(|| black_box(backend::dot4_with(be, &x, &a, &bb, &cc, &d)))
+        });
+        group.bench_function(format!("dot2_r128_{be}"), |bch| {
+            bch.iter(|| black_box(backend::dot2_with(be, &x, &a, &bb)))
+        });
+        group.bench_function(format!("fused_axpy_scale_r128_{be}"), |bch| {
+            let mut y = x.clone();
+            bch.iter(|| {
+                backend::fused_axpy_scale_with(be, &mut y, 3.0, &a, 1.0 / 3.0);
+                black_box(y[0])
+            })
+        });
+        let relaxed = RelaxedKernels::with_backend(be);
+        group.bench_function(format!("relaxed_dot_r128_{be}"), |bch| {
+            bch.iter(|| black_box(relaxed.dot(&x, &a)))
+        });
+    }
+    group.finish();
+}
+
 fn bench_pool_dispatch(c: &mut Criterion) {
     // Per-region overhead of the scoped pool: what one sharded update pays
     // on top of its gradient math.
@@ -234,6 +271,7 @@ criterion_group!(
     bench_gradients,
     bench_activations,
     bench_fused_kernels,
+    bench_kernel_backends,
     bench_pool_dispatch,
     bench_privacy,
     bench_eval,

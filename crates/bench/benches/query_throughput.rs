@@ -277,6 +277,7 @@ fn indexed_vs_exhaustive(quick: bool, results_dir: &std::path::Path) {
     let baseline = ServingBaseline {
         experiment: "query_serving",
         mode: if quick { "quick" } else { "full" },
+        kernel_backend: advsgm_linalg::backend::active().name(),
         nodes,
         dim,
         k: TOP_K,
@@ -323,6 +324,8 @@ fn indexed_vs_exhaustive(quick: bool, results_dir: &std::path::Path) {
 struct ServingBaseline {
     experiment: &'static str,
     mode: &'static str,
+    /// The kernel backend the scans ran on (`linalg::backend::active`).
+    kernel_backend: &'static str,
     nodes: usize,
     dim: usize,
     k: usize,

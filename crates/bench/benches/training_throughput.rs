@@ -106,6 +106,9 @@ fn measure(
 struct TrainingBaseline {
     experiment: &'static str,
     mode: &'static str,
+    /// The kernel backend every run used (`linalg::backend::active`);
+    /// pairs/sec trends are only comparable within one backend.
+    kernel_backend: &'static str,
     nodes: usize,
     edges: usize,
     dim: usize,
@@ -136,9 +139,10 @@ fn main() {
         .unwrap_or(1);
     println!(
         "training_throughput: |V|={} |E|={} r=64 B=256 k=5 P={PARTITIONS} \
-         (host parallelism: {cores})",
+         (host parallelism: {cores}, kernel backend: {})",
         graph.num_nodes(),
-        graph.num_edges()
+        graph.num_edges(),
+        advsgm_linalg::backend::active()
     );
 
     // The contract behind the numbers: same bits, different residency.
@@ -195,6 +199,7 @@ fn main() {
         let baseline = TrainingBaseline {
             experiment: "training_throughput",
             mode: "full",
+            kernel_backend: advsgm_linalg::backend::active().name(),
             nodes: graph.num_nodes(),
             edges: graph.num_edges(),
             dim: 64,

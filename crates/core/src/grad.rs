@@ -15,7 +15,7 @@
 //! * DP-ASGM (the Section III-B first cut) uses the *real* adversarial
 //!   gradient `lambda S'(s)/(1-S(s)) v'` (Eq. 11) inside the clip instead.
 
-use advsgm_linalg::vector;
+use advsgm_linalg::{backend, vector};
 
 use crate::sigmoid::SigmoidKind;
 
@@ -30,7 +30,7 @@ pub struct PairGrads {
 
 /// Gradients of `-ln S(v_i . v_j)` w.r.t. `(v_i, v_j)`.
 pub fn sgm_positive_grads(kind: SigmoidKind, vi: &[f64], vj: &[f64]) -> PairGrads {
-    let x = vector::dot(vi, vj);
+    let x = backend::dot(vi, vj);
     let c = kind.neg_log_grad(x);
     PairGrads {
         first: vj.iter().map(|&v| c * v).collect(),
@@ -41,7 +41,7 @@ pub fn sgm_positive_grads(kind: SigmoidKind, vi: &[f64], vj: &[f64]) -> PairGrad
 /// Gradients of `-ln S(-(v_n . v_i))` w.r.t. `(v_i, v_n)` — the negative-
 /// sample term of Eq. (2).
 pub fn sgm_negative_grads(kind: SigmoidKind, vi: &[f64], vn: &[f64]) -> PairGrads {
-    let x = -vector::dot(vn, vi);
+    let x = -backend::dot(vn, vi);
     let c = kind.neg_log_grad(x);
     PairGrads {
         first: vn.iter().map(|&v| -c * v).collect(),
@@ -67,9 +67,9 @@ pub fn dpasgm_augment(
     fake: &[f64],
     sgm_grad: &mut [f64],
 ) {
-    let s = vector::dot(real, fake);
+    let s = backend::dot(real, fake);
     let coeff = lambda * kind.neg_log_one_minus_grad(s);
-    vector::axpy(coeff, fake, sgm_grad);
+    backend::axpy(coeff, fake, sgm_grad);
 }
 
 #[cfg(test)]

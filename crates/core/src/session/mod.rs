@@ -56,7 +56,7 @@ use std::collections::HashMap;
 
 use advsgm_graph::Graph;
 use advsgm_linalg::rng::{derive_seed, seeded};
-use advsgm_linalg::{vector, DenseMatrix};
+use advsgm_linalg::{backend, vector, DenseMatrix};
 pub use advsgm_privacy::SpendSnapshot;
 use advsgm_privacy::{AccountantState, PrivacyError, RdpAccountant};
 use rand::rngs::SmallRng;
@@ -142,6 +142,43 @@ pub(crate) fn record_and_check(
 /// (pair order within a batch/shard) is the load-bearing floating-point
 /// association.
 pub(crate) type RowAcc = HashMap<usize, (Vec<f64>, usize)>;
+
+/// L1 working-set budget in bytes for one apply tile. Half of a typical
+/// 32 KiB L1d: one tile of gradient rows plus the shared noise vector
+/// fit together, leaving headroom for the embedding rows streaming
+/// through in pass 2.
+pub(crate) const APPLY_TILE_BYTES: usize = 16 * 1024;
+
+/// Drains a row accumulator and applies the noisy, touch-count-normalised
+/// updates in L1-sized row tiles (DESIGN.md §15).
+///
+/// Rows are sorted ascending and processed in tiles of
+/// [`APPLY_TILE_BYTES`]; within a tile, pass 1 finalises every gradient
+/// with [`backend::fused_axpy_scale`] (the shared `noise` vector stays
+/// hot in L1 across the whole tile) and pass 2 hands the finished rows to
+/// `step` in ascending row order, so the embedding matrix is walked
+/// mostly sequentially instead of in hash order.
+///
+/// Bitwise-neutral by construction: rows are independent (`RowAcc` keys
+/// are distinct), each row's arithmetic —
+/// `g = (g + c * noise) * (1/c)`, then one `step` — is exactly the
+/// per-row sequence the engines performed before tiling, and
+/// `fused_axpy_scale` is on the bitwise kernel tier. Only the *order
+/// across rows* changes, which no row's result depends on.
+pub(crate) fn apply_noisy_updates(acc: RowAcc, noise: &[f64], mut step: impl FnMut(usize, &[f64])) {
+    let dim = noise.len().max(1);
+    let tile_rows = (APPLY_TILE_BYTES / (dim * std::mem::size_of::<f64>())).max(1);
+    let mut rows: Vec<(usize, (Vec<f64>, usize))> = acc.into_iter().collect();
+    rows.sort_unstable_by_key(|&(row, _)| row);
+    for tile in rows.chunks_mut(tile_rows) {
+        for (_, (g, c)) in tile.iter_mut() {
+            backend::fused_axpy_scale(g, *c as f64, noise, 1.0 / *c as f64);
+        }
+        for (row, (g, _)) in tile.iter() {
+            step(*row, g);
+        }
+    }
+}
 
 /// Adds one pair's gradient into a row accumulator.
 pub(crate) fn accumulate(acc: &mut RowAcc, row: usize, grad: Vec<f64>) {

@@ -45,7 +45,7 @@ use std::sync::Arc;
 
 use advsgm_graph::{Graph, NodeBuckets};
 use advsgm_linalg::rng::{gaussian_vec, rng_state};
-use advsgm_linalg::{vector, DenseMatrix};
+use advsgm_linalg::{backend, vector, DenseMatrix};
 use advsgm_parallel::ThreadPool;
 use rand::rngs::SmallRng;
 use rand::Rng;
@@ -518,10 +518,14 @@ impl Engine for PartitionedEngine {
                     .or_default()
                     .push((node, entry));
             }
-            for (b, rows) in by_bucket {
+            for (b, mut rows) in by_bucket {
                 self.parts.acquire(role, b)?;
+                // Ascending row order within the bucket (DESIGN.md §15):
+                // the resident slot is walked mostly sequentially. Rows
+                // are distinct, so order across them is bitwise-neutral.
+                rows.sort_unstable_by_key(|&(node, _)| node);
                 for (node, (mut g, c)) in rows {
-                    vector::fused_axpy_scale(&mut g, c as f64, noise, 1.0 / c as f64);
+                    backend::fused_axpy_scale(&mut g, c as f64, noise, 1.0 / c as f64);
                     step_row(self.parts.row_mut(role, node), eta, &g, project);
                 }
             }
@@ -589,11 +593,11 @@ impl Engine for PartitionedEngine {
         let (vi, vj) = (&vi, &vj);
         let (ng1, ng2) = (&ng1, &ng2);
         let ups = map_indexed(&mut self.pool, &samples, |idx, (_s, _t, f1, f2)| {
-            let (s1_fake, s1_noise) = vector::dot2(&vi[idx], &f1.v, ng1);
+            let (s1_fake, s1_noise) = backend::dot2(&vi[idx], &f1.v, ng1);
             let s1 = s1_fake + s1_noise;
             let c1 = -kind.neg_log_one_minus_grad(s1);
             let up1 = vector::scaled(c1, &vi[idx]);
-            let (s2_fake, s2_noise) = vector::dot2(&vj[idx], &f2.v, ng2);
+            let (s2_fake, s2_noise) = backend::dot2(&vj[idx], &f2.v, ng2);
             let s2 = s2_fake + s2_noise;
             let c2 = -kind.neg_log_one_minus_grad(s2);
             let up2 = vector::scaled(c2, &vj[idx]);

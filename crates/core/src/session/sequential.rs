@@ -14,7 +14,7 @@ use std::collections::HashMap;
 
 use advsgm_graph::Graph;
 use advsgm_linalg::rng::{gaussian_vec, rng_state};
-use advsgm_linalg::vector;
+use advsgm_linalg::{backend, vector};
 use rand::rngs::SmallRng;
 use rand::Rng;
 
@@ -22,8 +22,8 @@ use crate::error::CoreError;
 use crate::loss::novel_loss_batch;
 use crate::sampler::{BatchProvider, DiscBatch};
 use crate::session::{
-    accumulate, clipped_pair_grads, gradient_noise_std, Engine, EngineKind, EngineStreams,
-    PairFakes, SessionCore,
+    accumulate, apply_noisy_updates, clipped_pair_grads, gradient_noise_std, Engine, EngineKind,
+    EngineStreams, PairFakes, SessionCore,
 };
 use crate::variants::ModelVariant;
 use crate::weighting::WeightMode;
@@ -138,17 +138,16 @@ impl Engine for SequentialEngine {
 
         // Apply noisy updates with the per-row touch-count normalisation
         // (DESIGN.md §5): signal and each row's noise share rescale
-        // identically, so the privacy analysis is untouched.
+        // identically, so the privacy analysis is untouched. The tiled
+        // helper changes only the order across independent rows.
         let eta = core.cfg.eta_d;
         let project = core.cfg.project_rows && variant != ModelVariant::Sgm;
-        for (i, (mut g, c)) in acc_in {
-            vector::fused_axpy_scale(&mut g, c as f64, &n_in, 1.0 / c as f64);
-            core.emb.step_input(i, eta, &g, project);
-        }
-        for (j, (mut g, c)) in acc_out {
-            vector::fused_axpy_scale(&mut g, c as f64, &n_out, 1.0 / c as f64);
-            core.emb.step_output(j, eta, &g, project);
-        }
+        apply_noisy_updates(acc_in, &n_in, |i, g| {
+            core.emb.step_input(i, eta, g, project)
+        });
+        apply_noisy_updates(acc_out, &n_out, |j, g| {
+            core.emb.step_output(j, eta, g, project)
+        });
         Ok(())
     }
 
@@ -176,7 +175,7 @@ impl Engine for SequentialEngine {
             let vj = core.emb.output(t).to_vec();
             // Fake neighbor of the output-side node t, paired with real v_i.
             let f1 = core.gens.for_i.generate(t, &mut self.rng);
-            let (s1_fake, s1_noise) = vector::dot2(&vi, &f1.v, &ng1);
+            let (s1_fake, s1_noise) = backend::dot2(&vi, &f1.v, &ng1);
             let s1 = s1_fake + s1_noise;
             // d/ds [ln(1 - S(s))] = -S'/(1-S).
             let c1 = -core.kind.neg_log_one_minus_grad(s1);
@@ -184,7 +183,7 @@ impl Engine for SequentialEngine {
             core.gens.for_i.accumulate_grad(&f1, &up1, &mut grads_j);
             // Fake neighbor of the input-side node s, paired with real v_j.
             let f2 = core.gens.for_j.generate(s, &mut self.rng);
-            let (s2_fake, s2_noise) = vector::dot2(&vj, &f2.v, &ng2);
+            let (s2_fake, s2_noise) = backend::dot2(&vj, &f2.v, &ng2);
             let s2 = s2_fake + s2_noise;
             let c2 = -core.kind.neg_log_one_minus_grad(s2);
             let up2 = vector::scaled(c2, &vj);

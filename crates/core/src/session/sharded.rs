@@ -38,7 +38,7 @@ use std::sync::mpsc::{Receiver, SyncSender};
 use advsgm_graph::sampling::negative::NegativePair;
 use advsgm_graph::{Edge, Graph, GraphError};
 use advsgm_linalg::rng::{derive_seed, gaussian_vec, rng_state, seeded};
-use advsgm_linalg::vector;
+use advsgm_linalg::{backend, vector};
 use advsgm_parallel::ThreadPool;
 use rand::rngs::SmallRng;
 use rand::Rng;
@@ -47,8 +47,8 @@ use crate::error::CoreError;
 use crate::loss::novel_loss_batch;
 use crate::sampler::{BatchProvider, DiscBatch};
 use crate::session::{
-    accumulate, clipped_pair_grads, gradient_noise_std, Engine, EngineKind, EngineStreams,
-    PairFakes, RowAcc, SessionCore, STREAM_DISC, STREAM_GEN,
+    accumulate, apply_noisy_updates, clipped_pair_grads, gradient_noise_std, Engine, EngineKind,
+    EngineStreams, PairFakes, RowAcc, SessionCore, STREAM_DISC, STREAM_GEN,
 };
 use crate::variants::ModelVariant;
 use crate::weighting::WeightMode;
@@ -332,17 +332,16 @@ impl Engine for ShardedEngine<'_> {
 
         // Apply: identical to the sequential engine (per-row noise share +
         // touch-count normalisation; DESIGN.md §5). Row updates are
-        // independent, so map iteration order cannot affect the result.
+        // independent, so the tiled ascending-row order cannot affect the
+        // result.
         let eta = core.cfg.eta_d;
         let project = core.cfg.project_rows && variant != ModelVariant::Sgm;
-        for (i, (mut g, c)) in acc_in {
-            vector::fused_axpy_scale(&mut g, c as f64, &n_in, 1.0 / c as f64);
-            core.emb.step_input(i, eta, &g, project);
-        }
-        for (j, (mut g, c)) in acc_out {
-            vector::fused_axpy_scale(&mut g, c as f64, &n_out, 1.0 / c as f64);
-            core.emb.step_output(j, eta, &g, project);
-        }
+        apply_noisy_updates(acc_in, &n_in, |i, g| {
+            core.emb.step_input(i, eta, g, project)
+        });
+        apply_noisy_updates(acc_out, &n_out, |j, g| {
+            core.emb.step_output(j, eta, g, project)
+        });
         Ok(())
     }
 
@@ -380,12 +379,12 @@ impl Engine for ShardedEngine<'_> {
                 let vi = emb.input(s);
                 let vj = emb.output(t);
                 let f1 = gens.for_i.generate(t, &mut rng);
-                let (s1_fake, s1_noise) = vector::dot2(vi, &f1.v, ng1);
+                let (s1_fake, s1_noise) = backend::dot2(vi, &f1.v, ng1);
                 let c1 = -kind.neg_log_one_minus_grad(s1_fake + s1_noise);
                 let up1 = vector::scaled(c1, vi);
                 gens.for_i.accumulate_grad(&f1, &up1, &mut grads_j);
                 let f2 = gens.for_j.generate(s, &mut rng);
-                let (s2_fake, s2_noise) = vector::dot2(vj, &f2.v, ng2);
+                let (s2_fake, s2_noise) = backend::dot2(vj, &f2.v, ng2);
                 let c2 = -kind.neg_log_one_minus_grad(s2_fake + s2_noise);
                 let up2 = vector::scaled(c2, vj);
                 gens.for_j.accumulate_grad(&f2, &up2, &mut grads_i);

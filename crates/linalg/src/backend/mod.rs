@@ -1,0 +1,634 @@
+//! Runtime-dispatched kernel backends (DESIGN.md §15).
+//!
+//! Every hot inner loop of AdvSGM — the Eq.-2 inner products behind
+//! `score`/`top_k`, the Theorem-6 per-pair gradients, the noisy batch
+//! apply — bottoms out in the scalar kernels of [`crate::vector`]. This
+//! module puts that surface behind one runtime CPU-feature dispatch so
+//! the hot loops run on explicit SIMD paths where the host has them,
+//! without trusting autovectorization and **without bending the
+//! repo's determinism contract**.
+//!
+//! # The two arithmetic tiers
+//!
+//! **Bitwise tier** — [`dot`], [`dot2`], [`dot4`], [`axpy`], [`scale`],
+//! [`fused_axpy_scale`], [`norm2_sq`]. Every backend executes the *same
+//! floating-point operation sequence* as the scalar reference in
+//! [`crate::vector`], so results are bitwise-identical across backends:
+//!
+//! * Element-wise kernels (`axpy`, `scale`, `fused_axpy_scale`)
+//!   vectorize trivially: SIMD lanes are independent elements and each
+//!   lane performs exactly the scalar op chain (separate multiply and
+//!   add — never FMA, whose single rounding differs from mul-then-add).
+//! * `dot2`/`dot4` already use independent scalar accumulators — one
+//!   per output — so the SIMD form packs those accumulators into lanes
+//!   and feeds each lane its operands in the scalar order. No sum is
+//!   reassociated.
+//! * `dot` and `norm2_sq` reduce into a **single** sequential
+//!   accumulator; that association is the contract, so they stay on the
+//!   scalar loop under every backend. (The serving scan gets its SIMD
+//!   win from `dot4`, which is why `top_k_rows` fuses four rows.)
+//!
+//! Training and exact serving use only this tier; the exhaustive
+//! cross-backend equality proof lives in `tests/kernel_equivalence.rs`.
+//!
+//! One honest caveat: when an *input* is NaN, the guarantee weakens to
+//! "the same elements are NaN". Which NaN *payload* propagates through
+//! `a * b` is unspecified by Rust's own scalar semantics (LLVM commutes
+//! `fmul`/`fadd` freely, so even scalar-vs-scalar payloads vary with
+//! optimization level); no kernel layer can promise more than the
+//! language does. Every non-NaN result — including ±inf, signed zeros,
+//! and subnormals — is bit-exact. Training inputs are finite, so the
+//! training-side contract (`.aemb` bytes) is unaffected.
+//!
+//! **Relaxed tier** — [`RelaxedKernels`]: reassociated multi-lane FMA
+//! reductions for single-`dot` row scans. Faster, *not* bitwise-equal
+//! to scalar (results differ within a documented ULP bound, see
+//! [`RelaxedKernels::dot`]). It is deliberately unreachable from
+//! training: the only callers are the approximate serving paths
+//! (`IvfIndex::search_relaxed` behind an explicit opt-in). That is safe
+//! for the same reason the ANN index itself is: released embeddings are
+//! Theorem-5 post-processing — any function of the released bytes,
+//! including a differently-rounded score, costs no additional privacy.
+//!
+//! # Selection
+//!
+//! The backend is resolved once, on first use, and cached:
+//!
+//! 1. `ADVSGM_KERNELS=scalar|avx2|neon` (case-insensitive) wins when it
+//!    names a backend the host supports;
+//! 2. a value naming an *unsupported or unknown* backend degrades to
+//!    auto-detection (like an absurd `ADVSGM_THREADS` degrades to a
+//!    slow run, never a crash);
+//! 3. auto-detection picks the best supported backend: AVX2 on x86-64
+//!    hosts with AVX2+FMA, NEON on aarch64, scalar everywhere else.
+//!
+//! Because the bitwise tier is bitwise-equal across backends, the
+//! override is an A/B and CI tool, not a correctness knob: `train`,
+//! `query` (exact), and `.aemb`/`.aidx` bytes do not depend on it.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+use crate::vector;
+
+#[cfg(target_arch = "x86_64")]
+#[allow(unsafe_code)]
+mod avx2;
+#[cfg(target_arch = "aarch64")]
+#[allow(unsafe_code)]
+mod neon;
+
+/// One kernel implementation the dispatcher can select.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backend {
+    /// The portable reference loops of [`crate::vector`] — always
+    /// available, and the definition of the bitwise contract.
+    Scalar,
+    /// 256-bit AVX2 paths (x86-64 with AVX2; FMA is additionally
+    /// required so the relaxed tier can fuse, the bitwise tier never
+    /// contracts).
+    Avx2,
+    /// 128-bit NEON paths (aarch64, where NEON is architectural).
+    Neon,
+}
+
+impl Backend {
+    /// Every backend the dispatcher knows, strongest-first per arch.
+    pub const ALL: [Backend; 3] = [Backend::Avx2, Backend::Neon, Backend::Scalar];
+
+    /// The backend's `ADVSGM_KERNELS` spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            Backend::Scalar => "scalar",
+            Backend::Avx2 => "avx2",
+            Backend::Neon => "neon",
+        }
+    }
+
+    /// Parses an `ADVSGM_KERNELS` value (trimmed, case-insensitive).
+    pub fn parse(s: &str) -> Option<Backend> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "scalar" => Some(Backend::Scalar),
+            "avx2" => Some(Backend::Avx2),
+            "neon" => Some(Backend::Neon),
+            _ => None,
+        }
+    }
+
+    /// Whether this host can execute the backend.
+    pub fn is_supported(self) -> bool {
+        match self {
+            Backend::Scalar => true,
+            #[cfg(target_arch = "x86_64")]
+            Backend::Avx2 => {
+                std::arch::is_x86_feature_detected!("avx2")
+                    && std::arch::is_x86_feature_detected!("fma")
+            }
+            #[cfg(not(target_arch = "x86_64"))]
+            Backend::Avx2 => false,
+            // NEON is a mandatory part of AArch64: if the binary runs,
+            // the feature is there.
+            Backend::Neon => cfg!(target_arch = "aarch64"),
+        }
+    }
+
+    /// The best backend this host supports (auto-detection).
+    pub fn detect() -> Backend {
+        Backend::ALL
+            .into_iter()
+            .find(|b| b.is_supported())
+            .unwrap_or(Backend::Scalar)
+    }
+
+    fn code(self) -> u8 {
+        match self {
+            Backend::Scalar => 1,
+            Backend::Avx2 => 2,
+            Backend::Neon => 3,
+        }
+    }
+
+    fn from_code(code: u8) -> Option<Backend> {
+        match code {
+            1 => Some(Backend::Scalar),
+            2 => Some(Backend::Avx2),
+            3 => Some(Backend::Neon),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for Backend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// How [`resolve_backend`] arrived at its answer — surfaced by
+/// `advsgm info --host` and the `serve` startup log so an ignored
+/// override is visible, not silent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BackendResolution {
+    /// `ADVSGM_KERNELS` named a supported backend and was honored.
+    EnvSelected,
+    /// `ADVSGM_KERNELS` named a known backend this host cannot run;
+    /// auto-detection was used instead.
+    EnvUnsupported,
+    /// `ADVSGM_KERNELS` was set but not a recognized backend name;
+    /// auto-detection was used instead.
+    EnvInvalid,
+    /// `ADVSGM_KERNELS` was unset (or blank); auto-detection was used.
+    Detected,
+}
+
+impl BackendResolution {
+    /// A short human-readable source label for logs.
+    pub fn describe(self) -> &'static str {
+        match self {
+            BackendResolution::EnvSelected => "ADVSGM_KERNELS",
+            BackendResolution::EnvUnsupported => {
+                "auto (ADVSGM_KERNELS named an unsupported backend)"
+            }
+            BackendResolution::EnvInvalid => "auto (ADVSGM_KERNELS was not a backend name)",
+            BackendResolution::Detected => "auto-detected",
+        }
+    }
+}
+
+/// Resolves an `ADVSGM_KERNELS`-style value to a backend.
+///
+/// Precedence (mirrors `--threads`/`ADVSGM_THREADS`): a set, valid,
+/// host-supported value wins; anything else — unset, blank, unknown
+/// name, or a backend the host lacks — degrades to [`Backend::detect`].
+/// The second element reports which branch was taken.
+///
+/// Pure in its argument so the precedence table is unit-testable
+/// without touching the process environment.
+pub fn resolve_backend(env: Option<&str>) -> (Backend, BackendResolution) {
+    match env.map(str::trim) {
+        None | Some("") => (Backend::detect(), BackendResolution::Detected),
+        Some(value) => match Backend::parse(value) {
+            Some(b) if b.is_supported() => (b, BackendResolution::EnvSelected),
+            Some(_) => (Backend::detect(), BackendResolution::EnvUnsupported),
+            None => (Backend::detect(), BackendResolution::EnvInvalid),
+        },
+    }
+}
+
+/// The resolution [`active`] would cache, recomputed from the current
+/// environment (for `info --host` / `serve` startup reporting).
+pub fn resolution() -> (Backend, BackendResolution) {
+    resolve_backend(std::env::var("ADVSGM_KERNELS").ok().as_deref())
+}
+
+/// The cached backend selection: 0 = not yet resolved.
+static ACTIVE: AtomicU8 = AtomicU8::new(0);
+
+/// The backend every dispatched kernel in this process uses.
+///
+/// Resolved once from `ADVSGM_KERNELS` / auto-detection on first call,
+/// then cached (one relaxed atomic load per dispatch).
+pub fn active() -> Backend {
+    match Backend::from_code(ACTIVE.load(Ordering::Relaxed)) {
+        Some(b) => b,
+        None => {
+            let (resolved, _) = resolution();
+            // A concurrent first call resolves to the same value (the
+            // environment does not change under us), so a race is benign.
+            ACTIVE.store(resolved.code(), Ordering::Relaxed);
+            resolved
+        }
+    }
+}
+
+/// Forces the active backend, overriding `ADVSGM_KERNELS`.
+///
+/// Intended for the equivalence tests and the kernel benches, which A/B
+/// backends inside one process. Forcing is always sound: the bitwise
+/// tier is bitwise-equal across backends, so no computation observes
+/// the switch.
+///
+/// # Panics
+/// Panics if the host cannot execute `backend`.
+pub fn force(backend: Backend) {
+    assert!(
+        backend.is_supported(),
+        "backend {backend} is not supported on this host"
+    );
+    ACTIVE.store(backend.code(), Ordering::Relaxed);
+}
+
+/// `(feature name, detected)` pairs for this host — the `info --host`
+/// report. Scalar-relevant baseline features are included so the
+/// output is meaningful on every arch.
+pub fn host_features() -> Vec<(&'static str, bool)> {
+    #[cfg(target_arch = "x86_64")]
+    {
+        vec![
+            ("sse2", true), // x86-64 baseline
+            ("avx", std::arch::is_x86_feature_detected!("avx")),
+            ("avx2", std::arch::is_x86_feature_detected!("avx2")),
+            ("fma", std::arch::is_x86_feature_detected!("fma")),
+            ("avx512f", std::arch::is_x86_feature_detected!("avx512f")),
+        ]
+    }
+    #[cfg(target_arch = "aarch64")]
+    {
+        vec![("neon", true)] // architectural on aarch64
+    }
+    #[cfg(not(any(target_arch = "x86_64", target_arch = "aarch64")))]
+    {
+        Vec::new()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Bitwise tier: dispatched kernel surface.
+//
+// Each `foo` dispatches on `active()`; each `foo_with` takes the
+// backend explicitly (the equivalence tests and benches A/B through
+// these). `foo_with` falls back to the scalar reference when handed a
+// backend the host cannot run — never UB, and bitwise-identical anyway.
+// ---------------------------------------------------------------------
+
+/// Dispatched [`vector::dot`]. Scalar on every backend: the single
+/// sequential accumulator *is* the pinned FP association, so there is
+/// no bitwise-preserving SIMD form (see module docs).
+#[inline]
+pub fn dot(x: &[f64], y: &[f64]) -> f64 {
+    dot_with(active(), x, y)
+}
+
+/// [`dot`] on an explicit backend.
+#[inline]
+pub fn dot_with(backend: Backend, x: &[f64], y: &[f64]) -> f64 {
+    let _ = backend; // one scalar definition serves every backend
+    vector::dot(x, y)
+}
+
+/// Dispatched [`vector::norm2_sq`]. Scalar on every backend, like
+/// [`dot`].
+#[inline]
+pub fn norm2_sq(x: &[f64]) -> f64 {
+    norm2_sq_with(active(), x)
+}
+
+/// [`norm2_sq`] on an explicit backend.
+#[inline]
+pub fn norm2_sq_with(backend: Backend, x: &[f64]) -> f64 {
+    let _ = backend;
+    vector::norm2_sq(x)
+}
+
+/// Dispatched [`vector::dot2`]: `(x . a, x . b)`, bitwise-identical to
+/// two scalar [`vector::dot`]s on every backend.
+#[inline]
+pub fn dot2(x: &[f64], a: &[f64], b: &[f64]) -> (f64, f64) {
+    dot2_with(active(), x, a, b)
+}
+
+/// [`dot2`] on an explicit backend.
+#[inline]
+pub fn dot2_with(backend: Backend, x: &[f64], a: &[f64], b: &[f64]) -> (f64, f64) {
+    assert_eq!(x.len(), a.len(), "dot2: length mismatch (a)");
+    assert_eq!(x.len(), b.len(), "dot2: length mismatch (b)");
+    match backend {
+        #[cfg(target_arch = "x86_64")]
+        Backend::Avx2 if Backend::Avx2.is_supported() => avx2::dot2_checked(x, a, b),
+        #[cfg(target_arch = "aarch64")]
+        Backend::Neon => neon::dot2_checked(x, a, b),
+        _ => vector::dot2(x, a, b),
+    }
+}
+
+/// Dispatched [`vector::dot4`]: `[x.a, x.b, x.c, x.d]`,
+/// bitwise-identical to four scalar [`vector::dot`]s on every backend —
+/// the serving scan's workhorse.
+#[inline]
+pub fn dot4(x: &[f64], a: &[f64], b: &[f64], c: &[f64], d: &[f64]) -> [f64; 4] {
+    dot4_with(active(), x, a, b, c, d)
+}
+
+/// [`dot4`] on an explicit backend.
+#[inline]
+pub fn dot4_with(
+    backend: Backend,
+    x: &[f64],
+    a: &[f64],
+    b: &[f64],
+    c: &[f64],
+    d: &[f64],
+) -> [f64; 4] {
+    assert_eq!(x.len(), a.len(), "dot4: length mismatch (a)");
+    assert_eq!(x.len(), b.len(), "dot4: length mismatch (b)");
+    assert_eq!(x.len(), c.len(), "dot4: length mismatch (c)");
+    assert_eq!(x.len(), d.len(), "dot4: length mismatch (d)");
+    match backend {
+        #[cfg(target_arch = "x86_64")]
+        Backend::Avx2 if Backend::Avx2.is_supported() => avx2::dot4_checked(x, a, b, c, d),
+        #[cfg(target_arch = "aarch64")]
+        Backend::Neon => neon::dot4_checked(x, a, b, c, d),
+        _ => vector::dot4(x, a, b, c, d),
+    }
+}
+
+/// Dispatched [`vector::axpy`]: `y += alpha * x`, element-wise
+/// bitwise-identical on every backend.
+#[inline]
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    axpy_with(active(), alpha, x, y);
+}
+
+/// [`axpy`] on an explicit backend.
+#[inline]
+pub fn axpy_with(backend: Backend, alpha: f64, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "axpy: length mismatch");
+    match backend {
+        #[cfg(target_arch = "x86_64")]
+        Backend::Avx2 if Backend::Avx2.is_supported() => avx2::axpy_checked(alpha, x, y),
+        #[cfg(target_arch = "aarch64")]
+        Backend::Neon => neon::axpy_checked(alpha, x, y),
+        _ => vector::axpy(alpha, x, y),
+    }
+}
+
+/// Dispatched [`vector::scale`]: `x *= alpha`, element-wise
+/// bitwise-identical on every backend.
+#[inline]
+pub fn scale(x: &mut [f64], alpha: f64) {
+    scale_with(active(), x, alpha);
+}
+
+/// [`scale`] on an explicit backend.
+#[inline]
+pub fn scale_with(backend: Backend, x: &mut [f64], alpha: f64) {
+    match backend {
+        #[cfg(target_arch = "x86_64")]
+        Backend::Avx2 if Backend::Avx2.is_supported() => avx2::scale_checked(x, alpha),
+        #[cfg(target_arch = "aarch64")]
+        Backend::Neon => neon::scale_checked(x, alpha),
+        _ => vector::scale(x, alpha),
+    }
+}
+
+/// Dispatched [`vector::fused_axpy_scale`]:
+/// `y = (y + alpha * x) * beta`, element-wise bitwise-identical on
+/// every backend — the trainer's noisy-apply kernel.
+#[inline]
+pub fn fused_axpy_scale(y: &mut [f64], alpha: f64, x: &[f64], beta: f64) {
+    fused_axpy_scale_with(active(), y, alpha, x, beta);
+}
+
+/// [`fused_axpy_scale`] on an explicit backend.
+#[inline]
+pub fn fused_axpy_scale_with(backend: Backend, y: &mut [f64], alpha: f64, x: &[f64], beta: f64) {
+    assert_eq!(x.len(), y.len(), "fused_axpy_scale: length mismatch");
+    match backend {
+        #[cfg(target_arch = "x86_64")]
+        Backend::Avx2 if Backend::Avx2.is_supported() => {
+            avx2::fused_axpy_scale_checked(y, alpha, x, beta)
+        }
+        #[cfg(target_arch = "aarch64")]
+        Backend::Neon => neon::fused_axpy_scale_checked(y, alpha, x, beta),
+        _ => vector::fused_axpy_scale(y, alpha, x, beta),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Relaxed tier.
+// ---------------------------------------------------------------------
+
+/// Opt-in token for the relaxed arithmetic tier: reassociated
+/// multi-lane FMA reductions that are faster than the bitwise tier but
+/// **not** bitwise-equal to the scalar reference.
+///
+/// Constructing one is the explicit acknowledgement that the caller is
+/// in Theorem-5 post-processing territory: scoring *released*
+/// embeddings, where a differently-rounded inner product changes no
+/// privacy property and (in approximate serving) the result is already
+/// a recall trade-off. The training engines and every exact-serving
+/// path take no `RelaxedKernels` parameter, and
+/// `tests/kernel_equivalence.rs` pins that reachability claim by
+/// scanning `advsgm-core` for this type.
+///
+/// The token captures the backend at construction, so one search
+/// request is internally consistent even if [`force`] flips the global
+/// selection mid-flight.
+#[derive(Debug, Clone, Copy)]
+pub struct RelaxedKernels {
+    backend: Backend,
+}
+
+impl RelaxedKernels {
+    /// Opts in on the [`active`] backend.
+    pub fn opt_in() -> Self {
+        Self { backend: active() }
+    }
+
+    /// Opts in on an explicit backend (equivalence tests and benches).
+    pub fn with_backend(backend: Backend) -> Self {
+        Self { backend }
+    }
+
+    /// The backend this token scores with.
+    pub fn backend(&self) -> Backend {
+        self.backend
+    }
+
+    /// Relaxed dot product `x . y`.
+    ///
+    /// On SIMD backends the reduction runs 4 (AVX2) or 2 (NEON)
+    /// independent lane accumulators with fused multiply-add, then sums
+    /// the lanes in a fixed order; on the scalar backend it is exactly
+    /// [`vector::dot`]. For a given backend the result is deterministic,
+    /// but across backends it differs from the scalar sum by the usual
+    /// reassociation error: for finite inputs the relative error vs. the
+    /// exact (infinitely precise) sum is bounded by `~n * eps` — in
+    /// practice well under `1e-12` relative at serving dimensions
+    /// (`r <= 1024`), the bound `tests/kernel_equivalence.rs` enforces.
+    ///
+    /// # Panics
+    /// Panics if the slices have different lengths.
+    #[inline]
+    pub fn dot(&self, x: &[f64], y: &[f64]) -> f64 {
+        assert_eq!(x.len(), y.len(), "dot: length mismatch");
+        match self.backend {
+            #[cfg(target_arch = "x86_64")]
+            Backend::Avx2 if Backend::Avx2.is_supported() => avx2::dot_relaxed_checked(x, y),
+            #[cfg(target_arch = "aarch64")]
+            Backend::Neon => neon::dot_relaxed_checked(x, y),
+            _ => vector::dot(x, y),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_accepts_known_names_case_insensitively() {
+        assert_eq!(Backend::parse("scalar"), Some(Backend::Scalar));
+        assert_eq!(Backend::parse(" AVX2 "), Some(Backend::Avx2));
+        assert_eq!(Backend::parse("Neon"), Some(Backend::Neon));
+        assert_eq!(Backend::parse("sse9"), None);
+        assert_eq!(Backend::parse(""), None);
+    }
+
+    #[test]
+    fn resolution_precedence_mirrors_threads() {
+        // Unset / blank -> auto-detection.
+        assert_eq!(
+            resolve_backend(None),
+            (Backend::detect(), BackendResolution::Detected)
+        );
+        assert_eq!(
+            resolve_backend(Some("  ")),
+            (Backend::detect(), BackendResolution::Detected)
+        );
+        // A valid, supported name wins verbatim.
+        assert_eq!(
+            resolve_backend(Some("scalar")),
+            (Backend::Scalar, BackendResolution::EnvSelected)
+        );
+        // Garbage degrades to auto-detection, never a crash.
+        assert_eq!(
+            resolve_backend(Some("turbo")),
+            (Backend::detect(), BackendResolution::EnvInvalid)
+        );
+        // A known-but-unsupported backend also degrades to detection.
+        let foreign = if cfg!(target_arch = "x86_64") {
+            "neon"
+        } else {
+            "avx2"
+        };
+        assert_eq!(
+            resolve_backend(Some(foreign)),
+            (Backend::detect(), BackendResolution::EnvUnsupported)
+        );
+    }
+
+    #[test]
+    fn detect_reports_a_supported_backend() {
+        let b = Backend::detect();
+        assert!(b.is_supported());
+        // Scalar is supported everywhere, so detection never fails.
+        assert!(Backend::Scalar.is_supported());
+    }
+
+    #[test]
+    fn active_is_stable_and_forceable() {
+        let first = active();
+        assert_eq!(active(), first);
+        force(Backend::Scalar);
+        assert_eq!(active(), Backend::Scalar);
+        // Restore detection's choice for other tests in this process.
+        force(first);
+        assert_eq!(active(), first);
+    }
+
+    #[test]
+    fn bitwise_tier_smoke_on_every_supported_backend() {
+        let x: Vec<f64> = (0..37).map(|i| (i as f64 * 0.71).sin() * 3.0).collect();
+        let a: Vec<f64> = (0..37).map(|i| (i as f64 * 0.37).cos() / 7.0).collect();
+        let b: Vec<f64> = (0..37).map(|i| 1.0 / (i as f64 + 0.5)).collect();
+        let c: Vec<f64> = (0..37).map(|i| (i as f64).sqrt() - 2.0).collect();
+        let d: Vec<f64> = (0..37).map(|i| (i as f64 * 1.3).tan()).collect();
+        for backend in Backend::ALL.into_iter().filter(|b| b.is_supported()) {
+            let (da, db) = dot2_with(backend, &x, &a, &b);
+            let (ra, rb) = vector::dot2(&x, &a, &b);
+            assert_eq!(da.to_bits(), ra.to_bits(), "{backend} dot2.a");
+            assert_eq!(db.to_bits(), rb.to_bits(), "{backend} dot2.b");
+
+            let got = dot4_with(backend, &x, &a, &b, &c, &d);
+            let want = vector::dot4(&x, &a, &b, &c, &d);
+            for (g, w) in got.iter().zip(&want) {
+                assert_eq!(g.to_bits(), w.to_bits(), "{backend} dot4");
+            }
+
+            let mut y1 = a.clone();
+            let mut y2 = a.clone();
+            axpy_with(backend, 1.7, &x, &mut y1);
+            vector::axpy(1.7, &x, &mut y2);
+            assert_eq!(bits(&y1), bits(&y2), "{backend} axpy");
+
+            scale_with(backend, &mut y1, 0.3);
+            vector::scale(&mut y2, 0.3);
+            assert_eq!(bits(&y1), bits(&y2), "{backend} scale");
+
+            fused_axpy_scale_with(backend, &mut y1, 5.0, &x, 0.2);
+            vector::fused_axpy_scale(&mut y2, 5.0, &x, 0.2);
+            assert_eq!(bits(&y1), bits(&y2), "{backend} fused_axpy_scale");
+        }
+    }
+
+    #[test]
+    fn relaxed_dot_is_deterministic_and_close() {
+        let x: Vec<f64> = (0..129).map(|i| (i as f64 * 0.11).sin()).collect();
+        let y: Vec<f64> = (0..129).map(|i| (i as f64 * 0.23).cos()).collect();
+        let exact = vector::dot(&x, &y);
+        for backend in Backend::ALL.into_iter().filter(|b| b.is_supported()) {
+            let relaxed = RelaxedKernels::with_backend(backend);
+            let got = relaxed.dot(&x, &y);
+            assert_eq!(got.to_bits(), relaxed.dot(&x, &y).to_bits());
+            assert!(
+                (got - exact).abs() <= 1e-12 * exact.abs().max(1.0),
+                "{backend}: relaxed {got} vs exact {exact}"
+            );
+        }
+    }
+
+    fn bits(v: &[f64]) -> Vec<u64> {
+        v.iter().map(|x| x.to_bits()).collect()
+    }
+
+    #[test]
+    fn host_features_include_the_active_backend_requirements() {
+        let features = host_features();
+        if Backend::Avx2.is_supported() {
+            assert!(features.iter().any(|&(name, on)| name == "avx2" && on));
+        }
+        if Backend::Neon.is_supported() {
+            assert!(features.iter().any(|&(name, on)| name == "neon" && on));
+        }
+    }
+}

@@ -19,14 +19,21 @@
 //! * [`rng`] — seeded RNG construction and Gaussian draws;
 //! * [`stats`] — summary statistics used by the experiment tables;
 //! * [`topk`] — bounded-heap top-k selection over fused row-score scans,
-//!   the serving-side kernel behind `advsgm-store` neighbor queries.
+//!   the serving-side kernel behind `advsgm-store` neighbor queries;
+//! * [`backend`] — runtime CPU-feature dispatch over the hot kernel
+//!   surface: explicit AVX2/NEON paths with the scalar loops as the
+//!   always-available reference, bitwise-identical on the training tier.
 //!
-//! Everything is `f64`, allocation-conscious, and free of `unsafe`.
+//! Everything is `f64` and allocation-conscious. `unsafe` is denied
+//! crate-wide and allowed only inside [`backend`]'s per-architecture
+//! intrinsics modules, each function carrying an explicit `# Safety`
+//! contract under `deny(unsafe_op_in_unsafe_fn)`.
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod activations;
+pub mod backend;
 pub mod error;
 pub mod init;
 pub mod matrix;

@@ -18,7 +18,10 @@
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
+use crate::backend::{self, RelaxedKernels};
 use crate::matrix::DenseMatrix;
+
+#[cfg(test)]
 use crate::vector;
 
 /// One scored row: the output unit of a top-k query.
@@ -136,7 +139,8 @@ impl TopK {
 }
 
 /// Scores `query` against every row of `matrix` (inner product, fused four
-/// rows per pass via [`vector::dot4`]) and returns the top `k` rows,
+/// rows per pass via the dispatched [`backend::dot4`]) and returns the top
+/// `k` rows,
 /// excluding `exclude` when given (the self-row of a neighbor query).
 ///
 /// Returned entries are sorted by `(score desc, index asc)`; fewer than `k`
@@ -171,9 +175,10 @@ pub fn top_k_rows(
     let n = matrix.rows();
     let mut top = TopK::new(k);
     let mut row = 0usize;
-    // Fused path: four rows per traversal of the query.
+    // Fused path: four rows per traversal of the query, through the
+    // runtime-dispatched kernel backend.
     while row + 4 <= n {
-        let scores = vector::dot4(
+        let scores = backend::dot4(
             query,
             matrix.row(row),
             matrix.row(row + 1),
@@ -187,10 +192,12 @@ pub fn top_k_rows(
         }
         row += 4;
     }
-    // Scalar remainder — bitwise-identical scores (see `dot4` docs).
+    // Remainder rows (n % 4 != 0) go through the same dispatched entry
+    // point as the fused path, so backend choice is uniform across the
+    // scan — and bitwise-identical scores either way (see `dot4` docs).
     while row < n {
         if Some(row) != exclude {
-            top.push(row, vector::dot(query, matrix.row(row)));
+            top.push(row, backend::dot(query, matrix.row(row)));
         }
         row += 1;
     }
@@ -203,11 +210,13 @@ pub fn top_k_rows(
 ///
 /// This is the scan kernel of cluster-pruned (IVF-style) approximate
 /// retrieval: an index nominates a subset of rows and this function ranks
-/// them. Each row is scored with the scalar [`vector::dot`], which is
-/// bitwise-identical to the fused [`vector::dot4`] path `top_k_rows` uses
-/// (see `dot4`'s docs), so a candidate set covering **every** row yields a
-/// result bitwise-identical to `top_k_rows` — top-k selection under the
-/// total `(score desc, index asc)` order does not depend on scan order.
+/// them. Each row is scored with the dispatched [`backend::dot`] (scalar
+/// on every backend — its single sequential accumulator is the pinned FP
+/// association), which is bitwise-identical to the fused
+/// [`crate::vector::dot4`] path `top_k_rows` uses (see `dot4`'s docs), so
+/// a candidate set covering **every** row yields a result
+/// bitwise-identical to `top_k_rows` — top-k selection under the total
+/// `(score desc, index asc)` order does not depend on scan order.
 ///
 /// The candidate set is expected to list each row at most once (an IVF
 /// index's clusters partition the rows, so this holds by construction); a
@@ -249,7 +258,49 @@ where
     let mut top = TopK::new(k);
     for row in rows {
         if Some(row) != exclude {
-            top.push(row, vector::dot(query, matrix.row(row)));
+            top.push(row, backend::dot(query, matrix.row(row)));
+        }
+    }
+    top.into_sorted()
+}
+
+/// [`top_k_rows_among`] on the **relaxed** arithmetic tier: every
+/// candidate row is scored with [`RelaxedKernels::dot`] — a reassociated
+/// multi-lane FMA reduction — instead of the bitwise-tier scalar dot.
+///
+/// Scores may differ from the exact scan in the last few ULPs, so
+/// near-tied candidates can swap ranks; callers are by construction in
+/// approximate (recall < 1) serving, where the result set is already a
+/// recall trade-off and the released embeddings make any rescoring
+/// Theorem-5 post-processing. For a fixed backend the result is fully
+/// deterministic. The exact-mode and training paths have no route to
+/// this function: it exists only behind the [`RelaxedKernels`] opt-in.
+///
+/// # Panics
+/// Panics if `query.len() != matrix.cols()` or a listed row is out of
+/// range.
+pub fn top_k_rows_among_relaxed<I>(
+    kernels: &RelaxedKernels,
+    matrix: &DenseMatrix,
+    query: &[f64],
+    k: usize,
+    rows: I,
+    exclude: Option<usize>,
+) -> Vec<ScoredIndex>
+where
+    I: IntoIterator<Item = usize>,
+{
+    assert_eq!(
+        query.len(),
+        matrix.cols(),
+        "top_k_rows_among: query length {} != matrix cols {}",
+        query.len(),
+        matrix.cols()
+    );
+    let mut top = TopK::new(k);
+    for row in rows {
+        if Some(row) != exclude {
+            top.push(row, kernels.dot(query, matrix.row(row)));
         }
     }
     top.into_sorted()
@@ -305,6 +356,67 @@ mod tests {
                     }
                 }
             }
+        }
+    }
+
+    /// Satellite regression: with n = 4k+1 rows the tail row must go
+    /// through the same dispatched entry point as the fused body — its
+    /// score (and the resulting neighbor list) must be bitwise-identical
+    /// to scanning the 4k-row prefix plus scoring the tail row alone.
+    #[test]
+    fn remainder_row_matches_prefix_plus_tail() {
+        let n = 4 * 5 + 1; // 21 rows: 5 fused quads + 1 remainder row
+        let dim = 9;
+        let m = DenseMatrix::from_fn(n, dim, |i, j| ((i * 13 + j * 5) as f64 * 0.29).sin());
+        let q: Vec<f64> = (0..dim).map(|j| (j as f64 * 0.61).cos()).collect();
+        let k = n; // keep every score so all rows are compared bitwise
+
+        let full = top_k_rows(&m, &q, k, None);
+
+        // 4k-row prefix scanned on its own...
+        let prefix = DenseMatrix::from_fn(n - 1, dim, |i, j| m.row(i)[j]);
+        let mut expected = top_k_rows(&prefix, &q, k, None);
+        // ...plus the tail row scored alone through the dispatched dot.
+        expected.push(ScoredIndex {
+            index: n - 1,
+            score: backend::dot(&q, m.row(n - 1)),
+        });
+        expected.sort_by(|a, b| {
+            b.score
+                .total_cmp(&a.score)
+                .then_with(|| a.index.cmp(&b.index))
+        });
+
+        assert_eq!(full.len(), expected.len());
+        for (f, e) in full.iter().zip(&expected) {
+            assert_eq!(f.index, e.index);
+            assert_eq!(f.score.to_bits(), e.score.to_bits());
+        }
+    }
+
+    /// The relaxed candidate scan returns the same neighbor *sets* as the
+    /// exact one on well-separated scores, and is deterministic.
+    #[test]
+    fn relaxed_among_is_deterministic_and_close() {
+        let n = 12;
+        let dim = 16;
+        let m = DenseMatrix::from_fn(n, dim, |i, j| ((i * 31 + j * 7) as f64 * 0.11).sin());
+        let q: Vec<f64> = (0..dim).map(|j| (j as f64 * 0.43).cos()).collect();
+        let kernels = RelaxedKernels::opt_in();
+
+        let a = top_k_rows_among_relaxed(&kernels, &m, &q, 4, 0..n, Some(2));
+        let b = top_k_rows_among_relaxed(&kernels, &m, &q, 4, 0..n, Some(2));
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.index, y.index);
+            assert_eq!(x.score.to_bits(), y.score.to_bits());
+        }
+
+        let exact = top_k_rows_among(&m, &q, 4, 0..n, Some(2));
+        for (r, e) in a.iter().zip(&exact) {
+            assert_eq!(r.index, e.index, "well-separated scores must agree");
+            let rel = ((r.score - e.score) / e.score).abs();
+            assert!(rel < 1e-12, "relaxed score drifted: {rel}");
         }
     }
 

@@ -19,9 +19,14 @@
 //! nlist` the search is *exact* and **bitwise-identical** to
 //! [`advsgm_linalg::topk::top_k_rows`]: top-k selection under the total
 //! `(score desc, index asc)` order is scan-order-invariant, and the
-//! subset kernel scores with [`advsgm_linalg::vector::dot`], which is
-//! bitwise-equal to the fused `dot4` path (property-tested in
-//! `tests/index_serving.rs`). Callers usually don't pick `nprobe`
+//! subset kernel scores with the dispatched
+//! [`advsgm_linalg::backend::dot`] (bitwise tier: scalar on every
+//! backend), which is bitwise-equal to the fused `dot4` path
+//! (property-tested in `tests/index_serving.rs`). An explicit
+//! [`IvfIndex::search_relaxed`] entry point moves *only* the
+//! approximate candidate scan to the reassociated-FMA relaxed tier —
+//! Theorem-5 post-processing of released embeddings, never reachable
+//! from training or exact mode. Callers usually don't pick `nprobe`
 //! directly: [`IvfIndex::nprobe_for`] maps a recall target to a probe
 //! count through a calibration table measured at build time.
 //!
@@ -40,7 +45,8 @@
 
 use std::path::Path;
 
-use advsgm_linalg::topk::{top_k_rows, top_k_rows_among};
+use advsgm_linalg::backend::{self, RelaxedKernels};
+use advsgm_linalg::topk::{top_k_rows, top_k_rows_among, top_k_rows_among_relaxed};
 use advsgm_linalg::{vector, DenseMatrix};
 
 use crate::error::StoreError;
@@ -346,7 +352,7 @@ impl IvfIndex {
     /// open clusters in.
     fn probe_order(&self, query: &[f64]) -> Vec<usize> {
         let mut scored: Vec<(usize, f64)> = (0..self.nlist())
-            .map(|c| (c, vector::dot(query, self.centroids.row(c))))
+            .map(|c| (c, backend::dot(query, self.centroids.row(c))))
             .collect();
         scored.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
         scored.into_iter().map(|(c, _)| c).collect()
@@ -469,6 +475,42 @@ impl IvfIndex {
         k: usize,
         nprobe: usize,
     ) -> Result<SearchResult, StoreError> {
+        self.search_impl(store, u, k, nprobe, None)
+    }
+
+    /// [`IvfIndex::search`] with the candidate scan on the **relaxed**
+    /// arithmetic tier ([`RelaxedKernels`], DESIGN.md §15).
+    ///
+    /// Only the approximate branch changes: probe ordering, the
+    /// always-scanned list membership, and exact mode (`nprobe >= nlist`)
+    /// stay on the bitwise tier, so exact results and every released
+    /// artifact (`.aemb`, `.aidx`) are backend-invariant. Relaxed scoring
+    /// of candidates is pure post-processing of the Theorem-5 release —
+    /// it reads only published embeddings — so it carries no privacy
+    /// cost; it may swap near-tied neighbors relative to [`Self::search`]
+    /// but is deterministic for a fixed backend.
+    ///
+    /// # Errors
+    /// Same contract as [`IvfIndex::search`].
+    pub fn search_relaxed(
+        &self,
+        store: &EmbeddingStore,
+        u: usize,
+        k: usize,
+        nprobe: usize,
+        kernels: &RelaxedKernels,
+    ) -> Result<SearchResult, StoreError> {
+        self.search_impl(store, u, k, nprobe, Some(kernels))
+    }
+
+    fn search_impl(
+        &self,
+        store: &EmbeddingStore,
+        u: usize,
+        k: usize,
+        nprobe: usize,
+        relaxed: Option<&RelaxedKernels>,
+    ) -> Result<SearchResult, StoreError> {
         self.check_shape(store)?;
         if u >= self.nodes {
             return Err(StoreError::NodeOutOfRange {
@@ -499,10 +541,13 @@ impl IvfIndex {
             .map(|&c| self.clusters[c].len())
             .sum::<usize>()
             + self.always.len();
-        let neighbors = scored_to_neighbors(
-            store,
-            top_k_rows_among(matrix, query, k, candidates, Some(u)),
-        );
+        let scored = match relaxed {
+            Some(kernels) => {
+                top_k_rows_among_relaxed(kernels, matrix, query, k, candidates, Some(u))
+            }
+            None => top_k_rows_among(matrix, query, k, candidates, Some(u)),
+        };
+        let neighbors = scored_to_neighbors(store, scored);
         Ok(SearchResult {
             neighbors,
             rows_scanned,

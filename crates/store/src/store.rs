@@ -21,7 +21,7 @@ use std::path::Path;
 
 use advsgm_core::{AdvSgmConfig, TrainOutcome};
 use advsgm_linalg::topk::top_k_rows;
-use advsgm_linalg::{vector, DenseMatrix};
+use advsgm_linalg::{backend, DenseMatrix};
 use advsgm_parallel::{resolve_threads, ThreadPool};
 
 use crate::error::StoreError;
@@ -209,7 +209,7 @@ impl EmbeddingStore {
     /// # Errors
     /// [`StoreError::NodeOutOfRange`] for rows the store does not hold.
     pub fn score(&self, u: usize, v: usize) -> Result<f64, StoreError> {
-        Ok(vector::dot(self.vector(u)?, self.vector(v)?))
+        Ok(backend::dot(self.vector(u)?, self.vector(v)?))
     }
 
     /// The `k` highest-scoring neighbors of `u` (excluding `u` itself),

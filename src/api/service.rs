@@ -11,6 +11,7 @@
 use std::path::Path;
 use std::sync::Mutex;
 
+use advsgm_linalg::backend::RelaxedKernels;
 use advsgm_parallel::{resolve_threads, ThreadPool};
 use advsgm_store::{EmbeddingStore, IndexParams, IvfIndex, Neighbor, PrivacyMeta, SearchResult};
 
@@ -56,6 +57,12 @@ pub struct EmbeddingService {
     /// against the store's fingerprint when attached. Exact paths never
     /// consult it.
     index: Option<IvfIndex>,
+    /// Relaxed-tier kernel opt-in (DESIGN.md §15). `None` (the default)
+    /// keeps every scan on the bitwise tier; `Some` routes *only* the
+    /// approximate candidate scan through reassociated-FMA dots —
+    /// Theorem-5 post-processing of the released embeddings. Exact
+    /// queries and index building never consult it.
+    relaxed: Option<RelaxedKernels>,
 }
 
 impl std::fmt::Debug for EmbeddingService {
@@ -106,7 +113,25 @@ impl EmbeddingService {
             pool: Mutex::new(None),
             store,
             index: None,
+            relaxed: None,
         }
+    }
+
+    /// Opts the approximate query path into the relaxed kernel tier
+    /// ([`RelaxedKernels`]): candidate scans use reassociated-FMA dot
+    /// products on the active backend. Exact queries, `score`, and index
+    /// construction stay on the bitwise tier, so released artifacts are
+    /// unaffected — this is pure post-processing of the Theorem-5
+    /// release. Deterministic for a fixed backend; near-tied neighbors
+    /// may swap relative to the bitwise scan.
+    pub fn enable_relaxed_kernels(&mut self) {
+        self.relaxed = Some(RelaxedKernels::opt_in());
+    }
+
+    /// Whether the relaxed kernel tier is active for approximate queries.
+    #[must_use]
+    pub fn relaxed_kernels_enabled(&self) -> bool {
+        self.relaxed.is_some()
     }
 
     /// [`EmbeddingService::open_with_threads`] plus an `.aidx` ANN index
@@ -246,7 +271,11 @@ impl EmbeddingService {
     ) -> Result<SearchResult> {
         match &self.index {
             Some(index) if recall_target < 1.0 => {
-                Ok(index.search(&self.store, u, k, index.nprobe_for(recall_target))?)
+                let nprobe = index.nprobe_for(recall_target);
+                Ok(match &self.relaxed {
+                    Some(kernels) => index.search_relaxed(&self.store, u, k, nprobe, kernels)?,
+                    None => index.search(&self.store, u, k, nprobe)?,
+                })
             }
             _ => Ok(SearchResult {
                 neighbors: self.store.top_k(u, k)?,

@@ -82,12 +82,12 @@ const USAGE: &str = "usage:
                [--index PATH --approx RECALL]
   advsgm query --remote HOST:PORT --node U [--top-k K] [--approx RECALL]
   advsgm query --store PATH --pair U V
-  advsgm info  --store PATH
+  advsgm info  [--store PATH] [--host]
   advsgm index --store PATH --out PATH [--nlist N] [--kmeans-iters N]
                [--sample-queries N]
   advsgm serve --store PATH [--index PATH | --build-index]
                [--addr HOST:PORT] [--threads N] [--cache N]
-               [--max-requests N]
+               [--max-requests N] [--relaxed]
   advsgm stop  --addr HOST:PORT
 
 train flags:
@@ -146,7 +146,20 @@ serving flags:
                         instead of loading an .aidx file
   --cache N             serve: LRU capacity in cached top-k results
                         (default 1024; 0 disables)
-  --max-requests N      serve: exit after answering N requests";
+  --max-requests N      serve: exit after answering N requests
+  --relaxed             serve: score approximate (--approx < 1) candidate
+                        scans with relaxed-tier SIMD kernels (reassociated
+                        FMA); exact queries stay bitwise. Off by default
+  --host                info: report detected CPU features and the kernel
+                        backend the process would select (no store needed)
+
+kernel backend (ADVSGM_KERNELS):
+  every hot kernel dispatches through a runtime-selected backend:
+  scalar | avx2 | neon. Precedence mirrors ADVSGM_THREADS: a set, valid,
+  host-supported ADVSGM_KERNELS value wins; an unsupported or unknown
+  value degrades to auto-detection (reported by `info --host`); unset
+  auto-detects the strongest supported backend. Training and exact
+  serving are bitwise-identical across backends";
 
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
@@ -737,24 +750,28 @@ fn parse_query(tokens: &[String]) -> Result<QueryArgs, String> {
 }
 
 /// Parsed `advsgm info` arguments.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 struct InfoArgs {
-    store: String,
+    store: Option<String>,
+    host: bool,
 }
 
 fn parse_info(tokens: &[String]) -> Result<InfoArgs, String> {
     let mut path: Option<String> = None;
+    let mut host = false;
     let mut i = 0;
     while i < tokens.len() {
         match tokens[i].as_str() {
             "--store" => path = Some(take_value(tokens, &mut i, "--store")?),
+            "--host" => host = true,
             other => return Err(format!("unknown flag {other}\n{USAGE}")),
         }
         i += 1;
     }
-    Ok(InfoArgs {
-        store: path.ok_or_else(|| format!("--store is required\n{USAGE}"))?,
-    })
+    if path.is_none() && !host {
+        return Err(format!("pass --store PATH and/or --host\n{USAGE}"));
+    }
+    Ok(InfoArgs { store: path, host })
 }
 
 /// Parsed `advsgm index` arguments.
@@ -818,6 +835,7 @@ struct ServeArgs {
     threads: usize,
     cache: usize,
     max_requests: Option<u64>,
+    relaxed: bool,
 }
 
 fn parse_serve(tokens: &[String]) -> Result<ServeArgs, String> {
@@ -829,6 +847,7 @@ fn parse_serve(tokens: &[String]) -> Result<ServeArgs, String> {
         threads: 0,
         cache: 1024,
         max_requests: None,
+        relaxed: false,
     };
     let mut store: Option<String> = None;
     let mut i = 0;
@@ -854,6 +873,7 @@ fn parse_serve(tokens: &[String]) -> Result<ServeArgs, String> {
                 }
                 args.max_requests = Some(n);
             }
+            "--relaxed" => args.relaxed = true,
             other => return Err(format!("unknown flag {other}\n{USAGE}")),
         }
         i += 1;
@@ -1173,8 +1193,21 @@ fn cmd_serve(args: ServeArgs) -> Result<(), String> {
             idx.nlist()
         );
     }
+    if args.relaxed {
+        service.enable_relaxed_kernels();
+    }
     let nodes = service.len();
     let indexed = service.index().is_some();
+    let (kernel_backend, kernel_source) = advsgm::linalg::backend::resolution();
+    println!(
+        "kernel backend {kernel_backend} ({}){}",
+        kernel_source.describe(),
+        if args.relaxed {
+            "; relaxed tier on approximate scans"
+        } else {
+            ""
+        }
+    );
     let config = ServeConfig {
         cache_capacity: args.cache,
         max_requests: args.max_requests,
@@ -1210,7 +1243,26 @@ fn cmd_stop(args: StopArgs) -> Result<(), String> {
 }
 
 fn cmd_info(args: InfoArgs) -> Result<(), String> {
-    let path = &args.store;
+    if args.host {
+        let (backend, source) = advsgm::linalg::backend::resolution();
+        println!("host:");
+        println!("  arch        {}", std::env::consts::ARCH);
+        let features: Vec<String> = advsgm::linalg::backend::host_features()
+            .into_iter()
+            .map(|(name, detected)| {
+                if detected {
+                    name.to_string()
+                } else {
+                    format!("!{name}")
+                }
+            })
+            .collect();
+        println!("  features    {}", features.join(" "));
+        println!("  kernels     {backend} ({})", source.describe());
+    }
+    let Some(path) = &args.store else {
+        return Ok(());
+    };
     // `info` is deliberately format-level introspection, so it reads the
     // raw bytes and the internals `format` module alongside the service.
     let bytes = std::fs::read(path).map_err(|e| format!("{path}: {e}"))?;
@@ -1437,6 +1489,43 @@ mod tests {
     }
 
     #[test]
+    fn kernels_env_resolution_precedence() {
+        use advsgm::linalg::backend::{resolve_backend, Backend, BackendResolution};
+        // Mirror of the --threads precedence table, for ADVSGM_KERNELS
+        // (resolve_backend is pure in its argument, so no env mutation).
+        // Unset or blank: auto-detect.
+        assert_eq!(
+            resolve_backend(None),
+            (Backend::detect(), BackendResolution::Detected)
+        );
+        assert_eq!(
+            resolve_backend(Some("  ")),
+            (Backend::detect(), BackendResolution::Detected)
+        );
+        // A valid, supported name wins (scalar is supported everywhere;
+        // names are case-insensitive and trimmed).
+        assert_eq!(
+            resolve_backend(Some(" Scalar ")),
+            (Backend::Scalar, BackendResolution::EnvSelected)
+        );
+        // A known backend the host lacks degrades to detection.
+        let missing = if cfg!(target_arch = "aarch64") {
+            "avx2"
+        } else {
+            "neon"
+        };
+        assert_eq!(
+            resolve_backend(Some(missing)),
+            (Backend::detect(), BackendResolution::EnvUnsupported)
+        );
+        // Gibberish degrades to detection too, flagged as invalid.
+        assert_eq!(
+            resolve_backend(Some("sse9")),
+            (Backend::detect(), BackendResolution::EnvInvalid)
+        );
+    }
+
+    #[test]
     fn resume_pins_the_model_configuration() {
         // Dataset/epochs/checkpoint flags may accompany --resume...
         let a = parse_train(&toks(
@@ -1636,10 +1725,12 @@ mod tests {
 
     #[test]
     fn info_happy_and_sad_paths() {
-        assert_eq!(parse_info(&toks("--store e.aemb")).unwrap().store, "e.aemb");
+        let a = parse_info(&toks("--store e.aemb")).unwrap();
+        assert_eq!(a.store.as_deref(), Some("e.aemb"));
+        assert!(!a.host);
         assert!(parse_info(&toks(""))
             .unwrap_err()
-            .contains("--store is required"));
+            .contains("pass --store PATH and/or --host"));
         assert!(parse_info(&toks("--wat"))
             .unwrap_err()
             .contains("unknown flag"));
@@ -1691,7 +1782,7 @@ mod tests {
     fn serve_happy_path_and_defaults() {
         let a = parse_serve(&toks(
             "--store e.aemb --index e.aidx --addr 0.0.0.0:9000 --threads 4 --cache 99 \
-             --max-requests 1000",
+             --max-requests 1000 --relaxed",
         ))
         .unwrap();
         assert_eq!(a.store, "e.aemb");
@@ -1700,12 +1791,34 @@ mod tests {
         assert_eq!(a.threads, 4);
         assert_eq!(a.cache, 99);
         assert_eq!(a.max_requests, Some(1000));
+        assert!(a.relaxed);
 
         let d = parse_serve(&toks("--store e.aemb")).unwrap();
         assert_eq!(d.addr, "127.0.0.1:7878");
         assert_eq!(d.cache, 1024);
         assert_eq!(d.max_requests, None);
         assert!(!d.build_index);
+        assert!(!d.relaxed, "relaxed tier is opt-in");
+    }
+
+    #[test]
+    fn info_host_flag_with_and_without_store() {
+        let h = parse_info(&toks("--host")).unwrap();
+        assert_eq!(
+            h,
+            InfoArgs {
+                store: None,
+                host: true
+            }
+        );
+        let both = parse_info(&toks("--store e.aemb --host")).unwrap();
+        assert_eq!(
+            both,
+            InfoArgs {
+                store: Some("e.aemb".into()),
+                host: true
+            }
+        );
     }
 
     #[test]
