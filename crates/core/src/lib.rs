@@ -70,4 +70,4 @@ pub use sharded::ShardedTrainer;
 pub use sigmoid::SigmoidKind;
 pub use trainer::{TrainOutcome, Trainer};
 pub use variants::ModelVariant;
-pub use weighting::WeightMode;
+pub use weighting::{structure_preference_weight, PairWeighting, WeightMode};

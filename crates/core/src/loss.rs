@@ -50,6 +50,9 @@ pub(crate) struct PositiveTerms {
     pub arg1: f64,
     /// `fake_i . v_j + n2 . v_j`.
     pub arg2: f64,
+    /// Whether the pair is a foe edge: its skip-gram term is the repelling
+    /// `-ln S(-dot)` instead of `-ln S(dot)` (arXiv 2512.00307 §IV).
+    pub foe: bool,
 }
 
 /// Computes one positive pair's [`PositiveTerms`] — each scalar with the
@@ -61,11 +64,13 @@ pub(crate) fn positive_terms(
     fake_i: &[f64],
     n1: &[f64],
     n2: &[f64],
+    foe: bool,
 ) -> PositiveTerms {
     PositiveTerms {
         dot_ij: vector::dot(vi, vj),
         arg1: vector::dot(vi, fake_j) + vector::dot(n1, vi),
         arg2: vector::dot(fake_i, vj) + vector::dot(n2, vj),
+        foe,
     }
 }
 
@@ -89,7 +94,14 @@ pub(crate) fn fold_novel_loss(
     let mut sgm = 0.0;
     let mut adv = 0.0;
     for t in positives {
-        sgm += -kind.log_value(t.dot_ij);
+        // Foe pairs contribute the repelling skip-gram term; the friend
+        // branch is the exact pre-sign expression (bitwise-identical for
+        // sign-blind batches, whose terms are all friend).
+        sgm += if t.foe {
+            -kind.log_value(-t.dot_ij)
+        } else {
+            -kind.log_value(t.dot_ij)
+        };
         adv += mode.lambda(kind, t.arg1) * adversarial_term_loss(kind, t.arg1);
         adv += mode.lambda(kind, t.arg2) * adversarial_term_loss(kind, t.arg2);
     }
@@ -104,6 +116,10 @@ pub(crate) fn fold_novel_loss(
 /// adversarial parts with fresh fake neighbors and noise draws
 /// (`noise_std = C * sigma`; pass 0 for the no-DP configuration).
 ///
+/// `signs` carries the positives' foe flags, aligned by index; empty
+/// means "all friend" (the sign-blind evaluation, bitwise-identical to
+/// the pre-sign loss).
+///
 /// Returns the batch-mean loss; Fig. 2 reports its absolute value.
 #[allow(clippy::too_many_arguments)]
 pub fn novel_loss_batch(
@@ -112,6 +128,7 @@ pub fn novel_loss_batch(
     emb: &Embeddings,
     gens: &GeneratorPair,
     positives: &[Edge],
+    signs: &[bool],
     negatives: &[NegativePair],
     noise_std: f64,
     rng: &mut impl Rng,
@@ -122,13 +139,14 @@ pub fn novel_loss_batch(
     let n1 = gaussian_vec(rng, noise_std.max(0.0), r);
     let n2 = gaussian_vec(rng, noise_std.max(0.0), r);
     let mut terms = Vec::with_capacity(positives.len());
-    for e in positives {
+    for (idx, e) in positives.iter().enumerate() {
         let vi = emb.input(e.u().index());
         let vj = emb.output(e.v().index());
         // Adversarial terms with fresh fakes (Eq. 13).
         let fake_j = gens.for_i.generate(e.v().index(), rng).v;
         let fake_i = gens.for_j.generate(e.u().index(), rng).v;
-        terms.push(positive_terms(vi, vj, &fake_j, &fake_i, &n1, &n2));
+        let foe = signs.get(idx).copied().unwrap_or(false);
+        terms.push(positive_terms(vi, vj, &fake_j, &fake_i, &n1, &n2, foe));
     }
     let neg_dots: Vec<f64> = negatives
         .iter()
@@ -203,6 +221,7 @@ mod tests {
             &emb,
             &gens,
             &pos,
+            &[],
             &negs,
             5.0,
             &mut seeded(11),
@@ -213,6 +232,7 @@ mod tests {
             &emb,
             &gens,
             &pos,
+            &[],
             &negs,
             5.0,
             &mut seeded(11),
@@ -233,6 +253,7 @@ mod tests {
             &emb,
             &gens,
             &pos,
+            &[],
             &negs,
             0.0,
             &mut seeded(3),
@@ -243,6 +264,7 @@ mod tests {
             &emb,
             &gens,
             &pos,
+            &[],
             &negs,
             0.0,
             &mut seeded(3),
@@ -253,12 +275,60 @@ mod tests {
             &emb,
             &gens,
             &pos,
+            &[],
             &negs,
             0.0,
             &mut seeded(3),
         );
         assert!(l_half < l_one, "larger lambda must weigh adversarial more");
         assert!(l_one < l_inv, "1/S exceeds 1 for the constrained sigmoid");
+    }
+
+    #[test]
+    fn foe_flag_flips_the_skipgram_term() {
+        let (emb, gens) = fixture();
+        let kind = SigmoidKind::paper_constrained();
+        let pos = vec![Edge::from_raw(0, 1)];
+        let friend = novel_loss_batch(
+            kind,
+            WeightMode::InverseS,
+            &emb,
+            &gens,
+            &pos,
+            &[false],
+            &[],
+            0.0,
+            &mut seeded(5),
+        );
+        let foe = novel_loss_batch(
+            kind,
+            WeightMode::InverseS,
+            &emb,
+            &gens,
+            &pos,
+            &[true],
+            &[],
+            0.0,
+            &mut seeded(5),
+        );
+        // Same draws, only the skip-gram term differs: friend uses
+        // -ln S(dot), foe uses -ln S(-dot).
+        let dot = vector::dot(emb.input(0), emb.output(1));
+        let expected_delta = -kind.log_value(-dot) - -kind.log_value(dot);
+        assert!((foe - friend - expected_delta).abs() < 1e-12);
+        // An explicit all-friend slice matches the empty (sign-blind) one.
+        let blind = novel_loss_batch(
+            kind,
+            WeightMode::InverseS,
+            &emb,
+            &gens,
+            &pos,
+            &[],
+            &[],
+            0.0,
+            &mut seeded(5),
+        );
+        assert_eq!(friend, blind);
     }
 
     #[test]
@@ -270,6 +340,7 @@ mod tests {
             WeightMode::InverseS,
             &emb,
             &gens,
+            &[],
             &[],
             &[],
             0.0,

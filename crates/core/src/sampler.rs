@@ -18,6 +18,9 @@ use advsgm_graph::sampling::negative::{NegativeDistribution, NegativePair, Negat
 use advsgm_graph::{Edge, Graph, GraphError};
 use rand::Rng;
 
+use crate::variants::ModelVariant;
+use crate::weighting::{precompute_edge_weights, PairWeighting};
+
 /// One discriminator update's worth of pairs in the trainer's normalised
 /// `(input row, output row)` form.
 ///
@@ -32,6 +35,28 @@ pub struct DiscBatch {
     pub pairs: Vec<(usize, usize)>,
     /// `true` for a positive (edge) batch, `false` for a negative batch.
     pub positive: bool,
+    /// Per-pair foe flags, aligned with `pairs`. Empty means "all friend"
+    /// — the legacy transport for sign-blind variants and negative
+    /// batches, so sign-blind training builds byte-identical batches.
+    pub signs: Vec<bool>,
+    /// Per-pair gradient weights in `(0, 1]`, aligned with `pairs`. Empty
+    /// means "all 1" (uniform weighting — no scaling is ever applied).
+    pub weights: Vec<f64>,
+}
+
+impl DiscBatch {
+    /// Whether pair `idx` is a foe (antagonistic) pair; `false` for
+    /// sign-blind batches and sampled negatives.
+    #[inline]
+    pub fn foe(&self, idx: usize) -> bool {
+        self.signs.get(idx).copied().unwrap_or(false)
+    }
+
+    /// The gradient weight of pair `idx`; `1.0` under uniform weighting.
+    #[inline]
+    pub fn weight(&self, idx: usize) -> f64 {
+        self.weights.get(idx).copied().unwrap_or(1.0)
+    }
 }
 
 /// All batches one epoch of Algorithm 3 consumes, pre-sampled:
@@ -44,6 +69,8 @@ pub struct EpochBatches {
     pub updates: Vec<DiscBatch>,
     /// Positive edges for the epoch's `|L_Nov|` diagnostic.
     pub loss_positives: Vec<Edge>,
+    /// Foe flags for the diagnostic positives (empty = all friend).
+    pub loss_signs: Vec<bool>,
     /// Matching negative pairs for the diagnostic.
     pub loss_negatives: Vec<NegativePair>,
 }
@@ -55,10 +82,18 @@ pub struct BatchProvider {
     negatives: NegativeSampler,
     batch: usize,
     k: usize,
+    /// Per-edge foe flags, attached only for sign-aware variants on a
+    /// signed graph (indexable by the sampler's edge indices).
+    signs: Option<Vec<bool>>,
+    /// Precomputed per-edge pair weights, attached only under
+    /// [`PairWeighting::StructurePreference`].
+    edge_weights: Option<Vec<f64>>,
 }
 
 impl BatchProvider {
     /// Creates a provider for `graph`, clamping the batch size to `|E|`.
+    /// Batches carry no sign or weight channels (the legacy, sign-blind
+    /// transport); use [`BatchProvider::new_for_variant`] to attach them.
     ///
     /// # Errors
     /// Propagates sampler construction failures (empty graph).
@@ -75,7 +110,36 @@ impl BatchProvider {
             negatives,
             batch: batch.min(graph.num_edges()),
             k,
+            signs: None,
+            edge_weights: None,
         })
+    }
+
+    /// Creates a provider whose batches carry exactly the side channels
+    /// `variant` consumes: foe flags for sign-aware variants on a signed
+    /// graph (an unsigned graph degrades gracefully to all-friend), and
+    /// structure-preference weights under
+    /// [`PairWeighting::StructurePreference`]. Every channel lookup is by
+    /// sampled edge index and draws no randomness, so batch *composition*
+    /// is identical to [`BatchProvider::new`] at the same seed.
+    ///
+    /// # Errors
+    /// Propagates sampler construction failures (empty graph).
+    pub fn new_for_variant(
+        graph: &Graph,
+        batch: usize,
+        k: usize,
+        dist: NegativeDistribution,
+        variant: ModelVariant,
+    ) -> Result<Self, GraphError> {
+        let mut p = Self::new(graph, batch, k, dist)?;
+        if variant.is_sign_aware() {
+            p.signs = graph.signs().map(<[bool]>::to_vec);
+        }
+        if variant.pair_weighting() == PairWeighting::StructurePreference {
+            p.edge_weights = Some(precompute_edge_weights(graph));
+        }
+        Ok(p)
     }
 
     /// Effective batch size `B` (after clamping).
@@ -105,6 +169,26 @@ impl BatchProvider {
         self.negatives.sample_for_batch(positives, self.k, rng)
     }
 
+    /// [`BatchProvider::positives`] plus the batch's foe flags (empty when
+    /// the provider carries no sign channel). Identical RNG draws: the
+    /// sign lookup is by sampled edge index and consumes no randomness.
+    ///
+    /// # Errors
+    /// Propagates sampling failures.
+    pub fn positives_with_signs(
+        &mut self,
+        graph: &Graph,
+        rng: &mut impl Rng,
+    ) -> Result<(Vec<Edge>, Vec<bool>), GraphError> {
+        let idx = self.edges.sample_indices_for(graph, self.batch, rng)?;
+        let pos = idx.iter().map(|&i| graph.edges()[i as usize]).collect();
+        let signs = match &self.signs {
+            Some(s) => idx.iter().map(|&i| s[i as usize]).collect(),
+            None => Vec::new(),
+        };
+        Ok((pos, signs))
+    }
+
     /// Samples one full discriminator iteration: a randomly oriented
     /// positive batch plus the matching negative batch, in the exact
     /// Algorithm 2/3 order (positives, per-edge orientation coin flips,
@@ -117,10 +201,16 @@ impl BatchProvider {
         graph: &Graph,
         rng: &mut impl Rng,
     ) -> Result<(DiscBatch, DiscBatch), GraphError> {
-        let pos = self.positives(graph, rng)?;
-        let oriented: Vec<(usize, usize)> = pos
+        // Edge *indices* first (the exact draws of `positives`), so the
+        // sign/weight channels can be looked up RNG-free per index.
+        let idx: Vec<u32> = self
+            .edges
+            .sample_indices_for(graph, self.batch, rng)?
+            .to_vec();
+        let oriented: Vec<(usize, usize)> = idx
             .iter()
-            .map(|e| {
+            .map(|&i| {
+                let e = graph.edges()[i as usize];
                 if rng.gen::<bool>() {
                     (e.u().index(), e.v().index())
                 } else {
@@ -128,6 +218,14 @@ impl BatchProvider {
                 }
             })
             .collect();
+        let signs = match &self.signs {
+            Some(s) => idx.iter().map(|&i| s[i as usize]).collect(),
+            None => Vec::new(),
+        };
+        let weights = match &self.edge_weights {
+            Some(w) => idx.iter().map(|&i| w[i as usize]).collect(),
+            None => Vec::new(),
+        };
         let sources: Vec<advsgm_graph::NodeId> = oriented
             .iter()
             .map(|&(i, _)| advsgm_graph::NodeId::from_index(i))
@@ -141,10 +239,16 @@ impl BatchProvider {
             DiscBatch {
                 pairs: oriented,
                 positive: true,
+                signs,
+                weights,
             },
+            // Sampled negatives are always friend-polarity, unit-weight
+            // repel terms, whatever the variant.
             DiscBatch {
                 pairs: neg_pairs,
                 positive: false,
+                signs: Vec::new(),
+                weights: Vec::new(),
             },
         ))
     }
@@ -168,11 +272,12 @@ impl BatchProvider {
             updates.push(pos);
             updates.push(neg);
         }
-        let loss_positives = self.positives(graph, rng)?;
+        let (loss_positives, loss_signs) = self.positives_with_signs(graph, rng)?;
         let loss_negatives = self.negatives(&loss_positives, rng);
         Ok(EpochBatches {
             updates,
             loss_positives,
+            loss_signs,
             loss_negatives,
         })
     }
@@ -282,5 +387,152 @@ mod tests {
         assert_eq!(pos.len(), 10);
         let negs = p.negatives(&pos, &mut rng);
         assert_eq!(negs.len(), 30);
+    }
+
+    /// Karate club with a deterministic polarity stamp (every third edge
+    /// a foe), for exercising the sign channel.
+    fn signed_karate() -> Graph {
+        let g = karate_club();
+        let signs: Vec<bool> = (0..g.num_edges()).map(|i| i % 3 == 0).collect();
+        Graph::from_parts_signed(g.num_nodes(), g.edges().to_vec(), Some(signs), None)
+    }
+
+    #[test]
+    fn sign_channel_attaches_only_for_sign_aware_variants() {
+        let g = signed_karate();
+        let mut rng = SmallRng::seed_from_u64(4);
+        let mut aware = BatchProvider::new_for_variant(
+            &g,
+            12,
+            3,
+            NegativeDistribution::Uniform,
+            ModelVariant::SignedAdvSgm,
+        )
+        .unwrap();
+        let (pos, _) = aware.sample_disc_iteration(&g, &mut rng).unwrap();
+        assert_eq!(pos.signs.len(), pos.pairs.len(), "signs aligned");
+        assert!(pos.signs.iter().any(|&s| s), "foe flags actually surface");
+        assert!(pos.signs.iter().any(|&s| !s), "friend flags too");
+
+        // Sign-blind variants on the same signed graph: legacy transport.
+        for v in [
+            ModelVariant::AdvSgm,
+            ModelVariant::Sgm,
+            ModelVariant::SpAdvSgm,
+        ] {
+            let mut blind =
+                BatchProvider::new_for_variant(&g, 12, 3, NegativeDistribution::Uniform, v)
+                    .unwrap();
+            let mut rng = SmallRng::seed_from_u64(4);
+            let (pos, neg) = blind.sample_disc_iteration(&g, &mut rng).unwrap();
+            assert!(pos.signs.is_empty(), "{v}: no sign channel");
+            assert!(neg.signs.is_empty());
+            assert!(!pos.foe(0), "empty channel reads as all-friend");
+        }
+    }
+
+    #[test]
+    fn side_channels_never_perturb_the_draw_sequence() {
+        // The seam's bitwise contract: attaching signs and/or weights
+        // consumes no randomness, so batch composition is identical to the
+        // legacy provider at the same seed — across a whole epoch plan.
+        let g = signed_karate();
+        let legacy_batches = {
+            let mut p = BatchProvider::new(&g, 8, 3, NegativeDistribution::Uniform).unwrap();
+            p.plan_epoch(&g, 4, &mut SmallRng::seed_from_u64(55))
+                .unwrap()
+        };
+        for v in [ModelVariant::SignedAdvSgm, ModelVariant::SpAdvSgm] {
+            let mut p =
+                BatchProvider::new_for_variant(&g, 8, 3, NegativeDistribution::Uniform, v).unwrap();
+            let plan = p
+                .plan_epoch(&g, 4, &mut SmallRng::seed_from_u64(55))
+                .unwrap();
+            for (a, b) in plan.updates.iter().zip(&legacy_batches.updates) {
+                assert_eq!(a.pairs, b.pairs, "{v}: identical batch composition");
+                assert_eq!(a.positive, b.positive);
+            }
+            assert_eq!(plan.loss_positives, legacy_batches.loss_positives, "{v}");
+            assert_eq!(plan.loss_negatives, legacy_batches.loss_negatives, "{v}");
+        }
+    }
+
+    #[test]
+    fn weights_attach_only_under_structure_preference() {
+        let g = signed_karate();
+        let mut sp = BatchProvider::new_for_variant(
+            &g,
+            10,
+            2,
+            NegativeDistribution::Uniform,
+            ModelVariant::SpAdvSgm,
+        )
+        .unwrap();
+        let mut rng = SmallRng::seed_from_u64(12);
+        let (pos, neg) = sp.sample_disc_iteration(&g, &mut rng).unwrap();
+        assert_eq!(pos.weights.len(), pos.pairs.len());
+        assert!(
+            pos.weights.iter().all(|&w| w > 0.0 && w <= 1.0),
+            "weights stay in (0, 1] so clipped sensitivity holds"
+        );
+        assert!(neg.weights.is_empty(), "negative batches stay uniform");
+        assert_eq!(neg.weight(0), 1.0);
+
+        let mut uni = BatchProvider::new_for_variant(
+            &g,
+            10,
+            2,
+            NegativeDistribution::Uniform,
+            ModelVariant::AdvSgm,
+        )
+        .unwrap();
+        let mut rng = SmallRng::seed_from_u64(12);
+        let (pos, _) = uni.sample_disc_iteration(&g, &mut rng).unwrap();
+        assert!(pos.weights.is_empty(), "uniform weighting sends no channel");
+        assert_eq!(pos.weight(0), 1.0);
+    }
+
+    #[test]
+    fn unsigned_graph_degrades_to_all_friend() {
+        let g = karate_club();
+        let mut p = BatchProvider::new_for_variant(
+            &g,
+            8,
+            2,
+            NegativeDistribution::Uniform,
+            ModelVariant::SignedAdvSgm,
+        )
+        .unwrap();
+        let mut rng = SmallRng::seed_from_u64(2);
+        let (pos, _) = p.sample_disc_iteration(&g, &mut rng).unwrap();
+        assert!(pos.signs.is_empty());
+        assert!((0..pos.pairs.len()).all(|i| !pos.foe(i)));
+    }
+
+    #[test]
+    fn positives_with_signs_reports_the_graph_polarity() {
+        let g = signed_karate();
+        let mut p = BatchProvider::new_for_variant(
+            &g,
+            14,
+            2,
+            NegativeDistribution::Uniform,
+            ModelVariant::SignedAdvSgm,
+        )
+        .unwrap();
+        // Same draws as the plain `positives` path...
+        let pos_plain = p
+            .clone()
+            .positives(&g, &mut SmallRng::seed_from_u64(31))
+            .unwrap();
+        let (pos, signs) = p
+            .positives_with_signs(&g, &mut SmallRng::seed_from_u64(31))
+            .unwrap();
+        assert_eq!(pos, pos_plain);
+        // ...and every flag agrees with the graph's own polarity.
+        for (e, &foe) in pos.iter().zip(&signs) {
+            let idx = g.edges().iter().position(|x| x == e).unwrap();
+            assert_eq!(g.edge_is_foe(idx), foe);
+        }
     }
 }

@@ -106,7 +106,10 @@ pub(crate) fn gradient_noise_std(cfg: &AdvSgmConfig) -> f64 {
     let base = cfg.clip * cfg.sigma;
     match cfg.variant {
         ModelVariant::DpSgm | ModelVariant::DpAsgm => base,
-        ModelVariant::AdvSgm => {
+        // The workload variants keep AdvSGM's mechanism (and calibration)
+        // unchanged: signs flip the skip-gram base direction, weights scale
+        // post-clip — neither touches the noise (DESIGN.md §16).
+        ModelVariant::AdvSgm | ModelVariant::SignedAdvSgm | ModelVariant::SpAdvSgm => {
             if cfg.faithful_noise {
                 base
             } else {
@@ -206,22 +209,55 @@ pub(crate) struct PairFakes<'a> {
     pub mean_i: &'a [f64],
 }
 
+/// One pair's batch context for [`clipped_pair_grads`]: the batch kind
+/// plus the pair's sign/weight channels (DESIGN.md §16).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct PairCtx {
+    /// `true` for a positive (edge) batch, `false` for a negative batch.
+    pub positive: bool,
+    /// `true` for a foe (antagonistic) edge in a positive batch: the
+    /// skip-gram base flips to the repelling direction (arXiv 2512.00307
+    /// §IV). Always `false` for sampled negatives and sign-blind batches.
+    pub foe: bool,
+    /// Structure-preference weight in `(0, 1]`, applied to the *clipped*
+    /// gradient (sensitivity stays bounded by the clip norm). `1.0` under
+    /// uniform weighting, where no scaling is applied at all.
+    pub weight: f64,
+}
+
+impl PairCtx {
+    /// Context for pair `idx` of `batch`.
+    #[inline]
+    pub fn of(batch: &DiscBatch, idx: usize) -> Self {
+        Self {
+            positive: batch.positive,
+            foe: batch.foe(idx),
+            weight: batch.weight(idx),
+        }
+    }
+}
+
 /// The Theorem-6 per-pair released direction: the closed-form skip-gram
 /// gradients, the variant's adversarial augmentation (AdvSGM centers the
 /// fake as a control variate; the first-cut DP-ASGM uses it raw), and the
-/// DPSGD clip. Lives here — once — so the gradient math can never drift
-/// between the sequential and sharded engines. `fakes` is `None` exactly
-/// for the non-adversarial variants.
+/// DPSGD clip. A foe edge in a positive batch attracts nothing: its base
+/// gradient is the repelling (negative-sample) form, same norm bound. A
+/// non-unit pair weight scales the gradient *after* the clip, so each
+/// summand's sensitivity stays `<= C` and the accountant is unchanged.
+/// Lives here — once — so the gradient math can never drift between the
+/// sequential and sharded engines. `fakes` is `None` exactly for the
+/// non-adversarial variants.
 pub(crate) fn clipped_pair_grads(
     kind: SigmoidKind,
     variant: ModelVariant,
     clip: f64,
-    positive: bool,
+    ctx: PairCtx,
     vi: &[f64],
     vj: &[f64],
     fakes: Option<PairFakes<'_>>,
 ) -> (Vec<f64>, Vec<f64>) {
-    let grads = if positive {
+    let attract = ctx.positive && !ctx.foe;
+    let grads = if attract {
         sgm_positive_grads(kind, vi, vj)
     } else {
         sgm_negative_grads(kind, vi, vj)
@@ -229,7 +265,10 @@ pub(crate) fn clipped_pair_grads(
     let mut gi = grads.first;
     let mut gj = grads.second;
     match variant {
-        ModelVariant::AdvSgm | ModelVariant::AdvSgmNoDp => {
+        ModelVariant::AdvSgm
+        | ModelVariant::AdvSgmNoDp
+        | ModelVariant::SignedAdvSgm
+        | ModelVariant::SpAdvSgm => {
             // Theorem 6: lambda = 1/S collapses the adversarial gradient
             // to the bare (here: centered) fake neighbor.
             let f = fakes.expect("adversarial variants carry fakes");
@@ -252,6 +291,12 @@ pub(crate) fn clipped_pair_grads(
     if variant != ModelVariant::Sgm {
         vector::clip_l2(&mut gi, clip);
         vector::clip_l2(&mut gj, clip);
+    }
+    // Post-clip pair weighting; the `!= 1.0` gate keeps uniform weighting
+    // bitwise-identical to the pre-seam trainer (no multiply by 1.0).
+    if ctx.weight != 1.0 {
+        vector::scale(&mut gi, ctx.weight);
+        vector::scale(&mut gj, ctx.weight);
     }
     (gi, gj)
 }
@@ -445,6 +490,14 @@ pub(crate) fn graph_fingerprint(graph: &Graph) -> u64 {
         mix(e.u().index() as u64);
         mix(e.v().index() as u64);
     }
+    // The sign channel is part of edge identity for resume purposes —
+    // mixed only when present, so unsigned graphs keep their pre-sign
+    // fingerprints (existing checkpoints stay resumable).
+    if let Some(signs) = graph.signs() {
+        for &foe in signs {
+            mix(u64::from(foe));
+        }
+    }
     h
 }
 
@@ -550,11 +603,12 @@ impl SessionCore {
         let mut rng = seeded(derive_seed(cfg.seed, STREAM_INIT));
         let emb = Embeddings::init(graph.num_nodes(), cfg.dim, &mut rng);
         let gens = GeneratorPair::new(graph.num_nodes(), cfg.dim, &mut rng);
-        let provider = BatchProvider::new(
+        let provider = BatchProvider::new_for_variant(
             graph,
             cfg.batch_size,
             cfg.negatives,
             cfg.negative_distribution,
+            cfg.variant,
         )?;
         let accountant = cfg.variant.is_private().then(RdpAccountant::new);
         let (gamma_pos, gamma_neg) = (provider.gamma_pos(), provider.gamma_neg());
@@ -691,11 +745,12 @@ impl SessionCore {
         } else {
             SigmoidKind::Plain
         };
-        let mut provider = BatchProvider::new(
+        let mut provider = BatchProvider::new_for_variant(
             graph,
             cfg.batch_size,
             cfg.negatives,
             cfg.negative_distribution,
+            cfg.variant,
         )?;
         provider
             .restore_edge_permutation(state.edge_permutation.clone())

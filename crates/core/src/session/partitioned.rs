@@ -58,7 +58,7 @@ use crate::model::Embeddings;
 use crate::partitioned::SlotPoolStats;
 use crate::sampler::{BatchProvider, DiscBatch};
 use crate::session::{
-    accumulate, clipped_pair_grads, gradient_noise_std, Engine, EngineKind, EngineStreams,
+    accumulate, clipped_pair_grads, gradient_noise_std, Engine, EngineKind, EngineStreams, PairCtx,
     PairFakes, RowAcc, SessionCore,
 };
 use crate::variants::ModelVariant;
@@ -421,7 +421,6 @@ impl Engine for PartitionedEngine {
         let r = core.cfg.dim;
         let variant = core.cfg.variant;
         let clip = core.cfg.clip;
-        let positive = batch.positive;
         // Per-batch shared noise vectors (Theorem 6's N_{D,1}, N_{D,2}).
         let noise_std = gradient_noise_std(&core.cfg);
         let n_in = gaussian_vec(&mut self.rng, noise_std, r);
@@ -482,7 +481,7 @@ impl Engine for PartitionedEngine {
                     kind,
                     variant,
                     clip,
-                    positive,
+                    PairCtx::of(batch, idx),
                     parts.in_row(i),
                     parts.out_row(j),
                     pair_fakes,
@@ -624,7 +623,7 @@ impl Engine for PartitionedEngine {
     /// order-fixed fold split of [`crate::loss`].
     fn epoch_loss(&mut self, core: &mut SessionCore, graph: &Graph) -> Result<f64, CoreError> {
         Self::reclaim(core);
-        let pos = self.provider.positives(graph, &mut self.rng)?;
+        let (pos, pos_signs) = self.provider.positives_with_signs(graph, &mut self.rng)?;
         let negs = self.provider.negatives(&pos, &mut self.rng);
         let mode = if core.cfg.variant.is_adversarial() {
             WeightMode::InverseS
@@ -665,6 +664,7 @@ impl Engine for PartitionedEngine {
             let parts = &self.parts;
             let (pos, fakes) = (&pos, &fakes);
             let (n1, n2) = (&n1, &n2);
+            let pos_signs = &pos_signs;
             let computed = map_indexed(&mut self.pool, idxs, |_pos, &idx| {
                 let e = &pos[idx];
                 positive_terms(
@@ -674,6 +674,7 @@ impl Engine for PartitionedEngine {
                     &fakes[idx].1,
                     n1,
                     n2,
+                    pos_signs.get(idx).copied().unwrap_or(false),
                 )
             });
             for (&idx, t) in idxs.iter().zip(computed) {

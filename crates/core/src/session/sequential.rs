@@ -23,7 +23,7 @@ use crate::loss::novel_loss_batch;
 use crate::sampler::{BatchProvider, DiscBatch};
 use crate::session::{
     accumulate, apply_noisy_updates, clipped_pair_grads, gradient_noise_std, Engine, EngineKind,
-    EngineStreams, PairFakes, SessionCore,
+    EngineStreams, PairCtx, PairFakes, SessionCore,
 };
 use crate::variants::ModelVariant;
 use crate::weighting::WeightMode;
@@ -78,7 +78,6 @@ impl Engine for SequentialEngine {
         let r = core.cfg.dim;
         let variant = core.cfg.variant;
         let clip = core.cfg.clip;
-        let positive = batch.positive;
         // Per-batch shared noise vectors (Theorem 6's N_{D,1}, N_{D,2}).
         let noise_std = gradient_noise_std(&core.cfg);
         let n_in = gaussian_vec(&mut self.rng, noise_std, r);
@@ -127,7 +126,7 @@ impl Engine for SequentialEngine {
                 core.kind,
                 variant,
                 clip,
-                positive,
+                PairCtx::of(batch, idx),
                 core.emb.input(i),
                 core.emb.output(j),
                 pair_fakes,
@@ -196,7 +195,7 @@ impl Engine for SequentialEngine {
 
     /// Per-epoch `|L_Nov|` diagnostic on one fresh batch.
     fn epoch_loss(&mut self, core: &mut SessionCore, graph: &Graph) -> Result<f64, CoreError> {
-        let pos = self.provider.positives(graph, &mut self.rng)?;
+        let (pos, signs) = self.provider.positives_with_signs(graph, &mut self.rng)?;
         let negs = self.provider.negatives(&pos, &mut self.rng);
         let mode = if core.cfg.variant.is_adversarial() {
             WeightMode::InverseS
@@ -209,6 +208,7 @@ impl Engine for SequentialEngine {
             &core.emb,
             &core.gens,
             &pos,
+            &signs,
             &negs,
             gradient_noise_std(&core.cfg),
             &mut self.rng,

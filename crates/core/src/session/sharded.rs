@@ -48,7 +48,7 @@ use crate::loss::novel_loss_batch;
 use crate::sampler::{BatchProvider, DiscBatch};
 use crate::session::{
     accumulate, apply_noisy_updates, clipped_pair_grads, gradient_noise_std, Engine, EngineKind,
-    EngineStreams, PairFakes, RowAcc, SessionCore, STREAM_DISC, STREAM_GEN,
+    EngineStreams, PairCtx, PairFakes, RowAcc, SessionCore, STREAM_DISC, STREAM_GEN,
 };
 use crate::variants::ModelVariant;
 use crate::weighting::WeightMode;
@@ -71,11 +71,17 @@ pub(crate) struct ProducerSnapshot {
 pub(crate) enum Produced {
     /// One discriminator update batch.
     Update(DiscBatch),
-    /// The epoch-loss diagnostic batch, sent once per epoch, plus the
-    /// producer's state at this epoch boundary when the run can
-    /// checkpoint (`None` otherwise — the snapshot costs an `O(|E|)`
-    /// copy, pure waste for a run that will never capture one).
-    Loss(Vec<Edge>, Vec<NegativePair>, Option<Box<ProducerSnapshot>>),
+    /// The epoch-loss diagnostic batch (positives, their foe flags, and
+    /// negatives), sent once per epoch, plus the producer's state at this
+    /// epoch boundary when the run can checkpoint (`None` otherwise — the
+    /// snapshot costs an `O(|E|)` copy, pure waste for a run that will
+    /// never capture one).
+    Loss(
+        Vec<Edge>,
+        Vec<bool>,
+        Vec<NegativePair>,
+        Option<Box<ProducerSnapshot>>,
+    ),
     /// Sampling failed; training must abort with this error.
     Failed(GraphError),
 }
@@ -120,7 +126,7 @@ pub(crate) fn produce_batches(
                 }
             }
         }
-        let loss_pos = match provider.positives(graph, &mut rng) {
+        let (loss_pos, loss_signs) = match provider.positives_with_signs(graph, &mut rng) {
             Ok(v) => v,
             Err(e) => {
                 let _ = tx.send(Produced::Failed(e));
@@ -137,7 +143,7 @@ pub(crate) fn produce_batches(
             })
         });
         if tx
-            .send(Produced::Loss(loss_pos, loss_neg, snapshot))
+            .send(Produced::Loss(loss_pos, loss_signs, loss_neg, snapshot))
             .is_err()
         {
             return;
@@ -238,7 +244,6 @@ impl Engine for ShardedEngine<'_> {
         let variant = core.cfg.variant;
         let clip = core.cfg.clip;
         let kind = core.kind;
-        let positive = batch.positive;
         let shard_len = self.shard_len(core, count);
 
         // Theorem 6's per-batch noise (N_{D,1}, N_{D,2}): one draw per
@@ -309,7 +314,7 @@ impl Engine for ShardedEngine<'_> {
                         kind,
                         variant,
                         clip,
-                        positive,
+                        PairCtx::of(batch, idx),
                         emb.input(i),
                         emb.output(j),
                         pair_fakes,
@@ -406,8 +411,8 @@ impl Engine for ShardedEngine<'_> {
     /// Per-epoch `|L_Nov|` diagnostic on the producer's loss batch; also
     /// records the producer snapshot riding along with it.
     fn epoch_loss(&mut self, core: &mut SessionCore, _graph: &Graph) -> Result<f64, CoreError> {
-        let (loss_pos, loss_neg, snapshot) = match self.recv_item()? {
-            Produced::Loss(p, n, s) => (p, n, s),
+        let (loss_pos, loss_signs, loss_neg, snapshot) = match self.recv_item()? {
+            Produced::Loss(p, sg, n, s) => (p, sg, n, s),
             _ => unreachable!("producer schedule mismatch: expected loss batch"),
         };
         if let Some(s) = snapshot {
@@ -424,6 +429,7 @@ impl Engine for ShardedEngine<'_> {
             &core.emb,
             &core.gens,
             &loss_pos,
+            &loss_signs,
             &loss_neg,
             gradient_noise_std(&core.cfg),
             &mut self.loss_rng,

@@ -155,10 +155,10 @@ impl Trainer {
         let noise_std = gradient_noise_std(&self.core.cfg);
         let mut total = 0.0;
         for _ in 0..batches.max(1) {
-            let pos = self
+            let (pos, signs) = self
                 .engine
                 .provider
-                .positives(graph, &mut self.engine.rng)?;
+                .positives_with_signs(graph, &mut self.engine.rng)?;
             let negs = self.engine.provider.negatives(&pos, &mut self.engine.rng);
             total += novel_loss_batch(
                 self.core.kind,
@@ -166,6 +166,7 @@ impl Trainer {
                 &self.core.emb,
                 &self.core.gens,
                 &pos,
+                &signs,
                 &negs,
                 noise_std,
                 &mut self.engine.rng,

@@ -1,6 +1,16 @@
-//! The model variants evaluated in the paper (Table V and Figs. 3–4).
+//! The model variants evaluated in the paper (Table V and Figs. 3–4),
+//! extended with the follow-up workloads of DESIGN.md §16.
+//!
+//! This module is also the single source of truth for the **wire codes**
+//! stamped into `.aemb` releases and `.actk` checkpoints
+//! (`docs/FORMAT.md`): [`ModelVariant::wire_code`] /
+//! [`ModelVariant::from_wire_code`] are the one append-only table both
+//! `advsgm-core` and `advsgm-store` read, so the two crates agree by
+//! construction.
 
 use std::fmt;
+
+use crate::weighting::PairWeighting;
 
 /// Which skip-gram model to train.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -20,6 +30,18 @@ pub enum ModelVariant {
     /// `AdvSGM (No DP)`: the same architecture with the noise terms zeroed
     /// and no privacy accounting.
     AdvSgmNoDp,
+    /// `Signed-AdvSGM`: AdvSGM on signed (friend/foe) graphs — foe edges
+    /// in positive batches use the repelling skip-gram gradient (the loss
+    /// sign structure of arXiv 2512.00307 §IV) while the Theorem-6
+    /// adversarial machinery, per-pair clipping, and accountant are
+    /// unchanged, so the privacy analysis applies verbatim.
+    SignedAdvSgm,
+    /// `SP-AdvSGM`: AdvSGM with structure-preference pair weighting (arXiv
+    /// 2501.03451) — common-neighbor/degree-derived weights in `(0, 1]`
+    /// scale each **already clipped** per-pair gradient before noise, so
+    /// sensitivity stays bounded by the clip norm and the accountant is
+    /// again unchanged.
+    SpAdvSgm,
 }
 
 impl ModelVariant {
@@ -27,7 +49,11 @@ impl ModelVariant {
     pub fn is_private(&self) -> bool {
         matches!(
             self,
-            ModelVariant::DpSgm | ModelVariant::DpAsgm | ModelVariant::AdvSgm
+            ModelVariant::DpSgm
+                | ModelVariant::DpAsgm
+                | ModelVariant::AdvSgm
+                | ModelVariant::SignedAdvSgm
+                | ModelVariant::SpAdvSgm
         )
     }
 
@@ -35,17 +61,44 @@ impl ModelVariant {
     pub fn is_adversarial(&self) -> bool {
         matches!(
             self,
-            ModelVariant::DpAsgm | ModelVariant::AdvSgm | ModelVariant::AdvSgmNoDp
+            ModelVariant::DpAsgm
+                | ModelVariant::AdvSgm
+                | ModelVariant::AdvSgmNoDp
+                | ModelVariant::SignedAdvSgm
+                | ModelVariant::SpAdvSgm
         )
     }
 
     /// Whether the constrained sigmoid of Section IV-C replaces the plain
-    /// sigmoid (only the full AdvSGM architecture uses it).
+    /// sigmoid (the full AdvSGM architecture and its workload variants).
     pub fn uses_constrained_sigmoid(&self) -> bool {
-        matches!(self, ModelVariant::AdvSgm | ModelVariant::AdvSgmNoDp)
+        matches!(
+            self,
+            ModelVariant::AdvSgm
+                | ModelVariant::AdvSgmNoDp
+                | ModelVariant::SignedAdvSgm
+                | ModelVariant::SpAdvSgm
+        )
     }
 
-    /// Display name as used in the paper's tables.
+    /// Whether the variant consumes the graph's friend/foe sign channel
+    /// (sign-blind variants treat every edge as a friend edge).
+    pub fn is_sign_aware(&self) -> bool {
+        matches!(self, ModelVariant::SignedAdvSgm)
+    }
+
+    /// The pair-weighting strategy this variant trains under
+    /// ([`PairWeighting::Uniform`] is bitwise-identical to the pre-seam
+    /// behavior).
+    pub fn pair_weighting(&self) -> PairWeighting {
+        match self {
+            ModelVariant::SpAdvSgm => PairWeighting::StructurePreference,
+            _ => PairWeighting::Uniform,
+        }
+    }
+
+    /// Display name as used in the paper's tables (and, for the follow-up
+    /// workloads, the follow-up papers' names).
     pub fn paper_name(&self) -> &'static str {
         match self {
             ModelVariant::Sgm => "SGM(No DP)",
@@ -53,17 +106,52 @@ impl ModelVariant {
             ModelVariant::DpAsgm => "DP-ASGM",
             ModelVariant::AdvSgm => "AdvSGM",
             ModelVariant::AdvSgmNoDp => "AdvSGM(No DP)",
+            ModelVariant::SignedAdvSgm => "Signed-AdvSGM",
+            ModelVariant::SpAdvSgm => "SP-AdvSGM",
         }
     }
 
-    /// All variants in the order Table V lists them.
-    pub fn all() -> [ModelVariant; 5] {
+    /// The append-only wire code stamped into `.aemb` headers (byte 20)
+    /// and `.actk` headers (byte 9); see `docs/FORMAT.md`. Existing values
+    /// never change meaning across versions — new variants append.
+    pub fn wire_code(&self) -> u8 {
+        match self {
+            ModelVariant::Sgm => 0,
+            ModelVariant::DpSgm => 1,
+            ModelVariant::DpAsgm => 2,
+            ModelVariant::AdvSgm => 3,
+            ModelVariant::AdvSgmNoDp => 4,
+            ModelVariant::SignedAdvSgm => 5,
+            ModelVariant::SpAdvSgm => 6,
+        }
+    }
+
+    /// Inverse of [`ModelVariant::wire_code`]; `None` for unknown codes
+    /// (the store layer maps that to a typed corruption error).
+    pub fn from_wire_code(code: u8) -> Option<ModelVariant> {
+        Some(match code {
+            0 => ModelVariant::Sgm,
+            1 => ModelVariant::DpSgm,
+            2 => ModelVariant::DpAsgm,
+            3 => ModelVariant::AdvSgm,
+            4 => ModelVariant::AdvSgmNoDp,
+            5 => ModelVariant::SignedAdvSgm,
+            6 => ModelVariant::SpAdvSgm,
+            _ => return None,
+        })
+    }
+
+    /// All variants: the five Table-V models in the order Table V lists
+    /// them, then the workload variants in wire-code order.
+    pub fn all() -> [ModelVariant; 7] {
         [
             ModelVariant::Sgm,
             ModelVariant::AdvSgmNoDp,
             ModelVariant::DpSgm,
             ModelVariant::DpAsgm,
             ModelVariant::AdvSgm,
+            ModelVariant::SignedAdvSgm,
+            ModelVariant::SpAdvSgm,
         ]
     }
 }
@@ -85,6 +173,8 @@ mod tests {
         assert!(ModelVariant::DpSgm.is_private());
         assert!(ModelVariant::DpAsgm.is_private());
         assert!(ModelVariant::AdvSgm.is_private());
+        assert!(ModelVariant::SignedAdvSgm.is_private());
+        assert!(ModelVariant::SpAdvSgm.is_private());
     }
 
     #[test]
@@ -94,16 +184,54 @@ mod tests {
         assert!(ModelVariant::DpAsgm.is_adversarial());
         assert!(ModelVariant::AdvSgm.is_adversarial());
         assert!(ModelVariant::AdvSgmNoDp.is_adversarial());
+        assert!(ModelVariant::SignedAdvSgm.is_adversarial());
+        assert!(ModelVariant::SpAdvSgm.is_adversarial());
+    }
+
+    #[test]
+    fn sign_and_weighting_flags() {
+        for v in ModelVariant::all() {
+            assert_eq!(v.is_sign_aware(), v == ModelVariant::SignedAdvSgm);
+            let expect = if v == ModelVariant::SpAdvSgm {
+                PairWeighting::StructurePreference
+            } else {
+                PairWeighting::Uniform
+            };
+            assert_eq!(v.pair_weighting(), expect, "{v}");
+        }
     }
 
     #[test]
     fn names_match_paper() {
         assert_eq!(ModelVariant::AdvSgm.to_string(), "AdvSGM");
         assert_eq!(ModelVariant::Sgm.to_string(), "SGM(No DP)");
+        assert_eq!(ModelVariant::SignedAdvSgm.to_string(), "Signed-AdvSGM");
+        assert_eq!(ModelVariant::SpAdvSgm.to_string(), "SP-AdvSGM");
     }
 
     #[test]
-    fn all_lists_five() {
-        assert_eq!(ModelVariant::all().len(), 5);
+    fn all_lists_seven() {
+        assert_eq!(ModelVariant::all().len(), 7);
+    }
+
+    #[test]
+    fn wire_codes_roundtrip_exhaustively() {
+        // Every variant must have a distinct code that survives the
+        // roundtrip. The exhaustive match in `wire_code` means adding a
+        // `ModelVariant` without a code is a compile error, and this test
+        // pins the roundtrip plus append-only values.
+        let mut seen = std::collections::HashSet::new();
+        for v in ModelVariant::all() {
+            let code = v.wire_code();
+            assert!(seen.insert(code), "duplicate wire code {code}");
+            assert_eq!(ModelVariant::from_wire_code(code), Some(v));
+        }
+        // The original five codes are frozen (append-only policy).
+        assert_eq!(ModelVariant::Sgm.wire_code(), 0);
+        assert_eq!(ModelVariant::DpSgm.wire_code(), 1);
+        assert_eq!(ModelVariant::DpAsgm.wire_code(), 2);
+        assert_eq!(ModelVariant::AdvSgm.wire_code(), 3);
+        assert_eq!(ModelVariant::AdvSgmNoDp.wire_code(), 4);
+        assert_eq!(ModelVariant::from_wire_code(200), None);
     }
 }

@@ -1,10 +1,22 @@
-//! Module-weight settings (Section IV-C, Fig. 2).
+//! Module-weight settings (Section IV-C, Fig. 2) and the pair-weighting
+//! seam (DESIGN.md §16).
 //!
 //! The discriminator loss `L_Nov = L_sgm + lambda1 L_adv1 + lambda2 L_adv2`
 //! (Eq. 16/24) is controlled by the weights `lambda`. Theorem 6 fixes
 //! `lambda = 1/S(.)` so the adversarial gradient collapses to `v' + N` and
 //! DP needs no extra noise; `Fixed(0.5)` and `Fixed(1.0)` are the baselines
 //! Fig. 2 compares against.
+//!
+//! [`PairWeighting`] is orthogonal: it scales each **per-pair** clipped
+//! gradient by a data-derived weight `w(i,j) ∈ (0, 1]` (arXiv 2501.03451's
+//! structure-preference idea). Because the scaling happens *after* the
+//! per-pair L2 clip and *before* noise, the sensitivity of each summand
+//! stays bounded by the clip norm `C`, so the Theorem-6/7 privacy analysis
+//! is untouched. [`PairWeighting::Uniform`] applies no scaling at all and
+//! is bitwise-identical to the pre-seam behavior.
+
+use advsgm_graph::Graph;
+use advsgm_graph::NodeId;
 
 use crate::sigmoid::SigmoidKind;
 
@@ -38,6 +50,72 @@ impl WeightMode {
     }
 }
 
+/// How per-pair gradients are weighted inside a discriminator batch
+/// (DESIGN.md §16; the seam behind [`crate::ModelVariant::pair_weighting`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum PairWeighting {
+    /// Every pair weighs 1 — today's behavior, bitwise-identical to the
+    /// pre-seam trainer (no scaling is ever applied, not even by 1.0).
+    #[default]
+    Uniform,
+    /// Structure-preference weights (arXiv 2501.03451): positive pairs are
+    /// weighted by their common-neighbor/degree similarity
+    /// [`structure_preference_weight`], so structurally entangled pairs
+    /// keep more of their (clipped) gradient than incidental ones.
+    /// Sampled negatives always weigh 1.
+    StructurePreference,
+}
+
+impl PairWeighting {
+    /// Display label for logs and reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            PairWeighting::Uniform => "uniform",
+            PairWeighting::StructurePreference => "structure-preference",
+        }
+    }
+}
+
+/// The structure-preference weight of a node pair:
+///
+/// `w(u, v) = (1 + CN(u, v)) / (1 + deg(u) + deg(v) - CN(u, v))`
+///
+/// where `CN` is the common-neighbor count — a smoothed Jaccard-style
+/// similarity over the open neighborhoods. Always in `(0, 1]`, exactly 1
+/// only for two isolated nodes, and computed RNG-free from the CSR's
+/// sorted neighbor lists, so it is deterministic and engine-invariant.
+pub fn structure_preference_weight(graph: &Graph, u: usize, v: usize) -> f64 {
+    let nu = graph.neighbors(NodeId::from_index(u));
+    let nv = graph.neighbors(NodeId::from_index(v));
+    // Sorted-list intersection.
+    let mut cn = 0usize;
+    let (mut a, mut b) = (0usize, 0usize);
+    while a < nu.len() && b < nv.len() {
+        match nu[a].cmp(&nv[b]) {
+            std::cmp::Ordering::Less => a += 1,
+            std::cmp::Ordering::Greater => b += 1,
+            std::cmp::Ordering::Equal => {
+                cn += 1;
+                a += 1;
+                b += 1;
+            }
+        }
+    }
+    (1.0 + cn as f64) / (1.0 + (nu.len() + nv.len() - cn) as f64)
+}
+
+/// Precomputes [`structure_preference_weight`] for every edge of `graph`,
+/// aligned with [`Graph::edges`]. This is the per-run table the sampler
+/// attaches to positive batches under
+/// [`PairWeighting::StructurePreference`].
+pub fn precompute_edge_weights(graph: &Graph) -> Vec<f64> {
+    graph
+        .edges()
+        .iter()
+        .map(|e| structure_preference_weight(graph, e.u().index(), e.v().index()))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -62,5 +140,48 @@ mod tests {
     fn labels() {
         assert_eq!(WeightMode::Fixed(1.0).label(), "lambda = 1");
         assert!(WeightMode::InverseS.label().contains("1/S"));
+        assert_eq!(PairWeighting::Uniform.label(), "uniform");
+        assert_eq!(
+            PairWeighting::StructurePreference.label(),
+            "structure-preference"
+        );
+    }
+
+    #[test]
+    fn structure_weights_are_in_unit_interval_and_ordered() {
+        use advsgm_graph::generators::classic::karate_club;
+        let g = karate_club();
+        for e in g.edges() {
+            let w = structure_preference_weight(&g, e.u().index(), e.v().index());
+            assert!(w > 0.0 && w <= 1.0, "weight {w} out of (0,1] for {e}");
+        }
+        // A triangle-sharing pair beats a pair with disjoint neighborhoods
+        // at equal degree sums: w = (1+CN)/(1+du+dv-CN) is increasing in CN.
+        // Nodes 0 and 1 of karate share many neighbors; 0 and 33 share few
+        // relative to their degrees.
+        let close = structure_preference_weight(&g, 0, 1);
+        let far = structure_preference_weight(&g, 0, 33);
+        assert!(close > far, "{close} vs {far}");
+    }
+
+    #[test]
+    fn isolated_pair_weighs_one() {
+        use advsgm_graph::{Edge, Graph};
+        let g = Graph::from_parts(4, vec![Edge::from_raw(0, 1)], None);
+        assert_eq!(structure_preference_weight(&g, 2, 3), 1.0);
+    }
+
+    #[test]
+    fn precomputed_table_aligns_with_edges() {
+        use advsgm_graph::generators::classic::karate_club;
+        let g = karate_club();
+        let table = precompute_edge_weights(&g);
+        assert_eq!(table.len(), g.num_edges());
+        for (i, e) in g.edges().iter().enumerate() {
+            assert_eq!(
+                table[i],
+                structure_preference_weight(&g, e.u().index(), e.v().index())
+            );
+        }
     }
 }

@@ -1,4 +1,5 @@
-//! The six paper datasets.
+//! The six paper datasets, plus the signed polarity workload
+//! (arXiv 2512.00307) that rides on the same registry.
 
 use crate::spec::DatasetSpec;
 
@@ -18,6 +19,11 @@ pub enum Dataset {
     Epinions,
     /// DBLP scholarly network: 2,244,021 nodes / 4,354,534 edges (no labels).
     Dblp,
+    /// Synthetic signed (friend/foe) network with planted polarity
+    /// communities — the "beyond the paper" workload for the sign-aware
+    /// variants (arXiv 2512.00307). Intra-block edges are friends,
+    /// inter-block edges foes, with 5% label noise.
+    Polarity,
 }
 
 impl Dataset {
@@ -30,6 +36,7 @@ impl Dataset {
             Dataset::Blog => "Blog",
             Dataset::Epinions => "Epinions",
             Dataset::Dblp => "DBLP",
+            Dataset::Polarity => "Polarity",
         }
     }
 
@@ -51,6 +58,7 @@ impl Dataset {
                 mixing: 0.15,
                 degree_exponent: 2.6,
                 seed: 0x9e37_0001,
+                sign_flip: None,
             },
             Dataset::Facebook => DatasetSpec {
                 name: "Facebook".into(),
@@ -61,6 +69,7 @@ impl Dataset {
                 mixing: 0.08,
                 degree_exponent: 2.3,
                 seed: 0x9e37_0002,
+                sign_flip: None,
             },
             Dataset::Wiki => DatasetSpec {
                 name: "Wiki".into(),
@@ -71,6 +80,7 @@ impl Dataset {
                 mixing: 0.25,
                 degree_exponent: 2.4,
                 seed: 0x9e37_0003,
+                sign_flip: None,
             },
             Dataset::Blog => DatasetSpec {
                 name: "Blog".into(),
@@ -81,6 +91,7 @@ impl Dataset {
                 mixing: 0.2,
                 degree_exponent: 2.3,
                 seed: 0x9e37_0004,
+                sign_flip: None,
             },
             Dataset::Epinions => DatasetSpec {
                 name: "Epinions".into(),
@@ -91,6 +102,7 @@ impl Dataset {
                 mixing: 0.2,
                 degree_exponent: 2.2,
                 seed: 0x9e37_0005,
+                sign_flip: None,
             },
             Dataset::Dblp => DatasetSpec {
                 name: "DBLP".into(),
@@ -101,6 +113,21 @@ impl Dataset {
                 mixing: 0.15,
                 degree_exponent: 2.5,
                 seed: 0x9e37_0006,
+                sign_flip: None,
+            },
+            Dataset::Polarity => DatasetSpec {
+                name: "Polarity".into(),
+                num_nodes: 2_000,
+                num_edges: 12_000,
+                num_classes: 4,
+                num_blocks: 4,
+                // Mixing is the planted foe fraction: high enough that
+                // sign structure matters, low enough that communities
+                // stay recoverable.
+                mixing: 0.3,
+                degree_exponent: 2.4,
+                seed: 0x9e37_0007,
+                sign_flip: Some(0.05),
             },
         }
     }
@@ -123,9 +150,18 @@ impl Dataset {
     }
 }
 
-/// All six datasets in paper order.
-pub fn all_datasets() -> [Dataset; 6] {
-    Dataset::link_prediction_sets()
+/// All registered datasets: the six paper datasets in paper order, then
+/// the signed polarity workload.
+pub fn all_datasets() -> [Dataset; 7] {
+    [
+        Dataset::Ppi,
+        Dataset::Facebook,
+        Dataset::Wiki,
+        Dataset::Blog,
+        Dataset::Epinions,
+        Dataset::Dblp,
+        Dataset::Polarity,
+    ]
 }
 
 /// Case-insensitive lookup by the paper name.
@@ -174,7 +210,18 @@ mod tests {
     fn lookup_by_name() {
         assert_eq!(dataset_by_name("ppi"), Some(Dataset::Ppi));
         assert_eq!(dataset_by_name("BLOG"), Some(Dataset::Blog));
+        assert_eq!(dataset_by_name("polarity"), Some(Dataset::Polarity));
         assert_eq!(dataset_by_name("nope"), None);
+    }
+
+    #[test]
+    fn polarity_is_the_only_signed_entry_and_stays_off_paper_sets() {
+        for d in all_datasets() {
+            assert_eq!(d.spec().is_signed(), d == Dataset::Polarity, "{}", d.name());
+        }
+        // The paper's experiment families are untouched by the new entry.
+        assert!(!Dataset::link_prediction_sets().contains(&Dataset::Polarity));
+        assert!(!Dataset::clustering_sets().contains(&Dataset::Polarity));
     }
 
     #[test]

@@ -1,10 +1,10 @@
 //! Dataset specifications.
 
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Error, Serialize, Value};
 
 /// The published statistics of one evaluation dataset, plus the generator
 /// parameters used to synthesise its stand-in.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DatasetSpec {
     /// Dataset name as used in the paper (e.g. "PPI").
     pub name: String,
@@ -25,6 +25,59 @@ pub struct DatasetSpec {
     pub degree_exponent: f64,
     /// Deterministic base seed for the generator.
     pub seed: u64,
+    /// `Some(p)` stamps a friend/foe sign on every edge from the planted
+    /// blocks (intra = friend, inter = foe), flipping each with
+    /// probability `p` — the signed-graph workload of arXiv 2512.00307.
+    /// `None` (the default, and what every pre-sign spec deserialises to)
+    /// keeps the graph unsigned.
+    pub sign_flip: Option<f64>,
+}
+
+// Hand-written (not derived) so that specs serialised before the sign
+// channel existed still load: a missing `sign_flip` field reads as `None`
+// instead of a missing-field error.
+impl Serialize for DatasetSpec {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("name".into(), self.name.to_value()),
+            ("num_nodes".into(), self.num_nodes.to_value()),
+            ("num_edges".into(), self.num_edges.to_value()),
+            ("num_classes".into(), self.num_classes.to_value()),
+            ("num_blocks".into(), self.num_blocks.to_value()),
+            ("mixing".into(), self.mixing.to_value()),
+            ("degree_exponent".into(), self.degree_exponent.to_value()),
+            ("seed".into(), self.seed.to_value()),
+            ("sign_flip".into(), self.sign_flip.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for DatasetSpec {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        if !matches!(v, Value::Object(_)) {
+            return Err(Error::type_mismatch("object", v));
+        }
+        fn req<T: Deserialize>(v: &Value, name: &'static str) -> Result<T, Error> {
+            T::from_value(
+                v.get_field(name)
+                    .ok_or_else(|| Error::missing_field(name))?,
+            )
+        }
+        Ok(DatasetSpec {
+            name: req(v, "name")?,
+            num_nodes: req(v, "num_nodes")?,
+            num_edges: req(v, "num_edges")?,
+            num_classes: req(v, "num_classes")?,
+            num_blocks: req(v, "num_blocks")?,
+            mixing: req(v, "mixing")?,
+            degree_exponent: req(v, "degree_exponent")?,
+            seed: req(v, "seed")?,
+            sign_flip: match v.get_field("sign_flip") {
+                Some(f) => Option::<f64>::from_value(f)?,
+                None => None,
+            },
+        })
+    }
 }
 
 impl DatasetSpec {
@@ -80,7 +133,13 @@ impl DatasetSpec {
             mixing: self.mixing,
             degree_exponent: self.degree_exponent,
             seed: self.seed,
+            sign_flip: self.sign_flip,
         }
+    }
+
+    /// Whether the synthesised graph carries a friend/foe sign channel.
+    pub fn is_signed(&self) -> bool {
+        self.sign_flip.is_some()
     }
 }
 
@@ -98,6 +157,7 @@ mod tests {
             mixing: 0.15,
             degree_exponent: 2.5,
             seed: 1,
+            sign_flip: None,
         }
     }
 
@@ -159,5 +219,24 @@ mod tests {
         let json = serde_json::to_string(&s).unwrap();
         let back: DatasetSpec = serde_json::from_str(&json).unwrap();
         assert_eq!(back, s);
+    }
+
+    #[test]
+    fn pre_sign_specs_deserialize_with_no_sign_channel() {
+        // Specs serialised before the sign channel existed must load
+        // unchanged (serde default = unsigned).
+        let json = r#"{"name":"X","num_nodes":10,"num_edges":20,"num_classes":0,
+                       "num_blocks":2,"mixing":0.1,"degree_exponent":2.5,"seed":7}"#;
+        let s: DatasetSpec = serde_json::from_str(json).unwrap();
+        assert_eq!(s.sign_flip, None);
+        assert!(!s.is_signed());
+    }
+
+    #[test]
+    fn scaled_preserves_sign_channel() {
+        let mut s = spec();
+        s.sign_flip = Some(0.05);
+        assert_eq!(s.scaled(0.25).sign_flip, Some(0.05));
+        assert!(s.scaled(0.25).is_signed());
     }
 }

@@ -1,6 +1,7 @@
 //! Spec → graph synthesis.
 
 use advsgm_graph::generators::sbm::{degree_corrected_sbm, SbmConfig};
+use advsgm_graph::generators::signed::{signed_sbm, SignedSbmConfig};
 use advsgm_graph::Graph;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -14,7 +15,10 @@ use crate::spec::DatasetSpec;
 /// single `(spec, run_seed)` pair is fully reproducible. Unlabeled datasets
 /// keep the planted community structure but have their labels stripped,
 /// matching the paper ("absence of labeled data" for Facebook, Epinions,
-/// DBLP).
+/// DBLP). Specs with a sign channel (`spec.sign_flip`) come back signed:
+/// intra-block friends, inter-block foes, per-edge flip noise
+/// ([`signed_sbm`]); the topology draw sequence is identical to the
+/// unsigned generator's, so at a fixed seed the edge set is unchanged.
 pub fn synthesize(spec: &DatasetSpec, run_seed: u64) -> Graph {
     let cfg = SbmConfig {
         num_nodes: spec.num_nodes,
@@ -24,11 +28,25 @@ pub fn synthesize(spec: &DatasetSpec, run_seed: u64) -> Graph {
         degree_exponent: spec.degree_exponent,
     };
     let mut rng = SmallRng::seed_from_u64(spec.seed ^ run_seed.wrapping_mul(0x9E37_79B9_7F4A_7C15));
-    let g = degree_corrected_sbm(&cfg, &mut rng);
+    let g = match spec.sign_flip {
+        Some(flip) => signed_sbm(
+            &SignedSbmConfig {
+                base: cfg,
+                flip_probability: flip,
+            },
+            &mut rng,
+        ),
+        None => degree_corrected_sbm(&cfg, &mut rng),
+    };
     if spec.has_labels() {
         g
     } else {
-        Graph::from_parts(g.num_nodes(), g.edges().to_vec(), None)
+        Graph::from_parts_signed(
+            g.num_nodes(),
+            g.edges().to_vec(),
+            g.signs().map(<[bool]>::to_vec),
+            None,
+        )
     }
 }
 
@@ -63,6 +81,23 @@ mod tests {
         // Same seed reproduces exactly.
         let c = synthesize(&spec, 1);
         assert_eq!(a.edges(), c.edges());
+    }
+
+    #[test]
+    fn polarity_dataset_synthesizes_signed() {
+        let spec = Dataset::Polarity.spec().scaled(0.25);
+        let g = synthesize(&spec, 0);
+        assert!(g.is_signed());
+        assert!(g.labels().is_some(), "blocks double as classes");
+        let foe_frac = g.num_foe_edges() as f64 / g.num_edges() as f64;
+        // Planted foe fraction = mixing (0.3) +/- 5% flip noise.
+        assert!((0.15..0.5).contains(&foe_frac), "foe fraction {foe_frac}");
+        // Same seed, unsigned spec: identical topology.
+        let mut unsigned = spec.clone();
+        unsigned.sign_flip = None;
+        let u = synthesize(&unsigned, 0);
+        assert_eq!(u.edges(), g.edges());
+        assert!(!u.is_signed());
     }
 
     #[test]

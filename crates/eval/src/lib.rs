@@ -7,7 +7,10 @@
 //!   from embedding inner products, measured by AUC ([`auc`], [`linkpred`]);
 //! * **Node clustering** — embeddings fed to Affinity Propagation (Frey &
 //!   Dueck 2007, the paper's clusterer) and scored by mutual information
-//!   against the class labels ([`clustering`]).
+//!   against the class labels ([`clustering`]);
+//! * **Sign prediction** — held-out friend vs foe edges on signed graphs,
+//!   scored by AUC ([`signpred`]; the arXiv 2512.00307 workload, beyond
+//!   the paper).
 //!
 //! The [`downstream::EmbeddingSource`] trait decouples the evaluators from
 //! whichever model (AdvSGM, a skip-gram ablation, or an external baseline)
@@ -21,7 +24,9 @@ pub mod clustering;
 pub mod downstream;
 pub mod error;
 pub mod linkpred;
+pub mod signpred;
 
 pub use auc::auc_from_scores;
 pub use downstream::EmbeddingSource;
 pub use error::EvalError;
+pub use signpred::{evaluate_sign_split, sign_prediction_auc};

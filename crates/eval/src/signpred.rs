@@ -1,0 +1,114 @@
+//! Sign (polarity) prediction evaluation — the signed-graph workload of
+//! arXiv 2512.00307.
+//!
+//! Protocol: hold out a stratified share of a signed graph's edges
+//! ([`advsgm_graph::partition::sign_prediction_split`]), train on the
+//! rest, then score every held-out edge by embedding inner product and
+//! measure how well friend edges rank above foe edges (AUC). A sign-aware
+//! model pulls friend endpoints together and pushes foe endpoints apart,
+//! so its dot products separate the classes; a sign-blind model treats
+//! every edge as attraction and lands near chance on balanced polarity.
+
+use advsgm_graph::partition::SignPredictionSplit;
+use advsgm_graph::Edge;
+
+use crate::auc::auc_from_scores;
+use crate::downstream::EmbeddingSource;
+use crate::error::EvalError;
+use crate::linkpred::score_pairs;
+
+/// AUC of `source` on held-out friend edges (positive class) versus
+/// held-out foe edges (negative class).
+///
+/// # Errors
+/// Propagates [`auc_from_scores`] validation errors (either class empty,
+/// non-finite scores).
+pub fn sign_prediction_auc(
+    source: &impl EmbeddingSource,
+    test_friend: &[Edge],
+    test_foe: &[Edge],
+) -> Result<f64, EvalError> {
+    let friend = score_pairs(source, test_friend);
+    let foe = score_pairs(source, test_foe);
+    auc_from_scores(&friend, &foe)
+}
+
+/// Convenience wrapper over a full [`SignPredictionSplit`].
+///
+/// # Errors
+/// Propagates [`auc_from_scores`] validation errors.
+pub fn evaluate_sign_split(
+    source: &impl EmbeddingSource,
+    split: &SignPredictionSplit,
+) -> Result<f64, EvalError> {
+    sign_prediction_auc(source, &split.test_friend, &split.test_foe)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use advsgm_graph::generators::sbm::SbmConfig;
+    use advsgm_graph::generators::signed::{signed_sbm, SignedSbmConfig};
+    use advsgm_graph::partition::sign_prediction_split;
+    use advsgm_graph::Graph;
+    use advsgm_linalg::DenseMatrix;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn planted() -> Graph {
+        signed_sbm(
+            &SignedSbmConfig {
+                base: SbmConfig {
+                    num_nodes: 120,
+                    num_edges: 600,
+                    num_blocks: 2,
+                    mixing: 0.4,
+                    degree_exponent: 2.5,
+                },
+                flip_probability: 0.0,
+            },
+            &mut SmallRng::seed_from_u64(3),
+        )
+    }
+
+    /// Oracle embeddings from the planted blocks: same-block dot products
+    /// are +1, cross-block -1 — exactly the polarity structure.
+    fn block_oracle(g: &Graph) -> DenseMatrix {
+        let labels = g.labels().unwrap();
+        let mut m = DenseMatrix::zeros(g.num_nodes(), 1);
+        for (i, &b) in labels.iter().enumerate() {
+            m.set(i, 0, if b == 0 { 1.0 } else { -1.0 });
+        }
+        m
+    }
+
+    #[test]
+    fn block_oracle_separates_perfectly_at_zero_flip() {
+        let g = planted();
+        let split = sign_prediction_split(&g, 0.2, &mut SmallRng::seed_from_u64(5)).unwrap();
+        let auc = evaluate_sign_split(&block_oracle(&g), &split).unwrap();
+        assert!(auc > 0.99, "oracle sign AUC {auc}");
+    }
+
+    #[test]
+    fn random_embeddings_near_chance() {
+        let g = planted();
+        let split = sign_prediction_split(&g, 0.2, &mut SmallRng::seed_from_u64(5)).unwrap();
+        let mut total = 0.0;
+        let runs = 20;
+        for s in 0..runs {
+            let mut r = SmallRng::seed_from_u64(400 + s);
+            let m = advsgm_linalg::rng::gaussian_matrix(&mut r, 1.0, g.num_nodes(), 8);
+            total += evaluate_sign_split(&m, &split).unwrap();
+        }
+        let mean = total / runs as f64;
+        assert!((mean - 0.5).abs() < 0.12, "mean sign AUC {mean}");
+    }
+
+    #[test]
+    fn empty_class_is_a_typed_error() {
+        let m = DenseMatrix::zeros(4, 2);
+        let friends = vec![Edge::from_raw(0, 1)];
+        assert!(sign_prediction_auc(&m, &friends, &[]).is_err());
+    }
+}

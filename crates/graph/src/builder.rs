@@ -10,10 +10,15 @@ use crate::node::NodeId;
 /// Builds a [`Graph`] from raw edges, applying the paper's pre-processing:
 /// self-loops are dropped, duplicate edges (in either orientation) are
 /// deduplicated, and node labels may be attached for clustering evaluation.
+/// Edges added through [`GraphBuilder::add_signed_edge`] carry friend/foe
+/// polarity; the built graph gets a sign channel as soon as any signed
+/// edge was added (plain [`GraphBuilder::add_edge`] records a friend edge).
 #[derive(Debug, Default)]
 pub struct GraphBuilder {
     num_nodes: usize,
     edges: Vec<Edge>,
+    signs: Vec<bool>,
+    any_signed: bool,
     seen: HashSet<Edge>,
     labels: Option<Vec<u32>>,
     dropped_self_loops: usize,
@@ -37,6 +42,27 @@ impl GraphBuilder {
     /// Returns [`GraphError::NodeOutOfRange`] if either endpoint is out of
     /// range.
     pub fn add_edge(&mut self, a: usize, b: usize) -> Result<&mut Self, GraphError> {
+        self.push_edge(a, b, false)
+    }
+
+    /// Adds an undirected edge with friend/foe polarity (`foe = true` for
+    /// antagonistic edges); normalisation as in [`GraphBuilder::add_edge`].
+    /// The first occurrence of a duplicated edge pins its sign.
+    ///
+    /// # Errors
+    /// Returns [`GraphError::NodeOutOfRange`] if either endpoint is out of
+    /// range.
+    pub fn add_signed_edge(
+        &mut self,
+        a: usize,
+        b: usize,
+        foe: bool,
+    ) -> Result<&mut Self, GraphError> {
+        self.any_signed = true;
+        self.push_edge(a, b, foe)
+    }
+
+    fn push_edge(&mut self, a: usize, b: usize, foe: bool) -> Result<&mut Self, GraphError> {
         if a >= self.num_nodes {
             return Err(GraphError::NodeOutOfRange {
                 node: a,
@@ -56,6 +82,7 @@ impl GraphBuilder {
         let e = Edge::new(NodeId::from_index(a), NodeId::from_index(b));
         if self.seen.insert(e) {
             self.edges.push(e);
+            self.signs.push(foe);
         } else {
             self.dropped_duplicates += 1;
         }
@@ -102,9 +129,11 @@ impl GraphBuilder {
         self.dropped_duplicates
     }
 
-    /// Finalises the graph.
+    /// Finalises the graph. A sign channel is attached iff any edge came
+    /// through [`GraphBuilder::add_signed_edge`].
     pub fn build(self) -> Graph {
-        Graph::from_parts(self.num_nodes, self.edges, self.labels)
+        let signs = self.any_signed.then_some(self.signs);
+        Graph::from_parts_signed(self.num_nodes, self.edges, signs, self.labels)
     }
 }
 
@@ -144,5 +173,34 @@ mod tests {
         let g = GraphBuilder::new(0).build();
         assert_eq!(g.num_nodes(), 0);
         assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn unsigned_adds_build_an_unsigned_graph() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1).unwrap().add_edge(1, 2).unwrap();
+        assert!(!b.build().is_signed());
+    }
+
+    #[test]
+    fn signed_adds_attach_the_channel() {
+        let mut b = GraphBuilder::new(4);
+        b.add_signed_edge(0, 1, false).unwrap();
+        b.add_signed_edge(1, 2, true).unwrap();
+        b.add_edge(2, 3).unwrap(); // mixed: plain add = friend
+        let g = b.build();
+        assert_eq!(g.signs(), Some(&[false, true, false][..]));
+    }
+
+    #[test]
+    fn duplicate_signed_edge_keeps_first_sign() {
+        let mut b = GraphBuilder::new(3);
+        b.add_signed_edge(0, 1, true).unwrap();
+        b.add_signed_edge(1, 0, false).unwrap(); // duplicate, dropped
+        b.add_signed_edge(2, 2, true).unwrap(); // self-loop, dropped
+        assert_eq!(b.dropped_duplicates(), 1);
+        assert_eq!(b.dropped_self_loops(), 1);
+        let g = b.build();
+        assert_eq!(g.signs(), Some(&[true][..]));
     }
 }

@@ -1,0 +1,135 @@
+//! Signed planted-polarity generator (the arXiv 2512.00307 workload).
+//!
+//! Reuses the degree-corrected SBM machinery ([`degree_corrected_sbm`])
+//! for topology, then stamps a friend/foe sign on every edge from the
+//! planted communities: intra-block edges are friends, inter-block edges
+//! are foes, and an independent flip coin per edge injects label noise.
+//! With `flip_probability = 0` the signs are a deterministic function of
+//! the block labels, so the polarity structure is perfectly recoverable —
+//! the fixture used to check that a sign-aware model separates from a
+//! sign-blind one.
+
+use rand::Rng;
+
+use crate::generators::sbm::{degree_corrected_sbm, SbmConfig};
+use crate::graph::Graph;
+
+/// Configuration for [`signed_sbm`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SignedSbmConfig {
+    /// Topology parameters (node/edge counts, blocks, mixing, degrees).
+    pub base: SbmConfig,
+    /// Probability that an edge's planted sign is flipped, in `[0, 1)`.
+    /// `0` gives perfectly block-aligned polarity.
+    pub flip_probability: f64,
+}
+
+/// Generates a signed degree-corrected planted-partition graph.
+///
+/// Topology comes from [`degree_corrected_sbm`] (same RNG draw sequence,
+/// so at a fixed seed the edge set equals the unsigned generator's); signs
+/// are stamped afterwards from the planted block labels plus per-edge flip
+/// coins, in edge order. Labels stay attached: the blocks double as both
+/// clustering classes and polarity communities.
+///
+/// # Panics
+/// Panics on out-of-domain parameters, matching [`degree_corrected_sbm`].
+pub fn signed_sbm(cfg: &SignedSbmConfig, rng: &mut impl Rng) -> Graph {
+    assert!(
+        (0.0..1.0).contains(&cfg.flip_probability),
+        "flip probability must be in [0,1), got {}",
+        cfg.flip_probability
+    );
+    let g = degree_corrected_sbm(&cfg.base, rng);
+    let labels = g
+        .labels()
+        .expect("degree_corrected_sbm always attaches block labels")
+        .to_vec();
+    let signs: Vec<bool> = g
+        .edges()
+        .iter()
+        .map(|e| {
+            let planted_foe = labels[e.u().index()] != labels[e.v().index()];
+            let flip = cfg.flip_probability > 0.0 && rng.gen::<f64>() < cfg.flip_probability;
+            planted_foe != flip
+        })
+        .collect();
+    Graph::from_parts_signed(g.num_nodes(), g.edges().to_vec(), Some(signs), Some(labels))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn cfg(flip: f64) -> SignedSbmConfig {
+        SignedSbmConfig {
+            base: SbmConfig {
+                num_nodes: 200,
+                num_edges: 800,
+                num_blocks: 4,
+                mixing: 0.3,
+                degree_exponent: 2.5,
+            },
+            flip_probability: flip,
+        }
+    }
+
+    #[test]
+    fn signs_align_with_blocks_at_zero_flip() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let g = signed_sbm(&cfg(0.0), &mut rng);
+        assert!(g.is_signed());
+        g.check_invariants().unwrap();
+        let labels = g.labels().unwrap();
+        for (i, e) in g.edges().iter().enumerate() {
+            let inter = labels[e.u().index()] != labels[e.v().index()];
+            assert_eq!(g.edge_is_foe(i), inter, "edge {e} sign off");
+        }
+        // Mixing 0.3 plants a substantial foe fraction.
+        let foe_frac = g.num_foe_edges() as f64 / g.num_edges() as f64;
+        assert!((foe_frac - 0.3).abs() < 0.06, "foe fraction {foe_frac}");
+    }
+
+    #[test]
+    fn topology_matches_unsigned_generator_at_same_seed() {
+        let c = cfg(0.1);
+        let signed = signed_sbm(&c, &mut SmallRng::seed_from_u64(11));
+        let unsigned = degree_corrected_sbm(&c.base, &mut SmallRng::seed_from_u64(11));
+        assert_eq!(signed.edges(), unsigned.edges());
+        assert_eq!(signed.labels(), unsigned.labels());
+    }
+
+    #[test]
+    fn flip_noise_perturbs_some_signs() {
+        let c = cfg(0.2);
+        let noisy = signed_sbm(&c, &mut SmallRng::seed_from_u64(13));
+        let clean = signed_sbm(&cfg(0.0), &mut SmallRng::seed_from_u64(13));
+        assert_eq!(noisy.edges(), clean.edges());
+        let differing = noisy
+            .signs()
+            .unwrap()
+            .iter()
+            .zip(clean.signs().unwrap())
+            .filter(|(a, b)| a != b)
+            .count();
+        let frac = differing as f64 / noisy.num_edges() as f64;
+        assert!((frac - 0.2).abs() < 0.06, "flip fraction {frac}");
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let c = cfg(0.15);
+        let a = signed_sbm(&c, &mut SmallRng::seed_from_u64(21));
+        let b = signed_sbm(&c, &mut SmallRng::seed_from_u64(21));
+        assert_eq!(a.edges(), b.edges());
+        assert_eq!(a.signs(), b.signs());
+    }
+
+    #[test]
+    #[should_panic(expected = "flip probability")]
+    fn out_of_range_flip_rejected() {
+        signed_sbm(&cfg(1.0), &mut SmallRng::seed_from_u64(1));
+    }
+}

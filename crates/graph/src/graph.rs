@@ -6,17 +6,23 @@ use crate::error::GraphError;
 use crate::node::NodeId;
 
 /// An undirected simple graph `G = (V, E)` with dense node ids `0..|V|`,
-/// CSR adjacency, and optional per-node class labels.
+/// CSR adjacency, optional per-node class labels, and optional per-edge
+/// friend/foe signs.
 ///
 /// This mirrors the paper's setting exactly: simple graphs (self-loops
 /// removed in pre-processing), positive samples drawn from `E`, and labels
 /// available only on the datasets used for node clustering (PPI, Wiki, Blog).
+/// The sign channel is the signed-graph extension (arXiv 2512.00307): when
+/// present, `signs[i]` records whether `edges[i]` is antagonistic (`true` =
+/// foe, `false` = friend); when absent every edge is a friend edge and the
+/// graph behaves exactly as before the extension.
 #[derive(Debug, Clone)]
 pub struct Graph {
     num_nodes: usize,
     edges: Vec<Edge>,
     csr: Csr,
     labels: Option<Vec<u32>>,
+    signs: Option<Vec<bool>>,
 }
 
 impl Graph {
@@ -24,15 +30,34 @@ impl Graph {
     /// [`crate::builder::GraphBuilder`] and the generators; edges must
     /// already be deduplicated and self-loop free).
     pub fn from_parts(num_nodes: usize, edges: Vec<Edge>, labels: Option<Vec<u32>>) -> Self {
+        Graph::from_parts_signed(num_nodes, edges, None, labels)
+    }
+
+    /// [`Graph::from_parts`] with a per-edge sign channel: `signs[i]` is
+    /// `true` when `edges[i]` carries foe (antagonistic) polarity.
+    ///
+    /// # Panics
+    /// Panics when the sign vector length differs from the edge count (a
+    /// construction bug, matching the label-length assertion).
+    pub fn from_parts_signed(
+        num_nodes: usize,
+        edges: Vec<Edge>,
+        signs: Option<Vec<bool>>,
+        labels: Option<Vec<u32>>,
+    ) -> Self {
         let csr = Csr::from_edges(num_nodes, &edges);
         if let Some(l) = &labels {
             assert_eq!(l.len(), num_nodes, "label count must equal node count");
+        }
+        if let Some(s) = &signs {
+            assert_eq!(s.len(), edges.len(), "sign count must equal edge count");
         }
         Graph {
             num_nodes,
             edges,
             csr,
             labels,
+            signs,
         }
     }
 
@@ -64,6 +89,33 @@ impl Graph {
     #[inline]
     pub fn labels(&self) -> Option<&[u32]> {
         self.labels.as_deref()
+    }
+
+    /// Per-edge foe flags aligned with [`Graph::edges`], if attached
+    /// (`true` = foe/antagonistic edge, `false` = friend edge).
+    #[inline]
+    pub fn signs(&self) -> Option<&[bool]> {
+        self.signs.as_deref()
+    }
+
+    /// Whether this graph carries a sign channel.
+    #[inline]
+    pub fn is_signed(&self) -> bool {
+        self.signs.is_some()
+    }
+
+    /// Whether edge `idx` (an index into [`Graph::edges`]) is a foe edge.
+    /// Unsigned graphs are all-friend, so this returns `false` for them.
+    #[inline]
+    pub fn edge_is_foe(&self, idx: usize) -> bool {
+        self.signs.as_ref().is_some_and(|s| s[idx])
+    }
+
+    /// Number of foe edges (0 for unsigned graphs).
+    pub fn num_foe_edges(&self) -> usize {
+        self.signs
+            .as_ref()
+            .map_or(0, |s| s.iter().filter(|&&f| f).count())
     }
 
     /// Number of distinct label classes (0 when unlabeled).
@@ -123,8 +175,29 @@ impl Graph {
 
     /// Returns a new graph restricted to the given edge subset (same node
     /// set, labels carried over). Used by the link-prediction split.
+    ///
+    /// The sign channel is **not** carried over: the caller supplies an
+    /// arbitrary edge list with no index correspondence to this graph's,
+    /// so signs could not be realigned safely. Sign-preserving restriction
+    /// goes through [`Graph::with_edge_subset`] instead.
     pub fn with_edges(&self, edges: Vec<Edge>) -> Graph {
         Graph::from_parts(self.num_nodes, edges, self.labels.clone())
+    }
+
+    /// Returns a new graph restricted to the edges at the given indices of
+    /// [`Graph::edges`] (same node set; labels and signs carried over).
+    /// Used by the sign-prediction split, where held-out edges must keep
+    /// their polarity.
+    ///
+    /// # Panics
+    /// Panics when an index is out of range for the edge list.
+    pub fn with_edge_subset(&self, indices: &[usize]) -> Graph {
+        let edges: Vec<Edge> = indices.iter().map(|&i| self.edges[i]).collect();
+        let signs = self
+            .signs
+            .as_ref()
+            .map(|s| indices.iter().map(|&i| s[i]).collect());
+        Graph::from_parts_signed(self.num_nodes, edges, signs, self.labels.clone())
     }
 
     /// Validates internal invariants; used by tests and debug assertions.
@@ -145,6 +218,14 @@ impl Graph {
                 name: "csr",
                 reason: "CSR entry count != 2|E| (duplicate or missing edges)".into(),
             });
+        }
+        if let Some(s) = &self.signs {
+            if s.len() != self.edges.len() {
+                return Err(GraphError::InvalidParameter {
+                    name: "signs",
+                    reason: format!("{} signs for {} edges", s.len(), self.edges.len()),
+                });
+            }
         }
         // Adjacency symmetry: every stored edge must be visible from both ends.
         for e in &self.edges {
@@ -217,5 +298,44 @@ mod tests {
         b.add_edge(0, 1).unwrap();
         let g = b.build();
         assert_eq!(g.num_isolated(), 3);
+    }
+
+    #[test]
+    fn unsigned_graphs_are_all_friend() {
+        let g = path_graph(4);
+        assert!(!g.is_signed());
+        assert!(g.signs().is_none());
+        assert!(!g.edge_is_foe(0));
+        assert_eq!(g.num_foe_edges(), 0);
+    }
+
+    #[test]
+    fn signs_attach_and_survive_subset() {
+        let edges = vec![
+            Edge::from_raw(0, 1),
+            Edge::from_raw(1, 2),
+            Edge::from_raw(2, 3),
+        ];
+        let g = Graph::from_parts_signed(4, edges, Some(vec![false, true, false]), None);
+        assert!(g.is_signed());
+        assert_eq!(g.num_foe_edges(), 1);
+        assert!(g.edge_is_foe(1));
+        assert!(!g.edge_is_foe(2));
+        g.check_invariants().unwrap();
+
+        let sub = g.with_edge_subset(&[1, 2]);
+        assert_eq!(sub.num_edges(), 2);
+        assert_eq!(sub.signs(), Some(&[true, false][..]));
+        sub.check_invariants().unwrap();
+
+        // `with_edges` drops the channel by contract.
+        let dropped = g.with_edges(vec![Edge::from_raw(0, 1)]);
+        assert!(!dropped.is_signed());
+    }
+
+    #[test]
+    #[should_panic(expected = "sign count")]
+    fn mismatched_sign_length_panics() {
+        Graph::from_parts_signed(3, vec![Edge::from_raw(0, 1)], Some(vec![true, false]), None);
     }
 }

@@ -112,6 +112,101 @@ pub fn link_prediction_split(
     })
 }
 
+/// The output of a sign-prediction split over a signed graph.
+#[derive(Debug, Clone)]
+pub struct SignPredictionSplit {
+    /// Training graph: the retained edges with their signs (same node set
+    /// and labels).
+    pub train: Graph,
+    /// Held-out friend edges (the "positive" class of sign prediction).
+    pub test_friend: Vec<Edge>,
+    /// Held-out foe edges (the "negative" class).
+    pub test_foe: Vec<Edge>,
+}
+
+/// Splits a **signed** graph into train/test for sign prediction (arXiv
+/// 2512.00307 protocol): a `test_fraction` share of edges is held out,
+/// stratified so friend and foe edges are held out at the same rate, and
+/// the evaluator scores held-out friend edges against held-out foe edges.
+///
+/// # Errors
+/// Returns [`GraphError::InvalidParameter`] when the graph is unsigned,
+/// has no edges of one polarity, the fraction is out of range, or rounding
+/// would leave either held-out class empty;
+/// [`GraphError::EmptyGraph`] when the graph has no edges.
+pub fn sign_prediction_split(
+    graph: &Graph,
+    test_fraction: f64,
+    rng: &mut impl Rng,
+) -> Result<SignPredictionSplit, GraphError> {
+    if graph.num_edges() == 0 {
+        return Err(GraphError::EmptyGraph {
+            op: "sign prediction split",
+        });
+    }
+    let signs = graph.signs().ok_or(GraphError::InvalidParameter {
+        name: "graph",
+        reason: "sign prediction needs a signed graph (no sign channel attached)".into(),
+    })?;
+    if !(0.0..1.0).contains(&test_fraction) || test_fraction == 0.0 {
+        return Err(GraphError::InvalidParameter {
+            name: "test_fraction",
+            reason: format!("must be in (0,1), got {test_fraction}"),
+        });
+    }
+    // Stratify: shuffle friend and foe edge indices independently so the
+    // held-out set preserves the polarity mix.
+    let mut friend_idx: Vec<usize> = Vec::new();
+    let mut foe_idx: Vec<usize> = Vec::new();
+    for (i, &foe) in signs.iter().enumerate() {
+        if foe {
+            foe_idx.push(i);
+        } else {
+            friend_idx.push(i);
+        }
+    }
+    let mut held = |name: &'static str, idx: &mut Vec<usize>| -> Result<usize, GraphError> {
+        let n = idx.len();
+        let k = ((n as f64) * test_fraction).round() as usize;
+        if k == 0 || k == n {
+            return Err(GraphError::InvalidParameter {
+                name: "test_fraction",
+                reason: format!(
+                    "{test_fraction} of {n} {name} edges rounds to a degenerate \
+                     held-out set ({k} of {n})"
+                ),
+            });
+        }
+        for i in (1..n).rev() {
+            let j = rng.gen_range(0..=i);
+            idx.swap(i, j);
+        }
+        Ok(k)
+    };
+    let k_friend = held("friend", &mut friend_idx)?;
+    let k_foe = held("foe", &mut foe_idx)?;
+
+    let test_friend: Vec<Edge> = friend_idx[..k_friend]
+        .iter()
+        .map(|&i| graph.edges()[i])
+        .collect();
+    let test_foe: Vec<Edge> = foe_idx[..k_foe].iter().map(|&i| graph.edges()[i]).collect();
+    let mut train_idx: Vec<usize> = friend_idx[k_friend..]
+        .iter()
+        .chain(&foe_idx[k_foe..])
+        .copied()
+        .collect();
+    // Keep the training edge order deterministic and independent of the
+    // shuffles above: restore original edge-list order.
+    train_idx.sort_unstable();
+
+    Ok(SignPredictionSplit {
+        train: graph.with_edge_subset(&train_idx),
+        test_friend,
+        test_foe,
+    })
+}
+
 /// Samples `count` distinct node pairs that are not edges of `graph`.
 ///
 /// # Errors
@@ -296,5 +391,93 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(8);
         let negs = sample_non_edges(&g, 250, &mut rng).unwrap();
         assert_eq!(negs.len(), 250);
+    }
+
+    fn signed_fixture() -> Graph {
+        use crate::generators::signed::{signed_sbm, SignedSbmConfig};
+        let mut rng = SmallRng::seed_from_u64(77);
+        signed_sbm(
+            &SignedSbmConfig {
+                base: crate::generators::sbm::SbmConfig {
+                    num_nodes: 150,
+                    num_edges: 600,
+                    num_blocks: 3,
+                    mixing: 0.3,
+                    degree_exponent: 2.5,
+                },
+                flip_probability: 0.05,
+            },
+            &mut rng,
+        )
+    }
+
+    #[test]
+    fn sign_split_is_stratified_and_sign_preserving() {
+        let g = signed_fixture();
+        let mut rng = SmallRng::seed_from_u64(20);
+        let s = sign_prediction_split(&g, 0.2, &mut rng).unwrap();
+        assert!(s.train.is_signed());
+        assert_eq!(
+            s.train.num_edges() + s.test_friend.len() + s.test_foe.len(),
+            g.num_edges()
+        );
+        // Held-out rates match the fraction per class.
+        let friends = g.num_edges() - g.num_foe_edges();
+        let foes = g.num_foe_edges();
+        assert_eq!(s.test_friend.len(), (friends as f64 * 0.2).round() as usize);
+        assert_eq!(s.test_foe.len(), (foes as f64 * 0.2).round() as usize);
+        // Training signs still agree with the original graph's.
+        let originals: std::collections::HashMap<Edge, bool> = g
+            .edges()
+            .iter()
+            .zip(g.signs().unwrap())
+            .map(|(e, &f)| (*e, f))
+            .collect();
+        for (i, e) in s.train.edges().iter().enumerate() {
+            assert_eq!(s.train.edge_is_foe(i), originals[e], "sign drift on {e}");
+        }
+        s.train.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn sign_split_rejects_unsigned_graphs() {
+        let g = fixture();
+        let mut rng = SmallRng::seed_from_u64(21);
+        let err = sign_prediction_split(&g, 0.2, &mut rng).unwrap_err();
+        assert!(err.to_string().contains("signed graph"), "{err}");
+    }
+
+    #[test]
+    fn sign_split_rejects_degenerate_fractions() {
+        let g = signed_fixture();
+        let mut rng = SmallRng::seed_from_u64(22);
+        assert!(sign_prediction_split(&g, 0.0, &mut rng).is_err());
+        assert!(sign_prediction_split(&g, 1.0, &mut rng).is_err());
+        // One foe edge at 10%: rounds to zero held-out foes → typed error.
+        let tiny = Graph::from_parts_signed(
+            6,
+            vec![
+                Edge::from_raw(0, 1),
+                Edge::from_raw(1, 2),
+                Edge::from_raw(2, 3),
+                Edge::from_raw(3, 4),
+                Edge::from_raw(4, 5),
+            ],
+            Some(vec![false, false, false, false, true]),
+            None,
+        );
+        let err = sign_prediction_split(&tiny, 0.1, &mut rng).unwrap_err();
+        assert!(err.to_string().contains("degenerate"), "{err}");
+    }
+
+    #[test]
+    fn sign_split_deterministic_under_seed() {
+        let g = signed_fixture();
+        let a = sign_prediction_split(&g, 0.2, &mut SmallRng::seed_from_u64(30)).unwrap();
+        let b = sign_prediction_split(&g, 0.2, &mut SmallRng::seed_from_u64(30)).unwrap();
+        assert_eq!(a.test_friend, b.test_friend);
+        assert_eq!(a.test_foe, b.test_foe);
+        assert_eq!(a.train.edges(), b.train.edges());
+        assert_eq!(a.train.signs(), b.train.signs());
     }
 }

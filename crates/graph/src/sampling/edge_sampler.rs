@@ -76,6 +76,23 @@ impl EdgeBatchSampler {
         batch: usize,
         rng: &mut impl Rng,
     ) -> Result<Vec<Edge>, GraphError> {
+        let idx = self.sample_indices_for(graph, batch, rng)?;
+        Ok(idx.iter().map(|&i| graph.edges()[i as usize]).collect())
+    }
+
+    /// Draws a batch of edge *indices* into `graph.edges()`, with the
+    /// exact validation and RNG draws of [`Self::sample_edges`] — callers
+    /// that need per-edge side channels (signs, precomputed weights) can
+    /// look them up by index without perturbing the draw sequence.
+    ///
+    /// # Errors
+    /// As [`Self::sample_edges`].
+    pub fn sample_indices_for(
+        &mut self,
+        graph: &Graph,
+        batch: usize,
+        rng: &mut impl Rng,
+    ) -> Result<&[u32], GraphError> {
         if graph.num_edges() != self.indices.len() {
             return Err(GraphError::InvalidParameter {
                 name: "graph",
@@ -86,8 +103,7 @@ impl EdgeBatchSampler {
                 ),
             });
         }
-        let idx = self.sample_indices(batch, rng)?;
-        Ok(idx.iter().map(|&i| graph.edges()[i as usize]).collect())
+        self.sample_indices(batch, rng)
     }
 
     /// The subsampling probability `gamma = B/|E|` for the accountant.

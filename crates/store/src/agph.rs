@@ -12,7 +12,7 @@
 //! offset      size   field
 //! 0           4      magic  b"AGPH"
 //! 4           2      format version u16 (currently 1)
-//! 6           2      flags u16 (version 1 defines none; must be zero)
+//! 6           2      flags u16 (bit 0 = SIGNED; all other bits must be 0)
 //! 8           8      node count n (u64, <= u32::MAX)
 //! 16          8      edge count m (u64)
 //! 24          4      bucket count P (u32, >= 1)
@@ -23,21 +23,30 @@
 //! 40+12P      4      header CRC-32 over bytes [0, 40+12P)
 //! 44+12P      8*m    sections in bucket order; one edge per 8 bytes:
 //!                    u (u32), v (u32), canonical u < v
+//! (SIGNED only) per bucket, in bucket order: a sign bitmap of
+//!                    ceil(count_b / 8) bytes — bit i (LSB-first within
+//!                    each byte) is 1 when edge i of section b carries foe
+//!                    polarity; padding bits in the last byte must be 0 —
+//!                    followed by that bitmap's own CRC-32 (u32)
 //! ```
 //!
 //! Section `b` holds exactly the edges whose *lower* endpoint falls in
 //! bucket `b` (`bucket_of(u) == b`), in the writer's stable order. The
 //! canonical edge order of the file is the concatenation of its sections;
 //! the fingerprint is FNV-1a-64 over `n` (8 LE bytes) followed by each
-//! edge's `u` and `v` (4 LE bytes each) in that canonical order, so a
-//! reader can prove the edge set it reassembled is the one that was
-//! written.
+//! edge's `u` and `v` (4 LE bytes each) in that canonical order — and,
+//! when the SIGNED flag is set, each section's sign-bitmap bytes folded
+//! immediately after that section's edge bytes — so a reader can prove
+//! both the edge set and the polarity assignment it reassembled are the
+//! ones that were written. Files without the flag are byte-identical to
+//! what pre-sign releases wrote.
 //!
 //! There is no whole-file trailer: the header CRC plus the per-section
 //! CRCs already cover every byte, and per-section checksums are what let
 //! [`AgphReader`] verify a single bucket without reading the rest of the
 //! file. Like `.aemb` and `.actk`, the format is strictly versioned and
-//! evolves append-only, and every corruption mode is a typed
+//! evolves append-only (the SIGNED flag occupies the flags seam version 1
+//! reserved for exactly this), and every corruption mode is a typed
 //! [`StoreError`], never a panic.
 
 use std::io::{Read, Seek, SeekFrom};
@@ -54,6 +63,14 @@ pub const AGPH_MAGIC: [u8; 4] = *b"AGPH";
 
 /// The `.agph` format version this build writes and the highest it reads.
 pub const AGPH_VERSION: u16 = 1;
+
+/// Flags-field bit 0: the file carries a per-edge sign (polarity) channel
+/// as per-bucket bitmaps after the edge sections.
+pub const AGPH_FLAG_SIGNED: u16 = 0x0001;
+
+/// Every flag bit this reader understands; any other set bit is corruption
+/// (or a newer writer) and must be rejected, not ignored.
+const AGPH_KNOWN_FLAGS: u16 = AGPH_FLAG_SIGNED;
 
 /// Fixed header length in bytes (everything before the section table).
 pub const AGPH_FIXED_HEADER_LEN: usize = 40;
@@ -81,6 +98,32 @@ fn fnv1a(mut h: u64, bytes: &[u8]) -> u64 {
 /// Header length including the section table (but not its CRC).
 fn table_end(buckets: usize) -> usize {
     AGPH_FIXED_HEADER_LEN + TABLE_ENTRY_LEN * buckets
+}
+
+/// Packs one section's foe flags into the on-disk bitmap (LSB-first).
+fn pack_signs(signs: &[bool]) -> Vec<u8> {
+    let mut out = vec![0u8; signs.len().div_ceil(8)];
+    for (i, &foe) in signs.iter().enumerate() {
+        if foe {
+            out[i / 8] |= 1 << (i % 8);
+        }
+    }
+    out
+}
+
+/// Unpacks a section's sign bitmap, rejecting non-zero padding bits (the
+/// format is strict: every byte has exactly one valid encoding, so flips
+/// in the padding cannot hide).
+fn unpack_signs(bitmap: &[u8], count: usize, section: usize) -> Result<Vec<bool>, StoreError> {
+    debug_assert_eq!(bitmap.len(), count.div_ceil(8));
+    if !count.is_multiple_of(8) && bitmap.last().is_some_and(|&b| b >> (count % 8) != 0) {
+        return Err(StoreError::Corrupted {
+            reason: format!("non-zero padding bits in the sign bitmap of section {section}"),
+        });
+    }
+    Ok((0..count)
+        .map(|i| bitmap[i / 8] & (1 << (i % 8)) != 0)
+        .collect())
 }
 
 /// Serialises `graph` into the version-1 `.agph` wire format with `buckets`
@@ -121,17 +164,28 @@ pub fn encode_agph(graph: &Graph, buckets: usize) -> Result<Vec<u8>, StoreError>
         reason: e.to_string(),
     })?;
     let m = graph.num_edges();
+    let signs = graph.signs();
 
-    // Stable partition of the edge list by lower-endpoint bucket.
+    // Stable partition of the edge list (and its sign channel, kept
+    // aligned by construction) by lower-endpoint bucket.
     let mut sections: Vec<Vec<Edge>> = vec![Vec::new(); buckets];
-    for &e in graph.edges() {
-        sections[nb.bucket_of(e.u().index())].push(e);
+    let mut section_signs: Vec<Vec<bool>> = vec![Vec::new(); buckets];
+    for (idx, &e) in graph.edges().iter().enumerate() {
+        let b = nb.bucket_of(e.u().index());
+        sections[b].push(e);
+        if let Some(s) = signs {
+            section_signs[b].push(s[idx]);
+        }
     }
 
-    // Fingerprint over n then the canonical (section-concatenation) order.
+    // Fingerprint over n then the canonical (section-concatenation)
+    // order; for signed graphs each section's sign bitmap is folded
+    // directly after its edge bytes, so the fingerprint also pins the
+    // polarity assignment.
     let mut fp = fnv1a(FNV_OFFSET, &(n as u64).to_le_bytes());
     let mut encoded: Vec<Vec<u8>> = Vec::with_capacity(buckets);
-    for sec in &sections {
+    let mut bitmaps: Vec<Vec<u8>> = Vec::with_capacity(if signs.is_some() { buckets } else { 0 });
+    for (b, sec) in sections.iter().enumerate() {
         let mut body = Vec::with_capacity(sec.len() * EDGE_LEN);
         for e in sec {
             let (u, v) = (e.u().index() as u32, e.v().index() as u32);
@@ -140,12 +194,19 @@ pub fn encode_agph(graph: &Graph, buckets: usize) -> Result<Vec<u8>, StoreError>
         }
         fp = fnv1a(fp, &body);
         encoded.push(body);
+        if signs.is_some() {
+            let bm = pack_signs(&section_signs[b]);
+            fp = fnv1a(fp, &bm);
+            bitmaps.push(bm);
+        }
     }
 
-    let mut out = Vec::with_capacity(table_end(buckets) + 4 + m * EDGE_LEN);
+    let sign_region: usize = bitmaps.iter().map(|bm| bm.len() + 4).sum();
+    let flags = if signs.is_some() { AGPH_FLAG_SIGNED } else { 0 };
+    let mut out = Vec::with_capacity(table_end(buckets) + 4 + m * EDGE_LEN + sign_region);
     out.extend_from_slice(&AGPH_MAGIC);
     out.extend_from_slice(&AGPH_VERSION.to_le_bytes());
-    out.extend_from_slice(&0u16.to_le_bytes()); // flags
+    out.extend_from_slice(&flags.to_le_bytes());
     out.extend_from_slice(&(n as u64).to_le_bytes());
     out.extend_from_slice(&(m as u64).to_le_bytes());
     out.extend_from_slice(&(buckets as u32).to_le_bytes());
@@ -161,6 +222,12 @@ pub fn encode_agph(graph: &Graph, buckets: usize) -> Result<Vec<u8>, StoreError>
     out.extend_from_slice(&header_sum.to_le_bytes());
     for body in &encoded {
         out.extend_from_slice(body);
+    }
+    // Sign region (SIGNED flag only): per-bucket bitmap + its own CRC, so
+    // a streaming reader can verify one bucket's polarity without the rest.
+    for bm in &bitmaps {
+        out.extend_from_slice(bm);
+        out.extend_from_slice(&crc32(bm).to_le_bytes());
     }
     Ok(out)
 }
@@ -203,6 +270,8 @@ struct AgphHeader {
     section_crcs: Vec<u32>,
     /// Stored FNV-1a-64 fingerprint over the canonical edge order.
     fingerprint: u64,
+    /// Whether the SIGNED flag is set (a sign region follows the edges).
+    signed: bool,
 }
 
 impl AgphHeader {
@@ -210,6 +279,20 @@ impl AgphHeader {
     fn section_offset(&self, b: usize) -> u64 {
         let edges_before: u64 = self.section_counts[..b].iter().map(|&c| c as u64).sum();
         (table_end(self.buckets.count()) + 4) as u64 + edges_before * EDGE_LEN as u64
+    }
+
+    /// Length in bytes of section `b`'s sign bitmap.
+    fn sign_bitmap_len(&self, b: usize) -> usize {
+        self.section_counts[b].div_ceil(8)
+    }
+
+    /// Byte offset of section `b`'s sign bitmap (SIGNED files only).
+    fn sign_offset(&self, b: usize) -> u64 {
+        debug_assert!(self.signed);
+        let edges_end =
+            (table_end(self.buckets.count()) + 4) as u64 + self.num_edges as u64 * EDGE_LEN as u64;
+        let before: u64 = (0..b).map(|i| self.sign_bitmap_len(i) as u64 + 4).sum();
+        edges_end + before
     }
 }
 
@@ -251,11 +334,12 @@ fn parse_header(header_bytes: &[u8], total_len: u64) -> Result<AgphHeader, Store
     }
 
     let flags = u16::from_le_bytes([bytes[6], bytes[7]]);
-    if flags != 0 {
+    if flags & !AGPH_KNOWN_FLAGS != 0 {
         return Err(StoreError::Corrupted {
-            reason: format!("unknown flag bits {flags:#06x}"),
+            reason: format!("unknown flag bits {:#06x}", flags & !AGPH_KNOWN_FLAGS),
         });
     }
+    let signed = flags & AGPH_FLAG_SIGNED != 0;
     let n = u64::from_le_bytes(bytes[8..16].try_into().expect("8 bytes"));
     let m = u64::from_le_bytes(bytes[16..24].try_into().expect("8 bytes"));
     let p = u32::from_le_bytes(bytes[24..28].try_into().expect("4 bytes"));
@@ -272,24 +356,34 @@ fn parse_header(header_bytes: &[u8], total_len: u64) -> Result<AgphHeader, Store
         });
     }
 
-    // Total size implied by the header, in u128 so hostile counts cannot
+    // Size implied by the header, in u128 so hostile counts cannot
     // overflow into a bogus "valid" length. This also bounds the section
-    // table and every allocation below by the real file size.
-    let expected = (table_end(1) - TABLE_ENTRY_LEN) as u128
+    // table and every allocation below by the real file size. A SIGNED
+    // file's sign region needs the per-bucket counts for its exact size,
+    // so here only a lower bound is enforced (sum of ceil(c_b/8) is at
+    // least ceil(m/8), plus one CRC per bucket); the strict equality
+    // check runs after the section table is parsed.
+    let base = (table_end(1) - TABLE_ENTRY_LEN) as u128
         + TABLE_ENTRY_LEN as u128 * p as u128
         + 4
         + EDGE_LEN as u128 * m as u128;
-    if (total_len as u128) < expected {
+    let lower = base
+        + if signed {
+            m.div_ceil(8) as u128 + 4 * p as u128
+        } else {
+            0
+        };
+    if (total_len as u128) < lower {
         return Err(StoreError::Truncated {
-            expected: expected.min(u64::MAX as u128) as u64,
+            expected: lower.min(u64::MAX as u128) as u64,
             found: total_len,
         });
     }
-    if (total_len as u128) > expected {
+    if !signed && (total_len as u128) > base {
         return Err(StoreError::Corrupted {
             reason: format!(
                 "{} trailing bytes after the last section",
-                total_len as u128 - expected
+                total_len as u128 - base
             ),
         });
     }
@@ -333,6 +427,30 @@ fn parse_header(header_bytes: &[u8], total_len: u64) -> Result<AgphHeader, Store
         });
     }
 
+    // With the real per-bucket counts in hand, the file length must now
+    // match exactly (for unsigned files `base` was already exact above).
+    if signed {
+        let sign_region: u128 = section_counts
+            .iter()
+            .map(|&c| c.div_ceil(8) as u128 + 4)
+            .sum();
+        let expected = base + sign_region;
+        if (total_len as u128) < expected {
+            return Err(StoreError::Truncated {
+                expected: expected.min(u64::MAX as u128) as u64,
+                found: total_len,
+            });
+        }
+        if (total_len as u128) > expected {
+            return Err(StoreError::Corrupted {
+                reason: format!(
+                    "{} trailing bytes after the sign region",
+                    total_len as u128 - expected
+                ),
+            });
+        }
+    }
+
     Ok(AgphHeader {
         num_nodes: n as usize,
         num_edges: m as usize,
@@ -340,6 +458,7 @@ fn parse_header(header_bytes: &[u8], total_len: u64) -> Result<AgphHeader, Store
         section_counts,
         section_crcs,
         fingerprint,
+        signed,
     })
 }
 
@@ -381,6 +500,21 @@ fn parse_section(header: &AgphHeader, b: usize, body: &[u8]) -> Result<Vec<Edge>
     Ok(edges)
 }
 
+/// Validates one section's sign bitmap against its stored CRC and unpacks
+/// the per-edge foe flags.
+fn parse_sign_section(
+    header: &AgphHeader,
+    b: usize,
+    bitmap: &[u8],
+    stored: u32,
+) -> Result<Vec<bool>, StoreError> {
+    let computed = crc32(bitmap);
+    if stored != computed {
+        return Err(StoreError::ChecksumMismatch { stored, computed });
+    }
+    unpack_signs(bitmap, header.section_counts[b], b)
+}
+
 /// Parses the version-1 `.agph` wire format back into a [`Graph`],
 /// verifying magic, version, structural lengths, the header CRC, every
 /// section CRC, per-edge invariants, and the fingerprint.
@@ -393,6 +527,7 @@ fn parse_section(header: &AgphHeader, b: usize, body: &[u8]) -> Result<Vec<Edge>
 pub fn decode_agph(bytes: &[u8]) -> Result<Graph, StoreError> {
     let header = parse_header(bytes, bytes.len() as u64)?;
     let mut edges = Vec::with_capacity(header.num_edges);
+    let mut signs: Vec<bool> = Vec::with_capacity(if header.signed { header.num_edges } else { 0 });
     let mut fp = fnv1a(FNV_OFFSET, &(header.num_nodes as u64).to_le_bytes());
     let mut seen = std::collections::HashSet::with_capacity(header.num_edges);
     for b in 0..header.buckets.count() {
@@ -408,6 +543,15 @@ pub fn decode_agph(bytes: &[u8]) -> Result<Graph, StoreError> {
             }
             edges.push(e);
         }
+        if header.signed {
+            let soff = header.sign_offset(b) as usize;
+            let blen = header.sign_bitmap_len(b);
+            let bitmap = &bytes[soff..soff + blen];
+            let stored =
+                u32::from_le_bytes(bytes[soff + blen..soff + blen + 4].try_into().expect("4"));
+            fp = fnv1a(fp, bitmap);
+            signs.extend(parse_sign_section(&header, b, bitmap, stored)?);
+        }
     }
     if fp != header.fingerprint {
         return Err(StoreError::Corrupted {
@@ -417,7 +561,13 @@ pub fn decode_agph(bytes: &[u8]) -> Result<Graph, StoreError> {
             ),
         });
     }
-    Ok(Graph::from_parts(header.num_nodes, edges, None))
+    let signs = header.signed.then_some(signs);
+    Ok(Graph::from_parts_signed(
+        header.num_nodes,
+        edges,
+        signs,
+        None,
+    ))
 }
 
 /// Reads and fully validates an `.agph` file written by [`save_agph`].
@@ -514,6 +664,11 @@ impl AgphReader {
         self.header.buckets
     }
 
+    /// Whether the file carries a per-edge sign (polarity) channel.
+    pub fn is_signed(&self) -> bool {
+        self.header.signed
+    }
+
     /// Number of edges filed under bucket `b`.
     ///
     /// # Errors
@@ -548,6 +703,24 @@ impl AgphReader {
         parse_section(&self.header, b, &body)
     }
 
+    /// Reads, checksums, and unpacks section `b`'s sign bitmap from disk.
+    ///
+    /// `None` when the file carries no sign channel; `Some(flags)` aligned
+    /// with [`AgphReader::bucket_edges`]`(b)` otherwise (`true` = foe).
+    ///
+    /// # Errors
+    /// I/O failures, [`StoreError::ChecksumMismatch`] when the bitmap
+    /// bytes were altered, [`StoreError::Corrupted`] for non-zero padding
+    /// bits.
+    pub fn bucket_signs(&mut self, b: usize) -> Result<Option<Vec<bool>>, StoreError> {
+        self.check_bucket(b)?;
+        if !self.header.signed {
+            return Ok(None);
+        }
+        let (bitmap, stored) = self.read_sign_section(b)?;
+        parse_sign_section(&self.header, b, &bitmap, stored).map(Some)
+    }
+
     /// Reads every section once and checks the whole-file fingerprint.
     ///
     /// # Errors
@@ -559,6 +732,11 @@ impl AgphReader {
             let body = self.read_section(b)?;
             parse_section(&self.header, b, &body)?;
             fp = fnv1a(fp, &body);
+            if self.header.signed {
+                let (bitmap, stored) = self.read_sign_section(b)?;
+                parse_sign_section(&self.header, b, &bitmap, stored)?;
+                fp = fnv1a(fp, &bitmap);
+            }
         }
         if fp != self.header.fingerprint {
             return Err(StoreError::Corrupted {
@@ -578,6 +756,18 @@ impl AgphReader {
         let mut body = vec![0u8; len];
         self.file.read_exact(&mut body)?;
         Ok(body)
+    }
+
+    /// Reads section `b`'s sign bitmap and its stored CRC from disk.
+    fn read_sign_section(&mut self, b: usize) -> Result<(Vec<u8>, u32), StoreError> {
+        let start = self.header.sign_offset(b);
+        let len = self.header.sign_bitmap_len(b);
+        self.file.seek(SeekFrom::Start(start))?;
+        let mut bitmap = vec![0u8; len];
+        self.file.read_exact(&mut bitmap)?;
+        let mut crc = [0u8; 4];
+        self.file.read_exact(&mut crc)?;
+        Ok((bitmap, u32::from_le_bytes(crc)))
     }
 }
 
@@ -643,6 +833,152 @@ mod tests {
         );
         assert_eq!(u32::from_le_bytes(bytes[24..28].try_into().unwrap()), 4);
         assert_eq!(bytes.len(), table_end(p) + 4 + g.num_edges() * EDGE_LEN);
+    }
+
+    /// Karate club with an arbitrary-but-fixed polarity pattern.
+    fn signed_karate() -> Graph {
+        let g = karate_club();
+        let signs: Vec<bool> = (0..g.num_edges()).map(|i| i % 3 == 0).collect();
+        let edges = g.edges().to_vec();
+        let n = g.num_nodes();
+        Graph::from_parts_signed(n, edges, Some(signs), None)
+    }
+
+    #[test]
+    fn signed_roundtrip_preserves_polarity_at_every_bucket_count() {
+        let g = signed_karate();
+        for p in [1usize, 2, 3, 4, 7, 64] {
+            let bytes = encode_agph(&g, p).unwrap();
+            let back = decode_agph(&bytes).unwrap();
+            assert!(back.is_signed(), "p={p}");
+            assert_eq!(back.num_foe_edges(), g.num_foe_edges(), "p={p}");
+            // Signs must follow their edges through the bucket partition.
+            let orig: std::collections::BTreeMap<(u32, u32), bool> = g
+                .edges()
+                .iter()
+                .enumerate()
+                .map(|(i, e)| {
+                    (
+                        (e.u().index() as u32, e.v().index() as u32),
+                        g.edge_is_foe(i),
+                    )
+                })
+                .collect();
+            for (i, e) in back.edges().iter().enumerate() {
+                let key = (e.u().index() as u32, e.v().index() as u32);
+                assert_eq!(back.edge_is_foe(i), orig[&key], "p={p} edge {key:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn signed_layout_sets_the_flag_and_extends_the_length() {
+        let g = signed_karate();
+        let p = 4usize;
+        let bytes = encode_agph(&g, p).unwrap();
+        assert_eq!(
+            u16::from_le_bytes([bytes[6], bytes[7]]),
+            AGPH_FLAG_SIGNED,
+            "SIGNED flag bit"
+        );
+        // Recover per-bucket counts from the section table and check the
+        // exact sign-region size formula from docs/FORMAT.md.
+        let mut sign_region = 0usize;
+        for b in 0..p {
+            let at = AGPH_FIXED_HEADER_LEN + TABLE_ENTRY_LEN * b;
+            let c = u64::from_le_bytes(bytes[at..at + 8].try_into().unwrap()) as usize;
+            sign_region += c.div_ceil(8) + 4;
+        }
+        assert_eq!(
+            bytes.len(),
+            table_end(p) + 4 + g.num_edges() * EDGE_LEN + sign_region
+        );
+        // Unsigned encoding of the same edge set is a strict prefix-layout
+        // sibling: same length as before signs existed, flags zero.
+        let unsigned = Graph::from_parts(g.num_nodes(), g.edges().to_vec(), None);
+        let ub = encode_agph(&unsigned, p).unwrap();
+        assert_eq!(u16::from_le_bytes([ub[6], ub[7]]), 0);
+        assert_eq!(ub.len(), table_end(p) + 4 + g.num_edges() * EDGE_LEN);
+    }
+
+    #[test]
+    fn streaming_reader_serves_bucket_signs() {
+        let g = signed_karate();
+        let dir = std::env::temp_dir().join("advsgm_agph_unit_signed");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("karate_signed.agph");
+        save_agph(&path, &g, 3).unwrap();
+
+        let full = load_agph(&path).unwrap();
+        let mut r = AgphReader::open(&path).unwrap();
+        assert!(r.is_signed());
+        let mut streamed_signs = Vec::new();
+        for b in 0..r.bucket_count() {
+            let signs = r.bucket_signs(b).unwrap().expect("signed file");
+            assert_eq!(signs.len(), r.bucket_edge_count(b).unwrap());
+            streamed_signs.extend(signs);
+        }
+        assert_eq!(Some(streamed_signs.as_slice()), full.signs());
+        r.verify_fingerprint().unwrap();
+
+        // An unsigned file answers None, not an error.
+        let unsigned = karate_club();
+        let upath = dir.join("karate_unsigned.agph");
+        save_agph(&upath, &unsigned, 3).unwrap();
+        let mut ur = AgphReader::open(&upath).unwrap();
+        assert!(!ur.is_signed());
+        assert!(ur.bucket_signs(0).unwrap().is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn sign_bitmap_corruption_is_typed() {
+        let g = signed_karate();
+        let p = 2usize;
+        let good = encode_agph(&g, p).unwrap();
+        let unsigned_len = table_end(p) + 4 + g.num_edges() * EDGE_LEN;
+
+        // Flip a bitmap bit: the bitmap CRC catches it.
+        let mut flipped = good.clone();
+        flipped[unsigned_len] ^= 0x01;
+        assert!(matches!(
+            decode_agph(&flipped).unwrap_err(),
+            StoreError::ChecksumMismatch { .. }
+        ));
+
+        // Forge a consistent bitmap + CRC: the header fingerprint is the
+        // backstop that pins the polarity assignment itself.
+        let mut forged = good.clone();
+        forged[unsigned_len] ^= 0x01;
+        let blen = {
+            let at = AGPH_FIXED_HEADER_LEN;
+            let c = u64::from_le_bytes(forged[at..at + 8].try_into().unwrap()) as usize;
+            c.div_ceil(8)
+        };
+        let sum = crc32(&forged[unsigned_len..unsigned_len + blen]);
+        forged[unsigned_len + blen..unsigned_len + blen + 4].copy_from_slice(&sum.to_le_bytes());
+        let err = decode_agph(&forged).unwrap_err();
+        assert!(
+            matches!(err, StoreError::Corrupted { ref reason } if reason.contains("fingerprint")),
+            "{err}"
+        );
+
+        // Truncating the sign region is typed truncation, not a panic.
+        for cut in unsigned_len..good.len() {
+            let err = decode_agph(&good[..cut]).unwrap_err();
+            assert!(
+                matches!(err, StoreError::Truncated { .. }),
+                "cut={cut}: {err}"
+            );
+        }
+
+        // Trailing bytes after the sign region are corruption.
+        let mut trailing = good;
+        trailing.push(0);
+        assert!(matches!(
+            decode_agph(&trailing).unwrap_err(),
+            StoreError::Corrupted { .. }
+        ));
     }
 
     #[test]

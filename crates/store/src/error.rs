@@ -47,10 +47,18 @@ pub enum StoreError {
         computed: u32,
     },
     /// A structural inconsistency other than truncation or a checksum
-    /// failure (unknown flags, invalid variant code, trailing bytes, ...).
+    /// failure (unknown flags, trailing bytes, ...).
     Corrupted {
         /// What was wrong.
         reason: String,
+    },
+    /// The file stamps a model-variant wire code this reader's registry
+    /// ([`advsgm_core::ModelVariant::from_wire_code`]) does not know —
+    /// either corruption or a file written by a newer release (codes are
+    /// append-only, so the raw code is preserved for diagnostics).
+    UnknownVariantCode {
+        /// The unrecognised code byte.
+        code: u8,
     },
     /// The file's embedding dimension differs from the one the caller
     /// required ([`crate::EmbeddingStore::load_expecting`]).
@@ -117,6 +125,11 @@ impl fmt::Display for StoreError {
                 "checksum mismatch: stored {stored:#010x}, computed {computed:#010x}"
             ),
             StoreError::Corrupted { reason } => write!(f, "corrupted store file: {reason}"),
+            StoreError::UnknownVariantCode { code } => write!(
+                f,
+                "unknown model-variant code {code} (corrupt file, or written \
+                 by a newer release of this format)"
+            ),
             StoreError::DimMismatch { expected, found } => write!(
                 f,
                 "embedding dimension mismatch: expected {expected}, file has {found}"
@@ -222,6 +235,10 @@ mod tests {
                     reason: "fingerprint".into(),
                 },
                 "index does not match the store",
+            ),
+            (
+                StoreError::UnknownVariantCode { code: 200 },
+                "unknown model-variant code 200",
             ),
         ];
         for (e, needle) in cases {

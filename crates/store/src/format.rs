@@ -416,13 +416,13 @@ mod tests {
         ));
 
         let mut bytes = encode(&store);
-        bytes[20] = 200; // unknown variant code
+        bytes[20] = 200; // unknown variant code -> typed error with the code
         let sum = crc32(&bytes[..bytes.len() - 4]);
         let end = bytes.len();
         bytes[end - 4..].copy_from_slice(&sum.to_le_bytes());
         assert!(matches!(
             decode(&bytes).unwrap_err(),
-            StoreError::Corrupted { .. }
+            StoreError::UnknownVariantCode { code: 200 }
         ));
     }
 

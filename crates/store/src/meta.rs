@@ -80,32 +80,21 @@ impl fmt::Display for PrivacyMeta {
     }
 }
 
-/// The wire code for a variant (`docs/FORMAT.md`, header byte 20). Codes
-/// are append-only: existing values never change meaning across versions.
+/// The wire code for a variant (`docs/FORMAT.md`, header byte 20).
+/// Delegates to the one append-only registry in `advsgm-core`
+/// ([`ModelVariant::wire_code`]), so the store and the trainer agree by
+/// construction — adding a `ModelVariant` without a code is a compile
+/// error in core, not a silent drift here.
 pub(crate) fn variant_code(v: ModelVariant) -> u8 {
-    match v {
-        ModelVariant::Sgm => 0,
-        ModelVariant::DpSgm => 1,
-        ModelVariant::DpAsgm => 2,
-        ModelVariant::AdvSgm => 3,
-        ModelVariant::AdvSgmNoDp => 4,
-    }
+    v.wire_code()
 }
 
-/// Inverse of [`variant_code`]; unknown codes are a corruption error.
+/// Inverse of [`variant_code`]; unknown codes are a typed
+/// [`StoreError::UnknownVariantCode`] (a reader newer than the writer is
+/// corruption from this reader's perspective, but the code survives in
+/// the error for forward-compatibility diagnostics).
 pub(crate) fn variant_from_code(code: u8) -> Result<ModelVariant, StoreError> {
-    Ok(match code {
-        0 => ModelVariant::Sgm,
-        1 => ModelVariant::DpSgm,
-        2 => ModelVariant::DpAsgm,
-        3 => ModelVariant::AdvSgm,
-        4 => ModelVariant::AdvSgmNoDp,
-        other => {
-            return Err(StoreError::Corrupted {
-                reason: format!("unknown model-variant code {other}"),
-            })
-        }
-    })
+    ModelVariant::from_wire_code(code).ok_or(StoreError::UnknownVariantCode { code })
 }
 
 #[cfg(test)]
@@ -117,7 +106,19 @@ mod tests {
         for v in ModelVariant::all() {
             assert_eq!(variant_from_code(variant_code(v)).unwrap(), v);
         }
-        assert!(variant_from_code(250).is_err());
+        let err = variant_from_code(250).unwrap_err();
+        assert!(
+            matches!(err, StoreError::UnknownVariantCode { code: 250 }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn store_codes_match_core_registry() {
+        // The store must not re-encode: byte-for-byte the core table.
+        for v in ModelVariant::all() {
+            assert_eq!(variant_code(v), v.wire_code());
+        }
     }
 
     #[test]

@@ -66,7 +66,8 @@ use advsgm::store::{IndexParams, IvfIndex};
 const USAGE: &str = "usage:
   advsgm train --out PATH [--dataset NAME] [--scale F] [--edges FILE]
                [--graph FILE] [--partitions P]
-               [--variant sgm|dp-sgm|dp-asgm|advsgm|advsgm-nodp]
+               [--variant sgm|dp-sgm|dp-asgm|advsgm|advsgm-nodp|
+                          signed-advsgm|sp-advsgm]
                [--epsilon F] [--delta F] [--sigma F] [--epochs N]
                [--dim N] [--batch-size N] [--lr F] [--threads N]
                [--shard-size N] [--seed N]
@@ -218,9 +219,12 @@ fn parse_variant(name: &str) -> Result<ModelVariant, String> {
         "dp-asgm" | "dpasgm" => ModelVariant::DpAsgm,
         "advsgm" => ModelVariant::AdvSgm,
         "advsgm-nodp" | "advsgmnodp" => ModelVariant::AdvSgmNoDp,
+        "signed-advsgm" | "signedadvsgm" => ModelVariant::SignedAdvSgm,
+        "sp-advsgm" | "spadvsgm" => ModelVariant::SpAdvSgm,
         other => {
             return Err(format!(
-                "unknown variant {other:?} (sgm, dp-sgm, dp-asgm, advsgm, advsgm-nodp)"
+                "unknown variant {other:?} (sgm, dp-sgm, dp-asgm, advsgm, advsgm-nodp, \
+                 signed-advsgm, sp-advsgm)"
             ))
         }
     })
@@ -930,7 +934,10 @@ fn build_graph(edges: Option<&str>, dataset: &str, scale: f64, seed: u64) -> Res
         }
         None => {
             let d = dataset_by_name(dataset).ok_or_else(|| {
-                format!("unknown dataset {dataset:?} (PPI, Facebook, Wiki, Blog, Epinions, DBLP)")
+                format!(
+                    "unknown dataset {dataset:?} (PPI, Facebook, Wiki, Blog, Epinions, DBLP, \
+                     Polarity)"
+                )
             })?;
             let spec = d.spec().scaled(scale);
             let g = synthesize(&spec, seed);

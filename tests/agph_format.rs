@@ -11,8 +11,8 @@ use std::collections::BTreeSet;
 use advsgm::graph::{Edge, Graph};
 use advsgm::linalg::rng::seeded;
 use advsgm::store::{
-    agph::AGPH_FIXED_HEADER_LEN, decode_agph, encode_agph, load_agph, save_agph, AgphReader,
-    StoreError,
+    agph::AGPH_FIXED_HEADER_LEN, decode_agph, encode_agph, format::crc32, load_agph, save_agph,
+    AgphReader, StoreError,
 };
 use proptest::prelude::*;
 use rand::Rng;
@@ -137,10 +137,23 @@ fn unknown_version_and_flags_are_typed_rejections() {
     ));
 
     // Unknown flag bits: reserved for the append-only format family, so
-    // a reader that does not understand them must reject, not ignore.
+    // a reader that does not understand them must reject, not ignore —
+    // even when the header CRC is made to agree (a future writer, not
+    // corruption). Bit 0 is the SIGNED flag now; bit 1 is still reserved.
     let mut flags = good.clone();
-    flags[6] |= 0x01;
-    assert!(decode_agph(&flags).is_err(), "unknown flags accepted");
+    flags[6] |= 0x02;
+    let table = flags.len().min(AGPH_FIXED_HEADER_LEN + 2 * 12);
+    let sum = crc32(&flags[..table]);
+    flags[table..table + 4].copy_from_slice(&sum.to_le_bytes());
+    let err = decode_agph(&flags).unwrap_err();
+    assert!(
+        err.to_string().contains("unknown flag"),
+        "expected unknown-flag rejection, got: {err}"
+    );
+    // Without the CRC patch the checksum catches it first — still typed.
+    let mut noisy = good.clone();
+    noisy[6] |= 0x02;
+    assert!(decode_agph(&noisy).is_err(), "unknown flags accepted");
 
     // A zero bucket count cannot describe any section table.
     let mut zero_p = good;
@@ -159,6 +172,91 @@ fn empty_and_mismatched_inputs_are_errors() {
     ));
     // encode rejects a zero bucket request up front.
     assert!(encode_agph(&sparse_graph(), 0).is_err());
+}
+
+/// A signed variant of the sparse fixture: alternating friend/foe edges.
+fn signed_sparse_graph() -> Graph {
+    let g = sparse_graph();
+    let signs: Vec<bool> = (0..g.num_edges()).map(|i| i % 2 == 1).collect();
+    Graph::from_parts_signed(g.num_nodes(), g.edges().to_vec(), Some(signs), None)
+}
+
+#[test]
+fn signed_files_roundtrip_through_disk_and_streaming() {
+    let g = signed_sparse_graph();
+    let dir = std::env::temp_dir().join("advsgm_agph_format_signed");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("signed.agph");
+    save_agph(&path, &g, 4).unwrap();
+
+    // One-shot: the polarity channel survives the disk.
+    let back = load_agph(&path).unwrap();
+    assert!(back.is_signed());
+    assert_eq!(back.num_foe_edges(), g.num_foe_edges());
+    assert_eq!(edge_set(&back), edge_set(&g));
+
+    // Streaming: the reader reports the flag and serves per-bucket signs
+    // whose total foe count matches, without materialising the graph.
+    let mut reader = AgphReader::open(&path).unwrap();
+    assert!(reader.is_signed());
+    let mut foes = 0usize;
+    for b in 0..reader.bucket_count() {
+        let signs = reader.bucket_signs(b).unwrap().expect("signed file");
+        assert_eq!(signs.len(), reader.bucket_edge_count(b).unwrap());
+        foes += signs.iter().filter(|&&s| s).count();
+    }
+    assert_eq!(foes, g.num_foe_edges());
+    reader.verify_fingerprint().unwrap();
+
+    // An unsigned reader contract: unsigned files answer None.
+    let upath = dir.join("unsigned.agph");
+    save_agph(&upath, &sparse_graph(), 4).unwrap();
+    let mut ureader = AgphReader::open(&upath).unwrap();
+    assert!(!ureader.is_signed());
+    assert!(ureader.bucket_signs(0).unwrap().is_none());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn signed_truncation_at_every_byte_is_typed_never_a_panic() {
+    // The sign region extends the file; every cut — including mid-bitmap
+    // and mid-sign-CRC — must surface as a typed error.
+    let bytes = encode_agph(&signed_sparse_graph(), 3).unwrap();
+    for cut in 0..bytes.len() {
+        let err = decode_agph(&bytes[..cut]).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                StoreError::Truncated { .. }
+                    | StoreError::BadMagic { .. }
+                    | StoreError::ChecksumMismatch { .. }
+                    | StoreError::UnsupportedVersion { .. }
+            ),
+            "cut={cut}: {err}"
+        );
+    }
+    // Trailing garbage after the sign region is rejected too.
+    let mut padded = bytes;
+    padded.push(0);
+    assert!(decode_agph(&padded).is_err(), "trailing byte accepted");
+}
+
+proptest! {
+    #[test]
+    fn every_single_byte_flip_in_a_signed_file_is_detected(
+        pos_frac in 0.0f64..1.0,
+        bit in 0u8..8,
+    ) {
+        // The sign bitmaps and their CRCs are covered like everything
+        // else: no byte of a signed file can flip silently.
+        let mut bytes = encode_agph(&signed_sparse_graph(), 3).unwrap();
+        let pos = ((bytes.len() - 1) as f64 * pos_frac) as usize;
+        bytes[pos] ^= 1 << bit;
+        prop_assert!(
+            decode_agph(&bytes).is_err(),
+            "flip at byte {} bit {} was accepted", pos, bit
+        );
+    }
 }
 
 proptest! {
@@ -186,6 +284,21 @@ proptest! {
         let back = decode_agph(&bytes).unwrap();
         prop_assert_eq!(back.num_nodes(), g.num_nodes());
         prop_assert_eq!(edge_set(&back), edge_set(&g));
+
+        // The same topology with an arbitrary polarity stamp: the
+        // (edge, sign) pairing survives bucketing exactly.
+        let signs: Vec<bool> = (0..g.num_edges()).map(|i| seed.wrapping_shr(i as u32 % 64) & 1 == 1).collect();
+        let sg = Graph::from_parts_signed(g.num_nodes(), g.edges().to_vec(), Some(signs.clone()), None);
+        let sback = decode_agph(&encode_agph(&sg, buckets).unwrap()).unwrap();
+        prop_assert!(sback.is_signed());
+        prop_assert_eq!(sback.num_foe_edges(), sg.num_foe_edges());
+        let mut want: Vec<((u32, u32), bool)> = sg.edges().iter().enumerate()
+            .map(|(i, e)| { let (u, v) = e.endpoints(); ((u.0, v.0), signs[i]) }).collect();
+        let mut got: Vec<((u32, u32), bool)> = sback.edges().iter().enumerate()
+            .map(|(i, e)| { let (u, v) = e.endpoints(); ((u.0, v.0), sback.edge_is_foe(i)) }).collect();
+        want.sort_unstable();
+        got.sort_unstable();
+        prop_assert_eq!(got, want);
     }
 
     #[test]

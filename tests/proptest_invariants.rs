@@ -77,6 +77,50 @@ proptest! {
     }
 
     #[test]
+    fn signed_sampler_is_seed_deterministic(
+        seed in 0u64..10_000,
+        batch in 1usize..40,
+        k in 1usize..6,
+    ) {
+        // Two independently constructed sign-aware providers, same seed:
+        // identical pairs, identical foe flags — and each flag agrees
+        // with the graph's own polarity channel.
+        use advsgm::core::sampler::BatchProvider;
+        use advsgm::core::ModelVariant;
+        use advsgm::graph::sampling::negative::NegativeDistribution;
+        use advsgm::graph::generators::classic::karate_club;
+
+        let base = karate_club();
+        let signs: Vec<bool> = (0..base.num_edges()).map(|i| i % 3 == 0).collect();
+        let g = advsgm::graph::Graph::from_parts_signed(
+            base.num_nodes(), base.edges().to_vec(), Some(signs), None);
+
+        let draw = |seed: u64| {
+            let mut p = BatchProvider::new_for_variant(
+                &g, batch, k, NegativeDistribution::Uniform, ModelVariant::SignedAdvSgm,
+            ).unwrap();
+            let mut rng = SmallRng::seed_from_u64(seed);
+            p.sample_disc_iteration(&g, &mut rng).unwrap()
+        };
+        let (pos_a, neg_a) = draw(seed);
+        let (pos_b, neg_b) = draw(seed);
+        prop_assert_eq!(&pos_a.pairs, &pos_b.pairs);
+        prop_assert_eq!(&pos_a.signs, &pos_b.signs);
+        prop_assert_eq!(&neg_a.pairs, &neg_b.pairs);
+        prop_assert_eq!(pos_a.signs.len(), pos_a.pairs.len());
+        for (i, &(u, v)) in pos_a.pairs.iter().enumerate() {
+            // The oriented pair is a real edge whose canonical form
+            // carries exactly this polarity.
+            let (lo, hi) = (u.min(v) as u32, u.max(v) as u32);
+            let idx = g.edges().iter().position(|e| {
+                let (a, b) = e.endpoints();
+                (a.0, b.0) == (lo, hi)
+            }).unwrap();
+            prop_assert_eq!(g.edge_is_foe(idx), pos_a.signs[i]);
+        }
+    }
+
+    #[test]
     fn mutual_information_nonnegative_and_symmetric(
         a in proptest::collection::vec(0usize..5, 2..64),
         b_seed in 0usize..5)
